@@ -1,0 +1,194 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation on
+   the 20-benchmark suite (the numbers EXPERIMENTS.md records).
+
+   Part 2 runs Bechamel wall-clock microbenchmarks of the framework
+   itself — one Test.make per reproduced table/figure exercising the
+   pipeline that produces it, plus component benchmarks (parser,
+   dominator tree, optimizer, interpreter, and both runtimes). *)
+
+open Bechamel
+open Toolkit
+module E = Mi_bench_kit.Experiments
+module Config = Mi_core.Config
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's experiments                                     *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_reports () =
+  print_endline "=================================================================";
+  print_endline " Reproduction of the paper's evaluation (tables and figures)";
+  print_endline "=================================================================";
+  List.iter
+    (fun (r : E.report) -> Printf.printf "\n== %s ==\n%s%!" r.E.title r.E.text)
+    (E.all_reports ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One representative benchmark per experiment keeps the wall-clock
+   microbenchmarks fast while still exercising the full path that
+   regenerates the corresponding table/figure. *)
+let sample_bench () = Mi_bench_kit.Suite.find_exn "186crafty"
+
+let compile_only (b : Mi_bench_kit.Bench.t) =
+  List.map
+    (fun (s : Mi_bench_kit.Bench.source) ->
+      Mi_minic.Lower.compile ~name:s.src_name s.code)
+    b.sources
+
+let run_setup setup =
+  let b = sample_bench () in
+  ignore (Mi_bench_kit.Harness.run_benchmark setup b)
+
+let test_fig9_sb =
+  Test.make ~name:"fig9: softbound end-to-end (1 bench)"
+    (Staged.stage (fun () -> run_setup E.sb_opt))
+
+let test_fig9_lf =
+  Test.make ~name:"fig9: lowfat end-to-end (1 bench)"
+    (Staged.stage (fun () -> run_setup E.lf_opt))
+
+let test_fig10_meta =
+  Test.make ~name:"fig10: softbound metadata-only (1 bench)"
+    (Staged.stage (fun () ->
+         run_setup
+           (Mi_bench_kit.Harness.with_config
+              (Config.metadata_only Config.softbound)
+              Mi_bench_kit.Harness.baseline)))
+
+let test_fig11_meta =
+  Test.make ~name:"fig11: lowfat metadata-only (1 bench)"
+    (Staged.stage (fun () ->
+         run_setup
+           (Mi_bench_kit.Harness.with_config
+              (Config.metadata_only Config.lowfat)
+              Mi_bench_kit.Harness.baseline)))
+
+let test_fig12_early =
+  Test.make ~name:"fig12/13: instrument at ModuleOptimizerEarly (1 bench)"
+    (Staged.stage (fun () ->
+         run_setup
+           {
+             (Mi_bench_kit.Harness.with_config
+                (Config.optimized Config.softbound)
+                Mi_bench_kit.Harness.baseline)
+             with
+             ep = Mi_passes.Pipeline.ModuleOptimizerEarly;
+           }))
+
+let test_table2_counters =
+  Test.make ~name:"table2: wide-bounds accounting (1 bench)"
+    (Staged.stage (fun () -> run_setup E.sb_full))
+
+(* framework component microbenchmarks *)
+
+let crafty_ir =
+  lazy
+    (let m = List.hd (compile_only (sample_bench ())) in
+     Mi_mir.Printer.module_to_string m)
+
+let test_minic_compile =
+  Test.make ~name:"component: minic compile (crafty)"
+    (Staged.stage (fun () -> ignore (compile_only (sample_bench ()))))
+
+let test_mir_parse =
+  Test.make ~name:"component: MIR parse (crafty)"
+    (Staged.stage (fun () ->
+         ignore (Mi_mir.Parser.parse_module (Lazy.force crafty_ir))))
+
+let test_pipeline_o3 =
+  Test.make ~name:"component: -O3 pipeline (crafty)"
+    (Staged.stage (fun () ->
+         let m = Mi_mir.Parser.parse_module (Lazy.force crafty_ir) in
+         Mi_passes.Pipeline.run ~level:Mi_passes.Pipeline.O3 m))
+
+let test_instrument_pass =
+  Test.make ~name:"component: instrumentation pass (softbound, crafty)"
+    (Staged.stage (fun () ->
+         let m = Mi_mir.Parser.parse_module (Lazy.force crafty_ir) in
+         ignore (Mi_core.Instrument.run Config.softbound m)))
+
+let test_domtree =
+  Test.make ~name:"component: dominator tree (crafty)"
+    (Staged.stage
+       (let m = Mi_mir.Parser.parse_module (Lazy.force crafty_ir) in
+        fun () ->
+          List.iter
+            (fun f ->
+              ignore (Mi_analysis.Dom.build (Mi_analysis.Cfg.build f)))
+            (Mi_mir.Irmod.defined_funcs m)))
+
+let test_lowfat_alloc =
+  Test.make ~name:"component: lowfat malloc/free cycle"
+    (Staged.stage
+       (let st = Mi_vm.State.create () in
+        Mi_vm.Builtins.install st;
+        let t = Mi_lowfat.Lowfat_rt.install st in
+        fun () ->
+          let a = st.Mi_vm.State.malloc_hook st 100 in
+          Mi_lowfat.Lowfat_rt.lf_free t st a))
+
+let test_sb_trie =
+  Test.make ~name:"component: softbound trie store+load"
+    (Staged.stage
+       (let st = Mi_vm.State.create () in
+        Mi_vm.Builtins.install st;
+        let t = Mi_softbound.Softbound_rt.install st in
+        let addr = ref Mi_vm.Layout.heap_base in
+        fun () ->
+          addr := Mi_vm.Layout.heap_base + ((!addr + 8) mod 65536);
+          Mi_softbound.Softbound_rt.trie_store t !addr ~base:1 ~bound:2;
+          ignore (Mi_softbound.Softbound_rt.trie_load t !addr)))
+
+let tests =
+  [
+    test_fig9_sb;
+    test_fig9_lf;
+    test_fig10_meta;
+    test_fig11_meta;
+    test_fig12_early;
+    test_table2_counters;
+    test_minic_compile;
+    test_mir_parse;
+    test_pipeline_o3;
+    test_instrument_pass;
+    test_domtree;
+    test_lowfat_alloc;
+    test_sb_trie;
+  ]
+
+let run_microbenchmarks () =
+  print_endline "\n=================================================================";
+  print_endline " Bechamel microbenchmarks (framework wall-clock performance)";
+  print_endline "=================================================================";
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          (Instance.monotonic_clock)
+          results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-55s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-55s (no estimate)\n%!" name)
+        ols)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro_only = List.mem "--micro-only" args in
+  let reports_only = List.mem "--reports-only" args in
+  if not micro_only then regenerate_reports ();
+  if not reports_only then run_microbenchmarks ()

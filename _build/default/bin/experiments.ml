@@ -1,0 +1,104 @@
+(** Regenerate the paper's tables and figures.
+
+    {v
+    mi-experiments                 # everything
+    mi-experiments fig9 table2    # selected experiments
+    mi-experiments --benchmark 183equake fig9
+    v} *)
+
+open Cmdliner
+module E = Mi_bench_kit.Experiments
+
+(* write a report's raw series as CSV: one row per benchmark, one column
+   per series *)
+let write_csv dir name (report : E.report) =
+  if report.E.series <> [] then begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    let labels = List.map (fun s -> s.E.label) report.E.series in
+    Printf.fprintf oc "benchmark,%s\n" (String.concat "," labels);
+    let keys =
+      match report.E.series with
+      | s :: _ -> List.map fst s.E.points
+      | [] -> []
+    in
+    List.iter
+      (fun key ->
+        let cells =
+          List.map
+            (fun s ->
+              match List.assoc_opt key s.E.points with
+              | Some v -> Printf.sprintf "%.4f" v
+              | None -> "")
+            report.E.series
+        in
+        Printf.fprintf oc "%s,%s\n" key (String.concat "," cells))
+      keys;
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path
+  end
+
+let run_experiments names benchmark_names csv_dir =
+  let benchmarks =
+    match benchmark_names with
+    | [] -> None
+    | names ->
+        Some
+          (List.map
+             (fun n ->
+               match Mi_bench_kit.Suite.find n with
+               | Some b -> b
+               | None ->
+                   Printf.eprintf "unknown benchmark %s (known: %s)\n" n
+                     (String.concat ", " Mi_bench_kit.Suite.names);
+                   exit 2)
+             names)
+  in
+  let names = if names = [] then E.known_names else names in
+  let exit_code = ref 0 in
+  List.iter
+    (fun name ->
+      match E.by_name name with
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " E.known_names);
+          exit_code := 2
+      | Some f ->
+          let report =
+            match benchmarks with
+            | Some bs -> f ~benchmarks:bs ()
+            | None -> f ()
+          in
+          Printf.printf "== %s ==\n%s\n" report.E.title report.E.text;
+          Option.iter (fun dir -> write_csv dir name report) csv_dir)
+    names;
+  !exit_code
+
+let names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "benchmark"; "b" ] ~docv:"NAME"
+        ~doc:"Restrict to the given benchmark(s).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write each experiment's raw series as DIR/<name>.csv.")
+
+let cmd =
+  let doc =
+    "regenerate the tables and figures of 'Memory Safety Instrumentations \
+     in Practice' (CGO 2025)"
+  in
+  Cmd.v
+    (Cmd.info "mi-experiments" ~doc)
+    Term.(const run_experiments $ names_arg $ bench_arg $ csv_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,86 @@
+(** Run a MiniC program under both memory-safety instrumentations and
+    compare their verdicts — the "sanitize my program" workflow of the
+    paper's artifact.
+
+    {v
+    memsafe prog.c            # verdicts from both approaches
+    memsafe --cases           # replay the §4 usability case studies
+    v} *)
+
+open Cmdliner
+module Config = Mi_core.Config
+module Usability = Mi_bench_kit.Usability
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let verdict_string (r : Mi_bench_kit.Harness.run) =
+  match r.outcome with
+  | Mi_vm.Interp.Exited code -> Printf.sprintf "ran to completion (exit %d)" code
+  | Mi_vm.Interp.Safety_violation { checker; reason } ->
+      Printf.sprintf "VIOLATION reported by %s: %s" checker reason
+  | Mi_vm.Interp.Trapped msg -> Printf.sprintf "VM trap: %s" msg
+
+let run_file file =
+  let code = read_file file in
+  let sources = [ Mi_bench_kit.Bench.src (Filename.basename file) code ] in
+  List.iter
+    (fun (label, approach) ->
+      let cfg = Config.of_approach approach in
+      let setup =
+        Mi_bench_kit.Harness.with_config cfg Mi_bench_kit.Harness.baseline
+      in
+      let r = Mi_bench_kit.Harness.run_sources setup sources in
+      Printf.printf "%-18s %s\n" (label ^ ":") (verdict_string r);
+      if r.output <> "" then
+        Printf.printf "%-18s %s\n" "  program output:"
+          (String.concat " | " (String.split_on_char '\n' (String.trim r.output))))
+    [ ("SoftBound", Config.Softbound); ("Low-Fat Pointers", Config.Lowfat) ];
+  0
+
+let run_cases () =
+  List.iter
+    (fun (c : Usability.case) ->
+      Printf.printf "--- %s (§%s) ---\n" c.case_name c.section;
+      List.iter
+        (fun approach ->
+          let verdict, _ = Usability.run_case c approach in
+          let expected = Usability.expected c approach in
+          Printf.printf "  %-10s %-18s (expected: %s)%s\n"
+            (Config.approach_name approach)
+            (Usability.verdict_to_string verdict)
+            (Usability.verdict_to_string expected)
+            (if verdict = expected then "" else "  <-- MISMATCH"))
+        [ Config.Softbound; Config.Lowfat ];
+      Printf.printf "  %s\n\n" c.explain)
+    (Usability.all @ Mi_bench_kit.Excluded.all);
+  0
+
+let main file cases =
+  if cases then run_cases ()
+  else
+    match file with
+    | Some f -> run_file f
+    | None ->
+        prerr_endline "memsafe: expected FILE.c or --cases";
+        2
+
+let file_arg = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let cases_arg =
+  Arg.(
+    value & flag
+    & info [ "cases" ]
+        ~doc:"replay the paper's §4 usability case studies instead")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "memsafe"
+       ~doc:"check a MiniC program with SoftBound and Low-Fat Pointers")
+    Term.(const main $ file_arg $ cases_arg)
+
+let () = exit (Cmd.eval' cmd)

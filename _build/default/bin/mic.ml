@@ -1,0 +1,170 @@
+(** MiniC compiler driver.
+
+    {v
+    mic prog.c                 # compile + run at -O3
+    mic -O0 prog.c --emit-ir   # show the naive MIR
+    mic prog.c --emit-ir       # show the optimized MIR
+    mic prog.c --instrument softbound --emit-ir
+    v} *)
+
+open Cmdliner
+module Pipeline = Mi_passes.Pipeline
+module Config = Mi_core.Config
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let level_of_string = function
+  | "0" | "O0" -> Some Pipeline.O0
+  | "1" | "O1" -> Some Pipeline.O1
+  | "3" | "O3" -> Some Pipeline.O3
+  | _ -> None
+
+let ep_of_string = function
+  | "ModuleOptimizerEarly" | "early" -> Some Pipeline.ModuleOptimizerEarly
+  | "ScalarOptimizerLate" | "scalar-late" -> Some Pipeline.ScalarOptimizerLate
+  | "VectorizerStart" | "vectorizer-start" -> Some Pipeline.VectorizerStart
+  | _ -> None
+
+let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose =
+  let level =
+    match level_of_string level_s with
+    | Some l -> l
+    | None ->
+        Printf.eprintf "bad -O level %s\n" level_s;
+        exit 2
+  in
+  let ep =
+    match ep_of_string ep_s with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "bad extension point %s\n" ep_s;
+        exit 2
+  in
+  let config =
+    match instrument_s with
+    | "" -> None
+    | "softbound" | "sb" -> Some Config.softbound
+    | "lowfat" | "lf" -> Some Config.lowfat
+    | s ->
+        Printf.eprintf "bad instrumentation %s (softbound|lowfat)\n" s;
+        exit 2
+  in
+  let src = read_file file in
+  let mode = { Mi_minic.Lower.ptr_mem_as_i64 = i64_ptrs } in
+  let m =
+    try Mi_minic.Lower.compile ~mode ~name:(Filename.basename file) src
+    with Mi_minic.Lower.Compile_error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  in
+  if diagnose then begin
+    (* static hazard report (§4.7), on the unoptimized lowering *)
+    match Mi_core.Diagnose.analyze_module m with
+    | [] -> prerr_endline "[mic] diagnose: no instrumentation hazards found"
+    | ds ->
+        List.iter
+          (fun d ->
+            Printf.eprintf "[mic] diagnose: %s\n" (Mi_core.Diagnose.to_string d))
+          ds
+  end;
+  let instrument =
+    Option.map
+      (fun cfg m -> ignore (Mi_core.Instrument.run cfg m))
+      config
+  in
+  Pipeline.run ~level ?instrument ~ep m;
+  (match Mi_mir.Verify.verify_module m with
+  | [] -> ()
+  | errs ->
+      List.iter
+        (fun e ->
+          Printf.eprintf "verifier: %s\n" (Mi_mir.Verify.error_to_string e))
+        errs;
+      exit 1);
+  if emit_ir then print_string (Mi_mir.Printer.module_to_string m);
+  if not no_run then begin
+    let st = Mi_vm.State.create () in
+    Mi_vm.Builtins.install st;
+    let alloc_global = ref None in
+    (match config with
+    | Some cfg when cfg.approach = Config.Lowfat ->
+        let lf = Mi_lowfat.Lowfat_rt.install ~stack_protection:cfg.lf_stack st in
+        if cfg.lf_globals then
+          alloc_global :=
+            Some
+              (fun st ~name:_ ~size ~align ->
+                Some (Mi_lowfat.Lowfat_rt.alloc_global lf st ~size ~align))
+    | Some _ -> ignore (Mi_softbound.Softbound_rt.install st)
+    | None -> ());
+    let img = Mi_vm.Interp.load ?alloc_global:!alloc_global st [ m ] in
+    let res = Mi_vm.Interp.run st img in
+    print_string res.output;
+    Printf.eprintf "[mic] cycles=%d dynamic-instructions=%d\n" res.cycles
+      res.steps;
+    match res.outcome with
+    | Mi_vm.Interp.Exited code -> exit code
+    | Mi_vm.Interp.Safety_violation { checker; reason } ->
+        Printf.eprintf "[mic] %s: %s\n" checker reason;
+        exit 134
+    | Mi_vm.Interp.Trapped msg ->
+        Printf.eprintf "[mic] trap: %s\n" msg;
+        exit 139
+  end;
+  0
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let level_arg =
+  Arg.(value & opt string "3" & info [ "O" ] ~docv:"LEVEL" ~doc:"0, 1, or 3")
+
+let instr_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "instrument"; "i" ] ~docv:"APPROACH"
+        ~doc:"softbound or lowfat")
+
+let ep_arg =
+  Arg.(
+    value
+    & opt string "VectorizerStart"
+    & info [ "ep" ] ~docv:"POINT"
+        ~doc:
+          "pipeline extension point: ModuleOptimizerEarly, \
+           ScalarOptimizerLate, or VectorizerStart")
+
+let emit_arg =
+  Arg.(value & flag & info [ "emit-ir" ] ~doc:"print the final MIR")
+
+let norun_arg = Arg.(value & flag & info [ "no-run" ] ~doc:"compile only")
+
+let i64_arg =
+  Arg.(
+    value & flag
+    & info [ "ptr-mem-as-i64" ]
+        ~doc:
+          "lower in-memory pointer moves through i64 (the Figure 7 \
+           compiler-version behaviour)")
+
+let diagnose_arg =
+  Arg.(
+    value & flag
+    & info [ "diagnose" ]
+        ~doc:
+          "report static instrumentation hazards: int-to-pointer casts, \
+           pointers stored as integers, size-zero extern arrays, \
+           oversized allocations, byte-wise copy loops (§4.7)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mic" ~doc:"MiniC compiler with memory-safety instrumentation")
+    Term.(
+      const run_mic $ file_arg $ level_arg $ instr_arg $ ep_arg $ emit_arg
+      $ norun_arg $ i64_arg $ diagnose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/overflow_detection.ml: List Mi_bench_kit Mi_core Mi_vm Printf

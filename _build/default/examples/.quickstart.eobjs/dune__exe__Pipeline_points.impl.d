@@ -1,0 +1,1 @@
+examples/pipeline_points.ml: List Mi_bench_kit Mi_core Mi_passes Mi_support Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mi_core Mi_minic Mi_mir Mi_passes Mi_softbound Mi_vm Printf

@@ -1,0 +1,1 @@
+examples/usability_pitfalls.ml: List Mi_bench_kit Mi_core Printf

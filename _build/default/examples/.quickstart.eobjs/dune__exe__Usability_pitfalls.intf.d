@@ -1,0 +1,1 @@
+examples/usability_pitfalls.mli:

@@ -1,0 +1,42 @@
+(* A guided tour of the paper's §4: eleven programs on which the two
+   approaches disagree — spurious reports on valid C, undetected real
+   bugs, and the compiler-version effects of Figure 7.
+
+   Run with: dune exec examples/usability_pitfalls.exe *)
+
+module U = Mi_bench_kit.Usability
+module Config = Mi_core.Config
+
+let () =
+  print_endline
+    "Usability case studies from 'Memory Safety Instrumentations in";
+  print_endline "Practice' §4 and appendix B.\n";
+  let spurious = ref 0 and missed = ref 0 in
+  List.iter
+    (fun (c : U.case) ->
+      Printf.printf "=== %s (paper §%s) ===\n" c.case_name c.section;
+      List.iter
+        (fun approach ->
+          let verdict, _run = U.run_case c approach in
+          let qualifier =
+            match (verdict, c.is_actual_bug) with
+            | U.Reports, false ->
+                incr spurious;
+                "  <- SPURIOUS report on a valid program"
+            | U.Works, true ->
+                incr missed;
+                "  <- real violation goes UNDETECTED"
+            | U.Reports, true -> "  (true positive)"
+            | U.Works, false -> "  (correctly accepted)"
+          in
+          Printf.printf "  %-10s %-18s%s\n"
+            (Config.approach_name approach)
+            (U.verdict_to_string verdict)
+            qualifier)
+        [ Config.Softbound; Config.Lowfat ];
+      Printf.printf "  %s\n\n" c.explain)
+    U.all;
+  Printf.printf
+    "Across the corpus: %d spurious reports and %d undetected violations —\n\
+     the applicability problems §4.7 concludes future research must solve.\n"
+    !spurious !missed

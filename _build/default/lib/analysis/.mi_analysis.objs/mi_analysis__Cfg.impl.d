@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Block Func Hashtbl Instr List Mi_mir

@@ -1,0 +1,1 @@
+lib/analysis/domcheck.ml: Array Block Cfg Dom Func Instr Irmod List Mi_mir Printf String Value Verify

@@ -1,0 +1,1 @@
+lib/analysis/domcheck.mli: Func Irmod Mi_mir

@@ -1,0 +1,92 @@
+(** SSA dominance verification: every use of a variable must be dominated
+    by its definition.  Complements [Mi_mir.Verify], which checks only
+    structural properties. *)
+
+open Mi_mir
+
+type error = string
+
+(* Location of each definition: block index and position within the block.
+   Params and phis get position -1 (before all body instructions). *)
+type defsite = { dblock : int; dpos : int }
+
+let check_func (f : Func.t) : error list =
+  if f.is_external then []
+  else begin
+    let cfg = Cfg.build f in
+    let dom = Dom.build cfg in
+    let errors = ref [] in
+    let sites : defsite Value.VTbl.t = Value.VTbl.create 64 in
+    List.iter
+      (fun p -> Value.VTbl.replace sites p { dblock = 0; dpos = -1 })
+      f.params;
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        List.iter
+          (fun (p : Instr.phi) ->
+            Value.VTbl.replace sites p.pdst { dblock = bi; dpos = -1 })
+          b.phis;
+        List.iteri
+          (fun pos (i : Instr.t) ->
+            match i.dst with
+            | Some d -> Value.VTbl.replace sites d { dblock = bi; dpos = pos }
+            | None -> ())
+          b.body)
+      cfg.blocks;
+    let check_use ~where ~ublock ~upos (v : Value.t) =
+      match v with
+      | Var x -> (
+          match Value.VTbl.find_opt sites x with
+          | None ->
+              errors :=
+                Printf.sprintf "%s: %s has no definition site" where
+                  (Value.var_to_string x)
+                :: !errors
+          | Some { dblock; dpos } ->
+              let ok =
+                if dblock = ublock then dpos < upos
+                else Dom.strictly_dominates dom dblock ublock
+              in
+              if not ok then
+                errors :=
+                  Printf.sprintf "%s: use of %s not dominated by its def"
+                    where (Value.var_to_string x)
+                  :: !errors)
+      | _ -> ()
+    in
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        let where = Printf.sprintf "%s:%s" f.fname b.label in
+        if cfg.reachable.(bi) then begin
+          (* A phi use must be dominated by its def at the end of the
+             corresponding predecessor block. *)
+          List.iter
+            (fun (p : Instr.phi) ->
+              List.iter
+                (fun (lbl, v) ->
+                  let pred = Cfg.index cfg lbl in
+                  check_use ~where ~ublock:pred ~upos:max_int v)
+                p.incoming)
+            b.phis;
+          List.iteri
+            (fun pos (i : Instr.t) ->
+              List.iter (check_use ~where ~ublock:bi ~upos:pos)
+                (Instr.operands i))
+            b.body;
+          List.iter
+            (check_use ~where ~ublock:bi ~upos:max_int)
+            (Instr.term_operands b.term)
+        end)
+      cfg.blocks;
+    List.rev !errors
+  end
+
+let check_module (m : Irmod.t) : error list =
+  List.concat_map check_func m.funcs
+
+(** Structural + dominance verification; raises [Failure] on error. *)
+let assert_valid m =
+  Verify.assert_valid_module m;
+  match check_module m with
+  | [] -> ()
+  | errs -> failwith ("SSA dominance check failed:\n" ^ String.concat "\n" errs)

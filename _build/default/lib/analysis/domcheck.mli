@@ -1,0 +1,15 @@
+(** SSA dominance verification: every use of a variable must be dominated
+    by its definition.  Complements [Mi_mir.Verify], which checks only
+    structural properties; together they gate every pass and the
+    instrumenter in the test suite. *)
+
+open Mi_mir
+
+type error = string
+
+val check_func : Func.t -> error list
+val check_module : Irmod.t -> error list
+
+val assert_valid : Irmod.t -> unit
+(** Structural ([Mi_mir.Verify]) + dominance verification; raises
+    [Failure] with all messages on the first invalid module. *)

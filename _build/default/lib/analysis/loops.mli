@@ -1,0 +1,27 @@
+(** Natural loop detection from back edges (edges whose target dominates
+    their source), with nesting. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** all blocks of the loop, including the header *)
+  latches : int list;  (** sources of back edges into the header *)
+  depth : int;  (** nesting depth, outermost = 1 *)
+  parent : int option;  (** header of the innermost enclosing loop *)
+}
+
+type t = {
+  loops : loop list;  (** sorted outermost-first *)
+  loop_of_block : (int, int) Hashtbl.t;
+      (** block index -> header of the innermost containing loop *)
+}
+
+val build : Cfg.t -> Dom.t -> t
+val innermost_header : t -> int -> int option
+val find_loop : t -> int -> loop option
+
+val exits : Cfg.t -> loop -> int list
+(** Blocks outside the loop that the loop branches to. *)
+
+val preheader : Cfg.t -> loop -> int option
+(** The unique block outside the loop that branches only to the header,
+    if it exists — the landing pad LICM hoists into. *)

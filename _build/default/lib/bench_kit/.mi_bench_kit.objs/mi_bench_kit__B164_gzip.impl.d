@@ -1,0 +1,1 @@
+lib/bench_kit/b164_gzip.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b177_mesa.ml: Bench

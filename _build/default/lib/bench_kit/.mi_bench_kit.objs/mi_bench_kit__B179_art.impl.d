@@ -1,0 +1,1 @@
+lib/bench_kit/b179_art.ml: Bench

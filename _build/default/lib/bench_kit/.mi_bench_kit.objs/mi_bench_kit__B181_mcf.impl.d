@@ -1,0 +1,1 @@
+lib/bench_kit/b181_mcf.ml: Bench

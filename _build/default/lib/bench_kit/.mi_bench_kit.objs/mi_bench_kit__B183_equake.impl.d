@@ -1,0 +1,1 @@
+lib/bench_kit/b183_equake.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b186_crafty.ml: Bench

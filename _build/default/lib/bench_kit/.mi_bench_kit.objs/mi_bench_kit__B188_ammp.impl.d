@@ -1,0 +1,1 @@
+lib/bench_kit/b188_ammp.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b197_parser.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b256_bzip2.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b300_twolf.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b401_bzip2.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b429_mcf.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b433_milc.ml: Bench

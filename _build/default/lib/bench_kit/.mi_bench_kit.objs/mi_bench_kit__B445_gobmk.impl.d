@@ -1,0 +1,1 @@
+lib/bench_kit/b445_gobmk.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b456_hmmer.ml: Bench

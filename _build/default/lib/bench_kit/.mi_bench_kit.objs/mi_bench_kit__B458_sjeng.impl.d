@@ -1,0 +1,1 @@
+lib/bench_kit/b458_sjeng.ml: Bench

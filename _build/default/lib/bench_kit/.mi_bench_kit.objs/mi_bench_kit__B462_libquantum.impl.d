@@ -1,0 +1,1 @@
+lib/bench_kit/b462_libquantum.ml: Bench

@@ -1,0 +1,1 @@
+lib/bench_kit/b464_h264ref.ml: Bench

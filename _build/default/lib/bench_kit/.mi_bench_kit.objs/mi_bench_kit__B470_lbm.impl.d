@@ -1,0 +1,1 @@
+lib/bench_kit/b470_lbm.ml: Bench

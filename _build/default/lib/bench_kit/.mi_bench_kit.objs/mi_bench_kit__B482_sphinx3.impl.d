@@ -1,0 +1,1 @@
+lib/bench_kit/b482_sphinx3.ml: Bench

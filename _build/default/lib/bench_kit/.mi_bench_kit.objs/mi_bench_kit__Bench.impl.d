@@ -1,0 +1,1 @@
+lib/bench_kit/bench.ml: Mi_minic

@@ -1,0 +1,1 @@
+lib/bench_kit/excluded.ml: Bench Usability

@@ -1,0 +1,1 @@
+lib/bench_kit/experiments.ml: Bench Harness Hashtbl List Mi_core Mi_minic Mi_passes Mi_support Mi_vm Paper_data Printf String Suite

@@ -1,0 +1,1 @@
+lib/bench_kit/harness.ml: Bench Hashtbl List Mi_core Mi_lowfat Mi_minic Mi_mir Mi_passes Mi_softbound Mi_vm Option Printf

@@ -1,0 +1,1 @@
+lib/bench_kit/paper_data.ml:

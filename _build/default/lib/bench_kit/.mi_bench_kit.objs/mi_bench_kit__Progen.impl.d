@@ -1,0 +1,1 @@
+lib/bench_kit/progen.ml: Buffer List Mi_support Printf String

@@ -1,0 +1,1 @@
+lib/bench_kit/usability.ml: Bench Harness Mi_core Mi_minic Mi_passes Mi_vm

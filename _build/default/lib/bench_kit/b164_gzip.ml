@@ -1,0 +1,124 @@
+(** 164.gzip-like workload: LZ77-style match finder over a window.
+
+    The defining property from the paper (§4.6, Table 2): the hot
+    translation unit declares the window arrays as size-zero extern
+    arrays ([extern ... window[];]) whose definitions live in a sibling
+    unit.  SoftBound cannot derive bounds for them and (with
+    [-mi-sb-size-zero-wide-upper]) uses wide upper bounds — the paper
+    measures 61.71% wide accesses.  Low-Fat mirrors the defining unit's
+    globals and keeps precise bounds (0.00%). *)
+
+let deflate_unit =
+  {|
+/* deflate.c: hot match-finding loop; arrays declared without size */
+extern char window[];      /* size-zero: SoftBound wide bounds */
+extern int head[512];      /* sized declarations: precise */
+extern int prev[8192];
+extern int match_hist[64];
+extern int lit_freq[256];
+
+long WSIZE = 8192;
+long HSIZE = 512;
+
+long hash3(long pos) {
+  long a = window[pos];
+  long b = window[pos + 1];
+  long c = window[pos + 2];
+  return ((a * 31 + b) * 31 + c) % 512;
+}
+
+long longest_match(long pos, long limit) {
+  long h = hash3(pos);
+  long cand = head[h];
+  long best = 0;
+  long tries = 8;
+  while (cand > 0 && tries > 0) {
+    long len = 0;
+    while (len < 32 && pos + len < limit &&
+           window[cand + len] == window[pos + len]) {
+      len++;
+    }
+    if (len > best) best = len;
+    cand = prev[cand % 8192];
+    tries--;
+  }
+  match_hist[best % 64] += 1;
+  return best;
+}
+
+long insert_string(long pos) {
+  long h = hash3(pos);
+  prev[pos % 8192] = head[h];
+  head[h] = pos;
+  return h;
+}
+
+long deflate_block(long limit) {
+  long pos = 0;
+  long emitted = 0;
+  while (pos + 3 < limit) {
+    long m = longest_match(pos, limit);
+    insert_string(pos);
+    head[(pos * 7) % 512] += 1;
+    if (m >= 3) {
+      emitted += 2;
+      pos += m;
+    } else {
+      lit_freq[window[pos] % 256] += 1;
+      emitted += 1;
+      pos += 1;
+    }
+  }
+  return emitted;
+}
+|}
+
+let window_unit =
+  {|
+/* window.c: the defining translation unit */
+char window[8200];
+int head[512];
+int prev[8192];
+int match_hist[64];
+int lit_freq[256];
+
+void fill_window(long n, long seed) {
+  long i;
+  long x = seed;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    /* low entropy so matches exist */
+    window[i] = (char)((x >> 16) % 7 + 97);
+  }
+}
+|}
+
+let main_unit =
+  {|
+long deflate_block(long limit);
+void fill_window(long n, long seed);
+
+int main(void) {
+  long total = 0;
+  long round;
+  for (round = 0; round < 6; round++) {
+    fill_window(8000, round + 1);
+    total += deflate_block(8000);
+  }
+  print_str("gzip emitted ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "164gzip" ~suite:Bench.CPU2000 ~size_zero_arrays:true
+    ~descr:
+      "LZ77 match finder; hot unit uses size-zero extern window arrays \
+       (SoftBound wide bounds, §4.6)"
+    [
+      Bench.src "deflate" deflate_unit;
+      Bench.src "window" window_unit;
+      Bench.src "main" main_unit;
+    ]

@@ -1,0 +1,111 @@
+(** 177.mesa-like workload: software rasterization of triangles.
+
+    Most work happens in heap buffers the application owns (precisely
+    bounded under both approaches); a small fraction of stores lands in a
+    framebuffer owned by an uninstrumented display library.  Its extern
+    declaration carries the size, so SoftBound stays precise (0.00 %, starred),
+    while Low-Fat sees a non-mirrored, non-low-fat global: wide bounds
+    (the paper's 1.57%). *)
+
+let fblib_unit =
+  {|
+/* fblib.c: external display library, NOT recompiled */
+int framebuffer[4096];
+
+void fb_present(void) {
+  long i;
+  for (i = 0; i < 4096; i++) framebuffer[i] = 0;
+}
+|}
+
+let mesa_unit =
+  {|
+extern int framebuffer[4096];
+void fb_present(void);
+
+double *zbuf;
+int *cbuf;
+
+long EDGE = 64;
+
+void init_buffers(void) {
+  long i;
+  zbuf = (double *)malloc(64 * 64 * sizeof(double));
+  cbuf = (int *)malloc(64 * 64 * sizeof(int));
+  for (i = 0; i < 64 * 64; i++) {
+    zbuf[i] = 1000000.0;
+    cbuf[i] = 0;
+  }
+}
+
+long edge_fn(long ax, long ay, long bx, long by, long px, long py) {
+  return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+}
+
+long raster_tri(long t) {
+  long ax = (t * 13) % 60, ay = (t * 7) % 60;
+  long bx = (ax + 20) % 64, by = (ay + 5) % 64;
+  long cx = (ax + 9) % 64, cy = (ay + 22) % 64;
+  long minx = ax, miny = ay, maxx = ax, maxy = ay;
+  if (bx < minx) minx = bx;
+  if (cx < minx) minx = cx;
+  if (by < miny) miny = by;
+  if (cy < miny) miny = cy;
+  if (bx > maxx) maxx = bx;
+  if (cx > maxx) maxx = cx;
+  if (by > maxy) maxy = by;
+  if (cy > maxy) maxy = cy;
+  long x, y;
+  long covered = 0;
+  double z = 1.0 + (double)(t % 9);
+  for (y = miny; y <= maxy; y++) {
+    for (x = minx; x <= maxx; x++) {
+      long w0 = edge_fn(ax, ay, bx, by, x, y);
+      long w1 = edge_fn(bx, by, cx, cy, x, y);
+      long w2 = edge_fn(cx, cy, ax, ay, x, y);
+      if ((w0 >= 0 && w1 >= 0 && w2 >= 0) ||
+          (w0 <= 0 && w1 <= 0 && w2 <= 0)) {
+        long idx = y * 64 + x;
+        if (z < zbuf[idx]) {
+          zbuf[idx] = z;
+          cbuf[idx] = (int)(t % 255);
+          covered++;
+        }
+      }
+    }
+  }
+  return covered;
+}
+
+void blit(void) {
+  /* the rare external-framebuffer traffic */
+  long i;
+  for (i = 0; i < 64 * 64; i += 24) {
+    framebuffer[i] = cbuf[i];
+  }
+}
+
+int main(void) {
+  long t;
+  long total = 0;
+  init_buffers();
+  for (t = 0; t < 100; t++) {
+    total += raster_tri(t);
+    if (t % 16 == 15) blit();
+  }
+  print_str("mesa covered ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "177mesa" ~suite:Bench.CPU2000
+    ~descr:
+      "triangle rasterizer; occasional stores to an uninstrumented \
+       library framebuffer (Low-Fat wide bounds, §4.6)"
+    [
+      Bench.src ~instrument:false "fblib" fblib_unit;
+      Bench.src "mesa" mesa_unit;
+    ]

@@ -1,0 +1,74 @@
+(** 179.art-like workload: adaptive resonance theory neural network
+    (float-heavy, clean pointer discipline: 0% wide for both). *)
+
+let source =
+  {|
+long F1 = 100;
+long F2 = 24;
+
+double *weights;    /* F2 x F1 */
+double *input;
+double *activation;
+
+void init_net(void) {
+  long i;
+  weights = (double *)malloc(24 * 100 * sizeof(double));
+  input = (double *)malloc(100 * sizeof(double));
+  activation = (double *)malloc(24 * sizeof(double));
+  for (i = 0; i < 24 * 100; i++) {
+    weights[i] = 1.0 / (1.0 + (double)(i % 11));
+  }
+}
+
+void present(long pat) {
+  long i;
+  for (i = 0; i < 100; i++) {
+    input[i] = (double)(((i * 7 + pat * 13) % 10)) * 0.1;
+  }
+}
+
+long winner(void) {
+  long j, i;
+  long best = 0;
+  double bestv = -1.0;
+  for (j = 0; j < 24; j++) {
+    double s = 0.0;
+    double *w = weights + j * 100;
+    for (i = 0; i < 100; i++) {
+      s += w[i] * input[i];
+    }
+    activation[j] = s;
+    if (s > bestv) { bestv = s; best = j; }
+  }
+  return best;
+}
+
+void learn(long j) {
+  long i;
+  double *w = weights + j * 100;
+  for (i = 0; i < 100; i++) {
+    w[i] = 0.9 * w[i] + 0.1 * input[i];
+  }
+}
+
+int main(void) {
+  long pat;
+  long hist = 0;
+  init_net();
+  for (pat = 0; pat < 150; pat++) {
+    present(pat);
+    long j = winner();
+    learn(j);
+    hist += j;
+  }
+  print_str("art winners ");
+  print_int(hist);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "179art" ~suite:Bench.CPU2000
+    ~descr:"neural-network pattern matcher; fully precise bounds (0%/0%)"
+    [ Bench.src "art" source ]

@@ -1,0 +1,95 @@
+(** 181.mcf-like workload (CPU2000): shortest augmenting paths on a small
+    network.
+
+    The original stored a pointer in a [long] struct member, casting on
+    every use — outdated SoftBound metadata and spurious reports (§4.4).
+    The paper changed the member to a proper pointer type and dropped the
+    casts (§5.1.2); this version ships that fix.  The unfixed variant is
+    in the usability corpus. *)
+
+let source =
+  {|
+struct node {
+  long potential;
+  long dist;
+  struct node *parent;   /* the §5.1.2 fix: proper pointer type */
+  long visited;
+};
+
+struct node *nodes;
+long N = 220;
+
+long edge_cost(long a, long b) {
+  long x = a * 31 + b * 17;
+  return 1 + (x % 19);
+}
+
+void init(void) {
+  long i;
+  nodes = (struct node *)malloc(220 * sizeof(struct node));
+  for (i = 0; i < 220; i++) {
+    nodes[i].potential = i % 7;
+    nodes[i].dist = 1000000;
+    nodes[i].parent = NULL;
+    nodes[i].visited = 0;
+  }
+}
+
+long relax_all(long src) {
+  long rounds = 0;
+  long i;
+  for (i = 0; i < 220; i++) {
+    nodes[i].dist = 1000000;
+    nodes[i].parent = NULL;
+    nodes[i].visited = 0;
+  }
+  nodes[src].dist = 0;
+  long changed = 1;
+  while (changed && rounds < 12) {
+    changed = 0;
+    for (i = 0; i < 220; i++) {
+      long j = (i * 13 + src) % 220;
+      long k = (i * 7 + 3) % 220;
+      long c = edge_cost(j, k);
+      if (nodes[j].dist + c < nodes[k].dist) {
+        nodes[k].dist = nodes[j].dist + c;
+        nodes[k].parent = &nodes[j];
+        changed = 1;
+      }
+    }
+    rounds++;
+  }
+  return rounds;
+}
+
+long path_len(long v) {
+  long len = 0;
+  struct node *p = &nodes[v];
+  while (p && len < 250) {
+    p = p->parent;     /* follow in-memory pointers */
+    len++;
+  }
+  return len;
+}
+
+int main(void) {
+  long s;
+  long total = 0;
+  init();
+  for (s = 0; s < 40; s++) {
+    total += relax_all(s % 11);
+    total += path_len((s * 29) % 220);
+  }
+  print_str("mcf2000 total ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "181mcf" ~suite:Bench.CPU2000
+    ~descr:
+      "augmenting-path network solver; the pointer-in-integer struct \
+       member is fixed to a proper pointer type (§5.1.2)"
+    [ Bench.src "mcf2000" source ]

@@ -1,0 +1,91 @@
+(** 183.equake-like workload: sparse matrix-vector products where the hot
+    loop loads row pointers from memory.
+
+    This is the benchmark the paper uses to explain why SoftBound can lose
+    against Low-Fat (§5.2): every iteration loads a [double *] from the
+    row-pointer array, forcing SoftBound to look bounds up in the trie,
+    while Low-Fat merely recomputes the base by masking. *)
+
+let source =
+  {|
+long N = 320;
+long NNZ = 9;
+
+/* ragged sparse matrix, like equake's K[col][3][3] blocks: each nonzero
+   is a separately allocated 3-vector reached through a pointer that must
+   be loaded inside the innermost loop */
+double ***rows;    /* rows[i][k] -> 3-element block */
+int **cols;
+double *x;
+double *y;
+
+void build(long n) {
+  long i, k, c;
+  rows = (double ***)malloc(n * sizeof(double **));
+  cols = (int **)malloc(n * sizeof(int *));
+  x = (double *)malloc(n * sizeof(double));
+  y = (double *)malloc(n * sizeof(double));
+  for (i = 0; i < n; i++) {
+    double **blocks = (double **)malloc(9 * sizeof(double *));
+    int *idx = (int *)malloc(9 * sizeof(int));
+    for (k = 0; k < 9; k++) {
+      double *blk = (double *)malloc(3 * sizeof(double));
+      for (c = 0; c < 3; c++) {
+        blk[c] = (double)((i * 9 + k + c) % 17) * 0.125 + 0.25;
+      }
+      blocks[k] = blk;
+      idx[k] = (int)((i * 37 + k * 61) % n);
+    }
+    rows[i] = blocks;
+    cols[i] = idx;
+    x[i] = 1.0 + (double)(i % 5) * 0.125;
+    y[i] = 0.0;
+  }
+}
+
+void smvp(long n) {
+  long i, k;
+  for (i = 0; i < n; i++) {
+    double **blocks = rows[i];   /* pointer load per row */
+    int *idx = cols[i];
+    double acc = 0.0;
+    for (k = 0; k < 9; k++) {
+      double *blk = blocks[k];   /* pointer load per nonzero: SoftBound
+                                    hits the trie here every iteration */
+      acc += (blk[0] + blk[1] * 0.5 + blk[2] * 0.25) * x[idx[k]];
+    }
+    y[i] += acc;
+  }
+}
+
+void relax(long n) {
+  long i;
+  for (i = 0; i < n; i++) {
+    x[i] = 0.9 * x[i] + 0.1 * y[i];
+    y[i] = 0.0;
+  }
+}
+
+int main(void) {
+  long iter;
+  double checksum = 0.0;
+  long i;
+  build(N);
+  for (iter = 0; iter < 40; iter++) {
+    smvp(N);
+    relax(N);
+  }
+  for (i = 0; i < N; i++) checksum += x[i];
+  print_str("equake checksum ");
+  print_int((long)(checksum * 100.0));
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "183equake" ~suite:Bench.CPU2000
+    ~descr:
+      "sparse matrix-vector kernel; hot loop loads row pointers from \
+       memory (SoftBound trie lookups dominate, §5.2)"
+    [ Bench.src "equake" source ]

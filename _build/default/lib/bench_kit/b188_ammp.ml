@@ -1,0 +1,107 @@
+(** 188.ammp-like workload: molecular-dynamics force accumulation over
+    atom neighbor lists (LF 0.24% from a tiny amount of traffic through
+    an uninstrumented math-library workspace). *)
+
+let mathlib_unit =
+  {|
+/* mathlib.c: external library scratch space, NOT recompiled */
+double scratch[32];
+
+void lib_accumulate(double v) {
+  scratch[0] += v;
+}
+|}
+
+let ammp_unit =
+  {|
+extern double scratch[32];
+void lib_accumulate(double v);
+
+struct atom {
+  double x, y, z;
+  double fx, fy, fz;
+};
+
+struct atom *atoms;
+int *neighbors;
+long NA = 256;
+long NN = 8;
+
+void init_atoms(void) {
+  long i, k;
+  atoms = (struct atom *)malloc(256 * sizeof(struct atom));
+  neighbors = (int *)malloc(256 * 8 * sizeof(int));
+  for (i = 0; i < 256; i++) {
+    atoms[i].x = (double)(i % 16);
+    atoms[i].y = (double)((i / 16) % 16);
+    atoms[i].z = (double)(i % 7) * 0.5;
+    atoms[i].fx = 0.0;
+    atoms[i].fy = 0.0;
+    atoms[i].fz = 0.0;
+    for (k = 0; k < 8; k++) {
+      neighbors[i * 8 + k] = (int)((i * 31 + k * 7 + 1) % 256);
+    }
+  }
+}
+
+void forces(void) {
+  long i, k;
+  for (i = 0; i < 256; i++) {
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+    for (k = 0; k < 8; k++) {
+      long j = neighbors[i * 8 + k];
+      double dx = atoms[i].x - atoms[j].x;
+      double dy = atoms[i].y - atoms[j].y;
+      double dz = atoms[i].z - atoms[j].z;
+      double r2 = dx * dx + dy * dy + dz * dz + 0.1;
+      double inv = 1.0 / r2;
+      fx += dx * inv;
+      fy += dy * inv;
+      fz += dz * inv;
+    }
+    atoms[i].fx = fx;
+    atoms[i].fy = fy;
+    atoms[i].fz = fz;
+  }
+}
+
+void integrate(void) {
+  long i;
+  for (i = 0; i < 256; i++) {
+    atoms[i].x += atoms[i].fx * 0.001;
+    atoms[i].y += atoms[i].fy * 0.001;
+    atoms[i].z += atoms[i].fz * 0.001;
+  }
+}
+
+int main(void) {
+  long step;
+  double e = 0.0;
+  long i;
+  init_atoms();
+  for (step = 0; step < 35; step++) {
+    forces();
+    integrate();
+    if (step % 2 == 0) {
+      long j;
+      lib_accumulate(atoms[step % 256].fx);
+      for (j = 0; j < 56; j++) e += scratch[j % 32];
+    }
+  }
+  for (i = 0; i < 256; i++) e += atoms[i].x;
+  print_str("ammp energy ");
+  print_int((long)(e * 100.0) % 10000000);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "188ammp" ~suite:Bench.CPU2000
+    ~descr:
+      "molecular dynamics force loop; sporadic accesses to an \
+       uninstrumented library workspace (Low-Fat: 0.24% wide)"
+    [
+      Bench.src ~instrument:false "mathlib" mathlib_unit;
+      Bench.src "ammp" ammp_unit;
+    ]

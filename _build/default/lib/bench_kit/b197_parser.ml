@@ -1,0 +1,131 @@
+(** 197.parser-like workload: dictionary lookup and link grammar-ish
+    scoring over tokenized sentences.
+
+    Properties from the paper: tokenization goes through buffers owned by
+    an external library unit that is not recompiled — their globals and
+    stack are unprotected under Low-Fat (wide bounds, §4.3/§4.6: 7.14%),
+    while the same buffers are declared *with* size so SoftBound keeps
+    precise bounds.  A size-zero extern array is consulted rarely
+    (SoftBound: 0.27%).  The known off-by-one the paper fixed (§5.1.2) is
+    fixed here the same way. *)
+
+let tokenlib_unit =
+  {|
+/* toklib.c: external library, NOT recompiled/instrumented */
+char tok_buf[64];
+long tok_len = 0;
+
+void lib_tokenize(long seed, long k) {
+  long x = (seed * 40503 + k * 97) % 2147483648;
+  long len = 3 + (x % 6);
+  long i;
+  for (i = 0; i < len; i++) {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    tok_buf[i] = (char)(97 + (x >> 12) % 26);
+  }
+  tok_buf[len] = (char)0;
+  tok_len = len;
+}
+|}
+
+let parser_unit =
+  {|
+/* parser.c: instrumented application code */
+extern char tok_buf[64];
+extern long tok_len;
+extern int connector_cost[];   /* size-zero declaration, rarely used */
+
+void lib_tokenize(long seed, long k);
+
+struct entry { long hash; long count; };
+
+struct entry dict[4096];
+long link_strength[256];
+
+long hash_token(void) {
+  long h = 5381;
+  long i;
+  for (i = 0; i < tok_len; i++) {
+    h = h * 33 + tok_buf[i];
+  }
+  if (h < 0) h = -h;
+  return h;
+}
+
+long dict_add(long h) {
+  long slot = h % 4096;
+  long probes = 0;
+  while (probes < 4096) {
+    if (dict[slot].count == 0 || dict[slot].hash == h) {
+      dict[slot].hash = h;
+      dict[slot].count += 1;
+      return dict[slot].count;
+    }
+    slot = (slot + 1) % 4096;
+    probes++;
+  }
+  return 0;
+}
+
+long link_score(long h) {
+  /* linkage scoring over the (precisely bounded) strength table */
+  long j;
+  long s = 0;
+  for (j = 0; j < 26; j++) {
+    long idx = (h + j * 7) % 256;
+    s += link_strength[idx];
+    link_strength[idx] = (link_strength[idx] + 1) % 97;
+  }
+  return s;
+}
+
+long parse_sentence(long seed, long words) {
+  long k;
+  long score = 0;
+  for (k = 0; k < words; k++) {
+    /* vocabulary repeats across sentences, so dictionary hits reach
+       count 3 and consult the size-zero connector table occasionally */
+    lib_tokenize(seed % 12, k);
+    long h = hash_token();
+    long c = dict_add(h);
+    score += c + link_score(h) % 5;
+    if (c == 3) {
+      /* rare: consult the size-zero cost table */
+      score += connector_cost[h % 32];
+    }
+  }
+  return score;
+}
+
+int main(void) {
+  long s;
+  long total = 0;
+  for (s = 0; s < 60; s++) {
+    total += parse_sentence(s, 40);
+  }
+  print_str("parser score ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let cost_unit =
+  {|
+/* costs.c: defines the table the parser declares size-less */
+int connector_cost[32] = {1, 2, 1, 3, 1, 2, 4, 1,
+                          2, 1, 1, 2, 3, 1, 2, 1,
+                          1, 3, 2, 1, 4, 1, 1, 2,
+                          2, 1, 3, 1, 1, 2, 1, 5};
+|}
+
+let bench : Bench.t =
+  Bench.mk "197parser" ~suite:Bench.CPU2000 ~size_zero_arrays:true
+    ~descr:
+      "dictionary parser; tokenization in an uninstrumented library \
+       (Low-Fat wide) plus a rarely-used size-zero table (SoftBound wide)"
+    [
+      Bench.src ~instrument:false "toklib" tokenlib_unit;
+      Bench.src "parser" parser_unit;
+      Bench.src "costs" cost_unit;
+    ]

@@ -1,0 +1,120 @@
+(** 300.twolf-like workload: simulated-annealing cell placement.
+
+    Cells are moved between grid slots by copying structs.  The original
+    benchmark copied structs byte-by-byte, which silently breaks
+    SoftBound's metadata (§4.5); the paper replaced the byte-wise copy by
+    [memcpy] (§5.1.2), and this version ships that fix — the unfixed
+    variant lives in the usability corpus.  A small amount of traffic
+    goes through an uninstrumented display library (Low-Fat wide) and a
+    rarely-consulted size-zero extern table (SoftBound wide). *)
+
+let displaylib_unit =
+  {|
+/* displib.c: external library, NOT recompiled */
+long disp_rows[40];
+
+void lib_mark_row(long r, long v) {
+  disp_rows[r % 40] += v;
+}
+|}
+
+let twolf_unit =
+  {|
+extern long disp_rows[40];
+extern int net_weight[];    /* size-zero declaration */
+void lib_mark_row(long r, long v);
+
+struct cell {
+  long id;
+  long x;
+  long y;
+  long width;
+  struct cell *net;
+};
+
+struct cell cells[128];
+struct cell slots[256];
+long grid_cost = 0;
+
+long rnd_state = 12345;
+long rnd(long n) {
+  rnd_state = (rnd_state * 1103515245 + 12345) % 2147483648;
+  return (rnd_state >> 7) % n;
+}
+
+void init_cells(void) {
+  long i;
+  for (i = 0; i < 128; i++) {
+    cells[i].id = i;
+    cells[i].x = rnd(16);
+    cells[i].y = rnd(16);
+    cells[i].width = 1 + rnd(4);
+    cells[i].net = &cells[(i * 17 + 5) % 128];
+  }
+}
+
+long wire_len(struct cell *c) {
+  struct cell *n = c->net;
+  long dx = c->x - n->x;
+  long dy = c->y - n->y;
+  if (dx < 0) dx = -dx;
+  if (dy < 0) dy = -dy;
+  return dx + dy + c->width;
+}
+
+long try_move(long step) {
+  long a = rnd(128);
+  long slot = rnd(256);
+  long before = wire_len(&cells[a]);
+  /* save into the slot array: struct copy via memcpy (the fix) */
+  memcpy(&slots[slot], &cells[a], sizeof(struct cell));
+  cells[a].x = rnd(16);
+  cells[a].y = rnd(16);
+  long after = wire_len(&cells[a]);
+  if (step % 4 == 0) {
+    long r;
+    lib_mark_row(cells[a].y, 1);
+    for (r = 0; r < 2; r++) {
+      grid_cost += disp_rows[(cells[a].y + r) % 40] % 3;
+    }
+  }
+  if (step % 8 == 0) {
+    grid_cost += net_weight[a % 16];
+  }
+  if (after > before) {
+    /* reject: restore the saved cell */
+    memcpy(&cells[a], &slots[slot], sizeof(struct cell));
+    return 0;
+  }
+  return before - after;
+}
+
+int main(void) {
+  long step;
+  long gain = 0;
+  init_cells();
+  for (step = 0; step < 2600; step++) {
+    gain += try_move(step);
+  }
+  print_str("twolf gain ");
+  print_int(gain + grid_cost);
+  print_newline();
+  return 0;
+}
+|}
+
+let weights_unit =
+  {|
+int net_weight[16] = {2, 1, 3, 1, 2, 2, 1, 4, 1, 2, 3, 1, 1, 2, 1, 3};
+|}
+
+let bench : Bench.t =
+  Bench.mk "300twolf" ~suite:Bench.CPU2000 ~size_zero_arrays:true
+    ~descr:
+      "annealing placement with struct copies via memcpy (the §5.1.2 \
+       fix); light traffic through an uninstrumented display library"
+    [
+      Bench.src ~instrument:false "displib" displaylib_unit;
+      Bench.src "twolf" twolf_unit;
+      Bench.src "weights" weights_unit;
+    ]

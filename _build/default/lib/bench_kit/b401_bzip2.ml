@@ -1,0 +1,71 @@
+(** 401.bzip2-like workload (CPU2006): Huffman-flavored frequency coding
+    over move-to-front transformed blocks (0%/0% in Table 2). *)
+
+let source =
+  {|
+char *data;
+int *freq;
+int *mtf;
+long N = 4000;
+
+void gen_data(long seed) {
+  long i;
+  long x = (seed * 2654435761) % 2147483648;
+  for (i = 0; i < 4000; i++) {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    data[i] = (char)((x >> 9) % 16);
+  }
+}
+
+void mtf_pass(void) {
+  long order[16];
+  long i, k;
+  for (i = 0; i < 16; i++) order[i] = i;
+  for (i = 0; i < 4000; i++) {
+    long sym = data[i];
+    long rank = 0;
+    while (order[rank] != sym) rank++;
+    for (k = rank; k > 0; k--) order[k] = order[k - 1];
+    order[0] = sym;
+    mtf[i] = (int)rank;
+    freq[rank] += 1;
+  }
+}
+
+long code_lengths(void) {
+  long bits = 0;
+  long i;
+  long total = 0;
+  for (i = 0; i < 16; i++) total += freq[i];
+  for (i = 0; i < 4000; i++) {
+    long r = mtf[i];
+    /* unary-ish length model */
+    bits += 1 + r;
+  }
+  return bits + total % 7;
+}
+
+int main(void) {
+  long round;
+  long bits = 0;
+  long i;
+  data = (char *)malloc(4000);
+  freq = (int *)malloc(16 * sizeof(int));
+  mtf = (int *)malloc(4000 * sizeof(int));
+  for (round = 0; round < 6; round++) {
+    for (i = 0; i < 16; i++) freq[i] = 0;
+    gen_data(round + 3);
+    mtf_pass();
+    bits += code_lengths();
+  }
+  print_str("bzip2'06 bits ");
+  print_int(bits);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "401bzip2" ~suite:Bench.CPU2006
+    ~descr:"move-to-front + length coding over heap blocks (0%/0%)"
+    [ Bench.src "bzip2_06" source ]

@@ -1,0 +1,67 @@
+(** 433.milc-like workload: SU(3)-flavored complex arithmetic on a 4D
+    lattice.
+
+    Declares a size-zero extern array (bold in Table 2) that the workload
+    never touches at runtime — the paper notes 433milc is the one
+    benchmark where the declaration exists but causes zero wide accesses
+    ("declared, but not used in the benchmark run"). *)
+
+let source =
+  {|
+extern double spare_lattice[];   /* declared, never accessed at runtime */
+
+double *re;
+double *im;
+long VOL = 2048;
+
+void init_lattice(void) {
+  long i;
+  re = (double *)malloc(2048 * sizeof(double));
+  im = (double *)malloc(2048 * sizeof(double));
+  for (i = 0; i < 2048; i++) {
+    re[i] = (double)((i * 31) % 17) * 0.125;
+    im[i] = (double)((i * 53) % 13) * 0.25;
+  }
+}
+
+void mult_su3(long off) {
+  long i;
+  for (i = 0; i < 2048; i++) {
+    long j = (i + off) % 2048;
+    double a = re[i] * re[j] - im[i] * im[j];
+    double b = re[i] * im[j] + im[i] * re[j];
+    re[i] = 0.5 * re[i] + 0.5 * a;
+    im[i] = 0.5 * im[i] + 0.5 * b;
+  }
+}
+
+int main(void) {
+  long it;
+  long i;
+  double s = 0.0;
+  init_lattice();
+  for (it = 0; it < 60; it++) {
+    mult_su3(it * 7 + 1);
+  }
+  for (i = 0; i < 2048; i++) s += re[i] + im[i];
+  if (s < 0.0) {
+    /* never true for this input; keeps the extern alive in the IR */
+    print_f64(spare_lattice[0]);
+  }
+  print_str("milc sum ");
+  print_int((long)(s * 1000.0) % 1000000);
+  print_newline();
+  return 0;
+}
+|}
+
+let spare_unit = {|
+double spare_lattice[64];
+|}
+
+let bench : Bench.t =
+  Bench.mk "433milc" ~suite:Bench.CPU2006 ~size_zero_arrays:true
+    ~descr:
+      "lattice QCD-style complex arithmetic; a size-zero extern array is \
+       declared but never accessed (0.00%* despite the declaration)"
+    [ Bench.src "milc" source; Bench.src "spare" spare_unit ]

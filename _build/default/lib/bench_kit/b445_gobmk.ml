@@ -1,0 +1,87 @@
+(** 445.gobmk-like workload: Go board liberty counting and pattern
+    matching; a pattern table is declared size-zero in the hot unit
+    (SoftBound: 0.66% wide). *)
+
+let patterns_unit =
+  {|
+int pattern_val[64] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3,
+                       2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5,
+                       0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7,
+                       5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2};
+|}
+
+let gobmk_unit =
+  {|
+extern int pattern_val[];   /* size-zero declaration of the table */
+
+int board[361];
+int marks[361];
+
+long rnd_state = 777;
+long rnd(long n) {
+  rnd_state = (rnd_state * 1103515245 + 12345) % 2147483648;
+  return (rnd_state >> 5) % n;
+}
+
+void setup_board(void) {
+  long i;
+  for (i = 0; i < 361; i++) {
+    long r = rnd(10);
+    board[i] = (r < 3) ? 1 : ((r < 6) ? 2 : 0);
+    marks[i] = 0;
+  }
+}
+
+long count_liberties(long pos, long color, long depth) {
+  if (pos < 0 || pos >= 361) return 0;
+  if (marks[pos]) return 0;
+  marks[pos] = 1;
+  if (board[pos] == 0) return 1;
+  if (board[pos] != color || depth > 40) return 0;
+  long libs = 0;
+  long r = pos / 19;
+  long c = pos % 19;
+  if (c > 0) libs += count_liberties(pos - 1, color, depth + 1);
+  if (c < 18) libs += count_liberties(pos + 1, color, depth + 1);
+  if (r > 0) libs += count_liberties(pos - 19, color, depth + 1);
+  if (r < 18) libs += count_liberties(pos + 19, color, depth + 1);
+  return libs;
+}
+
+long scan_patterns(void) {
+  long score = 0;
+  long i;
+  for (i = 0; i < 361; i++) {
+    if (board[i] != 0 && i % 6 == 0) {
+      score += pattern_val[(board[i] * 7 + i) % 64];
+    }
+  }
+  return score;
+}
+
+int main(void) {
+  long game;
+  long total = 0;
+  for (game = 0; game < 30; game++) {
+    setup_board();
+    long p;
+    for (p = 0; p < 361; p += 37) {
+      long i;
+      for (i = 0; i < 361; i++) marks[i] = 0;
+      if (board[p] != 0) total += count_liberties(p, board[p], 0);
+    }
+    total += scan_patterns();
+  }
+  print_str("gobmk total ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "445gobmk" ~suite:Bench.CPU2006 ~size_zero_arrays:true
+    ~descr:
+      "Go liberty counting; pattern table declared size-zero in the hot \
+       unit (SoftBound: 0.66% wide)"
+    [ Bench.src "gobmk" gobmk_unit; Bench.src "patterns" patterns_unit ]

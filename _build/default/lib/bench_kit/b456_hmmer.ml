@@ -1,0 +1,75 @@
+(** 456.hmmer-like workload: profile HMM Viterbi dynamic programming; a
+    size-zero extern null-model table is consulted once per sequence
+    (SoftBound: 0.00% — present but below rounding). *)
+
+let nullmodel_unit =
+  {|
+int null_model[32] = {1, 1, 2, 1, 1, 2, 1, 3, 1, 1, 2, 1, 1, 1, 2, 1,
+                      1, 2, 1, 1, 3, 1, 1, 2, 1, 1, 1, 2, 1, 1, 2, 1};
+|}
+
+let hmmer_unit =
+  {|
+extern int null_model[];   /* size-zero declaration, one use per seq */
+
+long M = 48;      /* model length */
+long L = 60;      /* sequence length */
+
+int *match_sc;
+int *ins_sc;
+int *dp;
+
+void init_model(void) {
+  long i;
+  match_sc = (int *)malloc(48 * 20 * sizeof(int));
+  ins_sc = (int *)malloc(48 * sizeof(int));
+  dp = (int *)malloc((60 + 1) * (48 + 1) * sizeof(int));
+  for (i = 0; i < 48 * 20; i++) match_sc[i] = (int)((i * 37) % 11) - 3;
+  for (i = 0; i < 48; i++) ins_sc[i] = -1 - (int)(i % 2);
+}
+
+long viterbi(long seed) {
+  long i, k;
+  long cols = 48 + 1;
+  for (k = 0; k <= 48; k++) dp[k] = 0;
+  for (i = 1; i <= 60; i++) {
+    long sym = (seed * 31 + i * 7) % 20;
+    dp[i * cols] = 0;
+    for (k = 1; k <= 48; k++) {
+      long diag = dp[(i - 1) * cols + (k - 1)] + match_sc[(k - 1) * 20 + sym];
+      long up = dp[(i - 1) * cols + k] + ins_sc[k - 1];
+      long left = dp[i * cols + (k - 1)] - 2;
+      long best = diag;
+      if (up > best) best = up;
+      if (left > best) best = left;
+      if (best < 0) best = 0;
+      dp[i * cols + k] = (int)best;
+    }
+  }
+  long best = 0;
+  for (k = 0; k <= 48; k++) {
+    if (dp[60 * cols + k] > best) best = dp[60 * cols + k];
+  }
+  return best - null_model[seed % 32];
+}
+
+int main(void) {
+  long s;
+  long total = 0;
+  init_model();
+  for (s = 0; s < 40; s++) {
+    total += viterbi(s);
+  }
+  print_str("hmmer score ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "456hmmer" ~suite:Bench.CPU2006 ~size_zero_arrays:true
+    ~descr:
+      "profile-HMM Viterbi DP; size-zero null-model table touched once \
+       per sequence (SoftBound: 0.00%, below rounding)"
+    [ Bench.src "hmmer" hmmer_unit; Bench.src "nullmodel" nullmodel_unit ]

@@ -1,0 +1,73 @@
+(** 458.sjeng-like workload: alpha-beta game-tree search with a
+    transposition table; a size-zero extern piece-square table is used on
+    a cold path only (SoftBound: 0.00%, below rounding). *)
+
+let psq_unit =
+  {|
+int psq_endgame[64] = {0, 1, 1, 2, 2, 1, 1, 0, 1, 2, 2, 3, 3, 2, 2, 1,
+                       1, 2, 3, 4, 4, 3, 2, 1, 2, 3, 4, 5, 5, 4, 3, 2,
+                       2, 3, 4, 5, 5, 4, 3, 2, 1, 2, 3, 4, 4, 3, 2, 1,
+                       1, 2, 2, 3, 3, 2, 2, 1, 0, 1, 1, 2, 2, 1, 1, 0};
+|}
+
+let sjeng_unit =
+  {|
+extern int psq_endgame[];   /* size-zero declaration; cold path */
+
+struct tt_entry { long key; long depth; long score; };
+
+struct tt_entry tt[512];
+long nodes_searched = 0;
+
+long eval_position(long key) {
+  long score = (key * 40503) % 97 - 48;
+  if (key % 1021 == 0) {
+    /* cold: endgame piece-square correction */
+    score += psq_endgame[key % 64];
+  }
+  return score;
+}
+
+long search(long key, long depth, long alpha, long beta) {
+  nodes_searched++;
+  long slot = (key % 512 + 512) % 512;
+  if (tt[slot].key == key && tt[slot].depth >= depth) {
+    return tt[slot].score;
+  }
+  if (depth == 0) return eval_position(key);
+  long best = -100000;
+  long mv;
+  for (mv = 0; mv < 5; mv++) {
+    long child = (key * 48271 + mv * 16807 + 1) % 1000003;
+    long s = -search(child, depth - 1, -beta, -alpha);
+    if (s > best) best = s;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) break;
+  }
+  tt[slot].key = key;
+  tt[slot].depth = depth;
+  tt[slot].score = best;
+  return best;
+}
+
+int main(void) {
+  long root;
+  long total = 0;
+  for (root = 0; root < 12; root++) {
+    total += search(root * 7919, 5, -100000, 100000);
+  }
+  print_str("sjeng nodes ");
+  print_int(nodes_searched);
+  print_str(" score ");
+  print_int(total);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "458sjeng" ~suite:Bench.CPU2006 ~size_zero_arrays:true
+    ~descr:
+      "alpha-beta search with transposition table; size-zero table on a \
+       cold path (SoftBound: 0.00%)"
+    [ Bench.src "sjeng" sjeng_unit; Bench.src "psq" psq_unit ]

@@ -1,0 +1,77 @@
+(** 462.libquantum-like workload: quantum register simulation with gate
+    applications over a heap amplitude array (0%/0%). *)
+
+let source =
+  {|
+struct amp { double re; double im; };
+
+struct amp *reg;
+long QBITS = 10;
+long SIZE = 1024;
+
+void init_reg(void) {
+  long i;
+  reg = (struct amp *)malloc(1024 * sizeof(struct amp));
+  for (i = 0; i < 1024; i++) {
+    reg[i].re = 0.0;
+    reg[i].im = 0.0;
+  }
+  reg[0].re = 1.0;
+}
+
+void hadamard(long target) {
+  long mask = 1 << target;
+  long i;
+  double inv = 0.70710678118;
+  for (i = 0; i < 1024; i++) {
+    if ((i & mask) == 0) {
+      long j = i | mask;
+      double are = reg[i].re, aim = reg[i].im;
+      double bre = reg[j].re, bim = reg[j].im;
+      reg[i].re = (are + bre) * inv;
+      reg[i].im = (aim + bim) * inv;
+      reg[j].re = (are - bre) * inv;
+      reg[j].im = (aim - bim) * inv;
+    }
+  }
+}
+
+void cnot(long control, long target) {
+  long cm = 1 << control;
+  long tm = 1 << target;
+  long i;
+  for (i = 0; i < 1024; i++) {
+    if ((i & cm) && (i & tm) == 0) {
+      long j = i | tm;
+      double tre = reg[i].re, tim = reg[i].im;
+      reg[i].re = reg[j].re;
+      reg[i].im = reg[j].im;
+      reg[j].re = tre;
+      reg[j].im = tim;
+    }
+  }
+}
+
+int main(void) {
+  long round, q;
+  double norm = 0.0;
+  long i;
+  init_reg();
+  for (round = 0; round < 12; round++) {
+    for (q = 0; q < 10; q++) hadamard(q);
+    for (q = 0; q < 9; q++) cnot(q, q + 1);
+  }
+  for (i = 0; i < 1024; i++) {
+    norm += reg[i].re * reg[i].re + reg[i].im * reg[i].im;
+  }
+  print_str("libquantum norm ");
+  print_int((long)(norm * 1000.0));
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "462libquant" ~suite:Bench.CPU2006
+    ~descr:"quantum register gate simulation over heap amplitudes (0%/0%)"
+    [ Bench.src "libquantum" source ]

@@ -1,0 +1,72 @@
+(** 470.lbm-like workload: lattice-Boltzmann stream-and-collide over a 3D
+    grid flattened into one heap array (0%/0%). *)
+
+let source =
+  {|
+long NX = 16;
+long NY = 16;
+long NZ = 8;
+long Q = 5;
+
+double *grid_a;
+double *grid_b;
+
+long idx(long x, long y, long z, long q) {
+  return ((z * 16 + y) * 16 + x) * 5 + q;
+}
+
+void init_grid(void) {
+  long x, y, z, q;
+  grid_a = (double *)malloc(16 * 16 * 8 * 5 * sizeof(double));
+  grid_b = (double *)malloc(16 * 16 * 8 * 5 * sizeof(double));
+  for (z = 0; z < 8; z++) {
+    for (y = 0; y < 16; y++) {
+      for (x = 0; x < 16; x++) {
+        for (q = 0; q < 5; q++) {
+          grid_a[idx(x, y, z, q)] = 0.2 + 0.01 * (double)((x + y + z) % 5);
+          grid_b[idx(x, y, z, q)] = 0.0;
+        }
+      }
+    }
+  }
+}
+
+void stream_collide(double *src, double *dst) {
+  long x, y, z, q;
+  for (z = 1; z < 7; z++) {
+    for (y = 1; y < 15; y++) {
+      for (x = 1; x < 15; x++) {
+        double rho = 0.0;
+        for (q = 0; q < 5; q++) rho += src[idx(x, y, z, q)];
+        double eq = rho / 5.0;
+        dst[idx(x, y, z, 0)] = src[idx(x, y, z, 0)] * 0.4 + eq * 0.6;
+        dst[idx(x, y, z, 1)] = src[idx(x - 1, y, z, 1)] * 0.4 + eq * 0.6;
+        dst[idx(x, y, z, 2)] = src[idx(x + 1, y, z, 2)] * 0.4 + eq * 0.6;
+        dst[idx(x, y, z, 3)] = src[idx(x, y - 1, z, 3)] * 0.4 + eq * 0.6;
+        dst[idx(x, y, z, 4)] = src[idx(x, y + 1, z, 4)] * 0.4 + eq * 0.6;
+      }
+    }
+  }
+}
+
+int main(void) {
+  long t;
+  double mass = 0.0;
+  long i;
+  init_grid();
+  for (t = 0; t < 10; t++) {
+    if (t % 2 == 0) stream_collide(grid_a, grid_b);
+    else stream_collide(grid_b, grid_a);
+  }
+  for (i = 0; i < 16 * 16 * 8 * 5; i++) mass += grid_a[i];
+  print_str("lbm mass ");
+  print_int((long)(mass * 100.0));
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "470lbm" ~suite:Bench.CPU2006
+    ~descr:"lattice-Boltzmann stream/collide on a flat heap grid (0%/0%)"
+    [ Bench.src "lbm" source ]

@@ -1,0 +1,74 @@
+(** 482.sphinx3-like workload: Gaussian mixture scoring of acoustic
+    feature frames (float-heavy, 0%/0%). *)
+
+let source =
+  {|
+long NFRAMES = 80;
+long NDIM = 13;
+long NGAUSS = 32;
+
+double *means;    /* NGAUSS x NDIM */
+double *vars;
+double *feats;    /* NFRAMES x NDIM */
+int *senone;
+
+void init_models(void) {
+  long g, d;
+  means = (double *)malloc(32 * 13 * sizeof(double));
+  vars = (double *)malloc(32 * 13 * sizeof(double));
+  feats = (double *)malloc(80 * 13 * sizeof(double));
+  senone = (int *)malloc(80 * sizeof(int));
+  for (g = 0; g < 32; g++) {
+    for (d = 0; d < 13; d++) {
+      means[g * 13 + d] = (double)((g * 7 + d * 3) % 11) * 0.3;
+      vars[g * 13 + d] = 0.5 + (double)((g + d) % 4) * 0.25;
+    }
+  }
+  long f;
+  for (f = 0; f < 80; f++) {
+    for (d = 0; d < 13; d++) {
+      feats[f * 13 + d] = (double)(((f * 13 + d) * 29) % 23) * 0.15;
+    }
+  }
+}
+
+long score_frame(long f) {
+  long g, d;
+  double best = -1000000000.0;
+  long besti = 0;
+  for (g = 0; g < 32; g++) {
+    double s = 0.0;
+    for (d = 0; d < 13; d++) {
+      double diff = feats[f * 13 + d] - means[g * 13 + d];
+      s -= diff * diff / vars[g * 13 + d];
+    }
+    if (s > best) { best = s; besti = g; }
+  }
+  senone[f] = (int)besti;
+  return besti;
+}
+
+int main(void) {
+  long f;
+  long acc = 0;
+  init_models();
+  for (f = 0; f < 80; f++) {
+    acc += score_frame(f);
+  }
+  long runs = 0;
+  for (f = 1; f < 80; f++) {
+    if (senone[f] != senone[f - 1]) runs++;
+  }
+  print_str("sphinx3 acc ");
+  print_int(acc);
+  print_str(" runs ");
+  print_int(runs);
+  print_newline();
+  return 0;
+}
+|}
+
+let bench : Bench.t =
+  Bench.mk "482sphinx3" ~suite:Bench.CPU2006
+    ~descr:"Gaussian-mixture acoustic scoring (0%/0%)"
+    [ Bench.src "sphinx3" source ]

@@ -1,0 +1,509 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Every public function regenerates one table or figure of the paper and
+    returns the rendered text plus the raw series, so both the
+    [experiments] binary and the Bechamel harness can reuse them.  Where
+    the paper states reference values, they are printed side by side
+    (columns suffixed [(paper)]). *)
+
+module Config = Mi_core.Config
+module Pipeline = Mi_passes.Pipeline
+module Table = Mi_support.Table
+module Util = Mi_support.Util
+
+(* ------------------------------------------------------------------ *)
+(* Shared run cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments share runs (e.g. Table 2 reuses Figure 9's SB/LF full
+   runs); cache them per (benchmark, setup) within a process. *)
+
+let cache : (string, Harness.run) Hashtbl.t = Hashtbl.create 64
+
+let setup_key (s : Harness.setup) =
+  Printf.sprintf "%s/%s/%s/%b"
+    (match s.config with None -> "base" | Some c -> Config.to_string c)
+    (match s.level with Pipeline.O0 -> "O0" | O1 -> "O1" | O3 -> "O3")
+    (Pipeline.ep_name s.ep) s.lowering.Mi_minic.Lower.ptr_mem_as_i64
+
+let run (setup : Harness.setup) (b : Bench.t) : Harness.run =
+  let key = b.name ^ "@" ^ setup_key setup in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = Harness.run_benchmark_exn setup b in
+      Hashtbl.add cache key r;
+      r
+
+let clear_cache () = Hashtbl.reset cache
+
+(* The paper's measured configurations (§5.2): both approaches with the
+   dominance optimization, inserted at VectorizerStart. *)
+let sb_opt = Harness.with_config (Config.optimized Config.softbound) Harness.baseline
+let lf_opt = Harness.with_config (Config.optimized Config.lowfat) Harness.baseline
+
+(* the basis configurations of appendix A.6 (no check elimination) — the
+   §4.6 safety statistics are gathered with these *)
+let sb_full = Harness.with_config Config.softbound Harness.baseline
+let lf_full = Harness.with_config Config.lowfat Harness.baseline
+
+let fmt_x f = Printf.sprintf "%.2fx" f
+let fmt_pct f = Printf.sprintf "%.2f" f
+
+type series = { label : string; points : (string * float) list }
+
+type report = { title : string; text : string; series : series list }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: execution-time comparison                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 ?(benchmarks = Suite.all) () : report =
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right ]
+      [ "Benchmark"; "SoftBound"; "Low-Fat"; "baseline cycles" ]
+  in
+  let sbs = ref [] and lfs = ref [] in
+  let pts_sb = ref [] and pts_lf = ref [] in
+  List.iter
+    (fun (b : Bench.t) ->
+      let base = run Harness.baseline b in
+      let sb = run sb_opt b in
+      let lf = run lf_opt b in
+      let osb = Harness.overhead ~baseline:base sb in
+      let olf = Harness.overhead ~baseline:base lf in
+      sbs := osb :: !sbs;
+      lfs := olf :: !lfs;
+      pts_sb := (b.name, osb) :: !pts_sb;
+      pts_lf := (b.name, olf) :: !pts_lf;
+      Table.add_row tbl
+        [ b.name; fmt_x osb; fmt_x olf; string_of_int base.cycles ])
+    benchmarks;
+  let mean_sb = Util.geomean !sbs and mean_lf = Util.geomean !lfs in
+  Table.add_row tbl [ "geomean"; fmt_x mean_sb; fmt_x mean_lf; "" ];
+  Table.add_row tbl
+    [
+      "geomean (paper)";
+      fmt_x Paper_data.fig9_mean_sb;
+      fmt_x Paper_data.fig9_mean_lf;
+      "";
+    ];
+  {
+    title = "Figure 9: Execution Time Comparison (normalized to -O3)";
+    text = Table.render tbl;
+    series =
+      [
+        { label = "softbound"; points = List.rev !pts_sb };
+        { label = "lowfat"; points = List.rev !pts_lf };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10/11: optimized vs unoptimized vs metadata-only            *)
+(* ------------------------------------------------------------------ *)
+
+let fig_opt_variants ~title ~(approach : Config.approach)
+    ?(benchmarks = Suite.all) () : report =
+  let base_cfg = Config.of_approach approach in
+  let setups =
+    [
+      ("optimized", Harness.with_config (Config.optimized base_cfg) Harness.baseline);
+      ("unoptimized", Harness.with_config base_cfg Harness.baseline);
+      ("metadata", Harness.with_config (Config.metadata_only base_cfg) Harness.baseline);
+    ]
+  in
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right ]
+      [ "Benchmark"; "optimized"; "unoptimized"; "metadata" ]
+  in
+  let acc = List.map (fun (l, _) -> (l, ref [])) setups in
+  let pts = List.map (fun (l, _) -> (l, ref [])) setups in
+  List.iter
+    (fun (b : Bench.t) ->
+      let base = run Harness.baseline b in
+      let cells =
+        List.map
+          (fun (label, setup) ->
+            let o = Harness.overhead ~baseline:base (run setup b) in
+            (List.assoc label acc) := o :: !(List.assoc label acc);
+            (List.assoc label pts) := (b.name, o) :: !(List.assoc label pts);
+            fmt_x o)
+          setups
+      in
+      Table.add_row tbl (b.name :: cells))
+    benchmarks;
+  Table.add_row tbl
+    ("geomean"
+    :: List.map (fun (l, _) -> fmt_x (Util.geomean !(List.assoc l acc))) setups);
+  {
+    title;
+    text = Table.render tbl;
+    series =
+      List.map (fun (l, _) -> { label = l; points = List.rev !(List.assoc l pts) }) setups;
+  }
+
+let fig10 ?benchmarks () =
+  fig_opt_variants
+    ~title:
+      "Figure 10: SoftBound — optimized / unoptimized / metadata-only \
+       overhead (normalized to -O3)"
+    ~approach:Config.Softbound ?benchmarks ()
+
+let fig11 ?benchmarks () =
+  fig_opt_variants
+    ~title:
+      "Figure 11: Low-Fat Pointers — optimized / unoptimized / \
+       metadata-only overhead (normalized to -O3)"
+    ~approach:Config.Lowfat ?benchmarks ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12/13: extension points                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig_eps ~title ~(approach : Config.approach) ?(benchmarks = Suite.all) ()
+    : report =
+  let cfg = Config.optimized (Config.of_approach approach) in
+  let eps = Pipeline.all_extension_points in
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right ]
+      ("Benchmark" :: List.map Pipeline.ep_name eps)
+  in
+  let acc = List.map (fun ep -> (ep, ref [])) eps in
+  let pts = List.map (fun ep -> (ep, ref [])) eps in
+  List.iter
+    (fun (b : Bench.t) ->
+      let base = run Harness.baseline b in
+      let cells =
+        List.map
+          (fun ep ->
+            let setup = { (Harness.with_config cfg Harness.baseline) with ep } in
+            let o = Harness.overhead ~baseline:base (run setup b) in
+            (List.assoc ep acc) := o :: !(List.assoc ep acc);
+            (List.assoc ep pts) := (b.name, o) :: !(List.assoc ep pts);
+            fmt_x o)
+          eps
+      in
+      Table.add_row tbl (b.name :: cells))
+    benchmarks;
+  Table.add_row tbl
+    ("geomean"
+    :: List.map (fun ep -> fmt_x (Util.geomean !(List.assoc ep acc))) eps);
+  {
+    title;
+    text = Table.render tbl;
+    series =
+      List.map
+        (fun ep ->
+          { label = Pipeline.ep_name ep; points = List.rev !(List.assoc ep pts) })
+        eps;
+  }
+
+let fig12 ?benchmarks () =
+  fig_eps
+    ~title:
+      "Figure 12: Impact of Compiler Pipeline Extension Points on \
+       SoftBound (normalized to -O3)"
+    ~approach:Config.Softbound ?benchmarks ()
+
+let fig13 ?benchmarks () =
+  fig_eps
+    ~title:
+      "Figure 13: Impact of Compiler Pipeline Extension Points on \
+       Low-Fat Pointers (normalized to -O3)"
+    ~approach:Config.Lowfat ?benchmarks ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: unsafe (wide-bounds) dereferences                          *)
+(* ------------------------------------------------------------------ *)
+
+let wide_fraction (r : Harness.run) ~approach =
+  match (approach : Config.approach) with
+  | Config.Softbound ->
+      Util.percent (Harness.counter r "sb.checks_wide")
+        (Harness.counter r "sb.checks")
+  | Config.Lowfat ->
+      Util.percent (Harness.counter r "lf.checks_wide")
+        (Harness.counter r "lf.checks")
+
+let star fraction wide_count =
+  if wide_count = 0 then Printf.sprintf "%s*" (fmt_pct fraction)
+  else fmt_pct fraction
+
+let table2 ?(benchmarks = Suite.all) () : report =
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right; Right ]
+      [ "Benchmark"; "SB"; "SB (paper)"; "LF"; "LF (paper)" ]
+  in
+  let pts_sb = ref [] and pts_lf = ref [] in
+  List.iter
+    (fun (b : Bench.t) ->
+      let sb = run sb_full b in
+      let lf = run lf_full b in
+      let fsb = wide_fraction sb ~approach:Config.Softbound in
+      let flf = wide_fraction lf ~approach:Config.Lowfat in
+      pts_sb := (b.name, fsb) :: !pts_sb;
+      pts_lf := (b.name, flf) :: !pts_lf;
+      let paper =
+        List.assoc_opt b.name Paper_data.table2
+      in
+      let paper_cell get get_star =
+        match paper with
+        | None -> "-"
+        | Some p -> (
+            match get p with
+            | None -> "n/a"
+            | Some v ->
+                if get_star p then Printf.sprintf "%.2f*" v
+                else Printf.sprintf "%.2f" v)
+      in
+      let name = if b.size_zero_arrays then b.name ^ " [sz0]" else b.name in
+      Table.add_row tbl
+        [
+          name;
+          star fsb (Harness.counter sb "sb.checks_wide");
+          paper_cell (fun p -> p.Paper_data.sb) (fun p -> p.Paper_data.sb_star);
+          star flf (Harness.counter lf "lf.checks_wide");
+          paper_cell (fun p -> p.Paper_data.lf) (fun p -> p.Paper_data.lf_star);
+        ])
+    benchmarks;
+  {
+    title =
+      "Table 2: Unsafe (wide-bounds) dereferences in %. [sz0] marks \
+       benchmarks with size-zero array declarations; * marks zero wide \
+       checks.";
+    text = Table.render tbl;
+    series =
+      [
+        { label = "sb_wide_pct"; points = List.rev !pts_sb };
+        { label = "lf_wide_pct"; points = List.rev !pts_lf };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §5.3: checks removed by the dominance optimization                  *)
+(* ------------------------------------------------------------------ *)
+
+let optstats ?(benchmarks = Suite.all) () : report =
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right ]
+      [ "Benchmark"; "checks found"; "removed"; "removed %" ]
+  in
+  let pts = ref [] in
+  List.iter
+    (fun (b : Bench.t) ->
+      let sb = run sb_opt b in
+      let found =
+        List.fold_left
+          (fun a (s : Mi_core.Instrument.mod_stats) ->
+            a + s.total_checks_found)
+          0 sb.static_stats
+      in
+      let removed =
+        List.fold_left
+          (fun a (s : Mi_core.Instrument.mod_stats) ->
+            a + s.total_checks_removed)
+          0 sb.static_stats
+      in
+      let pct = Util.percent removed found in
+      pts := (b.name, pct) :: !pts;
+      Table.add_row tbl
+        [ b.name; string_of_int found; string_of_int removed; fmt_pct pct ])
+    benchmarks;
+  {
+    title =
+      Printf.sprintf
+        "§5.3: static checks removed by dominance-based elimination \
+         (paper: %.0f%% on %s to %.0f%% on %s)"
+        (fst Paper_data.opt_removed_min)
+        (snd Paper_data.opt_removed_min)
+        (fst Paper_data.opt_removed_max)
+        (snd Paper_data.opt_removed_max);
+    text = Table.render tbl;
+    series = [ { label = "removed_pct"; points = List.rev !pts } ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: instrumentation locations (structural)                     *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () : report =
+  let tbl =
+    Table.create [ "Instrumentation target"; "Task"; "SoftBound"; "Low-Fat Pointers" ]
+  in
+  List.iter
+    (fun row -> Table.add_row tbl row)
+    [
+      [ "load / store"; "ensure safety"; "in-bounds check"; "in-bounds check" ];
+      [
+        "global / alloca / malloc";
+        "record allocation";
+        "determine size";
+        "mirror or custom malloc";
+      ];
+      [ "phi / select on pointers"; "propagate"; "companion phi/select"; "companion phi/select" ];
+      [ "gep"; "propagate"; "witness of source"; "witness of source" ];
+      [
+        "load of pointer";
+        "rely on invariant";
+        "load bounds from trie";
+        "recompute base from value";
+      ];
+      [
+        "call result / parameter";
+        "rely on invariant";
+        "load from shadow stack";
+        "recompute base (assumes in-bounds)";
+      ];
+      [
+        "store of pointer";
+        "establish invariant";
+        "store bounds to trie";
+        "in-bounds (escape) check";
+      ];
+      [
+        "call argument / return";
+        "establish invariant";
+        "store to shadow stack";
+        "in-bounds (escape) check";
+      ];
+    ];
+  {
+    title = "Table 1: Locations for instrumentation (as implemented)";
+    text = Table.render tbl;
+    series = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Low-Fat protection scope: the stack [Duck & Yap NDSS'17] and global
+   [arXiv'18] extensions cost little runtime but carry the coverage —
+   disabling them floods the wide-bounds statistics. *)
+let ablation_lf ?(benchmarks = Suite.all) () : report =
+  let variants =
+    [
+      ("full", Config.lowfat);
+      ("no-stack", { Config.lowfat with lf_stack = false });
+      ("no-globals", { Config.lowfat with lf_globals = false });
+      ( "heap-only",
+        { Config.lowfat with lf_stack = false; lf_globals = false } );
+    ]
+  in
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right; Right; Right; Right; Right; Right ]
+      ("Benchmark"
+      :: List.concat_map
+           (fun (l, _) -> [ l ^ " ov"; l ^ " wide%" ])
+           variants)
+  in
+  let pts = List.map (fun (l, _) -> (l, ref [])) variants in
+  List.iter
+    (fun (b : Bench.t) ->
+      let base = run Harness.baseline b in
+      let cells =
+        List.concat_map
+          (fun (label, cfg) ->
+            let r = run (Harness.with_config cfg Harness.baseline) b in
+            let ov = Harness.overhead ~baseline:base r in
+            let w = wide_fraction r ~approach:Config.Lowfat in
+            (List.assoc label pts) := (b.name, w) :: !(List.assoc label pts);
+            [ fmt_x ov; fmt_pct w ])
+          variants
+      in
+      Table.add_row tbl (b.name :: cells))
+    benchmarks;
+  {
+    title =
+      "Ablation: Low-Fat protection scope (stack/global mirroring) — \
+       runtime overhead and wide-bounds fraction per variant";
+    text = Table.render tbl;
+    series =
+      List.map
+        (fun (l, _) -> { label = "wide_" ^ l; points = List.rev !(List.assoc l pts) })
+        variants;
+  }
+
+(* SoftBound's policy for size-zero extern arrays (§4.3): wide upper
+   bounds keep the programs running but unprotected; null bounds reject
+   the first access — the "likely resulting in spurious violation
+   reports" alternative. *)
+let ablation_sb_sizezero ?(benchmarks = Suite.all) () : report =
+  let sz0 = List.filter (fun (b : Bench.t) -> b.size_zero_arrays) benchmarks in
+  let tbl =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right ]
+      [ "Benchmark [sz0]"; "wide upper (default)"; "null bounds" ]
+  in
+  let outcome_cell (r : Harness.run) =
+    match r.outcome with
+    | Mi_vm.Interp.Exited _ -> "runs"
+    | Mi_vm.Interp.Safety_violation _ -> "SPURIOUS VIOLATION"
+    | Mi_vm.Interp.Trapped _ -> "trap"
+  in
+  let spurious = ref 0 in
+  List.iter
+    (fun (b : Bench.t) ->
+      let wide = Harness.run_benchmark sb_full b in
+      let null_cfg =
+        { Config.softbound with sb_size_zero_wide_upper = false }
+      in
+      let null = Harness.run_benchmark (Harness.with_config null_cfg Harness.baseline) b in
+      (match null.outcome with
+      | Mi_vm.Interp.Safety_violation _ -> incr spurious
+      | _ -> ());
+      Table.add_row tbl [ b.name; outcome_cell wide; outcome_cell null ])
+    sz0;
+  {
+    title =
+      Printf.sprintf
+        "Ablation: SoftBound size-zero extern array policy (§4.3) — null \
+         bounds spuriously reject %d of %d affected benchmarks"
+        !spurious (List.length sz0);
+    text = Table.render tbl;
+    series = [];
+  }
+
+let all_reports ?benchmarks () : report list =
+  [
+    table1 ();
+    fig9 ?benchmarks ();
+    fig10 ?benchmarks ();
+    fig11 ?benchmarks ();
+    fig12 ?benchmarks ();
+    fig13 ?benchmarks ();
+    table2 ?benchmarks ();
+    optstats ?benchmarks ();
+    ablation_lf ?benchmarks ();
+    ablation_sb_sizezero ?benchmarks ();
+  ]
+
+let by_name name : (?benchmarks:Bench.t list -> unit -> report) option =
+  match String.lowercase_ascii name with
+  | "table1" | "t1" -> Some (fun ?benchmarks () -> ignore benchmarks; table1 ())
+  | "fig9" | "f9" -> Some (fun ?benchmarks () -> fig9 ?benchmarks ())
+  | "fig10" | "f10" -> Some (fun ?benchmarks () -> fig10 ?benchmarks ())
+  | "fig11" | "f11" -> Some (fun ?benchmarks () -> fig11 ?benchmarks ())
+  | "fig12" | "f12" -> Some (fun ?benchmarks () -> fig12 ?benchmarks ())
+  | "fig13" | "f13" -> Some (fun ?benchmarks () -> fig13 ?benchmarks ())
+  | "table2" | "t2" -> Some (fun ?benchmarks () -> table2 ?benchmarks ())
+  | "optstats" -> Some (fun ?benchmarks () -> optstats ?benchmarks ())
+  | "ablation-lf" -> Some (fun ?benchmarks () -> ablation_lf ?benchmarks ())
+  | "ablation-sz0" ->
+      Some (fun ?benchmarks () -> ablation_sb_sizezero ?benchmarks ())
+  | _ -> None
+
+let known_names =
+  [
+    "table1"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "table2";
+    "optstats"; "ablation-lf"; "ablation-sz0";
+  ]
+

@@ -1,0 +1,147 @@
+(** Experiment harness: compile, instrument, link, run, collect.
+
+    One [setup] fixes everything the paper varies: the instrumentation
+    configuration (or none, for the baseline), the optimization level, the
+    extension point where the instrumentation runs, and the MiniC lowering
+    mode (for the Figure 7 compiler-version experiment). *)
+
+module Config = Mi_core.Config
+module Pipeline = Mi_passes.Pipeline
+
+type setup = {
+  config : Config.t option;  (** [None]: uninstrumented baseline *)
+  level : Pipeline.level;
+  ep : Pipeline.extension_point;
+  lowering : Mi_minic.Lower.mode;
+  seed : int;
+}
+
+let baseline =
+  {
+    config = None;
+    level = Pipeline.O3;
+    ep = Pipeline.VectorizerStart;
+    lowering = Mi_minic.Lower.default_mode;
+    seed = 42;
+  }
+
+let with_config c s = { s with config = Some c }
+
+type run = {
+  outcome : Mi_vm.Interp.outcome;
+  cycles : int;
+  steps : int;
+  output : string;
+  counters : (string * int) list;
+  static_stats : Mi_core.Instrument.mod_stats list;
+      (** per instrumented translation unit *)
+  program_instrs : int;  (** static instruction count after everything *)
+}
+
+let counter run key =
+  Option.value ~default:0 (List.assoc_opt key run.counters)
+
+(** Compile the translation units under [setup], link, execute. *)
+let run_sources (setup : setup) (sources : Bench.source list) : run =
+  let stats = ref [] in
+  let modules =
+    List.map
+      (fun (s : Bench.source) ->
+        let mode = Option.value ~default:setup.lowering s.mode_override in
+        let m = Mi_minic.Lower.compile ~mode ~name:s.src_name s.code in
+        let instrument =
+          match setup.config with
+          | Some cfg when s.instrument ->
+              Some
+                (fun m ->
+                  let st = Mi_core.Instrument.run cfg m in
+                  stats := st :: !stats)
+          | _ -> None
+        in
+        Pipeline.run ~level:setup.level ?instrument ~ep:setup.ep m;
+        (m, s.instrument))
+      sources
+  in
+  let st = Mi_vm.State.create ~seed:setup.seed () in
+  Mi_vm.Builtins.install st;
+  let alloc_global = ref None in
+  (match setup.config with
+  | Some cfg -> (
+      match cfg.approach with
+      | Config.Lowfat ->
+          let lf =
+            Mi_lowfat.Lowfat_rt.install ~stack_protection:cfg.lf_stack st
+          in
+          if cfg.lf_globals then begin
+            (* mirror only globals defined by instrumented units: library
+               globals stay in the unprotected segment (§4.3) *)
+            let mirrored = Hashtbl.create 32 in
+            List.iter
+              (fun ((m : Mi_mir.Irmod.t), instrumented) ->
+                if instrumented then
+                  List.iter
+                    (fun (g : Mi_mir.Irmod.global) ->
+                      if not g.gextern then
+                        Hashtbl.replace mirrored g.gname ())
+                    m.globals)
+              modules;
+            alloc_global :=
+              Some
+                (fun st ~name ~size ~align ->
+                  if Hashtbl.mem mirrored name then
+                    Some (Mi_lowfat.Lowfat_rt.alloc_global lf st ~size ~align)
+                  else None)
+          end
+      | Config.Softbound ->
+          ignore
+            (Mi_softbound.Softbound_rt.install
+               ~wrapper_checks:cfg.sb_wrapper_checks st))
+  | None -> ());
+  let img =
+    Mi_vm.Interp.load ?alloc_global:!alloc_global st (List.map fst modules)
+  in
+  let program_instrs =
+    Mi_mir.Irmod.instr_count (Mi_vm.Interp.merged_module img)
+  in
+  let res = Mi_vm.Interp.run st img in
+  {
+    outcome = res.outcome;
+    cycles = res.cycles;
+    steps = res.steps;
+    output = res.output;
+    counters = res.counters;
+    static_stats = List.rev !stats;
+    program_instrs;
+  }
+
+let run_benchmark (setup : setup) (b : Bench.t) : run =
+  run_sources setup b.sources
+
+(** Normalized execution time (cycles / baseline cycles), the y-axis of
+    Figures 9-13. *)
+let overhead ~(baseline : run) (r : run) : float =
+  float_of_int r.cycles /. float_of_int baseline.cycles
+
+exception Benchmark_failed of string * string
+
+(** Like {!run_benchmark} but raises unless the program exits normally and
+    matches its expected output. *)
+let run_benchmark_exn (setup : setup) (b : Bench.t) : run =
+  let r = run_benchmark setup b in
+  (match r.outcome with
+  | Mi_vm.Interp.Exited _ -> ()
+  | Mi_vm.Interp.Trapped msg ->
+      raise (Benchmark_failed (b.name, "trap: " ^ msg))
+  | Mi_vm.Interp.Safety_violation { checker; reason } ->
+      raise
+        (Benchmark_failed
+           (b.name, Printf.sprintf "%s violation: %s" checker reason)));
+  (match b.expect_output with
+  | Some expected when expected <> r.output ->
+      raise
+        (Benchmark_failed
+           ( b.name,
+             Printf.sprintf "output mismatch: expected %S, got %S" expected
+               r.output ))
+  | _ -> ());
+  r

@@ -1,0 +1,192 @@
+(** Random memory-safe MiniC program generator for differential testing.
+
+    Generated programs only access arrays through indices reduced modulo
+    the array extent, so they are spatially safe by construction: the
+    optimizer at any level and either instrumentation must produce
+    exactly the same output as the naive -O0 build.  This is the property
+    the test suite checks on hundreds of programs. *)
+
+module Rng = Mi_support.Rng
+
+type ctx = {
+  rng : Rng.t;
+  buf : Buffer.t;
+  mutable n_locals : int;
+  mutable n_funcs : int;
+  scalars : string list ref;  (** assignable long variables in scope *)
+  readonly : string list ref;
+      (** readable but never assigned (loop counters: assigning one could
+          make the loop diverge) *)
+  arrays : (string * int) list ref;  (** array name, extent *)
+  funcs : string list ref;  (** generated long(long) functions *)
+}
+
+let readable ctx = !(ctx.scalars) @ !(ctx.readonly)
+
+let pf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let fresh ctx stem =
+  ctx.n_locals <- ctx.n_locals + 1;
+  Printf.sprintf "%s%d" stem ctx.n_locals
+
+let pick ctx l = List.nth l (Rng.int ctx.rng (List.length l))
+
+(* an arithmetic expression over in-scope scalars and array reads *)
+let rec gen_expr ctx depth : string =
+  let leaf () =
+    match Rng.int ctx.rng 4 with
+    | 0 -> string_of_int (Rng.int_range ctx.rng (-20) 20)
+    | 1 when readable ctx <> [] -> pick ctx (readable ctx)
+    | 2 when !(ctx.arrays) <> [] ->
+        let name, extent = pick ctx !(ctx.arrays) in
+        let idx = gen_index ctx extent in
+        Printf.sprintf "%s[%s]" name idx
+    | _ -> string_of_int (Rng.int_range ctx.rng 1 9)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int ctx.rng 8 with
+    | 0 | 1 ->
+        Printf.sprintf "(%s + %s)" (gen_expr ctx (depth - 1))
+          (gen_expr ctx (depth - 1))
+    | 2 ->
+        Printf.sprintf "(%s - %s)" (gen_expr ctx (depth - 1))
+          (gen_expr ctx (depth - 1))
+    | 3 ->
+        Printf.sprintf "(%s * %s)"
+          (gen_expr ctx (depth - 1))
+          (string_of_int (Rng.int_range ctx.rng 1 5))
+    | 4 ->
+        (* division guarded against zero *)
+        Printf.sprintf "(%s / %d)" (gen_expr ctx (depth - 1))
+          (Rng.int_range ctx.rng 1 7)
+    | 5 ->
+        Printf.sprintf "(%s %% %d)" (gen_expr ctx (depth - 1))
+          (Rng.int_range ctx.rng 2 17)
+    | 6 when !(ctx.funcs) <> [] ->
+        Printf.sprintf "%s(%s)" (pick ctx !(ctx.funcs))
+          (gen_expr ctx (depth - 1))
+    | _ -> leaf ()
+
+(* always-in-bounds index *)
+and gen_index ctx extent : string =
+  let e = gen_expr ctx 1 in
+  (* (e % extent + extent) % extent is non-negative and < extent *)
+  Printf.sprintf "((%s %% %d + %d) %% %d)" e extent extent extent
+
+let gen_stmt ctx ~indent ~in_loop:_ ~depth =
+  let pad = String.make indent ' ' in
+  match Rng.int ctx.rng 10 with
+  | 0 | 1 ->
+      let v = fresh ctx "v" in
+      pf ctx "%slong %s = %s;\n" pad v (gen_expr ctx depth);
+      ctx.scalars := v :: !(ctx.scalars)
+  | 2 | 3 when !(ctx.scalars) <> [] ->
+      pf ctx "%s%s = %s;\n" pad (pick ctx !(ctx.scalars)) (gen_expr ctx depth)
+  | 4 | 5 when !(ctx.arrays) <> [] ->
+      let name, extent = pick ctx !(ctx.arrays) in
+      pf ctx "%s%s[%s] = %s;\n" pad name (gen_index ctx extent)
+        (gen_expr ctx depth)
+  | 6 when !(ctx.scalars) <> [] ->
+      let s = pick ctx !(ctx.scalars) in
+      pf ctx "%sif (%s > %s) { %s = %s - 1; } else { %s = %s + 2; }\n" pad s
+        (gen_expr ctx 1) s s s s
+  | 7 when !(ctx.scalars) <> [] ->
+      pf ctx "%s%s += %s;\n" pad (pick ctx !(ctx.scalars)) (gen_expr ctx 1)
+  | _ when !(ctx.scalars) <> [] ->
+      pf ctx "%sacc += %s;\n" pad (pick ctx !(ctx.scalars))
+  | _ -> pf ctx "%sacc += 1;\n" pad
+
+let gen_loop ctx ~indent ~depth =
+  let pad = String.make indent ' ' in
+  let i = fresh ctx "i" in
+  let n = Rng.int_range ctx.rng 2 12 in
+  pf ctx "%slong %s;\n" pad i;
+  pf ctx "%sfor (%s = 0; %s < %d; %s++) {\n" pad i i n i;
+  (* the counter may be read but never assigned, and declarations inside
+     the body go out of scope at the brace *)
+  ctx.readonly := i :: !(ctx.readonly);
+  let saved_scalars = !(ctx.scalars) in
+  for _ = 1 to Rng.int_range ctx.rng 1 4 do
+    gen_stmt ctx ~indent:(indent + 2) ~in_loop:true ~depth
+  done;
+  ctx.scalars := saved_scalars;
+  ctx.readonly := List.tl !(ctx.readonly);
+  pf ctx "%s}\n" pad
+
+let gen_helper ctx =
+  ctx.n_funcs <- ctx.n_funcs + 1;
+  let name = Printf.sprintf "helper%d" ctx.n_funcs in
+  pf ctx "long %s(long x) {\n" name;
+  let saved_scalars = !(ctx.scalars) in
+  ctx.scalars := [ "x" ];
+  pf ctx "  long acc = x %% 100;\n";
+  ctx.scalars := "acc" :: !(ctx.scalars);
+  for _ = 1 to Rng.int_range ctx.rng 1 3 do
+    gen_stmt ctx ~indent:2 ~in_loop:false ~depth:1
+  done;
+  pf ctx "  return acc;\n}\n\n";
+  ctx.scalars := saved_scalars;
+  ctx.funcs := name :: !(ctx.funcs)
+
+(** Generate a self-contained, spatially-safe MiniC program. *)
+let generate ~seed : string =
+  let ctx =
+    {
+      rng = Rng.create seed;
+      buf = Buffer.create 1024;
+      n_locals = 0;
+      n_funcs = 0;
+      scalars = ref [];
+      readonly = ref [];
+      arrays = ref [];
+      funcs = ref [];
+    }
+  in
+  (* a couple of globals *)
+  let n_globals = Rng.int_range ctx.rng 0 2 in
+  for _ = 1 to n_globals do
+    let g = fresh ctx "g" in
+    let extent = Rng.int_range ctx.rng 4 16 in
+    pf ctx "long %s[%d];\n" g extent;
+    ctx.arrays := (g, extent) :: !(ctx.arrays)
+  done;
+  pf ctx "\n";
+  for _ = 1 to Rng.int_range ctx.rng 0 2 do
+    gen_helper ctx
+  done;
+  pf ctx "int main(void) {\n";
+  pf ctx "  long acc = 0;\n";
+  ctx.scalars := [ "acc" ];
+  (* local and heap arrays *)
+  let n_arrays = Rng.int_range ctx.rng 1 3 in
+  for _ = 1 to n_arrays do
+    let a = fresh ctx "a" in
+    let extent = Rng.int_range ctx.rng 4 16 in
+    (if Rng.bool ctx.rng then pf ctx "  long %s[%d];\n" a extent
+     else
+       pf ctx "  long *%s = (long *)malloc(%d * sizeof(long));\n" a extent);
+    (* initialize so reads are deterministic *)
+    let i = fresh ctx "ii" in
+    pf ctx "  long %s;\n" i;
+    pf ctx "  for (%s = 0; %s < %d; %s++) %s[%s] = %s * 3 + 1;\n" i i extent
+      i a i i;
+    ctx.arrays := (a, extent) :: !(ctx.arrays)
+  done;
+  for _ = 1 to Rng.int_range ctx.rng 2 6 do
+    if Rng.int ctx.rng 3 = 0 then gen_loop ctx ~indent:2 ~depth:2
+    else gen_stmt ctx ~indent:2 ~in_loop:false ~depth:2
+  done;
+  (* print a digest of all state *)
+  pf ctx "  print_int(acc);\n";
+  List.iter
+    (fun (a, extent) ->
+      let i = fresh ctx "k" in
+      pf ctx "  { long %s; long h = 0;\n" i;
+      pf ctx "    for (%s = 0; %s < %d; %s++) h = h * 31 + %s[%s];\n" i i
+        extent i a i;
+      pf ctx "    print_int(h %% 1000000007); }\n")
+    !(ctx.arrays);
+  List.iter (fun s -> pf ctx "  print_int(%s %% 997);\n" s) !(ctx.scalars);
+  pf ctx "  return 0;\n}\n";
+  Buffer.contents ctx.buf

@@ -1,0 +1,37 @@
+(** The 20-benchmark suite of the paper's runtime evaluation (§5.1.1):
+    the C benchmarks of SPEC CPU2000/CPU2006 that execute successfully
+    under both approaches, reproduced as synthetic MiniC workloads shaped
+    after each benchmark's memory behaviour (see DESIGN.md). *)
+
+let all : Bench.t list =
+  [
+    B164_gzip.bench;
+    B177_mesa.bench;
+    B179_art.bench;
+    B181_mcf.bench;
+    B183_equake.bench;
+    B186_crafty.bench;
+    B188_ammp.bench;
+    B197_parser.bench;
+    B256_bzip2.bench;
+    B300_twolf.bench;
+    B401_bzip2.bench;
+    B429_mcf.bench;
+    B433_milc.bench;
+    B445_gobmk.bench;
+    B456_hmmer.bench;
+    B458_sjeng.bench;
+    B462_libquantum.bench;
+    B464_h264ref.bench;
+    B470_lbm.bench;
+    B482_sphinx3.bench;
+  ]
+
+let find name = List.find_opt (fun (b : Bench.t) -> b.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None -> invalid_arg ("unknown benchmark " ^ name)
+
+let names = List.map (fun (b : Bench.t) -> b.name) all

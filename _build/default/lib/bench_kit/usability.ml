@@ -1,0 +1,539 @@
+(** The usability case studies of §4 and appendix B: small programs on
+    which SoftBound and Low-Fat Pointers disagree with each other, with
+    the C standard, or with programmer expectations.
+
+    Each case records what each approach is expected to do; the test
+    suite asserts those verdicts and the [usability_pitfalls] example
+    walks through them narratively. *)
+
+module Config = Mi_core.Config
+
+type verdict =
+  | Works  (** runs to completion *)
+  | Reports  (** the instrumentation aborts with a violation *)
+
+type case = {
+  case_name : string;
+  section : string;  (** where the paper discusses it *)
+  explain : string;
+  sources : Bench.source list;
+  expect_sb : verdict;
+  expect_lf : verdict;
+  is_actual_bug : bool;
+      (** does the program really violate C (so a report is a true
+          positive)? *)
+}
+
+let i64_mode = { Mi_minic.Lower.ptr_mem_as_i64 = true }
+
+(* ------------------------------------------------------------------ *)
+
+(* §4.4 / Figure 7: the swap program. In the clean lowering both
+   instrumentations track the pointer stores. *)
+let swap_clean =
+  {
+    case_name = "swap_clean";
+    section = "4.4 (Fig. 7, left)";
+    explain =
+      "swap of two double* values lowered with pointer-typed loads and \
+       stores: both approaches maintain their metadata and the later \
+       dereference is correctly accepted.";
+    sources =
+      [
+        Bench.src "swap"
+          {|
+void swap(double **one, double **two) {
+  double *tmp = *one;
+  *one = *two;
+  *two = tmp;
+}
+
+int main(void) {
+  double *a = (double *)malloc(4 * sizeof(double));
+  double *b = (double *)malloc(8 * sizeof(double));
+  a[0] = 1.5; b[0] = 2.5;
+  swap(&a, &b);
+  /* a now points to the 8-element buffer; element 5 is in bounds */
+  a[5] = 3.5;
+  print_f64(a[0] + b[0] + a[5]);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works;
+    expect_lf = Works;
+    is_actual_bug = false;
+  }
+
+(* §4.4 / Figure 7 right: the swap unit is compiled by a compiler version
+   that lowers the pointer moves through i64. The stores bypass
+   SoftBound's trie, so the subsequent dereference checks against stale
+   bounds: a spurious report on a correct program. *)
+let swap_i64 =
+  let swap_unit =
+    Bench.src ~mode_override:i64_mode "swap_i64unit"
+      {|
+void swap(double **one, double **two) {
+  double *tmp = *one;
+  *one = *two;
+  *two = tmp;
+}
+|}
+  and main_unit =
+    Bench.src "main"
+      {|
+void swap(double **one, double **two);
+
+int main(void) {
+  double *a = (double *)malloc(4 * sizeof(double));
+  double *b = (double *)malloc(8 * sizeof(double));
+  a[0] = 1.5; b[0] = 2.5;
+  swap(&a, &b);
+  a[5] = 3.5;   /* in bounds of the swapped-in 8-element buffer */
+  print_f64(a[0] + b[0] + a[5]);
+  print_newline();
+  return 0;
+}
+|}
+  in
+  {
+    case_name = "swap_i64";
+    section = "4.4 (Fig. 7, right)";
+    explain =
+      "the same swap, but its translation unit was lowered with \
+       i64-typed pointer moves (as LLVM 11 vs 12 differ): the stores do \
+       not update SoftBound's trie, the later load reads outdated \
+       bounds, and a valid access is reported as a violation. Low-Fat \
+       recomputes the base from the loaded value and is unaffected.";
+    sources = [ swap_unit; main_unit ];
+    expect_sb = Reports;
+    expect_lf = Works;
+    is_actual_bug = false;
+  }
+
+(* §4.5: byte-wise copying of a struct that contains a pointer. *)
+let byte_copy =
+  {
+    case_name = "byte_copy";
+    section = "4.5";
+    explain =
+      "copying a pointer-holding struct byte by byte (legal C via char*) \
+       moves the pointer value but not SoftBound's metadata: the \
+       dereference through the copy checks null bounds and reports a \
+       spurious violation. Low-Fat derives everything from the pointer \
+       value and accepts it. The paper fixed this pattern in 300twolf \
+       by using memcpy (§5.1.2).";
+    sources =
+      [
+        Bench.src "bytecopy"
+          {|
+struct holder { long tag; long *payload; };
+
+int main(void) {
+  struct holder src;
+  struct holder dst;
+  long i;
+  src.tag = 7;
+  src.payload = (long *)malloc(4 * sizeof(long));
+  src.payload[0] = 41;
+  /* byte-wise copy, as 300twolf did */
+  char *from = (char *)&src;
+  char *to = (char *)&dst;
+  for (i = 0; i < (long)sizeof(struct holder); i++) {
+    to[i] = from[i];
+  }
+  print_int(dst.payload[0] + dst.tag);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Reports;
+    expect_lf = Works;
+    is_actual_bug = false;
+  }
+
+(* §4.2: out-of-bounds pointer arithmetic brought back in bounds. *)
+let oob_arith =
+  {
+    case_name = "oob_arith";
+    section = "4.2";
+    explain =
+      "a pointer is moved past the end of its array, handed to a \
+       function, and moved back in bounds before the access — undefined \
+       behavior in C, but 73% of surveyed C experts expect it to work \
+       (Memarian et al.). Low-Fat must establish its in-bounds invariant \
+       at the call and reports the escaping out-of-bounds pointer; \
+       SoftBound only checks at the dereference and accepts.";
+    sources =
+      [
+        Bench.src "oob"
+          {|
+/* kept out of line (the recursion blocks inlining) so the pointer
+   actually escapes through the call, as with any larger function */
+long peek_before(long *p) {
+  if (p == NULL) return peek_before(p);
+  /* bring the pointer back in bounds, then access */
+  return p[-14];
+}
+
+int main(void) {
+  long *arr = (long *)malloc(10 * sizeof(long));
+  long i;
+  for (i = 0; i < 10; i++) arr[i] = i * 3;
+  /* arr + 22 is far out of bounds (allocation holds 10 elements, and
+     even the 128-byte low-fat size class ends at element 16) */
+  print_int(peek_before(arr + 22));
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works;
+    expect_lf = Reports;
+    is_actual_bug = true (* UB per C, but idiomatic code *);
+  }
+
+(* §5.1.1: pseudo-base-one arrays (253perl / 254gap). *)
+let pseudo_base_one =
+  {
+    case_name = "pseudo_base_one";
+    section = "5.1.1";
+    explain =
+      "perl and gap create a pointer one element *before* an array so \
+       that indexing can start at 1. Storing that pointer makes it \
+       escape, and Low-Fat's escape check reports it; SoftBound does not \
+       report gap-style usage because every access lands in bounds.";
+    sources =
+      [
+        Bench.src "base1"
+          {|
+long *base1;   /* global: storing to it makes the pointer escape */
+
+int main(void) {
+  long *arr = (long *)malloc(8 * sizeof(long));
+  long i;
+  base1 = arr - 1;   /* one element before the allocation */
+  for (i = 1; i <= 8; i++) base1[i] = i;
+  print_int(base1[1] + base1[8]);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works;
+    expect_lf = Reports;
+    is_actual_bug = true;
+  }
+
+(* §5.1.2: an overflow into Low-Fat's allocation padding (197parser). *)
+let padding_overflow =
+  {
+    case_name = "padding_overflow";
+    section = "4 / 5.1.2";
+    explain =
+      "an off-by-a-few write past a 20-byte allocation: Low-Fat pads the \
+       object to its 32-byte size class, so the access hits padding and \
+       goes unreported ('hardened but undetected'); SoftBound keeps the \
+       exact 20-byte bounds and reports it — the 197parser situation.";
+    sources =
+      [
+        Bench.src "padding"
+          {|
+int main(void) {
+  char *buf = (char *)malloc(20);
+  long i;
+  for (i = 0; i < 20; i++) buf[i] = (char)i;
+  buf[22] = 7;   /* past the object, inside the 32-byte class padding */
+  print_int(buf[3]);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Reports;
+    expect_lf = Works;
+    is_actual_bug = true;
+  }
+
+(* A genuine cross-object overflow: both approaches must report it. *)
+let cross_object =
+  {
+    case_name = "cross_object";
+    section = "2 / A.5";
+    explain =
+      "a loop runs far past the end of a heap array, well beyond any \
+       padding: both approaches report it.";
+    sources =
+      [
+        Bench.src "cross"
+          {|
+int main(void) {
+  long *a = (long *)malloc(8 * sizeof(long));
+  long i;
+  for (i = 0; i < 20; i++) a[i] = i;   /* 12 elements too far */
+  print_int(a[0]);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Reports;
+    expect_lf = Reports;
+    is_actual_bug = true;
+  }
+
+(* §4.4: integer-to-pointer round trip. With the artifact's
+   -mi-sb-inttoptr-wide-bounds both tools accept it (SoftBound by giving
+   up protection, Low-Fat by recomputation). *)
+let inttoptr_roundtrip =
+  {
+    case_name = "inttoptr_roundtrip";
+    section = "4.4";
+    explain =
+      "a pointer is cast to long and back before the access — allowed by \
+       C and LLVM. With wide inttoptr bounds (the artifact's default) \
+       SoftBound accepts but no longer protects the access; Low-Fat \
+       recomputes base and size from the value and keeps checking.";
+    sources =
+      [
+        Bench.src "roundtrip"
+          {|
+int main(void) {
+  long *arr = (long *)malloc(6 * sizeof(long));
+  arr[2] = 99;
+  long addr = (long)(arr + 2);
+  long *p = (long *)addr;
+  print_int(*p);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works;
+    expect_lf = Works;
+    is_actual_bug = false;
+  }
+
+(* §4.4, the dangerous direction: the integer is corrupted so the
+   recreated "pointer" aims at a different object. Low-Fat assumes
+   in-bounds and misses it; SoftBound with wide bounds misses it too —
+   a false negative for both, as the paper warns. *)
+let inttoptr_corrupted =
+  {
+    case_name = "inttoptr_corrupted";
+    section = "4.4";
+    explain =
+      "the integer holding a pointer is corrupted to address a \
+       neighbouring object before being cast back: Low-Fat's in-bounds \
+       assumption and SoftBound's wide inttoptr bounds both let the \
+       rogue access through — programs using integer/pointer casts can \
+       remain unsafe under full instrumentation.";
+    sources =
+      [
+        Bench.src "corrupt"
+          {|
+int main(void) {
+  long *a = (long *)malloc(64 * sizeof(long));
+  long *b = (long *)malloc(64 * sizeof(long));
+  b[0] = 1234;
+  long addr = (long)a;
+  /* "corruption": redirect the integer into object b */
+  addr = addr + ((long)b - (long)a);
+  long *p = (long *)addr;
+  p[0] = 4321;   /* writes b[0] through a pointer derived from a */
+  print_int(b[0]);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works (* false negative *);
+    expect_lf = Works (* false negative *);
+    is_actual_bug = true;
+  }
+
+(* Appendix B: intra-object overflow disappears at IR level. *)
+let intra_object =
+  {
+    case_name = "intra_object";
+    section = "appendix B (Fig. 14)";
+    explain =
+      "&P.y - 1 inside a struct: constant-folding turns the gep \
+       arithmetic into a direct reference to P.x, so there is no \
+       out-of-bounds address left to check at IR level; neither approach \
+       reports (and Low-Fat cannot detect intra-object overflows by \
+       design).";
+    sources =
+      [
+        Bench.src "intra"
+          {|
+struct simple_pair { int x; int y; };
+
+struct simple_pair P;
+
+int main(void) {
+  P.x = 11;
+  P.y = 22;
+  int *q = &P.y - 1;   /* folds to &P.x */
+  print_int(*q);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works;
+    expect_lf = Works;
+    is_actual_bug = true (* per C, the padding bytes are unspecified *);
+  }
+
+(* §4.3: calling an uninstrumented library function that returns a
+   pointer, without a wrapper: SoftBound reads stale bounds from the
+   shadow stack and rejects the valid access. Low-Fat needs no wrapper
+   because the returned heap pointer is low-fat anyway. *)
+let unwrapped_external =
+  {
+    case_name = "unwrapped_external";
+    section = "4.3";
+    explain =
+      "an uninstrumented library function returns a heap pointer. \
+       SoftBound expects the callee to have pushed bounds onto the \
+       shadow stack; the library did not, so the caller checks against \
+       stale/null bounds and reports a valid access — the reason \
+       SoftBound needs wrappers for external libraries. The library's \
+       allocation went through the process-wide low-fat malloc, so \
+       Low-Fat protects it out of the box.";
+    sources =
+      [
+        Bench.src ~instrument:false "extlib"
+          {|
+double *lib_make_buffer(long n) {
+  double *p = (double *)malloc(n * sizeof(double));
+  long i;
+  for (i = 0; i < n; i++) p[i] = 0.5 * (double)i;
+  return p;
+}
+|};
+        Bench.src "app"
+          {|
+double *lib_make_buffer(long n);
+
+int main(void) {
+  double *buf = lib_make_buffer(16);
+  print_f64(buf[3]);   /* valid, but SoftBound has no bounds for it */
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Reports;
+    expect_lf = Works;
+    is_actual_bug = false;
+  }
+
+
+(* Temporal errors are out of scope for both approaches: a use after free
+   hits memory that is spatially "in bounds" of the stale object. *)
+let use_after_free =
+  {
+    case_name = "use_after_free";
+    section = "2 (scope)";
+    explain =
+      "a temporal violation: the object is freed and its slot possibly \
+       reused, but the stale pointer still satisfies both approaches' \
+       spatial bounds — neither SoftBound nor Low-Fat Pointers targets \
+       temporal safety (the paper's scope is spatial; CETS-style \
+       extensions would be needed).";
+    sources =
+      [
+        Bench.src "uaf"
+          {|
+int main(void) {
+  long *a = (long *)malloc(8 * sizeof(long));
+  a[0] = 77;
+  free(a);
+  /* temporal bug: read through the dangling pointer */
+  print_int(a[0]);
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works (* undetected: temporal, not spatial *);
+    expect_lf = Works;
+    is_actual_bug = true;
+  }
+
+(* Pointers in global initializers: SoftBound's constructor must register
+   their trie metadata before main runs, or the first dereference through
+   them would be rejected. *)
+let global_init_pointers =
+  {
+    case_name = "global_init_pointers";
+    section = "3.2 (global metadata initialization)";
+    explain =
+      "a global array of string pointers: the pointers live in memory \
+       before any store instruction runs, so SoftBound's instrumentation \
+       emits a constructor that seeds the trie from the initializers — \
+       without it, reading through msgs[i] would check null bounds.";
+    sources =
+      [
+        Bench.src "ginit"
+          {|
+char *msgs[3] = {"alpha", "beta", "gamma"};
+
+int main(void) {
+  print_str(msgs[1]);
+  print_int((long)strlen(msgs[2]));
+  print_newline();
+  return 0;
+}
+|};
+      ];
+    expect_sb = Works;
+    expect_lf = Works;
+    is_actual_bug = false;
+  }
+
+let all : case list =
+  [
+    swap_clean;
+    swap_i64;
+    byte_copy;
+    oob_arith;
+    pseudo_base_one;
+    padding_overflow;
+    cross_object;
+    inttoptr_roundtrip;
+    inttoptr_corrupted;
+    intra_object;
+    unwrapped_external;
+    use_after_free;
+    global_init_pointers;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let verdict_of_outcome (o : Mi_vm.Interp.outcome) : verdict =
+  match o with
+  | Mi_vm.Interp.Exited _ -> Works
+  | Mi_vm.Interp.Safety_violation _ -> Reports
+  | Mi_vm.Interp.Trapped msg -> failwith ("usability case trapped: " ^ msg)
+
+(** Run a case under the given approach's basis configuration; returns
+    the observed verdict and the run. *)
+let run_case ?(level = Mi_passes.Pipeline.O3) (c : case)
+    (approach : Config.approach) : verdict * Harness.run =
+  let cfg = Config.of_approach approach in
+  let setup = { (Harness.with_config cfg Harness.baseline) with level } in
+  let r = Harness.run_sources setup c.sources in
+  (verdict_of_outcome r.outcome, r)
+
+let expected (c : case) = function
+  | Config.Softbound -> c.expect_sb
+  | Config.Lowfat -> c.expect_lf
+
+let verdict_to_string = function
+  | Works -> "runs"
+  | Reports -> "reports violation"

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Block Eval Func Instr Irmod List Mi_analysis Mi_mir Printf Ty Value

@@ -1,0 +1,1 @@
+lib/core/edit.ml: Block Func Hashtbl Instr List Mi_mir String Value

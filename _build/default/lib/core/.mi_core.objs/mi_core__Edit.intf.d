@@ -1,0 +1,1 @@
+lib/core/edit.mli: Func Instr Mi_mir Ty Value

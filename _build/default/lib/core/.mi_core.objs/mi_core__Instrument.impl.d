@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Block Builder Config Edit Func Hashtbl Instr Intrinsics Irmod Itarget List Mi_mir Optimize Option Printer Printf Ty Value

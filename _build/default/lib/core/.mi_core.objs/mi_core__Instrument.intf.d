@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Config Func Irmod Mi_mir Value

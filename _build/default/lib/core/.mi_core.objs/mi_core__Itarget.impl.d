@@ -1,0 +1,1 @@
+lib/core/itarget.ml: Block Edit Func Instr Intrinsics Irmod List Mi_mir Ty Value

@@ -1,0 +1,1 @@
+lib/core/itarget.mli: Edit Func Irmod Mi_mir Value

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Config Edit Func Hashtbl Itarget List Mi_analysis Mi_mir Printf Ty Value

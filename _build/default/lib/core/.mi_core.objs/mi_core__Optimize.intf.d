@@ -1,0 +1,1 @@
+lib/core/optimize.mli: Config Func Itarget Mi_mir Value

@@ -1,0 +1,90 @@
+(** Instrumentation configuration.
+
+    Mirrors the MemInstrument command-line flags listed in the paper's
+    artifact appendix (A.6): the approach selection ([-mi-config]), the
+    mode ([-mi-mode=geninvariants]), the dominance-based check elimination
+    ([-mi-opt-dominance]), and the SoftBound policies for size-zero global
+    declarations and integer-to-pointer casts. *)
+
+type approach = Softbound | Lowfat
+
+type mode =
+  | Full  (** witnesses + invariants + dereference checks *)
+  | Geninvariants
+      (** witnesses + invariants only — the "metadata" configuration of
+          Figures 10/11, measuring the cost of maintaining the approach's
+          invariant without any access checks *)
+  | Noop  (** leave the module untouched (baseline) *)
+
+type t = {
+  approach : approach;
+  mode : mode;
+  opt_dominance : bool;
+      (** eliminate checks dominated by an equivalent check (§5.3) *)
+  sb_size_zero_wide_upper : bool;
+      (** [-mi-sb-size-zero-wide-upper]: extern globals declared without a
+          size get a wide upper bound instead of null bounds (§4.3) *)
+  sb_inttoptr_wide : bool;
+      (** [-mi-sb-inttoptr-wide-bounds]: pointers cast from integers get
+          wide bounds instead of null bounds (§4.4) *)
+  sb_wrapper_checks : bool;
+      (** safety checks inside C-library wrappers; disabled by default for
+          runtime comparability (§5.1.2) *)
+  lf_stack : bool;  (** Low-Fat stack-variable protection [12] *)
+  lf_globals : bool;  (** Low-Fat global-variable protection [11] *)
+}
+
+(** The paper's SoftBound configuration basis (appendix A.6). *)
+let softbound =
+  {
+    approach = Softbound;
+    mode = Full;
+    opt_dominance = false;
+    sb_size_zero_wide_upper = true;
+    sb_inttoptr_wide = true;
+    sb_wrapper_checks = false;
+    lf_stack = false;
+    lf_globals = false;
+  }
+
+(** The paper's Low-Fat Pointers configuration basis (appendix A.6). *)
+let lowfat =
+  {
+    approach = Lowfat;
+    mode = Full;
+    opt_dominance = false;
+    sb_size_zero_wide_upper = true;
+    sb_inttoptr_wide = true;
+    sb_wrapper_checks = false;
+    lf_stack = true;
+    lf_globals = true;
+  }
+
+let of_approach = function Softbound -> softbound | Lowfat -> lowfat
+
+(** The "optimized" configurations of Figures 9-11. *)
+let optimized c = { c with opt_dominance = true }
+
+(** The "metadata" configurations of Figures 10/11. *)
+let metadata_only c = { c with mode = Geninvariants }
+
+let approach_name = function Softbound -> "softbound" | Lowfat -> "lowfat"
+
+let to_string c =
+  String.concat ""
+    [
+      approach_name c.approach;
+      (match c.mode with
+      | Full -> ""
+      | Geninvariants -> "+geninvariants"
+      | Noop -> "+noop");
+      (if c.opt_dominance then "+domopt" else "");
+      (if c.sb_size_zero_wide_upper then "" else "+sz0null");
+      (if c.sb_inttoptr_wide then "" else "+i2pnull");
+      (if c.sb_wrapper_checks then "+wrapchecks" else "");
+      (match c.approach with
+      | Lowfat ->
+          (if c.lf_stack then "" else "+nostack")
+          ^ if c.lf_globals then "" else "+noglobals"
+      | Softbound -> "");
+    ]

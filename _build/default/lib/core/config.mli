@@ -1,0 +1,49 @@
+(** Instrumentation configuration, mirroring the MemInstrument flags of
+    the paper's artifact appendix (A.6). *)
+
+(** The two approaches the paper compares. *)
+type approach = Softbound | Lowfat
+
+type mode =
+  | Full  (** witnesses + invariants + dereference checks *)
+  | Geninvariants
+      (** witnesses + invariants only — the "metadata" configuration of
+          Figures 10/11 ([-mi-mode=geninvariants]) *)
+  | Noop  (** leave the module untouched *)
+
+type t = {
+  approach : approach;
+  mode : mode;
+  opt_dominance : bool;
+      (** dominance-based check elimination ([-mi-opt-dominance], §5.3) *)
+  sb_size_zero_wide_upper : bool;
+      (** wide upper bounds for size-less extern arrays
+          ([-mi-sb-size-zero-wide-upper], §4.3) *)
+  sb_inttoptr_wide : bool;
+      (** wide instead of null bounds for int-to-pointer casts
+          ([-mi-sb-inttoptr-wide-bounds], §4.4) *)
+  sb_wrapper_checks : bool;
+      (** safety checks inside libc wrappers; off by default for runtime
+          comparability (§5.1.2) *)
+  lf_stack : bool;  (** Low-Fat stack-variable protection *)
+  lf_globals : bool;  (** Low-Fat global-variable protection *)
+}
+
+val softbound : t
+(** The paper's SoftBound configuration basis. *)
+
+val lowfat : t
+(** The paper's Low-Fat Pointers configuration basis. *)
+
+val of_approach : approach -> t
+
+val optimized : t -> t
+(** Enable the dominance-based check elimination (the "optimized"
+    configurations of Figures 9-11). *)
+
+val metadata_only : t -> t
+(** Switch to [Geninvariants] (the "metadata" configurations of
+    Figures 10/11). *)
+
+val approach_name : approach -> string
+val to_string : t -> string

@@ -1,0 +1,195 @@
+(** Static diagnostics for instrumentation hazards (§4.7).
+
+    The paper concludes that some of the usability problems can be flagged
+    to the tool user before running anything: integer-to-pointer casts
+    "can be detected statically and reported ... as a potential reason for
+    false positives or negatives", while byte-wise copies are "hard to
+    find automatically" — for those we offer a best-effort loop heuristic.
+
+    Detected hazards:
+    - [Inttoptr_cast]: pointers created from integers lose SoftBound
+      metadata (wide or null bounds, §4.4) and void Low-Fat's in-bounds
+      reasoning;
+    - [Ptr_stored_as_int]: a [ptrtoint] result written to memory as an
+      integer — the Figure 7 pattern that silently bypasses the trie;
+    - [Size_zero_extern]: a size-less extern array declaration (§4.3)
+      forces wide or null bounds under SoftBound;
+    - [Oversized_alloc]: a constant allocation larger than the largest
+      low-fat region falls back to the standard allocator (§4.6, the
+      429mcf case);
+    - [Bytewise_copy_loop]: a loop that both loads and stores i8 values —
+      possibly a byte-wise object copy that desynchronizes SoftBound's
+      metadata (§4.5). *)
+
+open Mi_mir
+
+type kind =
+  | Inttoptr_cast
+  | Ptr_stored_as_int
+  | Size_zero_extern
+  | Oversized_alloc
+  | Bytewise_copy_loop
+
+type t = {
+  d_kind : kind;
+  d_where : string;  (** "function:block" or "global @name" *)
+  d_message : string;
+}
+
+let kind_name = function
+  | Inttoptr_cast -> "inttoptr-cast"
+  | Ptr_stored_as_int -> "ptr-stored-as-int"
+  | Size_zero_extern -> "size-zero-extern"
+  | Oversized_alloc -> "oversized-alloc"
+  | Bytewise_copy_loop -> "bytewise-copy-loop"
+
+let to_string d =
+  Printf.sprintf "[%s] %s: %s" (kind_name d.d_kind) d.d_where d.d_message
+
+let max_lowfat_size = 1 lsl 30
+
+let analyze_func (f : Func.t) : t list =
+  let out = ref [] in
+  let add kind where fmt =
+    Printf.ksprintf
+      (fun msg -> out := { d_kind = kind; d_where = where; d_message = msg } :: !out)
+      fmt
+  in
+  (* values produced by ptrtoint *)
+  let ptrtoint_results = Value.VTbl.create 8 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match (i.op, i.dst) with
+          | Instr.Cast (PtrToInt, _, _, _), Some d ->
+              Value.VTbl.replace ptrtoint_results d ()
+          | _ -> ())
+        b.body)
+    f.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      let where = Printf.sprintf "%s:%s" f.fname b.label in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Instr.Cast (IntToPtr, _, _, _) ->
+              add Inttoptr_cast where
+                "pointer created from an integer: SoftBound bounds are \
+                 lost (wide or null, per configuration); Low-Fat assumes \
+                 the value is still in bounds (§4.4)"
+          | Instr.Store (ty, Value.Var v, _)
+            when Ty.is_int ty && Value.VTbl.mem ptrtoint_results v ->
+              add Ptr_stored_as_int where
+                "a pointer is stored to memory as an integer: SoftBound's \
+                 trie is not updated and later loads will see outdated \
+                 bounds (Fig. 7)"
+          | _ -> ())
+        b.body)
+    f.blocks;
+  (* byte-copy loop heuristic over natural loops *)
+  if not f.is_external then begin
+    let cfg = Mi_analysis.Cfg.build f in
+    let dom = Mi_analysis.Dom.build cfg in
+    let loops = Mi_analysis.Loops.build cfg dom in
+    List.iter
+      (fun (l : Mi_analysis.Loops.loop) ->
+        let has_i8_load = ref false and has_i8_store = ref false in
+        List.iter
+          (fun bi ->
+            List.iter
+              (fun (i : Instr.t) ->
+                match i.op with
+                | Instr.Load (Ty.I8, _) -> has_i8_load := true
+                | Instr.Store (Ty.I8, _, _) -> has_i8_store := true
+                | _ -> ())
+              cfg.Mi_analysis.Cfg.blocks.(bi).Block.body)
+          l.body;
+        if !has_i8_load && !has_i8_store then
+          add Bytewise_copy_loop
+            (Printf.sprintf "%s:%s" f.fname
+               (Mi_analysis.Cfg.label cfg l.header))
+            "loop copies bytes between objects: if they contain pointers, \
+             SoftBound's metadata silently desynchronizes (§4.5); \
+             consider memcpy")
+      loops.Mi_analysis.Loops.loops
+  end;
+  (* oversized constant allocations: resolve simple constant chains
+     (casts, constant arithmetic) so that e.g. a sign-extended int
+     literal argument is still recognized *)
+  let consts = Value.VTbl.create 16 in
+  let as_const (v : Value.t) =
+    match v with
+    | Value.Int (_, k) -> Some k
+    | Value.Var x -> Value.VTbl.find_opt consts x
+    | _ -> None
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match (i.op, i.dst) with
+          | Instr.Cast ((Zext | Sext | Trunc), from_ty, v, to_ty), Some d -> (
+              match as_const v with
+              | Some k ->
+                  Value.VTbl.replace consts d
+                    (Eval.cast_int
+                       (match i.op with
+                       | Instr.Cast (c, _, _, _) -> c
+                       | _ -> assert false)
+                       from_ty to_ty k)
+              | None -> ())
+          | Instr.Bin (op, ty, a, b'), Some d -> (
+              match (as_const a, as_const b') with
+              | Some x, Some y -> (
+                  match Eval.binop op ty x y with
+                  | v -> Value.VTbl.replace consts d v
+                  | exception Eval.Div_by_zero -> ())
+              | _ -> ())
+          | _ -> ())
+        b.body)
+    f.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      let where = Printf.sprintf "%s:%s" f.fname b.label in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Instr.Call (("malloc" | "calloc"), args) ->
+              let const_total =
+                match List.map as_const args with
+                | [ Some n ] -> Some n
+                | [ Some a; Some b ] -> Some (a * b)
+                | _ -> None
+              in
+              (match const_total with
+              | Some n when n > max_lowfat_size ->
+                  add Oversized_alloc where
+                    "allocation of %d bytes exceeds the largest low-fat \
+                     region (2^30): the object gets wide bounds under \
+                     Low-Fat Pointers (§4.6)"
+                    n
+              | _ -> ())
+          | _ -> ())
+        b.body)
+    f.blocks;
+  List.rev !out
+
+let analyze_module (m : Irmod.t) : t list =
+  let globals =
+    List.filter_map
+      (fun (g : Irmod.global) ->
+        if g.gextern && not g.gsize_known then
+          Some
+            {
+              d_kind = Size_zero_extern;
+              d_where = "global @" ^ g.gname;
+              d_message =
+                "size-less extern array declaration: SoftBound cannot \
+                 derive bounds and uses wide or null bounds (§4.3); \
+                 declare the size or link before instrumenting";
+            }
+        else None)
+      m.globals
+  in
+  globals @ List.concat_map analyze_func (Irmod.defined_funcs m)

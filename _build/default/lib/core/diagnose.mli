@@ -1,0 +1,37 @@
+(** Static diagnostics for instrumentation hazards (§4.7): patterns that
+    cause spurious reports or undetected violations, flagged before the
+    program ever runs. *)
+
+open Mi_mir
+
+type kind =
+  | Inttoptr_cast
+      (** a pointer is created from an integer: SoftBound bounds are
+          lost, Low-Fat assumes in-bounds (§4.4) *)
+  | Ptr_stored_as_int
+      (** a [ptrtoint] result is written to memory as an integer — the
+          Figure 7 pattern that silently bypasses SoftBound's trie *)
+  | Size_zero_extern
+      (** size-less extern array declaration: wide or null SoftBound
+          bounds (§4.3) *)
+  | Oversized_alloc
+      (** constant allocation beyond the largest low-fat region: wide
+          Low-Fat bounds (§4.6) *)
+  | Bytewise_copy_loop
+      (** a loop both loads and stores bytes — possibly a byte-wise
+          object copy desynchronizing SoftBound's metadata (§4.5) *)
+
+type t = {
+  d_kind : kind;
+  d_where : string;  (** ["function:block"] or ["global @name"] *)
+  d_message : string;
+}
+
+val kind_name : kind -> string
+val to_string : t -> string
+
+val max_lowfat_size : int
+(** Largest allocation a low-fat region can serve (2^30 bytes). *)
+
+val analyze_func : Func.t -> t list
+val analyze_module : Irmod.t -> t list

@@ -1,0 +1,111 @@
+(** Deferred-edit buffer for function rewriting.
+
+    The instrumentation decides *what* to insert while walking the original
+    function (whose instructions are addressed as [(block label, position)]
+    pairs) and applies all edits in a single rebuild at the end, so
+    positions never shift under it.  Per anchor instruction, edits can be
+    inserted before it, after it, or replace it; blocks can receive new
+    phis and instructions before their terminator; the entry block can be
+    prepended to. *)
+
+open Mi_mir
+
+type anchor = { ablock : string; apos : int }
+
+type t = {
+  func : Func.t;
+  entry_pre : Instr.t list ref;  (** reversed *)
+  before : (anchor, Instr.t list ref) Hashtbl.t;  (** reversed *)
+  after : (anchor, Instr.t list ref) Hashtbl.t;  (** reversed *)
+  replace : (anchor, Instr.t) Hashtbl.t;
+  at_end : (string, Instr.t list ref) Hashtbl.t;
+      (** before the terminator; reversed *)
+  new_phis : (string, Instr.phi list ref) Hashtbl.t;
+}
+
+let create func =
+  {
+    func;
+    entry_pre = ref [];
+    before = Hashtbl.create 32;
+    after = Hashtbl.create 32;
+    replace = Hashtbl.create 8;
+    at_end = Hashtbl.create 8;
+    new_phis = Hashtbl.create 8;
+  }
+
+let push tbl key i =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := i :: !l
+  | None -> Hashtbl.add tbl key (ref [ i ])
+
+(** Fresh SSA variable in the function being edited. *)
+let fresh t ?name ty = Func.fresh_var t.func ?name ty
+
+let insert_entry t i = t.entry_pre := i :: !(t.entry_pre)
+let insert_before t anchor i = push t.before anchor i
+let insert_after t anchor i = push t.after anchor i
+let insert_at_end t block i = push t.at_end block i
+
+let set_replacement t anchor i =
+  if Hashtbl.mem t.replace anchor then
+    invalid_arg "Edit.set_replacement: anchor already replaced";
+  Hashtbl.replace t.replace anchor i
+
+let add_phi t block (p : Instr.phi) = push t.new_phis block p
+
+(* convenience emitters returning the defined value *)
+
+let emit_entry t ?name ty op : Value.t =
+  let dst = fresh t ?name ty in
+  insert_entry t (Instr.mk ~dst op);
+  Var dst
+
+let emit_after t anchor ?name ty op : Value.t =
+  let dst = fresh t ?name ty in
+  insert_after t anchor (Instr.mk ~dst op);
+  Var dst
+
+let emit_before t anchor ?name ty op : Value.t =
+  let dst = fresh t ?name ty in
+  insert_before t anchor (Instr.mk ~dst op);
+  Var dst
+
+(** Rebuild the function with all recorded edits applied.  The edited
+    function is rebuilt in place (same [Func.t]); anchors refer to the
+    original layout. *)
+let apply (t : t) : unit =
+  let f = t.func in
+  let entry_label =
+    match f.blocks with b :: _ -> b.Block.label | [] -> ""
+  in
+  let get tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> List.rev !l
+    | None -> []
+  in
+  f.blocks <-
+    List.map
+      (fun (b : Block.t) ->
+        let body =
+          List.concat
+            (List.mapi
+               (fun pos (i : Instr.t) ->
+                 let a = { ablock = b.label; apos = pos } in
+                 let mid =
+                   match Hashtbl.find_opt t.replace a with
+                   | Some r -> r
+                   | None -> i
+                 in
+                 get t.before a @ (mid :: get t.after a))
+               b.body)
+        in
+        let body =
+          if String.equal b.label entry_label then
+            List.rev !(t.entry_pre) @ body
+          else body
+        in
+        let body = body @ get t.at_end b.label in
+        let phis = b.phis @ get t.new_phis b.label in
+        { b with phis; body })
+      f.blocks

@@ -1,0 +1,657 @@
+(** The MemInstrument module pass: discovers instrumentation targets
+    (Table 1), propagates witnesses, places checks and invariant
+    maintenance code for the configured approach.
+
+    A {e witness} (§3.1) is the set of SSA values that carry a pointer's
+    bounds to its uses: a [(base, bound)] pair for SoftBound, the
+    allocation base pointer for Low-Fat Pointers.  Witnesses are computed
+    by memoized recursion over SSA definitions; phis and selects on
+    pointers get companion phis/selects on their witnesses, loads and call
+    results draw on the approach's invariant (trie / shadow stack /
+    recomputation from the pointer value). *)
+
+open Mi_mir
+module Layout_wide = struct
+  (* Keep in sync with Mi_vm.Layout; duplicated to avoid a core -> vm
+     dependency (the instrumentation is compiler-side, the VM is the
+     "hardware"). The verifier tests assert the values match. *)
+  let wide_bound = 0x7FFF_FFFF_FFFF
+end
+
+type witness =
+  | Wsb of Value.t * Value.t  (** base, bound *)
+  | Wlf of Value.t  (** base *)
+
+type func_stats = {
+  fname : string;
+  checks_found : int;
+  checks_placed : int;
+  checks_removed : int;
+  invariants_placed : int;
+}
+
+type mod_stats = {
+  per_func : func_stats list;
+  total_checks_found : int;
+  total_checks_placed : int;
+  total_checks_removed : int;
+  total_invariants : int;
+}
+
+(* defsite of an SSA variable *)
+type defsite =
+  | Dparam of int  (** parameter index *)
+  | Dinstr of Edit.anchor * Instr.t
+  | Dphi of string * Instr.phi
+
+type fctx = {
+  config : Config.t;
+  m : Irmod.t;
+  f : Func.t;
+  edit : Edit.t;
+  defsites : defsite Value.VTbl.t;
+  memo : (string, witness) Hashtbl.t;
+  call_ret : (Edit.anchor, witness) Hashtbl.t;
+      (** witness of a call's pointer result, created by the protocol *)
+  mutable invariants : int;
+}
+
+let value_key = Optimize.value_key
+
+let vi64 k = Value.Int (Ty.I64, k)
+let vptr k = Value.Int (Ty.Ptr, k)
+let wide_sb = Wsb (vptr 0, vptr Layout_wide.wide_bound)
+let null_sb = Wsb (vptr 0, vptr 0)
+
+let build_defsites (f : Func.t) : defsite Value.VTbl.t =
+  let t = Value.VTbl.create 64 in
+  List.iteri (fun i p -> Value.VTbl.replace t p (Dparam i)) f.params;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (p : Instr.phi) ->
+          Value.VTbl.replace t p.pdst (Dphi (b.label, p)))
+        b.phis;
+      List.iteri
+        (fun pos (i : Instr.t) ->
+          match i.dst with
+          | Some d ->
+              Value.VTbl.replace t d
+                (Dinstr ({ Edit.ablock = b.label; apos = pos }, i))
+          | None -> ())
+        b.body)
+    f.blocks;
+  t
+
+(* slot index of a pointer parameter on the shadow stack: 1 + its rank
+   among the pointer-typed parameters *)
+let ptr_param_slot (f : Func.t) idx =
+  let rank = ref 0 in
+  let result = ref None in
+  List.iteri
+    (fun i (p : Value.var) ->
+      if Ty.is_ptr p.vty then begin
+        incr rank;
+        if i = idx then result := Some !rank
+      end)
+    f.params;
+  !result
+
+let call1 name args = Instr.Call (name, args)
+
+(* ------------------------------------------------------------------ *)
+(* Witness computation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec witness_of (ctx : fctx) (v : Value.t) : witness =
+  let key = value_key v in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some w -> w
+  | None ->
+      let w = compute_witness ctx v in
+      (* phis memoize themselves before recursing; replace is idempotent *)
+      Hashtbl.replace ctx.memo key w;
+      w
+
+and sb_witness_of ctx v =
+  match witness_of ctx v with
+  | Wsb (b, e) -> (b, e)
+  | Wlf _ -> invalid_arg "sb witness expected"
+
+and lf_witness_of ctx v =
+  match witness_of ctx v with
+  | Wlf b -> b
+  | Wsb _ -> invalid_arg "lf witness expected"
+
+and compute_witness ctx (v : Value.t) : witness =
+  let sb = ctx.config.approach = Config.Softbound in
+  match v with
+  | Value.Int (_, _) ->
+      (* constant addresses (null and friends): SoftBound uses null
+         bounds; Low-Fat recomputes — constants lie outside the low-fat
+         regions, so they get wide treatment at check time *)
+      if sb then null_sb else Wlf v
+  | Value.Fn _ -> if sb then null_sb else Wlf v
+  | Value.Flt _ -> invalid_arg "witness of float"
+  | Value.Glob g -> witness_of_global ctx g
+  | Value.Var x -> (
+      match Value.VTbl.find_opt ctx.defsites x with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "witness: no defsite for %s in %s"
+               (Value.var_to_string x) ctx.f.fname)
+      | Some site -> witness_of_def ctx x site)
+
+and witness_of_global ctx g =
+  let sb = ctx.config.approach = Config.Softbound in
+  match Irmod.find_global ctx.m g with
+  | None ->
+      (* global from another module we cannot see; size unknown *)
+      if sb then
+        if ctx.config.sb_size_zero_wide_upper then
+          Wsb (Value.Glob g, vptr Layout_wide.wide_bound)
+        else null_sb
+      else Wlf (Value.Glob g)
+  | Some gl ->
+      if not sb then Wlf (Value.Glob g)
+      else if gl.gsize_known then
+        (* bound = @g + size, materialized once at function entry *)
+        let bound =
+          Edit.emit_entry ctx.edit ~name:"gbound" Ty.Ptr
+            (Instr.Gep (Value.Glob g, [ { stride = 1; idx = vi64 gl.gsize } ]))
+        in
+        Wsb (Value.Glob g, bound)
+      else if ctx.config.sb_size_zero_wide_upper then
+        (* §4.3: size-zero extern array declaration -> wide upper bound *)
+        Wsb (Value.Glob g, vptr Layout_wide.wide_bound)
+      else null_sb
+
+and witness_of_def ctx (x : Value.var) (site : defsite) : witness =
+  let sb = ctx.config.approach = Config.Softbound in
+  match site with
+  | Dparam idx ->
+      if sb then begin
+        match ptr_param_slot ctx.f idx with
+        | Some slot ->
+            (* rely on the invariant: caller pushed bounds on the shadow
+               stack (Table 1) *)
+            let b =
+              Edit.emit_entry ctx.edit ~name:"argb" Ty.Ptr
+                (call1 Intrinsics.ss_get_base [ vi64 slot ])
+            in
+            let e =
+              Edit.emit_entry ctx.edit ~name:"arge" Ty.Ptr
+                (call1 Intrinsics.ss_get_bound [ vi64 slot ])
+            in
+            Wsb (b, e)
+        | None -> invalid_arg "ptr param without slot"
+      end
+      else
+        (* rely on the invariant: incoming pointers are in bounds, so the
+           base can be recomputed from the value (§3.3) *)
+        let b =
+          Edit.emit_entry ctx.edit ~name:"argbase" Ty.Ptr
+            (call1 Intrinsics.lf_base [ Value.Var x ])
+        in
+        Wlf b
+  | Dphi (blk, p) ->
+      (* create witness phis first (cycles!), recurse, then patch *)
+      if sb then begin
+        let bvar = Edit.fresh ctx.edit ~name:"phib" Ty.Ptr in
+        let evar = Edit.fresh ctx.edit ~name:"phie" Ty.Ptr in
+        let w = Wsb (Var bvar, Var evar) in
+        Hashtbl.replace ctx.memo (value_key (Value.Var x)) w;
+        let parts =
+          List.map
+            (fun (lbl, v) ->
+              let b, e = sb_witness_of ctx v in
+              (lbl, b, e))
+            p.incoming
+        in
+        Edit.add_phi ctx.edit blk
+          {
+            Instr.pdst = bvar;
+            incoming = List.map (fun (l, b, _) -> (l, b)) parts;
+          };
+        Edit.add_phi ctx.edit blk
+          {
+            Instr.pdst = evar;
+            incoming = List.map (fun (l, _, e) -> (l, e)) parts;
+          };
+        w
+      end
+      else begin
+        let bvar = Edit.fresh ctx.edit ~name:"phibase" Ty.Ptr in
+        let w = Wlf (Var bvar) in
+        Hashtbl.replace ctx.memo (value_key (Value.Var x)) w;
+        let parts =
+          List.map (fun (lbl, v) -> (lbl, lf_witness_of ctx v)) p.incoming
+        in
+        Edit.add_phi ctx.edit blk { Instr.pdst = bvar; incoming = parts };
+        w
+      end
+  | Dinstr (anchor, i) -> (
+      match i.op with
+      | Instr.Gep (base, _) ->
+          (* pointer arithmetic inherits the source pointer's witness *)
+          witness_of ctx base
+      | Instr.Select (_, c, a, b) ->
+          if sb then begin
+            let ab, ae = sb_witness_of ctx a in
+            let bb, be = sb_witness_of ctx b in
+            let wb =
+              Edit.emit_after ctx.edit anchor ~name:"selb" Ty.Ptr
+                (Instr.Select (Ty.Ptr, c, ab, bb))
+            in
+            let we =
+              Edit.emit_after ctx.edit anchor ~name:"sele" Ty.Ptr
+                (Instr.Select (Ty.Ptr, c, ae, be))
+            in
+            Wsb (wb, we)
+          end
+          else begin
+            let ab = lf_witness_of ctx a in
+            let bb = lf_witness_of ctx b in
+            let wb =
+              Edit.emit_after ctx.edit anchor ~name:"selbase" Ty.Ptr
+                (Instr.Select (Ty.Ptr, c, ab, bb))
+            in
+            Wlf wb
+          end
+      | Instr.Alloca { size; _ } ->
+          if sb then
+            let bound =
+              Edit.emit_after ctx.edit anchor ~name:"abound" Ty.Ptr
+                (Instr.Gep (Value.Var x, [ { stride = 1; idx = vi64 size } ]))
+            in
+            Wsb (Value.Var x, bound)
+          else
+            (* reachable only with lf_stack protection off: conventional
+               stack addresses are outside the low-fat regions, so the
+               check treats them as wide (§4.6) *)
+            Wlf (Value.Var x)
+      | Instr.Load (ty, addr) ->
+          if not (Ty.is_ptr ty) then
+            invalid_arg "witness of non-pointer load";
+          if sb then begin
+            (* rely on the invariant: in-memory pointers have their bounds
+               in the trie, keyed by the pointer's location *)
+            let b =
+              Edit.emit_after ctx.edit anchor ~name:"ldb" Ty.Ptr
+                (call1 Intrinsics.sb_trie_load_base [ addr ])
+            in
+            let e =
+              Edit.emit_after ctx.edit anchor ~name:"lde" Ty.Ptr
+                (call1 Intrinsics.sb_trie_load_bound [ addr ])
+            in
+            Wsb (b, e)
+          end
+          else
+            (* rely on the invariant: loaded pointers are in bounds *)
+            let b =
+              Edit.emit_after ctx.edit anchor ~name:"ldbase" Ty.Ptr
+                (call1 Intrinsics.lf_base [ Value.Var x ])
+            in
+            Wlf b
+      | Instr.Cast (IntToPtr, _, _, _) ->
+          if sb then
+            (* §4.4: no metadata survives the round trip through an
+               integer; the policy decides between wide and null bounds *)
+            if ctx.config.sb_inttoptr_wide then wide_sb else null_sb
+          else
+            (* §4.4: Low-Fat assumes the integer still encodes an
+               in-bounds pointer and recomputes — unsound if it was
+               corrupted in the meantime *)
+            let b =
+              Edit.emit_after ctx.edit anchor ~name:"i2pbase" Ty.Ptr
+                (call1 Intrinsics.lf_base [ Value.Var x ])
+            in
+            Wlf b
+      | Instr.Cast (Bitcast, from_ty, src, to_ty)
+        when Ty.is_ptr from_ty && Ty.is_ptr to_ty ->
+          witness_of ctx src
+      | Instr.Cast (_, _, _, _) ->
+          if sb then null_sb else Wlf (Value.Var x)
+      | Instr.Call (callee, args) -> witness_of_call ctx x anchor callee args
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "witness: unexpected def %s for %s"
+               (Printer.instr_to_string i) (Value.var_to_string x)))
+
+and witness_of_call ctx (x : Value.var) anchor callee args : witness =
+  let sb = ctx.config.approach = Config.Softbound in
+  match callee with
+  | "malloc" ->
+      if sb then
+        let bound =
+          Edit.emit_after ctx.edit anchor ~name:"mbound" Ty.Ptr
+            (Instr.Gep (Value.Var x, [ { stride = 1; idx = List.nth args 0 } ]))
+        in
+        Wsb (Value.Var x, bound)
+      else Wlf (Value.Var x)
+  | "calloc" ->
+      if sb then begin
+        let total =
+          Edit.emit_after ctx.edit anchor ~name:"csz" Ty.I64
+            (Instr.Bin (Mul, Ty.I64, List.nth args 0, List.nth args 1))
+        in
+        let bound =
+          Edit.emit_after ctx.edit anchor ~name:"cbound" Ty.Ptr
+            (Instr.Gep (Value.Var x, [ { stride = 1; idx = total } ]))
+        in
+        Wsb (Value.Var x, bound)
+      end
+      else Wlf (Value.Var x)
+  | name when name = Intrinsics.lf_alloca -> Wlf (Value.Var x)
+  | "realloc" when not sb -> Wlf (Value.Var x)
+  | _ -> (
+      (* general call: witness comes from the call protocol *)
+      match Hashtbl.find_opt ctx.call_ret anchor with
+      | Some w -> w
+      | None ->
+          if sb then begin
+            (* no protocol was set up (e.g. an unwrapped builtin that
+               returns a pointer): SoftBound reads the — possibly stale —
+               return slot of the shadow stack; exactly the §4.3 hazard *)
+            let b =
+              Edit.emit_after ctx.edit anchor ~name:"retb" Ty.Ptr
+                (call1 Intrinsics.ss_get_base [ vi64 0 ])
+            in
+            let e =
+              Edit.emit_after ctx.edit anchor ~name:"rete" Ty.Ptr
+                (call1 Intrinsics.ss_get_bound [ vi64 0 ])
+            in
+            let w = Wsb (b, e) in
+            Hashtbl.replace ctx.call_ret anchor w;
+            w
+          end
+          else begin
+            let b =
+              Edit.emit_after ctx.edit anchor ~name:"retbase" Ty.Ptr
+                (call1 Intrinsics.lf_base [ Value.Var x ])
+            in
+            let w = Wlf b in
+            Hashtbl.replace ctx.call_ret anchor w;
+            w
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant maintenance (Table 1, rows "establish invariant")          *)
+(* ------------------------------------------------------------------ *)
+
+let emit_invariant_store ctx (s : Itarget.ptr_store) =
+  ctx.invariants <- ctx.invariants + 1;
+  match ctx.config.approach with
+  | Config.Softbound ->
+      let b, e = sb_witness_of ctx s.s_value in
+      Edit.insert_after ctx.edit s.s_anchor
+        (Instr.mk (call1 Intrinsics.sb_trie_store [ s.s_addr; b; e ]))
+  | Config.Lowfat ->
+      let b = lf_witness_of ctx s.s_value in
+      Edit.insert_before ctx.edit s.s_anchor
+        (Instr.mk (call1 Intrinsics.lf_invariant_check [ s.s_value; b ]))
+
+let emit_call_protocol ctx (c : Itarget.call) =
+  match ctx.config.approach with
+  | Config.Lowfat ->
+      (* establish the invariant: pointers passed to callees are in
+         bounds *)
+      List.iter
+        (fun (_, v) ->
+          ctx.invariants <- ctx.invariants + 1;
+          let b = lf_witness_of ctx v in
+          Edit.insert_before ctx.edit c.l_anchor
+            (Instr.mk (call1 Intrinsics.lf_invariant_check [ v; b ])))
+        c.l_ptr_args
+  | Config.Softbound -> (
+      match c.l_kind with
+      | Itarget.Runtime_internal | Itarget.Known_alloc -> ()
+      | Itarget.Plain_builtin -> ()
+      | Itarget.Wrapped | Itarget.General ->
+          let needs = c.l_has_ptr_ret || c.l_ptr_args <> [] in
+          if needs then begin
+            ctx.invariants <- ctx.invariants + 1;
+            let nslots = List.length c.l_ptr_args in
+            Edit.insert_before ctx.edit c.l_anchor
+              (Instr.mk (call1 Intrinsics.ss_enter [ vi64 nslots ]));
+            List.iteri
+              (fun rank (_, v) ->
+                let b, e = sb_witness_of ctx v in
+                Edit.insert_before ctx.edit c.l_anchor
+                  (Instr.mk
+                     (call1 Intrinsics.ss_set_base [ vi64 (rank + 1); b ]));
+                Edit.insert_before ctx.edit c.l_anchor
+                  (Instr.mk
+                     (call1 Intrinsics.ss_set_bound [ vi64 (rank + 1); e ])))
+              c.l_ptr_args;
+            (if c.l_has_ptr_ret then
+               let b =
+                 Edit.emit_after ctx.edit c.l_anchor ~name:"retb" Ty.Ptr
+                   (call1 Intrinsics.ss_get_base [ vi64 0 ])
+               in
+               let e =
+                 Edit.emit_after ctx.edit c.l_anchor ~name:"rete" Ty.Ptr
+                   (call1 Intrinsics.ss_get_bound [ vi64 0 ])
+               in
+               Hashtbl.replace ctx.call_ret c.l_anchor (Wsb (b, e)));
+            Edit.insert_after ctx.edit c.l_anchor
+              (Instr.mk (call1 Intrinsics.ss_leave []));
+            (* wrapped libc functions are replaced by their metadata-
+               maintaining wrapper (Fig. 6) *)
+            if c.l_kind = Itarget.Wrapped then
+              Edit.set_replacement ctx.edit c.l_anchor
+                (Instr.mk ?dst:c.l_dst
+                   (Instr.Call (Intrinsics.sb_wrapper c.l_callee, c.l_args)))
+          end)
+
+let emit_ret_protocol ctx (r : Itarget.ptr_ret) =
+  ctx.invariants <- ctx.invariants + 1;
+  match ctx.config.approach with
+  | Config.Softbound ->
+      let b, e = sb_witness_of ctx r.r_value in
+      Edit.insert_at_end ctx.edit r.r_block
+        (Instr.mk (call1 Intrinsics.ss_set_base [ vi64 0; b ]));
+      Edit.insert_at_end ctx.edit r.r_block
+        (Instr.mk (call1 Intrinsics.ss_set_bound [ vi64 0; e ]))
+  | Config.Lowfat ->
+      let b = lf_witness_of ctx r.r_value in
+      Edit.insert_at_end ctx.edit r.r_block
+        (Instr.mk (call1 Intrinsics.lf_invariant_check [ r.r_value; b ]))
+
+let emit_escape_cast ctx (e : Itarget.ptr_escape_cast) =
+  match ctx.config.approach with
+  | Config.Softbound -> ()
+  | Config.Lowfat ->
+      (* §4.4: check at pointer-to-integer casts *)
+      ctx.invariants <- ctx.invariants + 1;
+      let b = lf_witness_of ctx e.e_ptr in
+      Edit.insert_before ctx.edit e.e_anchor
+        (Instr.mk (call1 Intrinsics.lf_invariant_check [ e.e_ptr; b ]))
+
+let emit_memop ctx (mo : Itarget.memop) =
+  (match (ctx.config.approach, mo.m_kind) with
+  | Config.Softbound, `Memcpy ->
+      (* keep the trie in sync when memory is copied wholesale (the
+         copy_metadata part of the memcpy wrapper, Fig. 6) *)
+      ctx.invariants <- ctx.invariants + 1;
+      Edit.insert_after ctx.edit mo.m_anchor
+        (Instr.mk
+           (call1 Intrinsics.sb_meta_copy
+              [ mo.m_dst; Option.get mo.m_src; mo.m_len ]))
+  | _ -> ());
+  if ctx.config.sb_wrapper_checks && ctx.config.mode = Config.Full then begin
+    (* the wrapper-style checks disabled by default for comparability
+       (§5.1.2) *)
+    let check_one ptr =
+      match ctx.config.approach with
+      | Config.Softbound ->
+          let b, e = sb_witness_of ctx ptr in
+          Edit.insert_before ctx.edit mo.m_anchor
+            (Instr.mk (call1 Intrinsics.sb_check [ ptr; mo.m_len; b; e ]))
+      | Config.Lowfat ->
+          let b = lf_witness_of ctx ptr in
+          Edit.insert_before ctx.edit mo.m_anchor
+            (Instr.mk (call1 Intrinsics.lf_check [ ptr; mo.m_len; b ]))
+    in
+    check_one mo.m_dst;
+    Option.iter check_one mo.m_src
+  end
+
+let emit_check ctx (c : Itarget.check) =
+  match ctx.config.approach with
+  | Config.Softbound ->
+      let b, e = sb_witness_of ctx c.c_ptr in
+      Edit.insert_before ctx.edit c.c_anchor
+        (Instr.mk
+           (call1 Intrinsics.sb_check [ c.c_ptr; vi64 c.c_width; b; e ]))
+  | Config.Lowfat ->
+      let b = lf_witness_of ctx c.c_ptr in
+      Edit.insert_before ctx.edit c.c_anchor
+        (Instr.mk (call1 Intrinsics.lf_check [ c.c_ptr; vi64 c.c_width; b ]))
+
+(* ------------------------------------------------------------------ *)
+(* Per-function driver                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Low-Fat stack protection [12]: mirror allocas into low-fat regions by
+   replacing them with calls to the mirrored stack allocator. *)
+let lf_replace_allocas (f : Func.t) : unit =
+  let edit = Edit.create f in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iteri
+        (fun pos (i : Instr.t) ->
+          match i.op with
+          | Instr.Alloca { size; _ } ->
+              Edit.set_replacement edit
+                { Edit.ablock = b.Block.label; apos = pos }
+                { i with op = call1 Intrinsics.lf_alloca [ vi64 size ] }
+          | _ -> ())
+        b.body)
+    f.blocks;
+  Edit.apply edit
+
+let instrument_func (config : Config.t) (m : Irmod.t) (f : Func.t) :
+    func_stats =
+  if config.approach = Config.Lowfat && config.lf_stack then
+    lf_replace_allocas f;
+  let targets = Itarget.discover m f in
+  let checks, opt_stats = Optimize.run config f targets.checks in
+  let ctx =
+    {
+      config;
+      m;
+      f;
+      edit = Edit.create f;
+      defsites = build_defsites f;
+      memo = Hashtbl.create 64;
+      call_ret = Hashtbl.create 16;
+      invariants = 0;
+    }
+  in
+  (* invariants first: the call protocol pre-creates return witnesses *)
+  List.iter (emit_call_protocol ctx) targets.calls;
+  List.iter (emit_invariant_store ctx) targets.ptr_stores;
+  List.iter (emit_ret_protocol ctx) targets.ptr_rets;
+  List.iter (emit_escape_cast ctx) targets.escape_casts;
+  List.iter (emit_memop ctx) targets.memops;
+  let placed =
+    match config.mode with
+    | Config.Full ->
+        List.iter (emit_check ctx) checks;
+        List.length checks
+    | Config.Geninvariants | Config.Noop -> 0
+  in
+  Edit.apply ctx.edit;
+  {
+    fname = f.fname;
+    checks_found = opt_stats.Optimize.before;
+    checks_placed = placed;
+    checks_removed = Optimize.removed opt_stats;
+    invariants_placed = ctx.invariants;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Module-level driver                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* SoftBound constructor: register trie metadata for pointers appearing in
+   global initializers, so loads of those pointers find valid bounds. *)
+let sb_global_init (m : Irmod.t) : Func.t option =
+  let entries =
+    List.concat_map
+      (fun (g : Irmod.global) ->
+        if g.gextern then []
+        else
+          let _, acc =
+            List.fold_left
+              (fun (off, acc) (fld : Irmod.gfield) ->
+                match fld with
+                | Irmod.GPtr target -> (off + 8, (g.gname, off, target) :: acc)
+                | f -> (off + Irmod.field_size f, acc))
+              (0, []) g.gfields
+          in
+          List.rev acc)
+      m.globals
+  in
+  if entries = [] then None
+  else begin
+    let b = Builder.create ~name:"__mi_global_init" ~params:[] ~ret_ty:None in
+    Builder.start_block b "entry";
+    List.iter
+      (fun (holder, off, target) ->
+        let loc =
+          Builder.gep b (Value.Glob holder) [ { stride = 1; idx = vi64 off } ]
+        in
+        let size =
+          match Irmod.find_global m target with
+          | Some tg when tg.gsize_known -> Some tg.gsize
+          | _ -> None
+        in
+        let base = Value.Glob target in
+        let bound =
+          match size with
+          | Some s ->
+              Builder.gep b base [ { stride = 1; idx = vi64 s } ]
+          | None -> vptr Layout_wide.wide_bound
+        in
+        ignore
+          (Builder.call b ~ret:None Intrinsics.sb_trie_store
+             [ loc; base; bound ]))
+      entries;
+    Builder.ret b None;
+    Some (Builder.finish b)
+  end
+
+(** Instrument every defined function of [m] in place according to
+    [config].  Returns static statistics (checks found/placed/eliminated
+    per function) used by the §5.3 evaluation. *)
+let run (config : Config.t) (m : Irmod.t) : mod_stats =
+  let per_func =
+    match config.mode with
+    | Config.Noop -> []
+    | _ ->
+        let stats =
+          List.map
+            (fun f -> instrument_func config m f)
+            (Irmod.defined_funcs m)
+        in
+        (match config.approach with
+        | Config.Softbound -> (
+            match sb_global_init m with
+            | Some f -> Irmod.add_func m f
+            | None -> ())
+        | Config.Lowfat -> ());
+        stats
+  in
+  {
+    per_func;
+    total_checks_found =
+      List.fold_left (fun a s -> a + s.checks_found) 0 per_func;
+    total_checks_placed =
+      List.fold_left (fun a s -> a + s.checks_placed) 0 per_func;
+    total_checks_removed =
+      List.fold_left (fun a s -> a + s.checks_removed) 0 per_func;
+    total_invariants =
+      List.fold_left (fun a s -> a + s.invariants_placed) 0 per_func;
+  }

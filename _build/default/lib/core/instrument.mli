@@ -1,0 +1,39 @@
+(** The MemInstrument module pass: discovers targets (Table 1),
+    propagates witnesses, places checks and invariant-maintenance code
+    for the configured approach. *)
+
+open Mi_mir
+
+(** A pointer's witness: the SSA values that carry its bounds to its
+    uses (§3.1). *)
+type witness =
+  | Wsb of Value.t * Value.t  (** SoftBound: base and bound *)
+  | Wlf of Value.t  (** Low-Fat: the allocation base pointer *)
+
+type func_stats = {
+  fname : string;
+  checks_found : int;  (** check targets discovered *)
+  checks_placed : int;  (** after optimization and mode filtering *)
+  checks_removed : int;  (** eliminated by the dominance optimization *)
+  invariants_placed : int;  (** invariant-maintenance sites *)
+}
+
+type mod_stats = {
+  per_func : func_stats list;
+  total_checks_found : int;
+  total_checks_placed : int;
+  total_checks_removed : int;
+  total_invariants : int;
+}
+
+val run : Config.t -> Irmod.t -> mod_stats
+(** Instrument every defined function of the module in place.  For
+    SoftBound, a [__mi_global_init] constructor is added when global
+    initializers contain pointers (their trie metadata must exist before
+    [main] runs).  Returns the static statistics of §5.3. *)
+
+val sb_global_init : Irmod.t -> Func.t option
+(** The constructor described above, exposed for testing. *)
+
+val instrument_func : Config.t -> Irmod.t -> Func.t -> func_stats
+(** Instrument a single function (exposed for testing; [run] drives it). *)

@@ -1,0 +1,180 @@
+(** Instrumentation-target discovery — the shared strategy of Table 1.
+
+    Walking a function yields, independently of the chosen approach:
+    - {e check targets}: loads and stores whose address must be validated;
+    - {e invariant targets}: program points where pointers escape (stores
+      of pointer values, calls with pointer arguments or results, returns
+      of pointers, pointer-to-integer casts) and where the approach must
+      establish or rely on its invariant;
+    - {e memop targets}: [memcpy]/[memset] intrinsics that move memory
+      (and possibly in-memory pointers) wholesale.
+
+    The approach-specific lowering of these targets lives in
+    {!Instrument}; approach-independent filtering (e.g. the dominance-
+    based check elimination of §5.3) operates on this representation. *)
+
+open Mi_mir
+
+type access = Aload | Astore
+
+type check = {
+  c_anchor : Edit.anchor;
+  c_ptr : Value.t;
+  c_width : int;
+  c_access : access;
+}
+
+(** How a call site relates to the runtime/libc world; decides protocol. *)
+type call_kind =
+  | Runtime_internal  (** [__mi_*]/[__sbw_*]: never instrumented *)
+  | Known_alloc  (** [malloc]/[calloc]: bounds derived from arguments *)
+  | Wrapped  (** libc functions with a SoftBound wrapper (Fig. 6) *)
+  | Plain_builtin  (** other libc: no pointer metadata crosses the call *)
+  | General  (** defined here or unknown extern: full protocol *)
+
+type call = {
+  l_anchor : Edit.anchor;
+  l_callee : string;
+  l_kind : call_kind;
+  l_args : Value.t list;
+  l_ptr_args : (int * Value.t) list;
+      (** (argument index, value) of pointer-typed arguments *)
+  l_has_ptr_ret : bool;
+  l_dst : Value.var option;
+}
+
+type ptr_store = {
+  s_anchor : Edit.anchor;
+  s_value : Value.t;  (** the pointer being stored *)
+  s_addr : Value.t;
+}
+
+type ptr_ret = { r_block : string; r_value : Value.t }
+
+type ptr_escape_cast = { e_anchor : Edit.anchor; e_ptr : Value.t }
+(** a [ptrtoint] cast: Low-Fat checks the pointer in-bounds here (§4.4) *)
+
+type memop = {
+  m_anchor : Edit.anchor;
+  m_kind : [ `Memcpy | `Memset ];
+  m_dst : Value.t;
+  m_src : Value.t option;
+  m_len : Value.t;
+}
+
+type t = {
+  checks : check list;
+  calls : call list;
+  ptr_stores : ptr_store list;
+  ptr_rets : ptr_ret list;
+  escape_casts : ptr_escape_cast list;
+  memops : memop list;
+}
+
+let classify_callee (m : Irmod.t) name : call_kind =
+  if Intrinsics.is_runtime_internal name then Runtime_internal
+  else if name = "malloc" || name = "calloc" then Known_alloc
+  else if List.mem name Intrinsics.sb_wrapped then Wrapped
+  else
+    match Irmod.find_func m name with
+    | Some f when not f.is_external -> General
+    | _ -> if Intrinsics.is_builtin name then Plain_builtin else General
+
+let discover (m : Irmod.t) (f : Func.t) : t =
+  let checks = ref [] in
+  let calls = ref [] in
+  let ptr_stores = ref [] in
+  let ptr_rets = ref [] in
+  let escape_casts = ref [] in
+  let memops = ref [] in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iteri
+        (fun pos (i : Instr.t) ->
+          let anchor = { Edit.ablock = b.Block.label; apos = pos } in
+          match i.op with
+          | Load (ty, addr) ->
+              checks :=
+                {
+                  c_anchor = anchor;
+                  c_ptr = addr;
+                  c_width = Ty.size_of ty;
+                  c_access = Aload;
+                }
+                :: !checks
+          | Store (ty, v, addr) ->
+              checks :=
+                {
+                  c_anchor = anchor;
+                  c_ptr = addr;
+                  c_width = Ty.size_of ty;
+                  c_access = Astore;
+                }
+                :: !checks;
+              if Ty.is_ptr ty then
+                ptr_stores :=
+                  { s_anchor = anchor; s_value = v; s_addr = addr }
+                  :: !ptr_stores
+          | Call (callee, args) ->
+              let kind = classify_callee m callee in
+              let ptr_args =
+                List.mapi (fun k v -> (k, v)) args
+                |> List.filter (fun (_, v) -> Ty.is_ptr (Value.ty_of v))
+              in
+              let has_ptr_ret =
+                match i.dst with
+                | Some d -> Ty.is_ptr d.vty
+                | None -> false
+              in
+              if kind <> Runtime_internal then
+                calls :=
+                  {
+                    l_anchor = anchor;
+                    l_callee = callee;
+                    l_kind = kind;
+                    l_args = args;
+                    l_ptr_args = ptr_args;
+                    l_has_ptr_ret = has_ptr_ret;
+                    l_dst = i.dst;
+                  }
+                  :: !calls
+          | Cast (PtrToInt, _, v, _) ->
+              escape_casts :=
+                { e_anchor = anchor; e_ptr = v } :: !escape_casts
+          | Memcpy (d, s, n) ->
+              memops :=
+                {
+                  m_anchor = anchor;
+                  m_kind = `Memcpy;
+                  m_dst = d;
+                  m_src = Some s;
+                  m_len = n;
+                }
+                :: !memops
+          | Memset (d, _, n) ->
+              memops :=
+                {
+                  m_anchor = anchor;
+                  m_kind = `Memset;
+                  m_dst = d;
+                  m_src = None;
+                  m_len = n;
+                }
+                :: !memops
+          | _ -> ())
+        b.body;
+      match b.term with
+      | Instr.Ret (Some v) when Ty.is_ptr (Value.ty_of v) ->
+          ptr_rets := { r_block = b.Block.label; r_value = v } :: !ptr_rets
+      | _ -> ())
+    f.blocks;
+  {
+    checks = List.rev !checks;
+    calls = List.rev !calls;
+    ptr_stores = List.rev !ptr_stores;
+    ptr_rets = List.rev !ptr_rets;
+    escape_casts = List.rev !escape_casts;
+    memops = List.rev !memops;
+  }
+
+let n_checks t = List.length t.checks

@@ -1,0 +1,68 @@
+(** Instrumentation-target discovery — the shared strategy of the
+    paper's Table 1, independent of the chosen approach. *)
+
+open Mi_mir
+
+type access = Aload | Astore
+
+type check = {
+  c_anchor : Edit.anchor;
+  c_ptr : Value.t;  (** the address being dereferenced *)
+  c_width : int;  (** access width in bytes *)
+  c_access : access;
+}
+(** A load or store whose address must be validated. *)
+
+(** How a call site relates to the runtime/libc world. *)
+type call_kind =
+  | Runtime_internal  (** [__mi_*]/[__sbw_*]: never instrumented *)
+  | Known_alloc  (** [malloc]/[calloc]: bounds derived from arguments *)
+  | Wrapped  (** libc functions with a SoftBound wrapper (Fig. 6) *)
+  | Plain_builtin  (** other libc: no pointer metadata crosses the call *)
+  | General  (** defined here or unknown extern: full protocol *)
+
+type call = {
+  l_anchor : Edit.anchor;
+  l_callee : string;
+  l_kind : call_kind;
+  l_args : Value.t list;
+  l_ptr_args : (int * Value.t) list;
+      (** (argument index, value) of pointer-typed arguments *)
+  l_has_ptr_ret : bool;
+  l_dst : Value.var option;
+}
+
+type ptr_store = {
+  s_anchor : Edit.anchor;
+  s_value : Value.t;  (** the pointer being stored *)
+  s_addr : Value.t;
+}
+
+type ptr_ret = { r_block : string; r_value : Value.t }
+
+type ptr_escape_cast = { e_anchor : Edit.anchor; e_ptr : Value.t }
+(** A [ptrtoint] cast — Low-Fat checks the pointer in-bounds here (§4.4). *)
+
+type memop = {
+  m_anchor : Edit.anchor;
+  m_kind : [ `Memcpy | `Memset ];
+  m_dst : Value.t;
+  m_src : Value.t option;
+  m_len : Value.t;
+}
+
+type t = {
+  checks : check list;
+  calls : call list;
+  ptr_stores : ptr_store list;
+  ptr_rets : ptr_ret list;
+  escape_casts : ptr_escape_cast list;
+  memops : memop list;
+}
+
+val classify_callee : Irmod.t -> string -> call_kind
+
+val discover : Irmod.t -> Func.t -> t
+(** Walk [f] and collect every instrumentation target of Table 1. *)
+
+val n_checks : t -> int

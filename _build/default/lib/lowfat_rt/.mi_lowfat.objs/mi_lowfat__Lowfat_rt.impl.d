@@ -1,0 +1,1 @@
+lib/lowfat_rt/lowfat_rt.ml: Array Cost Hashtbl List Mi_mir Mi_support Mi_vm Printf State

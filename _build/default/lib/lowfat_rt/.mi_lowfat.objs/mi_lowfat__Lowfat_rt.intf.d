@@ -1,0 +1,1 @@
+lib/lowfat_rt/lowfat_rt.mli: Mi_vm State

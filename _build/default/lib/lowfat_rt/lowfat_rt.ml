@@ -1,0 +1,209 @@
+(** Low-Fat Pointers runtime (Duck & Yap, CC'16; stack protection NDSS'17;
+    globals arXiv'18).
+
+    The virtual address space is partitioned into regions, one per
+    power-of-two size class from 2^4 to 2^30 bytes (see {!Mi_vm.Layout});
+    an allocation of size [s] is served from the region of class
+    [2^ceil(log2 (s+1))] — the extra byte implements the paper's
+    footnote 3, making one-past-the-end pointers in-bounds.  Base and size
+    of an object are recomputed from any pointer into it by masking, which
+    is what {!base} and the checks do.
+
+    Allocations larger than the largest class, or allocations in an
+    exhausted region, fall back to the standard allocator and yield
+    non-low-fat pointers with wide bounds (§4.6 — the 429mcf case). *)
+
+open Mi_vm
+module Layout = Mi_vm.Layout
+module Util = Mi_support.Util
+
+type t = {
+  st : State.t;
+  bump : int array;  (** per region index: next unallocated address *)
+  free : int list ref array;  (** per region: free list *)
+  mutable frames : int list list;
+      (** mirrored stack allocations per active frame (stack protection) *)
+  saved_frame_enter : State.t -> unit;
+  saved_frame_exit : State.t -> unit;
+}
+
+(* --- pointer arithmetic (mirrors Figures 4/5 of the paper) ----------- *)
+
+let region_of_addr addr = Layout.region_index addr
+
+let is_low_fat = Layout.is_low_fat
+
+(** Size class (bytes) of the object containing [addr]; [None] if the
+    address is not in a low-fat region ("wide bounds"). *)
+let alloc_size addr =
+  if is_low_fat addr then Some (Layout.size_of_region (region_of_addr addr))
+  else None
+
+(** Base pointer of the object containing [addr]: mask away the offset
+    bits.  Non-low-fat pointers are returned unchanged (their region has
+    no mask — they get wide bounds at check time). *)
+let base addr =
+  match alloc_size addr with
+  | Some size -> addr land lnot (size - 1)
+  | None -> addr
+
+(** Smallest region able to hold [padded] bytes. *)
+let class_of_size padded =
+  let k = max Layout.min_size_log (Util.log2_exact (Util.round_up_pow2 padded)) in
+  if k > Layout.max_size_log then None else Some (Layout.region_of_size_log k)
+
+(* --- allocation ------------------------------------------------------ *)
+
+let lf_malloc (t : t) st sz =
+  if sz < 0 then raise (State.Trap "malloc with negative size");
+  State.charge st st.State.cost.Cost.lf_alloc;
+  State.bump st "lf.malloc";
+  (* +1 byte of padding for one-past-the-end pointers (footnote 3) *)
+  match class_of_size (max sz 1 + 1) with
+  | None ->
+      (* larger than the largest supported size: standard allocator *)
+      State.bump st "lf.fallback_large";
+      State.std_malloc st sz
+  | Some r -> (
+      let size = Layout.size_of_region r in
+      match !(t.free.(r)) with
+      | a :: rest ->
+          t.free.(r) := rest;
+          Hashtbl.replace st.State.alloc_sizes a sz;
+          a
+      | [] ->
+          let a = t.bump.(r) in
+          if a + size > Layout.region_start (r + 1) then begin
+            (* region exhausted: fall back, pointer is not low-fat *)
+            State.bump st "lf.fallback_exhausted";
+            State.std_malloc st sz
+          end
+          else begin
+            t.bump.(r) <- a + size;
+            Hashtbl.replace st.State.alloc_sizes a sz;
+            a
+          end)
+
+let lf_free (t : t) st addr =
+  if addr <> 0 then
+    if is_low_fat addr then begin
+      State.charge st st.State.cost.Cost.lf_alloc;
+      State.bump st "lf.free";
+      let r = region_of_addr addr in
+      let size = Layout.size_of_region r in
+      if addr land (size - 1) <> 0 then
+        raise (State.Trap "free of interior low-fat pointer");
+      Hashtbl.remove st.State.alloc_sizes addr;
+      t.free.(r) := addr :: !(t.free.(r))
+    end
+    else State.std_free st addr
+
+(* --- checks ----------------------------------------------------------- *)
+
+(* Dereference check, Figure 5 of the paper:
+   fail iff (ptr - base) > alloc_size - width, computed unsigned. *)
+let check st ptr width b =
+  State.charge st st.State.cost.Cost.lf_check;
+  State.bump st "lf.checks";
+  match alloc_size b with
+  | None ->
+      (* non-low-fat base: wide bounds, access unprotected (§4.6) *)
+      State.bump st "lf.checks_wide"
+  | Some size ->
+      let off = ptr - b in
+      if off < 0 || off > size - width then
+        raise
+          (State.Safety_abort
+             {
+               checker = "lowfat";
+               reason =
+                 Printf.sprintf
+                   "out-of-bounds access: ptr=%#x base=%#x size=%d width=%d"
+                   ptr b size width;
+             })
+
+(* Escape check establishing the in-bounds invariant (Table 1, §4.2):
+   a pointer leaving the function must point into its witness's object. *)
+let invariant_check st ptr b =
+  State.charge st st.State.cost.Cost.lf_check;
+  State.bump st "lf.inv_checks";
+  match alloc_size b with
+  | None -> State.bump st "lf.inv_checks_wide"
+  | Some size ->
+      let off = ptr - b in
+      if off < 0 || off > size - 1 then
+        raise
+          (State.Safety_abort
+             {
+               checker = "lowfat";
+               reason =
+                 Printf.sprintf
+                   "out-of-bounds pointer escapes: ptr=%#x base=%#x size=%d"
+                   ptr b size;
+             })
+
+(* --- installation ----------------------------------------------------- *)
+
+(** Attach the Low-Fat runtime to a VM state.  [stack_protection] mirrors
+    instrumented [alloca]s into low-fat regions and frees them on frame
+    exit; it must be on when the instrumentation was configured with
+    [lf_stack]. *)
+let install ?(stack_protection = true) (st : State.t) : t =
+  let n = Layout.max_region + 2 in
+  let t =
+    {
+      st;
+      bump = Array.init n (fun r -> Layout.region_start r);
+      free = Array.init n (fun _ -> ref []);
+      frames = [];
+      saved_frame_enter = st.frame_enter_hook;
+      saved_frame_exit = st.frame_exit_hook;
+    }
+  in
+  (* the process-wide allocator becomes low-fat: external libraries get
+     protected heap objects automatically (§4.3) *)
+  st.malloc_hook <- (fun st sz -> lf_malloc t st sz);
+  st.free_hook <- (fun st a -> lf_free t st a);
+  State.register_builtin st Mi_mir.Intrinsics.lf_base (fun st args ->
+      State.charge st st.State.cost.Cost.lf_base;
+      State.bump st "lf.base_recompute";
+      Some (State.I (base (State.as_int args.(0)))));
+  State.register_builtin st Mi_mir.Intrinsics.lf_check (fun st args ->
+      check st
+        (State.as_int args.(0))
+        (State.as_int args.(1))
+        (State.as_int args.(2));
+      None);
+  State.register_builtin st Mi_mir.Intrinsics.lf_invariant_check
+    (fun st args ->
+      invariant_check st (State.as_int args.(0)) (State.as_int args.(1));
+      None);
+  if stack_protection then begin
+    State.register_builtin st Mi_mir.Intrinsics.lf_alloca (fun st args ->
+        let a = lf_malloc t st (State.as_int args.(0)) in
+        (match t.frames with
+        | f :: rest -> t.frames <- (a :: f) :: rest
+        | [] -> t.frames <- [ [ a ] ]);
+        Some (State.I a));
+    st.frame_enter_hook <-
+      (fun st ->
+        t.saved_frame_enter st;
+        t.frames <- [] :: t.frames);
+    st.frame_exit_hook <-
+      (fun st ->
+        (match t.frames with
+        | f :: rest ->
+            List.iter (fun a -> lf_free t st a) f;
+            t.frames <- rest
+        | [] -> ());
+        t.saved_frame_exit st)
+  end;
+  t
+
+(** Global-variable mirroring ([Duck & Yap 2018]): place defined globals in
+    low-fat regions so accesses to them are protected.  Pass as
+    [~alloc_global] to {!Mi_vm.Interp.load}. *)
+let alloc_global (t : t) (st : State.t) ~size ~align =
+  ignore align;
+  State.bump st "lf.global_mirror";
+  lf_malloc t st size

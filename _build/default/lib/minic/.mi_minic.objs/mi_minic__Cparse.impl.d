@@ -1,0 +1,1 @@
+lib/minic/cparse.ml: Array Ast Ctypes Lexer List Printf String

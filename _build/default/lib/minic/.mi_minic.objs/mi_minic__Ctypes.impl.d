@@ -1,0 +1,1 @@
+lib/minic/ctypes.ml: Hashtbl List Mi_mir Mi_support Printf String

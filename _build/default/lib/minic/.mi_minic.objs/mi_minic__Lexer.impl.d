@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Ast Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Block Builder Char Cparse Ctypes Func Hashtbl Instr Int64 Irmod Lexer List Mi_mir Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/minic/lower.mli: Ctypes Mi_mir

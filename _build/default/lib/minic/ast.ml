@@ -1,0 +1,88 @@
+(** Abstract syntax of MiniC, the C subset the benchmarks are written in.
+
+    Supported: the scalar types char/short/int/long/double, pointers,
+    arrays, structs; functions; globals with initializers (including
+    size-less [extern T a[];] declarations — the §4.3 pattern); full
+    expression syntax including casts between pointers and integers; and
+    the control statements if/while/for/return/break/continue. *)
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr | Band | Bor | Bxor
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor  (** short-circuiting *)
+
+type unop = Uneg | Unot | Ubnot  (** -, !, ~ *)
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Eint of int
+  | Efloat of float
+  | Estr of string
+  | Eident of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eassign of expr * expr  (** lvalue = value *)
+  | Eopassign of binop * expr * expr  (** lvalue op= value *)
+  | Eincdec of [ `Pre | `Post ] * [ `Inc | `Dec ] * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr  (** a[i] *)
+  | Emember of expr * string  (** s.f *)
+  | Earrow of expr * string  (** p->f *)
+  | Ederef of expr  (** *p *)
+  | Eaddr of expr  (** &lv *)
+  | Ecast of Ctypes.t * expr
+  | Esizeof_ty of Ctypes.t
+  | Esizeof_e of expr
+  | Econd of expr * expr * expr  (** c ? a : b *)
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Sexpr of expr
+  | Sdecl of Ctypes.t * string * init option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr  (** do { ... } while (e); *)
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sseq of stmt list
+      (** statements without a scope of their own — used for
+          multi-declarator declarations like [long i, k;] *)
+
+and init =
+  | Iexpr of expr
+  | Ilist of init list  (** array/struct initializer list *)
+
+type param = { p_name : string; p_ty : Ctypes.t }
+
+type func = {
+  f_name : string;
+  f_ret : Ctypes.t;
+  f_params : param list;
+  f_body : stmt list;
+  f_pos : pos;
+}
+
+type global = {
+  g_name : string;
+  g_ty : Ctypes.t;
+  g_init : init option;
+  g_extern : bool;
+  g_pos : pos;
+}
+
+type decl =
+  | Dfunc of func
+  | Dproto of string * Ctypes.t * Ctypes.t list * pos
+      (** name, return type, parameter types *)
+  | Dglobal of global
+  | Dstruct of string * (string * Ctypes.t) list * pos
+
+type program = decl list

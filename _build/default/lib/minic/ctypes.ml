@@ -1,0 +1,144 @@
+(** C types of the MiniC frontend and their memory layout. *)
+
+type t =
+  | Cvoid
+  | Cchar
+  | Cshort
+  | Cint
+  | Clong
+  | Cdouble
+  | Cptr of t
+  | Carr of t * int option  (** [None]: size-less [extern T a[];] *)
+  | Cstruct of string
+
+type field = { fld_name : string; fld_ty : t; fld_off : int }
+
+type struct_layout = {
+  s_name : string;
+  s_fields : field list;
+  s_size : int;
+  s_align : int;
+}
+
+type registry = (string, struct_layout) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 16
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec size_of (reg : registry) (ty : t) : int =
+  match ty with
+  | Cvoid -> err "sizeof(void)"
+  | Cchar -> 1
+  | Cshort -> 2
+  | Cint -> 4
+  | Clong -> 8
+  | Cdouble -> 8
+  | Cptr _ -> 8
+  | Carr (elt, Some n) -> n * size_of reg elt
+  | Carr (_, None) -> err "sizeof of size-less array"
+  | Cstruct name -> (
+      match Hashtbl.find_opt reg name with
+      | Some s -> s.s_size
+      | None -> err "sizeof of undeclared struct %s" name)
+
+let rec align_of (reg : registry) (ty : t) : int =
+  match ty with
+  | Cvoid -> 1
+  | Cchar -> 1
+  | Cshort -> 2
+  | Cint -> 4
+  | Clong | Cdouble | Cptr _ -> 8
+  | Carr (elt, _) -> align_of reg elt
+  | Cstruct name -> (
+      match Hashtbl.find_opt reg name with
+      | Some s -> s.s_align
+      | None -> err "align of undeclared struct %s" name)
+
+(** Define a struct, computing field offsets with natural alignment and
+    trailing padding, as on x86-64. *)
+let define_struct (reg : registry) name (fields : (string * t) list) :
+    struct_layout =
+  if Hashtbl.mem reg name then err "struct %s redefined" name;
+  let off = ref 0 in
+  let align = ref 1 in
+  let fs =
+    List.map
+      (fun (fn, ft) ->
+        let a = align_of reg ft in
+        align := max !align a;
+        off := Mi_support.Util.align_up !off a;
+        let f = { fld_name = fn; fld_ty = ft; fld_off = !off } in
+        off := !off + size_of reg ft;
+        f)
+      fields
+  in
+  let size = Mi_support.Util.align_up (max !off 1) !align in
+  let s = { s_name = name; s_fields = fs; s_size = size; s_align = !align } in
+  Hashtbl.replace reg name s;
+  s
+
+let find_field (reg : registry) sname fname : field =
+  match Hashtbl.find_opt reg sname with
+  | None -> err "undeclared struct %s" sname
+  | Some s -> (
+      match
+        List.find_opt (fun f -> String.equal f.fld_name fname) s.s_fields
+      with
+      | Some f -> f
+      | None -> err "struct %s has no member %s" sname fname)
+
+let is_integer = function
+  | Cchar | Cshort | Cint | Clong -> true
+  | _ -> false
+
+let is_arith = function
+  | Cchar | Cshort | Cint | Clong | Cdouble -> true
+  | _ -> false
+
+let is_ptr_like = function Cptr _ | Carr _ -> true | _ -> false
+
+let pointee = function
+  | Cptr t -> t
+  | Carr (t, _) -> t
+  | _ -> err "dereference of non-pointer"
+
+(** Array-to-pointer decay. *)
+let decay = function Carr (t, _) -> Cptr t | t -> t
+
+(** MIR type of a scalar C type as stored in memory / registers. *)
+let to_mir (ty : t) : Mi_mir.Ty.t =
+  match ty with
+  | Cchar -> I8
+  | Cshort -> I16
+  | Cint -> I32
+  | Clong -> I64
+  | Cdouble -> F64
+  | Cptr _ | Carr _ -> Ptr
+  | Cvoid -> err "mir type of void"
+  | Cstruct s -> err "mir type of struct %s (aggregates live in memory)" s
+
+(** Integer rank for the usual arithmetic conversions. *)
+let rank = function
+  | Cchar -> 1
+  | Cshort -> 2
+  | Cint -> 3
+  | Clong -> 4
+  | Cdouble -> 5
+  | _ -> 0
+
+let rec to_string = function
+  | Cvoid -> "void"
+  | Cchar -> "char"
+  | Cshort -> "short"
+  | Cint -> "int"
+  | Clong -> "long"
+  | Cdouble -> "double"
+  | Cptr t -> to_string t ^ "*"
+  | Carr (t, Some n) -> Printf.sprintf "%s[%d]" (to_string t) n
+  | Carr (t, None) -> Printf.sprintf "%s[]" (to_string t)
+  | Cstruct s -> "struct " ^ s
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1062 @@
+(** Lowering of MiniC to MIR.
+
+    One pass, clang-like: locals become [alloca]s (hoisted to the entry
+    block afterwards, as clang does with static allocas), every
+    struct/array access becomes address arithmetic ([gep]), and implicit C
+    conversions are materialized as casts.
+
+    The [ptr_mem_as_i64] mode reproduces the compiler-version difference
+    of the paper's Figure 7: loads and stores of pointer values go through
+    [i64] with [ptrtoint]/[inttoptr] around them, which hides pointer
+    stores from the instrumentation and breaks SoftBound's metadata —
+    the §4.4 usability finding. *)
+
+open Ast
+open Mi_mir
+module C = Ctypes
+
+exception Lower_error of pos * string
+
+let failp pos fmt =
+  Printf.ksprintf (fun s -> raise (Lower_error (pos, s))) fmt
+
+type mode = { ptr_mem_as_i64 : bool }
+
+let default_mode = { ptr_mem_as_i64 = false }
+
+(* builtin signatures: name -> (return type, parameter types) *)
+let builtin_sigs : (string * (C.t * C.t list)) list =
+  let vp = C.Cptr C.Cvoid and cp = C.Cptr C.Cchar in
+  [
+    ("malloc", (vp, [ C.Clong ]));
+    ("calloc", (vp, [ C.Clong; C.Clong ]));
+    ("realloc", (vp, [ vp; C.Clong ]));
+    ("free", (C.Cvoid, [ vp ]));
+    ("memcpy", (vp, [ vp; vp; C.Clong ]));
+    ("memmove", (vp, [ vp; vp; C.Clong ]));
+    ("memset", (vp, [ vp; C.Cint; C.Clong ]));
+    ("memcmp", (C.Cint, [ vp; vp; C.Clong ]));
+    ("strlen", (C.Clong, [ cp ]));
+    ("strcpy", (cp, [ cp; cp ]));
+    ("strncpy", (cp, [ cp; cp; C.Clong ]));
+    ("strcat", (cp, [ cp; cp ]));
+    ("strcmp", (C.Cint, [ cp; cp ]));
+    ("strchr", (cp, [ cp; C.Cint ]));
+    ("abs", (C.Cint, [ C.Cint ]));
+    ("labs", (C.Clong, [ C.Clong ]));
+    ("sqrt", (C.Cdouble, [ C.Cdouble ]));
+    ("fabs", (C.Cdouble, [ C.Cdouble ]));
+    ("sin", (C.Cdouble, [ C.Cdouble ]));
+    ("cos", (C.Cdouble, [ C.Cdouble ]));
+    ("exp", (C.Cdouble, [ C.Cdouble ]));
+    ("log", (C.Cdouble, [ C.Cdouble ]));
+    ("floor", (C.Cdouble, [ C.Cdouble ]));
+    ("ceil", (C.Cdouble, [ C.Cdouble ]));
+    ("pow", (C.Cdouble, [ C.Cdouble; C.Cdouble ]));
+    ("print_int", (C.Cvoid, [ C.Clong ]));
+    ("print_f64", (C.Cvoid, [ C.Cdouble ]));
+    ("print_str", (C.Cvoid, [ cp ]));
+    ("putchar", (C.Cvoid, [ C.Cint ]));
+    ("print_newline", (C.Cvoid, []));
+    ("mi_rand", (C.Clong, []));
+    ("mi_srand", (C.Cvoid, [ C.Clong ]));
+    ("exit", (C.Cvoid, [ C.Cint ]));
+    ("abort", (C.Cvoid, []));
+  ]
+
+type genv = {
+  reg : C.registry;
+  sigs : (string, C.t * C.t list) Hashtbl.t;
+  globals : (string, C.t) Hashtbl.t;
+  m : Irmod.t;
+  mode : mode;
+  mutable str_count : int;
+}
+
+type loop_labels = { break_to : string; continue_to : string }
+
+type lenv = {
+  g : genv;
+  b : Builder.t;
+  f_ret : C.t;
+  mutable vars : (string * (Value.t * C.t)) list;  (** scoped bindings *)
+  mutable label_count : int;
+  mutable loops : loop_labels list;
+}
+
+let fresh_label (env : lenv) stem =
+  env.label_count <- env.label_count + 1;
+  Printf.sprintf "%s%d" stem env.label_count
+
+let lookup_var (env : lenv) pos name : Value.t * C.t =
+  match List.assoc_opt name env.vars with
+  | Some (addr, ty) -> (addr, ty)
+  | None -> (
+      match Hashtbl.find_opt env.g.globals name with
+      | Some ty -> (Value.Glob name, ty)
+      | None -> failp pos "undeclared identifier %s" name)
+
+(* intern a string literal as an anonymous global *)
+let intern_string (g : genv) (s : string) : string
+    =
+  let name = Printf.sprintf "str.%d" g.str_count in
+  g.str_count <- g.str_count + 1;
+  Irmod.add_global g.m
+    (Irmod.mk_global ~align:1 ~name ~size:(String.length s + 1)
+       [ Irmod.GBytes (s ^ "\000") ]);
+  name
+
+(* --- conversions ------------------------------------------------------ *)
+
+(* usual arithmetic conversions: both operands to the common type *)
+let common_arith_type (a : C.t) (b : C.t) : C.t =
+  if a = C.Cdouble || b = C.Cdouble then C.Cdouble
+  else
+    let r = max (C.rank a) (C.rank b) in
+    if r <= C.rank C.Cint then C.Cint else C.Clong
+
+(* promote small ints to int for unary/shift contexts *)
+let promote (t : C.t) : C.t =
+  match t with C.Cchar | C.Cshort -> C.Cint | t -> t
+
+let convert (env : lenv) pos (v : Value.t) (from_ty : C.t) (to_ty : C.t) :
+    Value.t =
+  let b = env.b in
+  if C.equal (C.decay from_ty) (C.decay to_ty) then v
+  else
+    match (C.decay from_ty, C.decay to_ty) with
+    | (C.Cptr _ as p1), (C.Cptr _ as p2) when p1 <> p2 -> v (* ptr casts free *)
+    | fi, ti when C.is_integer fi && C.is_integer ti ->
+        let f = C.to_mir fi and t = C.to_mir ti in
+        if Ty.bits f = Ty.bits t then v
+        else if Ty.bits f < Ty.bits t then
+          Builder.cast b Instr.Sext ~from:f ~into:t v
+        else Builder.cast b Instr.Trunc ~from:f ~into:t v
+    | fi, C.Cdouble when C.is_integer fi ->
+        Builder.cast b Instr.SiToFp ~from:(C.to_mir fi) ~into:Ty.F64 v
+    | C.Cdouble, ti when C.is_integer ti ->
+        Builder.cast b Instr.FpToSi ~from:Ty.F64 ~into:(C.to_mir ti) v
+    | fi, C.Cptr _ when C.is_integer fi ->
+        let v64 =
+          if Ty.bits (C.to_mir fi) < 64 then
+            Builder.cast b Instr.Sext ~from:(C.to_mir fi) ~into:Ty.I64 v
+          else v
+        in
+        (match v64 with
+        | Value.Int (_, 0) -> Value.null
+        | _ -> Builder.cast b Instr.IntToPtr ~from:Ty.I64 ~into:Ty.Ptr v64)
+    | C.Cptr _, ti when C.is_integer ti ->
+        let v64 = Builder.cast b Instr.PtrToInt ~from:Ty.Ptr ~into:Ty.I64 v in
+        if Ty.bits (C.to_mir ti) < 64 then
+          Builder.cast b Instr.Trunc ~from:Ty.I64 ~into:(C.to_mir ti) v64
+        else v64
+    | f, t ->
+        failp pos "unsupported conversion from %s to %s" (C.to_string f)
+          (C.to_string t)
+
+(* --- memory access ----------------------------------------------------- *)
+
+(* load an rvalue of object type [ty] from address [addr] *)
+let load_value (env : lenv) pos (addr : Value.t) (ty : C.t) : Value.t * C.t =
+  match ty with
+  | C.Carr (elt, _) -> (addr, C.Cptr elt) (* array decays to its address *)
+  | C.Cstruct _ -> (addr, ty) (* aggregate rvalue = its address *)
+  | C.Cvoid -> failp pos "load of void"
+  | _ ->
+      if env.g.mode.ptr_mem_as_i64 && C.is_ptr_like ty then begin
+        (* Figure 7, right-hand lowering: the pointer is loaded as i64 *)
+        let as_int = Builder.load env.b Ty.I64 addr in
+        ( Builder.cast env.b Instr.IntToPtr ~from:Ty.I64 ~into:Ty.Ptr as_int,
+          ty )
+      end
+      else (Builder.load env.b (C.to_mir ty) addr, ty)
+
+let store_value (env : lenv) pos (addr : Value.t) (ty : C.t) (v : Value.t) :
+    unit =
+  match ty with
+  | C.Cstruct name ->
+      (* struct assignment: bulk copy *)
+      let sz = C.size_of env.g.reg (C.Cstruct name) in
+      Builder.memcpy env.b addr v (Value.i64 sz)
+  | C.Carr _ -> failp pos "assignment to array"
+  | C.Cvoid -> failp pos "store of void"
+  | _ ->
+      if env.g.mode.ptr_mem_as_i64 && C.is_ptr_like ty then begin
+        let as_int =
+          Builder.cast env.b Instr.PtrToInt ~from:Ty.Ptr ~into:Ty.I64 v
+        in
+        Builder.store env.b Ty.I64 as_int addr
+      end
+      else Builder.store env.b (C.to_mir ty) v addr
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec lower_expr (env : lenv) (e : expr) : Value.t * C.t =
+  let pos = e.epos in
+  match e.e with
+  | Eint v -> (Value.i32 v, C.Cint)
+  | Efloat v -> (Value.Flt v, C.Cdouble)
+  | Estr s ->
+      let name = intern_string env.g s in
+      (Value.Glob name, C.Cptr C.Cchar)
+  | Eident _ | Eindex _ | Emember _ | Earrow _ | Ederef _ ->
+      let addr, ty = lower_lvalue env e in
+      load_value env pos addr ty
+  | Eaddr lv ->
+      let addr, ty = lower_lvalue env lv in
+      (addr, C.Cptr ty)
+  | Ecast (to_ty, inner) ->
+      let v, from_ty = lower_expr env inner in
+      if to_ty = C.Cvoid then (Value.i32 0, C.Cvoid)
+      else (convert env pos v from_ty to_ty, to_ty)
+  | Esizeof_ty t -> (Value.i64 (C.size_of env.g.reg t), C.Clong)
+  | Esizeof_e inner ->
+      let t = type_of_expr env inner in
+      (Value.i64 (C.size_of env.g.reg t), C.Clong)
+  | Eun (Uneg, a) ->
+      let v, ty = lower_expr env a in
+      let ty = promote ty in
+      if ty = C.Cdouble then
+        (Builder.fbinop env.b Instr.FSub (Value.Flt 0.0) v, ty)
+      else
+        let v = convert env pos v (type_of_expr env a) ty in
+        (Builder.binop env.b Instr.Sub (C.to_mir ty) (Value.Int (C.to_mir ty, 0)) v, ty)
+  | Eun (Ubnot, a) ->
+      let v, ty0 = lower_expr env a in
+      let ty = promote ty0 in
+      let v = convert env pos v ty0 ty in
+      ( Builder.binop env.b Instr.Xor (C.to_mir ty) v
+          (Value.Int (C.to_mir ty, -1)),
+        ty )
+  | Eun (Unot, a) ->
+      let c = lower_cond env a in
+      let inv = Builder.binop env.b Instr.Xor Ty.I1 c (Value.i1 true) in
+      (Builder.cast env.b Instr.Zext ~from:Ty.I1 ~into:Ty.I32 inv, C.Cint)
+  | Ebin ((Bland | Blor), _, _) ->
+      let c = lower_cond env e in
+      (Builder.cast env.b Instr.Zext ~from:Ty.I1 ~into:Ty.I32 c, C.Cint)
+  | Ebin ((Blt | Ble | Bgt | Bge | Beq | Bne), _, _) ->
+      let c = lower_cond env e in
+      (Builder.cast env.b Instr.Zext ~from:Ty.I1 ~into:Ty.I32 c, C.Cint)
+  | Ebin (op, a, bb) -> lower_arith env pos op a bb
+  | Eassign (lv, rhs) ->
+      let addr, ty = lower_lvalue env lv in
+      let v, vty = lower_expr env rhs in
+      let v = convert env pos v vty ty in
+      store_value env pos addr ty v;
+      (v, ty)
+  | Eopassign (op, lv, rhs) ->
+      let addr, ty = lower_lvalue env lv in
+      let cur, _ = load_value env pos addr ty in
+      let v = lower_binop_values env pos op (cur, ty) (lower_expr env rhs) in
+      let v = convert env pos (fst v) (snd v) ty in
+      store_value env pos addr ty v;
+      (v, ty)
+  | Eincdec (order, dir, lv) ->
+      let addr, ty = lower_lvalue env lv in
+      let cur, _ = load_value env pos addr ty in
+      let delta = match dir with `Inc -> 1 | `Dec -> -1 in
+      let next =
+        match C.decay ty with
+        | C.Cptr elt ->
+            Builder.gep env.b cur
+              [ { stride = delta * C.size_of env.g.reg elt; idx = Value.i64 1 } ]
+        | C.Cdouble ->
+            Builder.fbinop env.b Instr.FAdd cur (Value.Flt (float_of_int delta))
+        | t when C.is_integer t ->
+            Builder.binop env.b Instr.Add (C.to_mir t) cur
+              (Value.Int (C.to_mir t, delta))
+        | t -> failp pos "cannot increment %s" (C.to_string t)
+      in
+      store_value env pos addr ty next;
+      (match order with `Pre -> (next, ty) | `Post -> (cur, ty))
+  | Ecall (name, args) -> lower_call env pos name args
+  | Econd (c, a, bb) ->
+      let cv = lower_cond env c in
+      let lthen = fresh_label env "cond_t" in
+      let lelse = fresh_label env "cond_f" in
+      let ljoin = fresh_label env "cond_j" in
+      Builder.cbr env.b cv lthen lelse;
+      Builder.start_block env.b lthen;
+      let av, aty = lower_expr env a in
+      let lthen_end = current_label env in
+      Builder.br env.b ljoin;
+      Builder.start_block env.b lelse;
+      let bv, bty = lower_expr env bb in
+      let ty =
+        if C.is_arith aty && C.is_arith bty then common_arith_type aty bty
+        else C.decay aty
+      in
+      let bv = convert env pos bv bty ty in
+      let lelse_end = current_label env in
+      Builder.br env.b ljoin;
+      Builder.start_block env.b ljoin;
+      (* convert [av] in its own block: we could not convert before
+         emitting the branch, so require arm types to agree modulo decay
+         when conversions would be needed after the fact *)
+      let av =
+        if C.equal (C.decay aty) ty then av
+        else
+          match av with
+          | Value.Int (_, k) -> Value.Int (C.to_mir ty, k)
+          | _ -> failp pos "ternary arms have incompatible types"
+      in
+      let dst = Builder.fresh_var env.b ~name:"cond" (C.to_mir ty) in
+      Builder.add_phi env.b
+        {
+          Instr.pdst = dst;
+          incoming = [ (lthen_end, av); (lelse_end, bv) ];
+        };
+      (Value.Var dst, ty)
+
+and current_label (env : lenv) : string =
+  (* label of the block currently being built *)
+  match env.b.Builder.cur_label with
+  | Some l -> l
+  | None -> invalid_arg "current_label: no open block"
+
+and lower_arith (env : lenv) pos op a bb : Value.t * C.t =
+  lower_binop_values env pos op (lower_expr env a) (lower_expr env bb)
+
+and lower_binop_values (env : lenv) pos op ((va, ta) : Value.t * C.t)
+    ((vb, tb) : Value.t * C.t) : Value.t * C.t =
+  let ta = C.decay ta and tb = C.decay tb in
+  match (op, ta, tb) with
+  | Badd, C.Cptr elt, ti when C.is_integer ti ->
+      let idx = convert env pos vb ti C.Clong in
+      ( Builder.gep env.b va
+          [ { stride = C.size_of env.g.reg elt; idx } ],
+        C.Cptr elt )
+  | Badd, ti, C.Cptr elt when C.is_integer ti ->
+      let idx = convert env pos va ti C.Clong in
+      ( Builder.gep env.b vb
+          [ { stride = C.size_of env.g.reg elt; idx } ],
+        C.Cptr elt )
+  | Bsub, C.Cptr elt, ti when C.is_integer ti ->
+      let idx = convert env pos vb ti C.Clong in
+      ( Builder.gep env.b va
+          [ { stride = -C.size_of env.g.reg elt; idx } ],
+        C.Cptr elt )
+  | Bsub, C.Cptr elt, C.Cptr _ ->
+      let ia = Builder.cast env.b Instr.PtrToInt ~from:Ty.Ptr ~into:Ty.I64 va in
+      let ib = Builder.cast env.b Instr.PtrToInt ~from:Ty.Ptr ~into:Ty.I64 vb in
+      let diff = Builder.binop env.b Instr.Sub Ty.I64 ia ib in
+      ( Builder.binop env.b Instr.SDiv Ty.I64 diff
+          (Value.i64 (C.size_of env.g.reg elt)),
+        C.Clong )
+  | (Bshl | Bshr), ta, tb when C.is_integer ta && C.is_integer tb ->
+      let ty = promote ta in
+      let va = convert env pos va ta ty in
+      let vb = convert env pos vb tb ty in
+      let o = match op with Bshl -> Instr.Shl | _ -> Instr.AShr in
+      (Builder.binop env.b o (C.to_mir ty) va vb, ty)
+  | _, ta, tb when C.is_arith ta && C.is_arith tb ->
+      let ty = common_arith_type ta tb in
+      let va = convert env pos va ta ty in
+      let vb = convert env pos vb tb ty in
+      if ty = C.Cdouble then
+        let o =
+          match op with
+          | Badd -> Instr.FAdd
+          | Bsub -> Instr.FSub
+          | Bmul -> Instr.FMul
+          | Bdiv -> Instr.FDiv
+          | _ -> failp pos "invalid float operation"
+        in
+        (Builder.fbinop env.b o va vb, ty)
+      else
+        let o =
+          match op with
+          | Badd -> Instr.Add
+          | Bsub -> Instr.Sub
+          | Bmul -> Instr.Mul
+          | Bdiv -> Instr.SDiv
+          | Bmod -> Instr.SRem
+          | Band -> Instr.And
+          | Bor -> Instr.Or
+          | Bxor -> Instr.Xor
+          | _ -> failp pos "unexpected operator"
+        in
+        (Builder.binop env.b o (C.to_mir ty) va vb, ty)
+  | _ ->
+      failp pos "invalid operands %s and %s" (C.to_string ta) (C.to_string tb)
+
+(* condition: i1 value, short-circuiting for && / || *)
+and lower_cond (env : lenv) (e : expr) : Value.t =
+  let pos = e.epos in
+  match e.e with
+  | Ebin (Bland, a, bb) ->
+      let la = lower_cond env a in
+      let l_rhs = fresh_label env "and_rhs" in
+      let l_join = fresh_label env "and_j" in
+      let l_cur = current_label env in
+      Builder.cbr env.b la l_rhs l_join;
+      Builder.start_block env.b l_rhs;
+      let lb = lower_cond env bb in
+      let l_rhs_end = current_label env in
+      Builder.br env.b l_join;
+      Builder.start_block env.b l_join;
+      let dst = Builder.fresh_var env.b ~name:"and" Ty.I1 in
+      Builder.add_phi env.b
+        {
+          Instr.pdst = dst;
+          incoming = [ (l_cur, Value.i1 false); (l_rhs_end, lb) ];
+        };
+      Value.Var dst
+  | Ebin (Blor, a, bb) ->
+      let la = lower_cond env a in
+      let l_rhs = fresh_label env "or_rhs" in
+      let l_join = fresh_label env "or_j" in
+      let l_cur = current_label env in
+      Builder.cbr env.b la l_join l_rhs;
+      Builder.start_block env.b l_rhs;
+      let lb = lower_cond env bb in
+      let l_rhs_end = current_label env in
+      Builder.br env.b l_join;
+      Builder.start_block env.b l_join;
+      let dst = Builder.fresh_var env.b ~name:"or" Ty.I1 in
+      Builder.add_phi env.b
+        {
+          Instr.pdst = dst;
+          incoming = [ (l_cur, Value.i1 true); (l_rhs_end, lb) ];
+        };
+      Value.Var dst
+  | Ebin (((Blt | Ble | Bgt | Bge | Beq | Bne) as op), a, bb) ->
+      let va, ta = lower_expr env a in
+      let vb, tb = lower_expr env bb in
+      let ta = C.decay ta and tb = C.decay tb in
+      let icmp_of = function
+        | Blt -> Instr.Slt
+        | Ble -> Instr.Sle
+        | Bgt -> Instr.Sgt
+        | Bge -> Instr.Sge
+        | Beq -> Instr.Eq
+        | Bne -> Instr.Ne
+        | _ -> assert false
+      in
+      if C.is_ptr_like ta || C.is_ptr_like tb then begin
+        (* pointer comparisons are unsigned *)
+        let uop =
+          match op with
+          | Blt -> Instr.Ult
+          | Ble -> Instr.Ule
+          | Bgt -> Instr.Ugt
+          | Bge -> Instr.Uge
+          | Beq -> Instr.Eq
+          | Bne -> Instr.Ne
+          | _ -> assert false
+        in
+        let va = if C.is_ptr_like ta then va else convert env pos va ta (C.Cptr C.Cvoid) in
+        let vb = if C.is_ptr_like tb then vb else convert env pos vb tb (C.Cptr C.Cvoid) in
+        Builder.icmp env.b uop Ty.Ptr va vb
+      end
+      else begin
+        let ty = common_arith_type ta tb in
+        let va = convert env pos va ta ty in
+        let vb = convert env pos vb tb ty in
+        if ty = C.Cdouble then
+          let fop =
+            match op with
+            | Blt -> Instr.FLt
+            | Ble -> Instr.FLe
+            | Bgt -> Instr.FGt
+            | Bge -> Instr.FGe
+            | Beq -> Instr.FEq
+            | Bne -> Instr.FNe
+            | _ -> assert false
+          in
+          Builder.fcmp env.b fop va vb
+        else Builder.icmp env.b (icmp_of op) (C.to_mir ty) va vb
+      end
+  | Eun (Unot, a) ->
+      let c = lower_cond env a in
+      Builder.binop env.b Instr.Xor Ty.I1 c (Value.i1 true)
+  | _ ->
+      let v, ty = lower_expr env e in
+      let ty = C.decay ty in
+      if ty = C.Cdouble then Builder.fcmp env.b Instr.FNe v (Value.Flt 0.0)
+      else if C.is_ptr_like ty then
+        Builder.icmp env.b Instr.Ne Ty.Ptr v Value.null
+      else
+        Builder.icmp env.b Instr.Ne (C.to_mir ty) v
+          (Value.Int (C.to_mir ty, 0))
+
+and lower_call (env : lenv) pos name (args : expr list) : Value.t * C.t =
+  (* memcpy/memset/memmove become MIR intrinsic ops *)
+  match name with
+  | "memcpy" | "memmove" ->
+      let d, _ = lower_expr env (List.nth args 0) in
+      let s, _ = lower_expr env (List.nth args 1) in
+      let n, nt = lower_expr env (List.nth args 2) in
+      let n = convert env pos n nt C.Clong in
+      Builder.memcpy env.b d s n;
+      (d, C.Cptr C.Cvoid)
+  | "memset" ->
+      let d, _ = lower_expr env (List.nth args 0) in
+      let c, ct = lower_expr env (List.nth args 1) in
+      let c = convert env pos c ct C.Cint in
+      let n, nt = lower_expr env (List.nth args 2) in
+      let n = convert env pos n nt C.Clong in
+      Builder.memset env.b d c n;
+      (d, C.Cptr C.Cvoid)
+  | _ -> (
+      match Hashtbl.find_opt env.g.sigs name with
+      | None -> failp pos "call to undeclared function %s" name
+      | Some (ret, param_tys) ->
+          if List.length param_tys <> List.length args then
+            failp pos "%s expects %d arguments, got %d" name
+              (List.length param_tys) (List.length args);
+          let vargs =
+            List.map2
+              (fun pty arg ->
+                let v, aty = lower_expr env arg in
+                convert env pos v aty pty)
+              param_tys args
+          in
+          if ret = C.Cvoid then begin
+            ignore (Builder.call env.b ~ret:None name vargs);
+            (Value.i32 0, C.Cvoid)
+          end
+          else
+            let v = Builder.call_val env.b (C.to_mir ret) name vargs in
+            (v, ret))
+
+(* static type of an expression, for sizeof(expr); no code emitted *)
+and type_of_expr (env : lenv) (e : expr) : C.t =
+  match e.e with
+  | Eint _ -> C.Cint
+  | Efloat _ -> C.Cdouble
+  | Estr s -> C.Carr (C.Cchar, Some (String.length s + 1))
+  | Eident name -> (
+      match List.assoc_opt name env.vars with
+      | Some (_, ty) -> ty
+      | None -> (
+          match Hashtbl.find_opt env.g.globals name with
+          | Some ty -> ty
+          | None -> failp e.epos "undeclared identifier %s" name))
+  | Ederef inner -> C.pointee (C.decay (type_of_expr env inner))
+  | Eindex (a, _) -> C.pointee (C.decay (type_of_expr env a))
+  | Emember (s, f) -> (
+      match C.decay (type_of_expr env s) with
+      | C.Cstruct sn -> (C.find_field env.g.reg sn f).fld_ty
+      | t -> failp e.epos "member of non-struct %s" (C.to_string t))
+  | Earrow (p, f) -> (
+      match C.decay (type_of_expr env p) with
+      | C.Cptr (C.Cstruct sn) -> (C.find_field env.g.reg sn f).fld_ty
+      | t -> failp e.epos "arrow on %s" (C.to_string t))
+  | Eaddr lv -> C.Cptr (type_of_expr env lv)
+  | Ecast (t, _) -> t
+  | Ecall (name, _) -> (
+      match Hashtbl.find_opt env.g.sigs name with
+      | Some (ret, _) -> ret
+      | None -> failp e.epos "undeclared function %s" name)
+  | Ebin ((Blt | Ble | Bgt | Bge | Beq | Bne | Bland | Blor), _, _)
+  | Eun (Unot, _) ->
+      C.Cint
+  | Ebin (op, a, b) -> (
+      let ta = C.decay (type_of_expr env a)
+      and tb = C.decay (type_of_expr env b) in
+      match (op, ta, tb) with
+      | Badd, C.Cptr _, _ | Bsub, C.Cptr _, _ ->
+          if op = Bsub && C.is_ptr_like tb then C.Clong else ta
+      | Badd, _, C.Cptr _ -> tb
+      | (Bshl | Bshr), _, _ -> promote ta
+      | _ -> common_arith_type ta tb)
+  | Eun (_, a) -> promote (type_of_expr env a)
+  | Eassign (lv, _) | Eopassign (_, lv, _) | Eincdec (_, _, lv) ->
+      type_of_expr env lv
+  | Esizeof_ty _ | Esizeof_e _ -> C.Clong
+  | Econd (_, a, _) -> C.decay (type_of_expr env a)
+
+(* address of an lvalue; returns (address, object type) *)
+and lower_lvalue (env : lenv) (e : expr) : Value.t * C.t =
+  let pos = e.epos in
+  match e.e with
+  | Eident name -> lookup_var env pos name
+  | Ederef inner ->
+      let v, ty = lower_expr env inner in
+      (v, C.pointee (C.decay ty))
+  | Eindex (a, i) ->
+      let base, ty = lower_expr env a in
+      let elt = C.pointee (C.decay ty) in
+      let iv, ity = lower_expr env i in
+      let iv = convert env pos iv ity C.Clong in
+      ( Builder.gep env.b base
+          [ { stride = C.size_of env.g.reg elt; idx = iv } ],
+        elt )
+  | Emember (s, f) -> (
+      let addr, ty = lower_lvalue env s in
+      match C.decay ty with
+      | C.Cstruct sn ->
+          let fld = C.find_field env.g.reg sn f in
+          ( Builder.gep env.b addr
+              [ { stride = 1; idx = Value.i64 fld.fld_off } ],
+            fld.fld_ty )
+      | t -> failp pos "member access on %s" (C.to_string t))
+  | Earrow (p, f) -> (
+      let v, ty = lower_expr env p in
+      match C.decay ty with
+      | C.Cptr (C.Cstruct sn) ->
+          let fld = C.find_field env.g.reg sn f in
+          ( Builder.gep env.b v
+              [ { stride = 1; idx = Value.i64 fld.fld_off } ],
+            fld.fld_ty )
+      | t -> failp pos "arrow on %s" (C.to_string t))
+  | _ -> failp pos "expression is not an lvalue"
+
+(* --- statements --------------------------------------------------------- *)
+
+(* Initialize the object at [addr] of type [ty] from an initializer. *)
+let rec lower_init (env : lenv) pos (addr : Value.t) (ty : C.t)
+    (init : init) : unit =
+  match (init, ty) with
+  | Iexpr e, _ ->
+      let v, vty = lower_expr env e in
+      let v = convert env pos v vty ty in
+      store_value env pos addr ty v
+  | Ilist items, C.Carr (elt, _) ->
+      let esz = C.size_of env.g.reg elt in
+      List.iteri
+        (fun k item ->
+          let a =
+            Builder.gep env.b addr [ { stride = 1; idx = Value.i64 (k * esz) } ]
+          in
+          lower_init env pos a elt item)
+        items
+  | Ilist items, C.Cstruct sn ->
+      let s =
+        match Hashtbl.find_opt env.g.reg sn with
+        | Some s -> s
+        | None -> failp pos "undeclared struct %s" sn
+      in
+      List.iteri
+        (fun k item ->
+          match List.nth_opt s.s_fields k with
+          | None -> failp pos "too many initializers for struct %s" sn
+          | Some fld ->
+              let a =
+                Builder.gep env.b addr
+                  [ { stride = 1; idx = Value.i64 fld.fld_off } ]
+              in
+              lower_init env pos a fld.fld_ty item)
+        items
+  | Ilist _, t -> failp pos "brace initializer for %s" (C.to_string t)
+
+(* ensure the current block is terminated; statements after return etc.
+   land in a fresh dead block that simplifycfg removes *)
+let ensure_open (env : lenv) =
+  if not (Builder.in_block env.b) then
+    Builder.start_block env.b (fresh_label env "dead")
+
+let rec lower_stmt (env : lenv) (st : stmt) : unit =
+  ensure_open env;
+  let pos = st.spos in
+  match st.s with
+  | Sexpr e -> ignore (lower_expr env e)
+  | Sblock stmts -> lower_scope env stmts
+  | Sseq stmts -> List.iter (lower_stmt env) stmts
+  | Sdecl (ty, name, init) ->
+      let ty =
+        (* char s[] = "..." infers its size *)
+        match (ty, init) with
+        | C.Carr (C.Cchar, None), Some (Iexpr { e = Estr s; _ }) ->
+            C.Carr (C.Cchar, Some (String.length s + 1))
+        | C.Carr (elt, None), Some (Ilist items) ->
+            C.Carr (elt, Some (List.length items))
+        | _ -> ty
+      in
+      let size = C.size_of env.g.reg ty in
+      let align = C.align_of env.g.reg ty in
+      let addr = Builder.alloca env.b ~align size in
+      env.vars <- (name, (addr, ty)) :: env.vars;
+      (match (ty, init) with
+      | C.Carr (C.Cchar, Some _), Some (Iexpr { e = Estr s; _ }) ->
+          (* copy the string into the array *)
+          let strg = intern_string env.g s in
+          Builder.memcpy env.b addr (Value.Glob strg)
+            (Value.i64 (String.length s + 1))
+      | _, Some init -> lower_init env pos addr ty init
+      | _, None -> ())
+  | Sif (c, thn, els) ->
+      let cv = lower_cond env c in
+      let lt = fresh_label env "if_t" in
+      let lf = fresh_label env "if_f" in
+      let lj = fresh_label env "if_j" in
+      if els = [] then begin
+        Builder.cbr env.b cv lt lj;
+        Builder.start_block env.b lt;
+        lower_scope env thn;
+        if Builder.in_block env.b then Builder.br env.b lj;
+        Builder.start_block env.b lj
+      end
+      else begin
+        Builder.cbr env.b cv lt lf;
+        Builder.start_block env.b lt;
+        lower_scope env thn;
+        if Builder.in_block env.b then Builder.br env.b lj;
+        Builder.start_block env.b lf;
+        lower_scope env els;
+        if Builder.in_block env.b then Builder.br env.b lj;
+        Builder.start_block env.b lj
+      end
+  | Swhile (c, body) ->
+      let lph = fresh_label env "while_ph" in
+      let lh = fresh_label env "while_h" in
+      let lb = fresh_label env "while_b" in
+      let lx = fresh_label env "while_x" in
+      Builder.br env.b lph;
+      Builder.start_block env.b lph;
+      Builder.br env.b lh;
+      Builder.start_block env.b lh;
+      let cv = lower_cond env c in
+      Builder.cbr env.b cv lb lx;
+      Builder.start_block env.b lb;
+      env.loops <- { break_to = lx; continue_to = lh } :: env.loops;
+      lower_scope env body;
+      env.loops <- List.tl env.loops;
+      if Builder.in_block env.b then Builder.br env.b lh;
+      Builder.start_block env.b lx
+  | Sdo (body, c) ->
+      let lph = fresh_label env "do_ph" in
+      let lb = fresh_label env "do_b" in
+      let lc = fresh_label env "do_c" in
+      let lx = fresh_label env "do_x" in
+      Builder.br env.b lph;
+      Builder.start_block env.b lph;
+      Builder.br env.b lb;
+      Builder.start_block env.b lb;
+      env.loops <- { break_to = lx; continue_to = lc } :: env.loops;
+      lower_scope env body;
+      env.loops <- List.tl env.loops;
+      if Builder.in_block env.b then Builder.br env.b lc;
+      Builder.start_block env.b lc;
+      let cv = lower_cond env c in
+      Builder.cbr env.b cv lb lx;
+      Builder.start_block env.b lx
+  | Sfor (init, cond, step, body) ->
+      let saved_vars = env.vars in
+      (match init with Some st -> lower_stmt env st | None -> ());
+      let lph = fresh_label env "for_ph" in
+      let lh = fresh_label env "for_h" in
+      let lb = fresh_label env "for_b" in
+      let ls = fresh_label env "for_s" in
+      let lx = fresh_label env "for_x" in
+      Builder.br env.b lph;
+      Builder.start_block env.b lph;
+      Builder.br env.b lh;
+      Builder.start_block env.b lh;
+      (match cond with
+      | Some c ->
+          let cv = lower_cond env c in
+          Builder.cbr env.b cv lb lx
+      | None -> Builder.br env.b lb);
+      Builder.start_block env.b lb;
+      env.loops <- { break_to = lx; continue_to = ls } :: env.loops;
+      lower_scope env body;
+      env.loops <- List.tl env.loops;
+      if Builder.in_block env.b then Builder.br env.b ls;
+      Builder.start_block env.b ls;
+      (match step with Some e -> ignore (lower_expr env e) | None -> ());
+      Builder.br env.b lh;
+      Builder.start_block env.b lx;
+      env.vars <- saved_vars
+  | Sreturn None ->
+      if env.f_ret <> C.Cvoid then failp pos "return without value";
+      Builder.ret env.b None
+  | Sreturn (Some e) ->
+      let v, ty = lower_expr env e in
+      let v = convert env pos v ty env.f_ret in
+      Builder.ret env.b (Some v)
+  | Sbreak -> (
+      match env.loops with
+      | { break_to; _ } :: _ -> Builder.br env.b break_to
+      | [] -> failp pos "break outside loop")
+  | Scontinue -> (
+      match env.loops with
+      | { continue_to; _ } :: _ -> Builder.br env.b continue_to
+      | [] -> failp pos "continue outside loop")
+
+and lower_scope (env : lenv) (stmts : stmt list) : unit =
+  let saved = env.vars in
+  List.iter (lower_stmt env) stmts;
+  env.vars <- saved
+
+(* --- functions ----------------------------------------------------------- *)
+
+(* Move all constant allocas to the start of the entry block, preserving
+   order, as clang does for static allocas. *)
+let hoist_allocas (f : Func.t) : unit =
+  let allocas = ref [] in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let keep =
+          List.filter
+            (fun (i : Instr.t) ->
+              match i.op with
+              | Instr.Alloca _ ->
+                  allocas := i :: !allocas;
+                  false
+              | _ -> true)
+            b.body
+        in
+        { b with body = keep })
+      f.blocks
+  in
+  match blocks with
+  | entry :: rest ->
+      f.blocks <-
+        { entry with body = List.rev !allocas @ entry.body } :: rest
+  | [] -> ()
+
+let lower_func (g : genv) (fd : func) : Func.t =
+  let ret_mir =
+    if fd.f_ret = C.Cvoid then None else Some (C.to_mir fd.f_ret)
+  in
+  (* parameters become MIR params; locals for address-taken semantics *)
+  let params =
+    List.mapi
+      (fun i (p : param) ->
+        { Value.vid = i; vname = p.p_name; vty = C.to_mir p.p_ty })
+      fd.f_params
+  in
+  let b = Builder.create ~name:fd.f_name ~params ~ret_ty:ret_mir in
+  let env =
+    { g; b; f_ret = fd.f_ret; vars = []; label_count = 0; loops = [] }
+  in
+  Builder.start_block b "entry";
+  (* spill parameters to allocas so their address can be taken; mem2reg
+     promotes them back, exactly like clang -O0 output *)
+  List.iteri
+    (fun i (p : param) ->
+      let size = C.size_of g.reg p.p_ty in
+      let addr = Builder.alloca b ~align:(C.align_of g.reg p.p_ty) size in
+      store_value env fd.f_pos addr p.p_ty (Value.Var (List.nth params i));
+      env.vars <- (p.p_name, (addr, p.p_ty)) :: env.vars)
+    fd.f_params;
+  List.iter (lower_stmt env) fd.f_body;
+  (* fall off the end *)
+  if Builder.in_block b then begin
+    if fd.f_ret = C.Cvoid then Builder.ret b None
+    else if fd.f_name = "main" then
+      Builder.ret b (Some (Value.Int (C.to_mir fd.f_ret, 0)))
+    else Builder.ret b (Some (Value.Int (C.to_mir fd.f_ret, 0)))
+  end;
+  let f = Builder.finish b in
+  hoist_allocas f;
+  f
+
+(* --- global initializers -------------------------------------------------- *)
+
+type cval = CI of int | CF of float | CPtrG of string
+
+let rec const_eval (g : genv) (e : expr) : cval =
+  match e.e with
+  | Eint v -> CI v
+  | Efloat v -> CF v
+  | Estr s -> CPtrG (intern_string g s)
+  | Eun (Uneg, a) -> (
+      match const_eval g a with
+      | CI v -> CI (-v)
+      | CF v -> CF (-.v)
+      | CPtrG _ -> failp e.epos "cannot negate address constant")
+  | Ecast (_, a) -> const_eval g a
+  | Esizeof_ty t -> CI (C.size_of g.reg t)
+  | Ebin (op, a, b) -> (
+      match (const_eval g a, const_eval g b) with
+      | CI x, CI y ->
+          CI
+            (match op with
+            | Badd -> x + y
+            | Bsub -> x - y
+            | Bmul -> x * y
+            | Bdiv -> x / y
+            | Bmod -> x mod y
+            | Bshl -> x lsl y
+            | Bshr -> x asr y
+            | Band -> x land y
+            | Bor -> x lor y
+            | Bxor -> x lxor y
+            | _ -> failp e.epos "unsupported constant operator")
+      | _ -> failp e.epos "non-integer constant arithmetic")
+  | Eaddr { e = Eident n; _ } -> CPtrG n
+  | Eident n -> CPtrG n (* array global decaying to pointer *)
+  | _ -> failp e.epos "initializer is not a constant expression"
+
+let bytes_of_int width v =
+  String.init width (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let rec global_fields (g : genv) pos (ty : C.t) (init : init option) :
+    Irmod.gfield list =
+  let size = C.size_of g.reg ty in
+  match init with
+  | None -> [ Irmod.GZero size ]
+  | Some (Iexpr e) -> (
+      match (ty, e.e) with
+      | C.Carr (C.Cchar, Some n), Estr s ->
+          let s = s ^ "\000" in
+          if String.length s > n then failp pos "string too long";
+          [ Irmod.GBytes s; Irmod.GZero (n - String.length s) ]
+          |> List.filter (fun f -> Irmod.field_size f > 0)
+      | _, _ -> (
+          match const_eval g e with
+          | CI v ->
+              if C.is_integer ty then [ Irmod.GBytes (bytes_of_int size v) ]
+              else if C.is_ptr_like ty && v = 0 then [ Irmod.GZero 8 ]
+              else if C.is_ptr_like ty then
+                [ Irmod.GBytes (bytes_of_int 8 v) ]
+              else if ty = C.Cdouble then
+                [
+                  Irmod.GBytes
+                    (bytes_of_int 8
+                       (Int64.to_int (Int64.bits_of_float (float_of_int v))));
+                ]
+              else failp pos "bad scalar initializer"
+          | CF v ->
+              [
+                Irmod.GBytes
+                  (bytes_of_int 8 (Int64.to_int (Int64.bits_of_float v)));
+              ]
+          | CPtrG name -> [ Irmod.GPtr name ]))
+  | Some (Ilist items) -> (
+      match ty with
+      | C.Carr (elt, Some n) ->
+          let esz = C.size_of g.reg elt in
+          let fields =
+            List.concat_map
+              (fun item -> global_fields g pos elt (Some item))
+              items
+          in
+          let used = List.length items * esz in
+          if List.length items > n then failp pos "too many initializers";
+          if used < size then fields @ [ Irmod.GZero (size - used) ]
+          else fields
+      | C.Cstruct sn ->
+          let s = Hashtbl.find g.reg sn in
+          let off = ref 0 in
+          let fields = ref [] in
+          List.iteri
+            (fun k item ->
+              match List.nth_opt s.s_fields k with
+              | None -> failp pos "too many initializers for struct"
+              | Some fld ->
+                  if fld.fld_off > !off then
+                    fields := Irmod.GZero (fld.fld_off - !off) :: !fields;
+                  fields :=
+                    List.rev (global_fields g pos fld.fld_ty (Some item))
+                    @ !fields;
+                  off := fld.fld_off + C.size_of g.reg fld.fld_ty)
+            items;
+          if !off < size then fields := Irmod.GZero (size - !off) :: !fields;
+          List.rev !fields
+      | _ -> failp pos "brace initializer for scalar")
+
+(* --- program ---------------------------------------------------------------- *)
+
+exception Compile_error of string
+
+(** Compile a MiniC translation unit to a MIR module. *)
+let compile ?(mode = default_mode) ?(name = "tu") (src : string) : Irmod.t =
+  let decls =
+    try Cparse.parse_program src with
+    | Cparse.Parse_error (p, msg) ->
+        raise
+          (Compile_error
+             (Printf.sprintf "parse error at %d:%d: %s" p.line p.col msg))
+    | Lexer.Lex_error (p, msg) ->
+        raise
+          (Compile_error
+             (Printf.sprintf "lex error at %d:%d: %s" p.line p.col msg))
+  in
+  let g =
+    {
+      reg = C.create_registry ();
+      sigs = Hashtbl.create 32;
+      globals = Hashtbl.create 32;
+      m = Irmod.mk name;
+      mode;
+      str_count = 0;
+    }
+  in
+  List.iter (fun (n, s) -> Hashtbl.replace g.sigs n s) builtin_sigs;
+  try
+    (* first pass: declare structs, signatures, globals *)
+    List.iter
+      (fun d ->
+        match d with
+        | Dstruct (n, fields, _) -> ignore (C.define_struct g.reg n fields)
+        | Dproto (n, ret, ptys, _) ->
+            Hashtbl.replace g.sigs n (ret, List.map C.decay ptys)
+        | Dfunc fd ->
+            Hashtbl.replace g.sigs fd.f_name
+              (fd.f_ret, List.map (fun p -> C.decay p.p_ty) fd.f_params)
+        | Dglobal gd ->
+            let ty =
+              match (gd.g_ty, gd.g_init) with
+              | C.Carr (C.Cchar, None), Some (Iexpr { e = Estr s; _ }) ->
+                  C.Carr (C.Cchar, Some (String.length s + 1))
+              | C.Carr (elt, None), Some (Ilist items) ->
+                  C.Carr (elt, Some (List.length items))
+              | t, _ -> t
+            in
+            Hashtbl.replace g.globals gd.g_name ty)
+      decls;
+    (* second pass: emit globals and functions *)
+    List.iter
+      (fun d ->
+        match d with
+        | Dstruct _ -> ()
+        | Dproto (n, ret, ptys, _) ->
+            (* extern function declaration: if not defined in this unit,
+               declare it in MIR too *)
+            if
+              (not (List.mem_assoc n builtin_sigs))
+              && not
+                   (List.exists
+                      (function Dfunc fd -> fd.f_name = n | _ -> false)
+                      decls)
+            then begin
+              let params =
+                List.mapi
+                  (fun i t ->
+                    {
+                      Value.vid = i;
+                      vname = Printf.sprintf "a%d" i;
+                      vty = C.to_mir (C.decay t);
+                    })
+                  ptys
+              in
+              let ret_ty = if ret = C.Cvoid then None else Some (C.to_mir ret) in
+              Irmod.add_func g.m
+                (Func.mk ~is_external:true ~name:n ~params ~ret_ty [])
+            end
+        | Dglobal gd ->
+            let ty = Hashtbl.find g.globals gd.g_name in
+            let size_known =
+              match ty with C.Carr (_, None) -> false | _ -> true
+            in
+            let size =
+              if size_known then C.size_of g.reg ty else 0
+            in
+            let align = if size_known then C.align_of g.reg ty else 8 in
+            if gd.g_extern then
+              Irmod.add_global g.m
+                (Irmod.mk_global ~align ~extern:true ~size_known
+                   ~name:gd.g_name ~size [])
+            else if not size_known then
+              raise
+                (Compile_error
+                   (Printf.sprintf
+                      "global %s: size-less array must be extern" gd.g_name))
+            else
+              Irmod.add_global g.m
+                (Irmod.mk_global ~align ~name:gd.g_name ~size
+                   (global_fields g gd.g_pos ty gd.g_init))
+        | Dfunc fd -> Irmod.add_func g.m (lower_func g fd))
+      decls;
+    g.m
+  with
+  | Lower_error (p, msg) ->
+      raise
+        (Compile_error (Printf.sprintf "error at %d:%d: %s" p.line p.col msg))
+  | C.Type_error msg -> raise (Compile_error ("type error: " ^ msg))

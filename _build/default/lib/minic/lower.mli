@@ -1,0 +1,24 @@
+(** Compilation of MiniC translation units to MIR.
+
+    One clang-like pass: locals become entry-block [alloca]s (promoted
+    back to SSA by mem2reg), struct/array accesses become address
+    arithmetic, implicit C conversions become casts. *)
+
+exception Compile_error of string
+(** Parse, lexical, lowering, or type errors, with source positions. *)
+
+type mode = { ptr_mem_as_i64 : bool }
+(** [ptr_mem_as_i64] reproduces the compiler-version difference of the
+    paper's Figure 7: loads and stores of pointer values go through [i64]
+    with [ptrtoint]/[inttoptr] around them, hiding pointer moves from the
+    instrumentation and breaking SoftBound's metadata (§4.4). *)
+
+val default_mode : mode
+
+val builtin_sigs : (string * (Ctypes.t * Ctypes.t list)) list
+(** The C-library functions every translation unit may call without
+    declaring (implemented by the VM, see {!Mi_vm.Builtins}). *)
+
+val compile : ?mode:mode -> ?name:string -> string -> Mi_mir.Irmod.t
+(** Compile a MiniC source text to a MIR module.  The result passes the
+    MIR verifier and the SSA dominance check.  Raises {!Compile_error}. *)

@@ -1,0 +1,1 @@
+lib/mir/block.ml: Instr List

@@ -1,0 +1,1 @@
+lib/mir/block.mli: Instr Value

@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Block Func Instr List Printf Ty Value

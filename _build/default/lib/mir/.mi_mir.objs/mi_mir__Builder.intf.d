@@ -1,0 +1,1 @@
+lib/mir/builder.mli: Block Func Instr Ty Value

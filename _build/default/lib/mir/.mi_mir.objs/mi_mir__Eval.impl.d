@@ -1,0 +1,1 @@
+lib/mir/eval.ml: Instr Int64 Ty

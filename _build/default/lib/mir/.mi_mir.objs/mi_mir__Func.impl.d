@@ -1,0 +1,1 @@
+lib/mir/func.ml: Block List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/mir/func.mli: Block Instr Ty Value

@@ -1,0 +1,1 @@
+lib/mir/instr.ml: List String Ty Value

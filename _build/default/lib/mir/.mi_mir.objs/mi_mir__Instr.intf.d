@@ -1,0 +1,1 @@
+lib/mir/instr.mli: Ty Value

@@ -1,0 +1,1 @@
+lib/mir/intrinsics.ml: List String

@@ -1,0 +1,1 @@
+lib/mir/irmod.ml: Func List Printf String

@@ -1,0 +1,1 @@
+lib/mir/irmod.mli: Func

@@ -1,0 +1,1 @@
+lib/mir/parser.ml: Block Buffer Char Func Hashtbl Instr Irmod List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/mir/printer.ml: Block Buffer Char Format Func Instr Irmod List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/mir/printer.mli: Format Func Instr Irmod Value

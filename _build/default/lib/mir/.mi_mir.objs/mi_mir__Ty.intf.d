@@ -1,0 +1,1 @@
+lib/mir/ty.mli: Format

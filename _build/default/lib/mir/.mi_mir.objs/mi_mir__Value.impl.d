@@ -1,0 +1,1 @@
+lib/mir/value.ml: Format Hashtbl Int64 Map Printf Set String Ty

@@ -1,0 +1,1 @@
+lib/mir/verify.ml: Block Format Func Hashtbl Instr Irmod List Mi_support Option Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/mir/verify.mli: Format Func Irmod

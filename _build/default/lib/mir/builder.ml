@@ -1,0 +1,119 @@
+(** Imperative construction of MIR functions.
+
+    Used by the MiniC lowering and by tests.  A builder holds one function
+    under construction; blocks are emitted in order, and the current block
+    accumulates instructions until it is terminated. *)
+
+type t = {
+  fname : string;
+  params : Value.var list;
+  ret_ty : Ty.t option;
+  mutable next_id : int;
+  mutable done_blocks : Block.t list; (* reversed *)
+  mutable cur_label : string option;
+  mutable cur_phis : Instr.phi list; (* reversed *)
+  mutable cur_body : Instr.t list; (* reversed *)
+}
+
+let create ~name ~params ~ret_ty =
+  let next_id =
+    1 + List.fold_left (fun a (v : Value.var) -> max a v.vid) (-1) params
+  in
+  {
+    fname = name;
+    params;
+    ret_ty;
+    next_id;
+    done_blocks = [];
+    cur_label = None;
+    cur_phis = [];
+    cur_body = [];
+  }
+
+let fresh_var b ?(name = "t") ty : Value.var =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  { Value.vid = id; vname = name; vty = ty }
+
+(** Begin a new block.  The previous block must have been terminated. *)
+let start_block b label =
+  (match b.cur_label with
+  | Some l ->
+      invalid_arg
+        (Printf.sprintf "Builder.start_block %s: block %s not terminated"
+           label l)
+  | None -> ());
+  b.cur_label <- Some label;
+  b.cur_phis <- [];
+  b.cur_body <- []
+
+let in_block b = b.cur_label <> None
+
+let add_phi b (p : Instr.phi) =
+  if b.cur_body <> [] then
+    invalid_arg "Builder.add_phi: phis must precede instructions";
+  b.cur_phis <- p :: b.cur_phis
+
+(** Append an instruction with no result. *)
+let emit b op = b.cur_body <- Instr.mk op :: b.cur_body
+
+(** Append an instruction producing a fresh result of type [ty]. *)
+let emit_val b ?(name = "t") ty op : Value.t =
+  let dst = fresh_var b ~name ty in
+  b.cur_body <- Instr.mk ~dst op :: b.cur_body;
+  Var dst
+
+(** Terminate the current block. *)
+let terminate b term =
+  match b.cur_label with
+  | None -> invalid_arg "Builder.terminate: no open block"
+  | Some label ->
+      let blk =
+        Block.mk ~phis:(List.rev b.cur_phis) ~body:(List.rev b.cur_body)
+          ~term label
+      in
+      b.done_blocks <- blk :: b.done_blocks;
+      b.cur_label <- None
+
+let ret b v = terminate b (Instr.Ret v)
+let br b l = terminate b (Instr.Br l)
+let cbr b c l1 l2 = terminate b (Instr.Cbr (c, l1, l2))
+
+(* Typed emission helpers. *)
+
+let binop b op ty x y = emit_val b ty (Instr.Bin (op, ty, x, y))
+let fbinop b op x y = emit_val b Ty.F64 (Instr.FBin (op, x, y))
+let icmp b op ty x y = emit_val b Ty.I1 (Instr.Icmp (op, ty, x, y))
+let fcmp b op x y = emit_val b Ty.I1 (Instr.Fcmp (op, x, y))
+let cast b c ~from ~into v = emit_val b into (Instr.Cast (c, from, v, into))
+let load b ty addr = emit_val b ty (Instr.Load (ty, addr))
+let store b ty v addr = emit b (Instr.Store (ty, v, addr))
+let gep b base idxs = emit_val b Ty.Ptr (Instr.Gep (base, idxs))
+let select b ty c x y = emit_val b ty (Instr.Select (ty, c, x, y))
+let alloca b ?(align = 8) size = emit_val b Ty.Ptr (Instr.Alloca { size; align })
+let memcpy b dst src len = emit b (Instr.Memcpy (dst, src, len))
+let memset b dst byte len = emit b (Instr.Memset (dst, byte, len))
+
+let call b ~ret callee args =
+  match ret with
+  | None ->
+      emit b (Instr.Call (callee, args));
+      None
+  | Some ty -> Some (emit_val b ty (Instr.Call (callee, args)))
+
+let call_val b ty callee args =
+  emit_val b ty (Instr.Call (callee, args))
+
+(** Finish the function.  The current block, if any, must be terminated. *)
+let finish b : Func.t =
+  (match b.cur_label with
+  | Some l -> invalid_arg (Printf.sprintf "Builder.finish: open block %s" l)
+  | None -> ());
+  if b.done_blocks = [] then
+    invalid_arg "Builder.finish: function has no blocks";
+  let f =
+    Func.mk ~name:b.fname ~params:b.params ~ret_ty:b.ret_ty
+      (List.rev b.done_blocks)
+  in
+  f.next_id <- max f.next_id b.next_id;
+  f

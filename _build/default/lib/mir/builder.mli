@@ -1,0 +1,52 @@
+(** Imperative construction of MIR functions, used by the MiniC lowering
+    and by tests.  Blocks are emitted in order; the current block
+    accumulates instructions until it is terminated. *)
+
+type t = {
+  fname : string;
+  params : Value.var list;
+  ret_ty : Ty.t option;
+  mutable next_id : int;
+  mutable done_blocks : Block.t list;
+  mutable cur_label : string option;
+  mutable cur_phis : Instr.phi list;
+  mutable cur_body : Instr.t list;
+}
+
+val create :
+  name:string -> params:Value.var list -> ret_ty:Ty.t option -> t
+
+val fresh_var : t -> ?name:string -> Ty.t -> Value.var
+val start_block : t -> string -> unit
+val in_block : t -> bool
+
+val add_phi : t -> Instr.phi -> unit
+(** Must precede any instruction of the current block. *)
+
+val emit : t -> Instr.op -> unit
+val emit_val : t -> ?name:string -> Ty.t -> Instr.op -> Value.t
+
+val terminate : t -> Instr.term -> unit
+val ret : t -> Value.t option -> unit
+val br : t -> string -> unit
+val cbr : t -> Value.t -> string -> string -> unit
+
+(** Typed emission helpers (all return the defined value). *)
+
+val binop : t -> Instr.binop -> Ty.t -> Value.t -> Value.t -> Value.t
+val fbinop : t -> Instr.fbinop -> Value.t -> Value.t -> Value.t
+val icmp : t -> Instr.icmp -> Ty.t -> Value.t -> Value.t -> Value.t
+val fcmp : t -> Instr.fcmp -> Value.t -> Value.t -> Value.t
+val cast : t -> Instr.cast -> from:Ty.t -> into:Ty.t -> Value.t -> Value.t
+val load : t -> Ty.t -> Value.t -> Value.t
+val store : t -> Ty.t -> Value.t -> Value.t -> unit
+val gep : t -> Value.t -> Instr.gep_index list -> Value.t
+val select : t -> Ty.t -> Value.t -> Value.t -> Value.t -> Value.t
+val alloca : t -> ?align:int -> int -> Value.t
+val memcpy : t -> Value.t -> Value.t -> Value.t -> unit
+val memset : t -> Value.t -> Value.t -> Value.t -> unit
+val call : t -> ret:Ty.t option -> string -> Value.t list -> Value.t option
+val call_val : t -> Ty.t -> string -> Value.t list -> Value.t
+
+val finish : t -> Func.t
+(** The current block, if any, must be terminated. *)

@@ -1,0 +1,31 @@
+(** Evaluation of MIR arithmetic, shared by the VM interpreter and the
+    constant-folding passes so both agree exactly.
+
+    Representation: a value of type [iW] with [W <= 32] is kept in
+    canonical signed form (sign-extended into the OCaml int); [i64] and
+    [ptr] are OCaml native ints, so [i64] arithmetic wraps at 63 bits —
+    a documented substrate simplification (DESIGN.md). *)
+
+exception Div_by_zero
+(** Raised by division/remainder with zero divisor — undefined behavior
+    in C; the VM turns it into a trap. *)
+
+val normalize : Ty.t -> int -> int
+(** Canonicalize a raw bit pattern as a value of the given integer type
+    (truncate + sign-extend for sub-64-bit widths). *)
+
+val unsigned : Ty.t -> int -> int
+(** Unsigned view of a canonical value (widths below 64 bits only). *)
+
+val binop : Instr.binop -> Ty.t -> int -> int -> int
+val fbinop : Instr.fbinop -> float -> float -> float
+
+val icmp : Instr.icmp -> Ty.t -> int -> int -> int
+(** Returns 0 or 1.  Unsigned predicates on [i64]/[ptr] compare the
+    63-bit patterns as unsigned. *)
+
+val fcmp : Instr.fcmp -> float -> float -> int
+
+val cast_int : Instr.cast -> Ty.t -> Ty.t -> int -> int
+(** Integer/pointer casts on canonical representations (not the float
+    casts). *)

@@ -1,0 +1,34 @@
+(** MIR functions: blocks in order (entry first) plus a fresh-variable
+    source. *)
+
+type t = {
+  fname : string;
+  params : Value.var list;
+  ret_ty : Ty.t option;
+  mutable blocks : Block.t list;  (** entry block first; empty iff external *)
+  mutable next_id : int;  (** source of fresh SSA ids — use {!fresh_var} *)
+  is_external : bool;
+      (** declaration only: the body lives in another translation unit or
+          the runtime's builtin table *)
+}
+
+val mk :
+  ?is_external:bool ->
+  name:string ->
+  params:Value.var list ->
+  ret_ty:Ty.t option ->
+  Block.t list ->
+  t
+(** Builds the function and initializes [next_id] past every id used. *)
+
+val entry : t -> Block.t
+val fresh_var : t -> ?name:string -> Ty.t -> Value.var
+val find_block : t -> string -> Block.t option
+val find_block_exn : t -> string -> Block.t
+
+val update_block : t -> Block.t -> unit
+(** Replace the block with the same label. *)
+
+val iter_instrs : t -> (Block.t -> Instr.t -> unit) -> unit
+val instr_count : t -> int
+val all_defs : t -> Value.var list

@@ -1,0 +1,61 @@
+(** First-order types of the MIR.
+
+    The MIR is a small LLVM-like SSA IR.  Like recent LLVM, pointers are
+    opaque ([Ptr]); element types appear only as access widths on loads,
+    stores, and as strides on [gep]s.  Aggregates exist only in memory —
+    the frontend lowers all struct/array accesses to address arithmetic. *)
+
+type t =
+  | I1  (** booleans, as produced by comparisons *)
+  | I8
+  | I16
+  | I32
+  | I64
+  | F64
+  | Ptr  (** opaque 64-bit pointer *)
+
+let equal (a : t) (b : t) = a = b
+
+(** Byte size of a value of this type as stored in memory. *)
+let size_of = function
+  | I1 | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 | F64 | Ptr -> 8
+
+(** Natural alignment; equals the size for all MIR types. *)
+let align_of t = size_of t
+
+let is_int = function I1 | I8 | I16 | I32 | I64 -> true | F64 | Ptr -> false
+let is_float = function F64 -> true | _ -> false
+let is_ptr = function Ptr -> true | _ -> false
+
+(** Bit width of an integer type. *)
+let bits = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 -> 64
+  | F64 | Ptr -> invalid_arg "Ty.bits: not an integer type"
+
+let to_string = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F64 -> "f64"
+  | Ptr -> "ptr"
+
+let of_string = function
+  | "i1" -> Some I1
+  | "i8" -> Some I8
+  | "i16" -> Some I16
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "f64" -> Some F64
+  | "ptr" -> Some Ptr
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,34 @@
+(** First-order types of the MIR.
+
+    Like recent LLVM, pointers are opaque ([Ptr]); element types appear
+    only as access widths on loads/stores and strides on [gep]s.
+    Aggregates exist only in memory — the frontend lowers all
+    struct/array accesses to address arithmetic. *)
+
+type t =
+  | I1  (** booleans, as produced by comparisons *)
+  | I8
+  | I16
+  | I32
+  | I64
+  | F64
+  | Ptr  (** opaque 64-bit pointer *)
+
+val equal : t -> t -> bool
+
+val size_of : t -> int
+(** Byte size of a value of this type as stored in memory. *)
+
+val align_of : t -> int
+(** Natural alignment; equals the size for all MIR types. *)
+
+val is_int : t -> bool
+val is_float : t -> bool
+val is_ptr : t -> bool
+
+val bits : t -> int
+(** Bit width of an integer type; raises on [F64]/[Ptr]. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

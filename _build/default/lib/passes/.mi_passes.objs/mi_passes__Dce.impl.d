@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Block Func Instr List Mi_mir Pass Putils Value

@@ -1,0 +1,1 @@
+lib/passes/gvn.ml: Array Func Hashtbl Instr List Mi_analysis Mi_mir Pass Putils Value

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Block Func Hashtbl Instr Intrinsics Irmod List Mi_mir Option Pass Printf Putils String Value

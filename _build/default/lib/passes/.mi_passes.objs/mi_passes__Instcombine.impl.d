@@ -1,0 +1,1 @@
+lib/passes/instcombine.ml: Block Eval Func Instr List Mi_mir Mi_support Pass Putils Ty Value

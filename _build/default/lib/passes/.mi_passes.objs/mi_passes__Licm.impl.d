@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Array Block Func Instr Intrinsics List Mi_analysis Mi_mir Pass Ty Value

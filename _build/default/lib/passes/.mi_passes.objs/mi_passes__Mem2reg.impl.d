@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Array Block Func Hashtbl Instr List Mi_analysis Mi_mir Option Pass Putils Queue Ty Value

@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Func Instr Intrinsics Irmod List Mi_mir

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Dce Gvn Inline Instcombine Irmod Licm Mem2reg Mi_mir Pass Simplifycfg

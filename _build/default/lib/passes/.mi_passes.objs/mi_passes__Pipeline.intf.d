@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Irmod Mi_mir Pass

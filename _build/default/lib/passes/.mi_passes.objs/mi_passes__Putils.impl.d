@@ -1,0 +1,1 @@
+lib/passes/putils.ml: Array Block Func Hashtbl Instr List Mi_analysis Mi_mir Option Pass Printf String Ty Value

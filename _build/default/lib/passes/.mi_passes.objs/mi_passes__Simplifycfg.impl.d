@@ -1,0 +1,1 @@
+lib/passes/simplifycfg.ml: Array Block Func Hashtbl Instr List Mi_analysis Mi_mir Pass Putils String Value

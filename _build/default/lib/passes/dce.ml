@@ -1,0 +1,53 @@
+(** Dead code elimination.
+
+    Removes instructions without side effects whose results are unused —
+    including calls classified [Pure]/[Read_meta]/[Allocating] by the
+    intrinsics registry.  This is the pass that deletes unused metadata
+    loads, reproducing the §5.4 observation that the compiler removes
+    SoftBound trie loads whose bounds are never checked.  Also prunes dead
+    phis. *)
+
+open Mi_mir
+
+let run_func (f : Func.t) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let used = Putils.used_vars f in
+    let is_dead_instr (i : Instr.t) =
+      match i.dst with
+      | Some d ->
+          (not (Value.VTbl.mem used d)) && Pass.Effects.removable i
+      | None -> (
+          (* result-less pure call: nothing can use it, remove it *)
+          match i.op with
+          | Call (callee, _) -> Pass.Effects.removable_call callee
+          | _ -> false)
+    in
+    let round_changed = ref false in
+    f.blocks <-
+      List.map
+        (fun (b : Block.t) ->
+          let body =
+            List.filter
+              (fun i ->
+                let dead = is_dead_instr i in
+                if dead then round_changed := true;
+                not dead)
+              b.body
+          in
+          let phis =
+            List.filter
+              (fun (p : Instr.phi) ->
+                let dead = not (Value.VTbl.mem used p.pdst) in
+                if dead then round_changed := true;
+                not dead)
+              b.phis
+          in
+          { b with body; phis })
+        f.blocks;
+    if !round_changed then changed := true else continue_ := false
+  done;
+  !changed
+
+let pass = Pass.func_pass "dce" run_func

@@ -1,0 +1,167 @@
+(** Loop-invariant code motion.
+
+    Hoists speculatable loop-invariant instructions to the loop preheader.
+    Loads are hoisted only when the loop body contains no instruction that
+    may write memory and no call that may abort — a check call inside the
+    loop therefore pins every load, which is the mechanism behind the
+    slow ModuleOptimizerEarly configurations in Figures 12/13 ("memory
+    safety checks are very effective at preventing optimizations"). *)
+
+open Mi_mir
+module Cfg = Mi_analysis.Cfg
+module Dom = Mi_analysis.Dom
+module Loops = Mi_analysis.Loops
+
+(* Type-based alias rule, mirroring strict aliasing / TBAA as compilers
+   apply it to SPEC: [i8] (char) aliases everything; other types alias
+   only themselves.  In particular [i64] stores do not pin [ptr] loads —
+   which is exactly why the compiler-introduced i64 stores of pointer
+   values in Fig. 7 of the paper are so treacherous. *)
+let may_alias (a : Ty.t) (b : Ty.t) =
+  Ty.equal a b || a = Ty.I8 || b = Ty.I8
+
+let run_func (f : Func.t) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  (* repeat because hoisting can enable further hoisting *)
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 3 do
+    incr rounds;
+    continue_ := false;
+    let cfg = Cfg.build f in
+    let dom = Dom.build cfg in
+    let loops = Loops.build cfg dom in
+    (* innermost loops first *)
+    let by_depth =
+      List.sort (fun a b -> compare b.Loops.depth a.Loops.depth) loops.loops
+    in
+    List.iter
+      (fun (l : Loops.loop) ->
+        match Loops.preheader cfg l with
+        | None -> ()
+        | Some ph ->
+            (* always refetch blocks from the function: inner loops of
+               this round may have rewritten them (the CFG shape itself
+               is stable under LICM, so indices and labels stay valid) *)
+            let fetch bi =
+              Func.find_block_exn f cfg.Cfg.blocks.(bi).Block.label
+            in
+            let in_loop bi = List.mem bi l.body in
+            (* variables defined inside the loop *)
+            let defined_in_loop = Value.VTbl.create 32 in
+            List.iter
+              (fun bi ->
+                List.iter
+                  (fun (v : Value.var) ->
+                    Value.VTbl.replace defined_in_loop v ())
+                  (Block.defs (fetch bi)))
+              l.body;
+            (* which store types / clobber kinds occur inside the loop *)
+            let stored_tys = ref [] in
+            let bulk_clobber = ref false in
+            let loop_aborts = ref false in
+            let meta_writer = ref false in
+            List.iter
+              (fun bi ->
+                List.iter
+                  (fun (i : Instr.t) ->
+                    (match i.op with
+                    | Instr.Store (ty, _, _) -> stored_tys := ty :: !stored_tys
+                    | Instr.Memcpy _ | Instr.Memset _ ->
+                        bulk_clobber := true;
+                        meta_writer := true
+                    | Instr.Call (callee, _) ->
+                        if Pass.Effects.may_write_call callee then
+                          bulk_clobber := true;
+                        (match Intrinsics.classify callee with
+                        | Intrinsics.Effectful | Intrinsics.Allocating ->
+                            meta_writer := true
+                        | _ ->
+                            if not (Intrinsics.is_builtin callee) then
+                              meta_writer := true)
+                    | _ -> ());
+                    if Pass.Effects.may_abort i then loop_aborts := true)
+                  (fetch bi).Block.body)
+              l.body;
+            let load_clobbered ty =
+              !bulk_clobber || List.exists (may_alias ty) !stored_tys
+            in
+            let invariant_operand (v : Value.t) =
+              match v with
+              | Value.Var x -> not (Value.VTbl.mem defined_in_loop x)
+              | _ -> true
+            in
+            let hoisted = ref [] in
+            List.iter
+              (fun bi ->
+                if in_loop bi then begin
+                  let b = fetch bi in
+                  (* instructions in blocks dominating all latches execute
+                     on every iteration; speculatable instructions (and
+                     loads from globals, which are dereferenceable) may
+                     also be hoisted out of conditional blocks *)
+                  let dominates_latches =
+                    List.for_all (fun lt -> Dom.dominates dom bi lt) l.latches
+                  in
+                  begin
+                    let keep = ref [] in
+                    List.iter
+                      (fun (i : Instr.t) ->
+                        let ops_inv =
+                          List.for_all invariant_operand (Instr.operands i)
+                        in
+                        let can_hoist =
+                          ops_inv && i.dst <> None
+                          &&
+                          match i.op with
+                          | Instr.Load (ty, addr) ->
+                              (* a load is hoistable only when nothing in
+                                 the loop may clobber it (TBAA-style);
+                                 loads from globals are dereferenceable
+                                 and may be speculated past aborting
+                                 checks, all others are pinned by them
+                                 (§5.5) *)
+                              let speculable =
+                                match addr with
+                                | Mi_mir.Value.Glob _ -> true
+                                | _ -> false
+                              in
+                              (speculable || dominates_latches)
+                              && (not (load_clobbered ty))
+                              && ((not !loop_aborts) || speculable)
+                          | Instr.Call (callee, _)
+                            when Intrinsics.classify callee
+                                 = Intrinsics.Read_meta ->
+                              (* metadata loads (SoftBound trie / shadow
+                                 stack reads) are plain loads at machine
+                                 level: hoistable unless something in the
+                                 loop writes metadata *)
+                              not !meta_writer
+                          | _ -> Pass.Effects.speculatable i
+                        in
+                        if can_hoist then begin
+                          hoisted := i :: !hoisted;
+                          (match i.dst with
+                          | Some d ->
+                              Value.VTbl.remove defined_in_loop d
+                          | None -> ());
+                          changed := true;
+                          continue_ := true
+                        end
+                        else keep := i :: !keep)
+                      b.Block.body;
+                    Func.update_block f
+                      { b with body = List.rev !keep }
+                  end
+                end)
+              l.body;
+            if !hoisted <> [] then begin
+              let phb = fetch ph in
+              Func.update_block f
+                { phb with body = phb.Block.body @ List.rev !hoisted }
+            end)
+      by_depth
+  done;
+  !changed
+
+let pass = Pass.func_pass "licm" run_func

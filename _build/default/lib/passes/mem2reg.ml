@@ -1,0 +1,307 @@
+(** Promotion of stack slots to SSA registers.
+
+    An [alloca] is promotable when its address is used *only* as the
+    direct address operand of loads and stores of one consistent type that
+    fills the slot.  Taking the address in any other way — pointer
+    arithmetic, passing it to a call (e.g. to an inserted bounds check!),
+    storing it — disables promotion.  This is precisely why instrumenting
+    before mem2reg (extension point ModuleOptimizerEarly) is so costly in
+    Figures 12/13: every check call keeps its alloca alive and in memory.
+
+    Standard SSA construction: phi insertion at iterated dominance
+    frontiers, then a renaming walk over the dominator tree. *)
+
+open Mi_mir
+module Cfg = Mi_analysis.Cfg
+module Dom = Mi_analysis.Dom
+
+type slot_info = { sty : Ty.t; var : Value.var }
+
+(* Find promotable allocas: map var id -> element type. *)
+let promotable (f : Func.t) : slot_info Value.VTbl.t =
+  let cand : (Ty.t option ref * bool ref) Value.VTbl.t =
+    Value.VTbl.create 16
+  in
+  (* collect allocas *)
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match (i.op, i.dst) with
+          | Instr.Alloca { size; _ }, Some d ->
+              (* only scalar-sized slots *)
+              if size <= 8 then
+                Value.VTbl.replace cand d (ref None, ref true)
+          | _ -> ())
+        b.body)
+    f.blocks;
+  if Value.VTbl.length cand = 0 then Value.VTbl.create 0
+  else begin
+    let disqualify (v : Value.t) =
+      match v with
+      | Value.Var x -> (
+          match Value.VTbl.find_opt cand x with
+          | Some (_, ok) -> ok := false
+          | None -> ())
+      | _ -> ()
+    in
+    let note_access (addr : Value.t) (ty : Ty.t) =
+      match addr with
+      | Value.Var x -> (
+          match Value.VTbl.find_opt cand x with
+          | Some (slot_ty, ok) -> (
+              match !slot_ty with
+              | None -> slot_ty := Some ty
+              | Some t -> if not (Ty.equal t ty) then ok := false)
+          | None -> ())
+      | _ -> ()
+    in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (p : Instr.phi) ->
+            List.iter (fun (_, v) -> disqualify v) p.incoming)
+          b.phis;
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.op with
+            | Instr.Load (ty, addr) ->
+                note_access addr ty
+                (* the loaded address is fine; no other operands *)
+            | Instr.Store (ty, v, addr) ->
+                (* storing the alloca pointer itself escapes it *)
+                disqualify v;
+                note_access addr ty
+            | _ -> List.iter disqualify (Instr.operands i))
+          b.body;
+        List.iter disqualify (Instr.term_operands b.term))
+      f.blocks;
+    let out = Value.VTbl.create 16 in
+    Value.VTbl.iter
+      (fun x (slot_ty, ok) ->
+        match (!slot_ty, !ok) with
+        | Some ty, true ->
+            (* slot must be exactly the size of the accessed type *)
+            Value.VTbl.replace out x { sty = ty; var = x }
+        | None, true ->
+            (* never accessed: dead alloca, promote as i64 (loads of it
+               are absent, stores too — it will just disappear) *)
+            Value.VTbl.replace out x { sty = Ty.I64; var = x }
+        | _ -> ())
+      cand;
+    out
+  end
+
+let run_func (f : Func.t) : bool =
+  let slots = promotable f in
+  if Value.VTbl.length slots = 0 then false
+  else begin
+    let cfg = Cfg.build f in
+    let dom = Dom.build cfg in
+    let df = Dom.frontiers dom in
+    let nblocks = Cfg.n_blocks cfg in
+    (* def blocks per slot *)
+    let def_blocks : int list Value.VTbl.t = Value.VTbl.create 16 in
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.op with
+            | Instr.Store (_, _, Value.Var x) when Value.VTbl.mem slots x ->
+                Value.VTbl.replace def_blocks x
+                  (bi
+                  :: Option.value ~default:[]
+                       (Value.VTbl.find_opt def_blocks x))
+            | _ -> ())
+          b.body)
+      cfg.Cfg.blocks;
+    (* phi placement at iterated dominance frontiers *)
+    (* phi_for.(bi) : slot var -> phi dst var *)
+    let phi_for : (int, Value.var Value.VTbl.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Value.VTbl.iter
+      (fun x info ->
+        let placed = Array.make nblocks false in
+        let work = Queue.create () in
+        List.iter
+          (fun bi -> Queue.add bi work)
+          (Option.value ~default:[] (Value.VTbl.find_opt def_blocks x));
+        while not (Queue.is_empty work) do
+          let bi = Queue.pop work in
+          List.iter
+            (fun fr ->
+              if (not placed.(fr)) && cfg.Cfg.reachable.(fr) then begin
+                placed.(fr) <- true;
+                let tbl =
+                  match Hashtbl.find_opt phi_for fr with
+                  | Some t -> t
+                  | None ->
+                      let t = Value.VTbl.create 4 in
+                      Hashtbl.add phi_for fr t;
+                      t
+                in
+                Value.VTbl.replace tbl x
+                  (Func.fresh_var f ~name:(x.vname ^ "m2r") info.sty);
+                Queue.add fr work
+              end)
+            df.(bi)
+        done)
+      slots;
+    (* renaming walk over the dominator tree *)
+    let new_blocks : Block.t option array = Array.make nblocks None in
+    let edge_values : (int * int * Value.t Value.VTbl.t) list ref = ref [] in
+    let global_subst : Value.t Value.VTbl.t = Value.VTbl.create 32 in
+    let rec rename bi (incoming : Value.t Value.VTbl.t) =
+      let b = cfg.Cfg.blocks.(bi) in
+      let cur = Value.VTbl.copy incoming in
+      (* phis for slots in this block define new values *)
+      let slot_phis =
+        match Hashtbl.find_opt phi_for bi with
+        | Some tbl ->
+            Value.VTbl.fold
+              (fun x dst acc ->
+                Value.VTbl.replace cur x (Value.Var dst);
+                (x, dst) :: acc)
+              tbl []
+        | None -> []
+      in
+      let subst : Value.t Value.VTbl.t = Value.VTbl.create 8 in
+      let body =
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.op with
+            | Instr.Alloca _
+              when Option.fold ~none:false
+                     ~some:(fun d -> Value.VTbl.mem slots d)
+                     i.dst ->
+                None
+            | Instr.Store (_, v, Value.Var x) when Value.VTbl.mem slots x ->
+                let v =
+                  match v with
+                  | Value.Var vx -> (
+                      match Value.VTbl.find_opt subst vx with
+                      | Some r -> r
+                      | None -> v)
+                  | _ -> v
+                in
+                Value.VTbl.replace cur x v;
+                None
+            | Instr.Load (_, Value.Var x) when Value.VTbl.mem slots x ->
+                let v =
+                  match Value.VTbl.find_opt cur x with
+                  | Some v -> v
+                  | None ->
+                      (* load before any store: undef, read as zero *)
+                      let info = Value.VTbl.find slots x in
+                      if Ty.is_float info.sty then Value.Flt 0.0
+                      else Value.Int (info.sty, 0)
+                in
+                Option.iter (fun d -> Value.VTbl.replace subst d v) i.dst;
+                None
+            | _ ->
+                Some
+                  (Instr.map_operands
+                     (fun v ->
+                       match v with
+                       | Value.Var vx -> (
+                           match Value.VTbl.find_opt subst vx with
+                           | Some r -> r
+                           | None -> v)
+                       | _ -> v)
+                     i))
+          b.body
+      in
+      let term =
+        Instr.map_term_operands
+          (fun v ->
+            match v with
+            | Value.Var vx -> (
+                match Value.VTbl.find_opt subst vx with
+                | Some r -> r
+                | None -> v)
+            | _ -> v)
+          b.term
+      in
+      (* patch successors' slot-phis with current values; also rewrite
+         ordinary phi operands flowing along our edges *)
+      let phis =
+        b.phis
+        @ List.map
+            (fun (x, dst) ->
+              ignore x;
+              { Instr.pdst = dst; incoming = [] })
+            slot_phis
+      in
+      new_blocks.(bi) <- Some { b with phis; body; term };
+      (* record outgoing slot values on each CFG edge for a later phi
+         patch; we stash them in a list *)
+      List.iter
+        (fun succ ->
+          edge_values := (bi, succ, Value.VTbl.copy cur) :: !edge_values)
+        cfg.Cfg.succs.(bi);
+      (* instruction-result substitutions also apply in successors'
+         ordinary phis; handle via global substitution at the end *)
+      Value.VTbl.iter (fun k v -> Value.VTbl.replace global_subst k v) subst;
+      List.iter (fun child -> rename child cur) dom.Dom.children.(bi)
+    in
+    let entry_env = Value.VTbl.create 8 in
+    rename 0 entry_env;
+    (* attach incoming values to the inserted slot-phis *)
+    let blocks =
+      Array.to_list
+        (Array.mapi
+           (fun bi ob ->
+             match ob with
+             | None -> cfg.Cfg.blocks.(bi) (* unreachable: keep as is *)
+             | Some b -> b)
+           new_blocks)
+    in
+    let find_phi_slot bi (dst : Value.var) =
+      (* which slot does this phi belong to? *)
+      match Hashtbl.find_opt phi_for bi with
+      | None -> None
+      | Some tbl ->
+          Value.VTbl.fold
+            (fun x d acc -> if Value.var_equal d dst then Some x else acc)
+            tbl None
+    in
+    let blocks =
+      List.mapi
+        (fun bi (b : Block.t) ->
+          let phis =
+            List.map
+              (fun (p : Instr.phi) ->
+                match find_phi_slot bi p.pdst with
+                | None -> p
+                | Some x ->
+                    let info = Value.VTbl.find slots x in
+                    let incoming =
+                      List.filter_map
+                        (fun (pred, succ, env) ->
+                          if succ = bi then
+                            Some
+                              ( cfg.Cfg.blocks.(pred).Block.label,
+                                match Value.VTbl.find_opt env x with
+                                | Some v -> v
+                                | None ->
+                                    if Ty.is_float info.sty then
+                                      Value.Flt 0.0
+                                    else Value.Int (info.sty, 0) )
+                          else None)
+                        !edge_values
+                    in
+                    { p with incoming })
+              b.phis
+          in
+          { b with phis })
+        blocks
+    in
+    f.blocks <- blocks;
+    (* load-result substitutions may appear in phis of blocks we renamed
+       before their operands got substituted locally *)
+    Putils.substitute f global_subst;
+    true
+  end
+
+let pass = Pass.func_pass "mem2reg" run_func

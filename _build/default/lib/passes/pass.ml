@@ -1,0 +1,101 @@
+(** Pass interface and manager.
+
+    Passes rewrite functions or modules in place and report whether they
+    changed anything, which lets the manager iterate cleanup groups to a
+    fixed point (bounded, to stay predictable). *)
+
+open Mi_mir
+
+type t = { name : string; run : Irmod.t -> bool }
+
+(** Lift a per-function transformation to a module pass over defined,
+    non-runtime functions. *)
+let func_pass name (run_func : Func.t -> bool) : t =
+  {
+    name;
+    run =
+      (fun m ->
+        List.fold_left
+          (fun changed f -> run_func f || changed)
+          false (Irmod.defined_funcs m));
+  }
+
+let run_one (p : t) (m : Irmod.t) : bool = p.run m
+
+(** Run [passes] in order once; true if any changed the module. *)
+let run_list (passes : t list) (m : Irmod.t) : bool =
+  List.fold_left (fun changed p -> p.run m || changed) false passes
+
+(** Iterate [passes] until no pass changes the module, at most
+    [max_rounds] times. *)
+let run_fixpoint ?(max_rounds = 4) (passes : t list) (m : Irmod.t) : bool =
+  let changed_any = ref false in
+  let rec go n =
+    if n < max_rounds && run_list passes m then begin
+      changed_any := true;
+      go (n + 1)
+    end
+  in
+  go 0;
+  !changed_any
+
+(** Call-effect summaries used by the optimization passes.  Calls into the
+    check runtime may abort; unknown calls may do anything. *)
+module Effects = struct
+  let is_pure_call name =
+    match Intrinsics.classify name with
+    | Intrinsics.Pure -> true
+    | _ -> false
+
+  let removable_call name = Intrinsics.removable_if_unused name
+
+  let may_abort_call name =
+    if Intrinsics.is_builtin name then Intrinsics.may_abort name
+    else true (* unknown callee: assume the worst *)
+
+  let may_write_call name =
+    if Intrinsics.is_builtin name then
+      match Intrinsics.classify name with
+      | Intrinsics.Pure -> false
+      | Intrinsics.Read_meta -> false
+      | Intrinsics.May_abort ->
+          (* checks read nothing and write nothing in user memory *)
+          false
+      | Intrinsics.Effectful | Intrinsics.Allocating -> true
+    else true
+
+  (** Is this instruction free of side effects (it may still read
+      memory)? Such instructions are removable when their result is
+      unused. *)
+  let removable (i : Instr.t) =
+    match i.op with
+    | Bin (_, _, _, _)
+    | FBin _ | Icmp _ | Fcmp _ | Cast _ | Load _ | Gep _ | Select _
+    | Alloca _ ->
+        true
+    | Store _ | Memcpy _ | Memset _ -> false
+    | Call (callee, _) -> removable_call callee
+
+  (** Can this instruction be executed speculatively (hoisted past
+      branches and aborting calls)?  Loads are not speculatable; neither
+      are divisions (divide-by-zero traps). *)
+  let speculatable (i : Instr.t) =
+    match i.op with
+    | Bin ((SDiv | UDiv | SRem | URem), _, _, _) -> false
+    | Bin _ | FBin _ | Icmp _ | Fcmp _ | Cast _ | Gep _ | Select _ -> true
+    | Call (callee, _) -> is_pure_call callee
+    | Load _ | Store _ | Memcpy _ | Memset _ | Alloca _ -> false
+
+  (** Does the instruction possibly write user memory? *)
+  let may_write (i : Instr.t) =
+    match i.op with
+    | Store _ | Memcpy _ | Memset _ -> true
+    | Call (callee, _) -> may_write_call callee
+    | _ -> false
+
+  (** Does the instruction possibly abort or not return? *)
+  let may_abort (i : Instr.t) =
+    match i.op with
+    | Call (callee, _) -> may_abort_call callee
+    | _ -> false
+end

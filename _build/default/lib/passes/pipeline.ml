@@ -1,0 +1,94 @@
+(** Compiler pipelines with instrumentation extension points.
+
+    Mirrors Figure 8 of the paper: the MemInstrument pass can be plugged
+    into the -O3 pipeline at [ModuleOptimizerEarly] (before the main
+    scalar optimizations), [ScalarOptimizerLate] (after them), or
+    [VectorizerStart] (just before late/vectorization cleanup).  Because
+    inserted checks may abort, instrumenting early blocks mem2reg, LICM
+    and friends — the ~30% effect of Figures 12/13. *)
+
+open Mi_mir
+
+type extension_point =
+  | ModuleOptimizerEarly
+  | ScalarOptimizerLate
+  | VectorizerStart
+
+let ep_name = function
+  | ModuleOptimizerEarly -> "ModuleOptimizerEarly"
+  | ScalarOptimizerLate -> "ScalarOptimizerLate"
+  | VectorizerStart -> "VectorizerStart"
+
+let all_extension_points =
+  [ ModuleOptimizerEarly; ScalarOptimizerLate; VectorizerStart ]
+
+(* The pipeline stages.  Like clang, the frontend already runs a
+   per-function simplification (SROA/mem2reg and cleanup) before the
+   module optimization pipeline begins — so code reaching the
+   ModuleOptimizerEarly extension point is in promoted SSA form, and the
+   early-vs-late gap of Figures 12/13 comes from the inlining, GVN and
+   LICM that checks subsequently block, not from unpromoted allocas. *)
+
+let canonicalize : Pass.t list =
+  [ Simplifycfg.pass; Mem2reg.pass; Instcombine.pass; Simplifycfg.pass ]
+
+let scalar_opts : Pass.t list =
+  [
+    Instcombine.pass;
+    Simplifycfg.pass;
+    Inline.pass;
+    Mem2reg.pass;
+    Instcombine.pass;
+    Gvn.pass;
+    Licm.pass;
+    Dce.pass;
+    Simplifycfg.pass;
+    Instcombine.pass;
+    Gvn.pass;
+    Dce.pass;
+  ]
+
+let late_scalar : Pass.t list =
+  [ Instcombine.pass; Gvn.pass; Licm.pass; Dce.pass; Simplifycfg.pass ]
+
+(* stands in for the vectorizer + final cleanup; the paper's SoftBound
+   implementation does not support vectorized code, so the placeholder is
+   cleanup only *)
+let late_cleanup : Pass.t list =
+  [ Instcombine.pass; Dce.pass; Simplifycfg.pass ]
+
+(** Optimization levels.  [O3] is the baseline of the runtime evaluation;
+    [O0] leaves the naive lowering untouched. *)
+type level = O0 | O1 | O3
+
+(** Run the pipeline at [level] on [m], invoking [instrument] (if any) at
+    extension point [ep].  Instrumentation-inserted code is subject to all
+    passes that run after its extension point, exactly as in Fig. 8. *)
+let run ?(level = O3) ?instrument ?(ep = VectorizerStart) (m : Irmod.t) :
+    unit =
+  let maybe_instrument p =
+    match instrument with
+    | Some f when p = ep -> f m
+    | _ -> ()
+  in
+  (match level with
+  | O0 ->
+      (* clang -O0 performs no optimization; all EPs coincide *)
+      ()
+  | O1 ->
+      ignore (Pass.run_list canonicalize m);
+      maybe_instrument ModuleOptimizerEarly;
+      ignore (Pass.run_list [ Instcombine.pass; Dce.pass; Simplifycfg.pass ] m);
+      maybe_instrument ScalarOptimizerLate;
+      maybe_instrument VectorizerStart;
+      ignore (Pass.run_list late_cleanup m)
+  | O3 ->
+      ignore (Pass.run_list canonicalize m);
+      maybe_instrument ModuleOptimizerEarly;
+      ignore (Pass.run_fixpoint ~max_rounds:2 scalar_opts m);
+      maybe_instrument ScalarOptimizerLate;
+      ignore (Pass.run_list late_scalar m);
+      maybe_instrument VectorizerStart;
+      ignore (Pass.run_list late_cleanup m));
+  if level = O0 then
+    match instrument with Some f -> f m | None -> ()

@@ -1,0 +1,43 @@
+(** Compiler pipelines with instrumentation extension points (the
+    paper's Figure 8).
+
+    The MemInstrument pass can be plugged into the -O3 pipeline at
+    [ModuleOptimizerEarly] (before the main scalar optimizations, but —
+    as in clang — after the frontend's per-function mem2reg/cleanup),
+    [ScalarOptimizerLate], or [VectorizerStart].  Because inserted checks
+    may abort, early instrumentation blocks inlining, GVN and LICM — the
+    extension-point effect of Figures 12/13. *)
+
+open Mi_mir
+
+type extension_point =
+  | ModuleOptimizerEarly
+  | ScalarOptimizerLate
+  | VectorizerStart
+
+val ep_name : extension_point -> string
+val all_extension_points : extension_point list
+
+(** Optimization levels.  [O3] is the baseline of the paper's runtime
+    evaluation; [O0] leaves the naive lowering untouched. *)
+type level = O0 | O1 | O3
+
+val canonicalize : Pass.t list
+(** The frontend per-function simplification that runs before any
+    extension point. *)
+
+val scalar_opts : Pass.t list
+val late_scalar : Pass.t list
+val late_cleanup : Pass.t list
+
+val run :
+  ?level:level ->
+  ?instrument:(Irmod.t -> unit) ->
+  ?ep:extension_point ->
+  Irmod.t ->
+  unit
+(** Optimize [m] in place at [level] (default [O3]), invoking
+    [instrument] at extension point [ep] (default [VectorizerStart]).
+    Instrumentation-inserted code is subject to every pass that runs
+    after its extension point.  At [O0] the instrumentation runs on the
+    unoptimized module (all extension points coincide). *)

@@ -1,0 +1,142 @@
+(** Shared utilities for the optimization passes. *)
+
+open Mi_mir
+
+(** Substitute variables in the whole function: [subst] maps a variable to
+    its replacement value. *)
+let substitute (f : Func.t) (subst : Value.t Value.VTbl.t) : unit =
+  if Value.VTbl.length subst > 0 then begin
+    (* resolve chains a -> b -> c *)
+    let rec resolve v =
+      match v with
+      | Value.Var x -> (
+          match Value.VTbl.find_opt subst x with
+          | Some v' when not (Value.equal v v') -> resolve v'
+          | _ -> v)
+      | _ -> v
+    in
+    f.blocks <- List.map (Block.map_operands resolve) f.blocks
+  end
+
+(** Number of uses of each variable in the function (operands of
+    instructions, phis, terminators). *)
+let use_counts (f : Func.t) : int Value.VTbl.t =
+  let t = Value.VTbl.create 64 in
+  let note (v : Value.t) =
+    match v with
+    | Var x ->
+        Value.VTbl.replace t x
+          (1 + Option.value ~default:0 (Value.VTbl.find_opt t x))
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (p : Instr.phi) -> List.iter (fun (_, v) -> note v) p.incoming)
+        b.phis;
+      List.iter
+        (fun (i : Instr.t) -> List.iter note (Instr.operands i))
+        b.body;
+      List.iter note (Instr.term_operands b.term))
+    f.blocks;
+  t
+
+(** All variables used anywhere in the function. *)
+let used_vars (f : Func.t) : unit Value.VTbl.t =
+  let t = Value.VTbl.create 64 in
+  let note (v : Value.t) =
+    match v with Value.Var x -> Value.VTbl.replace t x () | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (p : Instr.phi) -> List.iter (fun (_, v) -> note v) p.incoming)
+        b.phis;
+      List.iter
+        (fun (i : Instr.t) -> List.iter note (Instr.operands i))
+        b.body;
+      List.iter note (Instr.term_operands b.term))
+    f.blocks;
+  t
+
+(** Remove blocks not reachable from entry, and drop phi incoming entries
+    from removed blocks.  Returns true if anything changed. *)
+let remove_unreachable (f : Func.t) : bool =
+  let cfg = Mi_analysis.Cfg.build f in
+  let keep = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (b : Block.t) ->
+      if cfg.Mi_analysis.Cfg.reachable.(i) then Hashtbl.add keep b.label ())
+    cfg.Mi_analysis.Cfg.blocks;
+  let changed = ref false in
+  let blocks =
+    List.filter
+      (fun (b : Block.t) ->
+        let k = Hashtbl.mem keep b.label in
+        if not k then changed := true;
+        k)
+      f.blocks
+  in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let phis =
+          List.map
+            (fun (p : Instr.phi) ->
+              let incoming =
+                List.filter (fun (l, _) -> Hashtbl.mem keep l) p.incoming
+              in
+              if List.length incoming <> List.length p.incoming then
+                changed := true;
+              { p with incoming })
+            b.phis
+        in
+        { b with phis })
+      blocks
+  in
+  if !changed then f.blocks <- blocks;
+  !changed
+
+(** A canonical structural key for pure instructions (used by GVN). *)
+let op_key (op : Instr.op) : string option =
+  let v = Value.to_string in
+  match op with
+  | Bin (o, ty, a, b) ->
+      let a, b =
+        (* normalize commutative operand order *)
+        match o with
+        | Add | Mul | And | Or | Xor ->
+            if compare (v a) (v b) <= 0 then (a, b) else (b, a)
+        | _ -> (a, b)
+      in
+      Some
+        (Printf.sprintf "bin:%s:%s:%s:%s" (Instr.binop_to_string o)
+           (Ty.to_string ty) (v a) (v b))
+  | FBin (o, a, b) ->
+      Some (Printf.sprintf "fbin:%s:%s:%s" (Instr.fbinop_to_string o) (v a) (v b))
+  | Icmp (o, ty, a, b) ->
+      Some
+        (Printf.sprintf "icmp:%s:%s:%s:%s" (Instr.icmp_to_string o)
+           (Ty.to_string ty) (v a) (v b))
+  | Fcmp (o, a, b) ->
+      Some (Printf.sprintf "fcmp:%s:%s:%s" (Instr.fcmp_to_string o) (v a) (v b))
+  | Cast (c, t1, x, t2) ->
+      Some
+        (Printf.sprintf "cast:%s:%s:%s:%s" (Instr.cast_to_string c)
+           (Ty.to_string t1) (v x) (Ty.to_string t2))
+  | Gep (base, idxs) ->
+      Some
+        (Printf.sprintf "gep:%s:%s" (v base)
+           (String.concat ","
+              (List.map
+                 (fun gi ->
+                   Printf.sprintf "%d*%s" gi.Instr.stride (v gi.Instr.idx))
+                 idxs)))
+  | Select (ty, c, a, b) ->
+      Some
+        (Printf.sprintf "sel:%s:%s:%s:%s" (Ty.to_string ty) (v c) (v a) (v b))
+  | Call (callee, args) when Pass.Effects.is_pure_call callee ->
+      Some
+        (Printf.sprintf "call:%s:%s" callee
+           (String.concat "," (List.map v args)))
+  | _ -> None

@@ -1,0 +1,182 @@
+(** CFG simplification:
+    - fold conditional branches on constants (dropping the dead edge from
+      the target's phis);
+    - remove blocks unreachable from entry;
+    - merge a block into its unique successor when that successor has no
+      other predecessors;
+    - thread jumps through empty forwarding blocks when the final target
+      has no phis. *)
+
+open Mi_mir
+
+let fold_const_branches (f : Func.t) : bool =
+  let changed = ref false in
+  let removed_edges = ref [] in
+  f.blocks <-
+    List.map
+      (fun (b : Block.t) ->
+        match b.term with
+        | Instr.Cbr (Value.Int (_, k), l1, l2) when l1 <> l2 ->
+            changed := true;
+            let taken, dead = if k <> 0 then (l1, l2) else (l2, l1) in
+            removed_edges := (b.label, dead) :: !removed_edges;
+            { b with term = Instr.Br taken }
+        | Instr.Cbr (Value.Int _, l1, _) ->
+            changed := true;
+            { b with term = Instr.Br l1 }
+        | _ -> b)
+      f.blocks;
+  if !removed_edges <> [] then
+    f.blocks <-
+      List.map
+        (fun (b : Block.t) ->
+          let phis =
+            List.map
+              (fun (p : Instr.phi) ->
+                {
+                  p with
+                  incoming =
+                    List.filter
+                      (fun (l, _) ->
+                        not (List.mem (l, b.label) !removed_edges))
+                      p.incoming;
+                })
+              b.phis
+          in
+          { b with phis })
+        f.blocks;
+  !changed
+
+(* Merge B into A when A's terminator is `br B` and B has exactly one
+   predecessor (A). B's phis then have a single incoming value and become
+   substitutions. The entry block keeps its label. *)
+let merge_blocks (f : Func.t) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let cfg = Mi_analysis.Cfg.build f in
+    let candidate =
+      List.find_opt
+        (fun (a : Block.t) ->
+          match a.term with
+          | Instr.Br lb -> (
+              let bi = Mi_analysis.Cfg.index cfg lb in
+              (not (String.equal a.label lb))
+              && cfg.Mi_analysis.Cfg.preds.(bi) = [ Mi_analysis.Cfg.index cfg a.label ]
+              &&
+              (* do not merge a block into itself via a cycle *)
+              match cfg.Mi_analysis.Cfg.preds.(bi) with
+              | [ _ ] -> true
+              | _ -> false)
+          | _ -> false)
+        f.blocks
+    in
+    match candidate with
+    | None -> continue_ := false
+    | Some a ->
+        let lb = match a.term with Instr.Br l -> l | _ -> assert false in
+        let bblk = Func.find_block_exn f lb in
+        (* single-pred phis become substitutions *)
+        let subst = Value.VTbl.create 4 in
+        List.iter
+          (fun (p : Instr.phi) ->
+            match p.incoming with
+            | [ (_, v) ] -> Value.VTbl.replace subst p.pdst v
+            | _ ->
+                (* verifier guarantees exactly one incoming per pred *)
+                invalid_arg "merge_blocks: phi arity mismatch")
+          bblk.phis;
+        let merged =
+          {
+            a with
+            body = a.body @ bblk.body;
+            term = bblk.term;
+          }
+        in
+        (* successors of B now have A as predecessor *)
+        let succ_labels = Instr.successors bblk.term in
+        f.blocks <-
+          List.filter_map
+            (fun (blk : Block.t) ->
+              if String.equal blk.label a.label then Some merged
+              else if String.equal blk.label lb then None
+              else if List.mem blk.label succ_labels then
+                Some
+                  {
+                    blk with
+                    phis =
+                      List.map
+                        (fun (p : Instr.phi) ->
+                          {
+                            p with
+                            incoming =
+                              List.map
+                                (fun (l, v) ->
+                                  if String.equal l lb then (a.label, v)
+                                  else (l, v))
+                                p.incoming;
+                          })
+                        blk.phis;
+                  }
+              else Some blk)
+            f.blocks;
+        Putils.substitute f subst;
+        changed := true
+  done;
+  !changed
+
+(* Thread `br E` where E contains only `br T` and T has no phis: replace
+   the edge by a direct jump to T.  (With phis in T the edge identity
+   matters, so we leave those alone.) *)
+let thread_empty_blocks (f : Func.t) : bool =
+  let changed = ref false in
+  let forwards = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Block.t) ->
+      match (b.phis, b.body, b.term) with
+      | [], [], Instr.Br t when not (String.equal t b.label) -> (
+          match Func.find_block f t with
+          | Some tb when tb.phis = [] -> Hashtbl.replace forwards b.label t
+          | _ -> ())
+      | _ -> ())
+    f.blocks;
+  if Hashtbl.length forwards = 0 then false
+  else begin
+    let rec final l seen =
+      if List.mem l seen then l
+      else
+        match Hashtbl.find_opt forwards l with
+        | Some t -> final t (l :: seen)
+        | None -> l
+    in
+    let entry_label =
+      match f.blocks with b :: _ -> b.Block.label | [] -> ""
+    in
+    f.blocks <-
+      List.map
+        (fun (b : Block.t) ->
+          let redirect l =
+            if String.equal b.label entry_label && false then l
+            else
+              let t = final l [] in
+              if not (String.equal t l) then changed := true;
+              t
+          in
+          match b.term with
+          | Instr.Br l -> { b with term = Instr.Br (redirect l) }
+          | Instr.Cbr (c, l1, l2) ->
+              { b with term = Instr.Cbr (c, redirect l1, redirect l2) }
+          | _ -> b)
+        f.blocks;
+    !changed
+  end
+
+let run_func (f : Func.t) : bool =
+  let c1 = fold_const_branches f in
+  let c2 = Putils.remove_unreachable f in
+  let c3 = thread_empty_blocks f in
+  let c4 = Putils.remove_unreachable f in
+  let c5 = merge_blocks f in
+  c1 || c2 || c3 || c4 || c5
+
+let pass = Pass.func_pass "simplifycfg" run_func

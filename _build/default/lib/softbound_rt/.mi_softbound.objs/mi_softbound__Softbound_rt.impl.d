@@ -1,0 +1,1 @@
+lib/softbound_rt/softbound_rt.ml: Array Cost Hashtbl Layout Mi_mir Mi_vm Option Printf State

@@ -1,0 +1,1 @@
+lib/softbound_rt/softbound_rt.mli: Mi_vm State

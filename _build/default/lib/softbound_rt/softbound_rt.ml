@@ -1,0 +1,254 @@
+(** SoftBound runtime (Nagarakatte et al., PLDI'09, with the data
+    structures of the later CETS/SNAPL work the paper selected).
+
+    Pointer bounds are kept in a *disjoint metadata space*:
+
+    - a two-level trie maps the address where a pointer value is stored in
+      memory to that pointer's (base, bound) pair (§3.2);
+    - a shadow stack propagates bounds for pointer-typed function
+      arguments and returns across calls;
+    - wrappers for C-library functions that move pointers in memory keep
+      the trie in sync (Fig. 6) — without them, the stale-metadata
+      problems of §4.3–4.5 appear, which this reproduction also models.
+
+    Reading metadata for an address that never had any yields null bounds
+    (0, 0), so dereferencing such a pointer reports a violation — the
+    "outdated or unavailable bounds" behaviour the paper analyzes. *)
+
+open Mi_vm
+module Intr = Mi_mir.Intrinsics
+
+(* Secondary trie tables cover [1 lsl sec_bits] bytes of address space,
+   with one (base, bound) pair per 8-byte-aligned slot. *)
+let sec_bits = 16
+let slots_per_sec = 1 lsl (sec_bits - 3)
+
+type t = {
+  st : State.t;
+  trie : (int, int array) Hashtbl.t;  (** primary: addr >> 16 -> secondary *)
+  mutable ss : int array;  (** shadow stack: pairs of (base, bound) slots *)
+  mutable ss_top : int;  (** next free pair index *)
+  mutable ss_fp : int;  (** current frame start (pair index) *)
+  mutable ss_saved : int list;  (** saved frame pointers *)
+}
+
+(* --- trie ------------------------------------------------------------ *)
+
+let sec_for t addr =
+  let key = addr lsr sec_bits in
+  match Hashtbl.find_opt t.trie key with
+  | Some s -> s
+  | None ->
+      let s = Array.make (slots_per_sec * 2) 0 in
+      Hashtbl.add t.trie key s;
+      s
+
+let slot_index addr = (addr land ((1 lsl sec_bits) - 1)) lsr 3
+
+let trie_store t addr ~base ~bound =
+  State.charge t.st t.st.State.cost.Cost.sb_trie_store;
+  State.bump t.st "sb.trie_store";
+  let s = sec_for t addr in
+  let i = slot_index addr in
+  s.((i * 2)) <- base;
+  s.((i * 2) + 1) <- bound
+
+let trie_load t addr =
+  State.charge t.st t.st.State.cost.Cost.sb_trie_load;
+  State.bump t.st "sb.trie_load";
+  match Hashtbl.find_opt t.trie (addr lsr sec_bits) with
+  | None -> (0, 0)
+  | Some s ->
+      let i = slot_index addr in
+      (s.(i * 2), s.((i * 2) + 1))
+
+(** Copy metadata for every pointer-sized slot in [dst, dst+len) from the
+    corresponding slot of [src] — the [copy_metadata] of Fig. 6. *)
+let meta_copy t ~dst ~src len =
+  State.bump t.st "sb.meta_copy";
+  let n = len / 8 in
+  for k = 0 to n - 1 do
+    let sa = src + (k * 8) and da = dst + (k * 8) in
+    State.charge t.st
+      (t.st.State.cost.Cost.sb_trie_load + t.st.State.cost.Cost.sb_trie_store);
+    let b, e =
+      match Hashtbl.find_opt t.trie (sa lsr sec_bits) with
+      | None -> (0, 0)
+      | Some s ->
+          let i = slot_index sa in
+          (s.(i * 2), s.((i * 2) + 1))
+    in
+    let s = sec_for t da in
+    let i = slot_index da in
+    s.(i * 2) <- b;
+    s.((i * 2) + 1) <- e
+  done
+
+(* --- shadow stack ------------------------------------------------------ *)
+
+let ss_ensure t n =
+  if n > Array.length t.ss / 2 then begin
+    let bigger = Array.make (Array.length t.ss * 2) 0 in
+    Array.blit t.ss 0 bigger 0 (Array.length t.ss);
+    t.ss <- bigger
+  end
+
+let ss_enter t nslots =
+  State.charge t.st t.st.State.cost.Cost.ss_frame;
+  State.bump t.st "sb.ss_frames";
+  t.ss_saved <- t.ss_fp :: t.ss_saved;
+  t.ss_fp <- t.ss_top;
+  t.ss_top <- t.ss_top + nslots + 1;
+  ss_ensure t t.ss_top
+
+let ss_leave t =
+  State.charge t.st t.st.State.cost.Cost.ss_frame;
+  t.ss_top <- t.ss_fp;
+  match t.ss_saved with
+  | fp :: rest ->
+      t.ss_fp <- fp;
+      t.ss_saved <- rest
+  | [] -> t.ss_fp <- 0
+
+let ss_pair t slot = (t.ss_fp + slot) * 2
+
+let ss_set_base t slot v =
+  State.charge t.st t.st.State.cost.Cost.ss_op;
+  ss_ensure t (t.ss_fp + slot + 1);
+  t.ss.(ss_pair t slot) <- v
+
+let ss_set_bound t slot v =
+  State.charge t.st t.st.State.cost.Cost.ss_op;
+  ss_ensure t (t.ss_fp + slot + 1);
+  t.ss.(ss_pair t slot + 1) <- v
+
+let ss_get_base t slot =
+  State.charge t.st t.st.State.cost.Cost.ss_op;
+  ss_ensure t (t.ss_fp + slot + 1);
+  t.ss.(ss_pair t slot)
+
+let ss_get_bound t slot =
+  State.charge t.st t.st.State.cost.Cost.ss_op;
+  ss_ensure t (t.ss_fp + slot + 1);
+  t.ss.(ss_pair t slot + 1)
+
+(* --- check (Figure 2 of the paper) ------------------------------------- *)
+
+let check st ptr width ~base ~bound =
+  State.charge st st.State.cost.Cost.sb_check;
+  State.bump st "sb.checks";
+  if bound >= Layout.wide_bound then State.bump st "sb.checks_wide";
+  if ptr < base || ptr + width > bound then
+    raise
+      (State.Safety_abort
+         {
+           checker = "softbound";
+           reason =
+             Printf.sprintf
+               "out-of-bounds access: ptr=%#x width=%d bounds=[%#x,%#x)" ptr
+               width base bound;
+         })
+
+(* --- wrappers (Fig. 6) -------------------------------------------------- *)
+
+(* The wrappers call the original builtin and then fix up metadata.  Checks
+   inside wrappers are disabled by default for runtime comparability
+   (§5.1.2); [wrapper_checks] turns them on. *)
+
+let install_wrappers ?(wrapper_checks = false) (t : t) =
+  let st = t.st in
+  let orig name = Option.get (State.find_builtin st name) in
+  let wrap name fixup =
+    let base_fn = orig name in
+    State.register_builtin st (Intr.sb_wrapper name) (fun st args ->
+        let r = base_fn st args in
+        fixup st args r;
+        r)
+  in
+  ignore wrapper_checks;
+  (* strcpy/strncpy/strcat move bytes that cannot contain pointers in
+     well-typed C, but the returned pointer's bounds must go to the shadow
+     stack return slot, which the instrumented caller reads. *)
+  let ret_arg0_bounds _st args _r =
+    (* returned pointer aliases argument 0: its bounds are in slot 1 *)
+    let b = ss_get_base t 1 and e = ss_get_bound t 1 in
+    ss_set_base t 0 b;
+    ss_set_bound t 0 e;
+    ignore args
+  in
+  wrap "strcpy" ret_arg0_bounds;
+  wrap "strncpy" ret_arg0_bounds;
+  wrap "strcat" ret_arg0_bounds;
+  wrap "strchr" (fun _st _args _r ->
+      let b = ss_get_base t 1 and e = ss_get_bound t 1 in
+      ss_set_base t 0 b;
+      ss_set_bound t 0 e);
+  (* realloc: fresh allocation; copy metadata from the old block *)
+  State.register_builtin st (Intr.sb_wrapper "realloc") (fun st args ->
+      let old = State.as_int args.(0) and n = State.as_int args.(1) in
+      let old_sz =
+        if old = 0 then 0
+        else Option.value ~default:0 (Hashtbl.find_opt st.alloc_sizes old)
+      in
+      let r = (orig "realloc") st args in
+      let a = State.as_int (Option.get r) in
+      if old <> 0 && a <> old then meta_copy t ~dst:a ~src:old (min old_sz n);
+      ss_set_base t 0 a;
+      ss_set_bound t 0 (a + n);
+      r)
+
+(* --- installation ------------------------------------------------------- *)
+
+let install ?(wrapper_checks = false) (st : State.t) : t =
+  let t =
+    {
+      st;
+      trie = Hashtbl.create 256;
+      ss = Array.make 8192 0;
+      ss_top = 0;
+      ss_fp = 0;
+      ss_saved = [];
+    }
+  in
+  let reg = State.register_builtin st in
+  reg Intr.sb_check (fun st args ->
+      check st
+        (State.as_int args.(0))
+        (State.as_int args.(1))
+        ~base:(State.as_int args.(2))
+        ~bound:(State.as_int args.(3));
+      None);
+  reg Intr.sb_trie_store (fun _ args ->
+      trie_store t
+        (State.as_int args.(0))
+        ~base:(State.as_int args.(1))
+        ~bound:(State.as_int args.(2));
+      None);
+  reg Intr.sb_trie_load_base (fun _ args ->
+      Some (State.I (fst (trie_load t (State.as_int args.(0))))));
+  reg Intr.sb_trie_load_bound (fun _ args ->
+      Some (State.I (snd (trie_load t (State.as_int args.(0))))));
+  reg Intr.sb_meta_copy (fun _ args ->
+      meta_copy t
+        ~dst:(State.as_int args.(0))
+        ~src:(State.as_int args.(1))
+        (State.as_int args.(2));
+      None);
+  reg Intr.ss_enter (fun _ args ->
+      ss_enter t (State.as_int args.(0));
+      None);
+  reg Intr.ss_leave (fun _ _ ->
+      ss_leave t;
+      None);
+  reg Intr.ss_set_base (fun _ args ->
+      ss_set_base t (State.as_int args.(0)) (State.as_int args.(1));
+      None);
+  reg Intr.ss_set_bound (fun _ args ->
+      ss_set_bound t (State.as_int args.(0)) (State.as_int args.(1));
+      None);
+  reg Intr.ss_get_base (fun _ args ->
+      Some (State.I (ss_get_base t (State.as_int args.(0)))));
+  reg Intr.ss_get_bound (fun _ args ->
+      Some (State.I (ss_get_bound t (State.as_int args.(0)))));
+  install_wrappers ~wrapper_checks t;
+  t

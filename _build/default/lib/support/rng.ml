@@ -1,0 +1,55 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the workload generators and the VM's [mi_rand] builtin
+    flows through this module so that every experiment is exactly
+    reproducible.  The generator is splitmix64 (Steele et al., OOPSLA'14),
+    which is small, fast, and has well-understood statistical quality. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One splitmix64 step: advance by the golden-gamma and mix. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [bits t] returns a non-negative 62-bit pseudo-random integer. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] returns a uniform integer in [0, n).  Raises
+    [Invalid_argument] if [n <= 0]. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+(** [int_range t lo hi] returns a uniform integer in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+(** [float t] returns a uniform float in [0, 1). *)
+let float t = Stdlib.float_of_int (bits t) /. 4611686018427387904.0
+
+(** [bool t] returns a uniform boolean. *)
+let bool t = bits t land 1 = 1
+
+(** [choose t arr] picks a uniform element of [arr]. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher-Yates). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,60 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints the same rows the paper's tables and figure
+    series report; this module keeps the formatting in one place. *)
+
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* newest first *)
+}
+
+let create ?(aligns = []) headers =
+  let aligns =
+    if aligns = [] then List.map (fun _ -> Left) headers else aligns
+  in
+  if List.length aligns <> List.length headers then
+    invalid_arg "Table.create: aligns/headers length mismatch";
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let buf = Buffer.create 256 in
+  let line cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf
+          (pad (List.nth t.aligns i) (List.nth widths i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter line rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,1 @@
+lib/vm/builtins.ml: Array Buffer Char Cost Hashtbl Memory Mi_support Printf State String

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Block Cost Eval Float Func Hashtbl Instr Int64 Irmod Layout List Memory Mi_mir Mi_support Option Printf State Ty Value

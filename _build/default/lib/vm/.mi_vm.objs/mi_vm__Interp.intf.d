@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Irmod Mi_mir State

@@ -1,0 +1,1 @@
+lib/vm/state.ml: Buffer Cost Hashtbl Layout List Memory Mi_support Printf

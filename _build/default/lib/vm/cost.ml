@@ -1,0 +1,63 @@
+(** Deterministic cycle cost model.
+
+    The paper measures wall-clock time on an i9-10900K; our substrate is an
+    interpreter, so execution time is modeled as cycles charged per executed
+    instruction and per runtime call.  The relative magnitudes follow the
+    instruction sequences of the paper's Figures 2 (SoftBound check) and 5
+    (Low-Fat check) and its attribution of overheads in §5.2/§5.4: a
+    SoftBound check is cheaper than a Low-Fat check, while SoftBound's trie
+    accesses are far more expensive than Low-Fat's base recomputation. *)
+
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  fpu : int;
+  load : int;
+  store : int;
+  gep_term : int;  (** per scaled index *)
+  branch : int;
+  select : int;
+  call_overhead : int;  (** per dynamic call, caller+callee bookkeeping *)
+  memop_per_byte_num : int;  (** memcpy/memset cost numerator per byte *)
+  memop_per_byte_den : int;
+  (* runtime intrinsics *)
+  sb_check : int;  (** two compares + branch (Fig. 2) *)
+  lf_check : int;  (** region index, size lookup, sub, compare (Fig. 5) *)
+  lf_base : int;  (** mask recomputation of the base pointer *)
+  sb_trie_load : int;  (** two dependent memory indirections *)
+  sb_trie_store : int;
+  ss_op : int;  (** one shadow-stack slot read/write *)
+  ss_frame : int;  (** shadow-stack frame enter/leave *)
+  alloc : int;  (** allocator call *)
+  lf_alloc : int;  (** low-fat allocator: size-class push/pop *)
+}
+
+let default =
+  {
+    alu = 1;
+    mul = 3;
+    div = 20;
+    fpu = 3;
+    load = 4;
+    store = 4;
+    gep_term = 1;
+    branch = 1;
+    select = 1;
+    call_overhead = 8;
+    memop_per_byte_num = 1;
+    memop_per_byte_den = 4;
+    sb_check = 10;
+    lf_check = 14;
+    lf_base = 6;
+    sb_trie_load = 30;
+    sb_trie_store = 30;
+    ss_op = 4;
+    ss_frame = 4;
+    alloc = 80;
+    lf_alloc = 60;
+  }
+
+let memop_cost t len =
+  if len <= 0 then t.alu
+  else t.alu + ((len * t.memop_per_byte_num) / t.memop_per_byte_den) + 1

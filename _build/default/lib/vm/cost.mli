@@ -1,0 +1,39 @@
+(** Deterministic cycle cost model.
+
+    The paper measures wall-clock time on an i9-10900K; this substrate is
+    an interpreter, so execution time is modeled as cycles charged per
+    executed instruction and per runtime call.  The relative magnitudes
+    follow the instruction sequences of the paper's Figure 2 (SoftBound
+    check: two compares) and Figure 5 (Low-Fat check: region index, size
+    lookup, subtract, compare) and its attribution of overheads in
+    §5.2/§5.4: a SoftBound check is cheaper than a Low-Fat check, while
+    SoftBound's trie accesses dwarf Low-Fat's base recomputation. *)
+
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  fpu : int;
+  load : int;
+  store : int;
+  gep_term : int;  (** per scaled index of a gep *)
+  branch : int;
+  select : int;
+  call_overhead : int;
+  memop_per_byte_num : int;
+  memop_per_byte_den : int;
+  sb_check : int;
+  lf_check : int;
+  lf_base : int;
+  sb_trie_load : int;
+  sb_trie_store : int;
+  ss_op : int;  (** one shadow-stack slot read/write *)
+  ss_frame : int;
+  alloc : int;
+  lf_alloc : int;
+}
+
+val default : t
+
+val memop_cost : t -> int -> int
+(** Cost of a [memcpy]/[memset] of the given byte length. *)

@@ -1,0 +1,160 @@
+(** Sparse paged byte memory with little-endian accessors.
+
+    Pages are materialized zero-filled on first touch.  The only hard
+    fault is touching the null guard page (or a negative address): real
+    out-of-bounds accesses into padding or neighbouring allocations behave
+    exactly like on hardware — they silently read or corrupt memory.
+    Ground truth about memory-safety violations comes from the
+    instrumentation, not from the VM. *)
+
+exception Fault of int * string
+(** address, description *)
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable page_count : int;
+  max_pages : int;
+}
+
+let create ?(max_pages = 1 lsl 19) () =
+  { pages = Hashtbl.create 1024; page_count = 0; max_pages }
+
+let page_of t addr =
+  let idx = addr lsr Layout.page_bits in
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+      if t.page_count >= t.max_pages then
+        raise (Fault (addr, "out of VM memory (page limit)"));
+      let p = Bytes.make Layout.page_size '\000' in
+      Hashtbl.add t.pages idx p;
+      t.page_count <- t.page_count + 1;
+      p
+
+let check_addr t addr width =
+  ignore t;
+  if addr < Layout.null_guard then
+    raise (Fault (addr, "access to null guard page"));
+  if width < 0 then raise (Fault (addr, "negative access width"))
+
+let offset addr = addr land (Layout.page_size - 1)
+
+(* Fast path: access contained in one page. *)
+let fits_page addr width = offset addr + width <= Layout.page_size
+
+let load8 t addr =
+  check_addr t addr 1;
+  Char.code (Bytes.get (page_of t addr) (offset addr))
+
+let store8 t addr v =
+  check_addr t addr 1;
+  Bytes.set (page_of t addr) (offset addr) (Char.chr (v land 0xff))
+
+let load t addr width =
+  check_addr t addr width;
+  if fits_page addr width then begin
+    let p = page_of t addr in
+    let off = offset addr in
+    match width with
+    | 1 -> Char.code (Bytes.get p off)
+    | 2 -> Bytes.get_uint16_le p off
+    | 4 -> Int32.to_int (Bytes.get_int32_le p off) land 0xffffffff
+    | 8 -> Int64.to_int (Bytes.get_int64_le p off)
+    | _ -> raise (Fault (addr, "bad access width"))
+  end
+  else begin
+    let v = ref 0 in
+    for i = width - 1 downto 0 do
+      v := (!v lsl 8) lor load8 t (addr + i)
+    done;
+    !v
+  end
+
+let store t addr width v =
+  check_addr t addr width;
+  if fits_page addr width then begin
+    let p = page_of t addr in
+    let off = offset addr in
+    match width with
+    | 1 -> Bytes.set p off (Char.chr (v land 0xff))
+    | 2 -> Bytes.set_uint16_le p off (v land 0xffff)
+    | 4 -> Bytes.set_int32_le p off (Int32.of_int v)
+    | 8 -> Bytes.set_int64_le p off (Int64.of_int v)
+    | _ -> raise (Fault (addr, "bad access width"))
+  end
+  else
+    for i = 0 to width - 1 do
+      store8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+(* f64 values keep their full 64-bit pattern: they must not round-trip
+   through OCaml's 63-bit int (the sign/exponent bits would be clipped). *)
+let load_i64_full t addr =
+  check_addr t addr 8;
+  if fits_page addr 8 then Bytes.get_int64_le (page_of t addr) (offset addr)
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (load8 t (addr + i)))
+    done;
+    !v
+  end
+
+let store_i64_full t addr v =
+  check_addr t addr 8;
+  if fits_page addr 8 then Bytes.set_int64_le (page_of t addr) (offset addr) v
+  else
+    for i = 0 to 7 do
+      store8 t (addr + i)
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+let load_f64 t addr = Int64.float_of_bits (load_i64_full t addr)
+let store_f64 t addr f = store_i64_full t addr (Int64.bits_of_float f)
+
+(** Copy [len] bytes from [src] to [dst]; regions may overlap
+    ([memmove] semantics). *)
+let copy t ~dst ~src len =
+  if len > 0 then begin
+    check_addr t dst len;
+    check_addr t src len;
+    if dst <= src then
+      for i = 0 to len - 1 do
+        store8 t (dst + i) (load8 t (src + i))
+      done
+    else
+      for i = len - 1 downto 0 do
+        store8 t (dst + i) (load8 t (src + i))
+      done
+  end
+
+let fill t ~dst ~byte len =
+  if len > 0 then begin
+    check_addr t dst len;
+    for i = 0 to len - 1 do
+      store8 t (dst + i) byte
+    done
+  end
+
+(** Read a NUL-terminated string (bounded at 1 MiB to catch runaways). *)
+let load_cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    if Buffer.length buf > 1 lsl 20 then
+      raise (Fault (addr, "unterminated C string"));
+    let c = load8 t a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+(** Write a string followed by a NUL byte. *)
+let store_cstring t addr s =
+  String.iteri (fun i c -> store8 t (addr + i) (Char.code c)) s;
+  store8 t (addr + String.length s) 0
+
+let store_bytes t addr s =
+  String.iteri (fun i c -> store8 t (addr + i) (Char.code c)) s

@@ -1,0 +1,44 @@
+(** Sparse paged byte memory with little-endian accessors.
+
+    Pages materialize zero-filled on first touch.  The only hard fault is
+    the null guard page: real out-of-bounds accesses into padding or
+    neighbouring allocations behave exactly like hardware — they silently
+    read or corrupt memory.  Ground truth about violations comes from the
+    instrumentation, not the VM. *)
+
+exception Fault of int * string
+(** (address, description) *)
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable page_count : int;
+  max_pages : int;
+}
+
+val create : ?max_pages:int -> unit -> t
+
+val load8 : t -> int -> int
+val store8 : t -> int -> int -> unit
+
+val load : t -> int -> int -> int
+(** [load t addr width] for widths 1, 2, 4, 8, little-endian; the result
+    is the raw unsigned bit pattern (callers normalize by type). *)
+
+val store : t -> int -> int -> int -> unit
+(** [store t addr width v]. *)
+
+val load_f64 : t -> int -> float
+val store_f64 : t -> int -> float -> unit
+(** [f64] values keep their full 64-bit pattern (no round trip through
+    OCaml's 63-bit int). *)
+
+val copy : t -> dst:int -> src:int -> int -> unit
+(** [memmove] semantics: overlapping ranges copy correctly. *)
+
+val fill : t -> dst:int -> byte:int -> int -> unit
+
+val load_cstring : t -> int -> string
+(** Read a NUL-terminated string (bounded; traps on runaways). *)
+
+val store_cstring : t -> int -> string -> unit
+val store_bytes : t -> int -> string -> unit

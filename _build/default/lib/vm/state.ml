@@ -1,0 +1,129 @@
+(** Mutable VM state: memory, cycle/step accounting, allocator hooks,
+    statistics counters, and the builtin-function registry.
+
+    The memory-safety runtimes ({!Mi_lowfat}, {!Mi_softbound}) do not live
+    in this library; they attach to a state by registering builtins and
+    replacing the allocator hooks.  This keeps the VM generic and lets the
+    harness run the same program under different runtime configurations. *)
+
+type value = I of int | F of float
+
+let as_int = function I x -> x | F _ -> invalid_arg "expected int value"
+let as_float = function F x -> x | I _ -> invalid_arg "expected float value"
+
+exception Exit_program of int
+
+exception Safety_abort of { checker : string; reason : string }
+(** Raised by check intrinsics on a detected violation — the
+    instrumentation's "report error & abort" path of Figure 1. *)
+
+exception Trap of string
+(** VM-level error: wild access, division by zero, fuel exhausted, ... *)
+
+type t = {
+  mem : Memory.t;
+  cost : Cost.t;
+  mutable cycles : int;
+  mutable steps : int;
+  fuel : int;  (** max dynamic instructions before trapping *)
+  out : Buffer.t;
+  counters : (string, int ref) Hashtbl.t;
+  rng : Mi_support.Rng.t;
+  builtins : (string, t -> value array -> value option) Hashtbl.t;
+  mutable malloc_hook : t -> int -> int;
+  mutable free_hook : t -> int -> unit;
+  mutable frame_enter_hook : t -> unit;
+  mutable frame_exit_hook : t -> unit;
+  (* standard allocator state *)
+  mutable heap_brk : int;
+  free_lists : (int, int list ref) Hashtbl.t;  (** size-class -> free list *)
+  alloc_sizes : (int, int) Hashtbl.t;  (** live allocation -> usable size *)
+  (* conventional stack *)
+  mutable stack_ptr : int;
+}
+
+let charge t c = t.cycles <- t.cycles + c
+
+let bump ?(by = 1) t key =
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters key (ref by)
+
+let counter t key =
+  match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+
+let counters_alist t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let register_builtin t name fn = Hashtbl.replace t.builtins name fn
+
+let find_builtin t name = Hashtbl.find_opt t.builtins name
+
+(* --- standard allocator -------------------------------------------- *)
+
+(* Size-class segregated free lists over a bump region: deterministic and
+   cheap.  Classes are powers of two from 16 bytes. *)
+
+let size_class sz = Mi_support.Util.round_up_pow2 (max sz 16)
+
+let std_malloc t sz =
+  if sz < 0 then raise (Trap "malloc with negative size");
+  charge t t.cost.Cost.alloc;
+  bump t "std.malloc";
+  let cls = size_class (max sz 1) in
+  let addr =
+    match Hashtbl.find_opt t.free_lists cls with
+    | Some ({ contents = a :: rest } as l) ->
+        l := rest;
+        a
+    | _ ->
+        let a = Mi_support.Util.align_up t.heap_brk (min cls 4096) in
+        if a + cls > Layout.heap_limit then raise (Trap "standard heap exhausted");
+        t.heap_brk <- a + cls;
+        a
+  in
+  Hashtbl.replace t.alloc_sizes addr sz;
+  addr
+
+let std_free t addr =
+  if addr <> 0 then begin
+    charge t t.cost.Cost.alloc;
+    bump t "std.free";
+    match Hashtbl.find_opt t.alloc_sizes addr with
+    | None -> raise (Trap (Printf.sprintf "free of non-allocated %#x" addr))
+    | Some sz ->
+        Hashtbl.remove t.alloc_sizes addr;
+        let cls = size_class (max sz 1) in
+        (match Hashtbl.find_opt t.free_lists cls with
+        | Some l -> l := addr :: !l
+        | None -> Hashtbl.add t.free_lists cls (ref [ addr ]))
+  end
+
+let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42) () =
+  let t =
+    {
+      mem = Memory.create ();
+      cost;
+      cycles = 0;
+      steps = 0;
+      fuel;
+      out = Buffer.create 256;
+      counters = Hashtbl.create 32;
+      rng = Mi_support.Rng.create seed;
+      builtins = Hashtbl.create 64;
+      malloc_hook = (fun _ _ -> 0);
+      free_hook = (fun _ _ -> ());
+      frame_enter_hook = (fun _ -> ());
+      frame_exit_hook = (fun _ -> ());
+      heap_brk = Layout.heap_base;
+      free_lists = Hashtbl.create 16;
+      alloc_sizes = Hashtbl.create 256;
+      stack_ptr = Layout.stack_top;
+    }
+  in
+  t.malloc_hook <- std_malloc;
+  t.free_hook <- std_free;
+  t
+
+let output t = Buffer.contents t.out

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Block Fun Func Instr List Mi_analysis Mi_mir Mi_support Option Parser Printf QCheck QCheck_alcotest Ty Value

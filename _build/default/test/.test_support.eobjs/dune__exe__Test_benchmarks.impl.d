@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Bench Experiments Harness Hashtbl List Mi_bench_kit Mi_core Mi_minic Mi_mir Paper_data Suite

@@ -1,0 +1,1 @@
+test/test_diagnose.ml: Alcotest List Mi_bench_kit Mi_core Mi_minic Printf

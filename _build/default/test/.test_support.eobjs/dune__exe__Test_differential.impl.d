@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest List Mi_bench_kit Mi_core Mi_passes Mi_vm Printf

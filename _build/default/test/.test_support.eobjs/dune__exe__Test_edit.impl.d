@@ -1,0 +1,1 @@
+test/test_edit.ml: Alcotest Block Func Instr Irmod List Mi_analysis Mi_core Mi_mir Parser Printer String Ty Value

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Block Func Instr Intrinsics Irmod List Mi_analysis Mi_bench_kit Mi_core Mi_mir Mi_vm Parser Printer String

@@ -1,0 +1,1 @@
+test/test_lowfat.ml: Alcotest Builtins List Mi_lowfat Mi_mir Mi_vm Option Printf QCheck QCheck_alcotest State

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest List Mi_analysis Mi_minic Mi_passes Mi_vm

@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Builder Eval Instr Int32 Irmod List Mi_mir Mi_support Option Parser Printer QCheck QCheck_alcotest String Ty Value Verify

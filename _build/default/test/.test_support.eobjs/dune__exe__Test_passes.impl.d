@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Block Func Instr Irmod List Mi_analysis Mi_core Mi_lowfat Mi_minic Mi_mir Mi_passes Mi_softbound Mi_vm Option Parser Printf String

@@ -1,0 +1,1 @@
+test/test_safety_corpus.ml: Alcotest List Mi_bench_kit Mi_core Mi_passes Mi_support Mi_vm Printf

@@ -1,0 +1,1 @@
+test/test_softbound.ml: Alcotest Builtins Layout Memory Mi_softbound Mi_vm Option QCheck QCheck_alcotest State

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun List Mi_support QCheck QCheck_alcotest Rng String Table Util

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Builtins Char Int64 Interp Layout List Memory Mi_analysis Mi_mir Mi_vm Parser Printf QCheck QCheck_alcotest State String

@@ -1,0 +1,271 @@
+(* Tests for CFG construction, dominators (against a naive reference
+   implementation), loop detection, and SSA dominance checking. *)
+
+open Mi_mir
+module Cfg = Mi_analysis.Cfg
+module Dom = Mi_analysis.Dom
+module Loops = Mi_analysis.Loops
+
+(* Build a function whose CFG has the given shape: blocks 0..n-1 with the
+   given successor lists (0 or 1 or 2 successors). *)
+let func_of_shape (succs : int list array) : Func.t =
+  let label i = Printf.sprintf "b%d" i in
+  let blocks =
+    Array.to_list
+      (Array.mapi
+         (fun i ss ->
+           let term =
+             match ss with
+             | [] -> Instr.Ret None
+             | [ s ] -> Instr.Br (label s)
+             | [ s1; s2 ] ->
+                 Instr.Cbr (Value.Var { Value.vid = 0; vname = "c"; vty = Ty.I1 }, label s1, label s2)
+             | _ -> invalid_arg "too many successors"
+           in
+           Block.mk ~term (label i))
+         succs)
+  in
+  Func.mk ~name:"shape"
+    ~params:[ { Value.vid = 0; vname = "c"; vty = Ty.I1 } ]
+    ~ret_ty:None blocks
+
+(* Naive dominator computation straight from the definition: block d
+   dominates b iff removing d makes b unreachable from entry. *)
+let naive_dominates (succs : int list array) d b =
+  let n = Array.length succs in
+  if d = b then true
+  else begin
+    let reached = Array.make n false in
+    let rec dfs i =
+      if (not reached.(i)) && i <> d then begin
+        reached.(i) <- true;
+        List.iter dfs succs.(i)
+      end
+    in
+    if d <> 0 then dfs 0;
+    (* b unreachable without d -> d dominates b, provided b is reachable
+       at all *)
+    let reachable_at_all = Array.make n false in
+    let rec dfs2 i =
+      if not reachable_at_all.(i) then begin
+        reachable_at_all.(i) <- true;
+        List.iter dfs2 succs.(i)
+      end
+    in
+    dfs2 0;
+    reachable_at_all.(b) && not reached.(b)
+  end
+
+let diamond = [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |]
+
+let loop_shape = [| [ 1 ]; [ 2; 3 ]; [ 1 ]; [] |] (* 1 is a loop header *)
+
+let nested_loops =
+  (* 0 -> 1(outer hdr) -> 2(inner hdr) -> 3 -> 2 | 4 ; 4 -> 1 | 5 *)
+  [| [ 1 ]; [ 2 ]; [ 3 ]; [ 2; 4 ]; [ 1; 5 ]; [] |]
+
+let test_cfg_diamond () =
+  let f = func_of_shape diamond in
+  let cfg = Cfg.build f in
+  Alcotest.(check (list int)) "succs of 0" [ 1; 2 ] cfg.Cfg.succs.(0);
+  Alcotest.(check (list int)) "preds of 3" [ 1; 2 ] (List.sort compare cfg.Cfg.preds.(3));
+  Alcotest.(check bool) "all reachable" true (Array.for_all Fun.id cfg.Cfg.reachable)
+
+let test_cfg_unreachable () =
+  let f = func_of_shape [| []; [ 0 ] |] in
+  let cfg = Cfg.build f in
+  Alcotest.(check bool) "entry reachable" true cfg.Cfg.reachable.(0);
+  Alcotest.(check bool) "orphan not reachable" false cfg.Cfg.reachable.(1)
+
+let test_rpo_starts_at_entry () =
+  let f = func_of_shape nested_loops in
+  let cfg = Cfg.build f in
+  let rpo = Cfg.rev_postorder cfg in
+  Alcotest.(check int) "entry first" 0 rpo.(0);
+  Alcotest.(check int) "all blocks" 6 (Array.length rpo)
+
+let check_dominators_against_naive shape =
+  let f = func_of_shape shape in
+  let cfg = Cfg.build f in
+  let dom = Dom.build cfg in
+  let n = Array.length shape in
+  for d = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if cfg.Cfg.reachable.(d) && cfg.Cfg.reachable.(b) then
+        Alcotest.(check bool)
+          (Printf.sprintf "dom %d %d" d b)
+          (naive_dominates shape d b) (Dom.dominates dom d b)
+    done
+  done
+
+let test_dom_diamond () = check_dominators_against_naive diamond
+let test_dom_loop () = check_dominators_against_naive loop_shape
+let test_dom_nested () = check_dominators_against_naive nested_loops
+
+(* random CFGs vs the naive definition *)
+let gen_shape : int list array QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 2 10 in
+  let* seed = int_range 0 1_000_000 in
+  return
+    (let rng = Mi_support.Rng.create seed in
+     Array.init n (fun _ ->
+         match Mi_support.Rng.int rng 4 with
+         | 0 -> []
+         | 1 -> [ Mi_support.Rng.int rng n ]
+         | _ ->
+             let a = Mi_support.Rng.int rng n in
+             let b = Mi_support.Rng.int rng n in
+             if a = b then [ a ] else [ a; b ]))
+
+let prop_dom_matches_naive =
+  QCheck.Test.make ~name:"dominators match naive definition (random CFGs)"
+    ~count:300
+    (QCheck.make gen_shape)
+    (fun shape ->
+      let f = func_of_shape shape in
+      let cfg = Cfg.build f in
+      let dom = Dom.build cfg in
+      let n = Array.length shape in
+      let ok = ref true in
+      for d = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if cfg.Cfg.reachable.(d) && cfg.Cfg.reachable.(b) then
+            if naive_dominates shape d b <> Dom.dominates dom d b then
+              ok := false
+        done
+      done;
+      !ok)
+
+let test_frontiers_diamond () =
+  let f = func_of_shape diamond in
+  let cfg = Cfg.build f in
+  let dom = Dom.build cfg in
+  let df = Dom.frontiers dom in
+  Alcotest.(check (list int)) "df of 1 is join" [ 3 ] df.(1);
+  Alcotest.(check (list int)) "df of 2 is join" [ 3 ] df.(2);
+  Alcotest.(check (list int)) "df of 0 empty" [] df.(0)
+
+let test_loops_simple () =
+  let f = func_of_shape loop_shape in
+  let cfg = Cfg.build f in
+  let dom = Dom.build cfg in
+  let loops = Loops.build cfg dom in
+  Alcotest.(check int) "one loop" 1 (List.length loops.Loops.loops);
+  let l = List.hd loops.Loops.loops in
+  Alcotest.(check int) "header" 1 l.Loops.header;
+  Alcotest.(check (list int)) "body" [ 1; 2 ] l.Loops.body;
+  Alcotest.(check (list int)) "latches" [ 2 ] l.Loops.latches;
+  Alcotest.(check (option int)) "preheader" (Some 0) (Loops.preheader cfg l)
+
+let test_loops_nested () =
+  let f = func_of_shape nested_loops in
+  let cfg = Cfg.build f in
+  let dom = Dom.build cfg in
+  let loops = Loops.build cfg dom in
+  Alcotest.(check int) "two loops" 2 (List.length loops.Loops.loops);
+  let outer = Option.get (Loops.find_loop loops 1) in
+  let inner = Option.get (Loops.find_loop loops 2) in
+  Alcotest.(check int) "outer depth" 1 outer.Loops.depth;
+  Alcotest.(check int) "inner depth" 2 inner.Loops.depth;
+  Alcotest.(check (option int)) "inner parent" (Some 1) inner.Loops.parent;
+  Alcotest.(check (option int)) "innermost of 3" (Some 2)
+    (Loops.innermost_header loops 3)
+
+(* ------------------------------------------------------------------ *)
+(* Domcheck                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_domcheck_accepts () =
+  let m =
+    Parser.parse_module
+      {|
+module "ok"
+func @f(%c.0 : i1) -> i64 {
+entry:
+  %x.1 = add i64 1:i64, 2:i64
+  cbr %c.0, a, b
+a:
+  %y.2 = add i64 %x.1, 1:i64
+  br join
+b:
+  %z.3 = add i64 %x.1, 2:i64
+  br join
+join:
+  %w.4 = phi i64 [a %y.2] [b %z.3]
+  ret %w.4
+}
+|}
+  in
+  Alcotest.(check (list string)) "accepted" [] (Mi_analysis.Domcheck.check_module m)
+
+let test_domcheck_rejects_sibling_use () =
+  let m =
+    Parser.parse_module
+      {|
+module "bad"
+func @f(%c.0 : i1) -> i64 {
+entry:
+  cbr %c.0, a, b
+a:
+  %y.1 = add i64 1:i64, 1:i64
+  br join
+b:
+  %z.2 = add i64 %y.1, 2:i64
+  br join
+join:
+  %w.3 = phi i64 [a %y.1] [b %z.2]
+  ret %w.3
+}
+|}
+  in
+  Alcotest.(check bool) "rejected" true
+    (Mi_analysis.Domcheck.check_module m <> [])
+
+let test_domcheck_rejects_use_before_def () =
+  let m =
+    Parser.parse_module
+      {|
+module "bad"
+func @f() -> i64 {
+entry:
+  %a.1 = add i64 %b.2, 1:i64
+  %b.2 = add i64 1:i64, 1:i64
+  ret %a.1
+}
+|}
+  in
+  Alcotest.(check bool) "rejected" true
+    (Mi_analysis.Domcheck.check_module m <> [])
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "diamond" `Quick test_cfg_diamond;
+          Alcotest.test_case "unreachable block" `Quick test_cfg_unreachable;
+          Alcotest.test_case "reverse postorder" `Quick test_rpo_starts_at_entry;
+        ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond" `Quick test_dom_diamond;
+          Alcotest.test_case "loop" `Quick test_dom_loop;
+          Alcotest.test_case "nested loops" `Quick test_dom_nested;
+          Alcotest.test_case "frontiers" `Quick test_frontiers_diamond;
+          QCheck_alcotest.to_alcotest prop_dom_matches_naive;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "simple loop" `Quick test_loops_simple;
+          Alcotest.test_case "nested loops" `Quick test_loops_nested;
+        ] );
+      ( "domcheck",
+        [
+          Alcotest.test_case "accepts valid SSA" `Quick test_domcheck_accepts;
+          Alcotest.test_case "rejects sibling use" `Quick
+            test_domcheck_rejects_sibling_use;
+          Alcotest.test_case "rejects use before def" `Quick
+            test_domcheck_rejects_use_before_def;
+        ] );
+    ]

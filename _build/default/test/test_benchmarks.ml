@@ -1,0 +1,130 @@
+(* Integration tests over the 20-benchmark suite: every benchmark must
+   run successfully under the baseline and under both instrumentations,
+   with identical program output (the instrumentation must not change
+   semantics of these memory-safe programs), and the Table 2 wide-bounds
+   fractions must fall in the bands the paper attributes to each
+   benchmark's code patterns. *)
+
+open Mi_bench_kit
+module Config = Mi_core.Config
+
+let runs : (string, Harness.run * Harness.run * Harness.run) Hashtbl.t =
+  Hashtbl.create 32
+
+let get (b : Bench.t) =
+  match Hashtbl.find_opt runs b.name with
+  | Some r -> r
+  | None ->
+      let base = Harness.run_benchmark_exn Harness.baseline b in
+      let sb = Harness.run_benchmark_exn Experiments.sb_full b in
+      let lf = Harness.run_benchmark_exn Experiments.lf_full b in
+      Hashtbl.add runs b.name (base, sb, lf);
+      (base, sb, lf)
+
+let test_outputs_preserved (b : Bench.t) () =
+  let base, sb, lf = get b in
+  Alcotest.(check bool) "baseline produced output" true (base.output <> "");
+  Alcotest.(check string) "softbound output" base.output sb.output;
+  Alcotest.(check string) "lowfat output" base.output lf.output
+
+let test_overhead_sane (b : Bench.t) () =
+  let base, sb, lf = get b in
+  let osb = Harness.overhead ~baseline:base sb in
+  let olf = Harness.overhead ~baseline:base lf in
+  Alcotest.(check bool) "sb slower than baseline" true (osb >= 1.0);
+  Alcotest.(check bool) "lf slower than baseline" true (olf >= 1.0);
+  Alcotest.(check bool) "sb below 6x" true (osb < 6.0);
+  Alcotest.(check bool) "lf below 6x" true (olf < 6.0)
+
+let test_checks_executed (b : Bench.t) () =
+  let _, sb, lf = get b in
+  Alcotest.(check bool) "sb executed checks" true
+    (Harness.counter sb "sb.checks" > 1000);
+  Alcotest.(check bool) "lf executed checks" true
+    (Harness.counter lf "lf.checks" > 1000);
+  (* the framework gives both approaches identical check placement *)
+  Alcotest.(check int) "identical dynamic check counts"
+    (Harness.counter sb "sb.checks")
+    (Harness.counter lf "lf.checks")
+
+(* Table 2 bands: the mechanism-bearing benchmarks must show their
+   signature fractions; the clean ones must be (almost) fully checked. *)
+let wide_band (b : Bench.t) () =
+  let _, sb, lf = get b in
+  let fsb = Experiments.wide_fraction sb ~approach:Config.Softbound in
+  let flf = Experiments.wide_fraction lf ~approach:Config.Lowfat in
+  let in_band lo hi v = v >= lo && v <= hi in
+  let check_band name lo hi v =
+    if not (in_band lo hi v) then
+      Alcotest.failf "%s: %s = %.2f%% outside [%g, %g]" b.name name v lo hi
+  in
+  match b.name with
+  | "164gzip" ->
+      check_band "SB wide" 40.0 80.0 fsb;
+      check_band "LF wide" 0.0 0.01 flf
+  | "429mcf" ->
+      check_band "LF wide" 35.0 70.0 flf;
+      check_band "SB wide" 0.0 0.01 fsb
+  | "197parser" ->
+      check_band "LF wide" 3.0 12.0 flf;
+      check_band "SB wide" 0.0 1.5 fsb
+  | "177mesa" -> check_band "LF wide" 0.5 4.0 flf
+  | "300twolf" ->
+      check_band "SB wide" 0.05 1.5 fsb;
+      check_band "LF wide" 0.5 5.0 flf
+  | "188ammp" -> check_band "LF wide" 0.05 1.0 flf
+  | "445gobmk" -> check_band "SB wide" 0.2 1.5 fsb
+  | _ ->
+      check_band "SB wide" 0.0 0.5 fsb;
+      check_band "LF wide" 0.0 0.5 flf
+
+let test_sizezero_flag_is_consistent (b : Bench.t) () =
+  (* benchmarks flagged size_zero_arrays must actually declare one *)
+  let declares_one =
+    List.exists
+      (fun (s : Bench.source) ->
+        let m = Mi_minic.Lower.compile ~name:s.src_name s.code in
+        List.exists
+          (fun (g : Mi_mir.Irmod.global) -> not g.gsize_known)
+          m.globals)
+      b.sources
+  in
+  Alcotest.(check bool) "flag matches sources" b.size_zero_arrays declares_one
+
+let per_bench mk =
+  List.map (fun (b : Bench.t) -> Alcotest.test_case b.name `Slow (mk b)) Suite.all
+
+(* suite coherence: 10 CPU2000 + 10 CPU2006 programs, unique names, all
+   with paper reference entries *)
+let test_suite_coherence () =
+  Alcotest.(check int) "20 benchmarks" 20 (List.length Suite.all);
+  let count suite =
+    List.length (List.filter (fun (b : Bench.t) -> b.suite = suite) Suite.all)
+  in
+  Alcotest.(check int) "10 from CPU2000" 10 (count Bench.CPU2000);
+  Alcotest.(check int) "10 from CPU2006" 10 (count Bench.CPU2006);
+  Alcotest.(check int) "names unique" 20
+    (List.length (List.sort_uniq compare Suite.names));
+  List.iter
+    (fun (b : Bench.t) ->
+      if List.assoc_opt b.name Paper_data.table2 = None then
+        Alcotest.failf "%s has no Table 2 reference entry" b.name)
+    Suite.all;
+  (* paper data has no stray entries either *)
+  List.iter
+    (fun (name, _) ->
+      if Suite.find name = None then
+        Alcotest.failf "Table 2 reference entry %s has no benchmark" name)
+    Paper_data.table2
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ("outputs-preserved", per_bench test_outputs_preserved);
+      ("overheads-sane", per_bench test_overhead_sane);
+      ("checks-executed", per_bench test_checks_executed);
+      ("table2-bands", per_bench wide_band);
+      ("size-zero-flags", per_bench test_sizezero_flag_is_consistent);
+      ( "coherence",
+        [ Alcotest.test_case "suite/paper-data" `Quick test_suite_coherence ] );
+    ]

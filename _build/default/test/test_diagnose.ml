@@ -1,0 +1,147 @@
+(* Tests for the §4.7 static hazard diagnostics and the §5.1.1
+   excluded-benchmark corpus. *)
+
+module D = Mi_core.Diagnose
+module U = Mi_bench_kit.Usability
+module Config = Mi_core.Config
+
+let diagnose_src ?mode src =
+  let m = Mi_minic.Lower.compile ?mode src in
+  D.analyze_module m
+
+let kinds ds = List.map (fun d -> D.kind_name d.D.d_kind) ds
+
+let test_inttoptr_detected () =
+  let ds =
+    diagnose_src
+      {|
+int main(void) {
+  long *p = (long *)malloc(8);
+  long a = (long)p;
+  long *q = (long *)a;
+  *q = 1;
+  return 0;
+}
+|}
+  in
+  Alcotest.(check bool) "inttoptr flagged" true
+    (List.mem "inttoptr-cast" (kinds ds))
+
+let test_ptr_stored_as_int_detected () =
+  (* the Figure 7 pattern, produced by the i64 lowering mode *)
+  let ds =
+    diagnose_src ~mode:{ Mi_minic.Lower.ptr_mem_as_i64 = true }
+      {|
+void swap(double **one, double **two) {
+  double *tmp = *one;
+  *one = *two;
+  *two = tmp;
+}
+int main(void) {
+  double *a = (double *)malloc(8);
+  double *b = (double *)malloc(8);
+  swap(&a, &b);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check bool) "pointer-as-int store flagged" true
+    (List.mem "ptr-stored-as-int" (kinds ds))
+
+let test_size_zero_detected () =
+  let ds =
+    diagnose_src
+      {|
+extern int table[];
+int main(void) { return table[0]; }
+|}
+  in
+  Alcotest.(check bool) "size-zero extern flagged" true
+    (List.mem "size-zero-extern" (kinds ds))
+
+let test_oversized_alloc_detected () =
+  let ds =
+    diagnose_src
+      {|
+int main(void) {
+  char *p = (char *)malloc(1610612736);
+  p[0] = 1;
+  return (int)p[0];
+}
+|}
+  in
+  Alcotest.(check bool) "oversized allocation flagged" true
+    (List.mem "oversized-alloc" (kinds ds))
+
+let test_bytewise_copy_detected () =
+  let ds =
+    diagnose_src
+      {|
+struct holder { long tag; long *payload; };
+int main(void) {
+  struct holder a; struct holder b;
+  a.tag = 1;
+  char *src = (char *)&a;
+  char *dst = (char *)&b;
+  long i;
+  for (i = 0; i < (long)sizeof(struct holder); i++) dst[i] = src[i];
+  return (int)b.tag;
+}
+|}
+  in
+  Alcotest.(check bool) "byte-copy loop flagged" true
+    (List.mem "bytewise-copy-loop" (kinds ds))
+
+let test_clean_program_no_diagnostics () =
+  let ds =
+    diagnose_src
+      {|
+int main(void) {
+  long *p = (long *)malloc(64);
+  long i;
+  for (i = 0; i < 8; i++) p[i] = i;
+  print_int(p[7]);
+  free(p);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check (list string)) "no hazards" [] (kinds ds)
+
+(* the excluded benchmarks behave exactly as §5.1.1 states *)
+let excluded_case (c : U.case) approach () =
+  let got, _ = U.run_case c approach in
+  let want = U.expected c approach in
+  if got <> want then
+    Alcotest.failf "%s under %s: expected %s, got %s" c.case_name
+      (Config.approach_name approach)
+      (U.verdict_to_string want) (U.verdict_to_string got)
+
+let excluded_tests =
+  List.concat_map
+    (fun (c : U.case) ->
+      List.map
+        (fun a ->
+          Alcotest.test_case
+            (Printf.sprintf "%s / %s" c.case_name (Config.approach_name a))
+            `Quick (excluded_case c a))
+        [ Config.Softbound; Config.Lowfat ])
+    Mi_bench_kit.Excluded.all
+
+let () =
+  Alcotest.run "diagnose"
+    [
+      ( "static-hazards",
+        [
+          Alcotest.test_case "inttoptr" `Quick test_inttoptr_detected;
+          Alcotest.test_case "ptr stored as int" `Quick
+            test_ptr_stored_as_int_detected;
+          Alcotest.test_case "size-zero extern" `Quick test_size_zero_detected;
+          Alcotest.test_case "oversized alloc" `Quick test_oversized_alloc_detected;
+          Alcotest.test_case "byte-wise copy loop" `Quick
+            test_bytewise_copy_detected;
+          Alcotest.test_case "clean program" `Quick
+            test_clean_program_no_diagnostics;
+        ] );
+      ("excluded-benchmarks (§5.1.1)", excluded_tests);
+    ]

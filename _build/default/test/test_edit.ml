@@ -1,0 +1,143 @@
+(* Unit tests for the deferred-edit buffer the instrumenter builds on. *)
+
+open Mi_mir
+module Edit = Mi_core.Edit
+
+let base_func () =
+  let m =
+    Parser.parse_module
+      {|
+module "t"
+func @f(%x.0 : i64) -> i64 {
+entry:
+  %a.1 = add i64 %x.0, 1:i64
+  %b.2 = add i64 %a.1, 2:i64
+  br next
+next:
+  %c.3 = add i64 %b.2, 3:i64
+  ret %c.3
+}
+|}
+  in
+  Irmod.find_func_exn m "f"
+
+let body_ops (f : Func.t) label =
+  List.map
+    (fun (i : Instr.t) -> Printer.instr_to_string i)
+    (Func.find_block_exn f label).Block.body
+
+let nth_is f label n needle =
+  let s = List.nth (body_ops f label) n in
+  let nn = String.length needle and ns = String.length s in
+  let rec go i = i + nn <= ns && (String.sub s i nn = needle || go (i + 1)) in
+  go 0
+
+let mk_marker k =
+  Instr.mk (Instr.Call ("print_int", [ Value.i64 k ]))
+
+let test_insert_positions () =
+  let f = base_func () in
+  let e = Edit.create f in
+  Edit.insert_entry e (mk_marker 100);
+  Edit.insert_before e { Edit.ablock = "entry"; apos = 1 } (mk_marker 200);
+  Edit.insert_after e { Edit.ablock = "entry"; apos = 1 } (mk_marker 300);
+  Edit.insert_at_end e "next" (mk_marker 400);
+  Edit.apply e;
+  (* entry: marker100, a, marker200, b, marker300 *)
+  Alcotest.(check int) "entry grew" 5 (List.length (body_ops f "entry"));
+  Alcotest.(check bool) "entry prepend first" true (nth_is f "entry" 0 "100");
+  Alcotest.(check bool) "before lands before" true (nth_is f "entry" 2 "200");
+  Alcotest.(check bool) "after lands after" true (nth_is f "entry" 4 "300");
+  (* next: c, marker400, then ret *)
+  Alcotest.(check bool) "at_end before terminator" true (nth_is f "next" 1 "400")
+
+let test_insert_order_stable () =
+  let f = base_func () in
+  let e = Edit.create f in
+  let a = { Edit.ablock = "entry"; apos = 0 } in
+  Edit.insert_before e a (mk_marker 1);
+  Edit.insert_before e a (mk_marker 2);
+  Edit.insert_after e a (mk_marker 3);
+  Edit.insert_after e a (mk_marker 4);
+  Edit.apply e;
+  (* insertion order is preserved: 1, 2, original, 3, 4 *)
+  Alcotest.(check bool) "first before" true (nth_is f "entry" 0 "(1:i64)");
+  Alcotest.(check bool) "second before" true (nth_is f "entry" 1 "(2:i64)");
+  Alcotest.(check bool) "first after" true (nth_is f "entry" 3 "(3:i64)");
+  Alcotest.(check bool) "second after" true (nth_is f "entry" 4 "(4:i64)")
+
+let test_replacement () =
+  let f = base_func () in
+  let e = Edit.create f in
+  let a = { Edit.ablock = "next"; apos = 0 } in
+  let d = { Value.vid = 3; vname = "c"; vty = Ty.I64 } in
+  Edit.set_replacement e a
+    (Instr.mk ~dst:d (Instr.Bin (Instr.Mul, Ty.I64, Value.i64 7, Value.i64 6)));
+  Edit.apply e;
+  Alcotest.(check bool) "replaced" true (nth_is f "next" 0 "mul");
+  (* double replacement is rejected *)
+  let f2 = base_func () in
+  let e2 = Edit.create f2 in
+  Edit.set_replacement e2 a (mk_marker 1);
+  Alcotest.check_raises "second replacement rejected"
+    (Invalid_argument "Edit.set_replacement: anchor already replaced")
+    (fun () -> Edit.set_replacement e2 a (mk_marker 2))
+
+let test_emit_helpers_and_fresh () =
+  let f = base_func () in
+  let before_ids = Func.all_defs f |> List.map (fun v -> v.Value.vid) in
+  let e = Edit.create f in
+  let v =
+    Edit.emit_entry e ~name:"w" Ty.I64
+      (Instr.Bin (Instr.Add, Ty.I64, Value.i64 1, Value.i64 2))
+  in
+  (match v with
+  | Value.Var x ->
+      Alcotest.(check bool) "fresh id unique" true
+        (not (List.mem x.Value.vid before_ids))
+  | _ -> Alcotest.fail "emit_entry should return a variable");
+  Edit.apply e;
+  Mi_analysis.Domcheck.assert_valid
+    (let m = Irmod.mk "t" in
+     Irmod.add_func m f;
+     m)
+
+let test_add_phi () =
+  let m =
+    Parser.parse_module
+      {|
+module "t"
+func @f(%c.0 : i1) -> i64 {
+entry:
+  cbr %c.0, a, b
+a:
+  br join
+b:
+  br join
+join:
+  ret 0:i64
+}
+|}
+  in
+  let f = Irmod.find_func_exn m "f" in
+  let e = Edit.create f in
+  let dst = Edit.fresh e ~name:"p" Ty.I64 in
+  Edit.add_phi e "join"
+    { Instr.pdst = dst; incoming = [ ("a", Value.i64 1); ("b", Value.i64 2) ] };
+  Edit.apply e;
+  Mi_analysis.Domcheck.assert_valid m;
+  Alcotest.(check int) "phi added" 1
+    (List.length (Func.find_block_exn f "join").Block.phis)
+
+let () =
+  Alcotest.run "edit"
+    [
+      ( "edit",
+        [
+          Alcotest.test_case "insert positions" `Quick test_insert_positions;
+          Alcotest.test_case "insertion order" `Quick test_insert_order_stable;
+          Alcotest.test_case "replacement" `Quick test_replacement;
+          Alcotest.test_case "emit helpers" `Quick test_emit_helpers_and_fresh;
+          Alcotest.test_case "add phi" `Quick test_add_phi;
+        ] );
+    ]

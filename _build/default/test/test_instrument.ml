@@ -1,0 +1,355 @@
+(* Tests for the instrumentation framework: target discovery (Table 1),
+   dominance-based check elimination, witness materialization, modes, and
+   configuration policies. *)
+
+open Mi_mir
+module I = Mi_core.Instrument
+module Itarget = Mi_core.Itarget
+module Optimize = Mi_core.Optimize
+module Config = Mi_core.Config
+
+let parse src =
+  let m = Parser.parse_module src in
+  Mi_analysis.Domcheck.assert_valid m;
+  m
+
+let count_calls (m : Irmod.t) name =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          acc
+          + List.length
+              (List.filter
+                 (fun (i : Instr.t) ->
+                   match i.op with
+                   | Instr.Call (c, _) -> String.equal c name
+                   | _ -> false)
+                 b.Block.body))
+        acc f.blocks)
+    0 m.funcs
+
+(* a module with one of everything from Table 1 *)
+let table1_module =
+  {|
+module "t1"
+global @gptr : 8 align 8 {
+  ptr @gdata
+}
+global @gdata : 16 align 8 {
+  zero 16
+}
+func @callee(%p.0 : ptr) -> ptr {
+entry:
+  ret %p.0
+}
+func @f(%p.0 : ptr, %c.1 : i1) -> i64 {
+entry:
+  %a.2 = alloca 16 align 8
+  %h.3 = call @malloc(32:i64) : ptr
+  %sel.4 = select ptr %c.1, %a.2, %h.3
+  cbr %c.1, left, right
+left:
+  br join
+right:
+  br join
+join:
+  %phi.5 = phi ptr [left %a.2] [right %h.3]
+  %g.6 = gep %phi.5 [8 x 1:i64]
+  %v.7 = load i64 %g.6
+  store i64 %v.7, %sel.4
+  store ptr %g.6, %a.2
+  %ld.8 = load ptr %a.2
+  %r.9 = call @callee(%ld.8) : ptr
+  %cast.10 = ptrtoint ptr %r.9 to i64
+  ret %cast.10
+}
+|}
+
+let test_discovery_counts () =
+  let m = parse table1_module in
+  let f = Irmod.find_func_exn m "f" in
+  let t = Itarget.discover m f in
+  (* loads: %v.7, %ld.8; stores: i64 store + ptr store *)
+  Alcotest.(check int) "check targets" 4 (List.length t.Itarget.checks);
+  Alcotest.(check int) "pointer stores" 1 (List.length t.Itarget.ptr_stores);
+  Alcotest.(check int) "escape casts" 1 (List.length t.Itarget.escape_casts);
+  (* calls: malloc (Known_alloc) and callee (General) *)
+  Alcotest.(check int) "call targets" 2 (List.length t.Itarget.calls);
+  let callee_call =
+    List.find (fun (c : Itarget.call) -> c.l_callee = "callee") t.Itarget.calls
+  in
+  Alcotest.(check bool) "general kind" true
+    (callee_call.Itarget.l_kind = Itarget.General);
+  Alcotest.(check int) "one pointer arg" 1
+    (List.length callee_call.Itarget.l_ptr_args);
+  Alcotest.(check bool) "pointer return" true callee_call.Itarget.l_has_ptr_ret;
+  (* the ret of @callee is a pointer return target *)
+  let tc = Itarget.discover m (Irmod.find_func_exn m "callee") in
+  Alcotest.(check int) "callee ret target" 1 (List.length tc.Itarget.ptr_rets)
+
+(* ------------------------------------------------------------------ *)
+(* Dominance elimination                                               *)
+(* ------------------------------------------------------------------ *)
+
+let elim_src =
+  {|
+module "t"
+func @f(%p.0 : ptr, %q.1 : ptr, %c.2 : i1) -> i64 {
+entry:
+  %a.3 = load i64 %p.0
+  %b.4 = load i64 %p.0
+  %w.5 = load i32 %p.0
+  %x.6 = load i64 %q.1
+  cbr %c.2, then, else
+then:
+  %y.7 = load i64 %p.0
+  br join
+else:
+  %z.8 = load i64 %q.1
+  br join
+join:
+  %r.9 = add i64 %a.3, %b.4
+  ret %r.9
+}
+|}
+
+let test_dominance_elimination () =
+  let m = parse elim_src in
+  let f = Irmod.find_func_exn m "f" in
+  let t = Itarget.discover m f in
+  Alcotest.(check int) "checks found" 6 (List.length t.Itarget.checks);
+  let kept, stats = Optimize.dominance_eliminate f t.Itarget.checks in
+  (* %b.4 dominated by %a.3 (same width); %w.5 dominated (narrower);
+     %y.7 dominated by %a.3; %z.8 dominated by %x.6 -> 4 removed *)
+  Alcotest.(check int) "checks kept" 2 (List.length kept);
+  Alcotest.(check int) "removed" 4 (Optimize.removed stats)
+
+let test_dominance_respects_width () =
+  let m =
+    parse
+      {|
+module "t"
+func @f(%p.0 : ptr) -> i64 {
+entry:
+  %a.1 = load i32 %p.0
+  %b.2 = load i64 %p.0
+  %c.3 = sext i32 %a.1 to i64
+  %r.4 = add i64 %b.2, %c.3
+  ret %r.4
+}
+|}
+  in
+  let f = Irmod.find_func_exn m "f" in
+  let t = Itarget.discover m f in
+  let kept, _ = Optimize.dominance_eliminate f t.Itarget.checks in
+  (* the earlier i32 check cannot subsume the later wider i64 check *)
+  Alcotest.(check int) "wider check survives" 2 (List.length kept)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation output                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_instrumented_module_is_valid () =
+  List.iter
+    (fun cfg ->
+      let m = parse table1_module in
+      ignore (I.run cfg m);
+      Mi_analysis.Domcheck.assert_valid m)
+    [ Config.softbound; Config.lowfat ]
+
+let test_softbound_inserts () =
+  let m = parse table1_module in
+  ignore (I.run Config.softbound m);
+  Alcotest.(check int) "4 checks" 4 (count_calls m Intrinsics.sb_check);
+  Alcotest.(check bool) "trie store for ptr store" true
+    (count_calls m Intrinsics.sb_trie_store >= 1);
+  Alcotest.(check bool) "trie load for ptr load" true
+    (count_calls m Intrinsics.sb_trie_load_base >= 1);
+  Alcotest.(check bool) "shadow stack protocol" true
+    (count_calls m Intrinsics.ss_enter >= 1);
+  (* pointers in global initializers get a constructor *)
+  Alcotest.(check bool) "global init constructor" true
+    (Irmod.find_func m "__mi_global_init" <> None)
+
+let test_lowfat_inserts () =
+  let m = parse table1_module in
+  ignore (I.run Config.lowfat m);
+  Alcotest.(check int) "4 checks" 4 (count_calls m Intrinsics.lf_check);
+  Alcotest.(check bool) "escape checks (store/call/ret/ptrtoint)" true
+    (count_calls m Intrinsics.lf_invariant_check >= 3);
+  Alcotest.(check bool) "allocas mirrored" true
+    (count_calls m Intrinsics.lf_alloca >= 1);
+  Alcotest.(check bool) "no shadow stack for lowfat" true
+    (count_calls m Intrinsics.ss_enter = 0)
+
+let test_geninvariants_mode () =
+  let m = parse table1_module in
+  ignore (I.run (Config.metadata_only Config.softbound) m);
+  Alcotest.(check int) "no dereference checks" 0
+    (count_calls m Intrinsics.sb_check);
+  Alcotest.(check bool) "invariants still maintained" true
+    (count_calls m Intrinsics.sb_trie_store >= 1)
+
+let test_noop_mode () =
+  let m = parse table1_module in
+  let before = Printer.module_to_string m in
+  ignore (I.run { Config.softbound with mode = Config.Noop } m);
+  Alcotest.(check string) "unchanged" before (Printer.module_to_string m)
+
+let test_witness_phi_materialization () =
+  let m = parse table1_module in
+  ignore (I.run Config.softbound m);
+  let f = Irmod.find_func_exn m "f" in
+  let join = Func.find_block_exn f "join" in
+  (* the pointer phi got companion base/bound phis *)
+  Alcotest.(check int) "3 phis at join" 3 (List.length join.Block.phis)
+
+let size_zero_module =
+  {|
+module "sz"
+extern global @tab : 0 align 8 nosize
+func @f(%i.0 : i64) -> i64 {
+entry:
+  %p.1 = gep @tab [8 x %i.0]
+  %v.2 = load i64 %p.1
+  ret %v.2
+}
+|}
+
+let test_sb_size_zero_wide_upper () =
+  let m = parse size_zero_module in
+  ignore (I.run Config.softbound m);
+  let s = Printer.module_to_string m in
+  (* the wide upper bound constant must appear in the check *)
+  let contains_substr hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "wide bound constant used" true
+    (contains_substr s (string_of_int Mi_vm.Layout.wide_bound))
+
+let test_sb_size_zero_null_bounds () =
+  let m = parse size_zero_module in
+  ignore
+    (I.run { Config.softbound with sb_size_zero_wide_upper = false } m);
+  let s = Printer.module_to_string m in
+  let contains_substr hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "null bounds used instead" false
+    (contains_substr s (string_of_int Mi_vm.Layout.wide_bound))
+
+let test_lf_stack_off_keeps_allocas () =
+  let m = parse table1_module in
+  ignore (I.run { Config.lowfat with lf_stack = false } m);
+  Alcotest.(check int) "no mirrored allocas" 0
+    (count_calls m Intrinsics.lf_alloca)
+
+let test_static_stats () =
+  let m = parse elim_src in
+  let stats = I.run (Config.optimized Config.softbound) m in
+  Alcotest.(check int) "found" 6 stats.I.total_checks_found;
+  Alcotest.(check int) "removed" 4 stats.I.total_checks_removed;
+  Alcotest.(check int) "placed" 2 stats.I.total_checks_placed
+
+(* ------------------------------------------------------------------ *)
+(* Wrapper checks (§5.1.2)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let memcpy_module =
+  {|
+module "w"
+func @f(%d.0 : ptr, %s.1 : ptr, %n.2 : i64) -> void {
+entry:
+  memcpy %d.0, %s.1, %n.2
+  ret
+}
+|}
+
+let test_wrapper_checks_flag () =
+  (* disabled (default, for runtime comparability): no checks around the
+     memcpy, but metadata is still copied *)
+  let m = parse memcpy_module in
+  ignore (I.run Config.softbound m);
+  Alcotest.(check int) "no checks by default" 0
+    (count_calls m Intrinsics.sb_check);
+  Alcotest.(check int) "metadata copied" 1
+    (count_calls m Intrinsics.sb_meta_copy);
+  (* enabled: dst and src are both checked with the dynamic length *)
+  let m = parse memcpy_module in
+  ignore (I.run { Config.softbound with sb_wrapper_checks = true } m);
+  Alcotest.(check int) "both operands checked" 2
+    (count_calls m Intrinsics.sb_check);
+  let m = parse memcpy_module in
+  ignore (I.run { Config.lowfat with sb_wrapper_checks = true } m);
+  Alcotest.(check int) "lowfat wrapper checks" 2
+    (count_calls m Intrinsics.lf_check)
+
+(* end-to-end: an overflowing memcpy is caught only with wrapper checks *)
+let test_wrapper_checks_e2e () =
+  let src =
+    {|
+int main(void) {
+  char *a = (char *)malloc(16);
+  char *b = (char *)malloc(64);
+  memcpy(a, b, 40);   /* writes 40 bytes into a 16-byte object */
+  print_int(a[0]);
+  return 0;
+}
+|}
+  in
+  let run cfg =
+    let setup =
+      Mi_bench_kit.Harness.with_config cfg Mi_bench_kit.Harness.baseline
+    in
+    let r =
+      Mi_bench_kit.Harness.run_sources setup [ Mi_bench_kit.Bench.src "t" src ]
+    in
+    match r.Mi_bench_kit.Harness.outcome with
+    | Mi_vm.Interp.Safety_violation _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "silent without wrapper checks" false
+    (run Config.softbound);
+  Alcotest.(check bool) "caught with wrapper checks" true
+    (run { Config.softbound with sb_wrapper_checks = true });
+  Alcotest.(check bool) "lowfat catches too (40 > 32-byte class)" true
+    (run { Config.lowfat with sb_wrapper_checks = true })
+
+let () =
+  Alcotest.run "instrument"
+    [
+      ( "itargets",
+        [ Alcotest.test_case "Table 1 discovery" `Quick test_discovery_counts ] );
+      ( "dominance-opt",
+        [
+          Alcotest.test_case "eliminates dominated" `Quick test_dominance_elimination;
+          Alcotest.test_case "respects width" `Quick test_dominance_respects_width;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "instrumented modules verify" `Quick
+            test_instrumented_module_is_valid;
+          Alcotest.test_case "softbound inserts" `Quick test_softbound_inserts;
+          Alcotest.test_case "lowfat inserts" `Quick test_lowfat_inserts;
+          Alcotest.test_case "geninvariants mode" `Quick test_geninvariants_mode;
+          Alcotest.test_case "noop mode" `Quick test_noop_mode;
+          Alcotest.test_case "witness phis" `Quick test_witness_phi_materialization;
+          Alcotest.test_case "size-zero wide upper" `Quick test_sb_size_zero_wide_upper;
+          Alcotest.test_case "size-zero null bounds" `Quick
+            test_sb_size_zero_null_bounds;
+          Alcotest.test_case "lf_stack off" `Quick test_lf_stack_off_keeps_allocas;
+          Alcotest.test_case "static statistics" `Quick test_static_stats;
+        ] );
+      ( "wrapper-checks",
+        [
+          Alcotest.test_case "flag controls placement" `Quick
+            test_wrapper_checks_flag;
+          Alcotest.test_case "overflowing memcpy e2e" `Quick
+            test_wrapper_checks_e2e;
+        ] );
+    ]

@@ -1,0 +1,378 @@
+(* Tests for the MIR: types, evaluation semantics, printer/parser round
+   trips, and the verifier. *)
+
+open Mi_mir
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ty_sizes () =
+  List.iter
+    (fun (ty, sz) -> Alcotest.(check int) (Ty.to_string ty) sz (Ty.size_of ty))
+    [ (Ty.I1, 1); (Ty.I8, 1); (Ty.I16, 2); (Ty.I32, 4); (Ty.I64, 8); (Ty.F64, 8); (Ty.Ptr, 8) ]
+
+let test_ty_strings () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check (option string))
+        "roundtrip" (Some (Ty.to_string ty))
+        (Option.map Ty.to_string (Ty.of_string (Ty.to_string ty))))
+    [ Ty.I1; Ty.I8; Ty.I16; Ty.I32; Ty.I64; Ty.F64; Ty.Ptr ];
+  Alcotest.(check bool) "bad type" true (Ty.of_string "i128" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Eval semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* i32 arithmetic must agree exactly with OCaml's Int32. *)
+let prop_i32_agrees_with_int32 =
+  let ops =
+    [
+      (Instr.Add, Int32.add); (Instr.Sub, Int32.sub); (Instr.Mul, Int32.mul);
+      (Instr.And, Int32.logand); (Instr.Or, Int32.logor); (Instr.Xor, Int32.logxor);
+    ]
+  in
+  QCheck.Test.make ~name:"i32 binops agree with Int32" ~count:2000
+    QCheck.(triple (int_range 0 (List.length ops - 1)) int int)
+    (fun (opi, a, b) ->
+      let op, ref_op = List.nth ops opi in
+      let a32 = Int32.of_int a and b32 = Int32.of_int b in
+      let a' = Eval.normalize Ty.I32 a and b' = Eval.normalize Ty.I32 b in
+      Eval.binop op Ty.I32 a' b' = Int32.to_int (ref_op a32 b32))
+
+let prop_i32_div_agrees =
+  QCheck.Test.make ~name:"i32 sdiv/srem agree with Int32" ~count:1000
+    QCheck.(pair int (int_range 1 10000))
+    (fun (a, b) ->
+      let a' = Eval.normalize Ty.I32 a in
+      Eval.binop Instr.SDiv Ty.I32 a' b
+      = Int32.to_int (Int32.div (Int32.of_int a') (Int32.of_int b))
+      && Eval.binop Instr.SRem Ty.I32 a' b
+         = Int32.to_int (Int32.rem (Int32.of_int a') (Int32.of_int b)))
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize idempotent" ~count:1000
+    QCheck.(pair (int_range 0 3) int)
+    (fun (tyi, x) ->
+      let ty = List.nth [ Ty.I1; Ty.I8; Ty.I16; Ty.I32 ] tyi in
+      let n = Eval.normalize ty x in
+      Eval.normalize ty n = n)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "sdiv 0" Eval.Div_by_zero (fun () ->
+      ignore (Eval.binop Instr.SDiv Ty.I64 5 0));
+  Alcotest.check_raises "urem 0" Eval.Div_by_zero (fun () ->
+      ignore (Eval.binop Instr.URem Ty.I32 5 0))
+
+let test_unsigned_compare () =
+  (* -1 as unsigned is the largest value *)
+  Alcotest.(check int) "ult -1 0 (i64)" 0 (Eval.icmp Instr.Ult Ty.I64 (-1) 0);
+  Alcotest.(check int) "ugt -1 0 (i64)" 1 (Eval.icmp Instr.Ugt Ty.I64 (-1) 0);
+  Alcotest.(check int) "ult i8 -1 1" 0 (Eval.icmp Instr.Ult Ty.I8 (-1) 1);
+  Alcotest.(check int) "slt i8 -1 1" 1 (Eval.icmp Instr.Slt Ty.I8 (-1) 1)
+
+let test_casts () =
+  Alcotest.(check int) "zext i8 -1 -> i32" 255
+    (Eval.cast_int Instr.Zext Ty.I8 Ty.I32 (-1));
+  Alcotest.(check int) "sext i8 -1 -> i32" (-1)
+    (Eval.cast_int Instr.Sext Ty.I8 Ty.I32 (-1));
+  Alcotest.(check int) "trunc i32 257 -> i8" 1
+    (Eval.cast_int Instr.Trunc Ty.I32 Ty.I8 257);
+  Alcotest.(check int) "trunc i32 128 -> i8 is negative" (-128)
+    (Eval.cast_int Instr.Trunc Ty.I32 Ty.I8 128)
+
+let test_shifts () =
+  Alcotest.(check int) "shl i32 wraps" Int32.(to_int (shift_left 1l 31))
+    (Eval.binop Instr.Shl Ty.I32 1 31);
+  Alcotest.(check int) "lshr i8 of -1" 127 (Eval.binop Instr.LShr Ty.I8 (-1) 1);
+  Alcotest.(check int) "ashr i8 of -2" (-1) (Eval.binop Instr.AShr Ty.I8 (-2) 1)
+
+(* ------------------------------------------------------------------ *)
+(* Printer / parser round trip                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kitchen_sink =
+  {|
+module "sink"
+
+global @bytes : 12 align 4 {
+  bytes "ab\x00\xff\"\\"
+  zero 4
+  bytes "xy"
+}
+global @withptr : 16 align 8 {
+  ptr @bytes
+  zero 8
+}
+extern global @ext : 100 align 8
+extern global @szless : 0 align 8 nosize
+
+extern func @ext_fn(%a.0 : i64, %p.1 : ptr) -> ptr
+
+func @kitchen(%x.0 : i64, %f.1 : f64, %p.2 : ptr) -> i64 {
+entry:
+  %a.3 = add i64 %x.0, 5:i64
+  %b.4 = mul i32 7:i32, -3:i32
+  %c.5 = fadd %f.1, fl(0x1.8p+1)
+  %d.6 = icmp ult i64 %a.3, 100:i64
+  %e.7 = fcmp fge %c.5, fl(0x0p+0)
+  %g.8 = zext i32 %b.4 to i64
+  %h.9 = sext i8 -1:i8 to i16
+  %i.10 = trunc i64 %a.3 to i32
+  %j.11 = inttoptr i64 %a.3 to ptr
+  %k.12 = ptrtoint ptr %j.11 to i64
+  %l.13 = sitofp i64 %a.3 to f64
+  %m.14 = fptosi f64 %l.13 to i64
+  %bc.15 = bitcast i64 %k.12 to f64
+  %n.16 = gep %p.2 [8 x %a.3] [1 x 4:i64]
+  %o.17 = load i64 %n.16
+  store i32 %i.10, %p.2
+  %q.18 = select i64 %d.6, %a.3, %o.17
+  %r.19 = call @ext_fn(%q.18, @withptr) : ptr
+  call @print_int(%q.18)
+  memcpy %p.2, %r.19, 16:i64
+  memset %p.2, 0:i32, 8:i64
+  %s.20 = alloca 24 align 8
+  cbr %d.6, loop, done
+loop:
+  %phi.21 = phi i64 [entry %a.3] [loop %t.22]
+  %t.22 = sub i64 %phi.21, 1:i64
+  %u.23 = icmp sgt i64 %t.22, 0:i64
+  cbr %u.23, loop, done
+done:
+  %v.24 = phi i64 [entry 0:i64] [loop %t.22]
+  ret %v.24
+}
+
+func @noret() -> void {
+entry:
+  unreachable
+}
+|}
+
+let roundtrip_ok src =
+  let m1 = Parser.parse_module src in
+  let s1 = Printer.module_to_string m1 in
+  let m2 = Parser.parse_module s1 in
+  let s2 = Printer.module_to_string m2 in
+  Alcotest.(check string) "print-parse-print fixpoint" s1 s2
+
+let test_roundtrip_kitchen_sink () = roundtrip_ok kitchen_sink
+
+let test_parse_error_reports_line () =
+  match Parser.parse_module_res "module \"x\"\nbogus top-level" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions line" true
+        (String.length msg > 0
+        && String.sub msg 0 5 = "line ")
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+(* random straight-line functions for the round-trip property *)
+let gen_module : Irmod.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n_instrs = int_range 1 25 in
+  let* seed = int_range 0 1_000_000 in
+  return
+    (let rng = Mi_support.Rng.create seed in
+     let b =
+       Builder.create ~name:"f"
+         ~params:
+           [
+             { Value.vid = 0; vname = "x"; vty = Ty.I64 };
+             { Value.vid = 1; vname = "p"; vty = Ty.Ptr };
+           ]
+         ~ret_ty:(Some Ty.I64)
+     in
+     Builder.start_block b "entry";
+     let ints = ref [ Value.Var { Value.vid = 0; vname = "x"; vty = Ty.I64 } ] in
+     let ptrs = ref [ Value.Var { Value.vid = 1; vname = "p"; vty = Ty.Ptr } ] in
+     let pick l = List.nth l (Mi_support.Rng.int rng (List.length l)) in
+     for _ = 1 to n_instrs do
+       match Mi_support.Rng.int rng 6 with
+       | 0 ->
+           let op =
+             pick [ Instr.Add; Instr.Sub; Instr.Mul; Instr.And; Instr.Xor; Instr.Shl ]
+           in
+           ints :=
+             Builder.binop b op Ty.I64 (pick !ints)
+               (Value.i64 (Mi_support.Rng.int rng 100))
+             :: !ints
+       | 1 -> ints := Builder.load b Ty.I64 (pick !ptrs) :: !ints
+       | 2 -> Builder.store b Ty.I64 (pick !ints) (pick !ptrs)
+       | 3 ->
+           ptrs :=
+             Builder.gep b (pick !ptrs)
+               [ { stride = 8; idx = pick !ints } ]
+             :: !ptrs
+       | 4 ->
+           ints :=
+             Builder.call_val b Ty.I64 "mi_rand" [] :: !ints
+       | _ ->
+           let c = Builder.icmp b Instr.Slt Ty.I64 (pick !ints) (Value.i64 7) in
+           ints := Builder.select b Ty.I64 c (pick !ints) (pick !ints) :: !ints
+     done;
+     Builder.ret b (Some (pick !ints));
+     let f = Builder.finish b in
+     let m = Irmod.mk "rand" in
+     Irmod.add_func m f;
+     m)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"printer/parser round trip (random modules)"
+    ~count:200
+    (QCheck.make gen_module)
+    (fun m ->
+      let s1 = Printer.module_to_string m in
+      let m2 = Parser.parse_module s1 in
+      Printer.module_to_string m2 = s1)
+
+let prop_random_modules_verify =
+  QCheck.Test.make ~name:"random modules verify" ~count:200
+    (QCheck.make gen_module)
+    (fun m -> Verify.verify_module m = [])
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid ~reason src =
+  let m = Parser.parse_module src in
+  match Verify.verify_module m with
+  | [] -> Alcotest.fail ("verifier accepted: " ^ reason)
+  | _ -> ()
+
+let test_verify_bad_operand_type () =
+  expect_invalid ~reason:"float into add"
+    {|
+module "bad"
+func @f(%x.0 : f64) -> void {
+entry:
+  %y.1 = add i64 %x.0, 1:i64
+  ret
+}
+|}
+
+let test_verify_duplicate_def () =
+  expect_invalid ~reason:"duplicate definition"
+    {|
+module "bad"
+func @f() -> void {
+entry:
+  %y.1 = add i64 1:i64, 1:i64
+  %y.1 = add i64 2:i64, 2:i64
+  ret
+}
+|}
+
+let test_verify_unknown_label () =
+  expect_invalid ~reason:"branch to unknown label"
+    {|
+module "bad"
+func @f() -> void {
+entry:
+  br nowhere
+}
+|}
+
+let test_verify_phi_pred_mismatch () =
+  expect_invalid ~reason:"phi with wrong predecessors"
+    {|
+module "bad"
+func @f() -> i64 {
+entry:
+  br next
+next:
+  %x.1 = phi i64 [entry 1:i64] [bogus 2:i64]
+  ret %x.1
+bogus:
+  ret 0:i64
+}
+|}
+
+let test_verify_entry_phi () =
+  expect_invalid ~reason:"phi in entry block"
+    {|
+module "bad"
+func @f() -> i64 {
+entry:
+  %x.1 = phi i64
+  ret %x.1
+}
+|}
+
+let test_verify_ret_mismatch () =
+  expect_invalid ~reason:"void return from i64 function"
+    {|
+module "bad"
+func @f() -> i64 {
+entry:
+  ret
+}
+|}
+
+let test_verify_accepts_kitchen_sink () =
+  let m = Parser.parse_module kitchen_sink in
+  Alcotest.(check int) "no errors" 0 (List.length (Verify.verify_module m))
+
+(* ------------------------------------------------------------------ *)
+(* Instruction utilities                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_operands_and_map () =
+  let v1 = Value.i64 1 and v2 = Value.i64 2 in
+  let i = Instr.mk (Instr.Store (Ty.I64, v1, v2)) in
+  Alcotest.(check int) "store has two operands" 2 (List.length (Instr.operands i));
+  let doubled =
+    Instr.map_operands
+      (fun v -> match v with Value.Int (ty, k) -> Value.Int (ty, 2 * k) | v -> v)
+      i
+  in
+  (match doubled.op with
+  | Instr.Store (_, Value.Int (_, 2), Value.Int (_, 4)) -> ()
+  | _ -> Alcotest.fail "map_operands did not rewrite");
+  Alcotest.(check (list string)) "successors of cbr" [ "a"; "b" ]
+    (Instr.successors (Instr.Cbr (Value.i1 true, "a", "b")));
+  Alcotest.(check (list string)) "identical cbr targets dedup" [ "a" ]
+    (Instr.successors (Instr.Cbr (Value.i1 true, "a", "a")))
+
+let () =
+  Alcotest.run "mir"
+    [
+      ( "ty",
+        [
+          Alcotest.test_case "sizes" `Quick test_ty_sizes;
+          Alcotest.test_case "to/of string" `Quick test_ty_strings;
+        ] );
+      ( "eval",
+        [
+          QCheck_alcotest.to_alcotest prop_i32_agrees_with_int32;
+          QCheck_alcotest.to_alcotest prop_i32_div_agrees;
+          QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "unsigned compares" `Quick test_unsigned_compare;
+          Alcotest.test_case "casts" `Quick test_casts;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "kitchen sink" `Quick test_roundtrip_kitchen_sink;
+          Alcotest.test_case "parse errors carry lines" `Quick
+            test_parse_error_reports_line;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_random_modules_verify;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "bad operand type" `Quick test_verify_bad_operand_type;
+          Alcotest.test_case "duplicate def" `Quick test_verify_duplicate_def;
+          Alcotest.test_case "unknown label" `Quick test_verify_unknown_label;
+          Alcotest.test_case "phi pred mismatch" `Quick test_verify_phi_pred_mismatch;
+          Alcotest.test_case "entry phi" `Quick test_verify_entry_phi;
+          Alcotest.test_case "ret mismatch" `Quick test_verify_ret_mismatch;
+          Alcotest.test_case "accepts kitchen sink" `Quick
+            test_verify_accepts_kitchen_sink;
+        ] );
+      ( "instr",
+        [ Alcotest.test_case "operands/map/successors" `Quick test_operands_and_map ] );
+    ]

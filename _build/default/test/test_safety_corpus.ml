@@ -1,0 +1,272 @@
+(* The artifact-style safety corpus (appendix A.5): a few hundred small
+   programs with heap, stack, and global out-of-bounds reads and writes,
+   each validated against the expected verdict of both instrumentations.
+
+   Expected verdicts follow the approaches' documented guarantees:
+   - SoftBound keeps exact allocation bounds: every spatial violation in
+     an instrumented access is reported;
+   - Low-Fat pads allocations to their power-of-two size class (+1 byte
+     for one-past-the-end), so accesses into the padding are *not*
+     reported, while accesses beyond the class or before the base are. *)
+
+module Config = Mi_core.Config
+module Harness = Mi_bench_kit.Harness
+module Bench = Mi_bench_kit.Bench
+
+type region = Heap | Stack | Global
+type elem = Char | Long
+type access = Read | Write
+
+type kind =
+  | In_bounds
+  | Last_elem
+  | Just_past  (** first element past the object *)
+  | Past_class  (** beyond the low-fat size class *)
+  | Underflow_one
+  | Underflow_far
+  | Cross_end_width  (** 8-byte access straddling the exact bound *)
+
+let region_name = function Heap -> "heap" | Stack -> "stack" | Global -> "global"
+let elem_name = function Char -> "char" | Long -> "long"
+let access_name = function Read -> "read" | Write -> "write"
+
+let kind_name = function
+  | In_bounds -> "in_bounds"
+  | Last_elem -> "last_elem"
+  | Just_past -> "just_past"
+  | Past_class -> "past_class"
+  | Underflow_one -> "underflow1"
+  | Underflow_far -> "underflow_far"
+  | Cross_end_width -> "cross_end_width"
+
+(* array extents chosen so that "just past" lands in low-fat padding *)
+let n_elems = function Char -> 20 | Long -> 10
+let elem_size = function Char -> 1 | Long -> 8
+
+let index_of_kind elem = function
+  | In_bounds -> 1
+  | Last_elem -> n_elems elem - 1
+  | Just_past -> n_elems elem
+  | Past_class -> (
+      (* object size: char 20 -> class 32; long 80 -> class 128 *)
+      match elem with Char -> 40 | Long -> 17)
+  | Underflow_one -> -1
+  | Underflow_far -> -50
+  | Cross_end_width -> n_elems elem (* only used with the i64 overlay *)
+
+(* geometry oracle mirroring the runtime *)
+let lf_detects elem kind =
+  let size = n_elems elem * elem_size elem in
+  let cls = Mi_support.Util.round_up_pow2 (size + 1) in
+  match kind with
+  | Cross_end_width ->
+      (* 8-byte access at byte offset (size - 1) *)
+      let off = size - 1 in
+      off + 8 > cls
+  | k ->
+      let off = index_of_kind elem k * elem_size elem in
+      let width = elem_size elem in
+      off < 0 || off + width > cls
+
+let sb_detects kind =
+  match kind with
+  | In_bounds | Last_elem -> false
+  | _ -> true
+
+let program region elem access kind : string =
+  let n = n_elems elem in
+  let ty = elem_name elem in
+  let decl, init_arr =
+    match region with
+    | Heap ->
+        ( Printf.sprintf "  %s *a = (%s *)malloc(%d * sizeof(%s));" ty ty n ty,
+          "" )
+    | Stack -> (Printf.sprintf "  %s a[%d];" ty n, "")
+    | Global -> ("  /* global */", "")
+  in
+  let global_decl =
+    match region with
+    | Global -> Printf.sprintf "%s a[%d];\n" ty n
+    | _ -> ""
+  in
+  let body =
+    match kind with
+    | Cross_end_width ->
+        (* overlay an 8-byte access on the last byte of the object *)
+        let off = (n * elem_size elem) - 1 in
+        let acc =
+          match access with
+          | Read -> Printf.sprintf "  print_int(*(long *)((char *)a + %d));" off
+          | Write -> Printf.sprintf "  *(long *)((char *)a + %d) = 7;" off
+        in
+        acc
+    | k -> (
+        let idx = index_of_kind elem k in
+        match access with
+        | Read -> Printf.sprintf "  print_int(a[%d]);" idx
+        | Write -> Printf.sprintf "  a[%d] = 7;" idx)
+  in
+  Printf.sprintf
+    {|%s
+int main(void) {
+%s
+%s
+  long i;
+  for (i = 0; i < %d; i++) a[i] = (%s)i;
+%s
+  print_int(a[0]);
+  return 0;
+}
+|}
+    global_decl decl init_arr n ty body
+
+let run_with approach src =
+  let cfg = Config.of_approach approach in
+  let setup =
+    {
+      (Harness.with_config cfg Harness.baseline) with
+      level = Mi_passes.Pipeline.O1;
+    }
+  in
+  let r = Harness.run_sources setup [ Bench.src "t" src ] in
+  match r.Harness.outcome with
+  | Mi_vm.Interp.Exited _ -> false
+  | Mi_vm.Interp.Safety_violation _ -> true
+  | Mi_vm.Interp.Trapped msg -> Alcotest.fail ("VM trap: " ^ msg)
+
+let case region elem access kind approach =
+  let name =
+    Printf.sprintf "%s_%s_%s_%s_%s" (region_name region) (elem_name elem)
+      (access_name access) (kind_name kind)
+      (Config.approach_name approach)
+  in
+  Alcotest.test_case name `Slow (fun () ->
+      let src = program region elem access kind in
+      let expected =
+        match approach with
+        | Config.Softbound -> sb_detects kind
+        | Config.Lowfat -> lf_detects elem kind
+      in
+      let got = run_with approach src in
+      if got <> expected then
+        Alcotest.failf "%s: expected %s, got %s\n%s" name
+          (if expected then "violation" else "clean run")
+          (if got then "violation" else "clean run")
+          src)
+
+let corpus =
+  List.concat_map
+    (fun region ->
+      List.concat_map
+        (fun elem ->
+          List.concat_map
+            (fun access ->
+              List.concat_map
+                (fun kind ->
+                  List.map
+                    (fun approach -> case region elem access kind approach)
+                    [ Config.Softbound; Config.Lowfat ])
+                [
+                  In_bounds; Last_elem; Just_past; Past_class; Underflow_one;
+                  Underflow_far; Cross_end_width;
+                ])
+            [ Read; Write ])
+        [ Char; Long ])
+    [ Heap; Stack; Global ]
+
+(* a few structurally different benign programs that must pass both *)
+let benign_extras =
+  [
+    ( "one_past_end_pointer_not_deref",
+      {|
+int main(void) {
+  long *a = (long *)malloc(4 * sizeof(long));
+  long *end = a + 4;       /* one past the end: allowed by C */
+  long *p = a;
+  long s = 0;
+  while (p < end) { s += *p; p++; }
+  print_int(s);
+  return 0;
+}
+|} );
+    ( "memcpy_in_bounds",
+      {|
+int main(void) {
+  char *src = (char *)malloc(32);
+  char *dst = (char *)malloc(32);
+  long i;
+  for (i = 0; i < 32; i++) src[i] = (char)(i + 1);
+  memcpy(dst, src, 32);
+  print_int(dst[31]);
+  return 0;
+}
+|} );
+    ( "nested_struct_access",
+      {|
+struct in { long a[4]; };
+struct out { struct in x; struct in y; };
+int main(void) {
+  struct out o;
+  o.x.a[3] = 5;
+  o.y.a[0] = 6;
+  print_int(o.x.a[3] + o.y.a[0]);
+  return 0;
+}
+|} );
+    ( "free_then_fresh",
+      {|
+int main(void) {
+  long *a = (long *)malloc(16 * sizeof(long));
+  a[15] = 3;
+  free(a);
+  long *b = (long *)malloc(16 * sizeof(long));
+  b[15] = 4;
+  print_int(b[15]);
+  free(b);
+  return 0;
+}
+|} );
+    ( "pointer_in_struct_roundtrip",
+      {|
+struct box { long *p; };
+int main(void) {
+  struct box b;
+  long v = 11;
+  b.p = &v;
+  print_int(*(b.p));
+  return 0;
+}
+|} );
+    ( "string_global_walk",
+      {|
+char text[] = "corpus";
+int main(void) {
+  long n = 0;
+  char *p = text;
+  while (*p) { n++; p++; }
+  print_int(n);
+  return 0;
+}
+|} );
+  ]
+
+let benign_cases =
+  List.concat_map
+    (fun (name, src) ->
+      List.map
+        (fun approach ->
+          Alcotest.test_case
+            (Printf.sprintf "%s_%s" name (Config.approach_name approach))
+            `Slow
+            (fun () ->
+              if run_with approach src then
+                Alcotest.failf "%s: spurious violation under %s" name
+                  (Config.approach_name approach)))
+        [ Config.Softbound; Config.Lowfat ])
+    benign_extras
+
+let () =
+  Printf.printf "safety corpus: %d generated + %d benign cases\n%!"
+    (List.length corpus) (List.length benign_cases);
+  Alcotest.run "safety_corpus"
+    [ ("generated", corpus); ("benign", benign_cases) ]

@@ -1,0 +1,119 @@
+(* Unit and property tests for Mi_support. *)
+
+open Mi_support
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.bits a);
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Rng.bits a) (Rng.bits b)
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Rng.bits a <> Rng.bits b)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let v = Rng.int r n in
+      v >= 0 && v < n)
+
+let prop_rng_int_range_incl =
+  QCheck.Test.make ~name:"Rng.int_range inclusive" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let r = Rng.create seed in
+      let v = Rng.int_range r lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pow2 () =
+  Alcotest.(check int) "round_up 1" 1 (Util.round_up_pow2 1);
+  Alcotest.(check int) "round_up 3" 4 (Util.round_up_pow2 3);
+  Alcotest.(check int) "round_up 16" 16 (Util.round_up_pow2 16);
+  Alcotest.(check int) "round_up 17" 32 (Util.round_up_pow2 17);
+  Alcotest.(check bool) "is_pow2 64" true (Util.is_pow2 64);
+  Alcotest.(check bool) "is_pow2 63" false (Util.is_pow2 63);
+  Alcotest.(check bool) "is_pow2 0" false (Util.is_pow2 0);
+  Alcotest.(check int) "log2 1024" 10 (Util.log2_exact 1024)
+
+let prop_round_up_pow2 =
+  QCheck.Test.make ~name:"round_up_pow2 bounds" ~count:500
+    QCheck.(int_range 1 (1 lsl 20))
+    (fun n ->
+      let p = Util.round_up_pow2 n in
+      Util.is_pow2 p && p >= n && p / 2 < n)
+
+let test_align_up () =
+  Alcotest.(check int) "align 13 to 8" 16 (Util.align_up 13 8);
+  Alcotest.(check int) "align 16 to 8" 16 (Util.align_up 16 8);
+  Alcotest.(check int) "align 0 to 4096" 0 (Util.align_up 0 4096)
+
+let test_geomean_median () =
+  Alcotest.(check (float 1e-9)) "geomean of [2;8]" 4.0 (Util.geomean [ 2.0; 8.0 ]);
+  Alcotest.(check (float 1e-9)) "median odd" 3.0 (Util.median [ 5.0; 3.0; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Util.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "percent" 25.0 (Util.percent 1 4);
+  Alcotest.(check (float 1e-9)) "percent of zero" 0.0 (Util.percent 1 0)
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "n" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bcd"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  (* right alignment pads numbers: the "1" ends its line *)
+  Alcotest.(check bool) "right-aligned cell" true
+    (List.exists
+       (fun l -> String.length l >= 2 && String.sub l (String.length l - 2) 2 = " 1")
+       lines)
+
+let test_table_arity () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_rng_int_range;
+          QCheck_alcotest.to_alcotest prop_rng_int_range_incl;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "pow2 helpers" `Quick test_pow2;
+          Alcotest.test_case "align_up" `Quick test_align_up;
+          Alcotest.test_case "geomean/median/percent" `Quick test_geomean_median;
+          QCheck_alcotest.to_alcotest prop_round_up_pow2;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity;
+        ] );
+    ]

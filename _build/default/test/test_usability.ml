@@ -1,0 +1,68 @@
+(* The §4 usability case studies: assert that each approach behaves as
+   the paper describes on every case, at both -O0 and -O3. *)
+
+module U = Mi_bench_kit.Usability
+module Config = Mi_core.Config
+
+let check_case level (c : U.case) approach () =
+  let got, run = U.run_case ~level c approach in
+  let want = U.expected c approach in
+  if got <> want then
+    Alcotest.failf "%s under %s: expected %s, got %s (output %S)" c.case_name
+      (Config.approach_name approach)
+      (U.verdict_to_string want) (U.verdict_to_string got) run.Mi_bench_kit.Harness.output
+
+let suite level =
+  List.concat_map
+    (fun (c : U.case) ->
+      List.map
+        (fun approach ->
+          Alcotest.test_case
+            (Printf.sprintf "%s / %s" c.case_name (Config.approach_name approach))
+            `Quick
+            (check_case level c approach))
+        [ Config.Softbound; Config.Lowfat ])
+    U.all
+
+(* a couple of extra facts the cases rely on *)
+
+let test_swap_clean_output_matches () =
+  (* both instrumentations must preserve the program's output *)
+  let base =
+    Mi_bench_kit.Harness.run_sources Mi_bench_kit.Harness.baseline
+      U.swap_clean.U.sources
+  in
+  List.iter
+    (fun approach ->
+      let _, r = U.run_case U.swap_clean approach in
+      Alcotest.(check string) "same output" base.Mi_bench_kit.Harness.output
+        r.Mi_bench_kit.Harness.output)
+    [ Config.Softbound; Config.Lowfat ]
+
+let test_corrupted_inttoptr_with_null_bounds () =
+  (* §4.4: with null (not wide) inttoptr bounds, SoftBound rejects every
+     access through a recreated pointer — "overly restrictive" *)
+  let cfg = { Config.softbound with Config.sb_inttoptr_wide = false } in
+  let setup =
+    Mi_bench_kit.Harness.with_config cfg Mi_bench_kit.Harness.baseline
+  in
+  let r =
+    Mi_bench_kit.Harness.run_sources setup U.inttoptr_roundtrip.U.sources
+  in
+  match r.Mi_bench_kit.Harness.outcome with
+  | Mi_vm.Interp.Safety_violation { checker = "softbound"; _ } -> ()
+  | _ -> Alcotest.fail "expected a (spurious) violation with null bounds"
+
+let () =
+  Alcotest.run "usability"
+    [
+      ("cases @O3", suite Mi_passes.Pipeline.O3);
+      ("cases @O0", suite Mi_passes.Pipeline.O0);
+      ( "extras",
+        [
+          Alcotest.test_case "instrumentation preserves output" `Quick
+            test_swap_clean_output_matches;
+          Alcotest.test_case "null inttoptr bounds reject round trips" `Quick
+            test_corrupted_inttoptr_with_null_bounds;
+        ] );
+    ]

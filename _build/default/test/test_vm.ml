@@ -1,0 +1,345 @@
+(* Tests for the VM: memory, allocator, interpreter semantics. *)
+
+open Mi_vm
+open Mi_mir
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let addr0 = Layout.heap_base
+
+let test_mem_roundtrip_widths () =
+  let m = Memory.create () in
+  List.iter
+    (fun (w, v) ->
+      Memory.store m addr0 w v;
+      Alcotest.(check int) (Printf.sprintf "width %d" w) v (Memory.load m addr0 w))
+    [ (1, 0xAB); (2, 0xBEEF); (4, 0x7EADBEEF); (8, 0x123456789ABCDE) ]
+
+let test_mem_little_endian () =
+  let m = Memory.create () in
+  Memory.store m addr0 4 0x11223344;
+  Alcotest.(check int) "lowest byte first" 0x44 (Memory.load8 m addr0);
+  Alcotest.(check int) "highest byte last" 0x11 (Memory.load8 m (addr0 + 3))
+
+let test_mem_page_straddle () =
+  let m = Memory.create () in
+  let a = addr0 + Layout.page_size - 3 in
+  Memory.store m a 8 0x1122334455667788;
+  Alcotest.(check int) "straddling load" 0x1122334455667788 (Memory.load m a 8)
+
+let prop_mem_f64_roundtrip =
+  QCheck.Test.make ~name:"f64 store/load roundtrip" ~count:500 QCheck.float
+    (fun f ->
+      let m = Memory.create () in
+      Memory.store_f64 m addr0 f;
+      let f' = Memory.load_f64 m addr0 in
+      Int64.bits_of_float f = Int64.bits_of_float f')
+
+let test_mem_f64_page_straddle () =
+  let m = Memory.create () in
+  let a = addr0 + Layout.page_size - 5 in
+  Memory.store_f64 m a (-2.5);
+  Alcotest.(check (float 0.0)) "straddling f64" (-2.5) (Memory.load_f64 m a)
+
+let test_mem_null_guard () =
+  let m = Memory.create () in
+  Alcotest.check_raises "null deref faults" (Memory.Fault (0, "access to null guard page"))
+    (fun () -> ignore (Memory.load m 0 8))
+
+let test_mem_copy_overlap () =
+  let m = Memory.create () in
+  Memory.store_bytes m addr0 "abcdef";
+  Memory.copy m ~dst:(addr0 + 2) ~src:addr0 4;
+  Alcotest.(check string) "memmove semantics fwd" "ababcd"
+    (String.init 6 (fun i -> Char.chr (Memory.load8 m (addr0 + i))));
+  Memory.store_bytes m addr0 "abcdef";
+  Memory.copy m ~dst:addr0 ~src:(addr0 + 2) 4;
+  Alcotest.(check string) "memmove semantics bwd" "cdefef"
+    (String.init 6 (fun i -> Char.chr (Memory.load8 m (addr0 + i))))
+
+let test_mem_cstring () =
+  let m = Memory.create () in
+  Memory.store_cstring m addr0 "hello";
+  Alcotest.(check string) "cstring roundtrip" "hello" (Memory.load_cstring m addr0)
+
+(* ------------------------------------------------------------------ *)
+(* Standard allocator                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_std_alloc_distinct () =
+  let st = State.create () in
+  let a = State.std_malloc st 100 and b = State.std_malloc st 100 in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "no overlap" true (abs (a - b) >= 100)
+
+let test_std_alloc_reuse_after_free () =
+  let st = State.create () in
+  let a = State.std_malloc st 64 in
+  State.std_free st a;
+  let b = State.std_malloc st 64 in
+  Alcotest.(check int) "reuses freed block" a b
+
+let test_std_free_unknown () =
+  let st = State.create () in
+  Alcotest.check_raises "free of garbage traps"
+    (State.Trap (Printf.sprintf "free of non-allocated %#x" 12345678))
+    (fun () -> State.std_free st 12345678)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_src ?(fuel = 50_000_000) src =
+  let m = Parser.parse_module src in
+  Mi_analysis.Domcheck.assert_valid m;
+  let st = State.create ~fuel () in
+  Builtins.install st;
+  let img = Interp.load st [ m ] in
+  Interp.run st img
+
+let check_exit src expected_code expected_out =
+  let r = run_src src in
+  (match r.Interp.outcome with
+  | Interp.Exited n -> Alcotest.(check int) "exit code" expected_code n
+  | Interp.Trapped m -> Alcotest.fail ("trap: " ^ m)
+  | Interp.Safety_violation _ -> Alcotest.fail "unexpected violation");
+  Alcotest.(check string) "output" expected_out r.Interp.output
+
+let test_interp_recursion () =
+  check_exit
+    {|
+module "fib"
+func @fib(%n.0 : i64) -> i64 {
+entry:
+  %c.1 = icmp slt i64 %n.0, 2:i64
+  cbr %c.1, base, rec
+base:
+  ret %n.0
+rec:
+  %a.2 = sub i64 %n.0, 1:i64
+  %b.3 = call @fib(%a.2) : i64
+  %d.4 = sub i64 %n.0, 2:i64
+  %e.5 = call @fib(%d.4) : i64
+  %f.6 = add i64 %b.3, %e.5
+  ret %f.6
+}
+func @main() -> i64 {
+entry:
+  %r.0 = call @fib(15:i64) : i64
+  call @print_int(%r.0)
+  ret 0:i64
+}
+|}
+    0 "610"
+
+(* the classic phi-swap requires parallel-copy semantics *)
+let test_interp_phi_parallel_copy () =
+  check_exit
+    {|
+module "swap"
+func @main() -> i64 {
+entry:
+  br loop
+loop:
+  %a.1 = phi i64 [entry 1:i64] [loop %b.2]
+  %b.2 = phi i64 [entry 2:i64] [loop %a.1]
+  %i.3 = phi i64 [entry 0:i64] [loop %i2.4]
+  %i2.4 = add i64 %i.3, 1:i64
+  %c.5 = icmp slt i64 %i2.4, 5:i64
+  cbr %c.5, loop, done
+done:
+  call @print_int(%a.1)
+  call @print_int(%b.2)
+  ret 0:i64
+}
+|}
+    (* four back-edge swaps return to (1,2); a sequential (buggy) copy
+       would collapse both phis to the same value *)
+    0 "12"
+
+let test_interp_fuel () =
+  let r =
+    run_src ~fuel:1000
+      {|
+module "inf"
+func @main() -> i64 {
+entry:
+  br loop
+loop:
+  br loop
+}
+|}
+  in
+  match r.Interp.outcome with
+  | Interp.Trapped msg ->
+      Alcotest.(check bool) "fuel message" true
+        (String.length msg >= 4 && String.sub msg 0 4 = "fuel")
+  | _ -> Alcotest.fail "expected fuel trap"
+
+let test_interp_div_by_zero () =
+  let r =
+    run_src
+      {|
+module "div"
+func @main() -> i64 {
+entry:
+  %z.0 = add i64 0:i64, 0:i64
+  %x.1 = sdiv i64 10:i64, %z.0
+  ret %x.1
+}
+|}
+  in
+  match r.Interp.outcome with
+  | Interp.Trapped "integer division by zero" -> ()
+  | o ->
+      Alcotest.fail
+        (match o with
+        | Interp.Exited n -> "exited " ^ string_of_int n
+        | _ -> "wrong trap")
+
+let test_interp_stack_overflow () =
+  let r =
+    run_src
+      {|
+module "so"
+func @rec(%n.0 : i64) -> i64 {
+entry:
+  %buf.1 = alloca 8192 align 8
+  store i64 %n.0, %buf.1
+  %m.2 = add i64 %n.0, 1:i64
+  %r.3 = call @rec(%m.2) : i64
+  ret %r.3
+}
+func @main() -> i64 {
+entry:
+  %r.0 = call @rec(0:i64) : i64
+  ret %r.0
+}
+|}
+  in
+  match r.Interp.outcome with
+  | Interp.Trapped "stack overflow" -> ()
+  | _ -> Alcotest.fail "expected stack overflow"
+
+let test_interp_globals_and_linking () =
+  let unit_a =
+    Parser.parse_module
+      {|
+module "a"
+extern global @shared : 16 align 8
+extern func @get() -> i64
+func @main() -> i64 {
+entry:
+  %v.0 = call @get() : i64
+  %p.1 = gep @shared [1 x 8:i64]
+  %w.2 = load i64 %p.1
+  %s.3 = add i64 %v.0, %w.2
+  call @print_int(%s.3)
+  ret 0:i64
+}
+|}
+  in
+  let unit_b =
+    Parser.parse_module
+      {|
+module "b"
+global @shared : 16 align 8 {
+  bytes "\x2a\x00\x00\x00\x00\x00\x00\x00"
+  bytes "\x09\x00\x00\x00\x00\x00\x00\x00"
+}
+func @get() -> i64 {
+entry:
+  %v.0 = load i64 @shared
+  ret %v.0
+}
+|}
+  in
+  let st = State.create () in
+  Builtins.install st;
+  let img = Interp.load st [ unit_a; unit_b ] in
+  let r = Interp.run st img in
+  (match r.Interp.outcome with
+  | Interp.Exited 0 -> ()
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check string) "42 + 9" "51" r.Interp.output
+
+let test_interp_duplicate_symbol () =
+  let u = {|
+module "x"
+func @f() -> void {
+entry:
+  ret
+}
+|} in
+  let m1 = Parser.parse_module u and m2 = Parser.parse_module u in
+  Alcotest.check_raises "duplicate definition"
+    (Interp.Link_error "duplicate definition of function f") (fun () ->
+      ignore (Interp.link [ m1; m2 ]))
+
+let test_interp_cycles_monotonic () =
+  let src =
+    {|
+module "c"
+func @main() -> i64 {
+entry:
+  %x.0 = mul i64 3:i64, 4:i64
+  ret %x.0
+}
+|}
+  in
+  let r = run_src src in
+  Alcotest.(check bool) "counts cycles" true (r.Interp.cycles > 0);
+  Alcotest.(check bool) "counts steps" true (r.Interp.steps > 0)
+
+let test_gep_negative_stride () =
+  check_exit
+    {|
+module "g"
+func @main() -> i64 {
+entry:
+  %b.0 = alloca 32 align 8
+  %p.1 = gep %b.0 [8 x 3:i64]
+  store i64 77:i64, %b.0
+  %q.2 = gep %p.1 [-8 x 3:i64]
+  %v.3 = load i64 %q.2
+  call @print_int(%v.3)
+  ret 0:i64
+}
+|}
+    0 "77"
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "widths" `Quick test_mem_roundtrip_widths;
+          Alcotest.test_case "little endian" `Quick test_mem_little_endian;
+          Alcotest.test_case "page straddle" `Quick test_mem_page_straddle;
+          Alcotest.test_case "f64 page straddle" `Quick test_mem_f64_page_straddle;
+          Alcotest.test_case "null guard" `Quick test_mem_null_guard;
+          Alcotest.test_case "copy overlap" `Quick test_mem_copy_overlap;
+          Alcotest.test_case "cstring" `Quick test_mem_cstring;
+          QCheck_alcotest.to_alcotest prop_mem_f64_roundtrip;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "distinct blocks" `Quick test_std_alloc_distinct;
+          Alcotest.test_case "reuse after free" `Quick test_std_alloc_reuse_after_free;
+          Alcotest.test_case "free of garbage" `Quick test_std_free_unknown;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "recursion" `Quick test_interp_recursion;
+          Alcotest.test_case "phi parallel copy" `Quick test_interp_phi_parallel_copy;
+          Alcotest.test_case "fuel" `Quick test_interp_fuel;
+          Alcotest.test_case "division by zero" `Quick test_interp_div_by_zero;
+          Alcotest.test_case "stack overflow" `Quick test_interp_stack_overflow;
+          Alcotest.test_case "linking two units" `Quick test_interp_globals_and_linking;
+          Alcotest.test_case "duplicate symbols" `Quick test_interp_duplicate_symbol;
+          Alcotest.test_case "cycle accounting" `Quick test_interp_cycles_monotonic;
+          Alcotest.test_case "negative gep stride" `Quick test_gep_negative_stride;
+        ] );
+    ]
