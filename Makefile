@@ -1,0 +1,23 @@
+.PHONY: all build test fmt ci bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+# full CI gate: build + tests + fmt (if ocamlformat is installed) + a
+# JSON-validated experiments smoke run
+ci:
+	sh bench/ci.sh
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,0 +1,43 @@
+#!/bin/sh
+# CI gate: build, test, formatting (when ocamlformat is available), and a
+# smoke run of the machine-readable experiment output on one benchmark.
+# Exits non-zero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+# dune's fmt check needs the pinned ocamlformat binary; skip (loudly)
+# where it is not installed rather than failing the gate on tooling.
+if command -v ocamlformat >/dev/null 2>&1; then
+    echo "== dune build @fmt =="
+    dune build @fmt
+else
+    echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "== experiments --json smoke (470lbm) =="
+out=$(mktemp /tmp/mi-ci-XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+# the binary re-parses its own output before exiting, so a zero status
+# already certifies well-formed JSON; double-check with python3 if present
+dune exec bin/experiments.exe -- --benchmark 470lbm --json "$out" \
+    table2 hotchecks >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+reports = {r["name"]: r for r in doc["reports"]}
+assert "table2" in reports and "hotchecks" in reports, reports.keys()
+labels = [s["label"] for s in reports["table2"]["series"]]
+assert "sb_checks_wide" in labels and "lf_checks_wide" in labels, labels
+print("json validated:", ", ".join(sorted(reports)))
+EOF
+fi
+
+echo "== ci OK =="

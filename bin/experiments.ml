@@ -4,10 +4,12 @@
     mi-experiments                 # everything
     mi-experiments fig9 table2    # selected experiments
     mi-experiments --benchmark 183equake fig9
+    mi-experiments --json out.json table2
     v} *)
 
 open Cmdliner
 module E = Mi_bench_kit.Experiments
+module Json = Mi_obs.Json
 
 (* write a report's raw series as CSV: one row per benchmark, one column
    per series *)
@@ -39,7 +41,38 @@ let write_csv dir name (report : E.report) =
     Printf.printf "(wrote %s)\n" path
   end
 
-let run_experiments names benchmark_names csv_dir =
+(* write the collected reports as one JSON document, then re-parse it
+   with the strict parser: the output is guaranteed machine-readable or
+   the command fails *)
+let write_json path (reports : (string * E.report) list) =
+  let doc =
+    Json.Obj
+      [
+        ( "reports",
+          Json.List
+            (List.map
+               (fun (name, r) ->
+                 match E.report_to_json r with
+                 | Json.Obj fields ->
+                     Json.Obj (("name", Json.Str name) :: fields)
+                 | other -> other)
+               reports) );
+      ]
+  in
+  let s = Json.to_string doc in
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  match Json.of_string s with
+  | _ ->
+      Printf.printf "(wrote %s, %d bytes, round-trip OK)\n" path
+        (String.length s)
+  | exception Json.Parse_error msg ->
+      Printf.eprintf "internal error: emitted JSON does not parse: %s\n" msg;
+      exit 1
+
+let run_experiments names benchmark_names csv_dir json_path =
   let benchmarks =
     match benchmark_names with
     | [] -> None
@@ -57,6 +90,7 @@ let run_experiments names benchmark_names csv_dir =
   in
   let names = if names = [] then E.known_names else names in
   let exit_code = ref 0 in
+  let collected = ref [] in
   List.iter
     (fun name ->
       match E.by_name name with
@@ -71,8 +105,10 @@ let run_experiments names benchmark_names csv_dir =
             | None -> f ()
           in
           Printf.printf "== %s ==\n%s\n" report.E.title report.E.text;
+          collected := (name, report) :: !collected;
           Option.iter (fun dir -> write_csv dir name report) csv_dir)
     names;
+  Option.iter (fun path -> write_json path (List.rev !collected)) json_path;
   !exit_code
 
 let names_arg =
@@ -92,6 +128,16 @@ let csv_arg =
     & info [ "csv" ] ~docv:"DIR"
         ~doc:"Also write each experiment's raw series as DIR/<name>.csv.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write every selected report (title, rendered text, raw \
+           series) as one JSON document; the file is re-parsed before \
+           exit so the output is guaranteed well-formed.")
+
 let cmd =
   let doc =
     "regenerate the tables and figures of 'Memory Safety Instrumentations \
@@ -99,6 +145,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "mi-experiments" ~doc)
-    Term.(const run_experiments $ names_arg $ bench_arg $ csv_arg)
+    Term.(const run_experiments $ names_arg $ bench_arg $ csv_arg $ json_arg)
 
 let () = exit (Cmd.eval' cmd)

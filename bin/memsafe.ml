@@ -5,7 +5,13 @@
     {v
     memsafe prog.c            # verdicts from both approaches
     memsafe --cases           # replay the §4 usability case studies
-    v} *)
+    memsafe --profile prog.c  # per-check-site hit/cycle profile
+    memsafe --trace t.json prog.c   # Chrome trace of compile+run
+    v}
+
+    Exit status: 0 when the program runs to completion under both
+    approaches, 1 when either reports a safety violation or traps, 2 on
+    usage errors. *)
 
 open Cmdliner
 module Config = Mi_core.Config
@@ -25,22 +31,50 @@ let verdict_string (r : Mi_bench_kit.Harness.run) =
       Printf.sprintf "VIOLATION reported by %s: %s" checker reason
   | Mi_vm.Interp.Trapped msg -> Printf.sprintf "VM trap: %s" msg
 
-let run_file file =
+let run_file ~profile ~trace file =
   let code = read_file file in
   let sources = [ Mi_bench_kit.Bench.src (Filename.basename file) code ] in
+  (* one observability context across both approaches: counters are
+     prefixed (sb./lf.) and sites carry their approach, so the registries
+     compose; the trace then shows both compile+run pipelines *)
+  let obs = Mi_obs.Obs.create () in
+  let bad = ref false in
+  let last_profile = ref [] in
   List.iter
     (fun (label, approach) ->
       let cfg = Config.of_approach approach in
       let setup =
         Mi_bench_kit.Harness.with_config cfg Mi_bench_kit.Harness.baseline
       in
-      let r = Mi_bench_kit.Harness.run_sources setup sources in
+      let r =
+        Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"memsafe" label
+          (fun () -> Mi_bench_kit.Harness.run_sources ~obs setup sources)
+      in
+      (match r.outcome with
+      | Mi_vm.Interp.Exited _ -> ()
+      | Mi_vm.Interp.Safety_violation _ | Mi_vm.Interp.Trapped _ ->
+          bad := true);
+      last_profile := r.profile;
       Printf.printf "%-18s %s\n" (label ^ ":") (verdict_string r);
       if r.output <> "" then
         Printf.printf "%-18s %s\n" "  program output:"
           (String.concat " | " (String.split_on_char '\n' (String.trim r.output))))
     [ ("SoftBound", Config.Softbound); ("Low-Fat Pointers", Config.Lowfat) ];
-  0
+  if profile then begin
+    print_newline ();
+    print_string (Mi_obs.Site.render ~n:20 !last_profile)
+  end;
+  (match trace with
+  | Some path -> (
+      try
+        Mi_obs.Trace.write_file obs.Mi_obs.Obs.trace path;
+        Printf.printf "trace written to %s (%d events)\n" path
+          (Mi_obs.Trace.event_count obs.Mi_obs.Obs.trace)
+      with Sys_error msg ->
+        Printf.eprintf "memsafe: cannot write trace: %s\n" msg;
+        exit 2)
+  | None -> ());
+  if !bad then 1 else 0
 
 let run_cases () =
   List.iter
@@ -60,16 +94,19 @@ let run_cases () =
     (Usability.all @ Mi_bench_kit.Excluded.all);
   0
 
-let main file cases =
+let main file cases profile trace =
   if cases then run_cases ()
   else
     match file with
-    | Some f -> run_file f
+    | Some f when Sys.file_exists f -> run_file ~profile ~trace f
+    | Some f ->
+        Printf.eprintf "memsafe: no such file %s\n" f;
+        2
     | None ->
         prerr_endline "memsafe: expected FILE.c or --cases";
         2
 
-let file_arg = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c")
+let file_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.c")
 
 let cases_arg =
   Arg.(
@@ -77,10 +114,31 @@ let cases_arg =
     & info [ "cases" ]
         ~doc:"replay the paper's §4 usability case studies instead")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "print the top-20 hottest instrumentation sites (hits, wide \
+           hits, modeled check cycles) after the verdicts")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:
+          "write a Chrome trace_event JSON of the compile and execute \
+           spans (load in chrome://tracing or Perfetto)")
+
 let cmd =
   Cmd.v
     (Cmd.info "memsafe"
-       ~doc:"check a MiniC program with SoftBound and Low-Fat Pointers")
-    Term.(const main $ file_arg $ cases_arg)
+       ~doc:"check a MiniC program with SoftBound and Low-Fat Pointers"
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"ran to completion under both approaches"
+         :: Cmd.Exit.info 1 ~doc:"a safety violation or VM trap was reported"
+         :: Cmd.Exit.defaults))
+    Term.(const main $ file_arg $ cases_arg $ profile_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,7 +30,8 @@ let ep_of_string = function
   | "VectorizerStart" | "vectorizer-start" -> Some Pipeline.VectorizerStart
   | _ -> None
 
-let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose =
+let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
+    profile trace =
   let level =
     match level_of_string level_s with
     | Some l -> l
@@ -72,12 +73,24 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose =
             Printf.eprintf "[mic] diagnose: %s\n" (Mi_core.Diagnose.to_string d))
           ds
   end;
+  let obs = Mi_obs.Obs.create () in
+  let finish_obs () =
+    if profile then
+      prerr_string
+        (Mi_obs.Site.render ~n:20 (Mi_obs.Site.snapshot obs.Mi_obs.Obs.sites));
+    match trace with
+    | Some path ->
+        Mi_obs.Trace.write_file obs.Mi_obs.Obs.trace path;
+        Printf.eprintf "[mic] trace written to %s (%d events)\n" path
+          (Mi_obs.Trace.event_count obs.Mi_obs.Obs.trace)
+    | None -> ()
+  in
   let instrument =
     Option.map
-      (fun cfg m -> ignore (Mi_core.Instrument.run cfg m))
+      (fun cfg m -> ignore (Mi_core.Instrument.run ~obs cfg m))
       config
   in
-  Pipeline.run ~level ?instrument ~ep m;
+  Pipeline.run ~level ?instrument ~ep ~tracer:obs.Mi_obs.Obs.trace m;
   (match Mi_mir.Verify.verify_module m with
   | [] -> ()
   | errs ->
@@ -88,7 +101,10 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose =
       exit 1);
   if emit_ir then print_string (Mi_mir.Printer.module_to_string m);
   if not no_run then begin
-    let st = Mi_vm.State.create () in
+    let st =
+      Mi_vm.State.create ~metrics:obs.Mi_obs.Obs.metrics
+        ~sites:obs.Mi_obs.Obs.sites ()
+    in
     Mi_vm.Builtins.install st;
     let alloc_global = ref None in
     (match config with
@@ -102,10 +118,14 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose =
     | Some _ -> ignore (Mi_softbound.Softbound_rt.install st)
     | None -> ());
     let img = Mi_vm.Interp.load ?alloc_global:!alloc_global st [ m ] in
-    let res = Mi_vm.Interp.run st img in
+    let res =
+      Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"mic" "execute"
+        (fun () -> Mi_vm.Interp.run st img)
+    in
     print_string res.output;
     Printf.eprintf "[mic] cycles=%d dynamic-instructions=%d\n" res.cycles
       res.steps;
+    finish_obs ();
     match res.outcome with
     | Mi_vm.Interp.Exited code -> exit code
     | Mi_vm.Interp.Safety_violation { checker; reason } ->
@@ -115,6 +135,7 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose =
         Printf.eprintf "[mic] trap: %s\n" msg;
         exit 139
   end;
+  finish_obs ();
   0
 
 let file_arg =
@@ -160,11 +181,28 @@ let diagnose_arg =
            pointers stored as integers, size-zero extern arrays, \
            oversized allocations, byte-wise copy loops (§4.7)")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "print the top-20 hottest instrumentation sites (hits, wide \
+           hits, modeled check cycles) to stderr after execution")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:
+          "write a Chrome trace_event JSON covering the pipeline passes \
+           and execution")
+
 let cmd =
   Cmd.v
     (Cmd.info "mic" ~doc:"MiniC compiler with memory-safety instrumentation")
     Term.(
       const run_mic $ file_arg $ level_arg $ instr_arg $ ep_arg $ emit_arg
-      $ norun_arg $ i64_arg $ diagnose_arg)
+      $ norun_arg $ i64_arg $ diagnose_arg $ profile_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

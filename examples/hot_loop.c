@@ -1,0 +1,41 @@
+/* Profiling demo for `memsafe --profile` / `mic --profile`: almost all
+   check cycles land on the histogram-update sites inside step(), while
+   the setup loop in main() stays cold.  The per-site table should rank
+   the step() sites first. */
+
+long N = 64;
+
+long *table;
+long *hist;
+
+long mix(long x) {
+  return (x * 1103515245 + 12345) % 262144;
+}
+
+void step(long rounds) {
+  long r, i;
+  for (r = 0; r < rounds; r++) {
+    for (i = 0; i < 64; i++) {
+      long h = mix(table[i] + r) % 64;
+      hist[h] = hist[h] + 1;       /* hot store site */
+      table[i] = table[i] + hist[h] % 7;
+    }
+  }
+}
+
+int main(void) {
+  long i;
+  long sum = 0;
+  table = (long *)malloc(64 * sizeof(long));
+  hist = (long *)malloc(64 * sizeof(long));
+  for (i = 0; i < 64; i++) {       /* cold init sites */
+    table[i] = i * 17 + 3;
+    hist[i] = 0;
+  }
+  step(200);
+  for (i = 0; i < 64; i++) sum += hist[i];
+  print_str("hist sum ");
+  print_int(sum);
+  print_newline();
+  return 0;
+}

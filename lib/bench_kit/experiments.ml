@@ -270,6 +270,18 @@ let table2 ?(benchmarks = Suite.all) () : report =
           paper_cell (fun p -> p.Paper_data.lf) (fun p -> p.Paper_data.lf_star);
         ])
     benchmarks;
+  (* raw wide-bounds counters ride along as extra series so machine
+     consumers (--json) need not re-derive them from percentages *)
+  let raw label key setup =
+    {
+      label;
+      points =
+        List.map
+          (fun (b : Bench.t) ->
+            (b.name, float_of_int (Harness.counter (run setup b) key)))
+          benchmarks;
+    }
+  in
   {
     title =
       "Table 2: Unsafe (wide-bounds) dereferences in %. [sz0] marks \
@@ -280,6 +292,10 @@ let table2 ?(benchmarks = Suite.all) () : report =
       [
         { label = "sb_wide_pct"; points = List.rev !pts_sb };
         { label = "lf_wide_pct"; points = List.rev !pts_lf };
+        raw "sb_checks_wide" "sb.checks_wide" sb_full;
+        raw "sb_checks" "sb.checks" sb_full;
+        raw "lf_checks_wide" "lf.checks_wide" lf_full;
+        raw "lf_checks" "lf.checks" lf_full;
       ];
   }
 
@@ -472,6 +488,71 @@ let ablation_sb_sizezero ?(benchmarks = Suite.all) () : report =
     series = [];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Hottest check sites (observability: per-site profile)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Where does the modeled check time actually go?  Reuses the cached
+   optimized runs: every {!Harness.run} carries the per-site profile. *)
+let hotchecks ?(benchmarks = Suite.all) ?(n = 5) () : report =
+  let buf = Buffer.create 1024 in
+  let pts_sb = ref [] and pts_lf = ref [] in
+  List.iter
+    (fun (b : Bench.t) ->
+      List.iter
+        (fun (label, setup, pts) ->
+          let r = run setup b in
+          pts :=
+            (b.name, float_of_int (Mi_obs.Site.total_cycles r.Harness.profile))
+            :: !pts;
+          Buffer.add_string buf
+            (Printf.sprintf "-- %s / %s --\n%s\n" b.name label
+               (Mi_obs.Site.render ~n r.Harness.profile)))
+        [ ("softbound", sb_opt, pts_sb); ("lowfat", lf_opt, pts_lf) ])
+    benchmarks;
+  {
+    title =
+      Printf.sprintf
+        "Hottest check sites: top %d instrumentation sites by modeled \
+         check cycles, per benchmark and approach"
+        n;
+    text = Buffer.contents buf;
+    series =
+      [
+        { label = "sb_check_cycles"; points = List.rev !pts_sb };
+        { label = "lf_check_cycles"; points = List.rev !pts_lf };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report output                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Mi_obs.Json
+
+let series_to_json (s : series) : Json.t =
+  Json.Obj
+    [
+      ("label", Json.Str s.label);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (name, v) ->
+               Json.Obj [ ("name", Json.Str name); ("value", Json.Float v) ])
+             s.points) );
+    ]
+
+let report_to_json (r : report) : Json.t =
+  Json.Obj
+    [
+      ("title", Json.Str r.title);
+      ("text", Json.Str r.text);
+      ("series", Json.List (List.map series_to_json r.series));
+    ]
+
+let reports_to_json (rs : report list) : Json.t =
+  Json.Obj [ ("reports", Json.List (List.map report_to_json rs)) ]
+
 let all_reports ?benchmarks () : report list =
   [
     table1 ();
@@ -484,6 +565,7 @@ let all_reports ?benchmarks () : report list =
     optstats ?benchmarks ();
     ablation_lf ?benchmarks ();
     ablation_sb_sizezero ?benchmarks ();
+    hotchecks ?benchmarks ();
   ]
 
 let by_name name : (?benchmarks:Bench.t list -> unit -> report) option =
@@ -499,11 +581,12 @@ let by_name name : (?benchmarks:Bench.t list -> unit -> report) option =
   | "ablation-lf" -> Some (fun ?benchmarks () -> ablation_lf ?benchmarks ())
   | "ablation-sz0" ->
       Some (fun ?benchmarks () -> ablation_sb_sizezero ?benchmarks ())
+  | "hotchecks" -> Some (fun ?benchmarks () -> hotchecks ?benchmarks ())
   | _ -> None
 
 let known_names =
   [
     "table1"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "table2";
-    "optstats"; "ablation-lf"; "ablation-sz0";
+    "optstats"; "ablation-lf"; "ablation-sz0"; "hotchecks";
   ]
 

@@ -36,33 +36,51 @@ type run = {
   static_stats : Mi_core.Instrument.mod_stats list;
       (** per instrumented translation unit *)
   program_instrs : int;  (** static instruction count after everything *)
+  profile : Mi_obs.Site.snapshot list;
+      (** per-check-site attribution ({!Mi_obs.Site}); empty when the
+          setup is uninstrumented *)
 }
 
 let counter run key =
   Option.value ~default:0 (List.assoc_opt key run.counters)
 
-(** Compile the translation units under [setup], link, execute. *)
-let run_sources (setup : setup) (sources : Bench.source list) : run =
+(** Compile the translation units under [setup], link, execute.  Every
+    run carries an observability context ({!Mi_obs.Obs}); pass [obs] to
+    share one across runs (e.g. to export a trace spanning compile and
+    execute, or to accumulate metrics). *)
+let run_sources ?(obs = Mi_obs.Obs.create ()) (setup : setup)
+    (sources : Bench.source list) : run =
+  let tracer = obs.Mi_obs.Obs.trace in
   let stats = ref [] in
   let modules =
-    List.map
-      (fun (s : Bench.source) ->
-        let mode = Option.value ~default:setup.lowering s.mode_override in
-        let m = Mi_minic.Lower.compile ~mode ~name:s.src_name s.code in
-        let instrument =
-          match setup.config with
-          | Some cfg when s.instrument ->
-              Some
-                (fun m ->
-                  let st = Mi_core.Instrument.run cfg m in
-                  stats := st :: !stats)
-          | _ -> None
-        in
-        Pipeline.run ~level:setup.level ?instrument ~ep:setup.ep m;
-        (m, s.instrument))
-      sources
+    Mi_obs.Trace.with_span tracer ~cat:"harness" "compile" (fun () ->
+        List.map
+          (fun (s : Bench.source) ->
+            let mode = Option.value ~default:setup.lowering s.mode_override in
+            let m =
+              Mi_obs.Trace.with_span tracer ~cat:"harness"
+                ("lower:" ^ s.src_name)
+                (fun () ->
+                  Mi_minic.Lower.compile ~mode ~name:s.src_name s.code)
+            in
+            let instrument =
+              match setup.config with
+              | Some cfg when s.instrument ->
+                  Some
+                    (fun m ->
+                      let st = Mi_core.Instrument.run ~obs cfg m in
+                      stats := st :: !stats)
+              | _ -> None
+            in
+            Pipeline.run ~level:setup.level ?instrument ~ep:setup.ep ~tracer
+              m;
+            (m, s.instrument))
+          sources)
   in
-  let st = Mi_vm.State.create ~seed:setup.seed () in
+  let st =
+    Mi_vm.State.create ~seed:setup.seed ~metrics:obs.Mi_obs.Obs.metrics
+      ~sites:obs.Mi_obs.Obs.sites ()
+  in
   Mi_vm.Builtins.install st;
   let alloc_global = ref None in
   (match setup.config with
@@ -98,12 +116,17 @@ let run_sources (setup : setup) (sources : Bench.source list) : run =
                ~wrapper_checks:cfg.sb_wrapper_checks st))
   | None -> ());
   let img =
-    Mi_vm.Interp.load ?alloc_global:!alloc_global st (List.map fst modules)
+    Mi_obs.Trace.with_span tracer ~cat:"harness" "load" (fun () ->
+        Mi_vm.Interp.load ?alloc_global:!alloc_global st
+          (List.map fst modules))
   in
   let program_instrs =
     Mi_mir.Irmod.instr_count (Mi_vm.Interp.merged_module img)
   in
-  let res = Mi_vm.Interp.run st img in
+  let res =
+    Mi_obs.Trace.with_span tracer ~cat:"harness" "execute" (fun () ->
+        Mi_vm.Interp.run st img)
+  in
   {
     outcome = res.outcome;
     cycles = res.cycles;
@@ -112,10 +135,14 @@ let run_sources (setup : setup) (sources : Bench.source list) : run =
     counters = res.counters;
     static_stats = List.rev !stats;
     program_instrs;
+    profile = Mi_obs.Site.snapshot obs.Mi_obs.Obs.sites;
   }
 
-let run_benchmark (setup : setup) (b : Bench.t) : run =
-  run_sources setup b.sources
+let run_benchmark ?(obs = Mi_obs.Obs.create ()) (setup : setup) (b : Bench.t)
+    : run =
+  Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"benchmark"
+    ("benchmark:" ^ b.name)
+    (fun () -> run_sources ~obs setup b.sources)
 
 (** Normalized execution time (cycles / baseline cycles), the y-axis of
     Figures 9-13. *)

@@ -53,8 +53,23 @@ type fctx = {
   memo : (string, witness) Hashtbl.t;
   call_ret : (Edit.anchor, witness) Hashtbl.t;
       (** witness of a call's pointer result, created by the protocol *)
+  sites : Mi_obs.Site.t;
+      (** check-site registry: every check placed gets a stable id *)
   mutable invariants : int;
 }
+
+(* Register an instrumentation site for a check placed in this function;
+   the id rides along as the check call's last argument so the runtime
+   can attribute executions back to it. *)
+let new_site (ctx : fctx) construct =
+  let id =
+    Mi_obs.Site.register ctx.sites ~func:ctx.f.fname ~construct
+      ~approach:(Config.approach_name ctx.config.approach)
+  in
+  Value.Int (Ty.I64, id)
+
+let anchor_str (a : Edit.anchor) =
+  Printf.sprintf "%s:%d" a.Edit.ablock a.Edit.apos
 
 let value_key = Optimize.value_key
 
@@ -388,8 +403,9 @@ let emit_invariant_store ctx (s : Itarget.ptr_store) =
         (Instr.mk (call1 Intrinsics.sb_trie_store [ s.s_addr; b; e ]))
   | Config.Lowfat ->
       let b = lf_witness_of ctx s.s_value in
+      let site = new_site ctx ("ptr-store@" ^ anchor_str s.s_anchor) in
       Edit.insert_before ctx.edit s.s_anchor
-        (Instr.mk (call1 Intrinsics.lf_invariant_check [ s.s_value; b ]))
+        (Instr.mk (call1 Intrinsics.lf_invariant_check [ s.s_value; b; site ]))
 
 let emit_call_protocol ctx (c : Itarget.call) =
   match ctx.config.approach with
@@ -397,11 +413,15 @@ let emit_call_protocol ctx (c : Itarget.call) =
       (* establish the invariant: pointers passed to callees are in
          bounds *)
       List.iter
-        (fun (_, v) ->
+        (fun (idx, v) ->
           ctx.invariants <- ctx.invariants + 1;
           let b = lf_witness_of ctx v in
+          let site =
+            new_site ctx
+              (Printf.sprintf "call-arg%d@%s" idx (anchor_str c.l_anchor))
+          in
           Edit.insert_before ctx.edit c.l_anchor
-            (Instr.mk (call1 Intrinsics.lf_invariant_check [ v; b ])))
+            (Instr.mk (call1 Intrinsics.lf_invariant_check [ v; b; site ])))
         c.l_ptr_args
   | Config.Softbound -> (
       match c.l_kind with
@@ -455,8 +475,9 @@ let emit_ret_protocol ctx (r : Itarget.ptr_ret) =
         (Instr.mk (call1 Intrinsics.ss_set_bound [ vi64 0; e ]))
   | Config.Lowfat ->
       let b = lf_witness_of ctx r.r_value in
+      let site = new_site ctx ("ret@" ^ r.r_block) in
       Edit.insert_at_end ctx.edit r.r_block
-        (Instr.mk (call1 Intrinsics.lf_invariant_check [ r.r_value; b ]))
+        (Instr.mk (call1 Intrinsics.lf_invariant_check [ r.r_value; b; site ]))
 
 let emit_escape_cast ctx (e : Itarget.ptr_escape_cast) =
   match ctx.config.approach with
@@ -465,8 +486,9 @@ let emit_escape_cast ctx (e : Itarget.ptr_escape_cast) =
       (* §4.4: check at pointer-to-integer casts *)
       ctx.invariants <- ctx.invariants + 1;
       let b = lf_witness_of ctx e.e_ptr in
+      let site = new_site ctx ("ptrtoint@" ^ anchor_str e.e_anchor) in
       Edit.insert_before ctx.edit e.e_anchor
-        (Instr.mk (call1 Intrinsics.lf_invariant_check [ e.e_ptr; b ]))
+        (Instr.mk (call1 Intrinsics.lf_invariant_check [ e.e_ptr; b; site ]))
 
 let emit_memop ctx (mo : Itarget.memop) =
   (match (ctx.config.approach, mo.m_kind) with
@@ -483,31 +505,39 @@ let emit_memop ctx (mo : Itarget.memop) =
     (* the wrapper-style checks disabled by default for comparability
        (§5.1.2) *)
     let check_one ptr =
+      let site = new_site ctx ("memop@" ^ anchor_str mo.m_anchor) in
       match ctx.config.approach with
       | Config.Softbound ->
           let b, e = sb_witness_of ctx ptr in
           Edit.insert_before ctx.edit mo.m_anchor
-            (Instr.mk (call1 Intrinsics.sb_check [ ptr; mo.m_len; b; e ]))
+            (Instr.mk (call1 Intrinsics.sb_check [ ptr; mo.m_len; b; e; site ]))
       | Config.Lowfat ->
           let b = lf_witness_of ctx ptr in
           Edit.insert_before ctx.edit mo.m_anchor
-            (Instr.mk (call1 Intrinsics.lf_check [ ptr; mo.m_len; b ]))
+            (Instr.mk (call1 Intrinsics.lf_check [ ptr; mo.m_len; b; site ]))
     in
     check_one mo.m_dst;
     Option.iter check_one mo.m_src
   end
 
 let emit_check ctx (c : Itarget.check) =
+  let site =
+    new_site ctx
+      (Printf.sprintf "%s@%s"
+         (match c.c_access with Itarget.Aload -> "load" | Astore -> "store")
+         (anchor_str c.c_anchor))
+  in
   match ctx.config.approach with
   | Config.Softbound ->
       let b, e = sb_witness_of ctx c.c_ptr in
       Edit.insert_before ctx.edit c.c_anchor
         (Instr.mk
-           (call1 Intrinsics.sb_check [ c.c_ptr; vi64 c.c_width; b; e ]))
+           (call1 Intrinsics.sb_check [ c.c_ptr; vi64 c.c_width; b; e; site ]))
   | Config.Lowfat ->
       let b = lf_witness_of ctx c.c_ptr in
       Edit.insert_before ctx.edit c.c_anchor
-        (Instr.mk (call1 Intrinsics.lf_check [ c.c_ptr; vi64 c.c_width; b ]))
+        (Instr.mk
+           (call1 Intrinsics.lf_check [ c.c_ptr; vi64 c.c_width; b; site ]))
 
 (* ------------------------------------------------------------------ *)
 (* Per-function driver                                                 *)
@@ -531,8 +561,8 @@ let lf_replace_allocas (f : Func.t) : unit =
     f.blocks;
   Edit.apply edit
 
-let instrument_func (config : Config.t) (m : Irmod.t) (f : Func.t) :
-    func_stats =
+let instrument_func (config : Config.t) (sites : Mi_obs.Site.t) (m : Irmod.t)
+    (f : Func.t) : func_stats =
   if config.approach = Config.Lowfat && config.lf_stack then
     lf_replace_allocas f;
   let targets = Itarget.discover m f in
@@ -546,6 +576,7 @@ let instrument_func (config : Config.t) (m : Irmod.t) (f : Func.t) :
       defsites = build_defsites f;
       memo = Hashtbl.create 64;
       call_ret = Hashtbl.create 16;
+      sites;
       invariants = 0;
     }
   in
@@ -625,33 +656,85 @@ let sb_global_init (m : Irmod.t) : Func.t option =
 
 (** Instrument every defined function of [m] in place according to
     [config].  Returns static statistics (checks found/placed/eliminated
-    per function) used by the §5.3 evaluation. *)
-let run (config : Config.t) (m : Irmod.t) : mod_stats =
-  let per_func =
-    match config.mode with
-    | Config.Noop -> []
-    | _ ->
-        let stats =
-          List.map
-            (fun f -> instrument_func config m f)
-            (Irmod.defined_funcs m)
-        in
-        (match config.approach with
-        | Config.Softbound -> (
-            match sb_global_init m with
-            | Some f -> Irmod.add_func m f
-            | None -> ())
-        | Config.Lowfat -> ());
-        stats
+    per function) used by the §5.3 evaluation.
+
+    When [obs] is given, the pass runs inside a tracing span, every
+    placed check is registered in [obs.sites] (the site id rides along
+    as the check call's last argument), and the static statistics are
+    absorbed into [obs.metrics] under the [static.*] namespace. *)
+let run ?(obs : Mi_obs.Obs.t option) (config : Config.t) (m : Irmod.t) :
+    mod_stats =
+  let sites =
+    match obs with Some o -> o.Mi_obs.Obs.sites | None -> Mi_obs.Site.create ()
   in
-  {
-    per_func;
-    total_checks_found =
-      List.fold_left (fun a s -> a + s.checks_found) 0 per_func;
-    total_checks_placed =
-      List.fold_left (fun a s -> a + s.checks_placed) 0 per_func;
-    total_checks_removed =
-      List.fold_left (fun a s -> a + s.checks_removed) 0 per_func;
-    total_invariants =
-      List.fold_left (fun a s -> a + s.invariants_placed) 0 per_func;
-  }
+  let sites_before = Mi_obs.Site.count sites in
+  let instrument () =
+    let per_func =
+      match config.mode with
+      | Config.Noop -> []
+      | _ ->
+          let stats =
+            List.map
+              (fun f -> instrument_func config sites m f)
+              (Irmod.defined_funcs m)
+          in
+          (match config.approach with
+          | Config.Softbound -> (
+              match sb_global_init m with
+              | Some f -> Irmod.add_func m f
+              | None -> ())
+          | Config.Lowfat -> ());
+          stats
+    in
+    {
+      per_func;
+      total_checks_found =
+        List.fold_left (fun a s -> a + s.checks_found) 0 per_func;
+      total_checks_placed =
+        List.fold_left (fun a s -> a + s.checks_placed) 0 per_func;
+      total_checks_removed =
+        List.fold_left (fun a s -> a + s.checks_removed) 0 per_func;
+      total_invariants =
+        List.fold_left (fun a s -> a + s.invariants_placed) 0 per_func;
+    }
+  in
+  match obs with
+  | None -> instrument ()
+  | Some o ->
+      let tr = o.Mi_obs.Obs.trace in
+      let name = "instrument:" ^ m.Irmod.mname in
+      Mi_obs.Trace.begin_span tr ~cat:"instrument"
+        ~args:
+          [
+            ("approach", Mi_obs.Trace.Astr (Config.approach_name config.approach));
+            ("instrs_before", Mi_obs.Trace.Aint (Irmod.instr_count m));
+          ]
+        name;
+      let stats =
+        try instrument ()
+        with e ->
+          Mi_obs.Trace.end_span tr name;
+          raise e
+      in
+      let metrics = o.Mi_obs.Obs.metrics in
+      Mi_obs.Metrics.incr ~by:stats.total_checks_found metrics
+        "static.checks_found";
+      Mi_obs.Metrics.incr ~by:stats.total_checks_placed metrics
+        "static.checks_placed";
+      Mi_obs.Metrics.incr ~by:stats.total_checks_removed metrics
+        "static.checks_removed_dominance";
+      Mi_obs.Metrics.incr ~by:stats.total_invariants metrics
+        "static.invariants_placed";
+      Mi_obs.Metrics.incr
+        ~by:(Mi_obs.Site.count sites - sites_before)
+        metrics "static.check_sites";
+      Mi_obs.Trace.end_span tr
+        ~args:
+          [
+            ("instrs_after", Mi_obs.Trace.Aint (Irmod.instr_count m));
+            ("checks_placed", Mi_obs.Trace.Aint stats.total_checks_placed);
+            ("checks_removed", Mi_obs.Trace.Aint stats.total_checks_removed);
+            ("invariants", Mi_obs.Trace.Aint stats.total_invariants);
+          ]
+        name;
+      stats

@@ -26,14 +26,21 @@ type mod_stats = {
   total_invariants : int;
 }
 
-val run : Config.t -> Irmod.t -> mod_stats
+val run : ?obs:Mi_obs.Obs.t -> Config.t -> Irmod.t -> mod_stats
 (** Instrument every defined function of the module in place.  For
     SoftBound, a [__mi_global_init] constructor is added when global
     initializers contain pointers (their trie metadata must exist before
-    [main] runs).  Returns the static statistics of §5.3. *)
+    [main] runs).  Returns the static statistics of §5.3.
+
+    With [obs], every placed check registers a stable instrumentation
+    site in [obs.sites] (its id rides on the check call as a trailing
+    constant argument, read back by the runtimes), the whole pass runs
+    under an ["instrument:<module>"] tracing span, and the static
+    statistics are absorbed into [obs.metrics] as [static.*] counters. *)
 
 val sb_global_init : Irmod.t -> Func.t option
 (** The constructor described above, exposed for testing. *)
 
-val instrument_func : Config.t -> Irmod.t -> Func.t -> func_stats
+val instrument_func :
+  Config.t -> Mi_obs.Site.t -> Irmod.t -> Func.t -> func_stats
 (** Instrument a single function (exposed for testing; [run] drives it). *)

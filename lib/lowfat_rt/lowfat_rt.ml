@@ -69,6 +69,7 @@ let lf_malloc (t : t) st sz =
       match !(t.free.(r)) with
       | a :: rest ->
           t.free.(r) := rest;
+          State.observe st "alloc.bytes" sz;
           Hashtbl.replace st.State.alloc_sizes a sz;
           a
       | [] ->
@@ -80,6 +81,7 @@ let lf_malloc (t : t) st sz =
           end
           else begin
             t.bump.(r) <- a + size;
+            State.observe st "alloc.bytes" sz;
             Hashtbl.replace st.State.alloc_sizes a sz;
             a
           end)
@@ -102,14 +104,16 @@ let lf_free (t : t) st addr =
 
 (* Dereference check, Figure 5 of the paper:
    fail iff (ptr - base) > alloc_size - width, computed unsigned. *)
-let check st ptr width b =
+let check ?(site = -1) st ptr width b =
   State.charge st st.State.cost.Cost.lf_check;
   State.bump st "lf.checks";
   match alloc_size b with
   | None ->
       (* non-low-fat base: wide bounds, access unprotected (§4.6) *)
-      State.bump st "lf.checks_wide"
+      State.bump st "lf.checks_wide";
+      State.site_hit st site ~wide:true ~cycles:st.State.cost.Cost.lf_check
   | Some size ->
+      State.site_hit st site ~wide:false ~cycles:st.State.cost.Cost.lf_check;
       let off = ptr - b in
       if off < 0 || off > size - width then
         raise
@@ -124,12 +128,15 @@ let check st ptr width b =
 
 (* Escape check establishing the in-bounds invariant (Table 1, §4.2):
    a pointer leaving the function must point into its witness's object. *)
-let invariant_check st ptr b =
+let invariant_check ?(site = -1) st ptr b =
   State.charge st st.State.cost.Cost.lf_check;
   State.bump st "lf.inv_checks";
   match alloc_size b with
-  | None -> State.bump st "lf.inv_checks_wide"
+  | None ->
+      State.bump st "lf.inv_checks_wide";
+      State.site_hit st site ~wide:true ~cycles:st.State.cost.Cost.lf_check
   | Some size ->
+      State.site_hit st site ~wide:false ~cycles:st.State.cost.Cost.lf_check;
       let off = ptr - b in
       if off < 0 || off > size - 1 then
         raise
@@ -169,14 +176,22 @@ let install ?(stack_protection = true) (st : State.t) : t =
       State.bump st "lf.base_recompute";
       Some (State.I (base (State.as_int args.(0)))));
   State.register_builtin st Mi_mir.Intrinsics.lf_check (fun st args ->
-      check st
+      (* the optional 4th argument is the instrumentation site id *)
+      let site =
+        if Array.length args > 3 then State.as_int args.(3) else -1
+      in
+      check ~site st
         (State.as_int args.(0))
         (State.as_int args.(1))
         (State.as_int args.(2));
       None);
   State.register_builtin st Mi_mir.Intrinsics.lf_invariant_check
     (fun st args ->
-      invariant_check st (State.as_int args.(0)) (State.as_int args.(1));
+      let site =
+        if Array.length args > 2 then State.as_int args.(2) else -1
+      in
+      invariant_check ~site st (State.as_int args.(0))
+        (State.as_int args.(1));
       None);
   if stack_protection then begin
     State.register_builtin st Mi_mir.Intrinsics.lf_alloca (fun st args ->

@@ -1,0 +1,283 @@
+(** Minimal JSON tree, deterministic serializer, and parser.
+
+    The observability layer emits machine-readable reports (metrics
+    snapshots, Chrome traces, experiment series) and the CI check
+    re-parses them, so both directions live here with no external
+    dependency.  Serialization is deterministic: object fields are
+    emitted in the order given (callers sort where determinism across
+    runs matters), and floats always use the same shortest round-trip
+    format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- serialization -------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* shortest representation that round-trips a double *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write b (v : t) =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || Float.is_integer f = false && Float.abs f = infinity
+      then Buffer.add_string b "null"
+      else if Float.abs f = infinity then Buffer.add_string b "null"
+      else Buffer.add_string b (float_repr f)
+  | Str s -> escape_string b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          write b x)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* --- parsing -------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let parse_literal c lit value =
+  if
+    c.pos + String.length lit <= String.length c.s
+    && String.sub c.s c.pos (String.length lit) = lit
+  then begin
+    c.pos <- c.pos + String.length lit;
+    value
+  end
+  else fail c ("expected " ^ lit)
+
+let parse_string_raw c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char b '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char b '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.s then fail c "bad \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape"
+            in
+            c.pos <- c.pos + 4;
+            (* encode as UTF-8 *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  (* reject non-JSON number shapes int_of_string would accept: leading
+     zeros ("01"), explicit plus, hex/underscores *)
+  let digits = match text with
+    | "" -> ""
+    | _ when text.[0] = '-' -> String.sub text 1 (String.length text - 1)
+    | _ -> text
+  in
+  let plain_int =
+    digits <> ""
+    && String.for_all (fun ch -> ch >= '0' && ch <= '9') digits
+    && (String.length digits = 1 || digits.[0] <> '0')
+  in
+  if plain_int then
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail c ("bad number " ^ text)
+  else if
+    digits <> ""
+    && String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') text
+    && (not (String.contains text 'x'))
+    && digits.[0] >= '0'
+    && digits.[0] <= '9'
+    && (digits.[0] <> '0' || String.length digits = 1 || digits.[1] = '.'
+        || digits.[1] = 'e' || digits.[1] = 'E')
+  then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c ("bad number " ^ text)
+  else fail c ("bad number " ^ text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> parse_literal c "null" Null
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string_raw c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          items := parse_value c :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              go ()
+          | Some ']' -> advance c
+          | _ -> fail c "expected ',' or ']'"
+        in
+        go ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec go () =
+          skip_ws c;
+          let k = parse_string_raw c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              go ()
+          | Some '}' -> advance c
+          | _ -> fail c "expected ',' or '}'"
+        in
+        go ();
+        Obj (List.rev !fields)
+      end
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* --- accessors (for tests and report validation) --------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None

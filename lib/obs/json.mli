@@ -1,0 +1,29 @@
+(** Minimal JSON tree with a deterministic serializer and a strict
+    parser.  Used for metrics snapshots, Chrome traces and the
+    machine-readable experiment reports; the CI check re-parses every
+    emitted document through {!of_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization.  Deterministic: fields are emitted in the
+    given order and floats use a fixed round-trip format; NaN and
+    infinities serialize as [null]. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parse of a complete document; raises {!Parse_error} on
+    malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value of field [k], if any. *)
+
+val to_list : t -> t list option

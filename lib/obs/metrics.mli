@@ -1,0 +1,50 @@
+(** Metrics registry: counters, gauges and histograms in one namespace
+    with deterministic (sorted, byte-stable) serialization.
+
+    Static instrumentation statistics and dynamic VM statistics both
+    land here — see {!Mi_vm.State} and {!Mi_core.Instrument}. *)
+
+type t
+
+val create : unit -> t
+
+val labeled : string -> (string * string) list -> string
+(** Canonical labeled-metric name: [name{k1="v1",k2="v2"}] with the
+    label keys sorted. *)
+
+(** {2 Counters} — monotonically increasing. *)
+
+val incr : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+
+val counters_alist : t -> (string * int) list
+(** All counters, sorted by name.  This is the only order the registry
+    exposes; hash-table iteration order never leaks. *)
+
+(** {2 Gauges} — last-write-wins values (e.g. [vm.cycles]). *)
+
+val set_gauge : t -> string -> int -> unit
+val gauge : t -> string -> int
+val gauges_alist : t -> (string * int) list
+
+(** {2 Histograms} — power-of-two buckets, deterministic. *)
+
+val observe : t -> string -> int -> unit
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+      (** (exclusive power-of-two upper bound, count), non-empty only *)
+}
+
+val histogram : t -> string -> histogram_snapshot option
+val histograms_alist : t -> (string * histogram_snapshot) list
+
+(** {2 Serialization} *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+(** Byte-identical across identical runs. *)

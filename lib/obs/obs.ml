@@ -1,0 +1,16 @@
+(** The observability context: one span tracer, one metrics registry
+    and one check-site registry, created per compile-and-run and
+    threaded through compile -> optimize -> instrument -> execute.
+
+    The harness creates one automatically when the caller does not care
+    (so every {!Mi_bench_kit.Harness.run} carries a profile); the
+    binaries create one explicitly to export traces and profiles. *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  sites : Site.t;
+}
+
+let create () =
+  { trace = Trace.create (); metrics = Metrics.create (); sites = Site.create () }

@@ -1,0 +1,130 @@
+(** Span tracer with Chrome [trace_event] JSON export.
+
+    Spans nest (compile > pipeline > pass) and carry key/value arguments
+    such as per-pass instruction-count deltas.  Timestamps come from
+    {!Sys.time} (processor time, the only clock the stdlib offers) and
+    are reported in microseconds; the arguments — not the timestamps —
+    are the deterministic part of a trace.
+
+    The resulting file loads in [chrome://tracing] / Perfetto: complete
+    events ([ph = "X"]) with [ts]/[dur] in microseconds. *)
+
+type arg = Aint of int | Astr of string | Aflt of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : float;  (** microseconds *)
+  ev_dur : float;  (** microseconds *)
+  ev_args : (string * arg) list;
+}
+
+type open_span = {
+  os_name : string;
+  os_cat : string;
+  os_start : float;
+  os_args : (string * arg) list;
+}
+
+type t = {
+  mutable events : event list;  (** completed, most recent first *)
+  mutable stack : open_span list;
+  epoch : float;
+}
+
+let now_us t = (Sys.time () -. t.epoch) *. 1e6
+
+let create () = { events = []; stack = []; epoch = Sys.time () }
+
+let depth t = List.length t.stack
+
+let balanced t = t.stack = []
+
+let begin_span ?(cat = "phase") ?(args = []) t name =
+  t.stack <-
+    { os_name = name; os_cat = cat; os_start = now_us t; os_args = args }
+    :: t.stack
+
+(** Close the innermost open span.  [name] must match the span being
+    closed — a mismatch means begin/end calls are unbalanced and raises.
+    [args] are appended to the arguments given at [begin_span]. *)
+let end_span ?(args = []) t name =
+  match t.stack with
+  | [] -> invalid_arg (Printf.sprintf "end_span %S: no open span" name)
+  | os :: rest ->
+      if os.os_name <> name then
+        invalid_arg
+          (Printf.sprintf "end_span %S: innermost open span is %S" name
+             os.os_name);
+      t.stack <- rest;
+      let ts = os.os_start in
+      t.events <-
+        {
+          ev_name = os.os_name;
+          ev_cat = os.os_cat;
+          ev_ts = ts;
+          ev_dur = Float.max 0.0 (now_us t -. ts);
+          ev_args = os.os_args @ args;
+        }
+        :: t.events
+
+(** Run [f] inside a span; the span closes even if [f] raises. *)
+let with_span ?cat ?args t name f =
+  begin_span ?cat ?args t name;
+  match f () with
+  | v ->
+      end_span t name;
+      v
+  | exception e ->
+      end_span t name;
+      raise e
+
+(** An instantaneous event (zero duration). *)
+let instant ?(cat = "mark") ?(args = []) t name =
+  let ts = now_us t in
+  t.events <-
+    { ev_name = name; ev_cat = cat; ev_ts = ts; ev_dur = 0.0; ev_args = args }
+    :: t.events
+
+let event_count t = List.length t.events
+
+(* --- export --------------------------------------------------------- *)
+
+let arg_to_json = function
+  | Aint i -> Json.Int i
+  | Astr s -> Json.Str s
+  | Aflt f -> Json.Float f
+
+let event_to_json (e : event) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str e.ev_name);
+      ("cat", Json.Str e.ev_cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float e.ev_ts);
+      ("dur", Json.Float e.ev_dur);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) e.ev_args));
+    ]
+
+(** Chrome trace-event document: events in chronological (start) order.
+    Open spans are not exported — close them first. *)
+let to_json t : Json.t =
+  let evs = List.rev t.events in
+  let evs =
+    List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) evs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,44 @@
+(** Span tracer with Chrome [trace_event] JSON export.
+
+    Spans nest (benchmark > pipeline > pass) and carry key/value
+    arguments such as per-pass instruction-count deltas.  [to_json]
+    produces a document loadable in [chrome://tracing] / Perfetto. *)
+
+type arg = Aint of int | Astr of string | Aflt of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : float;  (** microseconds since tracer creation *)
+  ev_dur : float;  (** microseconds *)
+  ev_args : (string * arg) list;
+}
+
+type t
+
+val create : unit -> t
+
+val begin_span : ?cat:string -> ?args:(string * arg) list -> t -> string -> unit
+
+val end_span : ?args:(string * arg) list -> t -> string -> unit
+(** Close the innermost open span; raises [Invalid_argument] if [name]
+    does not match it (unbalanced begin/end).  [args] are appended to
+    the span's arguments. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * arg) list -> t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span closes even on exceptions. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> t -> string -> unit
+
+val depth : t -> int
+(** Number of currently open spans. *)
+
+val balanced : t -> bool
+(** No open spans remain. *)
+
+val event_count : t -> int
+
+val to_json : t -> Json.t
+val to_string : t -> string
+val write_file : t -> string -> unit

@@ -22,16 +22,49 @@ let func_pass name (run_func : Func.t -> bool) : t =
 
 let run_one (p : t) (m : Irmod.t) : bool = p.run m
 
+(* With a tracer, each pass runs under its own span carrying the
+   instruction-count delta it caused. *)
+let traced_run tracer (p : t) (m : Irmod.t) : bool =
+  match tracer with
+  | None -> p.run m
+  | Some tr ->
+      let before = Irmod.instr_count m in
+      Mi_obs.Trace.begin_span tr ~cat:"pass"
+        ~args:[ ("instrs_before", Mi_obs.Trace.Aint before) ]
+        p.name;
+      let finish changed =
+        let after = Irmod.instr_count m in
+        Mi_obs.Trace.end_span tr
+          ~args:
+            [
+              ("instrs_after", Mi_obs.Trace.Aint after);
+              ("instrs_delta", Mi_obs.Trace.Aint (after - before));
+              ("changed", Mi_obs.Trace.Astr (string_of_bool changed));
+            ]
+          p.name
+      in
+      let changed =
+        try p.run m
+        with e ->
+          finish true;
+          raise e
+      in
+      finish changed;
+      changed
+
 (** Run [passes] in order once; true if any changed the module. *)
-let run_list (passes : t list) (m : Irmod.t) : bool =
-  List.fold_left (fun changed p -> p.run m || changed) false passes
+let run_list ?tracer (passes : t list) (m : Irmod.t) : bool =
+  List.fold_left
+    (fun changed p -> traced_run tracer p m || changed)
+    false passes
 
 (** Iterate [passes] until no pass changes the module, at most
     [max_rounds] times. *)
-let run_fixpoint ?(max_rounds = 4) (passes : t list) (m : Irmod.t) : bool =
+let run_fixpoint ?tracer ?(max_rounds = 4) (passes : t list) (m : Irmod.t) :
+    bool =
   let changed_any = ref false in
   let rec go n =
-    if n < max_rounds && run_list passes m then begin
+    if n < max_rounds && run_list ?tracer passes m then begin
       changed_any := true;
       go (n + 1)
     end

@@ -63,32 +63,59 @@ type level = O0 | O1 | O3
 
 (** Run the pipeline at [level] on [m], invoking [instrument] (if any) at
     extension point [ep].  Instrumentation-inserted code is subject to all
-    passes that run after its extension point, exactly as in Fig. 8. *)
-let run ?(level = O3) ?instrument ?(ep = VectorizerStart) (m : Irmod.t) :
-    unit =
+    passes that run after its extension point, exactly as in Fig. 8.  With
+    [tracer], each phase and each pass within it runs under a tracing
+    span ({!Mi_obs.Trace}) carrying instruction-count deltas. *)
+let run ?(level = O3) ?instrument ?(ep = VectorizerStart) ?tracer
+    (m : Irmod.t) : unit =
   let maybe_instrument p =
     match instrument with
-    | Some f when p = ep -> f m
+    | Some f when p = ep ->
+        (match tracer with
+        | None -> ()
+        | Some tr ->
+            Mi_obs.Trace.instant tr ~cat:"pipeline"
+              ~args:[ ("ep", Mi_obs.Trace.Astr (ep_name p)) ]
+              "extension-point");
+        f m
     | _ -> ()
+  in
+  let phase name body =
+    match tracer with
+    | None -> body ()
+    | Some tr ->
+        Mi_obs.Trace.with_span tr ~cat:"phase"
+          ~args:[ ("instrs", Mi_obs.Trace.Aint (Irmod.instr_count m)) ]
+          name body
   in
   (match level with
   | O0 ->
       (* clang -O0 performs no optimization; all EPs coincide *)
       ()
   | O1 ->
-      ignore (Pass.run_list canonicalize m);
+      phase "canonicalize" (fun () ->
+          ignore (Pass.run_list ?tracer canonicalize m));
       maybe_instrument ModuleOptimizerEarly;
-      ignore (Pass.run_list [ Instcombine.pass; Dce.pass; Simplifycfg.pass ] m);
+      phase "scalar-opts" (fun () ->
+          ignore
+            (Pass.run_list ?tracer
+               [ Instcombine.pass; Dce.pass; Simplifycfg.pass ]
+               m));
       maybe_instrument ScalarOptimizerLate;
       maybe_instrument VectorizerStart;
-      ignore (Pass.run_list late_cleanup m)
+      phase "late-cleanup" (fun () ->
+          ignore (Pass.run_list ?tracer late_cleanup m))
   | O3 ->
-      ignore (Pass.run_list canonicalize m);
+      phase "canonicalize" (fun () ->
+          ignore (Pass.run_list ?tracer canonicalize m));
       maybe_instrument ModuleOptimizerEarly;
-      ignore (Pass.run_fixpoint ~max_rounds:2 scalar_opts m);
+      phase "scalar-opts" (fun () ->
+          ignore (Pass.run_fixpoint ?tracer ~max_rounds:2 scalar_opts m));
       maybe_instrument ScalarOptimizerLate;
-      ignore (Pass.run_list late_scalar m);
+      phase "late-scalar" (fun () ->
+          ignore (Pass.run_list ?tracer late_scalar m));
       maybe_instrument VectorizerStart;
-      ignore (Pass.run_list late_cleanup m));
+      phase "late-cleanup" (fun () ->
+          ignore (Pass.run_list ?tracer late_cleanup m)));
   if level = O0 then
     match instrument with Some f -> f m | None -> ()

@@ -34,10 +34,16 @@ val run :
   ?level:level ->
   ?instrument:(Irmod.t -> unit) ->
   ?ep:extension_point ->
+  ?tracer:Mi_obs.Trace.t ->
   Irmod.t ->
   unit
 (** Optimize [m] in place at [level] (default [O3]), invoking
     [instrument] at extension point [ep] (default [VectorizerStart]).
     Instrumentation-inserted code is subject to every pass that runs
     after its extension point.  At [O0] the instrumentation runs on the
-    unoptimized module (all extension points coincide). *)
+    unoptimized module (all extension points coincide).
+
+    With [tracer], every pipeline phase and every pass within it is
+    wrapped in a {!Mi_obs.Trace} span whose arguments record the
+    instruction-count delta the pass caused, and an instant event marks
+    where the instrumentation extension point fired. *)

@@ -134,10 +134,12 @@ let ss_get_bound t slot =
 
 (* --- check (Figure 2 of the paper) ------------------------------------- *)
 
-let check st ptr width ~base ~bound =
+let check ?(site = -1) st ptr width ~base ~bound =
   State.charge st st.State.cost.Cost.sb_check;
   State.bump st "sb.checks";
-  if bound >= Layout.wide_bound then State.bump st "sb.checks_wide";
+  let wide = bound >= Layout.wide_bound in
+  if wide then State.bump st "sb.checks_wide";
+  State.site_hit st site ~wide ~cycles:st.State.cost.Cost.sb_check;
   if ptr < base || ptr + width > bound then
     raise
       (State.Safety_abort
@@ -212,7 +214,11 @@ let install ?(wrapper_checks = false) (st : State.t) : t =
   in
   let reg = State.register_builtin st in
   reg Intr.sb_check (fun st args ->
-      check st
+      (* the optional 5th argument is the instrumentation site id *)
+      let site =
+        if Array.length args > 4 then State.as_int args.(4) else -1
+      in
+      check ~site st
         (State.as_int args.(0))
         (State.as_int args.(1))
         ~base:(State.as_int args.(2))

@@ -40,10 +40,11 @@ val ss_get_bound : t -> int -> int
 
 (** {1 Check (Figure 2)} *)
 
-val check : State.t -> int -> int -> base:int -> bound:int -> unit
+val check : ?site:int -> State.t -> int -> int -> base:int -> bound:int -> unit
 (** [check st ptr width ~base ~bound] raises {!State.Safety_abort} when
     [ptr < base] or [ptr + width > bound]; counts a wide check when the
-    bound is the wide sentinel. *)
+    bound is the wide sentinel.  [site] attributes the execution to an
+    instrumentation site ({!Mi_obs.Site}). *)
 
 (** {1 Installation} *)
 

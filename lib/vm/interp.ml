@@ -679,6 +679,11 @@ let run ?(entry = "main") (st : State.t) (img : image) : result =
     | Memory.Fault (addr, msg) ->
         Trapped (Printf.sprintf "memory fault at %#x: %s" addr msg)
   in
+  (* fold the execution-level quantities into the metrics namespace so a
+     single serialized registry describes the whole run *)
+  Mi_obs.Metrics.set_gauge st.metrics "vm.cycles" st.cycles;
+  Mi_obs.Metrics.set_gauge st.metrics "vm.steps" st.steps;
+  Mi_obs.Metrics.set_gauge st.metrics "vm.mem_pages" st.mem.Memory.page_count;
   {
     outcome;
     cycles = st.cycles;

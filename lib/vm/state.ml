@@ -1,10 +1,16 @@
 (** Mutable VM state: memory, cycle/step accounting, allocator hooks,
-    statistics counters, and the builtin-function registry.
+    statistics, and the builtin-function registry.
 
     The memory-safety runtimes ({!Mi_lowfat}, {!Mi_softbound}) do not live
     in this library; they attach to a state by registering builtins and
     replacing the allocator hooks.  This keeps the VM generic and lets the
-    harness run the same program under different runtime configurations. *)
+    harness run the same program under different runtime configurations.
+
+    Runtime statistics live in a {!Mi_obs.Metrics} registry (counters,
+    gauges, histograms — one namespace shared with the instrumenter's
+    static statistics when the harness passes a common registry), and
+    check executions are attributed to their instrumentation site
+    through a {!Mi_obs.Site} registry. *)
 
 type value = I of int | F of float
 
@@ -27,7 +33,10 @@ type t = {
   mutable steps : int;
   fuel : int;  (** max dynamic instructions before trapping *)
   out : Buffer.t;
-  counters : (string, int ref) Hashtbl.t;
+  metrics : Mi_obs.Metrics.t;
+  sites : Mi_obs.Site.t;
+      (** check-site profile; shared with the instrumenter for per-site
+          attribution, otherwise an empty registry that ignores hits *)
   rng : Mi_support.Rng.t;
   builtins : (string, t -> value array -> value option) Hashtbl.t;
   mutable malloc_hook : t -> int -> int;
@@ -44,17 +53,19 @@ type t = {
 
 let charge t c = t.cycles <- t.cycles + c
 
-let bump ?(by = 1) t key =
-  match Hashtbl.find_opt t.counters key with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters key (ref by)
+let bump ?(by = 1) t key = Mi_obs.Metrics.incr ~by t.metrics key
 
-let counter t key =
-  match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+let counter t key = Mi_obs.Metrics.counter t.metrics key
 
-let counters_alist t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
-  |> List.sort compare
+(** Counters sorted by key — {!Mi_obs.Metrics.counters_alist} is the
+    only order the registry exposes, so reports are deterministic. *)
+let counters_alist t = Mi_obs.Metrics.counters_alist t.metrics
+
+let observe t key v = Mi_obs.Metrics.observe t.metrics key v
+
+(** Attribute one executed check to instrumentation site [id] (a
+    negative or unknown id is ignored). *)
+let site_hit t id ~wide ~cycles = Mi_obs.Site.hit t.sites id ~wide ~cycles
 
 let register_builtin t name fn = Hashtbl.replace t.builtins name fn
 
@@ -71,6 +82,7 @@ let std_malloc t sz =
   if sz < 0 then raise (Trap "malloc with negative size");
   charge t t.cost.Cost.alloc;
   bump t "std.malloc";
+  observe t "alloc.bytes" sz;
   let cls = size_class (max sz 1) in
   let addr =
     match Hashtbl.find_opt t.free_lists cls with
@@ -100,7 +112,12 @@ let std_free t addr =
         | None -> Hashtbl.add t.free_lists cls (ref [ addr ]))
   end
 
-let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42) () =
+let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42)
+    ?metrics ?sites () =
+  let metrics =
+    match metrics with Some m -> m | None -> Mi_obs.Metrics.create ()
+  in
+  let sites = match sites with Some s -> s | None -> Mi_obs.Site.create () in
   let t =
     {
       mem = Memory.create ();
@@ -109,7 +126,8 @@ let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42) () =
       steps = 0;
       fuel;
       out = Buffer.create 256;
-      counters = Hashtbl.create 32;
+      metrics;
+      sites;
       rng = Mi_support.Rng.create seed;
       builtins = Hashtbl.create 64;
       malloc_hook = (fun _ _ -> 0);

@@ -1,0 +1,255 @@
+(* The observability layer: span balance and Chrome-trace export,
+   deterministic metrics serialization, JSON round-trips, and per-site
+   profile attribution on a known program. *)
+
+open Mi_obs
+module Harness = Mi_bench_kit.Harness
+module Bench = Mi_bench_kit.Bench
+module Config = Mi_core.Config
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  Alcotest.(check bool) "fresh tracer balanced" true (Trace.balanced tr);
+  Trace.begin_span tr "outer";
+  Trace.begin_span tr ~cat:"x" "inner";
+  Alcotest.(check int) "two open spans" 2 (Trace.depth tr);
+  Trace.end_span tr "inner";
+  Trace.end_span tr "outer";
+  Alcotest.(check bool) "balanced after close" true (Trace.balanced tr);
+  Alcotest.(check int) "two complete events" 2 (Trace.event_count tr)
+
+let test_span_mismatch_raises () =
+  let tr = Trace.create () in
+  Trace.begin_span tr "a";
+  Alcotest.check_raises "wrong name"
+    (Invalid_argument "end_span \"b\": innermost open span is \"a\"")
+    (fun () -> Trace.end_span tr "b");
+  Trace.end_span tr "a";
+  Alcotest.check_raises "empty stack"
+    (Invalid_argument "end_span \"a\": no open span") (fun () ->
+      Trace.end_span tr "a")
+
+let test_with_span_exception_safe () =
+  let tr = Trace.create () in
+  (try
+     Trace.with_span tr "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "span closed despite exception" true
+    (Trace.balanced tr);
+  Alcotest.(check int) "event recorded" 1 (Trace.event_count tr)
+
+(* A pipeline run must leave a well-formed Chrome trace with at least
+   one span per pass that ran. *)
+let test_trace_json_wellformed () =
+  let obs = Obs.create () in
+  let setup = Harness.with_config Config.softbound Harness.baseline in
+  let _ =
+    Harness.run_sources ~obs setup
+      [ Bench.src "t" "int main(void) { return 0; }" ]
+  in
+  Alcotest.(check bool) "tracer balanced after run" true
+    (Trace.balanced obs.Obs.trace);
+  let doc = Json.of_string (Trace.to_string obs.Obs.trace) in
+  let events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let names =
+    List.filter_map
+      (fun e ->
+        match Json.member "name" e with Some (Json.Str s) -> Some s | _ -> None)
+      events
+  in
+  List.iter
+    (fun pass ->
+      Alcotest.(check bool) ("span for pass " ^ pass) true
+        (List.mem pass names))
+    [ "simplifycfg"; "mem2reg"; "instcombine"; "dce" ];
+  Alcotest.(check bool) "instrument span present" true
+    (List.exists
+       (fun n -> String.length n >= 11 && String.sub n 0 11 = "instrument:")
+       names)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  Metrics.incr m "b";
+  Metrics.incr ~by:2 m "a";
+  Metrics.incr m "b";
+  Metrics.set_gauge m "g" 7;
+  Metrics.observe m "h" 3;
+  Metrics.observe m "h" 100;
+  Alcotest.(check (list (pair string int)))
+    "counters sorted by name"
+    [ ("a", 2); ("b", 2) ]
+    (Metrics.counters_alist m);
+  Alcotest.(check int) "gauge" 7 (Metrics.gauge m "g");
+  match Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "histogram count" 2 h.Metrics.count;
+      Alcotest.(check int) "histogram sum" 103 h.Metrics.sum
+
+let test_labeled_canonical () =
+  Alcotest.(check string)
+    "label keys sorted" "c{a=\"1\",b=\"2\"}"
+    (Metrics.labeled "c" [ ("b", "2"); ("a", "1") ])
+
+(* Two identical benchmark runs must serialize to byte-identical
+   metrics — the determinism contract of the ISSUE. *)
+let bench_for_determinism () =
+  Bench.mk "obs_det" ~suite:Bench.CPU2006 ~descr:"determinism probe"
+    [
+      Bench.src "det"
+        {|
+long *a;
+int main(void) {
+  long i;
+  long s = 0;
+  a = (long *)malloc(32 * sizeof(long));
+  for (i = 0; i < 32; i++) a[i] = i * 3;
+  for (i = 0; i < 32; i++) s += a[i];
+  print_int(s);
+  print_newline();
+  return 0;
+}
+|};
+    ]
+
+let run_once setup =
+  let obs = Obs.create () in
+  let r = Harness.run_benchmark ~obs setup (bench_for_determinism ()) in
+  (r, obs)
+
+let test_metrics_deterministic () =
+  let setup = Harness.with_config Config.softbound Harness.baseline in
+  let _, obs1 = run_once setup in
+  let _, obs2 = run_once setup in
+  let s1 = Metrics.to_string obs1.Obs.metrics in
+  let s2 = Metrics.to_string obs2.Obs.metrics in
+  Alcotest.(check string) "byte-identical metrics" s1 s2;
+  (* and the serialized form itself is valid JSON *)
+  ignore (Json.of_string s1)
+
+let test_state_counters_deterministic () =
+  let _, obs = run_once (Harness.with_config Config.lowfat Harness.baseline) in
+  let alist = Metrics.counters_alist obs.Obs.metrics in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) alist in
+  Alcotest.(check bool) "counters_alist sorted" true (alist = sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Per-site profile                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every executed check carries its site id, so the per-site hit sum
+   must equal the runtime's own check counters exactly. *)
+let test_site_attribution () =
+  let r, _ =
+    run_once (Harness.with_config Config.softbound Harness.baseline)
+  in
+  let hits = Site.total_hits r.Harness.profile in
+  Alcotest.(check bool) "checks executed" true
+    (Harness.counter r "sb.checks" > 0);
+  Alcotest.(check int) "site hits equal sb.checks"
+    (Harness.counter r "sb.checks")
+    hits;
+  List.iter
+    (fun (s : Site.snapshot) ->
+      Alcotest.(check string) "approach recorded" "softbound" s.Site.sn_approach)
+    r.Harness.profile
+
+let test_site_attribution_lowfat () =
+  let r, _ = run_once (Harness.with_config Config.lowfat Harness.baseline) in
+  let hits = Site.total_hits r.Harness.profile in
+  let expected =
+    Harness.counter r "lf.checks" + Harness.counter r "lf.inv_checks"
+  in
+  Alcotest.(check int) "site hits equal lf.checks + lf.inv_checks" expected
+    hits
+
+let test_site_top_ordering () =
+  let r, _ =
+    run_once (Harness.with_config Config.softbound Harness.baseline)
+  in
+  let top = Site.top ~n:5 r.Harness.profile in
+  let cycles = List.map (fun s -> s.Site.sn_cycles) top in
+  Alcotest.(check bool) "top sorted by cycles desc" true
+    (List.sort (fun a b -> compare b a) cycles = cycles);
+  let rendered = Site.render ~n:5 r.Harness.profile in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render mentions hottest function" true
+    (contains rendered "main")
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Float 1.5 ]);
+        ("c", Json.Str "quote \" slash \\ newline \n tab \t");
+        ("d", Json.Obj []);
+        ("neg", Json.Int (-7));
+      ]
+  in
+  Alcotest.(check bool) "round-trip" true (Json.of_string (Json.to_string v) = v)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | _ -> Alcotest.failf "accepted malformed %S" s
+      | exception Json.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "\"unterminated"; "01" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "mismatch raises" `Quick test_span_mismatch_raises;
+          Alcotest.test_case "with_span exception-safe" `Quick
+            test_with_span_exception_safe;
+          Alcotest.test_case "trace JSON well-formed" `Quick
+            test_trace_json_wellformed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "labeled canonical" `Quick test_labeled_canonical;
+          Alcotest.test_case "deterministic serialization" `Quick
+            test_metrics_deterministic;
+          Alcotest.test_case "counters_alist sorted" `Quick
+            test_state_counters_deterministic;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "softbound attribution" `Quick
+            test_site_attribution;
+          Alcotest.test_case "lowfat attribution" `Quick
+            test_site_attribution_lowfat;
+          Alcotest.test_case "top ordering + render" `Quick
+            test_site_top_ordering;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+    ]
