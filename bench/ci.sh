@@ -23,10 +23,12 @@ fi
 
 echo "== experiments --json smoke (470lbm) =="
 out=$(mktemp /tmp/mi-ci-XXXXXX.json)
-trap 'rm -f "$out"' EXIT
+out_j2=$(mktemp /tmp/mi-ci-j2-XXXXXX.json)
+cache=$(mktemp -d /tmp/mi-ci-cache-XXXXXX)
+trap 'rm -rf "$out" "$out_j2" "$cache"' EXIT
 # the binary re-parses its own output before exiting, so a zero status
 # already certifies well-formed JSON; double-check with python3 if present
-dune exec bin/experiments.exe -- --benchmark 470lbm --json "$out" \
+dune exec bin/experiments.exe -- --benchmark 470lbm -j 1 --json "$out" \
     table2 hotchecks >/dev/null
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$out" <<'EOF'
@@ -39,5 +41,14 @@ assert "sb_checks_wide" in labels and "lf_checks_wide" in labels, labels
 print("json validated:", ", ".join(sorted(reports)))
 EOF
 fi
+
+# the parallel session's determinism guarantee: the same experiments at
+# -j 2 (with the on-disk instrumentation cache) must produce the same
+# JSON document byte for byte as the sequential run above
+echo "== experiments determinism (-j 2 vs -j 1) =="
+dune exec bin/experiments.exe -- --benchmark 470lbm -j 2 \
+    --cache-dir "$cache" --json "$out_j2" table2 hotchecks >/dev/null
+cmp "$out" "$out_j2"
+echo "-j 2 output byte-identical to -j 1"
 
 echo "== ci OK =="

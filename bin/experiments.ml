@@ -1,14 +1,23 @@
 (** Regenerate the paper's tables and figures.
 
+    A thin loop over the experiment registry: selected experiments
+    contribute their job matrices, one {!Mi_bench_kit.Harness.t} session
+    runs the deduplicated union across its worker domains (with the
+    instrumentation cache), and each experiment reduces the completed
+    runs to a report.  Output is byte-identical for every [-j] setting.
+
     {v
-    mi-experiments                 # everything
-    mi-experiments fig9 table2    # selected experiments
+    mi-experiments                     # everything, all cores
+    mi-experiments --list              # what's in the registry
+    mi-experiments fig9 table2 -j 2    # selected experiments, 2 workers
     mi-experiments --benchmark 183equake fig9
-    mi-experiments --json out.json table2
+    mi-experiments --all -j 4 --json out.json
+    mi-experiments --cache-dir .micache table2   # persist compiles
     v} *)
 
 open Cmdliner
 module E = Mi_bench_kit.Experiments
+module Harness = Mi_bench_kit.Harness
 module Json = Mi_obs.Json
 
 (* write a report's raw series as CSV: one row per benchmark, one column
@@ -72,44 +81,79 @@ let write_json path (reports : (string * E.report) list) =
       Printf.eprintf "internal error: emitted JSON does not parse: %s\n" msg;
       exit 1
 
-let run_experiments names benchmark_names csv_dir json_path =
-  let benchmarks =
-    match benchmark_names with
-    | [] -> None
-    | names ->
-        Some
-          (List.map
-             (fun n ->
-               match Mi_bench_kit.Suite.find n with
-               | Some b -> b
-               | None ->
-                   Printf.eprintf "unknown benchmark %s (known: %s)\n" n
-                     (String.concat ", " Mi_bench_kit.Suite.names);
-                   exit 2)
-             names)
-  in
-  let names = if names = [] then E.known_names else names in
-  let exit_code = ref 0 in
-  let collected = ref [] in
+let list_experiments () =
   List.iter
-    (fun name ->
-      match E.by_name name with
-      | None ->
-          Printf.eprintf "unknown experiment %s (known: %s)\n" name
-            (String.concat ", " E.known_names);
-          exit_code := 2
-      | Some f ->
-          let report =
-            match benchmarks with
-            | Some bs -> f ~benchmarks:bs ()
-            | None -> f ()
-          in
-          Printf.printf "== %s ==\n%s\n" report.E.title report.E.text;
-          collected := (name, report) :: !collected;
-          Option.iter (fun dir -> write_csv dir name report) csv_dir)
-    names;
-  Option.iter (fun path -> write_json path (List.rev !collected)) json_path;
-  !exit_code
+    (fun (e : E.t) ->
+      let aliases =
+        match e.E.aliases with
+        | [] -> ""
+        | a -> Printf.sprintf " (%s)" (String.concat ", " a)
+      in
+      Printf.printf "%-14s%s %s\n" e.E.name aliases e.E.descr)
+    (E.all ());
+  0
+
+let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
+    all list ocli =
+  if list then list_experiments ()
+  else begin
+    let benchmarks =
+      match benchmark_names with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun n ->
+                 match Mi_bench_kit.Suite.find n with
+                 | Some b -> b
+                 | None ->
+                     Printf.eprintf "unknown benchmark %s (known: %s)\n" n
+                       (String.concat ", " Mi_bench_kit.Suite.names);
+                     exit 2)
+               names)
+    in
+    let names =
+      if all || names = [] then E.known_names () else names
+    in
+    let exit_code = ref 0 in
+    let selected =
+      List.filter_map
+        (fun name ->
+          match E.find name with
+          | Some e -> Some (name, e)
+          | None ->
+              Printf.eprintf "unknown experiment %s (known: %s)\n" name
+                (String.concat ", " (E.known_names ()));
+              exit_code := 2;
+              None)
+        names
+    in
+    let h = Harness.create ~jobs ?cache_dir () in
+    let reports =
+      try E.run_reports ?benchmarks h (List.map snd selected)
+      with Harness.Benchmark_failed (bench, reason) ->
+        Printf.eprintf "mi-experiments: benchmark %s failed: %s\n" bench
+          reason;
+        exit 1
+    in
+    List.iter2
+      (fun (name, _) (_, report) ->
+        Printf.printf "== %s ==\n%s\n" report.E.title report.E.text;
+        Option.iter (fun dir -> write_csv dir name report) csv_dir)
+      selected reports;
+    Option.iter
+      (fun path ->
+        write_json path (List.map2 (fun (n, _) (_, r) -> (n, r)) selected reports))
+      json_path;
+    if ocli.Mi_obs_cli.profile then begin
+      let cs = Harness.cache_stats h in
+      Printf.eprintf
+        "[mi-experiments] jobs=%d instrumentation cache: %d hits, %d misses\n"
+        (Harness.jobs h) cs.Harness.hits cs.Harness.misses
+    end;
+    Mi_obs_cli.finish ~app:"mi-experiments" ocli (Harness.obs h);
+    !exit_code
+  end
 
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
@@ -138,6 +182,38 @@ let json_arg =
            series) as one JSON document; the file is re-parsed before \
            exit so the output is guaranteed well-formed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Mi_bench_kit.Harness.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains sharding the (setup x benchmark) job matrix \
+           (default: the recognized core count).  Reports are \
+           byte-identical for every value.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the instrumentation cache (compiled, instrumented and \
+           optimized modules) in DIR, giving cache hits across runs.")
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:
+          "Run every registered experiment (the default when no \
+           EXPERIMENT is named).")
+
+let list_arg =
+  Arg.(
+    value & flag
+    & info [ "list" ] ~doc:"List the registered experiments and exit.")
+
 let cmd =
   let doc =
     "regenerate the tables and figures of 'Memory Safety Instrumentations \
@@ -145,6 +221,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "mi-experiments" ~doc)
-    Term.(const run_experiments $ names_arg $ bench_arg $ csv_arg $ json_arg)
+    Term.(
+      const run_experiments $ names_arg $ bench_arg $ csv_arg $ json_arg
+      $ jobs_arg $ cache_dir_arg $ all_arg $ list_arg $ Mi_obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

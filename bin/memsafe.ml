@@ -31,7 +31,7 @@ let verdict_string (r : Mi_bench_kit.Harness.run) =
       Printf.sprintf "VIOLATION reported by %s: %s" checker reason
   | Mi_vm.Interp.Trapped msg -> Printf.sprintf "VM trap: %s" msg
 
-let run_file ~profile ~trace file =
+let run_file ~ocli file =
   let code = read_file file in
   let sources = [ Mi_bench_kit.Bench.src (Filename.basename file) code ] in
   (* one observability context across both approaches: counters are
@@ -39,7 +39,6 @@ let run_file ~profile ~trace file =
      compose; the trace then shows both compile+run pipelines *)
   let obs = Mi_obs.Obs.create () in
   let bad = ref false in
-  let last_profile = ref [] in
   List.iter
     (fun (label, approach) ->
       let cfg = Config.of_approach approach in
@@ -54,26 +53,13 @@ let run_file ~profile ~trace file =
       | Mi_vm.Interp.Exited _ -> ()
       | Mi_vm.Interp.Safety_violation _ | Mi_vm.Interp.Trapped _ ->
           bad := true);
-      last_profile := r.profile;
       Printf.printf "%-18s %s\n" (label ^ ":") (verdict_string r);
       if r.output <> "" then
         Printf.printf "%-18s %s\n" "  program output:"
           (String.concat " | " (String.split_on_char '\n' (String.trim r.output))))
     [ ("SoftBound", Config.Softbound); ("Low-Fat Pointers", Config.Lowfat) ];
-  if profile then begin
-    print_newline ();
-    print_string (Mi_obs.Site.render ~n:20 !last_profile)
-  end;
-  (match trace with
-  | Some path -> (
-      try
-        Mi_obs.Trace.write_file obs.Mi_obs.Obs.trace path;
-        Printf.printf "trace written to %s (%d events)\n" path
-          (Mi_obs.Trace.event_count obs.Mi_obs.Obs.trace)
-      with Sys_error msg ->
-        Printf.eprintf "memsafe: cannot write trace: %s\n" msg;
-        exit 2)
-  | None -> ());
+  (* sites carry their approach, so one merged profile covers both *)
+  Mi_obs_cli.finish ~app:"memsafe" ocli obs;
   if !bad then 1 else 0
 
 let run_cases () =
@@ -94,11 +80,11 @@ let run_cases () =
     (Usability.all @ Mi_bench_kit.Excluded.all);
   0
 
-let main file cases profile trace =
+let main file cases ocli =
   if cases then run_cases ()
   else
     match file with
-    | Some f when Sys.file_exists f -> run_file ~profile ~trace f
+    | Some f when Sys.file_exists f -> run_file ~ocli f
     | Some f ->
         Printf.eprintf "memsafe: no such file %s\n" f;
         2
@@ -114,23 +100,6 @@ let cases_arg =
     & info [ "cases" ]
         ~doc:"replay the paper's §4 usability case studies instead")
 
-let profile_arg =
-  Arg.(
-    value & flag
-    & info [ "profile" ]
-        ~doc:
-          "print the top-20 hottest instrumentation sites (hits, wide \
-           hits, modeled check cycles) after the verdicts")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE.json"
-        ~doc:
-          "write a Chrome trace_event JSON of the compile and execute \
-           spans (load in chrome://tracing or Perfetto)")
-
 let cmd =
   Cmd.v
     (Cmd.info "memsafe"
@@ -139,6 +108,6 @@ let cmd =
          (Cmd.Exit.info 0 ~doc:"ran to completion under both approaches"
          :: Cmd.Exit.info 1 ~doc:"a safety violation or VM trap was reported"
          :: Cmd.Exit.defaults))
-    Term.(const main $ file_arg $ cases_arg $ profile_arg $ trace_arg)
+    Term.(const main $ file_arg $ cases_arg $ Mi_obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -31,7 +31,7 @@ let ep_of_string = function
   | _ -> None
 
 let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
-    profile trace =
+    ocli =
   let level =
     match level_of_string level_s with
     | Some l -> l
@@ -74,17 +74,7 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
           ds
   end;
   let obs = Mi_obs.Obs.create () in
-  let finish_obs () =
-    if profile then
-      prerr_string
-        (Mi_obs.Site.render ~n:20 (Mi_obs.Site.snapshot obs.Mi_obs.Obs.sites));
-    match trace with
-    | Some path ->
-        Mi_obs.Trace.write_file obs.Mi_obs.Obs.trace path;
-        Printf.eprintf "[mic] trace written to %s (%d events)\n" path
-          (Mi_obs.Trace.event_count obs.Mi_obs.Obs.trace)
-    | None -> ()
-  in
+  let finish_obs () = Mi_obs_cli.finish ~app:"mic" ocli obs in
   let instrument =
     Option.map
       (fun cfg m -> ignore (Mi_core.Instrument.run ~obs cfg m))
@@ -181,28 +171,11 @@ let diagnose_arg =
            pointers stored as integers, size-zero extern arrays, \
            oversized allocations, byte-wise copy loops (§4.7)")
 
-let profile_arg =
-  Arg.(
-    value & flag
-    & info [ "profile" ]
-        ~doc:
-          "print the top-20 hottest instrumentation sites (hits, wide \
-           hits, modeled check cycles) to stderr after execution")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE.json"
-        ~doc:
-          "write a Chrome trace_event JSON covering the pipeline passes \
-           and execution")
-
 let cmd =
   Cmd.v
     (Cmd.info "mic" ~doc:"MiniC compiler with memory-safety instrumentation")
     Term.(
       const run_mic $ file_arg $ level_arg $ instr_arg $ ep_arg $ emit_arg
-      $ norun_arg $ i64_arg $ diagnose_arg $ profile_arg $ trace_arg)
+      $ norun_arg $ i64_arg $ diagnose_arg $ Mi_obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

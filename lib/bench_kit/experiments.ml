@@ -1,41 +1,22 @@
-(** The paper's evaluation, experiment by experiment.
+(** The paper's evaluation as a self-registering experiment registry.
 
-    Every public function regenerates one table or figure of the paper and
-    returns the rendered text plus the raw series, so both the
-    [experiments] binary and the Bechamel harness can reuse them.  Where
-    the paper states reference values, they are printed side by side
-    (columns suffixed [(paper)]). *)
+    An {!t} declares a [name], a [descr]iption, the (setup x benchmark)
+    [jobs] it needs, and a [reduce] that renders a {!report} from the
+    completed runs.  The generic driver ({!run_reports}) gathers the
+    jobs of every selected experiment, deduplicates them, shards them
+    across a {!Harness.t} session's worker domains, and only then runs
+    each [reduce] — so every experiment is parallel (and shares runs
+    with its siblings, e.g. the baseline runs of Figures 9-13) for free,
+    and adding an experiment is ~20 lines: build setups, list jobs,
+    fold the runs into a table.
+
+    Where the paper states reference values, reduces print them side by
+    side (columns suffixed [(paper)]). *)
 
 module Config = Mi_core.Config
 module Pipeline = Mi_passes.Pipeline
 module Table = Mi_support.Table
 module Util = Mi_support.Util
-
-(* ------------------------------------------------------------------ *)
-(* Shared run cache                                                    *)
-(* ------------------------------------------------------------------ *)
-
-(* Experiments share runs (e.g. Table 2 reuses Figure 9's SB/LF full
-   runs); cache them per (benchmark, setup) within a process. *)
-
-let cache : (string, Harness.run) Hashtbl.t = Hashtbl.create 64
-
-let setup_key (s : Harness.setup) =
-  Printf.sprintf "%s/%s/%s/%b"
-    (match s.config with None -> "base" | Some c -> Config.to_string c)
-    (match s.level with Pipeline.O0 -> "O0" | O1 -> "O1" | O3 -> "O3")
-    (Pipeline.ep_name s.ep) s.lowering.Mi_minic.Lower.ptr_mem_as_i64
-
-let run (setup : Harness.setup) (b : Bench.t) : Harness.run =
-  let key = b.name ^ "@" ^ setup_key setup in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-      let r = Harness.run_benchmark_exn setup b in
-      Hashtbl.add cache key r;
-      r
-
-let clear_cache () = Hashtbl.reset cache
 
 (* The paper's measured configurations (§5.2): both approaches with the
    dominance optimization, inserted at VectorizerStart. *)
@@ -55,10 +36,93 @@ type series = { label : string; points : (string * float) list }
 type report = { title : string; text : string; series : series list }
 
 (* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type lookup = Harness.setup -> Bench.t -> Harness.run
+(** Fetch one completed run by its job.  Inside {!run_reports} this is a
+    table lookup into the already-executed job matrix (falling back to
+    an on-demand run for jobs an experiment did not declare); it raises
+    {!Harness.Benchmark_failed} when the job's compile phase failed. *)
+
+type t = {
+  name : string;
+  aliases : string list;
+  descr : string;
+  jobs : Bench.t list -> (Harness.setup * Bench.t) list;
+      (** every run the reduce will look up *)
+  reduce : lookup -> Bench.t list -> report;
+}
+
+let registry : t list ref = ref []
+
+let register (e : t) =
+  if List.exists (fun x -> x.name = e.name) !registry then
+    invalid_arg ("Experiments.register: duplicate " ^ e.name);
+  registry := e :: !registry
+
+let all () = List.rev !registry
+
+let find name =
+  let n = String.lowercase_ascii name in
+  List.find_opt (fun e -> e.name = n || List.mem n e.aliases) (all ())
+
+let known_names () = List.map (fun e -> e.name) (all ())
+
+(** Wrap a lookup with the strict contract: raise
+    {!Harness.Benchmark_failed} unless the run exited normally and
+    matched its expected output.  Experiments that measure healthy runs
+    (every figure/table) use this; ablations that expect violations use
+    the plain lookup. *)
+let strict (lookup : lookup) : lookup =
+ fun setup b ->
+  match Harness.check_run b (lookup setup b) with
+  | Ok r -> r
+  | Error e -> raise (Harness.Benchmark_failed (e.Harness.bench, e.Harness.reason))
+
+(** The generic driver loop: gather every experiment's jobs, run the
+    deduplicated matrix through the session ({!Harness.run_jobs}), then
+    reduce sequentially.  Because the matrix is shared, experiments
+    reuse each other's runs (one baseline run serves Figures 9-13), and
+    because reduces see a completed table, report output is independent
+    of the session's [jobs] setting. *)
+let run_reports ?(benchmarks = Suite.all) (h : Harness.t) (exps : t list) :
+    (string * report) list =
+  let jobs = List.concat_map (fun e -> e.jobs benchmarks) exps in
+  let results = Harness.run_jobs h jobs in
+  let table = Hashtbl.create 256 in
+  List.iter2
+    (fun (s, (b : Bench.t)) r ->
+      Hashtbl.replace table (Harness.setup_key s, b.name) r)
+    jobs results;
+  let lookup setup (b : Bench.t) =
+    let res =
+      match Hashtbl.find_opt table (Harness.setup_key setup, b.name) with
+      | Some r -> r
+      | None ->
+          (* a reduce asked for an undeclared job: run it now, memoized *)
+          let r = Harness.run h setup b in
+          Hashtbl.replace table (Harness.setup_key setup, b.name) r;
+          r
+    in
+    match res with
+    | Ok r -> r
+    | Error e ->
+        raise (Harness.Benchmark_failed (e.Harness.bench, e.Harness.reason))
+  in
+  List.map (fun e -> (e.name, e.reduce lookup benchmarks)) exps
+
+(* ------------------------------------------------------------------ *)
 (* Figure 9: execution-time comparison                                 *)
 (* ------------------------------------------------------------------ *)
 
-let fig9 ?(benchmarks = Suite.all) () : report =
+let fig9_jobs benchmarks =
+  List.concat_map
+    (fun b -> [ (Harness.baseline, b); (sb_opt, b); (lf_opt, b) ])
+    benchmarks
+
+let fig9_reduce lookup benchmarks : report =
+  let run = strict lookup in
   let tbl =
     Table.create
       ~aligns:[ Table.Left; Right; Right; Right ]
@@ -103,16 +167,25 @@ let fig9 ?(benchmarks = Suite.all) () : report =
 (* Figures 10/11: optimized vs unoptimized vs metadata-only            *)
 (* ------------------------------------------------------------------ *)
 
-let fig_opt_variants ~title ~(approach : Config.approach)
-    ?(benchmarks = Suite.all) () : report =
+let opt_variant_setups (approach : Config.approach) =
   let base_cfg = Config.of_approach approach in
-  let setups =
-    [
-      ("optimized", Harness.with_config (Config.optimized base_cfg) Harness.baseline);
-      ("unoptimized", Harness.with_config base_cfg Harness.baseline);
-      ("metadata", Harness.with_config (Config.metadata_only base_cfg) Harness.baseline);
-    ]
-  in
+  [
+    ("optimized", Harness.with_config (Config.optimized base_cfg) Harness.baseline);
+    ("unoptimized", Harness.with_config base_cfg Harness.baseline);
+    ("metadata", Harness.with_config (Config.metadata_only base_cfg) Harness.baseline);
+  ]
+
+let fig_opt_variants_jobs ~approach benchmarks =
+  let setups = opt_variant_setups approach in
+  List.concat_map
+    (fun b ->
+      (Harness.baseline, b) :: List.map (fun (_, s) -> (s, b)) setups)
+    benchmarks
+
+let fig_opt_variants_reduce ~title ~(approach : Config.approach) lookup
+    benchmarks : report =
+  let run = strict lookup in
+  let setups = opt_variant_setups approach in
   let tbl =
     Table.create
       ~aligns:[ Table.Left; Right; Right; Right ]
@@ -144,27 +217,34 @@ let fig_opt_variants ~title ~(approach : Config.approach)
       List.map (fun (l, _) -> { label = l; points = List.rev !(List.assoc l pts) }) setups;
   }
 
-let fig10 ?benchmarks () =
-  fig_opt_variants
-    ~title:
-      "Figure 10: SoftBound — optimized / unoptimized / metadata-only \
-       overhead (normalized to -O3)"
-    ~approach:Config.Softbound ?benchmarks ()
+let fig10_title =
+  "Figure 10: SoftBound — optimized / unoptimized / metadata-only \
+   overhead (normalized to -O3)"
 
-let fig11 ?benchmarks () =
-  fig_opt_variants
-    ~title:
-      "Figure 11: Low-Fat Pointers — optimized / unoptimized / \
-       metadata-only overhead (normalized to -O3)"
-    ~approach:Config.Lowfat ?benchmarks ()
+let fig11_title =
+  "Figure 11: Low-Fat Pointers — optimized / unoptimized / \
+   metadata-only overhead (normalized to -O3)"
 
 (* ------------------------------------------------------------------ *)
 (* Figures 12/13: extension points                                     *)
 (* ------------------------------------------------------------------ *)
 
-let fig_eps ~title ~(approach : Config.approach) ?(benchmarks = Suite.all) ()
-    : report =
+let ep_setup (approach : Config.approach) ep =
   let cfg = Config.optimized (Config.of_approach approach) in
+  { (Harness.with_config cfg Harness.baseline) with ep }
+
+let fig_eps_jobs ~approach benchmarks =
+  List.concat_map
+    (fun b ->
+      (Harness.baseline, b)
+      :: List.map
+           (fun ep -> (ep_setup approach ep, b))
+           Pipeline.all_extension_points)
+    benchmarks
+
+let fig_eps_reduce ~title ~(approach : Config.approach) lookup benchmarks :
+    report =
+  let run = strict lookup in
   let eps = Pipeline.all_extension_points in
   let tbl =
     Table.create
@@ -179,8 +259,7 @@ let fig_eps ~title ~(approach : Config.approach) ?(benchmarks = Suite.all) ()
       let cells =
         List.map
           (fun ep ->
-            let setup = { (Harness.with_config cfg Harness.baseline) with ep } in
-            let o = Harness.overhead ~baseline:base (run setup b) in
+            let o = Harness.overhead ~baseline:base (run (ep_setup approach ep) b) in
             (List.assoc ep acc) := o :: !(List.assoc ep acc);
             (List.assoc ep pts) := (b.name, o) :: !(List.assoc ep pts);
             fmt_x o)
@@ -201,19 +280,13 @@ let fig_eps ~title ~(approach : Config.approach) ?(benchmarks = Suite.all) ()
         eps;
   }
 
-let fig12 ?benchmarks () =
-  fig_eps
-    ~title:
-      "Figure 12: Impact of Compiler Pipeline Extension Points on \
-       SoftBound (normalized to -O3)"
-    ~approach:Config.Softbound ?benchmarks ()
+let fig12_title =
+  "Figure 12: Impact of Compiler Pipeline Extension Points on \
+   SoftBound (normalized to -O3)"
 
-let fig13 ?benchmarks () =
-  fig_eps
-    ~title:
-      "Figure 13: Impact of Compiler Pipeline Extension Points on \
-       Low-Fat Pointers (normalized to -O3)"
-    ~approach:Config.Lowfat ?benchmarks ()
+let fig13_title =
+  "Figure 13: Impact of Compiler Pipeline Extension Points on \
+   Low-Fat Pointers (normalized to -O3)"
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: unsafe (wide-bounds) dereferences                          *)
@@ -232,7 +305,11 @@ let star fraction wide_count =
   if wide_count = 0 then Printf.sprintf "%s*" (fmt_pct fraction)
   else fmt_pct fraction
 
-let table2 ?(benchmarks = Suite.all) () : report =
+let table2_jobs benchmarks =
+  List.concat_map (fun b -> [ (sb_full, b); (lf_full, b) ]) benchmarks
+
+let table2_reduce lookup benchmarks : report =
+  let run = strict lookup in
   let tbl =
     Table.create
       ~aligns:[ Table.Left; Right; Right; Right; Right ]
@@ -303,7 +380,10 @@ let table2 ?(benchmarks = Suite.all) () : report =
 (* §5.3: checks removed by the dominance optimization                  *)
 (* ------------------------------------------------------------------ *)
 
-let optstats ?(benchmarks = Suite.all) () : report =
+let optstats_jobs benchmarks = List.map (fun b -> (sb_opt, b)) benchmarks
+
+let optstats_reduce lookup benchmarks : report =
+  let run = strict lookup in
   let tbl =
     Table.create
       ~aligns:[ Table.Left; Right; Right; Right ]
@@ -395,24 +475,33 @@ let table1 () : report =
   }
 
 (* ------------------------------------------------------------------ *)
-
-(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out                   *)
 (* ------------------------------------------------------------------ *)
 
 (* Low-Fat protection scope: the stack [Duck & Yap NDSS'17] and global
    [arXiv'18] extensions cost little runtime but carry the coverage —
    disabling them floods the wide-bounds statistics. *)
-let ablation_lf ?(benchmarks = Suite.all) () : report =
-  let variants =
-    [
-      ("full", Config.lowfat);
-      ("no-stack", { Config.lowfat with lf_stack = false });
-      ("no-globals", { Config.lowfat with lf_globals = false });
-      ( "heap-only",
-        { Config.lowfat with lf_stack = false; lf_globals = false } );
-    ]
-  in
+let lf_scope_variants =
+  [
+    ("full", Config.lowfat);
+    ("no-stack", { Config.lowfat with lf_stack = false });
+    ("no-globals", { Config.lowfat with lf_globals = false });
+    ( "heap-only",
+      { Config.lowfat with lf_stack = false; lf_globals = false } );
+  ]
+
+let ablation_lf_jobs benchmarks =
+  List.concat_map
+    (fun b ->
+      (Harness.baseline, b)
+      :: List.map
+           (fun (_, cfg) -> (Harness.with_config cfg Harness.baseline, b))
+           lf_scope_variants)
+    benchmarks
+
+let ablation_lf_reduce lookup benchmarks : report =
+  let run = strict lookup in
+  let variants = lf_scope_variants in
   let tbl =
     Table.create
       ~aligns:[ Table.Left; Right; Right; Right; Right; Right; Right; Right; Right ]
@@ -452,8 +541,21 @@ let ablation_lf ?(benchmarks = Suite.all) () : report =
    bounds keep the programs running but unprotected; null bounds reject
    the first access — the "likely resulting in spurious violation
    reports" alternative. *)
-let ablation_sb_sizezero ?(benchmarks = Suite.all) () : report =
-  let sz0 = List.filter (fun (b : Bench.t) -> b.size_zero_arrays) benchmarks in
+let sb_sz0_null =
+  Harness.with_config
+    { Config.softbound with sb_size_zero_wide_upper = false }
+    Harness.baseline
+
+let sz0_benchmarks benchmarks =
+  List.filter (fun (b : Bench.t) -> b.Bench.size_zero_arrays) benchmarks
+
+let ablation_sz0_jobs benchmarks =
+  List.concat_map
+    (fun b -> [ (sb_full, b); (sb_sz0_null, b) ])
+    (sz0_benchmarks benchmarks)
+
+let ablation_sz0_reduce (lookup : lookup) benchmarks : report =
+  let sz0 = sz0_benchmarks benchmarks in
   let tbl =
     Table.create
       ~aligns:[ Table.Left; Right; Right ]
@@ -468,11 +570,9 @@ let ablation_sb_sizezero ?(benchmarks = Suite.all) () : report =
   let spurious = ref 0 in
   List.iter
     (fun (b : Bench.t) ->
-      let wide = Harness.run_benchmark sb_full b in
-      let null_cfg =
-        { Config.softbound with sb_size_zero_wide_upper = false }
-      in
-      let null = Harness.run_benchmark (Harness.with_config null_cfg Harness.baseline) b in
+      (* violations are the expected data here: plain lookup, no strictness *)
+      let wide = lookup sb_full b in
+      let null = lookup sb_sz0_null b in
       (match null.outcome with
       | Mi_vm.Interp.Safety_violation _ -> incr spurious
       | _ -> ());
@@ -492,9 +592,13 @@ let ablation_sb_sizezero ?(benchmarks = Suite.all) () : report =
 (* Hottest check sites (observability: per-site profile)               *)
 (* ------------------------------------------------------------------ *)
 
-(* Where does the modeled check time actually go?  Reuses the cached
-   optimized runs: every {!Harness.run} carries the per-site profile. *)
-let hotchecks ?(benchmarks = Suite.all) ?(n = 5) () : report =
+(* Where does the modeled check time actually go?  Reuses the optimized
+   runs of Figure 9: every {!Harness.run} carries the per-site profile. *)
+let hotchecks_jobs benchmarks =
+  List.concat_map (fun b -> [ (sb_opt, b); (lf_opt, b) ]) benchmarks
+
+let hotchecks_reduce ?(n = 5) lookup benchmarks : report =
+  let run = strict lookup in
   let buf = Buffer.create 1024 in
   let pts_sb = ref [] and pts_lf = ref [] in
   List.iter
@@ -553,40 +657,100 @@ let report_to_json (r : report) : Json.t =
 let reports_to_json (rs : report list) : Json.t =
   Json.Obj [ ("reports", Json.List (List.map report_to_json rs)) ]
 
-let all_reports ?benchmarks () : report list =
-  [
-    table1 ();
-    fig9 ?benchmarks ();
-    fig10 ?benchmarks ();
-    fig11 ?benchmarks ();
-    fig12 ?benchmarks ();
-    fig13 ?benchmarks ();
-    table2 ?benchmarks ();
-    optstats ?benchmarks ();
-    ablation_lf ?benchmarks ();
-    ablation_sb_sizezero ?benchmarks ();
-    hotchecks ?benchmarks ();
-  ]
+(* ------------------------------------------------------------------ *)
+(* Registrations                                                       *)
+(* ------------------------------------------------------------------ *)
 
-let by_name name : (?benchmarks:Bench.t list -> unit -> report) option =
-  match String.lowercase_ascii name with
-  | "table1" | "t1" -> Some (fun ?benchmarks () -> ignore benchmarks; table1 ())
-  | "fig9" | "f9" -> Some (fun ?benchmarks () -> fig9 ?benchmarks ())
-  | "fig10" | "f10" -> Some (fun ?benchmarks () -> fig10 ?benchmarks ())
-  | "fig11" | "f11" -> Some (fun ?benchmarks () -> fig11 ?benchmarks ())
-  | "fig12" | "f12" -> Some (fun ?benchmarks () -> fig12 ?benchmarks ())
-  | "fig13" | "f13" -> Some (fun ?benchmarks () -> fig13 ?benchmarks ())
-  | "table2" | "t2" -> Some (fun ?benchmarks () -> table2 ?benchmarks ())
-  | "optstats" -> Some (fun ?benchmarks () -> optstats ?benchmarks ())
-  | "ablation-lf" -> Some (fun ?benchmarks () -> ablation_lf ?benchmarks ())
-  | "ablation-sz0" ->
-      Some (fun ?benchmarks () -> ablation_sb_sizezero ?benchmarks ())
-  | "hotchecks" -> Some (fun ?benchmarks () -> hotchecks ?benchmarks ())
-  | _ -> None
+let () =
+  List.iter register
+    [
+      {
+        name = "table1";
+        aliases = [ "t1" ];
+        descr = "instrumentation locations (structural)";
+        jobs = (fun _ -> []);
+        reduce = (fun _ _ -> table1 ());
+      };
+      {
+        name = "fig9";
+        aliases = [ "f9" ];
+        descr = "execution-time comparison, SB vs LF";
+        jobs = fig9_jobs;
+        reduce = fig9_reduce;
+      };
+      {
+        name = "fig10";
+        aliases = [ "f10" ];
+        descr = "SoftBound optimized/unoptimized/metadata overhead";
+        jobs = fig_opt_variants_jobs ~approach:Config.Softbound;
+        reduce =
+          fig_opt_variants_reduce ~title:fig10_title
+            ~approach:Config.Softbound;
+      };
+      {
+        name = "fig11";
+        aliases = [ "f11" ];
+        descr = "Low-Fat optimized/unoptimized/metadata overhead";
+        jobs = fig_opt_variants_jobs ~approach:Config.Lowfat;
+        reduce =
+          fig_opt_variants_reduce ~title:fig11_title ~approach:Config.Lowfat;
+      };
+      {
+        name = "fig12";
+        aliases = [ "f12" ];
+        descr = "extension-point impact on SoftBound";
+        jobs = fig_eps_jobs ~approach:Config.Softbound;
+        reduce =
+          fig_eps_reduce ~title:fig12_title ~approach:Config.Softbound;
+      };
+      {
+        name = "fig13";
+        aliases = [ "f13" ];
+        descr = "extension-point impact on Low-Fat";
+        jobs = fig_eps_jobs ~approach:Config.Lowfat;
+        reduce = fig_eps_reduce ~title:fig13_title ~approach:Config.Lowfat;
+      };
+      {
+        name = "table2";
+        aliases = [ "t2" ];
+        descr = "unsafe (wide-bounds) dereference fractions";
+        jobs = table2_jobs;
+        reduce = table2_reduce;
+      };
+      {
+        name = "optstats";
+        aliases = [];
+        descr = "static checks removed by dominance elimination (§5.3)";
+        jobs = optstats_jobs;
+        reduce = optstats_reduce;
+      };
+      {
+        name = "ablation-lf";
+        aliases = [];
+        descr = "Low-Fat protection-scope ablation";
+        jobs = ablation_lf_jobs;
+        reduce = ablation_lf_reduce;
+      };
+      {
+        name = "ablation-sz0";
+        aliases = [];
+        descr = "SoftBound size-zero extern array policy ablation";
+        jobs = ablation_sz0_jobs;
+        reduce = ablation_sz0_reduce;
+      };
+      {
+        name = "hotchecks";
+        aliases = [];
+        descr = "hottest instrumentation sites by modeled check cycles";
+        jobs = hotchecks_jobs;
+        reduce = (fun lookup benchmarks -> hotchecks_reduce lookup benchmarks);
+      };
+    ]
 
-let known_names =
-  [
-    "table1"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "table2";
-    "optstats"; "ablation-lf"; "ablation-sz0"; "hotchecks";
-  ]
-
+(** Every registered report, regenerated through a fresh session with
+    the default worker pool — the convenience the bench harness and the
+    [--all] driver path share. *)
+let all_reports ?(jobs = Harness.default_jobs ()) ?benchmarks () :
+    report list =
+  let h = Harness.create ~jobs () in
+  List.map snd (run_reports ?benchmarks h (all ()))

@@ -1,0 +1,85 @@
+(** Self-registering registry of the paper's experiments.
+
+    Each experiment declares the (setup x benchmark) jobs it needs and a
+    reduce over the completed runs; {!run_reports} runs the deduplicated
+    union of all selected experiments' jobs through a {!Harness.t}
+    session (parallel, cached) and reduces afterwards.  Report output is
+    byte-identical for every worker count. *)
+
+module Config = Mi_core.Config
+
+(** {1 Shared setups} *)
+
+val sb_opt : Harness.setup
+(** SoftBound with the dominance optimization (§5.2). *)
+
+val lf_opt : Harness.setup
+(** Low-Fat Pointers with the dominance optimization (§5.2). *)
+
+val sb_full : Harness.setup
+(** SoftBound without check elimination (appendix A.6 basis). *)
+
+val lf_full : Harness.setup
+(** Low-Fat Pointers without check elimination (appendix A.6 basis). *)
+
+(** {1 Reports} *)
+
+type series = { label : string; points : (string * float) list }
+
+type report = { title : string; text : string; series : series list }
+
+val series_to_json : series -> Mi_obs.Json.t
+val report_to_json : report -> Mi_obs.Json.t
+val reports_to_json : report list -> Mi_obs.Json.t
+
+val wide_fraction : Harness.run -> approach:Config.approach -> float
+(** Fraction (in %) of executed checks that passed only thanks to wide
+    bounds — the per-run datum behind Table 2. *)
+
+(** {1 Registry} *)
+
+type lookup = Harness.setup -> Bench.t -> Harness.run
+(** Fetch one completed run by its job.  Raises
+    {!Harness.Benchmark_failed} when the job's compile phase failed;
+    the returned run may still hold a violation or trap outcome —
+    wrap with {!strict} for the ran-and-matched-output contract. *)
+
+type t = {
+  name : string;  (** canonical name, lowercase *)
+  aliases : string list;  (** extra names accepted by {!find} *)
+  descr : string;  (** one-line description, shown by [--list] *)
+  jobs : Bench.t list -> (Harness.setup * Bench.t) list;
+      (** every run the reduce will look up *)
+  reduce : lookup -> Bench.t list -> report;
+}
+
+val register : t -> unit
+(** Add an experiment to the registry.  Raises [Invalid_argument] on a
+    duplicate name.  The built-in experiments register themselves at
+    module initialization. *)
+
+val all : unit -> t list
+(** All registered experiments, in registration order. *)
+
+val find : string -> t option
+(** Look up by name or alias, case-insensitively. *)
+
+val known_names : unit -> string list
+
+val strict : lookup -> lookup
+(** Wrap a lookup to also raise {!Harness.Benchmark_failed} on runs
+    {!Harness.check_run} rejects (violation, trap, output mismatch). *)
+
+val run_reports :
+  ?benchmarks:Bench.t list ->
+  Harness.t ->
+  t list ->
+  (string * report) list
+(** The generic driver loop: run the deduplicated union of the given
+    experiments' job matrices through the session, then reduce each
+    experiment.  Returns [(name, report)] in the order given.
+    Benchmarks default to {!Suite.all}. *)
+
+val all_reports : ?jobs:int -> ?benchmarks:Bench.t list -> unit -> report list
+(** Reduce every registered experiment through a fresh session with a
+    [jobs]-sized worker pool (default {!Harness.default_jobs}). *)

@@ -1,12 +1,23 @@
-(** Experiment harness: compile, instrument, link, run, collect.
+(** Experiment harness: compile, instrument, link, run, collect — and
+    scale.
 
     One [setup] fixes everything the paper varies: the instrumentation
-    configuration (or none, for the baseline), the optimization level, the
-    extension point where the instrumentation runs, and the MiniC lowering
-    mode (for the Figure 7 compiler-version experiment). *)
+    configuration (or none, for the baseline), the optimization level,
+    the extension point where the instrumentation runs, and the MiniC
+    lowering mode (for the Figure 7 compiler-version experiment).
+
+    A {!t} session owns the machinery that makes many runs cheap: an
+    observability context that aggregates every run, an instrumentation
+    cache ({!Icache}) that skips re-compiling identical setups, and a
+    fixed-size pool of OCaml 5 domains ({!run_jobs}) that shards a
+    (setup x benchmark) job matrix.  Every worker runs against a private
+    {!Mi_obs.Obs} context; contexts are merged into the session in job
+    order, and the VM is deterministic, so parallel results are
+    byte-identical to sequential ones. *)
 
 module Config = Mi_core.Config
 module Pipeline = Mi_passes.Pipeline
+module Obs = Mi_obs.Obs
 
 type setup = {
   config : Config.t option;  (** [None]: uninstrumented baseline *)
@@ -27,12 +38,26 @@ let baseline =
 
 let with_config c s = { s with config = Some c }
 
+let level_name = function
+  | Pipeline.O0 -> "O0"
+  | Pipeline.O1 -> "O1"
+  | Pipeline.O3 -> "O3"
+
+(** Canonical setup description: injective over every field, so it
+    doubles as a job key. *)
+let setup_key (s : setup) =
+  Printf.sprintf "%s/%s/%s/%s/seed=%d"
+    (match s.config with None -> "base" | Some c -> Config.to_string c)
+    (level_name s.level) (Pipeline.ep_name s.ep)
+    (if s.lowering.Mi_minic.Lower.ptr_mem_as_i64 then "i64ptr" else "std")
+    s.seed
+
 type run = {
   outcome : Mi_vm.Interp.outcome;
   cycles : int;
   steps : int;
   output : string;
-  counters : (string * int) list;
+  counters : (string * int) array;  (** sorted by name — use {!counter} *)
   static_stats : Mi_core.Instrument.mod_stats list;
       (** per instrumented translation unit *)
   program_instrs : int;  (** static instruction count after everything *)
@@ -41,16 +66,33 @@ type run = {
           setup is uninstrumented *)
 }
 
-let counter run key =
-  Option.value ~default:0 (List.assoc_opt key run.counters)
+(* counters are sorted by State.counters_alist; binary search replaces
+   the former List.assoc_opt linear scan per report row *)
+let counter (r : run) key =
+  let a = r.counters in
+  let rec go lo hi =
+    if lo >= hi then 0
+    else begin
+      let mid = (lo + hi) / 2 in
+      let k, v = a.(mid) in
+      let c = String.compare key k in
+      if c = 0 then v else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (Array.length a)
 
-(** Compile the translation units under [setup], link, execute.  Every
-    run carries an observability context ({!Mi_obs.Obs}); pass [obs] to
-    share one across runs (e.g. to export a trace spanning compile and
-    execute, or to accumulate metrics). *)
-let run_sources ?(obs = Mi_obs.Obs.create ()) (setup : setup)
-    (sources : Bench.source list) : run =
-  let tracer = obs.Mi_obs.Obs.trace in
+let counters_alist (r : run) = Array.to_list r.counters
+
+(* ------------------------------------------------------------------ *)
+(* Compile and execute phases                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower + instrument + optimize every translation unit.  Returns the
+   modules (with their instrumented flags) and per-unit static stats.
+   All sites registered during this phase land in [obs.sites]. *)
+let compile ~obs (setup : setup) (sources : Bench.source list) :
+    (Mi_mir.Irmod.t * bool) list * Mi_core.Instrument.mod_stats list =
+  let tracer = obs.Obs.trace in
   let stats = ref [] in
   let modules =
     Mi_obs.Trace.with_span tracer ~cat:"harness" "compile" (fun () ->
@@ -77,9 +119,17 @@ let run_sources ?(obs = Mi_obs.Obs.create ()) (setup : setup)
             (m, s.instrument))
           sources)
   in
+  (modules, List.rev !stats)
+
+(* Load the compiled modules into a fresh VM with the configured runtime
+   and execute.  Reads the modules but never mutates them, so cached
+   modules can be shared across runs and domains. *)
+let execute ~obs (setup : setup) (modules : (Mi_mir.Irmod.t * bool) list)
+    ~(static_stats : Mi_core.Instrument.mod_stats list) : run =
+  let tracer = obs.Obs.trace in
   let st =
-    Mi_vm.State.create ~seed:setup.seed ~metrics:obs.Mi_obs.Obs.metrics
-      ~sites:obs.Mi_obs.Obs.sites ()
+    Mi_vm.State.create ~seed:setup.seed ~metrics:obs.Obs.metrics
+      ~sites:obs.Obs.sites ()
   in
   Mi_vm.Builtins.install st;
   let alloc_global = ref None in
@@ -132,15 +182,32 @@ let run_sources ?(obs = Mi_obs.Obs.create ()) (setup : setup)
     cycles = res.cycles;
     steps = res.steps;
     output = res.output;
-    counters = res.counters;
-    static_stats = List.rev !stats;
+    (* runtime counters only: the registry also holds compile-phase
+       [static.*] counters, which a cached run legitimately skips —
+       static data belongs to [static_stats] *)
+    counters =
+      Array.of_list
+        (List.filter
+           (fun (k, _) -> not (String.starts_with ~prefix:"static." k))
+           res.counters);
+    static_stats;
     program_instrs;
-    profile = Mi_obs.Site.snapshot obs.Mi_obs.Obs.sites;
+    profile = Mi_obs.Site.snapshot obs.Obs.sites;
   }
 
-let run_benchmark ?(obs = Mi_obs.Obs.create ()) (setup : setup) (b : Bench.t)
-    : run =
-  Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"benchmark"
+(** Compile the translation units under [setup], link, execute.  Every
+    run carries an observability context ({!Mi_obs.Obs}); pass [obs] to
+    share one across runs (e.g. to export a trace spanning compile and
+    execute, or to accumulate metrics).  This entry point never consults
+    a cache — sessions do ({!run}, {!run_jobs}). *)
+let run_sources ?(obs = Obs.create ()) (setup : setup)
+    (sources : Bench.source list) : run =
+  let modules, stats = compile ~obs setup sources in
+  execute ~obs setup modules ~static_stats:stats
+
+let run_benchmark ?(obs = Obs.create ()) (setup : setup) (b : Bench.t) : run
+    =
+  Mi_obs.Trace.with_span obs.Obs.trace ~cat:"benchmark"
     ("benchmark:" ^ b.name)
     (fun () -> run_sources ~obs setup b.sources)
 
@@ -149,26 +216,186 @@ let run_benchmark ?(obs = Mi_obs.Obs.create ()) (setup : setup) (b : Bench.t)
 let overhead ~(baseline : run) (r : run) : float =
   float_of_int r.cycles /. float_of_int baseline.cycles
 
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type error = { bench : string; reason : string }
+
 exception Benchmark_failed of string * string
 
-(** Like {!run_benchmark} but raises unless the program exits normally and
-    matches its expected output. *)
-let run_benchmark_exn (setup : setup) (b : Bench.t) : run =
-  let r = run_benchmark setup b in
-  (match r.outcome with
-  | Mi_vm.Interp.Exited _ -> ()
-  | Mi_vm.Interp.Trapped msg ->
-      raise (Benchmark_failed (b.name, "trap: " ^ msg))
+let () =
+  Printexc.register_printer (function
+    | Benchmark_failed (b, msg) ->
+        Some (Printf.sprintf "Benchmark_failed(%s: %s)" b msg)
+    | _ -> None)
+
+(** Enforce the classic strictness contract on a completed run: the
+    program must exit normally and match its expected output. *)
+let check_run (b : Bench.t) (r : run) : (run, error) result =
+  match r.outcome with
+  | Mi_vm.Interp.Trapped msg -> Error { bench = b.name; reason = "trap: " ^ msg }
   | Mi_vm.Interp.Safety_violation { checker; reason } ->
-      raise
-        (Benchmark_failed
-           (b.name, Printf.sprintf "%s violation: %s" checker reason)));
-  (match b.expect_output with
-  | Some expected when expected <> r.output ->
-      raise
-        (Benchmark_failed
-           ( b.name,
-             Printf.sprintf "output mismatch: expected %S, got %S" expected
-               r.output ))
-  | _ -> ());
-  r
+      Error
+        {
+          bench = b.name;
+          reason = Printf.sprintf "%s violation: %s" checker reason;
+        }
+  | Mi_vm.Interp.Exited _ -> (
+      match b.expect_output with
+      | Some expected when expected <> r.output ->
+          Error
+            {
+              bench = b.name;
+              reason =
+                Printf.sprintf "output mismatch: expected %S, got %S"
+                  expected r.output;
+            }
+      | _ -> Ok r)
+
+(** Unwrap a strict result, raising {!Benchmark_failed} on any error —
+    including a run that completed with a violation, trap or output
+    mismatch. *)
+let expect_ok (b : Bench.t) (res : (run, error) result) : run =
+  match Result.bind res (check_run b) with
+  | Ok r -> r
+  | Error e -> raise (Benchmark_failed (e.bench, e.reason))
+
+(** Like {!run_benchmark} but raises unless the program exits normally
+    and matches its expected output. *)
+let run_benchmark_exn (setup : setup) (b : Bench.t) : run =
+  expect_ok b (Ok (run_benchmark setup b))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: obs + cache + worker pool                                 *)
+(* ------------------------------------------------------------------ *)
+
+type t = { s_obs : Obs.t; s_cache : Icache.t; s_jobs : int }
+
+type cache_stats = Icache.stats = { hits : int; misses : int }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let create ?jobs ?cache_dir ?obs () =
+  {
+    s_obs = (match obs with Some o -> o | None -> Obs.create ());
+    s_cache = Icache.create ?dir:cache_dir ();
+    s_jobs =
+      (match jobs with Some j -> max 1 j | None -> default_jobs ());
+  }
+
+let obs t = t.s_obs
+let jobs t = t.s_jobs
+let cache_stats t = Icache.stats t.s_cache
+
+(* Everything the compile phase depends on, as cache-key content; the
+   seed only affects execution and is deliberately left out. *)
+let compile_key (setup : setup) (sources : Bench.source list) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (match setup.config with None -> "base" | Some c -> Config.to_string c);
+  Buffer.add_string b
+    (Printf.sprintf "\n%s/%s\n" (level_name setup.level)
+       (Pipeline.ep_name setup.ep));
+  List.iter
+    (fun (s : Bench.source) ->
+      let mode = Option.value ~default:setup.lowering s.mode_override in
+      Buffer.add_string b
+        (Printf.sprintf "--unit %s instrument=%b i64ptr=%b\n" s.src_name
+           s.instrument mode.Mi_minic.Lower.ptr_mem_as_i64);
+      Buffer.add_string b s.code;
+      Buffer.add_char b '\n')
+    sources;
+  Buffer.contents b
+
+(* One cache-aware run on a private (freshly created) obs context.  The
+   context MUST be empty: a cache hit replays the cached site registry
+   from id 0, which is what the site ids embedded in the cached modules
+   refer to. *)
+let run_cached t ~obs (setup : setup) (b : Bench.t) : run =
+  let key = compile_key setup b.sources in
+  let modules, stats =
+    match Icache.find t.s_cache key with
+    | Some e ->
+        List.iter
+          (Mi_obs.Site.register_info obs.Obs.sites)
+          e.Icache.e_sites;
+        (e.Icache.e_modules, e.Icache.e_stats)
+    | None ->
+        let modules, stats = compile ~obs setup b.sources in
+        Icache.add t.s_cache key
+          {
+            Icache.e_modules = modules;
+            e_stats = stats;
+            e_sites = Mi_obs.Site.infos obs.Obs.sites;
+          };
+        (modules, stats)
+  in
+  Mi_obs.Trace.with_span obs.Obs.trace ~cat:"benchmark"
+    ("benchmark:" ^ b.name)
+    (fun () -> execute ~obs setup modules ~static_stats:stats)
+
+(** Shard [jobs] across the session's worker domains.  Duplicate jobs
+    (same {!setup_key} and benchmark) are executed once and share their
+    run.  Results are returned in input order; every worker used a
+    private obs context, and the contexts are merged into the session's
+    in (deduplicated) job order — never in completion order — so the
+    returned runs and the session context are byte-identical no matter
+    how many domains ran, or how the scheduler interleaved them. *)
+let run_jobs t (jobs : (setup * Bench.t) list) :
+    (run, error) result list =
+  let job_key (s, (b : Bench.t)) = (setup_key s, b.name) in
+  (* distinct jobs, first-occurrence order *)
+  let index = Hashtbl.create 64 in
+  let distinct = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun job ->
+      let k = job_key job in
+      if not (Hashtbl.mem index k) then begin
+        Hashtbl.add index k !n;
+        distinct := job :: !distinct;
+        incr n
+      end)
+    jobs;
+  let arr = Array.of_list (List.rev !distinct) in
+  let n = Array.length arr in
+  let out =
+    Array.make n (Error { bench = ""; reason = "job was not scheduled" })
+  in
+  let obss = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let setup, b = arr.(i) in
+        let obs = Obs.create () in
+        obss.(i) <- Some obs;
+        out.(i) <-
+          (try Ok (run_cached t ~obs setup b)
+           with e ->
+             Error { bench = b.Bench.name; reason = Printexc.to_string e });
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = min t.s_jobs (max 1 n) in
+  if workers <= 1 then worker ()
+  else begin
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.iter
+    (function Some o -> Obs.merge t.s_obs o | None -> ())
+    obss;
+  List.map (fun job -> out.(Hashtbl.find index (job_key job))) jobs
+
+(** The session entry point: one cache-aware run.  Errors are compile,
+    link or internal failures; a safety violation or VM trap is an [Ok]
+    run — inspect {!run.outcome} (or pass the result through
+    {!expect_ok} for the strict behaviour). *)
+let run t (setup : setup) (b : Bench.t) : (run, error) result =
+  match run_jobs t [ (setup, b) ] with [ r ] -> r | _ -> assert false

@@ -1,0 +1,132 @@
+(** Experiment harness: compile, instrument, link, run, collect — and,
+    through {!t} sessions, cache and parallelize.
+
+    The classic per-call entry points ({!run_sources}, {!run_benchmark})
+    still exist for one-off runs and for sharing a single observability
+    context across heterogeneous work (as [memsafe] does).  Everything
+    at experiment scale goes through a session: [create] one, submit a
+    job matrix with {!run_jobs} (or single jobs with {!run}), and read
+    the aggregated observability off {!obs}. *)
+
+module Config = Mi_core.Config
+module Pipeline = Mi_passes.Pipeline
+
+(** {1 Setups} *)
+
+(** One [setup] fixes everything the paper varies. *)
+type setup = {
+  config : Config.t option;  (** [None]: uninstrumented baseline *)
+  level : Pipeline.level;
+  ep : Pipeline.extension_point;
+  lowering : Mi_minic.Lower.mode;
+  seed : int;
+}
+
+val baseline : setup
+(** Uninstrumented [-O3], the denominator of every overhead figure. *)
+
+val with_config : Config.t -> setup -> setup
+
+val setup_key : setup -> string
+(** Canonical, injective description of a setup — the job key used for
+    deduplication, deterministic merging and caching. *)
+
+(** {1 Runs} *)
+
+type run = {
+  outcome : Mi_vm.Interp.outcome;
+  cycles : int;
+  steps : int;
+  output : string;
+  counters : (string * int) array;
+      (** runtime counters sorted by name; query with {!counter} *)
+  static_stats : Mi_core.Instrument.mod_stats list;
+      (** per instrumented translation unit *)
+  program_instrs : int;  (** static instruction count after everything *)
+  profile : Mi_obs.Site.snapshot list;
+      (** per-check-site attribution; empty when uninstrumented *)
+}
+
+val counter : run -> string -> int
+(** Binary search over the sorted counter array; 0 when absent. *)
+
+val counters_alist : run -> (string * int) list
+(** The counters as a sorted association list (a copy). *)
+
+val overhead : baseline:run -> run -> float
+(** Normalized execution time (cycles / baseline cycles), the y-axis of
+    Figures 9-13. *)
+
+(** {1 Errors} *)
+
+type error = { bench : string; reason : string }
+
+exception Benchmark_failed of string * string
+
+val check_run : Bench.t -> run -> (run, error) result
+(** [Ok] iff the run exited normally and matched the benchmark's
+    expected output; otherwise an [Error] describing the violation,
+    trap, or mismatch. *)
+
+val expect_ok : Bench.t -> (run, error) result -> run
+(** Unwrap a result strictly: raises {!Benchmark_failed} on [Error] and
+    on completed runs that {!check_run} rejects. *)
+
+(** {1 Sessions} *)
+
+type t
+(** A harness session: one aggregated observability context, one
+    instrumentation cache, one worker pool.  Create it once and push
+    every run of an experiment campaign through it. *)
+
+val default_jobs : unit -> int
+(** The recognized core count ([Domain.recommended_domain_count]). *)
+
+val create : ?jobs:int -> ?cache_dir:string -> ?obs:Mi_obs.Obs.t -> unit -> t
+(** [jobs] is the worker-pool size (default {!default_jobs}; clamped to
+    at least 1).  [cache_dir] additionally persists the instrumentation
+    cache on disk, giving hits across processes.  [obs] is the session
+    context every run's private context is merged into (a fresh one by
+    default). *)
+
+val obs : t -> Mi_obs.Obs.t
+(** The session context: metrics, check sites and trace events of every
+    run so far, merged deterministically (in job order). *)
+
+val jobs : t -> int
+
+type cache_stats = Icache.stats = { hits : int; misses : int }
+
+val cache_stats : t -> cache_stats
+(** Exact instrumentation-cache accounting: one hit or miss is counted
+    per executed job (deduplicated jobs consult the cache once). *)
+
+val run : t -> setup -> Bench.t -> (run, error) result
+(** The session entry point: one cache-aware run.  [Error] means the
+    compile or link phase failed; a safety violation or VM trap is an
+    [Ok] run — inspect {!run.outcome}, or compose with {!expect_ok} for
+    the strict contract. *)
+
+val run_jobs : t -> (setup * Bench.t) list -> (run, error) result list
+(** Shard a job matrix across the session's domains.  Duplicate jobs run
+    once and share their result; results come back in input order.
+    Determinism guarantee: the runs and the session's merged context are
+    byte-identical for every [jobs] setting, because each worker uses a
+    private context, contexts merge in job order (never completion
+    order), and the VM itself is deterministic. *)
+
+(** {1 Classic per-call entry points} *)
+
+val run_sources :
+  ?obs:Mi_obs.Obs.t -> setup -> Bench.source list -> run
+(** Compile the translation units under [setup], link, execute — no
+    session, no cache.  Pass [obs] to share one context across runs. *)
+
+val run_benchmark : ?obs:Mi_obs.Obs.t -> setup -> Bench.t -> run
+
+val run_benchmark_exn : setup -> Bench.t -> run
+[@@ocaml.deprecated
+  "use a session: Harness.expect_ok b (Harness.run t setup b)"]
+(** @deprecated Raises on any non-clean outcome.  Use a session's
+    result-returning {!run} (with {!expect_ok} where strictness is
+    wanted) instead. *)

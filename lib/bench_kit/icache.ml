@@ -1,0 +1,133 @@
+(** Content-addressed cache of instrumented-and-optimized modules.
+
+    Compiling, instrumenting and optimizing a benchmark's translation
+    units is the expensive, setup-dependent half of a harness run; the
+    VM execution half additionally depends on the seed.  An entry caches
+    the whole compile phase of one run, keyed by the digest of
+    everything that determines it: the source texts (with per-unit
+    lowering modes and instrument flags), the instrumentation
+    {!Mi_core.Config.t}, the optimization level and the pipeline
+    extension point.  The seed is deliberately excluded — runs that
+    differ only in seed share the compiled modules.
+
+    Alongside the modules an entry carries the static statistics and the
+    check-site descriptors the instrumenter registered, so a hit can
+    replay the site registry into a fresh observability context: the
+    site ids embedded in the cached modules then attribute dynamic hits
+    exactly as a non-cached run would, and reports stay byte-identical.
+    What a hit does {e not} replay are the [static.*] metric increments
+    — those count actual instrumentation work, which a hit skips; tests
+    use them to prove a hit did zero work.
+
+    Entries are immutable after construction: the pipeline and the
+    instrumenter mutate modules, but both ran to completion before the
+    entry was stored, and the VM loader/precompiler only reads.  That
+    makes entries safe to share across worker domains; the table itself
+    is guarded by a mutex.
+
+    With a [dir], entries are also persisted with [Marshal] (guarded by
+    a magic string and the compiler version, so a stale or foreign file
+    degrades to a miss), giving cache hits across processes. *)
+
+type entry = {
+  e_modules : (Mi_mir.Irmod.t * bool) list;
+      (** per translation unit: compiled module, instrumented flag *)
+  e_stats : Mi_core.Instrument.mod_stats list;
+      (** per instrumented unit, in unit order *)
+  e_sites : Mi_obs.Site.info list;
+      (** every check site registered while compiling, in id order *)
+}
+
+type t = {
+  mem : (string, entry) Hashtbl.t;  (** digest -> entry *)
+  dir : string option;
+  lock : Mutex.t;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int }
+
+(* Marshal gives no type safety across versions; refuse anything not
+   written by this exact magic + compiler version. *)
+let magic = "mi-icache-v1"
+
+let create ?dir () =
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    dir;
+  {
+    mem = Hashtbl.create 64;
+    dir;
+    lock = Mutex.create ();
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+  }
+
+let digest key = Digest.to_hex (Digest.string key)
+
+let entry_path dir d = Filename.concat dir (d ^ ".micache")
+
+let disk_find t d =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+      let path = entry_path dir d in
+      if not (Sys.file_exists path) then None
+      else begin
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let m, v, e = (input_value ic : string * string * entry) in
+              if m = magic && v = Sys.ocaml_version then Some e else None)
+        with _ -> None
+      end
+
+let disk_add t d entry =
+  Option.iter
+    (fun dir ->
+      try
+        (* write-to-temp + rename: concurrent processes never observe a
+           half-written entry *)
+        let tmp = Filename.temp_file ~temp_dir:dir "wip" ".micache" in
+        let oc = open_out_bin tmp in
+        output_value oc (magic, Sys.ocaml_version, entry);
+        close_out oc;
+        Sys.rename tmp (entry_path dir d)
+      with Sys_error _ -> ())
+    t.dir
+
+(** Look up [key] (the full content string, not a digest).  Counts one
+    hit or miss; a disk hit is promoted into the in-memory table. *)
+let find t key : entry option =
+  let d = digest key in
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.mem d with
+    | Some _ as e -> e
+    | None -> (
+        match disk_find t d with
+        | Some e ->
+            Hashtbl.replace t.mem d e;
+            Some e
+        | None -> None)
+  in
+  Mutex.unlock t.lock;
+  (match r with
+  | Some _ -> Atomic.incr t.n_hits
+  | None -> Atomic.incr t.n_misses);
+  r
+
+(** Store an entry.  Concurrent stores under the same key are benign:
+    both entries are equivalent by construction (the key digests every
+    input of the compile phase) and the last one wins. *)
+let add t key entry =
+  let d = digest key in
+  Mutex.lock t.lock;
+  Hashtbl.replace t.mem d entry;
+  disk_add t d entry;
+  Mutex.unlock t.lock
+
+let stats t = { hits = Atomic.get t.n_hits; misses = Atomic.get t.n_misses }

@@ -142,6 +142,44 @@ let histograms_alist t =
   |> List.filter_map (fun k ->
          Option.map (fun s -> (k, s)) (histogram t k))
 
+(* --- merging --------------------------------------------------------- *)
+
+(** Merge [src] into [dst]: counters and histograms add (count, sum,
+    bucket-wise), gauges take the maximum — every per-metric operation
+    is associative and commutative, so merging worker registries in any
+    grouping yields the same registry.  [dst] and [src] must be distinct
+    registries. *)
+let merge dst src =
+  if dst == src then invalid_arg "Metrics.merge: dst and src are the same";
+  Hashtbl.iter (fun k r -> incr ~by:!r dst k) src.counters;
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.gauges k with
+      | Some d -> d := max !d !r
+      | None -> Hashtbl.add dst.gauges k (ref !r))
+    src.gauges;
+  Hashtbl.iter
+    (fun k h ->
+      match Hashtbl.find_opt dst.histograms k with
+      | None ->
+          Hashtbl.add dst.histograms k
+            {
+              h_count = h.h_count;
+              h_sum = h.h_sum;
+              h_min = h.h_min;
+              h_max = h.h_max;
+              h_buckets = Array.copy h.h_buckets;
+            }
+      | Some d ->
+          d.h_count <- d.h_count + h.h_count;
+          d.h_sum <- d.h_sum + h.h_sum;
+          d.h_min <- min d.h_min h.h_min;
+          d.h_max <- max d.h_max h.h_max;
+          Array.iteri
+            (fun i n -> d.h_buckets.(i) <- d.h_buckets.(i) + n)
+            h.h_buckets)
+    src.histograms
+
 (* --- serialization --------------------------------------------------- *)
 
 let histogram_to_json (s : histogram_snapshot) : Json.t =

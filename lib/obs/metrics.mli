@@ -43,6 +43,15 @@ type histogram_snapshot = {
 val histogram : t -> string -> histogram_snapshot option
 val histograms_alist : t -> (string * histogram_snapshot) list
 
+(** {2 Merging} *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters and histograms add,
+    gauges take the maximum.  Every per-metric operation is associative
+    and commutative, so merging per-worker registries in any grouping or
+    order produces the same registry (the contract the parallel harness
+    relies on).  Raises [Invalid_argument] when [dst == src]. *)
+
 (** {2 Serialization} *)
 
 val to_json : t -> Json.t

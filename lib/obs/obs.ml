@@ -14,3 +14,17 @@ type t = {
 
 let create () =
   { trace = Trace.create (); metrics = Metrics.create (); sites = Site.create () }
+
+(** [merge dst src] folds one context into another: counters and
+    histograms add, gauges take the maximum, check sites with identical
+    descriptors add their cells, completed trace events are appended.
+    Each component merge is associative and commutative (sites up to
+    snapshot order), which is what lets the parallel harness give every
+    worker a private context and still produce one deterministic
+    aggregate: contexts are merged in job order, not completion order.
+    Raises [Invalid_argument] when [dst == src]. *)
+let merge dst src =
+  if dst == src then invalid_arg "Obs.merge: dst and src are the same";
+  Trace.merge dst.trace src.trace;
+  Metrics.merge dst.metrics src.metrics;
+  Site.merge dst.sites src.sites

@@ -59,6 +59,58 @@ let register t ~func ~construct ~approach =
   t.n <- t.n + 1;
   id
 
+(** All site descriptors in registration order — the replayable part of
+    a registry.  A cached instrumentation result stores these so that a
+    cache hit can rebuild the registry the cached module's embedded site
+    ids refer to, without re-running the instrumenter. *)
+let infos t : info list = List.init t.n (fun i -> t.infos.(i))
+
+(** Append a site descriptor verbatim, keeping its recorded id.  When
+    replaying a cached registry into a fresh one in registration order,
+    slot indices coincide with the recorded ids, so dynamic attribution
+    through {!hit} behaves exactly as if the instrumenter had registered
+    the sites itself. *)
+let register_info t (inf : info) =
+  ensure_capacity t;
+  let slot = t.n in
+  t.infos.(slot) <- inf;
+  t.cells.(slot) <- { c_hits = 0; c_wide = 0; c_cycles = 0 };
+  t.n <- t.n + 1
+
+(** Merge [src] into [dst].  Sites are identified by their full
+    descriptor (id, function, construct, approach): matching sites add
+    their cells, unmatched sites are appended with their descriptor (and
+    recorded id) preserved.  Cell addition is associative and
+    commutative, so merging any grouping of registries yields the same
+    set of (descriptor, cells) pairs; only the slot order — and hence
+    {!snapshot} order — depends on merge order.  Merged registries are
+    aggregates for reporting: do not use them for further {!hit}
+    attribution (slots may no longer coincide with recorded ids). *)
+let merge dst src =
+  if dst == src then invalid_arg "Site.merge: dst and src are the same";
+  let key (i : info) = (i.si_id, i.si_func, i.si_construct, i.si_approach) in
+  let idx = Hashtbl.create (max 16 dst.n) in
+  for i = 0 to dst.n - 1 do
+    Hashtbl.replace idx (key dst.infos.(i)) i
+  done;
+  for j = 0 to src.n - 1 do
+    let inf = src.infos.(j) and c = src.cells.(j) in
+    match Hashtbl.find_opt idx (key inf) with
+    | Some i ->
+        let d = dst.cells.(i) in
+        d.c_hits <- d.c_hits + c.c_hits;
+        d.c_wide <- d.c_wide + c.c_wide;
+        d.c_cycles <- d.c_cycles + c.c_cycles
+    | None ->
+        ensure_capacity dst;
+        let slot = dst.n in
+        dst.infos.(slot) <- inf;
+        dst.cells.(slot) <-
+          { c_hits = c.c_hits; c_wide = c.c_wide; c_cycles = c.c_cycles };
+        dst.n <- dst.n + 1;
+        Hashtbl.replace idx (key inf) slot
+  done
+
 (** Attribute one executed check to site [id].  Unknown ids (a program
     instrumented against a different registry, or an un-instrumented
     check call) are ignored. *)

@@ -17,6 +17,29 @@ val hit : t -> int -> wide:bool -> cycles:int -> unit
 
 val count : t -> int
 
+(** A site descriptor: the static, replayable part of a registration. *)
+type info = {
+  si_id : int;
+  si_func : string;
+  si_construct : string;
+  si_approach : string;
+}
+
+val infos : t -> info list
+(** All descriptors in registration order.  The instrumentation cache
+    stores these so a cache hit can rebuild the registry the cached
+    module's embedded site ids point into. *)
+
+val register_info : t -> info -> unit
+(** Append a descriptor verbatim (keeping its recorded id).  Replaying
+    {!infos} in order into a fresh registry reproduces it exactly. *)
+
+val merge : t -> t -> unit
+(** [merge dst src]: sites with an identical descriptor add their cells,
+    others are appended.  Associative and order-insensitive up to
+    {!snapshot} order (the set of (descriptor, counts) pairs is the
+    same under any merge order).  Raises when [dst == src]. *)
+
 type snapshot = {
   sn_id : int;
   sn_func : string;

@@ -88,6 +88,15 @@ let instant ?(cat = "mark") ?(args = []) t name =
 
 let event_count t = List.length t.events
 
+(** Merge the completed events of [src] into [dst] (spans still open in
+    [src] are not copied).  Timestamps keep their origin tracer's epoch;
+    {!to_json} orders by timestamp, so merged traces remain loadable —
+    the arguments, not the clock, are the deterministic part of a
+    trace. *)
+let merge dst src =
+  if dst == src then invalid_arg "Trace.merge: dst and src are the same";
+  dst.events <- src.events @ dst.events
+
 (* --- export --------------------------------------------------------- *)
 
 let arg_to_json = function

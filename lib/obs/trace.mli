@@ -39,6 +39,10 @@ val balanced : t -> bool
 
 val event_count : t -> int
 
+val merge : t -> t -> unit
+(** [merge dst src] appends the completed events of [src] (open spans
+    are not copied).  Raises when [dst == src]. *)
+
 val to_json : t -> Json.t
 val to_string : t -> string
 val write_file : t -> string -> unit

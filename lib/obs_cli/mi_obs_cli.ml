@@ -1,0 +1,98 @@
+(** Shared observability command line.
+
+    Every driver (mic, memsafe, mi-experiments) used to declare its own
+    [--profile]/[--trace] flags with slightly different wording and
+    output conventions.  This module gives all of them one {!term} and
+    one {!finish} renderer, so observability options parse and render
+    identically everywhere:
+
+    - [--profile] prints the top-N hottest instrumentation sites to
+      stderr (N from [--profile-top], default 20);
+    - [--trace FILE.json] writes a Chrome trace_event document;
+    - [--metrics FILE.json] writes the metrics registry (counters,
+      gauges, histograms) as deterministic JSON.
+
+    Diagnostics are prefixed with the application name and go to stderr;
+    unwritable output files exit with the usage status (2). *)
+
+open Cmdliner
+
+type t = {
+  profile : bool;
+  profile_n : int;
+  trace : string option;
+  metrics : string option;
+}
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "print the hottest instrumentation sites (hits, wide hits, \
+           modeled check cycles) to stderr at exit; see $(b,--profile-top)")
+
+let profile_n_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "profile-top" ] ~docv:"N"
+        ~doc:"number of sites $(b,--profile) prints (default 20)")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:
+          "write a Chrome trace_event JSON of the compile and execute \
+           spans (load in chrome://tracing or Perfetto)")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE.json"
+        ~doc:
+          "write the metrics registry (counters, gauges, histograms) as \
+           deterministic JSON")
+
+let term : t Term.t =
+  let mk profile profile_n trace metrics =
+    { profile; profile_n; trace; metrics }
+  in
+  Term.(const mk $ profile_arg $ profile_n_arg $ trace_arg $ metrics_arg)
+
+let quiet = { profile = false; profile_n = 20; trace = None; metrics = None }
+
+let write_text ~app ~what path text =
+  try
+    let oc = open_out path in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "[%s] %s written to %s\n" app what path
+  with Sys_error msg ->
+    Printf.eprintf "[%s] cannot write %s: %s\n" app what msg;
+    exit 2
+
+(** Render everything the options requested from [obs].  Call once,
+    after the run; safe to call with {!quiet} (does nothing). *)
+let finish ~app (o : t) (obs : Mi_obs.Obs.t) =
+  if o.profile then
+    prerr_string
+      (Mi_obs.Site.render ~n:o.profile_n
+         (Mi_obs.Site.snapshot obs.Mi_obs.Obs.sites));
+  Option.iter
+    (fun path ->
+      write_text ~app ~what:"metrics" path
+        (Mi_obs.Metrics.to_string obs.Mi_obs.Obs.metrics))
+    o.metrics;
+  Option.iter
+    (fun path ->
+      (try Mi_obs.Trace.write_file obs.Mi_obs.Obs.trace path
+       with Sys_error msg ->
+         Printf.eprintf "[%s] cannot write trace: %s\n" app msg;
+         exit 2);
+      Printf.eprintf "[%s] trace written to %s (%d events)\n" app path
+        (Mi_obs.Trace.event_count obs.Mi_obs.Obs.trace))
+    o.trace

@@ -11,15 +11,30 @@ module Config = Mi_core.Config
 let runs : (string, Harness.run * Harness.run * Harness.run) Hashtbl.t =
   Hashtbl.create 32
 
+(* one session for the whole suite: runs share its instrumentation
+   cache, and the three setups of a benchmark run in parallel *)
+let session = lazy (Harness.create ())
+
 let get (b : Bench.t) =
   match Hashtbl.find_opt runs b.name with
   | Some r -> r
-  | None ->
-      let base = Harness.run_benchmark_exn Harness.baseline b in
-      let sb = Harness.run_benchmark_exn Experiments.sb_full b in
-      let lf = Harness.run_benchmark_exn Experiments.lf_full b in
-      Hashtbl.add runs b.name (base, sb, lf);
-      (base, sb, lf)
+  | None -> (
+      let h = Lazy.force session in
+      match
+        Harness.run_jobs h
+          [
+            (Harness.baseline, b);
+            (Experiments.sb_full, b);
+            (Experiments.lf_full, b);
+          ]
+      with
+      | [ base; sb; lf ] ->
+          let base = Harness.expect_ok b base
+          and sb = Harness.expect_ok b sb
+          and lf = Harness.expect_ok b lf in
+          Hashtbl.add runs b.name (base, sb, lf);
+          (base, sb, lf)
+      | _ -> assert false)
 
 let test_outputs_preserved (b : Bench.t) () =
   let base, sb, lf = get b in

@@ -1,0 +1,263 @@
+(* The parallel session's three contracts:
+
+   1. determinism — reports (text, JSON, merged metrics, merged sites)
+      are byte-identical for every worker count;
+   2. exact cache accounting — repeating a (setup, benchmark) job in a
+      session is a cache hit that does zero instrumentation work but
+      still reproduces the run (counters, cycles, per-site profile)
+      exactly, in memory and across sessions via the on-disk cache;
+   3. Obs.merge is associative and order-insensitive on disjoint and
+      overlapping registries.
+
+   Plus the sorted-array Harness.counter lookup. *)
+
+open Mi_bench_kit
+module Obs = Mi_obs.Obs
+module Metrics = Mi_obs.Metrics
+module Site = Mi_obs.Site
+module E = Experiments
+
+let bench name =
+  match Suite.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "no benchmark %s" name
+
+let lbm = lazy (bench "470lbm")
+
+(* ------------------------------------------------------------------ *)
+(* 1. byte-identical reports for -j 1 / 2 / 8                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiments () =
+  List.map
+    (fun n -> Option.get (E.find n))
+    [ "fig9"; "table2"; "hotchecks" ]
+
+let reports_at jobs =
+  let h = Harness.create ~jobs () in
+  let rs = E.run_reports ~benchmarks:[ Lazy.force lbm ] h (experiments ()) in
+  let obs = Harness.obs h in
+  let text =
+    String.concat "\n"
+      (List.map (fun (n, (r : E.report)) -> n ^ "\n" ^ r.title ^ "\n" ^ r.text) rs)
+  in
+  let json = Mi_obs.Json.to_string (E.reports_to_json (List.map snd rs)) in
+  (text, json, Metrics.to_string obs.Obs.metrics, Site.snapshot obs.Obs.sites)
+
+let test_byte_identical_reports () =
+  let t1, j1, m1, s1 = reports_at 1 in
+  List.iter
+    (fun jobs ->
+      let t, j, m, s = reports_at jobs in
+      let tag fmt = Printf.sprintf fmt jobs in
+      Alcotest.(check string) (tag "-j %d report text") t1 t;
+      Alcotest.(check string) (tag "-j %d report JSON") j1 j;
+      Alcotest.(check string) (tag "-j %d merged metrics") m1 m;
+      Alcotest.(check bool) (tag "-j %d merged sites") true (s1 = s))
+    [ 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* 2. exact cache accounting                                           *)
+(* ------------------------------------------------------------------ *)
+
+let static_counters (h : Harness.t) =
+  List.filter
+    (fun (k, _) -> String.length k >= 7 && String.sub k 0 7 = "static.")
+    (Metrics.counters_alist (Harness.obs h).Obs.metrics)
+
+let check_same_run msg (a : Harness.run) (b : Harness.run) =
+  Alcotest.(check string) (msg ^ ": output") a.output b.output;
+  Alcotest.(check int) (msg ^ ": cycles") a.cycles b.cycles;
+  Alcotest.(check bool)
+    (msg ^ ": counters") true
+    (Harness.counters_alist a = Harness.counters_alist b);
+  Alcotest.(check bool) (msg ^ ": profile") true (a.profile = b.profile)
+
+let test_cache_accounting () =
+  let b = Lazy.force lbm in
+  let h = Harness.create ~jobs:1 () in
+  let r1 = Harness.expect_ok b (Harness.run h E.sb_opt b) in
+  let s1 = Harness.cache_stats h in
+  Alcotest.(check int) "first run misses" 1 s1.Harness.misses;
+  Alcotest.(check int) "first run hits" 0 s1.Harness.hits;
+  let static1 = static_counters h in
+  Alcotest.(check bool)
+    "first run did instrumentation work" true
+    (List.exists (fun (_, v) -> v > 0) static1);
+  (* the second identical job: a hit, zero instrumentation work, and an
+     identical run — counters, cycles, per-site profile *)
+  let r2 = Harness.expect_ok b (Harness.run h E.sb_opt b) in
+  let s2 = Harness.cache_stats h in
+  Alcotest.(check int) "second run hits" 1 s2.Harness.hits;
+  Alcotest.(check int) "second run misses" 1 s2.Harness.misses;
+  Alcotest.(check bool)
+    "cache hit did zero instrumentation work" true
+    (static_counters h = static1);
+  check_same_run "hit replays the run" r1 r2;
+  (* a different setup shares nothing: a miss *)
+  let (_ : (Harness.run, Harness.error) result) = Harness.run h E.lf_opt b in
+  let s3 = Harness.cache_stats h in
+  Alcotest.(check int) "different setup misses" 2 s3.Harness.misses
+
+let temp_cache_dir () =
+  let f = Filename.temp_file "micache" "" in
+  Sys.remove f;
+  f
+
+let test_disk_cache_across_sessions () =
+  let b = Lazy.force lbm in
+  let dir = temp_cache_dir () in
+  let h1 = Harness.create ~jobs:1 ~cache_dir:dir () in
+  let r1 = Harness.expect_ok b (Harness.run h1 E.sb_opt b) in
+  Alcotest.(check int) "cold session misses" 1
+    (Harness.cache_stats h1).Harness.misses;
+  (* a fresh session over the same directory compiles nothing *)
+  let h2 = Harness.create ~jobs:1 ~cache_dir:dir () in
+  let r2 = Harness.expect_ok b (Harness.run h2 E.sb_opt b) in
+  let s2 = Harness.cache_stats h2 in
+  Alcotest.(check int) "warm session hits" 1 s2.Harness.hits;
+  Alcotest.(check int) "warm session misses" 0 s2.Harness.misses;
+  Alcotest.(check bool)
+    "warm session did zero instrumentation work" true
+    (static_counters h2 = []
+    || List.for_all (fun (_, v) -> v = 0) (static_counters h2));
+  check_same_run "disk hit replays the run" r1 r2
+
+(* ------------------------------------------------------------------ *)
+(* 3. Obs.merge: associative, order-insensitive                        *)
+(* ------------------------------------------------------------------ *)
+
+(* three registries: a and b overlap (same metric, same site
+   descriptor), c is disjoint *)
+let mk_a () =
+  let o = Obs.create () in
+  Metrics.incr ~by:3 o.Obs.metrics "shared.counter";
+  Metrics.set_gauge o.Obs.metrics "shared.gauge" 10;
+  Metrics.observe o.Obs.metrics "shared.histo" 4;
+  let id = Site.register o.Obs.sites ~func:"f" ~construct:"load" ~approach:"sb" in
+  Site.hit o.Obs.sites id ~wide:false ~cycles:5;
+  o
+
+let mk_b () =
+  let o = Obs.create () in
+  Metrics.incr ~by:4 o.Obs.metrics "shared.counter";
+  Metrics.incr ~by:1 o.Obs.metrics "only_b.counter";
+  Metrics.set_gauge o.Obs.metrics "shared.gauge" 7;
+  Metrics.observe o.Obs.metrics "shared.histo" 100;
+  let id = Site.register o.Obs.sites ~func:"f" ~construct:"load" ~approach:"sb" in
+  Site.hit o.Obs.sites id ~wide:true ~cycles:2;
+  o
+
+let mk_c () =
+  let o = Obs.create () in
+  Metrics.incr ~by:9 o.Obs.metrics "only_c.counter";
+  let id = Site.register o.Obs.sites ~func:"g" ~construct:"store" ~approach:"lf" in
+  Site.hit o.Obs.sites id ~wide:false ~cycles:8;
+  o
+
+let sorted_sites (o : Obs.t) =
+  List.sort compare (Site.snapshot o.Obs.sites)
+
+let obs_equal msg (x : Obs.t) (y : Obs.t) =
+  Alcotest.(check string)
+    (msg ^ ": metrics")
+    (Metrics.to_string x.Obs.metrics)
+    (Metrics.to_string y.Obs.metrics);
+  Alcotest.(check bool) (msg ^ ": sites") true (sorted_sites x = sorted_sites y)
+
+let test_merge_associative () =
+  (* ((a <- b) <- c)  vs  (a <- (b <- c)) *)
+  let l = mk_a () in
+  Obs.merge l (mk_b ());
+  Obs.merge l (mk_c ());
+  let bc = mk_b () in
+  Obs.merge bc (mk_c ());
+  let r = mk_a () in
+  Obs.merge r bc;
+  obs_equal "associativity" l r;
+  (* the merged values are the expected sums/maxima *)
+  Alcotest.(check int) "counters add" 7
+    (Metrics.counter l.Obs.metrics "shared.counter");
+  Alcotest.(check int) "gauges max" 10
+    (Metrics.gauge l.Obs.metrics "shared.gauge");
+  (match Metrics.histogram l.Obs.metrics "shared.histo" with
+  | Some h ->
+      Alcotest.(check int) "histogram count" 2 h.Metrics.count;
+      Alcotest.(check int) "histogram sum" 104 h.Metrics.sum;
+      Alcotest.(check int) "histogram min" 4 h.Metrics.min;
+      Alcotest.(check int) "histogram max" 100 h.Metrics.max
+  | None -> Alcotest.fail "histogram lost in merge");
+  (* the overlapping site added its cells; the disjoint one survived *)
+  let sites = sorted_sites l in
+  Alcotest.(check int) "2 distinct sites" 2 (List.length sites);
+  let f = List.find (fun s -> s.Site.sn_func = "f") sites in
+  Alcotest.(check int) "site hits add" 2 f.Site.sn_hits;
+  Alcotest.(check int) "site wide add" 1 f.Site.sn_wide;
+  Alcotest.(check int) "site cycles add" 7 f.Site.sn_cycles
+
+let test_merge_order_insensitive () =
+  let ab = mk_a () in
+  Obs.merge ab (mk_b ());
+  let ba = mk_b () in
+  Obs.merge ba (mk_a ());
+  obs_equal "overlapping, both orders" ab ba;
+  let ac = mk_a () in
+  Obs.merge ac (mk_c ());
+  let ca = mk_c () in
+  Obs.merge ca (mk_a ());
+  obs_equal "disjoint, both orders" ac ca
+
+let test_merge_self_rejected () =
+  let o = mk_a () in
+  Alcotest.check_raises "merge o o"
+    (Invalid_argument "Obs.merge: dst and src are the same") (fun () ->
+      Obs.merge o o)
+
+(* ------------------------------------------------------------------ *)
+(* 4. sorted-array counter lookup                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_lookup () =
+  let b = Lazy.force lbm in
+  let h = Harness.create ~jobs:1 () in
+  let r = Harness.expect_ok b (Harness.run h E.sb_opt b) in
+  let alist = Harness.counters_alist r in
+  Alcotest.(check bool) "has counters" true (alist <> []);
+  (* binary search agrees with the association list on every key *)
+  List.iter
+    (fun (k, v) -> Alcotest.(check int) k v (Harness.counter r k))
+    alist;
+  Alcotest.(check int) "absent counter is 0" 0
+    (Harness.counter r "no.such.counter");
+  Alcotest.(check int) "absent (before first key) is 0" 0
+    (Harness.counter r "");
+  Alcotest.(check int) "absent (after last key) is 0" 0
+    (Harness.counter r "zzzz.unknown")
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "reports byte-identical at -j 1/2/8" `Slow
+            test_byte_identical_reports;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "exact hit/miss accounting" `Quick
+            test_cache_accounting;
+          Alcotest.test_case "disk cache across sessions" `Quick
+            test_disk_cache_across_sessions;
+        ] );
+      ( "obs-merge",
+        [
+          Alcotest.test_case "associative" `Quick test_merge_associative;
+          Alcotest.test_case "order-insensitive" `Quick
+            test_merge_order_insensitive;
+          Alcotest.test_case "self-merge rejected" `Quick
+            test_merge_self_rejected;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "sorted-array lookup" `Quick test_counter_lookup ]
+      );
+    ]
