@@ -25,7 +25,10 @@ echo "== experiments --json smoke (470lbm) =="
 out=$(mktemp /tmp/mi-ci-XXXXXX.json)
 out_j2=$(mktemp /tmp/mi-ci-j2-XXXXXX.json)
 cache=$(mktemp -d /tmp/mi-ci-cache-XXXXXX)
-trap 'rm -rf "$out" "$out_j2" "$cache"' EXIT
+mut_out=$(mktemp /tmp/mi-ci-mut-XXXXXX.txt)
+chaos1=$(mktemp /tmp/mi-ci-chaos1-XXXXXX.txt)
+chaos2=$(mktemp /tmp/mi-ci-chaos2-XXXXXX.txt)
+trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2"' EXIT
 # the binary re-parses its own output before exiting, so a zero status
 # already certifies well-formed JSON; double-check with python3 if present
 dune exec bin/experiments.exe -- --benchmark 470lbm -j 1 --json "$out" \
@@ -50,5 +53,47 @@ dune exec bin/experiments.exe -- --benchmark 470lbm -j 2 \
     --cache-dir "$cache" --json "$out_j2" table2 hotchecks >/dev/null
 cmp "$out" "$out_j2"
 echo "-j 2 output byte-identical to -j 1"
+
+# the security-guarantee gate: a seeded sample of check-deletion mutants
+# (25 per approach) against the safety corpus.  Any mutant that is
+# neither killed nor carries a written wide-bounds justification makes
+# the experiment raise, so a zero exit plus "survivors: 0" in the
+# report certifies 100% mutation kill on the sample.
+echo "== mutation gate (check-deletion mutants vs the safety corpus) =="
+dune exec bin/experiments.exe -- mutation > "$mut_out"
+grep -q "survivors: 0" "$mut_out"
+echo "all sampled check-deletion mutants killed or whitelisted"
+
+# the fault-tolerance gate: inject a crash into every softbound+domopt
+# job and a hang into every lowfat+domopt job.  Under --keep-going the
+# matrix must still complete: fig9 degrades to an "(incomplete)" stub,
+# table2 (built on the un-faulted full setups) stays intact, the
+# failure manifest lists both failures with their retry counts, and the
+# exit status is nonzero.
+echo "== chaos gate (injected crash + hang under --keep-going) =="
+chaos_flags="--benchmark 470lbm --keep-going --retries 1 --job-timeout 1"
+chaos_inject='crash=softbound+domopt,hang=lowfat+domopt:5'
+if dune exec bin/experiments.exe -- $chaos_flags -j 4 --cache-dir "$cache" \
+    --inject "$chaos_inject" fig9 table2 > "$chaos1"; then
+    echo "chaos run unexpectedly exited zero"; exit 1
+fi
+grep -q "fig9 (incomplete)" "$chaos1"
+grep -q "Table 2" "$chaos1"
+grep -q "== failure manifest ==" "$chaos1"
+grep -q "injected crash" "$chaos1"
+grep -q "wall-clock budget exceeded" "$chaos1"
+echo "matrix completed with partial results + failure manifest"
+
+# graceful degradation is deterministic: the same chaos run at -j 1,
+# additionally recovering from a bit-flipped on-disk cache, must print
+# byte-identical output (surviving results AND manifest)
+echo "== chaos determinism (-j 1 + corrupted cache vs -j 4) =="
+if dune exec bin/experiments.exe -- $chaos_flags -j 1 --cache-dir "$cache" \
+    --inject "$chaos_inject,corrupt-cache=bitflip" fig9 table2 > "$chaos2"
+then
+    echo "chaos run unexpectedly exited zero"; exit 1
+fi
+cmp "$chaos1" "$chaos2"
+echo "chaos output byte-identical across -j and cache corruption"
 
 echo "== ci OK =="

@@ -94,7 +94,7 @@ let list_experiments () =
   0
 
 let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
-    all list ocli =
+    all list ocli fcli =
   if list then list_experiments ()
   else begin
     let benchmarks =
@@ -128,9 +128,15 @@ let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
               None)
         names
     in
-    let h = Harness.create ~jobs ?cache_dir () in
+    let h =
+      Harness.create ~jobs ?cache_dir ~faults:fcli.Mi_fault_cli.faults
+        ?job_timeout:fcli.Mi_fault_cli.job_timeout
+        ~retries:fcli.Mi_fault_cli.retries ()
+    in
     let reports =
-      try E.run_reports ?benchmarks h (List.map snd selected)
+      try
+        E.run_reports ?benchmarks ~keep_going:fcli.Mi_fault_cli.keep_going h
+          (List.map snd selected)
       with Harness.Benchmark_failed (bench, reason) ->
         Printf.eprintf "mi-experiments: benchmark %s failed: %s\n" bench
           reason;
@@ -148,9 +154,17 @@ let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
     if ocli.Mi_obs_cli.profile then begin
       let cs = Harness.cache_stats h in
       Printf.eprintf
-        "[mi-experiments] jobs=%d instrumentation cache: %d hits, %d misses\n"
-        (Harness.jobs h) cs.Harness.hits cs.Harness.misses
+        "[mi-experiments] jobs=%d instrumentation cache: %d hits, %d \
+         misses, %d corrupt\n"
+        (Harness.jobs h) cs.Harness.hits cs.Harness.misses cs.Harness.corrupt
     end;
+    (* jobs that failed under --keep-going: partial results were
+       reported above, but the exit status must still flag them *)
+    (match Harness.failures h with
+    | [] -> ()
+    | _ :: _ ->
+        Printf.printf "== failure manifest ==\n%s" (Harness.failure_manifest h);
+        if !exit_code = 0 then exit_code := 1);
     Mi_obs_cli.finish ~app:"mi-experiments" ocli (Harness.obs h);
     !exit_code
   end
@@ -223,6 +237,7 @@ let cmd =
     (Cmd.info "mi-experiments" ~doc)
     Term.(
       const run_experiments $ names_arg $ bench_arg $ csv_arg $ json_arg
-      $ jobs_arg $ cache_dir_arg $ all_arg $ list_arg $ Mi_obs_cli.term)
+      $ jobs_arg $ cache_dir_arg $ all_arg $ list_arg $ Mi_obs_cli.term
+      $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

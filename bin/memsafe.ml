@@ -7,15 +7,19 @@
     memsafe --cases           # replay the §4 usability case studies
     memsafe --profile prog.c  # per-check-site hit/cycle profile
     memsafe --trace t.json prog.c   # Chrome trace of compile+run
+    memsafe --inject fuel=1000 prog.c    # fault-injected run
     v}
 
     Exit status: 0 when the program runs to completion under both
     approaches, 1 when either reports a safety violation or traps, 2 on
-    usage errors. *)
+    usage errors, 3 on resource exhaustion (fuel budget spent — e.g. an
+    infinite loop — or a [--job-timeout] exceeded) without any
+    violation. *)
 
 open Cmdliner
 module Config = Mi_core.Config
 module Usability = Mi_bench_kit.Usability
+module Fault = Mi_faultkit.Fault
 
 let read_file path =
   let ic = open_in_bin path in
@@ -30,8 +34,11 @@ let verdict_string (r : Mi_bench_kit.Harness.run) =
   | Mi_vm.Interp.Safety_violation { checker; reason } ->
       Printf.sprintf "VIOLATION reported by %s: %s" checker reason
   | Mi_vm.Interp.Trapped msg -> Printf.sprintf "VM trap: %s" msg
+  | Mi_vm.Interp.Exhausted budget ->
+      Printf.sprintf "RESOURCE EXHAUSTION: fuel budget of %d spent \
+                      (infinite loop?)" budget
 
-let run_file ~ocli file =
+let run_file ~ocli ~(fcli : Mi_fault_cli.t) file =
   let code = read_file file in
   let sources = [ Mi_bench_kit.Bench.src (Filename.basename file) code ] in
   (* one observability context across both approaches: counters are
@@ -39,6 +46,7 @@ let run_file ~ocli file =
      compose; the trace then shows both compile+run pipelines *)
   let obs = Mi_obs.Obs.create () in
   let bad = ref false in
+  let exhausted = ref false in
   List.iter
     (fun (label, approach) ->
       let cfg = Config.of_approach approach in
@@ -47,10 +55,14 @@ let run_file ~ocli file =
       in
       let r =
         Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"memsafe" label
-          (fun () -> Mi_bench_kit.Harness.run_sources ~obs setup sources)
+          (fun () ->
+            Mi_bench_kit.Harness.run_sources ~obs
+              ~faults:fcli.Mi_fault_cli.faults
+              ?budget:fcli.Mi_fault_cli.job_timeout setup sources)
       in
       (match r.outcome with
       | Mi_vm.Interp.Exited _ -> ()
+      | Mi_vm.Interp.Exhausted _ -> exhausted := true
       | Mi_vm.Interp.Safety_violation _ | Mi_vm.Interp.Trapped _ ->
           bad := true);
       Printf.printf "%-18s %s\n" (label ^ ":") (verdict_string r);
@@ -60,7 +72,8 @@ let run_file ~ocli file =
     [ ("SoftBound", Config.Softbound); ("Low-Fat Pointers", Config.Lowfat) ];
   (* sites carry their approach, so one merged profile covers both *)
   Mi_obs_cli.finish ~app:"memsafe" ocli obs;
-  if !bad then 1 else 0
+  (* a violation outranks exhaustion: exit 3 only for clean-but-starved *)
+  if !bad then 1 else if !exhausted then 3 else 0
 
 let run_cases () =
   List.iter
@@ -80,11 +93,15 @@ let run_cases () =
     (Usability.all @ Mi_bench_kit.Excluded.all);
   0
 
-let main file cases ocli =
+let main file cases ocli fcli =
   if cases then run_cases ()
   else
     match file with
-    | Some f when Sys.file_exists f -> run_file ~ocli f
+    | Some f when Sys.file_exists f -> (
+        try run_file ~ocli ~fcli f
+        with Fault.Job_timeout budget ->
+          Printf.eprintf "memsafe: wall-clock budget exceeded (%gs)\n" budget;
+          3)
     | Some f ->
         Printf.eprintf "memsafe: no such file %s\n" f;
         2
@@ -107,7 +124,11 @@ let cmd =
        ~exits:
          (Cmd.Exit.info 0 ~doc:"ran to completion under both approaches"
          :: Cmd.Exit.info 1 ~doc:"a safety violation or VM trap was reported"
+         :: Cmd.Exit.info 3
+              ~doc:
+                "resource exhaustion: the fuel budget was spent (infinite \
+                 loop?) or the wall-clock budget ran out, with no violation"
          :: Cmd.Exit.defaults))
-    Term.(const main $ file_arg $ cases_arg $ Mi_obs_cli.term)
+    Term.(const main $ file_arg $ cases_arg $ Mi_obs_cli.term $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

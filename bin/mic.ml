@@ -31,7 +31,7 @@ let ep_of_string = function
   | _ -> None
 
 let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
-    ocli =
+    ocli (fcli : Mi_fault_cli.t) =
   let level =
     match level_of_string level_s with
     | Some l -> l
@@ -77,7 +77,9 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
   let finish_obs () = Mi_obs_cli.finish ~app:"mic" ocli obs in
   let instrument =
     Option.map
-      (fun cfg m -> ignore (Mi_core.Instrument.run ~obs cfg m))
+      (fun cfg m ->
+        ignore
+          (Mi_core.Instrument.run ~obs ~faults:fcli.Mi_fault_cli.faults cfg m))
       config
   in
   Pipeline.run ~level ?instrument ~ep ~tracer:obs.Mi_obs.Obs.trace m;
@@ -107,10 +109,22 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
                 Some (Mi_lowfat.Lowfat_rt.alloc_global lf st ~size ~align))
     | Some _ -> ignore (Mi_softbound.Softbound_rt.install st)
     | None -> ());
+    Mi_vm.Inject.install fcli.Mi_fault_cli.faults st;
+    Option.iter
+      (fun budget ->
+        Mi_vm.Inject.arm_deadline st
+          ~deadline:(Unix.gettimeofday () +. budget)
+          ~budget)
+      fcli.Mi_fault_cli.job_timeout;
     let img = Mi_vm.Interp.load ?alloc_global:!alloc_global st [ m ] in
     let res =
-      Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"mic" "execute"
-        (fun () -> Mi_vm.Interp.run st img)
+      try
+        Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"mic" "execute"
+          (fun () -> Mi_vm.Interp.run st img)
+      with Mi_faultkit.Fault.Job_timeout budget ->
+        Printf.eprintf "[mic] wall-clock budget exceeded (%gs)\n" budget;
+        finish_obs ();
+        exit 3
     in
     print_string res.output;
     Printf.eprintf "[mic] cycles=%d dynamic-instructions=%d\n" res.cycles
@@ -124,6 +138,10 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
     | Mi_vm.Interp.Trapped msg ->
         Printf.eprintf "[mic] trap: %s\n" msg;
         exit 139
+    | Mi_vm.Interp.Exhausted budget ->
+        Printf.eprintf "[mic] resource exhaustion: fuel budget of %d spent\n"
+          budget;
+        exit 3
   end;
   finish_obs ();
   0
@@ -176,6 +194,7 @@ let cmd =
     (Cmd.info "mic" ~doc:"MiniC compiler with memory-safety instrumentation")
     Term.(
       const run_mic $ file_arg $ level_arg $ instr_arg $ ep_arg $ emit_arg
-      $ norun_arg $ i64_arg $ diagnose_arg $ Mi_obs_cli.term)
+      $ norun_arg $ i64_arg $ diagnose_arg $ Mi_obs_cli.term
+      $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

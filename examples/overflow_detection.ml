@@ -73,6 +73,8 @@ let verdict setup src =
   | Mi_vm.Interp.Exited _ -> "missed (ran to completion)"
   | Mi_vm.Interp.Safety_violation { reason; _ } -> "CAUGHT: " ^ reason
   | Mi_vm.Interp.Trapped msg -> "vm trap: " ^ msg
+  | Mi_vm.Interp.Exhausted budget ->
+      Printf.sprintf "fuel budget of %d exhausted" budget
 
 let () =
   List.iter

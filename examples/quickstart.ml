@@ -51,7 +51,9 @@ let () =
   | Mi_vm.Interp.Exited code -> Printf.printf "exited with %d\n" code
   | Mi_vm.Interp.Safety_violation { checker; reason } ->
       Printf.printf "%s reported: %s\n" checker reason
-  | Mi_vm.Interp.Trapped msg -> Printf.printf "VM trap: %s\n" msg);
+  | Mi_vm.Interp.Trapped msg -> Printf.printf "VM trap: %s\n" msg
+  | Mi_vm.Interp.Exhausted budget ->
+      Printf.printf "fuel budget of %d exhausted\n" budget);
   Printf.printf "executed %d instructions in %d model cycles\n" result.steps
     result.cycles;
   Printf.printf "dereference checks: %d (%d with wide bounds)\n"

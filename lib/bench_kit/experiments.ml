@@ -86,8 +86,8 @@ let strict (lookup : lookup) : lookup =
     reuse each other's runs (one baseline run serves Figures 9-13), and
     because reduces see a completed table, report output is independent
     of the session's [jobs] setting. *)
-let run_reports ?(benchmarks = Suite.all) (h : Harness.t) (exps : t list) :
-    (string * report) list =
+let run_reports ?(benchmarks = Suite.all) ?(keep_going = false)
+    (h : Harness.t) (exps : t list) : (string * report) list =
   let jobs = List.concat_map (fun e -> e.jobs benchmarks) exps in
   let results = Harness.run_jobs h jobs in
   let table = Hashtbl.create 256 in
@@ -110,7 +110,28 @@ let run_reports ?(benchmarks = Suite.all) (h : Harness.t) (exps : t list) :
     | Error e ->
         raise (Harness.Benchmark_failed (e.Harness.bench, e.Harness.reason))
   in
-  List.map (fun e -> (e.name, e.reduce lookup benchmarks)) exps
+  List.map
+    (fun e ->
+      let report =
+        if not keep_going then e.reduce lookup benchmarks
+        else
+          (* graceful degradation: an experiment whose runs failed
+             yields a stub report instead of aborting the other
+             experiments — the failed jobs stay visible through the
+             session's failure manifest *)
+          try e.reduce lookup benchmarks
+          with Harness.Benchmark_failed (bench, reason) ->
+            {
+              title = e.name ^ " (incomplete)";
+              text =
+                Printf.sprintf
+                  "experiment skipped: benchmark %s failed: %s\n" bench
+                  reason;
+              series = [];
+            }
+      in
+      (e.name, report))
+    exps
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: execution-time comparison                                 *)
@@ -566,6 +587,7 @@ let ablation_sz0_reduce (lookup : lookup) benchmarks : report =
     | Mi_vm.Interp.Exited _ -> "runs"
     | Mi_vm.Interp.Safety_violation _ -> "SPURIOUS VIOLATION"
     | Mi_vm.Interp.Trapped _ -> "trap"
+    | Mi_vm.Interp.Exhausted _ -> "exhausted"
   in
   let spurious = ref 0 in
   List.iter
@@ -658,6 +680,43 @@ let reports_to_json (rs : report list) : Json.t =
   Json.Obj [ ("reports", Json.List (List.map report_to_json rs)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Mutation campaign: the security-guarantee gate                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs its own corpus programs rather than the benchmark matrix: the
+   mutants are per-check deletions judged by the safety corpus.  A
+   survivor is a guarantee hole, so the reduce raises — under
+   [--keep-going] that degrades to an incomplete report, but the CI
+   gate runs it strictly. *)
+let mutation_reduce _lookup _benchmarks : report =
+  let c = Mutation.run ~sample_per_approach:25 () in
+  if c.Mutation.survived > 0 then
+    raise
+      (Harness.Benchmark_failed
+         ( "mutation",
+           Printf.sprintf
+             "%d of %d check-deletion mutants survived the safety corpus"
+             c.Mutation.survived c.Mutation.total ));
+  {
+    title =
+      "Mutation campaign: check-deletion mutants vs the safety corpus";
+    text = Mutation.render c;
+    series =
+      [
+        {
+          label = "mutants";
+          points =
+            [
+              ("total", float_of_int c.Mutation.total);
+              ("killed", float_of_int c.Mutation.killed);
+              ("whitelisted", float_of_int c.Mutation.whitelisted);
+              ("survived", float_of_int c.Mutation.survived);
+            ];
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registrations                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -744,6 +803,13 @@ let () =
         descr = "hottest instrumentation sites by modeled check cycles";
         jobs = hotchecks_jobs;
         reduce = (fun lookup benchmarks -> hotchecks_reduce lookup benchmarks);
+      };
+      {
+        name = "mutation";
+        aliases = [ "mutants" ];
+        descr = "check-deletion mutation campaign vs the safety corpus";
+        jobs = (fun _ -> []);
+        reduce = mutation_reduce;
       };
     ]
 

@@ -72,13 +72,20 @@ val strict : lookup -> lookup
 
 val run_reports :
   ?benchmarks:Bench.t list ->
+  ?keep_going:bool ->
   Harness.t ->
   t list ->
   (string * report) list
 (** The generic driver loop: run the deduplicated union of the given
     experiments' job matrices through the session, then reduce each
     experiment.  Returns [(name, report)] in the order given.
-    Benchmarks default to {!Suite.all}. *)
+    Benchmarks default to {!Suite.all}.
+
+    With [keep_going] (default false), an experiment whose runs failed
+    reduces to a stub ["<name> (incomplete)"] report instead of raising
+    {!Harness.Benchmark_failed}: the matrix's surviving results are
+    still reported, and the failures stay visible through
+    {!Harness.failures} / {!Harness.failure_manifest}. *)
 
 val all_reports : ?jobs:int -> ?benchmarks:Bench.t list -> unit -> report list
 (** Reduce every registered experiment through a fresh session with a

@@ -18,6 +18,7 @@
 module Config = Mi_core.Config
 module Pipeline = Mi_passes.Pipeline
 module Obs = Mi_obs.Obs
+module Fault = Mi_faultkit.Fault
 
 type setup = {
   config : Config.t option;  (** [None]: uninstrumented baseline *)
@@ -90,7 +91,8 @@ let counters_alist (r : run) = Array.to_list r.counters
 (* Lower + instrument + optimize every translation unit.  Returns the
    modules (with their instrumented flags) and per-unit static stats.
    All sites registered during this phase land in [obs.sites]. *)
-let compile ~obs (setup : setup) (sources : Bench.source list) :
+let compile ?(faults = Fault.none) ~obs (setup : setup)
+    (sources : Bench.source list) :
     (Mi_mir.Irmod.t * bool) list * Mi_core.Instrument.mod_stats list =
   let tracer = obs.Obs.trace in
   let stats = ref [] in
@@ -110,7 +112,7 @@ let compile ~obs (setup : setup) (sources : Bench.source list) :
               | Some cfg when s.instrument ->
                   Some
                     (fun m ->
-                      let st = Mi_core.Instrument.run ~obs cfg m in
+                      let st = Mi_core.Instrument.run ~obs ~faults cfg m in
                       stats := st :: !stats)
               | _ -> None
             in
@@ -124,13 +126,18 @@ let compile ~obs (setup : setup) (sources : Bench.source list) :
 (* Load the compiled modules into a fresh VM with the configured runtime
    and execute.  Reads the modules but never mutates them, so cached
    modules can be shared across runs and domains. *)
-let execute ~obs (setup : setup) (modules : (Mi_mir.Irmod.t * bool) list)
+let execute ?(faults = Fault.none) ?deadline ~obs (setup : setup)
+    (modules : (Mi_mir.Irmod.t * bool) list)
     ~(static_stats : Mi_core.Instrument.mod_stats list) : run =
   let tracer = obs.Obs.trace in
   let st =
     Mi_vm.State.create ~seed:setup.seed ~metrics:obs.Obs.metrics
       ~sites:obs.Obs.sites ()
   in
+  Mi_vm.Inject.install faults st;
+  Option.iter
+    (fun (at, budget) -> Mi_vm.Inject.arm_deadline st ~deadline:at ~budget)
+    deadline;
   Mi_vm.Builtins.install st;
   let alloc_global = ref None in
   (match setup.config with
@@ -200,10 +207,13 @@ let execute ~obs (setup : setup) (modules : (Mi_mir.Irmod.t * bool) list)
     share one across runs (e.g. to export a trace spanning compile and
     execute, or to accumulate metrics).  This entry point never consults
     a cache — sessions do ({!run}, {!run_jobs}). *)
-let run_sources ?(obs = Obs.create ()) (setup : setup)
-    (sources : Bench.source list) : run =
-  let modules, stats = compile ~obs setup sources in
-  execute ~obs setup modules ~static_stats:stats
+let run_sources ?(obs = Obs.create ()) ?(faults = Fault.none) ?budget
+    (setup : setup) (sources : Bench.source list) : run =
+  let modules, stats = compile ~faults ~obs setup sources in
+  let deadline =
+    Option.map (fun b -> (Unix.gettimeofday () +. b, b)) budget
+  in
+  execute ~faults ?deadline ~obs setup modules ~static_stats:stats
 
 let run_benchmark ?(obs = Obs.create ()) (setup : setup) (b : Bench.t) : run
     =
@@ -235,6 +245,14 @@ let () =
 let check_run (b : Bench.t) (r : run) : (run, error) result =
   match r.outcome with
   | Mi_vm.Interp.Trapped msg -> Error { bench = b.name; reason = "trap: " ^ msg }
+  | Mi_vm.Interp.Exhausted budget ->
+      Error
+        {
+          bench = b.name;
+          reason =
+            Printf.sprintf "resource exhaustion: fuel budget of %d spent"
+              budget;
+        }
   | Mi_vm.Interp.Safety_violation { checker; reason } ->
       Error
         {
@@ -270,23 +288,103 @@ let run_benchmark_exn (setup : setup) (b : Bench.t) : run =
 (* Sessions: obs + cache + worker pool                                 *)
 (* ------------------------------------------------------------------ *)
 
-type t = { s_obs : Obs.t; s_cache : Icache.t; s_jobs : int }
+type failure_kind =
+  | Crash  (** the worker raised (a bug, or an un-typed injected fault) *)
+  | Timeout  (** the per-job wall-clock budget ran out *)
+  | Injected  (** an injected crash from the fault plan *)
 
-type cache_stats = Icache.stats = { hits : int; misses : int }
+type job_failure = {
+  jf_setup : string;  (** {!setup_key} of the failed job *)
+  jf_bench : string;
+  jf_kind : failure_kind;
+  jf_reason : string;
+  jf_retries : int;  (** retries consumed before giving up *)
+}
+
+type t = {
+  s_obs : Obs.t;
+  s_cache : Icache.t;
+  s_jobs : int;
+  s_faults : Fault.t;
+  s_job_timeout : float option;
+  s_retries : int;
+  mutable s_failures : job_failure list;  (** newest first; see {!failures} *)
+  mutable s_corrupt_seen : int;
+      (** cache corruptions already folded into the session metrics *)
+}
+
+type cache_stats = Icache.stats = { hits : int; misses : int; corrupt : int }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let create ?jobs ?cache_dir ?obs () =
+let create ?jobs ?cache_dir ?obs ?(faults = Fault.none) ?job_timeout
+    ?(retries = 0) () =
+  let cache = Icache.create ?dir:cache_dir () in
+  (* the fault plan corrupts persisted entries up front, so the first
+     lookups of this session exercise the detection path *)
+  (match faults.Fault.cache with
+  | Some how -> ignore (Icache.corrupt cache how)
+  | None -> ());
   {
     s_obs = (match obs with Some o -> o | None -> Obs.create ());
-    s_cache = Icache.create ?dir:cache_dir ();
+    s_cache = cache;
     s_jobs =
       (match jobs with Some j -> max 1 j | None -> default_jobs ());
+    s_faults = faults;
+    s_job_timeout = job_timeout;
+    s_retries = max 0 retries;
+    s_failures = [];
+    s_corrupt_seen = 0;
   }
 
 let obs t = t.s_obs
 let jobs t = t.s_jobs
 let cache_stats t = Icache.stats t.s_cache
+
+let failures t = List.rev t.s_failures
+
+let kind_name = function
+  | Crash -> "crash"
+  | Timeout -> "timeout"
+  | Injected -> "injected"
+
+(** Deterministic plain-text manifest of every job failure, in job
+    order; [""] when nothing failed. *)
+let failure_manifest t =
+  match failures t with
+  | [] -> ""
+  | fs ->
+      let tbl =
+        Mi_support.Table.create
+          ~aligns:[ Mi_support.Table.Left; Left; Left; Right; Left ]
+          [ "setup"; "benchmark"; "cause"; "retries"; "reason" ]
+      in
+      List.iter
+        (fun f ->
+          Mi_support.Table.add_row tbl
+            [
+              f.jf_setup;
+              f.jf_bench;
+              kind_name f.jf_kind;
+              string_of_int f.jf_retries;
+              f.jf_reason;
+            ])
+        fs;
+      Mi_support.Table.render tbl
+
+let failures_to_json t : Mi_obs.Json.t =
+  Mi_obs.Json.List
+    (List.map
+       (fun f ->
+         Mi_obs.Json.Obj
+           [
+             ("setup", Mi_obs.Json.Str f.jf_setup);
+             ("benchmark", Mi_obs.Json.Str f.jf_bench);
+             ("cause", Mi_obs.Json.Str (kind_name f.jf_kind));
+             ("retries", Mi_obs.Json.Int f.jf_retries);
+             ("reason", Mi_obs.Json.Str f.jf_reason);
+           ])
+       (failures t))
 
 (* Everything the compile phase depends on, as cache-key content; the
    seed only affects execution and is deliberately left out. *)
@@ -312,8 +410,13 @@ let compile_key (setup : setup) (sources : Bench.source list) =
    context MUST be empty: a cache hit replays the cached site registry
    from id 0, which is what the site ids embedded in the cached modules
    refer to. *)
-let run_cached t ~obs (setup : setup) (b : Bench.t) : run =
-  let key = compile_key setup b.sources in
+let run_cached ?deadline t ~obs (setup : setup) (b : Bench.t) : run =
+  let key =
+    (* a mutated compile must never alias the unmutated entry *)
+    match Fault.compile_sig t.s_faults with
+    | "" -> compile_key setup b.sources
+    | sig_ -> compile_key setup b.sources ^ "\n--faults " ^ sig_ ^ "\n"
+  in
   let modules, stats =
     match Icache.find t.s_cache key with
     | Some e ->
@@ -322,7 +425,9 @@ let run_cached t ~obs (setup : setup) (b : Bench.t) : run =
           e.Icache.e_sites;
         (e.Icache.e_modules, e.Icache.e_stats)
     | None ->
-        let modules, stats = compile ~obs setup b.sources in
+        let modules, stats =
+          compile ~faults:t.s_faults ~obs setup b.sources
+        in
         Icache.add t.s_cache key
           {
             Icache.e_modules = modules;
@@ -333,7 +438,9 @@ let run_cached t ~obs (setup : setup) (b : Bench.t) : run =
   in
   Mi_obs.Trace.with_span obs.Obs.trace ~cat:"benchmark"
     ("benchmark:" ^ b.name)
-    (fun () -> execute ~obs setup modules ~static_stats:stats)
+    (fun () ->
+      execute ~faults:t.s_faults ?deadline ~obs setup modules
+        ~static_stats:stats)
 
 (** Shard [jobs] across the session's worker domains.  Duplicate jobs
     (same {!setup_key} and benchmark) are executed once and share their
@@ -342,6 +449,59 @@ let run_cached t ~obs (setup : setup) (b : Bench.t) : run =
     in (deduplicated) job order — never in completion order — so the
     returned runs and the session context are byte-identical no matter
     how many domains ran, or how the scheduler interleaved them. *)
+(* One attempt of one job, on a fresh obs context.  Injected job faults
+   fire first: a crash raises before any work, a hang busy-waits (still
+   honouring the wall-clock deadline) and then runs the job normally. *)
+let attempt_job t ~job_desc (setup : setup) (b : Bench.t) : Obs.t * run =
+  let deadline =
+    Option.map (fun budget -> (Unix.gettimeofday () +. budget, budget))
+      t.s_job_timeout
+  in
+  (match Fault.job_fault_for t.s_faults job_desc with
+  | Some (Fault.Crash_job _) -> raise (Fault.Injected_crash job_desc)
+  | Some (Fault.Hang_job (_, dur)) ->
+      let until = Unix.gettimeofday () +. dur in
+      while Unix.gettimeofday () < until do
+        (match deadline with
+        | Some (at, budget) ->
+            if Unix.gettimeofday () > at then raise (Fault.Job_timeout budget)
+        | None -> ());
+        Domain.cpu_relax ()
+      done
+  | None -> ());
+  let obs = Obs.create () in
+  (obs, run_cached ?deadline t ~obs setup b)
+
+(* Classify an exception that escaped a job attempt.  Reasons must be
+   deterministic (no measured times, no addresses): they feed the
+   failure manifest, which is part of the byte-identical output. *)
+let classify_failure ~setup_key:sk ~bench ~retries = function
+  | Fault.Injected_crash what ->
+      {
+        jf_setup = sk;
+        jf_bench = bench;
+        jf_kind = Injected;
+        jf_reason = "injected crash: " ^ what;
+        jf_retries = retries;
+      }
+  | Fault.Job_timeout budget ->
+      {
+        jf_setup = sk;
+        jf_bench = bench;
+        jf_kind = Timeout;
+        jf_reason =
+          Printf.sprintf "wall-clock budget exceeded (%gs)" budget;
+        jf_retries = retries;
+      }
+  | e ->
+      {
+        jf_setup = sk;
+        jf_bench = bench;
+        jf_kind = Crash;
+        jf_reason = Printexc.to_string e;
+        jf_retries = retries;
+      }
+
 let run_jobs t (jobs : (setup * Bench.t) list) :
     (run, error) result list =
   let job_key (s, (b : Bench.t)) = (setup_key s, b.name) in
@@ -360,22 +520,50 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
     jobs;
   let arr = Array.of_list (List.rev !distinct) in
   let n = Array.length arr in
-  let out =
-    Array.make n (Error { bench = ""; reason = "job was not scheduled" })
+  let unscheduled =
+    {
+      jf_setup = "";
+      jf_bench = "";
+      jf_kind = Crash;
+      jf_reason = "job was not scheduled";
+      jf_retries = 0;
+    }
   in
-  let obss = Array.make n None in
+  let out : (run, job_failure) result array = Array.make n (Error unscheduled) in
+  (* obs of SUCCESSFUL attempts only: a failed attempt's partial context
+     (half-registered sites, partial counters) would poison the merge
+     and break -j determinism, so it is discarded with the attempt *)
+  let obss : Obs.t option array = Array.make n None in
+  let retried = Array.make n 0 in
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         let setup, b = arr.(i) in
-        let obs = Obs.create () in
-        obss.(i) <- Some obs;
-        out.(i) <-
-          (try Ok (run_cached t ~obs setup b)
-           with e ->
-             Error { bench = b.Bench.name; reason = Printexc.to_string e });
+        let sk = setup_key setup in
+        let job_desc = sk ^ "/" ^ b.Bench.name in
+        (* bounded retry with exponential backoff; the try captures
+           EVERYTHING, so no exception ever escapes the worker and the
+           pool can neither orphan queued jobs nor hang Domain.join *)
+        let rec attempt k =
+          match attempt_job t ~job_desc setup b with
+          | obs, r ->
+              obss.(i) <- Some obs;
+              retried.(i) <- k;
+              out.(i) <- Ok r
+          | exception e ->
+              if k < t.s_retries then begin
+                Unix.sleepf (0.01 *. Float.of_int (1 lsl k));
+                attempt (k + 1)
+              end
+              else
+                out.(i) <-
+                  Error
+                    (classify_failure ~setup_key:sk ~bench:b.Bench.name
+                       ~retries:k e)
+        in
+        attempt 0;
         loop ()
       end
     in
@@ -385,13 +573,43 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
   if workers <= 1 then worker ()
   else begin
     let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
+    (* even if the main-thread worker raises (it cannot, see above, but
+       defence in depth), every spawned domain is still joined *)
+    Fun.protect ~finally:(fun () -> List.iter Domain.join domains) worker
   end;
-  Array.iter
-    (function Some o -> Obs.merge t.s_obs o | None -> ())
-    obss;
-  List.map (fun job -> out.(Hashtbl.find index (job_key job))) jobs
+  (* fold per-job results into the session, strictly in job order *)
+  Array.iteri
+    (fun i res ->
+      (match obss.(i) with Some o -> Obs.merge t.s_obs o | None -> ());
+      match res with
+      | Ok _ ->
+          if retried.(i) > 0 then
+            Mi_obs.Metrics.incr ~by:retried.(i) t.s_obs.Obs.metrics
+              "harness.job_retried"
+      | Error f ->
+          Mi_obs.Metrics.incr t.s_obs.Obs.metrics "harness.job_failed";
+          if f.jf_retries > 0 then
+            Mi_obs.Metrics.incr ~by:f.jf_retries t.s_obs.Obs.metrics
+              "harness.job_retried";
+          if f.jf_kind = Injected then
+            Mi_obs.Metrics.incr ~by:(f.jf_retries + 1) t.s_obs.Obs.metrics
+              "fault.injected";
+          t.s_failures <- f :: t.s_failures)
+    out;
+  (* quarantined cache entries detected since the last sync *)
+  let corrupt_now = (Icache.stats t.s_cache).corrupt in
+  if corrupt_now > t.s_corrupt_seen then begin
+    Mi_obs.Metrics.incr
+      ~by:(corrupt_now - t.s_corrupt_seen)
+      t.s_obs.Obs.metrics "icache.corrupt";
+    t.s_corrupt_seen <- corrupt_now
+  end;
+  List.map
+    (fun job ->
+      match out.(Hashtbl.find index (job_key job)) with
+      | Ok r -> Ok r
+      | Error f -> Error { bench = f.jf_bench; reason = f.jf_reason })
+    jobs
 
 (** The session entry point: one cache-aware run.  Errors are compile,
     link or internal failures; a safety violation or VM trap is an [Ok]

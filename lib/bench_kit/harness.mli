@@ -72,6 +72,27 @@ val expect_ok : Bench.t -> (run, error) result -> run
 (** Unwrap a result strictly: raises {!Benchmark_failed} on [Error] and
     on completed runs that {!check_run} rejects. *)
 
+(** {1 Job failures}
+
+    A failed job never aborts a matrix: the worker captures the
+    exception, classifies it, retries within the session's budget, and
+    finally records a typed {!job_failure}.  The matrix always
+    completes with partial results plus a deterministic failure
+    manifest. *)
+
+type failure_kind =
+  | Crash  (** the worker raised (a bug, or an un-typed injected fault) *)
+  | Timeout  (** the per-job wall-clock budget ran out *)
+  | Injected  (** an injected crash from the fault plan *)
+
+type job_failure = {
+  jf_setup : string;  (** {!setup_key} of the failed job *)
+  jf_bench : string;
+  jf_kind : failure_kind;
+  jf_reason : string;  (** deterministic — safe to diff across [-j] *)
+  jf_retries : int;  (** retries consumed before giving up *)
+}
+
 (** {1 Sessions} *)
 
 type t
@@ -82,12 +103,30 @@ type t
 val default_jobs : unit -> int
 (** The recognized core count ([Domain.recommended_domain_count]). *)
 
-val create : ?jobs:int -> ?cache_dir:string -> ?obs:Mi_obs.Obs.t -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?obs:Mi_obs.Obs.t ->
+  ?faults:Mi_faultkit.Fault.t ->
+  ?job_timeout:float ->
+  ?retries:int ->
+  unit ->
+  t
 (** [jobs] is the worker-pool size (default {!default_jobs}; clamped to
     at least 1).  [cache_dir] additionally persists the instrumentation
     cache on disk, giving hits across processes.  [obs] is the session
     context every run's private context is merged into (a fresh one by
-    default). *)
+    default).
+
+    [faults] is the fault plan every run of the session suffers: check
+    mutations apply during instrumentation (and key the cache, so
+    mutants never alias clean entries), VM faults install on every VM,
+    job faults fire in {!run_jobs} workers, and a cache corruption is
+    applied to the persisted cache right here, at session creation.
+    [job_timeout] is a per-job wall-clock budget in seconds, enforced
+    from the VM's poll hook; a job over budget fails with
+    {!failure_kind.Timeout}.  [retries] (default 0) re-attempts a
+    failed job with exponential backoff before recording a failure. *)
 
 val obs : t -> Mi_obs.Obs.t
 (** The session context: metrics, check sites and trace events of every
@@ -95,11 +134,23 @@ val obs : t -> Mi_obs.Obs.t
 
 val jobs : t -> int
 
-type cache_stats = Icache.stats = { hits : int; misses : int }
+type cache_stats = Icache.stats = { hits : int; misses : int; corrupt : int }
 
 val cache_stats : t -> cache_stats
 (** Exact instrumentation-cache accounting: one hit or miss is counted
-    per executed job (deduplicated jobs consult the cache once). *)
+    per executed job (deduplicated jobs consult the cache once).
+    [corrupt] counts disk entries that failed verification and were
+    quarantined — each was also a miss. *)
+
+val failures : t -> job_failure list
+(** Every job failure recorded by the session so far, in job order. *)
+
+val failure_manifest : t -> string
+(** Deterministic plain-text table of {!failures} (setup, benchmark,
+    cause, retries, reason); [""] when nothing failed. *)
+
+val failures_to_json : t -> Mi_obs.Json.t
+(** {!failures} as a JSON list, same fields as the manifest. *)
 
 val run : t -> setup -> Bench.t -> (run, error) result
 (** The session entry point: one cache-aware run.  [Error] means the
@@ -113,14 +164,30 @@ val run_jobs : t -> (setup * Bench.t) list -> (run, error) result list
     Determinism guarantee: the runs and the session's merged context are
     byte-identical for every [jobs] setting, because each worker uses a
     private context, contexts merge in job order (never completion
-    order), and the VM itself is deterministic. *)
+    order), and the VM itself is deterministic.
+
+    Containment guarantee: no exception escapes a worker — a crashing,
+    hanging or injected-fault job is captured as a typed
+    {!job_failure} (surfaced here as an [Error] and recorded in
+    {!failures}), queued jobs still run, and every spawned domain is
+    joined.  Only successful jobs' contexts are merged, so partial
+    state from failed attempts can never skew the session metrics or
+    the [-j] determinism. *)
 
 (** {1 Classic per-call entry points} *)
 
 val run_sources :
-  ?obs:Mi_obs.Obs.t -> setup -> Bench.source list -> run
+  ?obs:Mi_obs.Obs.t ->
+  ?faults:Mi_faultkit.Fault.t ->
+  ?budget:float ->
+  setup ->
+  Bench.source list ->
+  run
 (** Compile the translation units under [setup], link, execute — no
-    session, no cache.  Pass [obs] to share one context across runs. *)
+    session, no cache.  Pass [obs] to share one context across runs.
+    [faults] applies the plan's check mutations and VM faults to this
+    run; [budget] arms a wall-clock deadline (seconds) that raises
+    {!Mi_faultkit.Fault.Job_timeout} when exceeded. *)
 
 val run_benchmark : ?obs:Mi_obs.Obs.t -> setup -> Bench.t -> run
 

@@ -25,9 +25,15 @@
     makes entries safe to share across worker domains; the table itself
     is guarded by a mutex.
 
-    With a [dir], entries are also persisted with [Marshal] (guarded by
-    a magic string and the compiler version, so a stale or foreign file
-    degrades to a miss), giving cache hits across processes. *)
+    With a [dir], entries are also persisted with [Marshal], giving
+    cache hits across processes.  Disk entries are hardened: a header
+    carries a magic string, the compiler version, the key digest the
+    entry was stored under, and a checksum of the marshalled payload.
+    A file that fails any of those checks — truncated, bit-flipped,
+    renamed under the wrong digest, or written by a different compiler
+    — is never unmarshalled into a wrong replay: it is quarantined
+    (renamed to [*.corrupt]), counted, and the lookup degrades to a
+    miss so the entry is transparently recomputed. *)
 
 type entry = {
   e_modules : (Mi_mir.Irmod.t * bool) list;
@@ -44,13 +50,15 @@ type t = {
   lock : Mutex.t;
   n_hits : int Atomic.t;
   n_misses : int Atomic.t;
+  n_corrupt : int Atomic.t;
 }
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; corrupt : int }
 
 (* Marshal gives no type safety across versions; refuse anything not
-   written by this exact magic + compiler version. *)
-let magic = "mi-icache-v1"
+   written by this exact magic + compiler version.  v2 adds the key
+   digest and payload checksum to the header. *)
+let magic = "mi-icache-v2"
 
 let create ?dir () =
   Option.iter
@@ -62,12 +70,26 @@ let create ?dir () =
     lock = Mutex.create ();
     n_hits = Atomic.make 0;
     n_misses = Atomic.make 0;
+    n_corrupt = Atomic.make 0;
   }
 
 let digest key = Digest.to_hex (Digest.string key)
 
 let entry_path dir d = Filename.concat dir (d ^ ".micache")
 
+(* Move a failed entry out of the way so it is inspectable but can
+   never be read again; best-effort (a concurrent quarantine of the
+   same file is fine). *)
+let quarantine path =
+  try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ()
+
+(* Every integrity check funnels through here: a [None] from this
+   function means the cached bytes cannot be trusted and the caller
+   must recompute.  The checks, in order: magic (foreign file),
+   compiler version (incompatible Marshal), key digest (entry stored
+   under a name it does not belong to — a "stale" entry), payload
+   checksum (truncation, bit flips, torn writes).  Only after all four
+   pass is [Marshal.from_string] allowed to run. *)
 let disk_find t d =
   match t.dir with
   | None -> None
@@ -75,14 +97,31 @@ let disk_find t d =
       let path = entry_path dir d in
       if not (Sys.file_exists path) then None
       else begin
-        try
-          let ic = open_in_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              let m, v, e = (input_value ic : string * string * entry) in
-              if m = magic && v = Sys.ocaml_version then Some e else None)
-        with _ -> None
+        let verified =
+          try
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let m, v, key_d, payload_d =
+                  (input_value ic : string * string * string * Digest.t)
+                in
+                if m <> magic || v <> Sys.ocaml_version || key_d <> d then None
+                else begin
+                  let pos = pos_in ic in
+                  let len = in_channel_length ic - pos in
+                  let payload = really_input_string ic len in
+                  if Digest.string payload <> payload_d then None
+                  else Some (Marshal.from_string payload 0 : entry)
+                end)
+          with _ -> None
+        in
+        (match verified with
+        | None ->
+            Atomic.incr t.n_corrupt;
+            quarantine path
+        | Some _ -> ());
+        verified
       end
 
 let disk_add t d entry =
@@ -93,7 +132,9 @@ let disk_add t d entry =
            half-written entry *)
         let tmp = Filename.temp_file ~temp_dir:dir "wip" ".micache" in
         let oc = open_out_bin tmp in
-        output_value oc (magic, Sys.ocaml_version, entry);
+        let payload = Marshal.to_string entry [] in
+        output_value oc (magic, Sys.ocaml_version, d, Digest.string payload);
+        output_string oc payload;
         close_out oc;
         Sys.rename tmp (entry_path dir d)
       with Sys_error _ -> ())
@@ -130,4 +171,63 @@ let add t key entry =
   disk_add t d entry;
   Mutex.unlock t.lock
 
-let stats t = { hits = Atomic.get t.n_hits; misses = Atomic.get t.n_misses }
+let stats t =
+  {
+    hits = Atomic.get t.n_hits;
+    misses = Atomic.get t.n_misses;
+    corrupt = Atomic.get t.n_corrupt;
+  }
+
+(** Deliberately corrupt every persisted entry (fault injection for the
+    detection path above); returns how many files were damaged.
+    [Truncate] halves the file, [Bitflip] flips one byte two thirds in,
+    [Stale] moves the entry under a digest it does not match. *)
+let corrupt t (how : Mi_faultkit.Fault.cache_corruption) : int =
+  match t.dir with
+  | None -> 0
+  | Some dir ->
+      let entries =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".micache")
+        |> List.sort compare
+      in
+      List.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          match how with
+          | Mi_faultkit.Fault.Truncate ->
+              let ic = open_in_bin path in
+              let n = in_channel_length ic in
+              let half = really_input_string ic (n / 2) in
+              close_in ic;
+              let oc = open_out_bin path in
+              output_string oc half;
+              close_out oc
+          | Mi_faultkit.Fault.Bitflip ->
+              let ic = open_in_bin path in
+              let n = in_channel_length ic in
+              let bytes = really_input_string ic n |> Bytes.of_string in
+              close_in ic;
+              let i = n * 2 / 3 in
+              Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+              let oc = open_out_bin path in
+              output_bytes oc bytes;
+              close_out oc
+          | Mi_faultkit.Fault.Stale ->
+              (* keep the payload pristine but claim the entry belongs
+                 to a different key: a well-formed entry filed under the
+                 wrong name, exactly what a digest/rename mixup leaves *)
+              let ic = open_in_bin path in
+              let _, v, key_d, payload_d =
+                (input_value ic : string * string * string * Digest.t)
+              in
+              let pos = pos_in ic in
+              let len = in_channel_length ic - pos in
+              let payload = really_input_string ic len in
+              close_in ic;
+              let oc = open_out_bin path in
+              output_value oc (magic, v, digest (key_d ^ ":stale"), payload_d);
+              output_string oc payload;
+              close_out oc)
+        entries;
+      List.length entries

@@ -1,0 +1,187 @@
+(** The artifact-style safety corpus (appendix A.5) as a library: small
+    generated programs with heap, stack, and global out-of-bounds reads
+    and writes, each with an oracle for the expected verdict of both
+    instrumentations.
+
+    [test_safety_corpus] runs every case against its oracle; the
+    mutation engine ({!Mutation}) reuses the same programs as the
+    killing test suite for check-deletion mutants.  The corpus is
+    structured so that {e every} access check the instrumenter places in
+    a generated [main] is the reporting check of at least one kind:
+
+    - the body access is the reporting site of the classic kinds
+      ([Just_past], [Past_class], underflows, ...);
+    - [Init_oob] drives the {e init-loop store} out of bounds (the loop
+      upper bound extends past the size class) while the body access
+      stays in bounds — the init store check reports;
+    - [Tail_oob] keeps init and body in bounds but reads past the size
+      class in the {e trailing print} — the print load check reports.
+
+    Expected verdicts follow the approaches' documented guarantees:
+    SoftBound keeps exact allocation bounds (every spatial violation in
+    an instrumented access is reported); Low-Fat pads allocations to
+    their power-of-two size class, so accesses into the padding are not
+    reported while accesses beyond the class or before the base are. *)
+
+module Config = Mi_core.Config
+
+type region = Heap | Stack | Global
+type elem = Char | Long
+type access = Read | Write
+
+type kind =
+  | In_bounds
+  | Last_elem
+  | Just_past  (** first element past the object *)
+  | Past_class  (** beyond the low-fat size class *)
+  | Underflow_one
+  | Underflow_far
+  | Cross_end_width  (** 8-byte access straddling the exact bound *)
+  | Init_oob  (** the init loop itself runs past the size class *)
+  | Tail_oob  (** the trailing print reads past the size class *)
+
+let regions = [ Heap; Stack; Global ]
+let elems = [ Char; Long ]
+let accesses = [ Read; Write ]
+
+let all_kinds =
+  [
+    In_bounds; Last_elem; Just_past; Past_class; Underflow_one; Underflow_far;
+    Cross_end_width; Init_oob; Tail_oob;
+  ]
+
+let region_name = function Heap -> "heap" | Stack -> "stack" | Global -> "global"
+let elem_name = function Char -> "char" | Long -> "long"
+let access_name = function Read -> "read" | Write -> "write"
+
+let kind_name = function
+  | In_bounds -> "in_bounds"
+  | Last_elem -> "last_elem"
+  | Just_past -> "just_past"
+  | Past_class -> "past_class"
+  | Underflow_one -> "underflow1"
+  | Underflow_far -> "underflow_far"
+  | Cross_end_width -> "cross_end_width"
+  | Init_oob -> "init_oob"
+  | Tail_oob -> "tail_oob"
+
+(* array extents chosen so that "just past" lands in low-fat padding *)
+let n_elems = function Char -> 20 | Long -> 10
+let elem_size = function Char -> 1 | Long -> 8
+
+(* first index beyond the low-fat size class:
+   object size char 20 -> class 32; long 80 -> class 128 *)
+let past_class_index = function Char -> 40 | Long -> 17
+
+let index_of_kind elem = function
+  | In_bounds -> 1
+  | Last_elem -> n_elems elem - 1
+  | Just_past -> n_elems elem
+  | Past_class -> past_class_index elem
+  | Underflow_one -> -1
+  | Underflow_far -> -50
+  | Cross_end_width -> n_elems elem (* only used with the i64 overlay *)
+  | Init_oob | Tail_oob -> 1 (* the body access stays in bounds *)
+
+(* geometry oracle mirroring the runtime *)
+let lf_detects elem kind =
+  let size = n_elems elem * elem_size elem in
+  let cls = Mi_support.Util.round_up_pow2 (size + 1) in
+  match kind with
+  | Cross_end_width ->
+      (* 8-byte access at byte offset (size - 1) *)
+      let off = size - 1 in
+      off + 8 > cls
+  | Init_oob | Tail_oob ->
+      (* both reach past_class_index, past the class by construction *)
+      (past_class_index elem * elem_size elem) + elem_size elem > cls
+  | k ->
+      let off = index_of_kind elem k * elem_size elem in
+      let width = elem_size elem in
+      off < 0 || off + width > cls
+
+let sb_detects kind =
+  match kind with In_bounds | Last_elem -> false | _ -> true
+
+let program region elem access kind : string =
+  let n = n_elems elem in
+  let ty = elem_name elem in
+  let decl =
+    match region with
+    | Heap ->
+        Printf.sprintf "  %s *a = (%s *)malloc(%d * sizeof(%s));" ty ty n ty
+    | Stack -> Printf.sprintf "  %s a[%d];" ty n
+    | Global -> "  /* global */"
+  in
+  let global_decl =
+    match region with
+    | Global -> Printf.sprintf "%s a[%d];\n" ty n
+    | _ -> ""
+  in
+  (* Init_oob: the loop bound extends one past the class-crossing index,
+     so the loop's store check is the reporting site *)
+  let init_bound =
+    match kind with Init_oob -> past_class_index elem + 1 | _ -> n
+  in
+  let body =
+    match kind with
+    | Cross_end_width ->
+        (* overlay an 8-byte access on the last byte of the object *)
+        let off = (n * elem_size elem) - 1 in
+        (match access with
+        | Read -> Printf.sprintf "  print_int(*(long *)((char *)a + %d));" off
+        | Write -> Printf.sprintf "  *(long *)((char *)a + %d) = 7;" off)
+    | k -> (
+        let idx = index_of_kind elem k in
+        match access with
+        | Read -> Printf.sprintf "  print_int(a[%d]);" idx
+        | Write -> Printf.sprintf "  a[%d] = 7;" idx)
+  in
+  (* Tail_oob: the trailing print is the out-of-bounds access, so the
+     print's load check is the reporting site *)
+  let tail_index = match kind with Tail_oob -> past_class_index elem | _ -> 0 in
+  Printf.sprintf
+    {|%s
+int main(void) {
+%s
+  long i;
+  for (i = 0; i < %d; i++) a[i] = (%s)i;
+%s
+  print_int(a[%d]);
+  return 0;
+}
+|}
+    global_decl decl init_bound ty body tail_index
+
+(** Expected verdict of the oracle: does [approach] report a violation
+    for this case? *)
+let detects approach elem kind =
+  match approach with
+  | Config.Softbound -> sb_detects kind
+  | Config.Lowfat -> lf_detects elem kind
+
+(** The setup every corpus case runs under: the approach's basis
+    configuration at O1 (all checks kept). *)
+let setup approach : Harness.setup =
+  {
+    (Harness.with_config (Config.of_approach approach) Harness.baseline) with
+    level = Mi_passes.Pipeline.O1;
+  }
+
+type family = { fam_region : region; fam_elem : elem; fam_access : access }
+
+let family_name f =
+  Printf.sprintf "%s_%s_%s" (region_name f.fam_region) (elem_name f.fam_elem)
+    (access_name f.fam_access)
+
+(** The 12 (region x elem x access) program families. *)
+let families =
+  List.concat_map
+    (fun fam_region ->
+      List.concat_map
+        (fun fam_elem ->
+          List.map
+            (fun fam_access -> { fam_region; fam_elem; fam_access })
+            accesses)
+        elems)
+    regions

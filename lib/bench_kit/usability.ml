@@ -520,6 +520,7 @@ let verdict_of_outcome (o : Mi_vm.Interp.outcome) : verdict =
   | Mi_vm.Interp.Exited _ -> Works
   | Mi_vm.Interp.Safety_violation _ -> Reports
   | Mi_vm.Interp.Trapped msg -> failwith ("usability case trapped: " ^ msg)
+  | Mi_vm.Interp.Exhausted _ -> failwith "usability case exhausted its fuel"
 
 (** Run a case under the given approach's basis configuration; returns
     the observed verdict and the run. *)

@@ -28,6 +28,8 @@ type func_stats = {
   checks_placed : int;
   checks_removed : int;
   invariants_placed : int;
+  checks_mutated : int;
+      (** checks deleted or weakened by an injected fault plan *)
 }
 
 type mod_stats = {
@@ -36,6 +38,7 @@ type mod_stats = {
   total_checks_placed : int;
   total_checks_removed : int;
   total_invariants : int;
+  total_checks_mutated : int;
 }
 
 (* defsite of an SSA variable *)
@@ -56,6 +59,13 @@ type fctx = {
   sites : Mi_obs.Site.t;
       (** check-site registry: every check placed gets a stable id *)
   mutable invariants : int;
+  faults : Mi_faultkit.Fault.t;
+      (** fault plan; check mutations consult it per placed check *)
+  mutable check_ordinal : int;
+      (** next check's per-function ordinal, assigned in placement
+          order before the mutation decision so mutating one check
+          never renumbers the others *)
+  mutable mutated : int;
 }
 
 (* Register an instrumentation site for a check placed in this function;
@@ -520,24 +530,45 @@ let emit_memop ctx (mo : Itarget.memop) =
     Option.iter check_one mo.m_src
   end
 
-let emit_check ctx (c : Itarget.check) =
-  let site =
-    new_site ctx
-      (Printf.sprintf "%s@%s"
-         (match c.c_access with Itarget.Aload -> "load" | Astore -> "store")
-         (anchor_str c.c_anchor))
+(* Returns [true] when the check was actually emitted ([false]: deleted
+   by the fault plan).  A weakened check is emitted with a wide witness
+   (SoftBound: [0, wide_bound); Low-Fat: a non-low-fat base), so it
+   executes and counts but can never report. *)
+let emit_check ctx (c : Itarget.check) : bool =
+  let ordinal = ctx.check_ordinal in
+  ctx.check_ordinal <- ordinal + 1;
+  let mutation =
+    Mi_faultkit.Fault.check_mutation_for ctx.faults ~func:ctx.f.fname ~ordinal
   in
-  match ctx.config.approach with
-  | Config.Softbound ->
-      let b, e = sb_witness_of ctx c.c_ptr in
-      Edit.insert_before ctx.edit c.c_anchor
-        (Instr.mk
-           (call1 Intrinsics.sb_check [ c.c_ptr; vi64 c.c_width; b; e; site ]))
-  | Config.Lowfat ->
-      let b = lf_witness_of ctx c.c_ptr in
-      Edit.insert_before ctx.edit c.c_anchor
-        (Instr.mk
-           (call1 Intrinsics.lf_check [ c.c_ptr; vi64 c.c_width; b; site ]))
+  match mutation with
+  | Some Mi_faultkit.Fault.Delete ->
+      ctx.mutated <- ctx.mutated + 1;
+      false
+  | (None | Some Mi_faultkit.Fault.Weaken) as mutation ->
+      let weakened = mutation <> None in
+      if weakened then ctx.mutated <- ctx.mutated + 1;
+      let site =
+        new_site ctx
+          (Printf.sprintf "%s@%s"
+             (match c.c_access with Itarget.Aload -> "load" | Astore -> "store")
+             (anchor_str c.c_anchor))
+      in
+      (match ctx.config.approach with
+      | Config.Softbound ->
+          let b, e =
+            if weakened then (vptr 0, vptr Layout_wide.wide_bound)
+            else sb_witness_of ctx c.c_ptr
+          in
+          Edit.insert_before ctx.edit c.c_anchor
+            (Instr.mk
+               (call1 Intrinsics.sb_check
+                  [ c.c_ptr; vi64 c.c_width; b; e; site ]))
+      | Config.Lowfat ->
+          let b = if weakened then vptr 0 else lf_witness_of ctx c.c_ptr in
+          Edit.insert_before ctx.edit c.c_anchor
+            (Instr.mk
+               (call1 Intrinsics.lf_check [ c.c_ptr; vi64 c.c_width; b; site ])));
+      true
 
 (* ------------------------------------------------------------------ *)
 (* Per-function driver                                                 *)
@@ -561,8 +592,8 @@ let lf_replace_allocas (f : Func.t) : unit =
     f.blocks;
   Edit.apply edit
 
-let instrument_func (config : Config.t) (sites : Mi_obs.Site.t) (m : Irmod.t)
-    (f : Func.t) : func_stats =
+let instrument_func ?(faults = Mi_faultkit.Fault.none) (config : Config.t)
+    (sites : Mi_obs.Site.t) (m : Irmod.t) (f : Func.t) : func_stats =
   if config.approach = Config.Lowfat && config.lf_stack then
     lf_replace_allocas f;
   let targets = Itarget.discover m f in
@@ -578,6 +609,9 @@ let instrument_func (config : Config.t) (sites : Mi_obs.Site.t) (m : Irmod.t)
       call_ret = Hashtbl.create 16;
       sites;
       invariants = 0;
+      faults;
+      check_ordinal = 0;
+      mutated = 0;
     }
   in
   (* invariants first: the call protocol pre-creates return witnesses *)
@@ -589,8 +623,9 @@ let instrument_func (config : Config.t) (sites : Mi_obs.Site.t) (m : Irmod.t)
   let placed =
     match config.mode with
     | Config.Full ->
-        List.iter (emit_check ctx) checks;
-        List.length checks
+        List.fold_left
+          (fun n c -> if emit_check ctx c then n + 1 else n)
+          0 checks
     | Config.Geninvariants | Config.Noop -> 0
   in
   Edit.apply ctx.edit;
@@ -600,6 +635,7 @@ let instrument_func (config : Config.t) (sites : Mi_obs.Site.t) (m : Irmod.t)
     checks_placed = placed;
     checks_removed = Optimize.removed opt_stats;
     invariants_placed = ctx.invariants;
+    checks_mutated = ctx.mutated;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -662,8 +698,8 @@ let sb_global_init (m : Irmod.t) : Func.t option =
     placed check is registered in [obs.sites] (the site id rides along
     as the check call's last argument), and the static statistics are
     absorbed into [obs.metrics] under the [static.*] namespace. *)
-let run ?(obs : Mi_obs.Obs.t option) (config : Config.t) (m : Irmod.t) :
-    mod_stats =
+let run ?(obs : Mi_obs.Obs.t option) ?(faults = Mi_faultkit.Fault.none)
+    (config : Config.t) (m : Irmod.t) : mod_stats =
   let sites =
     match obs with Some o -> o.Mi_obs.Obs.sites | None -> Mi_obs.Site.create ()
   in
@@ -675,7 +711,7 @@ let run ?(obs : Mi_obs.Obs.t option) (config : Config.t) (m : Irmod.t) :
       | _ ->
           let stats =
             List.map
-              (fun f -> instrument_func config sites m f)
+              (fun f -> instrument_func ~faults config sites m f)
               (Irmod.defined_funcs m)
           in
           (match config.approach with
@@ -696,6 +732,8 @@ let run ?(obs : Mi_obs.Obs.t option) (config : Config.t) (m : Irmod.t) :
         List.fold_left (fun a s -> a + s.checks_removed) 0 per_func;
       total_invariants =
         List.fold_left (fun a s -> a + s.invariants_placed) 0 per_func;
+      total_checks_mutated =
+        List.fold_left (fun a s -> a + s.checks_mutated) 0 per_func;
     }
   in
   match obs with
@@ -725,6 +763,9 @@ let run ?(obs : Mi_obs.Obs.t option) (config : Config.t) (m : Irmod.t) :
         "static.checks_removed_dominance";
       Mi_obs.Metrics.incr ~by:stats.total_invariants metrics
         "static.invariants_placed";
+      if stats.total_checks_mutated > 0 then
+        Mi_obs.Metrics.incr ~by:stats.total_checks_mutated metrics
+          "fault.injected";
       Mi_obs.Metrics.incr
         ~by:(Mi_obs.Site.count sites - sites_before)
         metrics "static.check_sites";

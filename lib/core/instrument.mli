@@ -16,6 +16,8 @@ type func_stats = {
   checks_placed : int;  (** after optimization and mode filtering *)
   checks_removed : int;  (** eliminated by the dominance optimization *)
   invariants_placed : int;  (** invariant-maintenance sites *)
+  checks_mutated : int;
+      (** checks deleted or weakened by an injected fault plan *)
 }
 
 type mod_stats = {
@@ -24,9 +26,12 @@ type mod_stats = {
   total_checks_placed : int;
   total_checks_removed : int;
   total_invariants : int;
+  total_checks_mutated : int;
 }
 
-val run : ?obs:Mi_obs.Obs.t -> Config.t -> Irmod.t -> mod_stats
+val run :
+  ?obs:Mi_obs.Obs.t -> ?faults:Mi_faultkit.Fault.t -> Config.t -> Irmod.t ->
+  mod_stats
 (** Instrument every defined function of the module in place.  For
     SoftBound, a [__mi_global_init] constructor is added when global
     initializers contain pointers (their trie metadata must exist before
@@ -36,11 +41,23 @@ val run : ?obs:Mi_obs.Obs.t -> Config.t -> Irmod.t -> mod_stats
     site in [obs.sites] (its id rides on the check call as a trailing
     constant argument, read back by the runtimes), the whole pass runs
     under an ["instrument:<module>"] tracing span, and the static
-    statistics are absorbed into [obs.metrics] as [static.*] counters. *)
+    statistics are absorbed into [obs.metrics] as [static.*] counters.
+
+    With [faults], check mutations in the plan apply as checks are
+    placed: a [Delete] mutation suppresses the check entirely (it is
+    not placed, registers no site, and does not count in
+    [checks_placed]); a [Weaken] mutation emits it with wide bounds so
+    it can never report.  Mutations are matched by per-function check
+    ordinal — the n-th (0-based) check in placement order, numbered
+    before the mutation decision so ordinals are stable across plans.
+    Mutated checks count in [checks_mutated] and, with [obs], in the
+    ["fault.injected"] counter.  This is the mutation-testing engine
+    behind the safety-guarantee validation. *)
 
 val sb_global_init : Irmod.t -> Func.t option
 (** The constructor described above, exposed for testing. *)
 
 val instrument_func :
+  ?faults:Mi_faultkit.Fault.t ->
   Config.t -> Mi_obs.Site.t -> Irmod.t -> Func.t -> func_stats
 (** Instrument a single function (exposed for testing; [run] drives it). *)

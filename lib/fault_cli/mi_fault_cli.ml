@@ -1,0 +1,79 @@
+(** Shared fault-injection and fault-tolerance command line.
+
+    Every driver (mic, memsafe, mi-experiments) accepts the same four
+    options through this one {!term}:
+
+    - [--inject SPEC] parses a {!Mi_faultkit.Fault.t} plan (see the
+      spec grammar in {!Mi_faultkit.Fault.parse});
+    - [--job-timeout SECONDS] arms a per-job wall-clock budget;
+    - [--retries N] re-attempts failed jobs with exponential backoff;
+    - [--keep-going] degrades gracefully: failed jobs yield partial
+      results plus a failure manifest instead of aborting.
+
+    A malformed [--inject] spec is a cmdliner CLI error (exit 124). *)
+
+open Cmdliner
+module Fault = Mi_faultkit.Fault
+
+type t = {
+  faults : Fault.t;
+  job_timeout : float option;
+  retries : int;
+  keep_going : bool;
+}
+
+let quiet =
+  { faults = Fault.none; job_timeout = None; retries = 0; keep_going = false }
+
+let fault_conv : Fault.t Arg.conv =
+  let parse s =
+    match Fault.parse s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg ("bad --inject spec: " ^ msg))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Fault.to_string p))
+
+let inject_arg =
+  Arg.(
+    value
+    & opt fault_conv Fault.none
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "inject deterministic faults: comma-separated clauses \
+           $(b,seed=N), $(b,del-check=K[@FUNC]), \
+           $(b,weaken-check=K[@FUNC]), $(b,wild-write=STEP:ADDR:VALUE), \
+           $(b,fuel=N), $(b,trap-at=STEP), \
+           $(b,corrupt-cache=truncate|bitflip|stale), $(b,crash=SUBSTR), \
+           $(b,hang=SUBSTR:SECONDS)")
+
+let job_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "job-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "per-job wall-clock budget; a job over budget fails with a \
+           timeout instead of stalling the run")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "re-attempt a failed job up to N times with exponential \
+           backoff before recording the failure (default 0)")
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going" ]
+        ~doc:
+          "do not abort on a failed job: complete the matrix, report \
+           partial results, print the failure manifest, exit nonzero")
+
+let term : t Term.t =
+  let mk faults job_timeout retries keep_going =
+    { faults; job_timeout; retries = max 0 retries; keep_going }
+  in
+  Term.(
+    const mk $ inject_arg $ job_timeout_arg $ retries_arg $ keep_going_arg)

@@ -1,0 +1,79 @@
+(** Deterministic fault-injection plans.
+
+    A {!t} plan is plain data describing every fault a run should
+    suffer; each layer of the stack consults it at its own injection
+    point (check mutation in the instrumenter, VM faults in the
+    interpreter, cache corruption in the instrumentation cache, job
+    crashes/hangs in the harness).  Plans parse from the [--inject]
+    command-line spec and render back canonically, and the same plan
+    against the same inputs always produces the same faults. *)
+
+type check_action =
+  | Delete  (** do not emit the check at all *)
+  | Weaken  (** emit it with wide bounds — it can never report *)
+
+type check_mutation = {
+  cm_action : check_action;
+  cm_ordinal : int;
+      (** the n-th (0-based) check placed in a function, in placement
+          order of the unmutated run *)
+  cm_func : string option;  (** restrict to one function; [None] = any *)
+}
+
+type vm_fault =
+  | Wild_write of { at_step : int; addr : int; value : int }
+      (** store 8 bytes behind the instrumentation's back at [at_step] *)
+  | Fuel_cap of int  (** starve the fuel budget down to this many steps *)
+  | Trap_at of int  (** raise a VM trap at the given step *)
+
+type cache_corruption =
+  | Truncate  (** cut every entry file in half *)
+  | Bitflip  (** flip one byte in every entry's payload *)
+  | Stale  (** move every entry under a digest it does not match *)
+
+type job_fault =
+  | Crash_job of string
+      (** raise in the worker before the job runs; matched when the
+          string occurs in ["<setup_key>/<bench>"] *)
+  | Hang_job of string * float  (** busy-wait this many seconds first *)
+
+type t = {
+  seed : int;  (** seeds any sampling done on top of the plan *)
+  checks : check_mutation list;
+  vm : vm_fault list;
+  cache : cache_corruption option;
+  jobs : job_fault list;
+}
+
+val none : t
+(** The empty plan: injects nothing. *)
+
+val is_none : t -> bool
+
+exception Injected_crash of string
+(** Raised by the harness worker for a matching {!Crash_job}. *)
+
+exception Job_timeout of float
+(** Raised when a job exceeds its wall-clock budget (the payload is the
+    budget in seconds, so the message is deterministic). *)
+
+val check_mutation_for : t -> func:string -> ordinal:int -> check_action option
+(** The action to apply to the check at [ordinal] in [func], if any. *)
+
+val job_fault_for : t -> string -> job_fault option
+(** First job fault whose substring matches the given job description. *)
+
+val parse : string -> (t, string) result
+(** Parse an [--inject] spec: comma-separated clauses [seed=N],
+    [del-check=K[@FUNC]], [weaken-check=K[@FUNC]],
+    [wild-write=STEP:ADDR:VALUE], [fuel=N], [trap-at=STEP],
+    [corrupt-cache=truncate|bitflip|stale], [crash=SUBSTR],
+    [hang=SUBSTR:SECONDS]. *)
+
+val to_string : t -> string
+(** Canonical rendering; [parse (to_string p)] round-trips. *)
+
+val compile_sig : t -> string
+(** The part of the plan that changes what the compile phase produces —
+    folded into the instrumentation-cache key so mutated modules never
+    alias unmutated ones.  [""] when no check is mutated. *)

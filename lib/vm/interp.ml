@@ -421,6 +421,9 @@ type outcome =
   | Exited of int
   | Safety_violation of { checker : string; reason : string }
   | Trapped of string
+  | Exhausted of int
+      (** ran out of fuel (payload: the budget) — resource exhaustion,
+          not a program error *)
 
 type result = {
   outcome : outcome;
@@ -430,6 +433,14 @@ type result = {
   counters : (string * int) list;
   mem_pages : int;
 }
+
+(* One dynamic step: fuel accounting plus the poll-hook check that
+   fault injectors and wall-clock deadlines piggyback on.  The single
+   site for both the instruction loop and the terminator. *)
+let[@inline] tick (st : State.t) =
+  st.steps <- st.steps + 1;
+  if st.steps > st.fuel then raise (State.Fuel_exhausted st.fuel);
+  if st.steps >= st.next_poll_step then State.run_polls st
 
 let ival iregs = function
   | XI k -> k
@@ -499,9 +510,7 @@ let rec exec_call (st : State.t) (img : image) (xf : xfunc)
        (* body *)
        let instrs = b.xinstrs in
        for k = 0 to Array.length instrs - 1 do
-         st.steps <- st.steps + 1;
-         if st.steps > st.fuel then
-           raise (State.Trap "fuel exhausted (infinite loop?)");
+         tick st;
          match instrs.(k) with
          | XBin (op, ty, d, a, bb) ->
              st.cycles <-
@@ -624,9 +633,7 @@ let rec exec_call (st : State.t) (img : image) (xf : xfunc)
                n
        done;
        (* terminator *)
-       st.steps <- st.steps + 1;
-       if st.steps > st.fuel then
-         raise (State.Trap "fuel exhausted (infinite loop?)");
+       tick st;
        (match b.xterm with
        | XRet v ->
            result :=
@@ -676,6 +683,7 @@ let run ?(entry = "main") (st : State.t) (img : image) : result =
     | State.Safety_abort { checker; reason } ->
         Safety_violation { checker; reason }
     | State.Trap msg -> Trapped msg
+    | State.Fuel_exhausted budget -> Exhausted budget
     | Memory.Fault (addr, msg) ->
         Trapped (Printf.sprintf "memory fault at %#x: %s" addr msg)
   in

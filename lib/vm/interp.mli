@@ -36,7 +36,10 @@ type outcome =
   | Safety_violation of { checker : string; reason : string }
       (** an instrumentation check aborted — the "report error" edge of
           the paper's Figure 1 *)
-  | Trapped of string  (** VM-level error: wild access, fuel, ... *)
+  | Trapped of string  (** VM-level error: wild access, ... *)
+  | Exhausted of int
+      (** the fuel budget (payload) ran out — resource exhaustion, e.g.
+          an infinite loop, distinct from a program error *)
 
 type result = {
   outcome : outcome;

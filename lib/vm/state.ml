@@ -24,14 +24,24 @@ exception Safety_abort of { checker : string; reason : string }
     instrumentation's "report error & abort" path of Figure 1. *)
 
 exception Trap of string
-(** VM-level error: wild access, division by zero, fuel exhausted, ... *)
+(** VM-level error: wild access, division by zero, ... *)
+
+exception Fuel_exhausted of int
+(** The dynamic step budget ran out (payload: the budget).  Distinct
+    from {!Trap} so callers can report resource exhaustion separately
+    from program errors. *)
 
 type t = {
   mem : Memory.t;
   cost : Cost.t;
   mutable cycles : int;
   mutable steps : int;
-  fuel : int;  (** max dynamic instructions before trapping *)
+  mutable fuel : int;  (** max dynamic instructions before trapping *)
+  mutable next_poll_step : int;
+      (** earliest step any poll hook wants to run at; [max_int] when
+          none is pending, so the interpreter's hot path pays a single
+          comparison *)
+  mutable poll_hooks : (t -> unit) list;
   out : Buffer.t;
   metrics : Mi_obs.Metrics.t;
   sites : Mi_obs.Site.t;
@@ -52,6 +62,21 @@ type t = {
 }
 
 let charge t c = t.cycles <- t.cycles + c
+
+(** Ask for [fn] to run once [t.steps] reaches [at_step].  Hooks that
+    want to keep polling re-arm themselves by lowering
+    [t.next_poll_step] again from inside the callback (fault injectors
+    and wall-clock deadlines do exactly that). *)
+let add_poll t ~at_step fn =
+  t.poll_hooks <- fn :: t.poll_hooks;
+  if at_step < t.next_poll_step then t.next_poll_step <- at_step
+
+(** Run every poll hook.  The pending step resets first so hooks can
+    re-arm; hooks that have nothing left to do simply return without
+    touching [next_poll_step]. *)
+let run_polls t =
+  t.next_poll_step <- max_int;
+  List.iter (fun fn -> fn t) t.poll_hooks
 
 let bump ?(by = 1) t key = Mi_obs.Metrics.incr ~by t.metrics key
 
@@ -125,6 +150,8 @@ let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42)
       cycles = 0;
       steps = 0;
       fuel;
+      next_poll_step = max_int;
+      poll_hooks = [];
       out = Buffer.create 256;
       metrics;
       sites;

@@ -17,6 +17,8 @@ let run_full setup src =
   | Mi_vm.Interp.Trapped msg -> Alcotest.failf "trap: %s\n%s" msg src
   | Mi_vm.Interp.Safety_violation { checker; reason } ->
       Alcotest.failf "spurious %s violation: %s\n%s" checker reason src
+  | Mi_vm.Interp.Exhausted budget ->
+      Alcotest.failf "fuel budget of %d exhausted\n%s" budget src
 
 let run_one setup src = (run_full setup src).Harness.output
 

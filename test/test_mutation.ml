@@ -1,0 +1,59 @@
+(* Mutation campaign: a sampled check-deletion campaign against the
+   safety corpus must kill every non-whitelisted mutant, and every
+   whitelist entry must carry a written justification.  This is the
+   test-suite-sized version of the CI mutation gate. *)
+
+module Mutation = Mi_bench_kit.Mutation
+
+let test_sampled_campaign () =
+  let c = Mutation.run ~sample_per_approach:4 () in
+  Alcotest.(check bool) "campaign nonempty" true (c.Mutation.total > 0);
+  Alcotest.(check int) "every mutant judged" c.Mutation.total
+    (List.length c.Mutation.results);
+  Alcotest.(check int)
+    "killed + whitelisted = total"
+    c.Mutation.total
+    (c.Mutation.killed + c.Mutation.whitelisted);
+  Alcotest.(check int) "no survivors" 0 c.Mutation.survived;
+  List.iter
+    (fun (o : Mutation.outcome) ->
+      match o.Mutation.status with
+      | Mutation.Killed _ -> ()
+      | Mutation.Whitelisted why ->
+          Alcotest.(check bool)
+            (Mutation.mutant_name o.Mutation.mutant
+            ^ ": whitelist entry is justified")
+            true
+            (String.length why > 10)
+      | Mutation.Survived ->
+          Alcotest.failf "mutant %s survived"
+            (Mutation.mutant_name o.Mutation.mutant))
+    c.Mutation.results
+
+let test_render () =
+  let c = Mutation.run ~sample_per_approach:2 () in
+  let s = Mutation.render c in
+  Alcotest.(check bool) "summary line present" true
+    (let needle = "survivors: 0" in
+     let n = String.length needle and m = String.length s in
+     let rec scan i = i + n <= m && (String.sub s i n = needle || scan (i + 1)) in
+     scan 0)
+
+let test_determinism () =
+  let c1 = Mutation.run ~seed:42 ~sample_per_approach:2 () in
+  let c2 = Mutation.run ~seed:42 ~sample_per_approach:2 () in
+  Alcotest.(check string) "same seed, same report" (Mutation.render c1)
+    (Mutation.render c2)
+
+let () =
+  Alcotest.run "mutation"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "sampled campaign kills everything" `Slow
+            test_sampled_campaign;
+          Alcotest.test_case "render reports no survivors" `Slow test_render;
+          Alcotest.test_case "seeded sampling is deterministic" `Slow
+            test_determinism;
+        ] );
+    ]

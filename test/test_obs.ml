@@ -98,6 +98,33 @@ let test_metrics_basics () =
       Alcotest.(check int) "histogram count" 2 h.Metrics.count;
       Alcotest.(check int) "histogram sum" 103 h.Metrics.sum
 
+(* the fault-tolerance counters (harness.job_failed, harness.job_retried,
+   icache.corrupt, fault.injected) are plain counters: they add across
+   Metrics.merge, so per-worker contexts aggregate correctly and the
+   merged totals stay -j independent *)
+let test_fault_counters_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  let names =
+    [
+      "harness.job_failed"; "harness.job_retried"; "icache.corrupt";
+      "fault.injected";
+    ]
+  in
+  List.iter (fun n -> Metrics.incr ~by:2 a n) names;
+  List.iter (fun n -> Metrics.incr ~by:3 b n) names;
+  Metrics.incr b "fault.injected";
+  Metrics.merge a b;
+  List.iter
+    (fun n ->
+      let expect = if n = "fault.injected" then 6 else 5 in
+      Alcotest.(check int) n expect (Metrics.counter a n))
+    names;
+  (* a context that never saw a fault contributes nothing *)
+  let c = Metrics.create () in
+  Metrics.merge a c;
+  Alcotest.(check int) "merge with empty is identity" 5
+    (Metrics.counter a "harness.job_failed")
+
 let test_labeled_canonical () =
   Alcotest.(check string)
     "label keys sorted" "c{a=\"1\",b=\"2\"}"
@@ -232,6 +259,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "fault counters merge" `Quick
+            test_fault_counters_merge;
           Alcotest.test_case "labeled canonical" `Quick test_labeled_canonical;
           Alcotest.test_case "deterministic serialization" `Quick
             test_metrics_deterministic;

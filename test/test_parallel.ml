@@ -16,6 +16,7 @@ module Obs = Mi_obs.Obs
 module Metrics = Mi_obs.Metrics
 module Site = Mi_obs.Site
 module E = Experiments
+module Fault = Mi_faultkit.Fault
 
 let bench name =
   match Suite.find name with
@@ -122,6 +123,45 @@ let test_disk_cache_across_sessions () =
     (static_counters h2 = []
     || List.for_all (fun (_, v) -> v = 0) (static_counters h2));
   check_same_run "disk hit replays the run" r1 r2
+
+(* a corrupted disk entry must never replay wrong results: each
+   corruption mode is detected at lookup, quarantined, counted, and
+   recomputed from source *)
+let test_disk_cache_corruption () =
+  let b = Lazy.force lbm in
+  let dir = temp_cache_dir () in
+  let h0 = Harness.create ~jobs:1 ~cache_dir:dir () in
+  let r0 = Harness.expect_ok b (Harness.run h0 E.sb_opt b) in
+  Alcotest.(check int) "seed session misses" 1
+    (Harness.cache_stats h0).Harness.misses;
+  List.iter
+    (fun (name, how) ->
+      (* the harness applies the plan's cache corruption at session
+         creation — the same path `--inject corrupt-cache=...` takes *)
+      let faults = { Fault.none with Fault.cache = Some how } in
+      let h = Harness.create ~jobs:1 ~cache_dir:dir ~faults () in
+      let r = Harness.expect_ok b (Harness.run h E.sb_opt b) in
+      let s = Harness.cache_stats h in
+      Alcotest.(check int) (name ^ ": recorded as a miss") 1 s.Harness.misses;
+      Alcotest.(check int) (name ^ ": never a hit") 0 s.Harness.hits;
+      Alcotest.(check bool)
+        (name ^ ": corruption detected and counted") true
+        (s.Harness.corrupt >= 1);
+      (* the recompute reproduces the original run exactly — a damaged
+         entry is never replayed *)
+      check_same_run (name ^ ": recompute matches the original") r0 r;
+      let entries = Sys.readdir dir in
+      Alcotest.(check bool)
+        (name ^ ": damaged entry quarantined") true
+        (Array.exists (fun f -> Filename.check_suffix f ".corrupt") entries);
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".corrupt" then
+            Sys.remove (Filename.concat dir f))
+        entries)
+    [ ("truncated", Fault.Truncate);
+      ("bit-flipped", Fault.Bitflip);
+      ("stale-digest", Fault.Stale) ]
 
 (* ------------------------------------------------------------------ *)
 (* 3. Obs.merge: associative, order-insensitive                        *)
@@ -248,6 +288,8 @@ let () =
             test_cache_accounting;
           Alcotest.test_case "disk cache across sessions" `Quick
             test_disk_cache_across_sessions;
+          Alcotest.test_case "corrupted entries detected, never replayed"
+            `Quick test_disk_cache_corruption;
         ] );
       ( "obs-merge",
         [

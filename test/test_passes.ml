@@ -639,6 +639,8 @@ let run_at level instrument src =
   | Mi_vm.Interp.Trapped msg -> Alcotest.fail ("trap: " ^ msg)
   | Mi_vm.Interp.Safety_violation { reason; _ } ->
       Alcotest.fail ("violation: " ^ reason)
+  | Mi_vm.Interp.Exhausted budget ->
+      Alcotest.fail (Printf.sprintf "fuel budget of %d exhausted" budget)
 
 let test_pipeline_preserves name src () =
   let reference = run_at Mi_passes.Pipeline.O0 None src in

@@ -104,7 +104,9 @@ let check_exit src expected_code expected_out =
   (match r.Interp.outcome with
   | Interp.Exited n -> Alcotest.(check int) "exit code" expected_code n
   | Interp.Trapped m -> Alcotest.fail ("trap: " ^ m)
-  | Interp.Safety_violation _ -> Alcotest.fail "unexpected violation");
+  | Interp.Safety_violation _ -> Alcotest.fail "unexpected violation"
+  | Interp.Exhausted budget ->
+      Alcotest.fail (Printf.sprintf "fuel budget of %d exhausted" budget));
   Alcotest.(check string) "output" expected_out r.Interp.output
 
 let test_interp_recursion () =
@@ -173,10 +175,9 @@ loop:
 |}
   in
   match r.Interp.outcome with
-  | Interp.Trapped msg ->
-      Alcotest.(check bool) "fuel message" true
-        (String.length msg >= 4 && String.sub msg 0 4 = "fuel")
-  | _ -> Alcotest.fail "expected fuel trap"
+  | Interp.Exhausted budget ->
+      Alcotest.(check int) "exhausted at the budget" 1000 budget
+  | _ -> Alcotest.fail "expected fuel exhaustion"
 
 let test_interp_div_by_zero () =
   let r =
