@@ -54,6 +54,28 @@ dune exec bin/experiments.exe -- --benchmark 470lbm -j 2 \
 cmp "$out" "$out_j2"
 echo "-j 2 output byte-identical to -j 1"
 
+# the execution-engine perf gate: steps/sec on the fixed hotchecks
+# workload (sb_opt + lf_opt over the whole suite, VM execution only —
+# the instrumentation cache is warmed by an untimed pass) must stay
+# within 10% of the engine throughput recorded in BENCH_vm.json.
+echo "== vm-steps perf gate (>= 90% of BENCH_vm.json) =="
+floor=$(sed -n 's/.*"floor_steps_per_sec": \([0-9]*\).*/\1/p' BENCH_vm.json)
+vm_line=$(dune exec bench/main.exe -- --vm-steps)
+echo "$vm_line  (floor: $floor)"
+echo "$vm_line" | awk -v floor="$floor" '
+    /^vm_steps:/ {
+        for (i = 1; i <= NF; i++)
+            if (split($i, kv, "=") == 2 && kv[1] == "steps_per_sec")
+                sps = kv[2]
+    }
+    END {
+        if (sps == "" || sps + 0 < floor + 0) {
+            printf "vm-steps regression: %s < %s\n", sps, floor
+            exit 1
+        }
+    }'
+echo "engine throughput within budget"
+
 # the security-guarantee gate: a seeded sample of check-deletion mutants
 # (25 per approach) against the safety corpus.  Any mutant that is
 # neither killed nor carries a written wide-bounds justification makes

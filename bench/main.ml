@@ -186,9 +186,59 @@ let run_microbenchmarks () =
         ols)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: VM engine throughput (the BENCH_vm.json perf gate)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Steps/second of the interpreter on the fixed `hotchecks` workload:
+   sb_opt and lf_opt over the full suite.  One warm-up pass through a
+   single-worker session populates the instrumentation cache, so the
+   timed repetitions measure VM execution, not compilation.  The VM is
+   deterministic — total steps per pass are a fixed number — which makes
+   steps/sec a pure wall-clock measure of the execution engine.
+   Machine-readable output: one "vm_steps: ..." line, parsed by
+   bench/ci.sh against the baseline recorded in BENCH_vm.json. *)
+let run_vm_steps () =
+  let h = Mi_bench_kit.Harness.create ~jobs:1 () in
+  let jobs =
+    List.concat_map
+      (fun b -> [ (E.sb_opt, b); (E.lf_opt, b) ])
+      Mi_bench_kit.Suite.all
+  in
+  let pass () =
+    List.fold_left
+      (fun acc (setup, b) ->
+        match Mi_bench_kit.Harness.run h setup b with
+        | Ok r -> acc + r.Mi_bench_kit.Harness.steps
+        | Error e ->
+            failwith
+              (Printf.sprintf "vm-steps job failed: %s: %s"
+                 e.Mi_bench_kit.Harness.bench e.Mi_bench_kit.Harness.reason))
+      0 jobs
+  in
+  let steps_per_pass = pass () (* warm-up; also fixes the step count *) in
+  let reps = 3 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    let s = pass () in
+    if s <> steps_per_pass then failwith "vm-steps: nondeterministic steps"
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = reps * steps_per_pass in
+  Printf.printf
+    "vm_steps: benches=%d steps_per_pass=%d reps=%d elapsed_s=%.3f \
+     steps_per_sec=%.0f\n\
+     %!"
+    (List.length Mi_bench_kit.Suite.all)
+    steps_per_pass reps dt
+    (float_of_int total /. dt)
+
 let () =
   let args = Array.to_list Sys.argv in
   let micro_only = List.mem "--micro-only" args in
   let reports_only = List.mem "--reports-only" args in
-  if not micro_only then regenerate_reports ();
-  if not reports_only then run_microbenchmarks ()
+  if List.mem "--vm-steps" args then run_vm_steps ()
+  else begin
+    if not micro_only then regenerate_reports ();
+    if not reports_only then run_microbenchmarks ()
+  end

@@ -8,7 +8,19 @@
     by memoized recursion over SSA definitions; phis and selects on
     pointers get companion phis/selects on their witnesses, loads and call
     results draw on the approach's invariant (trie / shadow stack /
-    recomputation from the pointer value). *)
+    recomputation from the pointer value).
+
+    Checks are emitted as calls to the intrinsics in [Mi_mir.Intrinsics]
+    {e by name}, and those names are load-bearing beyond this pass: the
+    VM's execution engine fuses call sites naming the hot check
+    intrinsics ([sb_check], [lf_check], trie and shadow-stack ops) into
+    superinstructions at precompile time, keyed on the exact intrinsic
+    name and arity. Renaming an intrinsic or changing its argument list
+    silently demotes every site to generic dispatch — still correct,
+    same modeled cycles, but the throughput gate in [bench/ci.sh] will
+    catch the slowdown. Keep [Intrinsics], the runtime registrations
+    (generic and fast twins), and the fusion table in
+    [Mi_vm.Interp] in sync. *)
 
 open Mi_mir
 module Layout_wide = struct

@@ -171,10 +171,13 @@ let install ?(stack_protection = true) (st : State.t) : t =
      protected heap objects automatically (§4.3) *)
   st.malloc_hook <- (fun st sz -> lf_malloc t st sz);
   st.free_hook <- (fun st a -> lf_free t st a);
+  let base_recompute st ptr =
+    State.charge st st.State.cost.Cost.lf_base;
+    State.bump st "lf.base_recompute";
+    base ptr
+  in
   State.register_builtin st Mi_mir.Intrinsics.lf_base (fun st args ->
-      State.charge st st.State.cost.Cost.lf_base;
-      State.bump st "lf.base_recompute";
-      Some (State.I (base (State.as_int args.(0)))));
+      Some (State.I (base_recompute st (State.as_int args.(0)))));
   State.register_builtin st Mi_mir.Intrinsics.lf_check (fun st args ->
       (* the optional 4th argument is the instrumentation site id *)
       let site =
@@ -193,13 +196,27 @@ let install ?(stack_protection = true) (st : State.t) : t =
       invariant_check ~site st (State.as_int args.(0))
         (State.as_int args.(1));
       None);
+  (* Typed fast twins for the interpreter's fused superinstructions —
+     same underlying functions as the generics above, so charges,
+     counters, site attribution and aborts are identical. *)
+  State.register_fast_builtin st Mi_mir.Intrinsics.lf_base
+    (State.FR1 base_recompute);
+  State.register_fast_builtin st Mi_mir.Intrinsics.lf_check
+    (State.F4 (fun st ptr width b site -> check ~site st ptr width b));
+  State.register_fast_builtin st Mi_mir.Intrinsics.lf_invariant_check
+    (State.F3 (fun st ptr b site -> invariant_check ~site st ptr b));
   if stack_protection then begin
+    let alloca_impl st sz =
+      let a = lf_malloc t st sz in
+      (match t.frames with
+      | f :: rest -> t.frames <- (a :: f) :: rest
+      | [] -> t.frames <- [ [ a ] ]);
+      a
+    in
     State.register_builtin st Mi_mir.Intrinsics.lf_alloca (fun st args ->
-        let a = lf_malloc t st (State.as_int args.(0)) in
-        (match t.frames with
-        | f :: rest -> t.frames <- (a :: f) :: rest
-        | [] -> t.frames <- [ [ a ] ]);
-        Some (State.I a));
+        Some (State.I (alloca_impl st (State.as_int args.(0)))));
+    State.register_fast_builtin st Mi_mir.Intrinsics.lf_alloca
+      (State.FR1 alloca_impl);
     st.frame_enter_hook <-
       (fun st ->
         t.saved_frame_enter st;

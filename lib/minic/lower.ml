@@ -886,6 +886,13 @@ let rec const_eval (g : genv) (e : expr) : cval =
 let bytes_of_int width v =
   String.init width (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
 
+(* Double initializers need all 64 bits of the IEEE pattern: going
+   through a 63-bit OCaml int would clip the sign bit, so negative
+   double globals would read back positive. *)
+let bytes_of_int64 (v : int64) =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+
 let rec global_fields (g : genv) pos (ty : C.t) (init : init option) :
     Irmod.gfield list =
   let size = C.size_of g.reg ty in
@@ -908,15 +915,11 @@ let rec global_fields (g : genv) pos (ty : C.t) (init : init option) :
               else if ty = C.Cdouble then
                 [
                   Irmod.GBytes
-                    (bytes_of_int 8
-                       (Int64.to_int (Int64.bits_of_float (float_of_int v))));
+                    (bytes_of_int64 (Int64.bits_of_float (float_of_int v)));
                 ]
               else failp pos "bad scalar initializer"
           | CF v ->
-              [
-                Irmod.GBytes
-                  (bytes_of_int 8 (Int64.to_int (Int64.bits_of_float v)));
-              ]
+              [ Irmod.GBytes (bytes_of_int64 (Int64.bits_of_float v)) ]
           | CPtrG name -> [ Irmod.GPtr name ]))
   | Some (Ilist items) -> (
       match ty with

@@ -257,4 +257,28 @@ let install ?(wrapper_checks = false) (st : State.t) : t =
   reg Intr.ss_get_bound (fun _ args ->
       Some (State.I (ss_get_bound t (State.as_int args.(0)))));
   install_wrappers ~wrapper_checks t;
+  (* Typed fast twins for the interpreter's fused superinstructions.
+     Registered after the generics (registering a generic drops any fast
+     twin of the same name).  Each twin calls the same underlying
+     function as its generic builtin, so cycle charges, counters, site
+     attribution and aborts are identical — only the boxed calling
+     convention disappears. *)
+  let fast = State.register_fast_builtin st in
+  fast Intr.sb_check
+    (State.F5
+       (fun st ptr width base bound site ->
+         check ~site st ptr width ~base ~bound));
+  fast Intr.sb_trie_store
+    (State.F3 (fun _ addr base bound -> trie_store t addr ~base ~bound));
+  fast Intr.sb_trie_load_base (State.FR1 (fun _ addr -> fst (trie_load t addr)));
+  fast Intr.sb_trie_load_bound
+    (State.FR1 (fun _ addr -> snd (trie_load t addr)));
+  fast Intr.sb_meta_copy
+    (State.F3 (fun _ dst src len -> meta_copy t ~dst ~src len));
+  fast Intr.ss_enter (State.F1 (fun _ n -> ss_enter t n));
+  fast Intr.ss_leave (State.F0 (fun _ -> ss_leave t));
+  fast Intr.ss_set_base (State.F2 (fun _ slot v -> ss_set_base t slot v));
+  fast Intr.ss_set_bound (State.F2 (fun _ slot v -> ss_set_bound t slot v));
+  fast Intr.ss_get_base (State.FR1 (fun _ slot -> ss_get_base t slot));
+  fast Intr.ss_get_bound (State.FR1 (fun _ slot -> ss_get_bound t slot));
   t

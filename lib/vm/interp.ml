@@ -6,7 +6,31 @@
     edges, and every operand is resolved (globals to their load addresses,
     immediates inline).  Execution charges cycles according to the
     {!Cost} model, which is what the runtime-overhead experiments
-    measure. *)
+    measure.
+
+    {2 The fast-path execution engine}
+
+    Dynamic calls never hash a name on the hot path.  At load time every
+    call site is resolved into a direct variant:
+
+    - [XCallX] — the callee is a function of the image: the site holds a
+      [ref] to its precompiled body (a ref, so mutually recursive
+      functions resolve in one pass) and arguments copy straight from
+      the caller's register banks into the callee's, with no boxing;
+    - fused check superinstructions ([XSbCheck], [XLfCheck], [XFast*]) —
+      the callee is an instrumentation-runtime intrinsic with a typed
+      fast twin ({!State.fast_fn}): the call is executed by one direct
+      closure invocation on unboxed integers;
+    - [XCallBuiltin] — everything else: a per-site inline cache holds
+      the resolved generic builtin (pre-warmed at load when the name is
+      already registered, filled on first execution otherwise).
+
+    Caches carry the {!State.t.builtin_gen} generation they were
+    resolved at; registering a builtin after load bumps the generation
+    and every affected site transparently re-resolves.  The contract
+    throughout: resolution strategy is invisible to the cost model —
+    modeled cycles, steps, counters and site profiles are identical to
+    the generic lookup path, only wall-clock time changes. *)
 
 open Mi_mir
 module Rng = Mi_support.Rng
@@ -22,6 +46,28 @@ type xv =
   | XFR of int  (** float-bank register *)
 
 type move = { mdst : int; mflt : bool; msrc : xv }
+
+type builtin = State.t -> State.value array -> State.value option
+
+(* Per-call-site inline cache for names resolved against the builtin
+   table.  [bgen] is the State.builtin_gen the entry was captured at; a
+   registration after load invalidates it and the site re-resolves. *)
+type bcache = { mutable bgen : int; mutable bfn : builtin option }
+
+(* Cache for a fused superinstruction's typed fast function, revalidated
+   against builtin_gen exactly like [bcache]. *)
+type fcache = { mutable fgen : int; mutable ffn : State.fast_fn option }
+
+(* A fused runtime-intrinsic call.  [fargs] is site-normalized: when the
+   intrinsic's trailing site-id argument was omitted by the emitter, an
+   explicit [XI (-1)] stands in, which is exactly what the generic
+   builtin would have defaulted to. *)
+type fused = {
+  fname : string;  (** intrinsic name, for revalidation and fallback *)
+  fdst : (bool * int) option;
+  fargs : xv array;
+  fc : fcache;
+}
 
 type xinstr =
   | XBin of Instr.binop * Ty.t * int * xv * xv
@@ -40,30 +86,48 @@ type xinstr =
   | XGep of int * xv * (int * xv) array
   | XSelI of int * xv * xv * xv
   | XSelF of int * xv * xv * xv
-  | XCall of {
+  | XCallX of {
       xdst : (bool * int) option;  (** (is_float, slot) *)
-      xcallee : string;
+      target : xfunc ref;  (** filled during [load]; no name lookup *)
       xargs : xv array;
     }
+  | XCallBuiltin of {
+      xdst : (bool * int) option;
+      xcallee : string;
+      xargs : xv array;
+      cache : bcache;  (** per-site inline cache *)
+    }
+  | XSbCheck of fused  (** __mi_sb_check (ptr, width, base, bound, site) *)
+  | XLfCheck of fused  (** __mi_lf_check (ptr, width, base, site) *)
+  | XFast0 of fused  (** nullary effectful intrinsic: ss_leave *)
+  | XFast1 of fused  (** unary effectful intrinsic: ss_enter *)
+  | XFast2 of fused  (** binary effectful intrinsic: ss_set_base/bound *)
+  | XFast3 of fused
+      (** ternary effectful intrinsic: trie_store, meta_copy,
+          lf_invariant_check *)
+  | XFastR of fused
+      (** unary int-returning intrinsic: trie loads, ss_get_*, lf_base,
+          lf_alloca *)
   | XAlloca of int * int * int  (** dst, size, align *)
   | XMemcpy of xv * xv * xv
   | XMemset of xv * xv * xv
 
-type xterm =
+and xterm =
   | XRet of xv option
   | XBr of int
   | XCbr of xv * int * int
   | XUnreachable
 
-type xblock = {
+and xblock = {
   xinstrs : xinstr array;
   xterm : xterm;
-  (* parallel phi moves to perform when entering this block, keyed by the
-     index of the predecessor block we arrive from *)
-  xmoves : (int * move array) array;
+  (* parallel phi moves to perform when entering this block, indexed by
+     the predecessor block we arrive from: [||] when the block has no
+     phis, otherwise one (possibly empty) move array per block index *)
+  xmoves : move array array;
 }
 
-type xfunc = {
+and xfunc = {
   xname : string;
   xblocks : xblock array;
   n_iregs : int;
@@ -73,7 +137,7 @@ type xfunc = {
 }
 
 type image = {
-  xfuncs : (string, xfunc) Hashtbl.t;
+  xfuncs : (string, xfunc ref) Hashtbl.t;
   global_addr : (string, int) Hashtbl.t;
   fn_addr : (string, int) Hashtbl.t;  (** fake code addresses *)
   merged : Irmod.t;
@@ -85,7 +149,66 @@ type image = {
 
 exception Link_error of string
 
-let precompile_func ~global_addr ~fn_addr (f : Func.t) : xfunc =
+(* Placeholder body the per-function refs point at until [load]'s second
+   pass fills them; never executed. *)
+let dummy_xfunc =
+  {
+    xname = "<unresolved>";
+    xblocks = [||];
+    n_iregs = 0;
+    n_fregs = 0;
+    param_slots = [||];
+    ret_is_float = false;
+  }
+
+(* Decide whether a call to [callee] can fuse into a superinstruction:
+   the state must already hold a typed fast twin, and the site's static
+   shape (arity, result slot, int-typed operands) must match the twin
+   exactly — anything else falls back to the generic builtin call, whose
+   behaviour on malformed programs is the reference.  The three check
+   intrinsics may arrive with their trailing site-id argument omitted;
+   it normalizes to [XI (-1)], the generic builtins' default. *)
+let fuse (st : State.t) callee (xdst : (bool * int) option)
+    (xargs : xv array) : xinstr option =
+  let ints_only =
+    Array.for_all (function XI _ | XR _ -> true | XF _ | XFR _ -> false) xargs
+  in
+  if not ints_only then None
+  else
+    match State.find_fast_builtin st callee with
+    | None -> None
+    | Some ff -> (
+        let n = Array.length xargs in
+        let with_site want =
+          if n = want then Some xargs
+          else if n = want - 1 then Some (Array.append xargs [| XI (-1) |])
+          else None
+        in
+        let mk fargs =
+          {
+            fname = callee;
+            fdst = xdst;
+            fargs;
+            fc = { fgen = st.State.builtin_gen; ffn = Some ff };
+          }
+        in
+        match (ff, xdst) with
+        | State.F5 _, None when callee = Intrinsics.sb_check ->
+            Option.map (fun a -> XSbCheck (mk a)) (with_site 5)
+        | State.F4 _, None when callee = Intrinsics.lf_check ->
+            Option.map (fun a -> XLfCheck (mk a)) (with_site 4)
+        | State.F3 _, None when callee = Intrinsics.lf_invariant_check ->
+            Option.map (fun a -> XFast3 (mk a)) (with_site 3)
+        | State.F0 _, None when n = 0 -> Some (XFast0 (mk xargs))
+        | State.F1 _, None when n = 1 -> Some (XFast1 (mk xargs))
+        | State.F2 _, None when n = 2 -> Some (XFast2 (mk xargs))
+        | State.F3 _, None when n = 3 -> Some (XFast3 (mk xargs))
+        | State.FR1 _, (None | Some (false, _)) when n = 1 ->
+            Some (XFastR (mk xargs))
+        | _ -> None)
+
+let precompile_func (st : State.t) ~xfuncs ~global_addr ~fn_addr (f : Func.t)
+    : xfunc =
   let blocks = Array.of_list f.blocks in
   let n = Array.length blocks in
   let block_idx = Hashtbl.create n in
@@ -144,19 +267,22 @@ let precompile_func ~global_addr ~fn_addr (f : Func.t) : xfunc =
         | Some a -> XI a
         | None -> raise (Link_error ("unresolved function &" ^ fn)))
   in
+  (* discarded results share one scratch slot per bank: a fresh slot per
+     dead destination would bloat n_iregs/n_fregs and with it the bank
+     allocation of every call of this function *)
+  let iscratch = ref (-1) and fscratch = ref (-1) in
   let int_slot ~what (d : Value.var option) =
     match d with
     | Some v ->
         let is_f, s = slot v in
         if is_f then raise (Link_error (what ^ ": float dst"));
         s
-    | None -> (
-        (* result discarded: use a scratch slot *)
-        match () with
-        | () ->
-            let s = !n_i in
-            incr n_i;
-            s)
+    | None ->
+        if !iscratch < 0 then begin
+          iscratch := !n_i;
+          incr n_i
+        end;
+        !iscratch
   in
   let flt_slot ~what (d : Value.var option) =
     match d with
@@ -165,9 +291,11 @@ let precompile_func ~global_addr ~fn_addr (f : Func.t) : xfunc =
         if not is_f then raise (Link_error (what ^ ": int dst"));
         s
     | None ->
-        let s = !n_f in
-        incr n_f;
-        s
+        if !fscratch < 0 then begin
+          fscratch := !n_f;
+          incr n_f
+        end;
+        !fscratch
   in
   let xinstr (i : Instr.t) : xinstr =
     match i.op with
@@ -204,27 +332,41 @@ let precompile_func ~global_addr ~fn_addr (f : Func.t) : xfunc =
         if Ty.is_float ty then
           XSelF (flt_slot ~what:"select" i.dst, xval c, xval a, xval b)
         else XSelI (int_slot ~what:"select" i.dst, xval c, xval a, xval b)
-    | Call (callee, args) ->
+    | Call (callee, args) -> (
         let xdst =
           match i.dst with
           | None -> None
           | Some v -> Some (slot v)
         in
-        XCall
-          {
-            xdst;
-            xcallee = callee;
-            xargs = Array.of_list (List.map xval args);
-          }
+        let xargs = Array.of_list (List.map xval args) in
+        (* resolve now: image function > fused intrinsic > builtin cache;
+           names unknown at load keep a cold cache and resolve at run
+           time (or trap, with the same message the lookup path gave) *)
+        match Hashtbl.find_opt xfuncs callee with
+        | Some r -> XCallX { xdst; target = r; xargs }
+        | None -> (
+            match fuse st callee xdst xargs with
+            | Some xi -> xi
+            | None ->
+                XCallBuiltin
+                  {
+                    xdst;
+                    xcallee = callee;
+                    xargs;
+                    cache =
+                      {
+                        bgen = st.State.builtin_gen;
+                        bfn = State.find_builtin st callee;
+                      };
+                  }))
     | Alloca { size; align } ->
         XAlloca (int_slot ~what:"alloca" i.dst, size, align)
     | Memcpy (d, s, n') -> XMemcpy (xval d, xval s, xval n')
     | Memset (d, b, n') -> XMemset (xval d, xval b, xval n')
   in
   let xblocks =
-    Array.mapi
-      (fun bi (b : Block.t) ->
-        ignore bi;
+    Array.map
+      (fun (b : Block.t) ->
         let xinstrs = Array.of_list (List.map xinstr b.body) in
         let xterm =
           match b.term with
@@ -236,7 +378,9 @@ let precompile_func ~global_addr ~fn_addr (f : Func.t) : xfunc =
         (xinstrs, xterm, b))
       blocks
   in
-  (* phi moves: for each block, group its phis by predecessor *)
+  (* phi moves: for each block with phis, one parallel move list per
+     predecessor block index — entering the block is a single array read
+     away from its edge's moves *)
   let final_blocks =
     Array.map
       (fun (xinstrs, xterm, (b : Block.t)) ->
@@ -254,10 +398,14 @@ let precompile_func ~global_addr ~fn_addr (f : Func.t) : xfunc =
               p.incoming)
           b.phis;
         let xmoves =
-          Hashtbl.fold
-            (fun pi l acc -> (pi, Array.of_list (List.rev !l)) :: acc)
-            preds []
-          |> Array.of_list
+          if Hashtbl.length preds = 0 then [||]
+          else begin
+            let a = Array.make n [||] in
+            Hashtbl.iter
+              (fun pi l -> a.(pi) <- Array.of_list (List.rev !l))
+              preds;
+            a
+          end
         in
         { xinstrs; xterm; xmoves })
       xblocks
@@ -404,14 +552,29 @@ let load
   List.iteri
     (fun i (f : Func.t) -> Hashtbl.replace fn_addr f.fname (0x1000 + (i * 16)))
     merged.funcs;
+  (* two passes: create one ref per defined function first, so direct
+     call sites — including mutually recursive ones — resolve in the
+     single precompilation pass that then fills the refs *)
   let xfuncs = Hashtbl.create 32 in
   List.iter
     (fun (f : Func.t) ->
       if not f.is_external then
-        Hashtbl.replace xfuncs f.fname
-          (precompile_func ~global_addr ~fn_addr f))
+        Hashtbl.replace xfuncs f.fname (ref dummy_xfunc))
+    merged.funcs;
+  List.iter
+    (fun (f : Func.t) ->
+      if not f.is_external then
+        Hashtbl.find xfuncs f.fname
+        := precompile_func st ~xfuncs ~global_addr ~fn_addr f)
     merged.funcs;
   { xfuncs; global_addr; fn_addr; merged }
+
+(** [(n_iregs, n_fregs)] of a loaded function — the register-bank sizes
+    every call of it allocates. *)
+let func_regs (img : image) name =
+  Option.map
+    (fun r -> ((!r).n_iregs, (!r).n_fregs))
+    (Hashtbl.find_opt img.xfuncs name)
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -452,27 +615,48 @@ let fval fregs = function
   | XFR r -> fregs.(r)
   | XI _ | XR _ -> raise (State.Trap "int operand in float context")
 
-let rec exec_call (st : State.t) (img : image) (xf : xfunc)
-    (args : State.value array) : State.value option =
+let[@inline] box_arg iregs fregs = function
+  | XI k -> State.I k
+  | XR r -> State.I iregs.(r)
+  | XF f -> State.F f
+  | XFR r -> State.F fregs.(r)
+
+(* Write a call result into the caller's banks; the error messages here
+   are part of the engine's compatibility surface. *)
+let set_call_result name (xdst : (bool * int) option) iregs fregs
+    (res : State.value option) =
+  match (xdst, res) with
+  | None, _ -> ()
+  | Some (is_f, s), Some v ->
+      if is_f then fregs.(s) <- State.as_float v
+      else iregs.(s) <- State.as_int v
+  | Some _, None ->
+      raise (State.Trap ("void result used from call to " ^ name))
+
+(* Revalidate a fused site's fast function against the current builtin
+   generation (one int compare on the hot path). *)
+let[@inline] fused_fn (st : State.t) (f : fused) =
+  if f.fc.fgen <> st.builtin_gen then begin
+    f.fc.ffn <- State.find_fast_builtin st f.fname;
+    f.fc.fgen <- st.builtin_gen
+  end;
+  f.fc.ffn
+
+(* Cold path of a fused site: the fast twin disappeared or changed
+   arity after load (a builtin was re-registered).  Execute through the
+   generic builtin exactly like an [XCallBuiltin] site would. *)
+let fused_slow (st : State.t) (f : fused) iregs fregs =
+  let vargs = Array.map (box_arg iregs fregs) f.fargs in
+  match State.find_builtin st f.fname with
+  | Some fn -> set_call_result f.fname f.fdst iregs fregs (fn st vargs)
+  | None -> raise (State.Trap ("unresolved external: " ^ f.fname))
+
+(* The frame loop.  [iregs]/[fregs] are the callee's banks, already
+   loaded with the arguments; the caller-facing prologues below differ
+   only in where the arguments come from. *)
+let rec exec_frame (st : State.t) (xf : xfunc) (iregs : int array)
+    (fregs : float array) : State.value option =
   let c = st.cost in
-  let iregs = Array.make (max xf.n_iregs 1) 0 in
-  let fregs = Array.make (max xf.n_fregs 1) 0.0 in
-  if Array.length args <> Array.length xf.param_slots then
-    raise
-      (State.Trap
-         (Printf.sprintf "call to %s with %d args, expected %d" xf.xname
-            (Array.length args)
-            (Array.length xf.param_slots)));
-  Array.iteri
-    (fun i (is_f, s) ->
-      match args.(i) with
-      | State.I v ->
-          if is_f then raise (State.Trap "int arg for float param")
-          else iregs.(s) <- v
-      | State.F v ->
-          if is_f then fregs.(s) <- v
-          else raise (State.Trap "float arg for int param"))
-    xf.param_slots;
   let saved_sp = st.stack_ptr in
   st.frame_enter_hook st;
   let finish (r : State.value option) =
@@ -489,23 +673,21 @@ let rec exec_call (st : State.t) (img : image) (xf : xfunc)
        let b = xf.xblocks.(!cur) in
        (* phi moves for the edge prev -> cur, parallel semantics *)
        if !prev >= 0 && Array.length b.xmoves > 0 then begin
-         let moves = ref [||] in
-         Array.iter
-           (fun (pi, mv) -> if pi = !prev then moves := mv)
-           b.xmoves;
-         let mv = !moves in
+         let mv = b.xmoves.(!prev) in
          let n = Array.length mv in
-         let tmp_i = if n <= 16 then tmp_i else Array.make n 0 in
-         let tmp_f = if n <= 16 then tmp_f else Array.make n 0.0 in
-         for k = 0 to n - 1 do
-           if mv.(k).mflt then tmp_f.(k) <- fval fregs mv.(k).msrc
-           else tmp_i.(k) <- ival iregs mv.(k).msrc
-         done;
-         for k = 0 to n - 1 do
-           if mv.(k).mflt then fregs.(mv.(k).mdst) <- tmp_f.(k)
-           else iregs.(mv.(k).mdst) <- tmp_i.(k);
-           st.cycles <- st.cycles + c.alu
-         done
+         if n > 0 then begin
+           let tmp_i = if n <= 16 then tmp_i else Array.make n 0 in
+           let tmp_f = if n <= 16 then tmp_f else Array.make n 0.0 in
+           for k = 0 to n - 1 do
+             if mv.(k).mflt then tmp_f.(k) <- fval fregs mv.(k).msrc
+             else tmp_i.(k) <- ival iregs mv.(k).msrc
+           done;
+           for k = 0 to n - 1 do
+             if mv.(k).mflt then fregs.(mv.(k).mdst) <- tmp_f.(k)
+             else iregs.(mv.(k).mdst) <- tmp_i.(k);
+             st.cycles <- st.cycles + c.alu
+           done
+         end
        end;
        (* body *)
        let instrs = b.xinstrs in
@@ -545,11 +727,26 @@ let rec exec_call (st : State.t) (img : image) (xf : xfunc)
              if Float.is_nan f then iregs.(d) <- 0
              else iregs.(d) <- Eval.normalize to_ty (int_of_float f)
          | XBitsIF (d, v) ->
+             (* inverse of XBitsFI below: the integer holds the pattern's
+                top 63 bits, shifted back up; bit 0 reads as zero *)
              st.cycles <- st.cycles + c.alu;
-             fregs.(d) <- Int64.float_of_bits (Int64.of_int (ival iregs v))
+             fregs.(d) <-
+               Int64.float_of_bits
+                 (Int64.shift_left (Int64.of_int (ival iregs v)) 1)
          | XBitsFI (d, v) ->
+             (* the IEEE pattern has 64 bits, the int substrate 63: keep
+                the top 63 (sign, exponent, mantissa bits 51..1) so the
+                round-trip preserves sign and magnitude to 1 ulp, and
+                sign tests on the integer pattern work.  Truncating via
+                Int64.to_int would instead clip the sign bit (so
+                bitcast(bitcast(-1.0)) read +1.0) — same full-width
+                discipline as Memory.load_i64_full. *)
              st.cycles <- st.cycles + c.alu;
-             iregs.(d) <- Int64.to_int (Int64.bits_of_float (fval fregs v))
+             iregs.(d) <-
+               Int64.to_int
+                 (Int64.shift_right_logical
+                    (Int64.bits_of_float (fval fregs v))
+                    1)
          | XLoadI (ty, d, a) ->
              st.cycles <- st.cycles + c.load;
              let addr = ival iregs a in
@@ -581,37 +778,69 @@ let rec exec_call (st : State.t) (img : image) (xf : xfunc)
              st.cycles <- st.cycles + c.select;
              fregs.(d) <-
                (if ival iregs cc <> 0 then fval fregs a else fval fregs bb)
-         | XCall { xdst; xcallee; xargs } -> (
-             let vargs =
-               Array.map
-                 (function
-                   | XI k -> State.I k
-                   | XR r -> State.I iregs.(r)
-                   | XF f -> State.F f
-                   | XFR r -> State.F fregs.(r))
-                 xargs
+         | XCallX { xdst; target; xargs } ->
+             st.cycles <- st.cycles + c.call_overhead;
+             let callee = !target in
+             let res = exec_call_regs st callee xargs iregs fregs in
+             set_call_result callee.xname xdst iregs fregs res
+         | XCallBuiltin { xdst; xcallee; xargs; cache } -> (
+             let fn =
+               if cache.bgen = st.builtin_gen then cache.bfn
+               else begin
+                 let f = State.find_builtin st xcallee in
+                 cache.bfn <- f;
+                 cache.bgen <- st.builtin_gen;
+                 f
+               end
              in
-             let res =
-               match Hashtbl.find_opt img.xfuncs xcallee with
-               | Some callee ->
-                   st.cycles <- st.cycles + c.call_overhead;
-                   exec_call st img callee vargs
-               | None -> (
-                   match State.find_builtin st xcallee with
-                   | Some fn -> fn st vargs
-                   | None ->
-                       raise
-                         (State.Trap ("unresolved external: " ^ xcallee)))
-             in
-             match (xdst, res) with
-             | None, _ -> ()
-             | Some (is_f, s), Some v ->
-                 if is_f then fregs.(s) <- State.as_float v
-                 else iregs.(s) <- State.as_int v
-             | Some _, None ->
-                 raise
-                   (State.Trap
-                      ("void result used from call to " ^ xcallee)))
+             match fn with
+             | Some fn ->
+                 let vargs = Array.map (box_arg iregs fregs) xargs in
+                 set_call_result xcallee xdst iregs fregs (fn st vargs)
+             | None ->
+                 raise (State.Trap ("unresolved external: " ^ xcallee)))
+         | XSbCheck f -> (
+             match fused_fn st f with
+             | Some (State.F5 fn) ->
+                 let a = f.fargs in
+                 fn st (ival iregs a.(0)) (ival iregs a.(1))
+                   (ival iregs a.(2)) (ival iregs a.(3)) (ival iregs a.(4))
+             | _ -> fused_slow st f iregs fregs)
+         | XLfCheck f -> (
+             match fused_fn st f with
+             | Some (State.F4 fn) ->
+                 let a = f.fargs in
+                 fn st (ival iregs a.(0)) (ival iregs a.(1))
+                   (ival iregs a.(2)) (ival iregs a.(3))
+             | _ -> fused_slow st f iregs fregs)
+         | XFast0 f -> (
+             match fused_fn st f with
+             | Some (State.F0 fn) -> fn st
+             | _ -> fused_slow st f iregs fregs)
+         | XFast1 f -> (
+             match fused_fn st f with
+             | Some (State.F1 fn) -> fn st (ival iregs f.fargs.(0))
+             | _ -> fused_slow st f iregs fregs)
+         | XFast2 f -> (
+             match fused_fn st f with
+             | Some (State.F2 fn) ->
+                 fn st (ival iregs f.fargs.(0)) (ival iregs f.fargs.(1))
+             | _ -> fused_slow st f iregs fregs)
+         | XFast3 f -> (
+             match fused_fn st f with
+             | Some (State.F3 fn) ->
+                 let a = f.fargs in
+                 fn st (ival iregs a.(0)) (ival iregs a.(1))
+                   (ival iregs a.(2))
+             | _ -> fused_slow st f iregs fregs)
+         | XFastR f -> (
+             match fused_fn st f with
+             | Some (State.FR1 fn) -> (
+                 let r = fn st (ival iregs f.fargs.(0)) in
+                 match f.fdst with
+                 | None -> ()
+                 | Some (_, s) -> iregs.(s) <- r)
+             | _ -> fused_slow st f iregs fregs)
          | XAlloca (d, size, align) ->
              st.cycles <- st.cycles + c.alu;
              let sp =
@@ -660,6 +889,60 @@ let rec exec_call (st : State.t) (img : image) (xf : xfunc)
      raise e);
   finish !result
 
+(* Boxed-argument entry: [run] below and embedders call functions this
+   way; arguments arrive as {!State.value}s. *)
+and exec_call (st : State.t) (xf : xfunc) (args : State.value array) :
+    State.value option =
+  if Array.length args <> Array.length xf.param_slots then
+    raise
+      (State.Trap
+         (Printf.sprintf "call to %s with %d args, expected %d" xf.xname
+            (Array.length args)
+            (Array.length xf.param_slots)));
+  let iregs = Array.make (max xf.n_iregs 1) 0 in
+  let fregs = Array.make (max xf.n_fregs 1) 0.0 in
+  Array.iteri
+    (fun i (is_f, s) ->
+      match args.(i) with
+      | State.I v ->
+          if is_f then raise (State.Trap "int arg for float param")
+          else iregs.(s) <- v
+      | State.F v ->
+          if is_f then fregs.(s) <- v
+          else raise (State.Trap "float arg for int param"))
+    xf.param_slots;
+  exec_frame st xf iregs fregs
+
+(* Direct entry for [XCallX]: arguments copy from the caller's banks
+   into the callee's without materializing a boxed value array. *)
+and exec_call_regs (st : State.t) (xf : xfunc) (xargs : xv array)
+    (ciregs : int array) (cfregs : float array) : State.value option =
+  if Array.length xargs <> Array.length xf.param_slots then
+    raise
+      (State.Trap
+         (Printf.sprintf "call to %s with %d args, expected %d" xf.xname
+            (Array.length xargs)
+            (Array.length xf.param_slots)));
+  let iregs = Array.make (max xf.n_iregs 1) 0 in
+  let fregs = Array.make (max xf.n_fregs 1) 0.0 in
+  Array.iteri
+    (fun i (is_f, s) ->
+      match xargs.(i) with
+      | XI k ->
+          if is_f then raise (State.Trap "int arg for float param")
+          else iregs.(s) <- k
+      | XR r ->
+          if is_f then raise (State.Trap "int arg for float param")
+          else iregs.(s) <- ciregs.(r)
+      | XF f ->
+          if is_f then fregs.(s) <- f
+          else raise (State.Trap "float arg for int param")
+      | XFR r ->
+          if is_f then fregs.(s) <- cfregs.(r)
+          else raise (State.Trap "float arg for int param"))
+    xf.param_slots;
+  exec_frame st xf iregs fregs
+
 let merged_module (img : image) = img.merged
 
 (** Run function [entry] (default ["main"]).  If the image defines
@@ -669,12 +952,12 @@ let run ?(entry = "main") (st : State.t) (img : image) : result =
   let outcome =
     try
       (match Hashtbl.find_opt img.xfuncs "__mi_global_init" with
-      | Some f -> ignore (exec_call st img f [||])
+      | Some f -> ignore (exec_call st !f [||])
       | None -> ());
       match Hashtbl.find_opt img.xfuncs entry with
       | None -> Trapped ("no entry function " ^ entry)
       | Some f -> (
-          match exec_call st img f [||] with
+          match exec_call st !f [||] with
           | Some (State.I code) -> Exited code
           | Some (State.F _) -> Exited 0
           | None -> Exited 0)

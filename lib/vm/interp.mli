@@ -55,6 +55,12 @@ val run : ?entry:string -> State.t -> image -> result
     [__mi_global_init] (SoftBound's constructor for pointers in global
     initializers), it runs first. *)
 
+val func_regs : image -> string -> (int * int) option
+(** [(n_iregs, n_fregs)] of a loaded (non-external) function — the
+    register-bank sizes every call of it allocates.  Exposed so tests can
+    pin precompiler frame-size properties (e.g. discarded results share
+    one scratch slot per bank). *)
+
 (** / *)
 
 val merged_module : image -> Irmod.t

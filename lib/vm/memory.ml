@@ -113,26 +113,59 @@ let load_f64 t addr = Int64.float_of_bits (load_i64_full t addr)
 let store_f64 t addr f = store_i64_full t addr (Int64.bits_of_float f)
 
 (** Copy [len] bytes from [src] to [dst]; regions may overlap
-    ([memmove] semantics). *)
+    ([memmove] semantics).
+
+    Page-chunked: each chunk stays inside one source page and one
+    destination page and moves with [Bytes.blit] (overlap-safe within a
+    page).  Chunks advance in the same direction the byte-at-a-time
+    reference walked — ascending for [dst <= src], descending otherwise —
+    and each chunk materializes its source page before its destination
+    page, exactly like the byte loop's load-then-store, so page faults
+    (the page limit) fire with identical partial state and page counts. *)
 let copy t ~dst ~src len =
   if len > 0 then begin
     check_addr t dst len;
     check_addr t src len;
-    if dst <= src then
-      for i = 0 to len - 1 do
-        store8 t (dst + i) (load8 t (src + i))
+    if dst <= src then begin
+      let i = ref 0 in
+      while !i < len do
+        let s = src + !i and d = dst + !i in
+        let n =
+          min (len - !i)
+            (min (Layout.page_size - offset s) (Layout.page_size - offset d))
+        in
+        let sp = page_of t s in
+        let dp = page_of t d in
+        Bytes.blit sp (offset s) dp (offset d) n;
+        i := !i + n
       done
-    else
-      for i = len - 1 downto 0 do
-        store8 t (dst + i) (load8 t (src + i))
+    end
+    else begin
+      let i = ref len in
+      while !i > 0 do
+        (* chunk covers bytes [i-n, i); bounded by how far the last byte
+           sits into its source and destination pages *)
+        let slast = src + !i - 1 and dlast = dst + !i - 1 in
+        let n = min !i (min (offset slast + 1) (offset dlast + 1)) in
+        let s = src + !i - n and d = dst + !i - n in
+        let sp = page_of t s in
+        let dp = page_of t d in
+        Bytes.blit sp (offset s) dp (offset d) n;
+        i := !i - n
       done
+    end
   end
 
 let fill t ~dst ~byte len =
   if len > 0 then begin
     check_addr t dst len;
-    for i = 0 to len - 1 do
-      store8 t (dst + i) byte
+    let c = Char.chr (byte land 0xff) in
+    let i = ref 0 in
+    while !i < len do
+      let d = dst + !i in
+      let n = min (len - !i) (Layout.page_size - offset d) in
+      Bytes.fill (page_of t d) (offset d) n c;
+      i := !i + n
     done
   end
 

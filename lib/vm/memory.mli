@@ -32,6 +32,12 @@ val store_f64 : t -> int -> float -> unit
 (** [f64] values keep their full 64-bit pattern (no round trip through
     OCaml's 63-bit int). *)
 
+val load_i64_full : t -> int -> int64
+val store_i64_full : t -> int -> int64 -> unit
+(** Full-width 64-bit accessors underlying the [f64] pair — exposed so
+    tests can pin the cross-page slow paths bit-for-bit against the
+    in-page fast paths. *)
+
 val copy : t -> dst:int -> src:int -> int -> unit
 (** [memmove] semantics: overlapping ranges copy correctly. *)
 

@@ -31,7 +31,24 @@ exception Fuel_exhausted of int
     from {!Trap} so callers can report resource exhaustion separately
     from program errors. *)
 
-type t = {
+(** Typed entry points for the interpreter's fused check
+    superinstructions, registered by the runtimes alongside the generic
+    builtin of the same name.  A fast function must be observationally
+    identical to its generic twin — same cycle charges, same counters,
+    same site attribution, same aborts — the interpreter merely skips
+    the boxed [value array] calling convention.  Arguments and results
+    are integers (pointers, widths, slots, site ids); nothing on the
+    check path is float-typed. *)
+type fast_fn =
+  | F0 of (t -> unit)
+  | F1 of (t -> int -> unit)
+  | F2 of (t -> int -> int -> unit)
+  | F3 of (t -> int -> int -> int -> unit)
+  | F4 of (t -> int -> int -> int -> int -> unit)
+  | F5 of (t -> int -> int -> int -> int -> int -> unit)
+  | FR1 of (t -> int -> int)  (** one int argument, int result *)
+
+and t = {
   mem : Memory.t;
   cost : Cost.t;
   mutable cycles : int;
@@ -49,6 +66,13 @@ type t = {
           attribution, otherwise an empty registry that ignores hits *)
   rng : Mi_support.Rng.t;
   builtins : (string, t -> value array -> value option) Hashtbl.t;
+  fast_builtins : (string, fast_fn) Hashtbl.t;
+      (** typed entry points for the interpreter's fused
+          superinstructions; always registered alongside a generic
+          builtin of the same name with identical observable behaviour *)
+  mutable builtin_gen : int;
+      (** bumped on every builtin (re)registration; interpreter
+          call-site caches revalidate when it changes *)
   mutable malloc_hook : t -> int -> int;
   mutable free_hook : t -> int -> unit;
   mutable frame_enter_hook : t -> unit;
@@ -92,9 +116,27 @@ let observe t key v = Mi_obs.Metrics.observe t.metrics key v
     negative or unknown id is ignored). *)
 let site_hit t id ~wide ~cycles = Mi_obs.Site.hit t.sites id ~wide ~cycles
 
-let register_builtin t name fn = Hashtbl.replace t.builtins name fn
+(** (Re)register a builtin.  Bumps [builtin_gen] so every resolved
+    call-site cache in already-loaded images revalidates, and drops any
+    fast twin of the same name — a replacement generic builtin silently
+    shadowed by a stale fast function would be a correctness bug.
+    Re-register the fast twin (after the generic) if it still applies. *)
+let register_builtin t name fn =
+  t.builtin_gen <- t.builtin_gen + 1;
+  Hashtbl.remove t.fast_builtins name;
+  Hashtbl.replace t.builtins name fn
 
 let find_builtin t name = Hashtbl.find_opt t.builtins name
+
+(** Register the typed fast twin of an already-registered generic
+    builtin.  Call this {e after} {!register_builtin} for the same name
+    (which removes fast entries).  Also bumps [builtin_gen] so loaded
+    images pick the fast path up. *)
+let register_fast_builtin t name ffn =
+  t.builtin_gen <- t.builtin_gen + 1;
+  Hashtbl.replace t.fast_builtins name ffn
+
+let find_fast_builtin t name = Hashtbl.find_opt t.fast_builtins name
 
 (* --- standard allocator -------------------------------------------- *)
 
@@ -157,6 +199,8 @@ let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42)
       sites;
       rng = Mi_support.Rng.create seed;
       builtins = Hashtbl.create 64;
+      fast_builtins = Hashtbl.create 16;
+      builtin_gen = 0;
       malloc_hook = (fun _ _ -> 0);
       free_hook = (fun _ _ -> ());
       frame_enter_hook = (fun _ -> ());

@@ -1,0 +1,335 @@
+(* The fast-path execution engine: observational-inertness differential
+   gate, error-message compatibility pins, and regression tests for the
+   interpreter bugs fixed alongside it (bitcast sign bit, scratch-slot
+   bloat, builtin-cache staleness). *)
+
+open Mi_vm
+open Mi_mir
+module E = Mi_bench_kit.Experiments
+module Harness = Mi_bench_kit.Harness
+module Json = Mi_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Differential gate: the engine is observationally inert              *)
+(* ------------------------------------------------------------------ *)
+
+(* goldens/engine_470lbm.json was produced by the pre-engine interpreter
+   (generic hash-per-call dispatch) via
+     mi-experiments --benchmark 470lbm -j 1 --json ... table1 hotchecks
+   Regenerating the same document in-process must reproduce it byte for
+   byte: modeled cycles, counters and per-site check profiles are
+   independent of the dispatch strategy. *)
+let test_golden_json () =
+  (* under `dune runtest` the cwd is the staged test directory (the dune
+     deps glob copies the golden there); under `dune exec` from the
+     project root, fall back to the source-tree copy *)
+  let golden_path =
+    List.find Sys.file_exists
+      [ "goldens/engine_470lbm.json"; "test/goldens/engine_470lbm.json" ]
+  in
+  let ic = open_in_bin golden_path in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let h = Harness.create ~jobs:1 () in
+  let benchmarks = [ Mi_bench_kit.Suite.find_exn "470lbm" ] in
+  let selected = [ "table1"; "hotchecks" ] in
+  let reports =
+    E.run_reports ~benchmarks h
+      (List.map (fun n -> Option.get (E.find n)) selected)
+  in
+  let doc =
+    Json.Obj
+      [
+        ( "reports",
+          Json.List
+            (List.map2
+               (fun name (_, r) ->
+                 match E.report_to_json r with
+                 | Json.Obj fields ->
+                     Json.Obj (("name", Json.Str name) :: fields)
+                 | other -> other)
+               selected reports) );
+      ]
+  in
+  Alcotest.(check string)
+    "regenerated report document is byte-identical to the pre-engine golden"
+    golden
+    (Json.to_string doc ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Error-message compatibility                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_src ?(fuel = 50_000_000) src =
+  let m = Parser.parse_module src in
+  let st = State.create ~fuel () in
+  Builtins.install st;
+  let img = Interp.load st [ m ] in
+  (st, img, Interp.run st img)
+
+let expect_trap src msg =
+  let _, _, r = run_src src in
+  match r.Interp.outcome with
+  | Interp.Trapped m -> Alcotest.(check string) "trap message" msg m
+  | Interp.Exited n -> Alcotest.fail ("exited " ^ string_of_int n)
+  | _ -> Alcotest.fail "expected a trap"
+
+let test_unknown_callee_msg () =
+  expect_trap
+    {|
+module "u"
+extern func @nosuch() -> i64
+func @main() -> i64 {
+entry:
+  %x.0 = call @nosuch() : i64
+  ret %x.0
+}
+|}
+    "unresolved external: nosuch"
+
+let test_void_result_msg () =
+  expect_trap
+    {|
+module "v"
+func @main() -> i64 {
+entry:
+  %x.0 = call @print_int(1:i64) : i64
+  ret %x.0
+}
+|}
+    "void result used from call to print_int"
+
+let test_builtin_trap_msg () =
+  (* a Trap raised inside a builtin (here the standard allocator)
+     propagates with its message intact through the cached call site *)
+  expect_trap
+    {|
+module "f"
+func @main() -> i64 {
+entry:
+  call @free(12345678:i64)
+  ret 0:i64
+}
+|}
+    (Printf.sprintf "free of non-allocated %#x" 12345678)
+
+let test_call_arity_msg () =
+  expect_trap
+    {|
+module "a"
+func @two(%a.0 : i64, %b.1 : i64) -> i64 {
+entry:
+  ret %a.0
+}
+func @main() -> i64 {
+entry:
+  %x.0 = call @two(1:i64) : i64
+  ret %x.0
+}
+|}
+    "call to two with 1 args, expected 2"
+
+(* ------------------------------------------------------------------ *)
+(* Inline caches vs late builtin registration                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_builtin_registered_after_load () =
+  (* call sites resolve against the builtin table at load time; the
+     generation counter must make them pick up registrations that happen
+     after the image was loaded *)
+  let m =
+    Parser.parse_module
+      {|
+module "late"
+extern func @late_fn() -> i64
+func @main() -> i64 {
+entry:
+  %x.0 = call @late_fn() : i64
+  ret %x.0
+}
+|}
+  in
+  let st = State.create () in
+  Builtins.install st;
+  let img = Interp.load st [ m ] in
+  State.register_builtin st "late_fn" (fun _ _ -> Some (State.I 7));
+  match (Interp.run st img).Interp.outcome with
+  | Interp.Exited 7 -> ()
+  | _ -> Alcotest.fail "late-registered builtin was not picked up"
+
+let test_builtin_reregistered_after_load () =
+  (* a pre-warmed cache entry must not survive re-registration *)
+  let m =
+    Parser.parse_module
+      {|
+module "re"
+func @main() -> i64 {
+entry:
+  call @print_int(1:i64)
+  ret 0:i64
+}
+|}
+  in
+  let st = State.create () in
+  Builtins.install st;
+  let img = Interp.load st [ m ] in
+  State.register_builtin st "print_int" (fun st _ ->
+      Buffer.add_string st.State.out "replaced";
+      None);
+  let r = Interp.run st img in
+  Alcotest.(check string) "replacement builtin ran" "replaced" r.Interp.output
+
+(* ------------------------------------------------------------------ *)
+(* Regression: f64 <-> i64 bitcast sign bit                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitcast_sign_roundtrip () =
+  (* pre-fix, the i64 pattern of -1.0 lost bit 63, so the sign test read
+     positive and the round-trip produced +1.0 *)
+  let _, _, r =
+    run_src
+      {|
+module "bc"
+func @main() -> i64 {
+entry:
+  %b.0 = bitcast f64 fl(-1.0) to i64
+  %neg.1 = icmp slt i64 %b.0, 0:i64
+  cbr %neg.1, back, bad
+back:
+  %f.2 = bitcast i64 %b.0 to f64
+  %eq.3 = fcmp feq %f.2, fl(-1.0)
+  cbr %eq.3, good, bad
+good:
+  ret 0:i64
+bad:
+  ret 1:i64
+}
+|}
+  in
+  match r.Interp.outcome with
+  | Interp.Exited 0 -> ()
+  | Interp.Exited n ->
+      Alcotest.failf "bitcast dropped the sign bit (exit %d)" n
+  | _ -> Alcotest.fail "bitcast program failed"
+
+let prop_bitcast_roundtrip =
+  (* the 63-bit substrate can keep everything except mantissa bit 0: the
+     round-trip must preserve sign and stay within 1 ulp, exactly for
+     every pattern with a zero low mantissa bit (all small integers,
+     +-0.0, infinities) *)
+  QCheck.Test.make ~name:"bitcast f64->i64->f64 roundtrip" ~count:300
+    QCheck.float (fun f ->
+      let src =
+        Printf.sprintf
+          {|
+module "bcp"
+func @main() -> i64 {
+entry:
+  %%b.0 = bitcast f64 fl(%h) to i64
+  %%f.1 = bitcast i64 %%b.0 to f64
+  call @print_f64(%%f.1)
+  ret 0:i64
+}
+|}
+          f
+      in
+      let _, _, r = run_src src in
+      let expect =
+        Int64.float_of_bits
+          (Int64.logand (Int64.bits_of_float f) (Int64.lognot 1L))
+      in
+      r.Interp.output = Printf.sprintf "%.6g" expect)
+
+let test_bitcast_minic_negative_double_global () =
+  (* same bug family at the minic level: global double initializers went
+     through a 63-bit int, clipping the IEEE sign bit, so a negative
+     double global read back positive *)
+  let m =
+    Mi_minic.Lower.compile ~name:"negg"
+      {|
+double g = -1.5;
+double z = 0.25;
+
+int main(void) {
+  if (g < 0.0 && g == -1.5 && z == 0.25) return 0;
+  return 1;
+}
+|}
+  in
+  let st = State.create () in
+  Builtins.install st;
+  let img = Interp.load st [ m ] in
+  match (Interp.run st img).Interp.outcome with
+  | Interp.Exited 0 -> ()
+  | Interp.Exited n ->
+      Alcotest.failf "negative double global miscompiled (exit %d)" n
+  | _ -> Alcotest.fail "minic program failed"
+
+(* ------------------------------------------------------------------ *)
+(* Regression: discarded results share one scratch slot per bank       *)
+(* ------------------------------------------------------------------ *)
+
+let test_scratch_slots_shared () =
+  (* five discarded loads + one named value: pre-fix each discarded
+     destination allocated a fresh integer slot (n_iregs = 1 named + 5),
+     bloating the bank Array.make of every call of the function *)
+  let m =
+    Parser.parse_module
+      {|
+module "s"
+func @main() -> i64 {
+entry:
+  %p.0 = alloca 8 align 8
+  load i64 %p.0
+  load i64 %p.0
+  load i64 %p.0
+  load i64 %p.0
+  load i64 %p.0
+  ret 0:i64
+}
+|}
+  in
+  let st = State.create () in
+  Builtins.install st;
+  let img = Interp.load st [ m ] in
+  match Interp.func_regs img "main" with
+  | None -> Alcotest.fail "main not loaded"
+  | Some (n_i, n_f) ->
+      Alcotest.(check int) "one named slot + one shared scratch" 2 n_i;
+      Alcotest.(check int) "no float slots" 0 n_f
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "differential",
+        [ Alcotest.test_case "470lbm golden json" `Slow test_golden_json ] );
+      ( "messages",
+        [
+          Alcotest.test_case "unknown callee" `Quick test_unknown_callee_msg;
+          Alcotest.test_case "void result" `Quick test_void_result_msg;
+          Alcotest.test_case "builtin trap" `Quick test_builtin_trap_msg;
+          Alcotest.test_case "call arity" `Quick test_call_arity_msg;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "late registration" `Quick
+            test_builtin_registered_after_load;
+          Alcotest.test_case "re-registration" `Quick
+            test_builtin_reregistered_after_load;
+        ] );
+      ( "bitcast",
+        [
+          Alcotest.test_case "sign roundtrip" `Quick
+            test_bitcast_sign_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bitcast_roundtrip;
+          Alcotest.test_case "minic negative double global" `Quick
+            test_bitcast_minic_negative_double_global;
+        ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "shared per bank" `Quick
+            test_scratch_slots_shared;
+        ] );
+    ]

@@ -64,6 +64,127 @@ let test_mem_cstring () =
   Memory.store_cstring m addr0 "hello";
   Alcotest.(check string) "cstring roundtrip" "hello" (Memory.load_cstring m addr0)
 
+(* --- cross-page consistency --------------------------------------------
+   The slow paths (accesses and block ops straddling a page boundary)
+   must be bit-identical to the in-page fast paths; these pin the
+   page-chunked copy/fill rewrite against a byte-at-a-time reference. *)
+
+(* addresses around a page boundary: every straddle of [width] plus two
+   fully-contained controls *)
+let straddles width =
+  let edge = addr0 + (3 * Layout.page_size) in
+  List.init (width + 1) (fun i -> edge - i) @ [ edge + 8; edge - 64 ]
+
+let test_mem_cross_page_widths () =
+  List.iter
+    (fun width ->
+      List.iter
+        (fun a ->
+          let m = Memory.create () in
+          let v = 0x1122334455667788 land ((1 lsl (8 * width)) - 1) in
+          Memory.store m a width v;
+          Alcotest.(check int)
+            (Printf.sprintf "store/load width %d at %#x" width a)
+            v (Memory.load m a width);
+          (* byte-assembled view agrees with the wide load *)
+          let assembled = ref 0 in
+          for i = width - 1 downto 0 do
+            assembled := (!assembled lsl 8) lor Memory.load8 m (a + i)
+          done;
+          Alcotest.(check int)
+            (Printf.sprintf "byte view width %d at %#x" width a)
+            v !assembled)
+        (straddles width))
+    [ 1; 2; 4; 8 ]
+
+let test_mem_cross_page_i64_full () =
+  let pat = 0xDEADBEEFCAFEBABEL in
+  List.iter
+    (fun a ->
+      let m = Memory.create () in
+      Memory.store_i64_full m a pat;
+      Alcotest.(check int64)
+        (Printf.sprintf "i64_full at %#x" a)
+        pat (Memory.load_i64_full m a);
+      (* the sign bit must survive even when split across pages *)
+      let m2 = Memory.create () in
+      Memory.store_f64 m2 a (-1.0);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "negative f64 at %#x" a)
+        (-1.0) (Memory.load_f64 m2 a))
+    (straddles 8)
+
+(* reference memmove: the pre-chunking byte-at-a-time loops *)
+let ref_copy m ~dst ~src len =
+  if dst <= src then
+    for i = 0 to len - 1 do
+      Memory.store8 m (dst + i) (Memory.load8 m (src + i))
+    done
+  else
+    for i = len - 1 downto 0 do
+      Memory.store8 m (dst + i) (Memory.load8 m (src + i))
+    done
+
+let mem_with_pattern base n =
+  let m = Memory.create () in
+  for i = 0 to n - 1 do
+    Memory.store8 m (base + i) ((i * 31 + 7) land 0xff)
+  done;
+  m
+
+let read_back m base n =
+  String.init n (fun i -> Char.chr (Memory.load8 m (base + i)))
+
+let test_mem_copy_cross_page_overlap () =
+  (* overlapping copies whose source and destination straddle page
+     boundaries, both directions, vs the byte-loop reference *)
+  let base = addr0 + (2 * Layout.page_size) - 300 in
+  let n = 600 (* spans the boundary *) in
+  List.iter
+    (fun (doff, soff, len) ->
+      let m = mem_with_pattern base n in
+      let r = mem_with_pattern base n in
+      Memory.copy m ~dst:(base + doff) ~src:(base + soff) len;
+      ref_copy r ~dst:(base + doff) ~src:(base + soff) len;
+      Alcotest.(check string)
+        (Printf.sprintf "copy dst+%d src+%d len %d" doff soff len)
+        (read_back r base n) (read_back m base n);
+      Alcotest.(check int)
+        "same pages touched" r.Memory.page_count m.Memory.page_count)
+    [
+      (40, 0, 500);  (* forward-overlap, crosses the page edge *)
+      (0, 40, 500);  (* backward-overlap, crosses the page edge *)
+      (1, 0, 299);   (* single-byte shift up to the edge *)
+      (0, 1, 299);
+      (250, 250, 300);  (* dst = src, straddling *)
+      (0, 300, 300);    (* disjoint, src straddles *)
+      (300, 0, 300);    (* disjoint, dst straddles *)
+    ]
+
+let prop_mem_copy_matches_reference =
+  QCheck.Test.make ~name:"chunked copy == byte-loop reference" ~count:300
+    QCheck.(triple (int_bound 700) (int_bound 700) (int_bound 900))
+    (fun (doff, soff, len) ->
+      let base = addr0 + Layout.page_size - 350 in
+      let n = 1700 in
+      let m = mem_with_pattern base n in
+      let r = mem_with_pattern base n in
+      Memory.copy m ~dst:(base + doff) ~src:(base + soff) len;
+      ref_copy r ~dst:(base + doff) ~src:(base + soff) len;
+      read_back m base n = read_back r base n)
+
+let test_mem_fill_cross_page () =
+  let base = addr0 + Layout.page_size - 5 in
+  let m = Memory.create () in
+  Memory.store8 m (base - 1) 0x77;
+  Memory.store8 m (base + 10) 0x88;
+  Memory.fill m ~dst:base ~byte:0xAB 10;
+  for i = 0 to 9 do
+    Alcotest.(check int) "filled" 0xAB (Memory.load8 m (base + i))
+  done;
+  Alcotest.(check int) "byte before intact" 0x77 (Memory.load8 m (base - 1));
+  Alcotest.(check int) "byte after intact" 0x88 (Memory.load8 m (base + 10))
+
 (* ------------------------------------------------------------------ *)
 (* Standard allocator                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -323,6 +444,14 @@ let () =
           Alcotest.test_case "null guard" `Quick test_mem_null_guard;
           Alcotest.test_case "copy overlap" `Quick test_mem_copy_overlap;
           Alcotest.test_case "cstring" `Quick test_mem_cstring;
+          Alcotest.test_case "cross-page widths" `Quick
+            test_mem_cross_page_widths;
+          Alcotest.test_case "cross-page i64_full" `Quick
+            test_mem_cross_page_i64_full;
+          Alcotest.test_case "cross-page copy overlap" `Quick
+            test_mem_copy_cross_page_overlap;
+          QCheck_alcotest.to_alcotest prop_mem_copy_matches_reference;
+          Alcotest.test_case "cross-page fill" `Quick test_mem_fill_cross_page;
           QCheck_alcotest.to_alcotest prop_mem_f64_roundtrip;
         ] );
       ( "allocator",
