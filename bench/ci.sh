@@ -28,7 +28,10 @@ cache=$(mktemp -d /tmp/mi-ci-cache-XXXXXX)
 mut_out=$(mktemp /tmp/mi-ci-mut-XXXXXX.txt)
 chaos1=$(mktemp /tmp/mi-ci-chaos1-XXXXXX.txt)
 chaos2=$(mktemp /tmp/mi-ci-chaos2-XXXXXX.txt)
-trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2"' EXIT
+fuzz1=$(mktemp /tmp/mi-ci-fuzz1-XXXXXX.json)
+fuzz2=$(mktemp /tmp/mi-ci-fuzz2-XXXXXX.json)
+trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2" \
+     "$fuzz1" "$fuzz2"' EXIT
 # the binary re-parses its own output before exiting, so a zero status
 # already certifies well-formed JSON; double-check with python3 if present
 dune exec bin/experiments.exe -- --benchmark 470lbm -j 1 --json "$out" \
@@ -117,5 +120,19 @@ then
 fi
 cmp "$chaos1" "$chaos2"
 echo "chaos output byte-identical across -j and cache corruption"
+
+# the differential-fuzzing gate: a fixed seed block (500 safe seeds,
+# 100 unsafe mutants).  A zero exit certifies zero oracle divergences
+# on the safe programs and every mutant detected (killed, or carrying
+# a written wide-bounds justification); the JSON report must come out
+# byte-identical at -j 4 and -j 1.
+echo "== fuzz gate (seeds 1..500, mutants 1..100) =="
+dune exec bin/mifuzz.exe -- --seeds 1..500 --mutants 1..100 -j 4 \
+    --out "$fuzz1" | tail -n 4
+echo "== fuzz determinism (-j 1 vs -j 4) =="
+dune exec bin/mifuzz.exe -- --seeds 1..500 --mutants 1..100 -j 1 \
+    --out "$fuzz2" >/dev/null
+cmp "$fuzz1" "$fuzz2"
+echo "fuzz report byte-identical across -j"
 
 echo "== ci OK =="

@@ -240,4 +240,7 @@ let cmd =
       $ jobs_arg $ cache_dir_arg $ all_arg $ list_arg $ Mi_obs_cli.term
       $ Mi_fault_cli.term)
 
+(* the fuzz experiment lives outside mi_bench_kit (the fuzz library
+   depends on the bench kit, not vice versa) and registers here *)
+let () = Mi_fuzz.Fuzz.register_experiment ()
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,155 @@
+(** Differential fuzzing driver.
+
+    {v
+    mifuzz --seeds 1..500 --mutants 1..100 -j 4 --out fuzz.json
+    mifuzz --seeds 1..100 --minutes 10          # soak: keep going in blocks
+    mifuzz --seeds 7..7 --repro-dir repros \
+           --inject del-check                   # seeded failure + shrink
+    v}
+
+    Every safe seed runs the full oracle matrix (optimization levels ×
+    SoftBound/Low-Fat × extension points × VM dispatch modes) and must
+    match the uninstrumented [-O0] reference exactly; every mutant seed
+    additionally derives one out-of-bounds mutant that both
+    instrumentations must report (wide-bounds whitelist aside).  The
+    JSON report is byte-identical for every [-j]. *)
+
+open Cmdliner
+module Fuzz = Mi_fuzz.Fuzz
+module Harness = Mi_bench_kit.Harness
+module Json = Mi_obs.Json
+
+let range_conv : (int * int) Arg.conv =
+  let parse s =
+    let fail () = Error (`Msg (Printf.sprintf "bad range %S (expected A..B)" s)) in
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.'
+           && i + 2 <= String.length s -> (
+        let a = String.sub s 0 i in
+        let b = String.sub s (i + 2) (String.length s - i - 2) in
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+        | _ -> fail ())
+    | _ -> (
+        (* a single seed is the range N..N *)
+        match int_of_string_opt s with Some n -> Ok (n, n) | None -> fail ())
+  in
+  Arg.conv (parse, fun ppf (a, b) -> Format.fprintf ppf "%d..%d" a b)
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt range_conv (1, 100)
+    & info [ "seeds" ] ~docv:"A..B"
+        ~doc:"Safe seed block (inclusive); each seed is one generated program.")
+
+let mutants_arg =
+  Arg.(
+    value
+    & opt (some range_conv) None
+    & info [ "mutants" ] ~docv:"A..B"
+        ~doc:
+          "Seed block to derive unsafe mutants from (default: the first \
+           fifth of $(b,--seeds)).  Pass an empty share by naming a range \
+           outside the seed block if undesired.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains (default: the recognized core count).  The \
+           report is byte-identical for every value.")
+
+let minutes_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "minutes" ] ~docv:"M"
+        ~doc:
+          "Soak mode: after the given block finishes, keep fuzzing \
+           subsequent same-sized seed blocks until M minutes have \
+           elapsed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the campaign report as JSON (deterministic bytes).")
+
+let repro_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro-dir" ] ~docv:"DIR"
+        ~doc:
+          "Shrink each failing case and emit the minimized translation \
+           units plus INFO.txt under DIR/<slug>/.")
+
+let max_shrinks_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-shrinks" ] ~docv:"N"
+        ~doc:"Cap on shrunk repros emitted per campaign (default 5).")
+
+let main (slo, shi) mutants jobs minutes out repro_dir max_shrinks faults =
+  let width = shi - slo + 1 in
+  let default_mutants lo =
+    let n = width / 5 in
+    if n = 0 then None else Some (lo, lo + n - 1)
+  in
+  let block idx =
+    let lo = slo + (idx * width) in
+    let hi = lo + width - 1 in
+    let m =
+      match (mutants, idx) with
+      | Some (a, b), 0 -> Some (a, b)
+      | Some (a, b), _ ->
+          let mw = b - a + 1 in
+          Some (a + (idx * width), a + (idx * width) + mw - 1)
+      | None, _ -> default_mutants lo
+    in
+    Fuzz.run
+      (Fuzz.campaign ~jobs ~faults ?repro_dir ~max_shrinks ?mutants:m
+         ~seeds:(lo, hi) ())
+  in
+  let deadline =
+    match minutes with
+    | None -> None
+    | Some m -> Some (Unix.gettimeofday () +. (m *. 60.))
+  in
+  let rec soak idx acc =
+    let r = block idx in
+    let acc = match acc with None -> r | Some a -> Fuzz.merge a r in
+    match deadline with
+    | Some d when Unix.gettimeofday () < d -> soak (idx + 1) (Some acc)
+    | _ -> acc
+  in
+  let report = soak 0 None in
+  print_string (Fuzz.render report);
+  (match out with
+  | None -> ()
+  | Some path ->
+      let s = Json.to_string (Fuzz.report_to_json report) in
+      let oc = open_out path in
+      output_string oc s;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "(wrote %s, %d bytes)\n" path (String.length s));
+  if Fuzz.ok report then 0 else 1
+
+let cmd =
+  let doc =
+    "differential fuzzing of the memory-safety instrumentation stack"
+  in
+  Cmd.v
+    (Cmd.info "mifuzz" ~doc)
+    Term.(
+      const main $ seeds_arg $ mutants_arg $ jobs_arg $ minutes_arg $ out_arg
+      $ repro_dir_arg $ max_shrinks_arg $ Mi_fault_cli.inject_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -20,12 +20,21 @@ module Pipeline = Mi_passes.Pipeline
 module Obs = Mi_obs.Obs
 module Fault = Mi_faultkit.Fault
 
+(** How the VM dispatches runtime-intrinsic calls: [Fast] (the default)
+    lets the loader fuse check calls into superinstructions; [Generic]
+    forces every call through the boxed builtin path
+    ({!Mi_vm.State.t.fast_dispatch}).  Execution-only — like [seed], it
+    never affects compilation, so both variants share one
+    instrumentation-cache entry. *)
+type dispatch = Fast | Generic
+
 type setup = {
   config : Config.t option;  (** [None]: uninstrumented baseline *)
   level : Pipeline.level;
   ep : Pipeline.extension_point;
   lowering : Mi_minic.Lower.mode;
   seed : int;
+  dispatch : dispatch;
 }
 
 let baseline =
@@ -35,6 +44,7 @@ let baseline =
     ep = Pipeline.VectorizerStart;
     lowering = Mi_minic.Lower.default_mode;
     seed = 42;
+    dispatch = Fast;
   }
 
 let with_config c s = { s with config = Some c }
@@ -47,11 +57,14 @@ let level_name = function
 (** Canonical setup description: injective over every field, so it
     doubles as a job key. *)
 let setup_key (s : setup) =
-  Printf.sprintf "%s/%s/%s/%s/seed=%d"
+  Printf.sprintf "%s/%s/%s/%s/seed=%d%s"
     (match s.config with None -> "base" | Some c -> Config.to_string c)
     (level_name s.level) (Pipeline.ep_name s.ep)
     (if s.lowering.Mi_minic.Lower.ptr_mem_as_i64 then "i64ptr" else "std")
     s.seed
+    (* suffix only in the non-default case, so every pre-existing key
+       (goldens, cache dirs) is unchanged *)
+    (match s.dispatch with Fast -> "" | Generic -> "/generic")
 
 type run = {
   outcome : Mi_vm.Interp.outcome;
@@ -134,6 +147,10 @@ let execute ?(faults = Fault.none) ?deadline ~obs (setup : setup)
     Mi_vm.State.create ~seed:setup.seed ~metrics:obs.Obs.metrics
       ~sites:obs.Obs.sites ()
   in
+  (* must precede [Interp.load]: fusion is a load-time decision *)
+  (match setup.dispatch with
+  | Fast -> ()
+  | Generic -> st.Mi_vm.State.fast_dispatch <- false);
   Mi_vm.Inject.install faults st;
   Option.iter
     (fun (at, budget) -> Mi_vm.Inject.arm_deadline st ~deadline:at ~budget)

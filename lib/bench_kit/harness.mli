@@ -13,6 +13,14 @@ module Pipeline = Mi_passes.Pipeline
 
 (** {1 Setups} *)
 
+(** How the VM dispatches runtime-intrinsic calls: [Fast] (the default)
+    lets the loader fuse check calls into superinstructions; [Generic]
+    forces every call through the boxed builtin path.  Execution-only —
+    both variants share one instrumentation-cache entry, which is what
+    makes the fast-path engine differentially testable at fuzzing
+    scale. *)
+type dispatch = Fast | Generic
+
 (** One [setup] fixes everything the paper varies. *)
 type setup = {
   config : Config.t option;  (** [None]: uninstrumented baseline *)
@@ -20,6 +28,9 @@ type setup = {
   ep : Pipeline.extension_point;
   lowering : Mi_minic.Lower.mode;
   seed : int;
+  dispatch : dispatch;
+      (** VM call dispatch; {!baseline} uses [Fast].  [Generic] appends
+          ["/generic"] to {!setup_key} (default keys are unchanged). *)
 }
 
 val baseline : setup

@@ -775,9 +775,11 @@ let run ?(obs : Mi_obs.Obs.t option) ?(faults = Mi_faultkit.Fault.none)
         "static.checks_removed_dominance";
       Mi_obs.Metrics.incr ~by:stats.total_invariants metrics
         "static.invariants_placed";
+      (* a compile-phase quantity: keep it in the [static.] namespace so
+         cached (compile-skipping) runs don't make it cache-dependent *)
       if stats.total_checks_mutated > 0 then
         Mi_obs.Metrics.incr ~by:stats.total_checks_mutated metrics
-          "fault.injected";
+          "static.checks_mutated";
       Mi_obs.Metrics.incr
         ~by:(Mi_obs.Site.count sites - sites_before)
         metrics "static.check_sites";

@@ -51,8 +51,10 @@ val run :
     ordinal — the n-th (0-based) check in placement order, numbered
     before the mutation decision so ordinals are stable across plans.
     Mutated checks count in [checks_mutated] and, with [obs], in the
-    ["fault.injected"] counter.  This is the mutation-testing engine
-    behind the safety-guarantee validation. *)
+    ["static.checks_mutated"] counter (a compile-phase quantity, kept in
+    the [static.] namespace so cache-hitting runs that skip the compile
+    stay counter-identical to cache-missing ones).  This is the
+    mutation-testing engine behind the safety-guarantee validation. *)
 
 val sb_global_init : Irmod.t -> Func.t option
 (** The constructor described above, exposed for testing. *)

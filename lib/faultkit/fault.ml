@@ -33,7 +33,8 @@ type check_mutation = {
       (** which check: the n-th (0-based) check placed in a function, in
           placement order of the unmutated run (ordinals are assigned
           before the mutation decision, so deleting check 2 does not
-          renumber check 3) *)
+          renumber check 3); [-1] is the wildcard — every check in the
+          matched function(s), the [del-check=*] spec *)
   cm_func : string option;  (** restrict to one function; [None] = any *)
 }
 
@@ -96,7 +97,7 @@ let check_mutation_for p ~func ~ordinal =
   List.find_map
     (fun cm ->
       if
-        cm.cm_ordinal = ordinal
+        (cm.cm_ordinal = ordinal || cm.cm_ordinal = -1)
         && match cm.cm_func with None -> true | Some f -> f = func
       then Some cm.cm_action
       else None)
@@ -121,9 +122,9 @@ let job_fault_for p job_desc =
 (* ------------------------------------------------------------------ *)
 
 let check_mutation_to_string cm =
-  Printf.sprintf "%s=%d%s"
+  Printf.sprintf "%s=%s%s"
     (match cm.cm_action with Delete -> "del-check" | Weaken -> "weaken-check")
-    cm.cm_ordinal
+    (if cm.cm_ordinal = -1 then "*" else string_of_int cm.cm_ordinal)
     (match cm.cm_func with None -> "" | Some f -> "@" ^ f)
 
 let corruption_name = function
@@ -185,15 +186,23 @@ let parse spec : (t, string) result =
             Some (String.sub v (i + 1) (String.length v - i - 1)) )
       | None -> (v, None)
     in
+    let ord_res =
+      if ord = "*" || ord = "" then Ok (-1) else int_of ord "check ordinal"
+    in
     Result.map
       (fun o -> { cm_action = action; cm_ordinal = o; cm_func = func })
-      (int_of ord "check ordinal")
+      ord_res
   in
   let rec go acc = function
     | [] -> Ok { acc with checks = List.rev acc.checks; vm = List.rev acc.vm;
                  jobs = List.rev acc.jobs }
     | clause :: rest -> (
         match String.index_opt clause '=' with
+        | None when clause = "del-check" || clause = "weaken-check" ->
+            (* bare form: mutate every check everywhere *)
+            let action = if clause = "del-check" then Delete else Weaken in
+            let cm = { cm_action = action; cm_ordinal = -1; cm_func = None } in
+            go { acc with checks = cm :: acc.checks } rest
         | None -> Error (Printf.sprintf "bad clause %S (expected key=value)" clause)
         | Some i -> (
             let key = String.sub clause 0 i in

@@ -16,7 +16,8 @@ type check_mutation = {
   cm_action : check_action;
   cm_ordinal : int;
       (** the n-th (0-based) check placed in a function, in placement
-          order of the unmutated run *)
+          order of the unmutated run; [-1] is the wildcard — every
+          check in the matched function(s) *)
   cm_func : string option;  (** restrict to one function; [None] = any *)
 }
 
@@ -65,7 +66,9 @@ val job_fault_for : t -> string -> job_fault option
 
 val parse : string -> (t, string) result
 (** Parse an [--inject] spec: comma-separated clauses [seed=N],
-    [del-check=K[@FUNC]], [weaken-check=K[@FUNC]],
+    [del-check=K[@FUNC]] (with [K] a 0-based ordinal or [*] for every
+    check; the bare clause [del-check] is shorthand for [del-check=*]),
+    [weaken-check=K[@FUNC]] (same forms),
     [wild-write=STEP:ADDR:VALUE], [fuel=N], [trap-at=STEP],
     [corrupt-cache=truncate|bitflip|stale], [crash=SUBSTR],
     [hang=SUBSTR:SECONDS]. *)

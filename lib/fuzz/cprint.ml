@@ -1,0 +1,208 @@
+(** MiniC AST → C source, the inverse of {!Mi_minic.Cparse}.
+
+    The shrinker reduces programs structurally (on the AST) but the
+    oracle consumes source text, so every reduction step round-trips
+    through this printer.  The only contract is [parse (print p)]
+    succeeds and denotes the same program; output is fully parenthesized
+    rather than pretty. *)
+
+open Mi_minic.Ast
+module Ctypes = Mi_minic.Ctypes
+
+(* peel array dimensions off a declarator type: outermost Carr is the
+   first (leftmost) dimension *)
+let rec split_arrays ty =
+  match ty with
+  | Ctypes.Carr (t, d) ->
+      let base, dims = split_arrays t in
+      (base, d :: dims)
+  | t -> (t, [])
+
+let rec base_to_string = function
+  | Ctypes.Cvoid -> "void"
+  | Ctypes.Cchar -> "char"
+  | Ctypes.Cshort -> "short"
+  | Ctypes.Cint -> "int"
+  | Ctypes.Clong -> "long"
+  | Ctypes.Cdouble -> "double"
+  | Ctypes.Cstruct s -> "struct " ^ s
+  | Ctypes.Cptr t -> base_to_string t ^ " *"
+  | Ctypes.Carr _ -> invalid_arg "Cprint: array in abstract type"
+
+let dim_to_string = function
+  | Some n -> Printf.sprintf "[%d]" n
+  | None -> "[]"
+
+(* "T name[3][4]" *)
+let declarator ty name =
+  let base, dims = split_arrays ty in
+  Printf.sprintf "%s %s%s" (base_to_string base) name
+    (String.concat "" (List.map dim_to_string dims))
+
+let binop_to_string = function
+  | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Bmod -> "%"
+  | Bshl -> "<<" | Bshr -> ">>" | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Blt -> "<" | Ble -> "<=" | Bgt -> ">" | Bge -> ">=" | Beq -> "==" | Bne -> "!="
+  | Bland -> "&&" | Blor -> "||"
+
+let unop_to_string = function Uneg -> "-" | Unot -> "!" | Ubnot -> "~"
+
+let rec expr_to_string (e : expr) : string =
+  match e.e with
+  | Eint n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Efloat f -> Printf.sprintf "(%h)" f
+  | Estr s -> Printf.sprintf "%S" s
+  | Eident id -> id
+  | Ebin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | Eun (op, a) -> Printf.sprintf "(%s%s)" (unop_to_string op) (expr_to_string a)
+  | Eassign (l, r) ->
+      Printf.sprintf "(%s = %s)" (expr_to_string l) (expr_to_string r)
+  | Eopassign (op, l, r) ->
+      Printf.sprintf "(%s %s= %s)" (expr_to_string l) (binop_to_string op)
+        (expr_to_string r)
+  | Eincdec (`Pre, `Inc, l) -> Printf.sprintf "(++%s)" (expr_to_string l)
+  | Eincdec (`Pre, `Dec, l) -> Printf.sprintf "(--%s)" (expr_to_string l)
+  | Eincdec (`Post, `Inc, l) -> Printf.sprintf "(%s++)" (expr_to_string l)
+  | Eincdec (`Post, `Dec, l) -> Printf.sprintf "(%s--)" (expr_to_string l)
+  | Ecall (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", " (List.map expr_to_string args))
+  | Eindex (a, i) ->
+      Printf.sprintf "%s[%s]" (postfix_base a) (expr_to_string i)
+  | Emember (a, f) -> Printf.sprintf "%s.%s" (postfix_base a) f
+  | Earrow (a, f) -> Printf.sprintf "%s->%s" (postfix_base a) f
+  | Ederef a -> Printf.sprintf "(*%s)" (expr_to_string a)
+  | Eaddr a -> Printf.sprintf "(&%s)" (expr_to_string a)
+  | Ecast (ty, a) ->
+      Printf.sprintf "(%s)%s" (base_to_string ty) (cast_operand a)
+  | Esizeof_ty ty ->
+      let base, dims = split_arrays ty in
+      Printf.sprintf "sizeof(%s%s)" (base_to_string base)
+        (String.concat "" (List.map dim_to_string dims))
+  | Esizeof_e a -> Printf.sprintf "sizeof(%s)" (expr_to_string a)
+  | Econd (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+        (expr_to_string b)
+
+(* a postfix operator binds to its base without parens only when the
+   base is itself primary/postfix *)
+and postfix_base (e : expr) : string =
+  match e.e with
+  | Eident _ | Ecall _ | Eindex _ | Emember _ | Earrow _ -> expr_to_string e
+  | _ -> Printf.sprintf "(%s)" (expr_to_string e)
+
+(* a cast operand must be unary: parenthesize everything else *)
+and cast_operand (e : expr) : string =
+  match e.e with
+  | Eident _ | Eint _ | Ecall _ -> expr_to_string e
+  | _ -> Printf.sprintf "(%s)" (expr_to_string e)
+
+let rec init_to_string = function
+  | Iexpr e -> expr_to_string e
+  | Ilist l ->
+      Printf.sprintf "{ %s }" (String.concat ", " (List.map init_to_string l))
+
+(* statement-position expression: the printer's outer parens are
+   redundant but harmless; strip the common ones for readability *)
+let stmt_expr_to_string e =
+  let s = expr_to_string e in
+  match e.e with
+  | Eassign _ | Eopassign _ | Eincdec _ | Ebin _ | Econd _ | Eun _ ->
+      String.sub s 1 (String.length s - 2)
+  | _ -> s
+
+let rec stmt_to_buf buf indent (st : stmt) =
+  let pad = String.make indent ' ' in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match st.s with
+  | Sexpr e -> add "%s%s;\n" pad (stmt_expr_to_string e)
+  | Sdecl (ty, name, init) -> (
+      match init with
+      | None -> add "%s%s;\n" pad (declarator ty name)
+      | Some i -> add "%s%s = %s;\n" pad (declarator ty name) (init_to_string i))
+  | Sif (c, thn, els) ->
+      add "%sif (%s) {\n" pad (expr_to_string c);
+      List.iter (stmt_to_buf buf (indent + 2)) thn;
+      if els <> [] then begin
+        add "%s} else {\n" pad;
+        List.iter (stmt_to_buf buf (indent + 2)) els
+      end;
+      add "%s}\n" pad
+  | Swhile (c, body) ->
+      add "%swhile (%s) {\n" pad (expr_to_string c);
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      add "%s}\n" pad
+  | Sdo (body, c) ->
+      add "%sdo {\n" pad;
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      add "%s} while (%s);\n" pad (expr_to_string c)
+  | Sfor (init, cond, step, body) ->
+      let init_s =
+        match init with
+        | None -> ""
+        | Some { s = Sexpr e; _ } -> stmt_expr_to_string e
+        | Some { s = Sdecl (ty, name, Some (Iexpr e)); _ } ->
+            Printf.sprintf "%s = %s" (declarator ty name) (expr_to_string e)
+        | Some { s = Sdecl (ty, name, None); _ } -> declarator ty name
+        | Some _ -> invalid_arg "Cprint: unsupported for-initializer"
+      in
+      add "%sfor (%s; %s; %s) {\n" pad init_s
+        (match cond with None -> "" | Some e -> expr_to_string e)
+        (match step with None -> "" | Some e -> stmt_expr_to_string e);
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      add "%s}\n" pad
+  | Sreturn None -> add "%sreturn;\n" pad
+  | Sreturn (Some e) -> add "%sreturn %s;\n" pad (expr_to_string e)
+  | Sbreak -> add "%sbreak;\n" pad
+  | Scontinue -> add "%scontinue;\n" pad
+  | Sblock body ->
+      add "%s{\n" pad;
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      add "%s}\n" pad
+  | Sseq stmts ->
+      (* multi-declarator declaration: separate statements are
+         semantically identical (Sseq introduces no scope) *)
+      List.iter (stmt_to_buf buf indent) stmts
+
+let decl_to_buf buf (d : decl) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match d with
+  | Dstruct (name, fields, _) ->
+      add "struct %s {" name;
+      List.iter (fun (fn, ft) -> add " %s;" (declarator ft fn)) fields;
+      add " };\n"
+  | Dproto (name, ret, ptys, _) ->
+      (* the grammar wants named parameters; invent stable names *)
+      let params =
+        if ptys = [] then "void"
+        else
+          String.concat ", "
+            (List.mapi
+               (fun i t -> declarator t (Printf.sprintf "p%d" i))
+               ptys)
+      in
+      add "%s(%s);\n" (declarator ret name) params
+  | Dglobal g ->
+      let ext = if g.g_extern then "extern " else "" in
+      (match g.g_init with
+      | None -> add "%s%s;\n" ext (declarator g.g_ty g.g_name)
+      | Some i ->
+          add "%s%s = %s;\n" ext (declarator g.g_ty g.g_name)
+            (init_to_string i))
+  | Dfunc f ->
+      let params =
+        if f.f_params = [] then "void"
+        else
+          String.concat ", "
+            (List.map (fun p -> declarator p.p_ty p.p_name) f.f_params)
+      in
+      add "%s(%s) {\n" (declarator f.f_ret f.f_name) params;
+      List.iter (stmt_to_buf buf 2) f.f_body;
+      add "}\n"
+
+let program_to_string (p : program) : string =
+  let buf = Buffer.create 1024 in
+  List.iter (decl_to_buf buf) p;
+  Buffer.contents buf

@@ -1,0 +1,547 @@
+(** Campaign driver: generate → run the oracle matrix → judge →
+    shrink → report.
+
+    One campaign runs a contiguous block of safe seeds (each through
+    the full {!Oracle.variants} matrix) and a block of unsafe mutants
+    (each through both instrumentations), all as a single
+    {!Mi_bench_kit.Harness.run_jobs} matrix — so the instrumentation
+    cache, worker sharding and [-j]-independent determinism of the
+    harness carry over to fuzzing wholesale.  The report (and its JSON
+    rendering) is byte-identical for every [-j] setting.
+
+    On a failure — an oracle {!Oracle.finding} on a safe seed, or a
+    missed violation on a mutant — the driver reduces the case with
+    {!Shrink.minimize} under a kind-specific predicate and emits the
+    minimized translation units plus an [INFO.txt] (seed, finding,
+    fault plan, reproduction command) into the repro directory. *)
+
+module Harness = Mi_bench_kit.Harness
+module Bench = Mi_bench_kit.Bench
+module Json = Mi_obs.Json
+module Fault = Mi_faultkit.Fault
+
+type campaign = {
+  c_seed_lo : int;
+  c_seed_hi : int;  (** inclusive; safe seeds *)
+  c_mutant_lo : int;
+  c_mutant_hi : int;  (** inclusive; one mutant per seed; empty if [hi < lo] *)
+  c_jobs : int;
+  c_faults : Fault.t;  (** injected faults (chaos / shrinker testing) *)
+  c_repro_dir : string option;  (** where minimized failures land *)
+  c_max_shrinks : int;  (** cap on shrink+emit work per campaign *)
+}
+
+let campaign ?(jobs = 1) ?(faults = Fault.none) ?repro_dir
+    ?(max_shrinks = 5) ?mutants ~seeds:(lo, hi) () =
+  let mlo, mhi = match mutants with Some (a, b) -> (a, b) | None -> (0, -1) in
+  {
+    c_seed_lo = lo;
+    c_seed_hi = hi;
+    c_mutant_lo = mlo;
+    c_mutant_hi = mhi;
+    c_jobs = jobs;
+    c_faults = faults;
+    c_repro_dir = repro_dir;
+    c_max_shrinks = max_shrinks;
+  }
+
+type repro = {
+  rp_slug : string;  (** subdirectory name under the repro dir *)
+  rp_finding : string;  (** rendered finding the repro reproduces *)
+  rp_lines : int;  (** non-blank line count of the minimized main unit *)
+  rp_shrunk : bool;  (** [false]: emitted unshrunk (predicate didn't hold) *)
+}
+
+type report = {
+  r_seed_lo : int;
+  r_seed_hi : int;
+  r_mutant_lo : int;
+  r_mutant_hi : int;
+  r_inject : string;  (** canonical fault-plan spec, [""] when none *)
+  r_safe_total : int;
+  r_findings : Oracle.finding list;  (** safe-seed oracle violations *)
+  r_mutants : Oracle.mutant_result list;
+  r_coverage : string list;  (** union of grammar productions exercised *)
+  r_repros : repro list;
+}
+
+let seq lo hi = List.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
+
+let coverage progs =
+  List.sort_uniq String.compare
+    (List.concat_map (fun p -> p.Gen.p_productions) progs)
+
+(* ------------------------------------------------------------------ *)
+(* Shrink predicates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_one h setup srcs =
+  Harness.run h setup (Oracle.bench_of_sources ~name:"shrink" srcs)
+
+let outcome_of = function
+  | Ok r -> Some r.Harness.outcome
+  | Error _ -> None
+
+(* does [srcs] still exhibit the safe-oracle finding [f]? *)
+let safe_pred h (f : Oracle.finding) : Bench.source list -> bool =
+ fun srcs ->
+  try
+    match f.Oracle.f_kind with
+    | "ref-failed" -> (
+        match outcome_of (run_one h Oracle.reference srcs) with
+        | Some (Mi_vm.Interp.Exited 0) -> false
+        | Some _ -> true
+        | None -> false)
+    | "compile-error" -> (
+        (* conservative: the same compile error, not just any *)
+        match run_one h (Oracle.variant_setup f.Oracle.f_setup) srcs with
+        | Error e -> e.Harness.reason = f.Oracle.f_detail
+        | Ok _ -> false)
+    | "check-count-mismatch" -> (
+        match
+          ( run_one h (Oracle.variant_setup "O3+sb") srcs,
+            run_one h (Oracle.variant_setup "O3+lf") srcs )
+        with
+        | Ok rsb, Ok rlf ->
+            rsb.Harness.outcome = Mi_vm.Interp.Exited 0
+            && rlf.Harness.outcome = Mi_vm.Interp.Exited 0
+            && Harness.counter rsb "sb.checks"
+               <> Harness.counter rlf "lf.checks"
+        | _ -> false)
+    | "dispatch-divergence" -> (
+        let n = String.length f.Oracle.f_setup - String.length "/generic" in
+        let base_tag = String.sub f.Oracle.f_setup 0 n in
+        let base = Oracle.variant_setup base_tag in
+        match
+          ( run_one h base srcs,
+            run_one h { base with Harness.dispatch = Harness.Generic } srcs )
+        with
+        | Ok fast, Ok gen ->
+            fast.Harness.output <> gen.Harness.output
+            || fast.Harness.cycles <> gen.Harness.cycles
+            || Harness.counters_alist fast <> Harness.counters_alist gen
+        | _ -> false)
+    | kind -> (
+        (* divergence of one variant against the O0 reference *)
+        match run_one h Oracle.reference srcs with
+        | Ok ref_run when ref_run.Harness.outcome = Mi_vm.Interp.Exited 0 -> (
+            match run_one h (Oracle.variant_setup f.Oracle.f_setup) srcs with
+            | Error _ -> false
+            | Ok r -> (
+                match (kind, r.Harness.outcome) with
+                | "output-divergence", Mi_vm.Interp.Exited 0 ->
+                    r.Harness.output <> ref_run.Harness.output
+                | "spurious-report", Mi_vm.Interp.Safety_violation _ -> true
+                | "trap", Mi_vm.Interp.Trapped _ -> true
+                | "fuel", Mi_vm.Interp.Exhausted _ -> true
+                | "exit-code", Mi_vm.Interp.Exited n -> n <> 0
+                | _ -> false))
+        | _ -> false)
+  with _ -> false
+
+(* does [srcs] still exhibit the missed violation [f] of mutant [mr]?
+   Two legs: the offender still runs to completion, and a witness still
+   proves the out-of-bounds access is live (the other instrumentation
+   reporting it, or — when the miss is caused by an injected fault
+   plan — a clean, fault-free run of the offender itself). *)
+let mutant_pred h ~faults (mr : Oracle.mutant_result)
+    (f : Oracle.finding) : Bench.source list -> bool =
+  let tag = f.Oracle.f_setup in
+  let other_tag = if tag = "O3+sb" then "O3+lf" else "O3+sb" in
+  let other_killed =
+    match (other_tag, mr.Oracle.mr_sb, mr.Oracle.mr_lf) with
+    | "O3+sb", sb, _ -> sb = Oracle.Killed
+    | _, _, lf -> lf = Oracle.Killed
+  in
+  fun srcs ->
+    try
+      let missed =
+        match outcome_of (run_one h (Oracle.variant_setup tag) srcs) with
+        | Some (Mi_vm.Interp.Exited _) | Some (Mi_vm.Interp.Trapped _) -> true
+        | _ -> false
+      in
+      missed
+      &&
+      if other_killed then
+        match outcome_of (run_one h (Oracle.variant_setup other_tag) srcs) with
+        | Some (Mi_vm.Interp.Safety_violation _) -> true
+        | _ -> false
+      else if not (Fault.is_none faults) then
+        (* fault-free compile of the same setup must still report *)
+        match
+          (Harness.run_sources (Oracle.variant_setup tag) srcs).Harness.outcome
+        with
+        | Mi_vm.Interp.Safety_violation _ -> true
+        | _ -> false
+      else false
+    with _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Repro emission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let emit_repro ~dir ~slug ~info (sources : Bench.source list) =
+  let d = Filename.concat dir slug in
+  mkdir_p d;
+  write_file (Filename.concat d "INFO.txt") info;
+  List.iter
+    (fun (s : Bench.source) ->
+      write_file (Filename.concat d (s.Bench.src_name ^ ".c")) s.Bench.code)
+    sources
+
+let main_lines (sources : Bench.source list) =
+  match List.find_opt (fun (s : Bench.source) -> s.Bench.src_name = "main") sources with
+  | Some s -> Shrink.line_count s.Bench.code
+  | None -> 0
+
+let shrink_and_emit ~dir ~slug ~repro_cmd (f : Oracle.finding) ~pred sources =
+  let shrunk = Shrink.minimize ~pred sources in
+  let did_shrink = pred shrunk in
+  let emitted = if did_shrink then shrunk else sources in
+  let info =
+    Printf.sprintf
+      "finding: %s\nreproduce: %s\nshrunk: %b\n\nThe failure predicate held \
+       on the minimized sources in this directory;\nre-run the command \
+       above (or feed the .c files to mic) to reproduce.\n"
+      (Oracle.finding_to_string f) repro_cmd did_shrink
+  in
+  emit_repro ~dir ~slug ~info emitted;
+  {
+    rp_slug = slug;
+    rp_finding = Oracle.finding_to_string f;
+    rp_lines = main_lines emitted;
+    rp_shrunk = did_shrink;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec split_at n l =
+  if n = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+
+let inject_arg faults =
+  if Fault.is_none faults then ""
+  else Printf.sprintf " --inject '%s'" (Fault.to_string faults)
+
+(** Run one campaign.  Deterministic for fixed campaign parameters:
+    results, report and repro contents are independent of [c_jobs]. *)
+let run (c : campaign) : report =
+  let h =
+    Harness.create ~jobs:c.c_jobs
+      ?faults:(if Fault.is_none c.c_faults then None else Some c.c_faults)
+      ()
+  in
+  let safe =
+    List.map (fun s -> Gen.generate ~seed:s) (seq c.c_seed_lo c.c_seed_hi)
+  in
+  let mutants =
+    List.map
+      (fun s -> Gen.mutate (Gen.generate ~seed:s) ~mseed:0)
+      (seq c.c_mutant_lo c.c_mutant_hi)
+  in
+  let safe_jobs = List.map Oracle.safe_jobs safe in
+  let mutant_jobs = List.map Oracle.mutant_jobs mutants in
+  let results =
+    Harness.run_jobs h (List.concat safe_jobs @ List.concat mutant_jobs)
+  in
+  (* hand each case its slice of the result list, in job order *)
+  let rest = ref results in
+  let slice jobs =
+    let a, b = split_at (List.length jobs) !rest in
+    rest := b;
+    a
+  in
+  let safe_findings =
+    List.concat
+      (List.map2 (fun p jobs -> Oracle.judge_safe p (slice jobs)) safe safe_jobs)
+  in
+  let mutant_results =
+    List.map2
+      (fun m jobs -> Oracle.judge_mutant m (slice jobs))
+      mutants mutant_jobs
+  in
+  assert (!rest = []);
+  (* shrink and emit failing cases, capped, in deterministic order *)
+  let repros =
+    match c.c_repro_dir with
+    | None -> []
+    | Some dir ->
+        let budget = ref c.c_max_shrinks in
+        let take () =
+          if !budget > 0 then begin
+            decr budget;
+            true
+          end
+          else false
+        in
+        let from_safe =
+          (* one repro per failing seed: its first finding *)
+          List.filter_map
+            (fun (p : Gen.prog) ->
+              match
+                List.filter (fun f -> f.Oracle.f_seed = p.Gen.p_seed) safe_findings
+              with
+              | f :: _ when take () ->
+                  let slug =
+                    Printf.sprintf "seed%d-%s" p.Gen.p_seed f.Oracle.f_kind
+                  in
+                  let repro_cmd =
+                    Printf.sprintf "mifuzz --seeds %d..%d%s" p.Gen.p_seed
+                      p.Gen.p_seed (inject_arg c.c_faults)
+                  in
+                  Some
+                    (shrink_and_emit ~dir ~slug ~repro_cmd f
+                       ~pred:(safe_pred h f) p.Gen.p_sources)
+              | _ -> None)
+            safe
+        in
+        let from_mutants =
+          List.filter_map
+            (fun ((m : Gen.mutant), (mr : Oracle.mutant_result)) ->
+              match mr.Oracle.mr_findings with
+              | f :: _ when take () ->
+                  let slug =
+                    Printf.sprintf "seed%d-mut-%s" mr.Oracle.mr_seed
+                      f.Oracle.f_setup
+                  in
+                  let repro_cmd =
+                    Printf.sprintf "mifuzz --seeds %d..%d --mutants %d..%d%s"
+                      mr.Oracle.mr_seed mr.Oracle.mr_seed mr.Oracle.mr_seed
+                      mr.Oracle.mr_seed (inject_arg c.c_faults)
+                  in
+                  Some
+                    (shrink_and_emit ~dir ~slug ~repro_cmd f
+                       ~pred:(mutant_pred h ~faults:c.c_faults mr f)
+                       m.Gen.m_sources)
+              | _ -> None)
+            (List.combine mutants mutant_results)
+        in
+        from_safe @ from_mutants
+  in
+  {
+    r_seed_lo = c.c_seed_lo;
+    r_seed_hi = c.c_seed_hi;
+    r_mutant_lo = c.c_mutant_lo;
+    r_mutant_hi = c.c_mutant_hi;
+    r_inject = Fault.to_string c.c_faults;
+    r_safe_total = List.length safe;
+    r_findings = safe_findings;
+    r_mutants = mutant_results;
+    r_coverage = coverage safe;
+    r_repros = repros;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation and rendering                                           *)
+(* ------------------------------------------------------------------ *)
+
+let count_mutants (rs : Oracle.mutant_result list) =
+  List.fold_left
+    (fun (k, w, m) (r : Oracle.mutant_result) ->
+      let one = function
+        | Oracle.Killed -> (1, 0, 0)
+        | Oracle.Whitelisted _ -> (0, 1, 0)
+        | Oracle.Missed _ -> (0, 0, 1)
+      in
+      let k1, w1, m1 = one r.Oracle.mr_sb and k2, w2, m2 = one r.Oracle.mr_lf in
+      (k + k1 + k2, w + w1 + w2, m + m1 + m2))
+    (0, 0, 0) rs
+
+let missed_total r =
+  let _, _, missed = count_mutants r.r_mutants in
+  missed
+
+let ok r = r.r_findings = [] && missed_total r = 0
+
+(** Merge two reports from consecutive blocks (the [--minutes] soak
+    loop).  Seed ranges are unioned as an envelope. *)
+let merge a b =
+  {
+    r_seed_lo = min a.r_seed_lo b.r_seed_lo;
+    r_seed_hi = max a.r_seed_hi b.r_seed_hi;
+    r_mutant_lo = min a.r_mutant_lo b.r_mutant_lo;
+    r_mutant_hi = max a.r_mutant_hi b.r_mutant_hi;
+    r_inject = a.r_inject;
+    r_safe_total = a.r_safe_total + b.r_safe_total;
+    r_findings = a.r_findings @ b.r_findings;
+    r_mutants = a.r_mutants @ b.r_mutants;
+    r_coverage = List.sort_uniq String.compare (a.r_coverage @ b.r_coverage);
+    r_repros = a.r_repros @ b.r_repros;
+  }
+
+let render (r : report) : string =
+  let b = Buffer.create 512 in
+  let killed, whitelisted, missed = count_mutants r.r_mutants in
+  Printf.bprintf b "safe seeds %d..%d: %d programs, %d findings\n" r.r_seed_lo
+    r.r_seed_hi r.r_safe_total (List.length r.r_findings);
+  List.iter
+    (fun f -> Printf.bprintf b "  %s\n" (Oracle.finding_to_string f))
+    r.r_findings;
+  if r.r_mutant_hi >= r.r_mutant_lo then begin
+    Printf.bprintf b
+      "unsafe mutants %d..%d: %d mutants, detections %d killed, %d \
+       whitelisted, %d missed\n"
+      r.r_mutant_lo r.r_mutant_hi (List.length r.r_mutants) killed whitelisted
+      missed;
+    List.iter
+      (fun (m : Oracle.mutant_result) ->
+        match m.Oracle.mr_findings with
+        | [] -> ()
+        | fs ->
+            List.iter
+              (fun f -> Printf.bprintf b "  %s\n" (Oracle.finding_to_string f))
+              fs)
+      r.r_mutants
+  end;
+  Printf.bprintf b "grammar coverage: %d/%d productions\n"
+    (List.length r.r_coverage)
+    (List.length Gen.all_productions);
+  List.iter
+    (fun (rp : repro) ->
+      Printf.bprintf b "repro %s (%d lines%s): %s\n" rp.rp_slug rp.rp_lines
+        (if rp.rp_shrunk then ", shrunk" else ", unshrunk")
+        rp.rp_finding)
+    r.r_repros;
+  Buffer.contents b
+
+let detection_json = function
+  | Oracle.Killed -> Json.Str "killed"
+  | Oracle.Whitelisted why -> Json.Obj [ ("whitelisted", Json.Str why) ]
+  | Oracle.Missed detail -> Json.Obj [ ("missed", Json.Str detail) ]
+
+let finding_json (f : Oracle.finding) =
+  Json.Obj
+    [
+      ("seed", Json.Int f.Oracle.f_seed);
+      ("setup", Json.Str f.Oracle.f_setup);
+      ("kind", Json.Str f.Oracle.f_kind);
+      ("detail", Json.Str f.Oracle.f_detail);
+    ]
+
+(** The machine-readable campaign report ([--out]).  Deterministic:
+    byte-identical for every [-j] setting (no timestamps, no wall-clock
+    data, no cache statistics — those may legitimately vary with
+    parallelism). *)
+let report_to_json (r : report) : Json.t =
+  let killed, whitelisted, missed = count_mutants r.r_mutants in
+  Json.Obj
+    [
+      ( "seeds",
+        Json.Obj [ ("lo", Json.Int r.r_seed_lo); ("hi", Json.Int r.r_seed_hi) ]
+      );
+      ( "mutant_seeds",
+        Json.Obj
+          [ ("lo", Json.Int r.r_mutant_lo); ("hi", Json.Int r.r_mutant_hi) ] );
+      ("inject", Json.Str r.r_inject);
+      ("safe_programs", Json.Int r.r_safe_total);
+      ("findings", Json.List (List.map finding_json r.r_findings));
+      ( "mutants",
+        Json.Obj
+          [
+            ("total", Json.Int (List.length r.r_mutants));
+            ("killed", Json.Int killed);
+            ("whitelisted", Json.Int whitelisted);
+            ("missed", Json.Int missed);
+            ( "cases",
+              Json.List
+                (List.map
+                   (fun (m : Oracle.mutant_result) ->
+                     Json.Obj
+                       [
+                         ("name", Json.Str m.Oracle.mr_name);
+                         ("sb", detection_json m.Oracle.mr_sb);
+                         ("lf", detection_json m.Oracle.mr_lf);
+                       ])
+                   r.r_mutants) );
+          ] );
+      ("coverage", Json.List (List.map (fun p -> Json.Str p) r.r_coverage));
+      ( "repros",
+        Json.List
+          (List.map
+             (fun rp ->
+               Json.Obj
+                 [
+                   ("slug", Json.Str rp.rp_slug);
+                   ("finding", Json.Str rp.rp_finding);
+                   ("lines", Json.Int rp.rp_lines);
+                   ("shrunk", Json.Bool rp.rp_shrunk);
+                 ])
+             r.r_repros) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registration                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Experiments = Mi_bench_kit.Experiments
+
+(** Register the [fuzz] experiment: a compact always-on differential
+    campaign (it must stay cheap enough for [mi-experiments --all]; the
+    CI fuzz gate runs the full-size campaign through [mifuzz]).  Call
+    once from executables that want it in the registry — the fuzz
+    library registers nothing on its own because [mi_bench_kit] cannot
+    depend back on it. *)
+let register_experiment () =
+  Experiments.register
+    {
+      Experiments.name = "fuzz";
+      aliases = [ "differential" ];
+      descr = "differential fuzzing: safe seeds + unsafe mutants (oracle)";
+      jobs = (fun _ -> []);
+      reduce =
+        (fun _lookup _benchmarks ->
+          let c =
+            campaign ~jobs:(Harness.default_jobs ()) ~seeds:(1, 48)
+              ~mutants:(1, 16) ()
+          in
+          let r = run c in
+          let killed, whitelisted, missed = count_mutants r.r_mutants in
+          if not (ok r) then
+            raise
+              (Harness.Benchmark_failed
+                 ( "fuzz",
+                   Printf.sprintf
+                     "%d oracle findings, %d missed mutant detections\n%s"
+                     (List.length r.r_findings) missed (render r) ));
+          {
+            Experiments.title =
+              "Differential fuzzing: full-surface generator vs the oracle \
+               matrix";
+            text = render r;
+            series =
+              [
+                {
+                  Experiments.label = "fuzz";
+                  points =
+                    [
+                      ("safe", float_of_int r.r_safe_total);
+                      ("findings", float_of_int (List.length r.r_findings));
+                      ("mutants", float_of_int (List.length r.r_mutants));
+                      ("killed", float_of_int killed);
+                      ("whitelisted", float_of_int whitelisted);
+                      ("missed", float_of_int missed);
+                      ( "coverage",
+                        float_of_int (List.length r.r_coverage) );
+                    ];
+                };
+              ];
+          });
+    }

@@ -1,0 +1,825 @@
+(** Generator v2: random, spatially-safe MiniC programs over the {e
+    full} language surface, for differential fuzzing.
+
+    Where the retired [Progen] exercised only [long] scalars and
+    modulo-indexed arrays, this generator reaches every construct the
+    paper's Table 1 discussion singles out as hard for instrumentations:
+
+    - all integer C types ([char]/[int]/[long]) as locals, globals and
+      array elements;
+    - structs with nested field access, pointers to structs ([->]) and
+      struct copies via [memcpy] (the §5.1.2 idiom);
+    - pointers and pointer arithmetic, kept in bounds by construction;
+    - the byte intrinsics [memcpy]/[memset]/[memmove] over generated
+      buffers (including overlapping [memmove]);
+    - int↔ptr round-trips (§4.4) — the integer never reaches program
+      output, so results stay address-independent;
+    - size-less [extern T a[];] declarations whose definition lives in a
+      sibling translation unit (§4.3);
+    - multi-function call graphs, including pointer-taking helpers.
+
+    Every program records which grammar {e productions} it used, so a
+    coverage test can prove the generator never silently regresses to a
+    sliver of the surface, and the arrays it creates as {e sites} — the
+    places a known out-of-bounds access can be injected to derive an
+    unsafe mutant ({!mutate}).
+
+    Safety by construction: all indices are reduced modulo the extent
+    ([((e % n + n) % n)]), all intrinsic lengths are bounded by the
+    smallest involved object, and no pointer or address-derived integer
+    ever flows into program output.  A generated program must therefore
+    behave identically at every optimization level, under either
+    instrumentation, at every extension point, and under either VM
+    dispatch mode. *)
+
+module Rng = Mi_support.Rng
+module Bench = Mi_bench_kit.Bench
+
+type elem = Char | Int | Long
+
+let elem_name = function Char -> "char" | Int -> "int" | Long -> "long"
+let elem_size = function Char -> 1 | Int -> 4 | Long -> 8
+let elems = [| Char; Int; Long |]
+
+type region = Stack | Heap | Global | Extern
+
+let region_name = function
+  | Stack -> "stack"
+  | Heap -> "heap"
+  | Global -> "global"
+  | Extern -> "extern"
+
+(** An injectable array site: an object [main] can reach by name, with
+    its true geometry.  [si_wide_sb] marks size-less extern
+    declarations, where SoftBound only has a wide upper bound (§4.3) and
+    an overflow past the definition is {e by design} not reported — the
+    justification of the mutant whitelist. *)
+type site = {
+  si_array : string;
+  si_extent : int;  (** elements *)
+  si_elem : elem;
+  si_region : region;
+  si_wide_sb : bool;
+}
+
+type prog = {
+  p_seed : int;
+  p_sources : Bench.source list;
+  p_sites : site list;
+  p_productions : string list;  (** sorted, deduplicated *)
+}
+
+(** The full production catalog.  The grammar-coverage test asserts that
+    a fixed seed block exercises {e exactly} this set: a missing tag
+    means the generator regressed; an unknown tag means the catalog is
+    stale. *)
+let all_productions =
+  [
+    "call.helper";
+    "call.ptr_helper";
+    "cast.int_ptr";
+    "cond";
+    "extern.size_less";
+    "global.array";
+    "global.scalar";
+    "heap.array";
+    "if";
+    "incdec";
+    "intrinsic.memcpy";
+    "intrinsic.memmove";
+    "intrinsic.memset";
+    "local.array";
+    "loop.do";
+    "loop.for";
+    "loop.while";
+    "opassign";
+    "ptr.arith";
+    "ptr.deref";
+    "ptr.index";
+    "struct.access";
+    "struct.arrow";
+    "struct.def";
+    "struct.memcpy";
+    "struct.nested";
+    "type.char";
+    "type.int";
+    "type.long";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generation context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  rng : Rng.t;
+  buf : Buffer.t;
+  mutable n_names : int;
+  prods : (string, unit) Hashtbl.t;
+  scalars : (string * elem) list ref;  (** assignable, printable *)
+  readonly : string list ref;  (** loop counters: read-only *)
+  arrays : site list ref;  (** arrays in scope *)
+  ptrs : (string * elem * int) list ref;
+      (** pointer name, element, in-bounds extent from its base *)
+  spaths : (string * elem) list ref;  (** struct field paths in scope *)
+  funcs : string list ref;  (** helpers taking one long *)
+  pfuncs : string list ref;  (** helpers taking a long pointer *)
+}
+
+let prod ctx p = Hashtbl.replace ctx.prods p ()
+
+let elem_prod ctx e =
+  prod ctx
+    (match e with Char -> "type.char" | Int -> "type.int" | Long -> "type.long")
+
+let pf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let fresh ctx stem =
+  ctx.n_names <- ctx.n_names + 1;
+  Printf.sprintf "%s%d" stem ctx.n_names
+
+let pick ctx l = List.nth l (Rng.int ctx.rng (List.length l))
+
+let readable_scalars ctx =
+  List.map fst !(ctx.scalars) @ !(ctx.readonly)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* always-in-bounds index into an extent-[n] object *)
+let rec gen_index ctx extent : string =
+  let e = gen_expr ctx 1 in
+  Printf.sprintf "((%s %% %d + %d) %% %d)" e extent extent extent
+
+(* an arithmetic expression over everything readable in scope; the
+   result is a number, never an address *)
+and gen_expr ctx depth : string =
+  let leaf () =
+    match Rng.int ctx.rng 8 with
+    | 0 -> string_of_int (Rng.int_range ctx.rng (-20) 20)
+    | 1 | 2 when readable_scalars ctx <> [] ->
+        pick ctx (readable_scalars ctx)
+    | 3 | 4 when !(ctx.arrays) <> [] ->
+        let s = pick ctx !(ctx.arrays) in
+        Printf.sprintf "%s[%s]" s.si_array (gen_index ctx s.si_extent)
+    | 5 when !(ctx.spaths) <> [] ->
+        let path, _ = pick ctx !(ctx.spaths) in
+        prod ctx "struct.access";
+        path
+    | 6 when !(ctx.ptrs) <> [] ->
+        let p, _, rem = pick ctx !(ctx.ptrs) in
+        prod ctx "ptr.index";
+        Printf.sprintf "%s[%s]" p (gen_index ctx rem)
+    | _ -> string_of_int (Rng.int_range ctx.rng 1 9)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int ctx.rng 12 with
+    | 0 | 1 ->
+        Printf.sprintf "(%s + %s)" (gen_expr ctx (depth - 1))
+          (gen_expr ctx (depth - 1))
+    | 2 ->
+        Printf.sprintf "(%s - %s)" (gen_expr ctx (depth - 1))
+          (gen_expr ctx (depth - 1))
+    | 3 ->
+        Printf.sprintf "(%s * %s)"
+          (gen_expr ctx (depth - 1))
+          (string_of_int (Rng.int_range ctx.rng 1 5))
+    | 4 ->
+        Printf.sprintf "(%s / %d)" (gen_expr ctx (depth - 1))
+          (Rng.int_range ctx.rng 1 7)
+    | 5 ->
+        Printf.sprintf "(%s %% %d)" (gen_expr ctx (depth - 1))
+          (Rng.int_range ctx.rng 2 17)
+    | 6 ->
+        (* bit ops: mask keeps magnitudes tame *)
+        let op = pick ctx [ "&"; "|"; "^" ] in
+        Printf.sprintf "(%s %s %d)" (gen_expr ctx (depth - 1)) op
+          (Rng.int_range ctx.rng 1 63)
+    | 7 ->
+        if Rng.bool ctx.rng then
+          Printf.sprintf "(%s >> %d)" (gen_expr ctx (depth - 1))
+            (Rng.int_range ctx.rng 1 4)
+        else
+          Printf.sprintf "((%s & 1023) << %d)"
+            (gen_expr ctx (depth - 1))
+            (Rng.int_range ctx.rng 1 4)
+    | 8 when !(ctx.funcs) <> [] ->
+        prod ctx "call.helper";
+        Printf.sprintf "%s(%s)" (pick ctx !(ctx.funcs))
+          (gen_expr ctx (depth - 1))
+    | 9 ->
+        prod ctx "cond";
+        (* the lowerer requires ternary arm types to agree modulo decay
+           (it cannot insert conversions after the arm blocks close), so
+           pin both arms to [long] with explicit casts *)
+        Printf.sprintf "(%s > %s ? (long)(%s) : (long)(%s))"
+          (gen_expr ctx (depth - 1))
+          (gen_expr ctx 0)
+          (gen_expr ctx (depth - 1))
+          (gen_expr ctx (depth - 1))
+    | _ -> leaf ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_decl ctx ~indent =
+  let pad = String.make indent ' ' in
+  let e = Rng.choose ctx.rng elems in
+  elem_prod ctx e;
+  let v = fresh ctx "v" in
+  pf ctx "%s%s %s = %s;\n" pad (elem_name e) v (gen_expr ctx 2);
+  ctx.scalars := (v, e) :: !(ctx.scalars)
+
+let rec gen_stmt ctx ~indent ~depth =
+  let pad = String.make indent ' ' in
+  match Rng.int ctx.rng 14 with
+  | 0 -> scalar_decl ctx ~indent
+  | 1 when !(ctx.scalars) <> [] ->
+      pf ctx "%s%s = %s;\n" pad
+        (fst (pick ctx !(ctx.scalars)))
+        (gen_expr ctx depth)
+  | 2 when !(ctx.arrays) <> [] ->
+      let s = pick ctx !(ctx.arrays) in
+      pf ctx "%s%s[%s] = %s;\n" pad s.si_array
+        (gen_index ctx s.si_extent)
+        (gen_expr ctx depth)
+  | 3 when !(ctx.ptrs) <> [] ->
+      let p, _, rem = pick ctx !(ctx.ptrs) in
+      prod ctx "ptr.index";
+      pf ctx "%s%s[%s] = %s;\n" pad p (gen_index ctx rem)
+        (gen_expr ctx depth)
+  | 4 when !(ctx.ptrs) <> [] ->
+      let p, _, rem = pick ctx !(ctx.ptrs) in
+      prod ctx "ptr.deref";
+      let off = Rng.int ctx.rng rem in
+      if Rng.bool ctx.rng then
+        pf ctx "%s*(%s + %d) = %s;\n" pad p off (gen_expr ctx depth)
+      else pf ctx "%sacc += *(%s + %d);\n" pad p off
+  | 5 when !(ctx.spaths) <> [] ->
+      let path, e = pick ctx !(ctx.spaths) in
+      prod ctx "struct.access";
+      elem_prod ctx e;
+      pf ctx "%s%s = %s;\n" pad path (gen_expr ctx depth)
+  | 6 when !(ctx.scalars) <> [] ->
+      prod ctx "if";
+      let s = fst (pick ctx !(ctx.scalars)) in
+      let cond =
+        if Rng.bool ctx.rng then
+          Printf.sprintf "%s > %s" s (gen_expr ctx 1)
+        else begin
+          (* short-circuiting condition *)
+          let op = if Rng.bool ctx.rng then "&&" else "||" in
+          Printf.sprintf "%s > %s %s %s < %s" s (gen_expr ctx 0) op s
+            (gen_expr ctx 0)
+        end
+      in
+      pf ctx "%sif (%s) { %s = %s - 1; } else { %s = %s + 2; }\n" pad cond s
+        s s s
+  | 7 when !(ctx.scalars) <> [] ->
+      prod ctx "opassign";
+      let s = fst (pick ctx !(ctx.scalars)) in
+      let op = pick ctx [ "+="; "-="; "^=" ] in
+      pf ctx "%s%s %s %s;\n" pad s op (gen_expr ctx 1)
+  | 8 when !(ctx.scalars) <> [] ->
+      prod ctx "incdec";
+      let s = fst (pick ctx !(ctx.scalars)) in
+      pf ctx "%s%s%s;\n" pad s (if Rng.bool ctx.rng then "++" else "--")
+  | 9 when !(ctx.pfuncs) <> [] ->
+      (* pointer-taking helper over any long array in scope *)
+      let longs =
+        List.filter
+          (fun s -> s.si_elem = Long && s.si_extent >= 4)
+          !(ctx.arrays)
+      in
+      if longs = [] then pf ctx "%sacc += 1;\n" pad
+      else begin
+        prod ctx "call.ptr_helper";
+        let s = pick ctx longs in
+        pf ctx "%sacc += %s(%s);\n" pad (pick ctx !(ctx.pfuncs)) s.si_array
+      end
+  | 10 when !(ctx.funcs) <> [] ->
+      prod ctx "call.helper";
+      pf ctx "%sacc += %s(%s);\n" pad (pick ctx !(ctx.funcs))
+        (gen_expr ctx 1)
+  | _ when !(ctx.scalars) <> [] ->
+      pf ctx "%sacc += %s;\n" pad (fst (pick ctx !(ctx.scalars)))
+  | _ -> pf ctx "%sacc += 1;\n" pad
+
+and gen_loop ctx ~indent ~depth =
+  let pad = String.make indent ' ' in
+  let i = fresh ctx "i" in
+  let n = Rng.int_range ctx.rng 2 10 in
+  let body () =
+    ctx.readonly := i :: !(ctx.readonly);
+    let saved_scalars = !(ctx.scalars) in
+    for _ = 1 to Rng.int_range ctx.rng 1 3 do
+      gen_stmt ctx ~indent:(indent + 2) ~depth
+    done;
+    ctx.scalars := saved_scalars;
+    ctx.readonly := List.tl !(ctx.readonly)
+  in
+  match Rng.int ctx.rng 4 with
+  | 0 ->
+      prod ctx "loop.while";
+      pf ctx "%slong %s = 0;\n" pad i;
+      pf ctx "%swhile (%s < %d) {\n" pad i n;
+      body ();
+      pf ctx "%s  %s = %s + 1;\n" pad i i;
+      pf ctx "%s}\n" pad
+  | 1 ->
+      prod ctx "loop.do";
+      pf ctx "%slong %s = 0;\n" pad i;
+      pf ctx "%sdo {\n" pad;
+      body ();
+      pf ctx "%s  %s = %s + 1;\n" pad i i;
+      pf ctx "%s} while (%s < %d);\n" pad i (Rng.int_range ctx.rng 1 4)
+  | _ ->
+      prod ctx "loop.for";
+      pf ctx "%slong %s;\n" pad i;
+      pf ctx "%sfor (%s = 0; %s < %d; %s++) {\n" pad i i n i;
+      body ();
+      pf ctx "%s}\n" pad
+
+(* ------------------------------------------------------------------ *)
+(* Helpers (the call graph)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_helper ctx =
+  let name = fresh ctx "helper" in
+  pf ctx "long %s(long x) {\n" name;
+  let saved_scalars = !(ctx.scalars) in
+  let saved_ptrs = !(ctx.ptrs) in
+  let saved_spaths = !(ctx.spaths) in
+  ctx.scalars := [ ("x", Long) ];
+  ctx.ptrs := [];
+  ctx.spaths := [];
+  pf ctx "  long acc = x %% 100;\n";
+  ctx.scalars := ("acc", Long) :: !(ctx.scalars);
+  for _ = 1 to Rng.int_range ctx.rng 1 3 do
+    gen_stmt ctx ~indent:2 ~depth:1
+  done;
+  pf ctx "  return acc;\n}\n\n";
+  ctx.scalars := saved_scalars;
+  ctx.ptrs := saved_ptrs;
+  ctx.spaths := saved_spaths;
+  ctx.funcs := name :: !(ctx.funcs)
+
+(* a helper taking a pointer parameter; callers pass arrays of extent
+   >= 4, so the fixed accesses are in bounds *)
+let gen_ptr_helper ctx =
+  let name = fresh ctx "psum" in
+  pf ctx "long %s(long *p) {\n" name;
+  pf ctx "  long acc = p[0] + p[1] * 3;\n";
+  pf ctx "  p[%d] = acc %% 50;\n" (Rng.int_range ctx.rng 2 3);
+  pf ctx "  return acc + p[%d];\n}\n\n" (Rng.int_range ctx.rng 0 3);
+  ctx.pfuncs := name :: !(ctx.pfuncs)
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic element initializer for index [i] of array [k] *)
+let init_expr k i = Printf.sprintf "%s * %d + %d" i (3 + (k mod 5)) (k mod 7)
+
+let emit_init_loop ctx ~indent (s : site) =
+  let pad = String.make indent ' ' in
+  let i = fresh ctx "ii" in
+  pf ctx "%slong %s;\n" pad i;
+  pf ctx "%sfor (%s = 0; %s < %d; %s++) %s[%s] = %s;\n" pad i i s.si_extent i
+    s.si_array i
+    (init_expr ctx.n_names i)
+
+(* number of rotating must-hit features; any block of >= this many
+   consecutive seeds hits every one *)
+let n_features = 10
+
+let feature ctx seed k p = seed mod n_features = k || Rng.float ctx.rng < p
+
+(** Generate the program for [seed].  Deterministic: the same seed
+    always yields the same sources, sites and productions. *)
+let generate ~seed : prog =
+  let ctx =
+    {
+      rng = Rng.create ((seed * 2) + 1);
+      buf = Buffer.create 2048;
+      n_names = 0;
+      prods = Hashtbl.create 64;
+      scalars = ref [];
+      readonly = ref [];
+      arrays = ref [];
+      ptrs = ref [];
+      spaths = ref [];
+      funcs = ref [];
+      pfuncs = ref [];
+    }
+  in
+  let feat = feature ctx seed in
+  let use_ext = feat 0 0.5 in
+  let use_struct = feat 1 0.6 in
+  let use_nested = use_struct && feat 2 0.5 in
+  let use_heap = feat 3 0.6 in
+  let use_intptr = feat 4 0.5 in
+  let use_memcpy = feat 5 0.5 in
+  let use_memset = feat 6 0.5 in
+  let use_memmove = feat 7 0.5 in
+  let use_ptr_helper = feat 8 0.5 in
+  let use_struct_cpy = use_struct && feat 9 0.5 in
+
+  (* --- sibling unit defining the size-less extern array (§4.3) ----- *)
+  let ext_site, ext_unit =
+    if not use_ext then (None, None)
+    else begin
+      let e = elems.(seed mod 3) in
+      let extent = Rng.int_range ctx.rng 8 24 in
+      let name = "extbuf" in
+      let b = Buffer.create 256 in
+      Printf.bprintf b "%s %s[%d];\n" (elem_name e) name extent;
+      Printf.bprintf b "void ext_fill(void) {\n  long i;\n";
+      Printf.bprintf b "  for (i = 0; i < %d; i++) %s[i] = i * 5 %% 90;\n"
+        extent name;
+      Printf.bprintf b "}\n";
+      prod ctx "extern.size_less";
+      elem_prod ctx e;
+      ( Some
+          {
+            si_array = name;
+            si_extent = extent;
+            si_elem = e;
+            si_region = Extern;
+            si_wide_sb = true;
+          },
+        Some (Buffer.contents b) )
+    end
+  in
+
+  (* --- main unit ---------------------------------------------------- *)
+  (match ext_site with
+  | Some s ->
+      pf ctx "extern %s %s[];\n" (elem_name s.si_elem) s.si_array;
+      pf ctx "void ext_fill(void);\n\n"
+  | None -> ());
+
+  (* struct definitions *)
+  let struct_name = ref "" and box_name = ref "" in
+  let struct_fields = ref [] in
+  if use_struct then begin
+    prod ctx "struct.def";
+    struct_name := fresh ctx "pt";
+    let fields =
+      List.map
+        (fun fname ->
+          let e = Rng.choose ctx.rng elems in
+          elem_prod ctx e;
+          (fname, e))
+        [ "x"; "y"; "t" ]
+    in
+    struct_fields := fields;
+    pf ctx "struct %s {" !struct_name;
+    List.iter (fun (f, e) -> pf ctx " %s %s;" (elem_name e) f) fields;
+    pf ctx " };\n";
+    if use_nested then begin
+      prod ctx "struct.nested";
+      box_name := fresh ctx "box";
+      pf ctx "struct %s { struct %s p; long w; };\n" !box_name !struct_name
+    end;
+    pf ctx "\n"
+  end;
+
+  (* globals *)
+  for _ = 1 to Rng.int_range ctx.rng 0 2 do
+    let g = fresh ctx "g" in
+    let e = Rng.choose ctx.rng elems in
+    let extent = Rng.int_range ctx.rng 4 16 in
+    prod ctx "global.array";
+    elem_prod ctx e;
+    pf ctx "%s %s[%d];\n" (elem_name e) g extent;
+    ctx.arrays :=
+      {
+        si_array = g;
+        si_extent = extent;
+        si_elem = e;
+        si_region = Global;
+        si_wide_sb = false;
+      }
+      :: !(ctx.arrays)
+  done;
+  (let gs = fresh ctx "gs" in
+   let e = Rng.choose ctx.rng elems in
+   prod ctx "global.scalar";
+   elem_prod ctx e;
+   pf ctx "%s %s = %d;\n" (elem_name e) gs (Rng.int_range ctx.rng 0 40);
+   ctx.scalars := (gs, e) :: !(ctx.scalars));
+  pf ctx "\n";
+
+  (* helper call graph: later helpers may call earlier ones *)
+  for _ = 1 to Rng.int_range ctx.rng 1 2 do
+    gen_helper ctx
+  done;
+  if use_ptr_helper then gen_ptr_helper ctx;
+
+  (* main *)
+  pf ctx "int main(void) {\n";
+  pf ctx "  long acc = 0;\n";
+  let saved_globals_arrays = !(ctx.arrays) in
+  ctx.scalars := ("acc", Long) :: !(ctx.scalars);
+
+  (* local arrays: [a1] is always a long array (pointer-helper fodder);
+     the second rotates through the element types *)
+  let n_arrays = Rng.int_range ctx.rng 2 3 in
+  for k = 0 to n_arrays - 1 do
+    let a = fresh ctx "a" in
+    let e = if k = 0 then Long else elems.((seed + k) mod 3) in
+    let extent = Rng.int_range ctx.rng 4 16 in
+    let heap = use_heap && k = n_arrays - 1 in
+    elem_prod ctx e;
+    if heap then begin
+      prod ctx "heap.array";
+      pf ctx "  %s *%s = (%s *)malloc(%d * sizeof(%s));\n" (elem_name e) a
+        (elem_name e) extent (elem_name e)
+    end
+    else begin
+      prod ctx "local.array";
+      pf ctx "  %s %s[%d];\n" (elem_name e) a extent
+    end;
+    let s =
+      {
+        si_array = a;
+        si_extent = extent;
+        si_elem = e;
+        si_region = (if heap then Heap else Stack);
+        si_wide_sb = false;
+      }
+    in
+    emit_init_loop ctx ~indent:2 s;
+    ctx.arrays := s :: !(ctx.arrays)
+  done;
+  (* init global arrays too *)
+  List.iter (emit_init_loop ctx ~indent:2) saved_globals_arrays;
+
+  (* struct locals *)
+  if use_struct then begin
+    let sv = fresh ctx "s" in
+    pf ctx "  struct %s %s;\n" !struct_name sv;
+    List.iter
+      (fun (f, e) ->
+        elem_prod ctx e;
+        pf ctx "  %s.%s = %d;\n" sv f (Rng.int_range ctx.rng 0 60))
+      !struct_fields;
+    ctx.spaths :=
+      List.map (fun (f, e) -> (Printf.sprintf "%s.%s" sv f, e))
+        !struct_fields
+      @ !(ctx.spaths);
+    (* pointer to struct: arrow access *)
+    if Rng.bool ctx.rng then begin
+      prod ctx "struct.arrow";
+      let sp = fresh ctx "sp" in
+      pf ctx "  struct %s *%s = &%s;\n" !struct_name sp sv;
+      ctx.spaths :=
+        List.map
+          (fun (f, e) -> (Printf.sprintf "%s->%s" sp f, e))
+          !struct_fields
+        @ !(ctx.spaths)
+    end;
+    if use_nested then begin
+      let bv = fresh ctx "b" in
+      pf ctx "  struct %s %s;\n" !box_name bv;
+      List.iter
+        (fun (f, _) ->
+          pf ctx "  %s.p.%s = %d;\n" bv f (Rng.int_range ctx.rng 0 60))
+        !struct_fields;
+      pf ctx "  %s.w = %d;\n" bv (Rng.int_range ctx.rng 0 60);
+      prod ctx "struct.nested";
+      ctx.spaths :=
+        ((bv ^ ".w"), Long)
+        :: List.map
+             (fun (f, e) -> (Printf.sprintf "%s.p.%s" bv f, e))
+             !struct_fields
+        @ !(ctx.spaths)
+    end;
+    if use_struct_cpy then begin
+      prod ctx "struct.memcpy";
+      let s2 = fresh ctx "s" in
+      pf ctx "  struct %s %s;\n" !struct_name s2;
+      pf ctx "  memcpy(&%s, &%s, sizeof(struct %s));\n" s2 sv !struct_name;
+      ctx.spaths :=
+        List.map (fun (f, e) -> (Printf.sprintf "%s.%s" s2 f, e))
+          !struct_fields
+        @ !(ctx.spaths)
+    end
+  end;
+
+  (* the extern array is initialized by its defining unit *)
+  (match ext_site with
+  | Some s ->
+      pf ctx "  ext_fill();\n";
+      ctx.arrays := s :: !(ctx.arrays)
+  | None -> ());
+
+  (* pointers into arrays (in-bounds by construction) *)
+  let n_ptrs = Rng.int_range ctx.rng 1 2 in
+  for _ = 1 to n_ptrs do
+    let s = pick ctx !(ctx.arrays) in
+    let off = Rng.int ctx.rng (s.si_extent - 1) in
+    let p = fresh ctx "p" in
+    prod ctx "ptr.arith";
+    if off = 0 then
+      pf ctx "  %s *%s = %s;\n" (elem_name s.si_elem) p s.si_array
+    else
+      pf ctx "  %s *%s = &%s[%d];\n" (elem_name s.si_elem) p s.si_array off;
+    ctx.ptrs := (p, s.si_elem, s.si_extent - off) :: !(ctx.ptrs);
+    (* occasionally derive a second pointer by arithmetic *)
+    if Rng.bool ctx.rng && s.si_extent - off > 2 then begin
+      let q = fresh ctx "q" in
+      let j = Rng.int_range ctx.rng 1 (s.si_extent - off - 1) in
+      pf ctx "  %s *%s = %s + %d;\n" (elem_name s.si_elem) q p j;
+      ctx.ptrs := (q, s.si_elem, s.si_extent - off - j) :: !(ctx.ptrs)
+    end
+  done;
+
+  (* int<->ptr round-trip: the integer is address-derived and must never
+     reach program output, so it lives in its own (untracked) names *)
+  if use_intptr && !(ctx.ptrs) <> [] then begin
+    prod ctx "cast.int_ptr";
+    let p, e, rem = pick ctx !(ctx.ptrs) in
+    let ip = fresh ctx "ip" in
+    let rp = fresh ctx "rp" in
+    pf ctx "  long %s = (long)%s;\n" ip p;
+    pf ctx "  %s *%s = (%s *)%s;\n" (elem_name e) rp (elem_name e) ip;
+    pf ctx "  acc += %s[%d];\n" rp (Rng.int ctx.rng rem);
+    ctx.ptrs := (rp, e, rem) :: !(ctx.ptrs)
+  end;
+
+  (* byte intrinsics over generated buffers *)
+  let byte_len (s : site) max_elems =
+    elem_size s.si_elem * min max_elems s.si_extent
+  in
+  if use_memset then begin
+    prod ctx "intrinsic.memset";
+    let s = pick ctx !(ctx.arrays) in
+    pf ctx "  memset(%s, %d, %d);\n" s.si_array
+      (Rng.int ctx.rng 17)
+      (byte_len s (Rng.int_range ctx.rng 1 8))
+  end;
+  if use_memcpy && List.length !(ctx.arrays) >= 2 then begin
+    prod ctx "intrinsic.memcpy";
+    let s1 = pick ctx !(ctx.arrays) in
+    let rest = List.filter (fun s -> s.si_array <> s1.si_array) !(ctx.arrays) in
+    let s2 = pick ctx rest in
+    let n = min (byte_len s1 8) (byte_len s2 8) in
+    pf ctx "  memcpy(%s, %s, %d);\n" s1.si_array s2.si_array n
+  end;
+  if use_memmove then begin
+    prod ctx "intrinsic.memmove";
+    (* overlapping move inside one array *)
+    let s = pick ctx !(ctx.arrays) in
+    let esz = elem_size s.si_elem in
+    let o1 = Rng.int ctx.rng 2 and o2 = Rng.int ctx.rng 2 in
+    let room = s.si_extent - max o1 o2 in
+    let n = esz * max 1 (min room (Rng.int_range ctx.rng 1 6)) in
+    pf ctx "  memmove(%s + %d, %s + %d, %d);\n" s.si_array o1 s.si_array o2 n
+  end;
+
+  (* the statement soup *)
+  for _ = 1 to Rng.int_range ctx.rng 3 7 do
+    if Rng.int ctx.rng 3 = 0 then gen_loop ctx ~indent:2 ~depth:2
+    else gen_stmt ctx ~indent:2 ~depth:2
+  done;
+
+  (* digest epilogue: print everything address-independent *)
+  pf ctx "  print_int(acc);\n";
+  List.iter
+    (fun (s : site) ->
+      let i = fresh ctx "k" in
+      pf ctx "  { long %s; long h = 0;\n" i;
+      pf ctx "    for (%s = 0; %s < %d; %s++) h = h * 31 + %s[%s];\n" i i
+        s.si_extent i s.si_array i;
+      pf ctx "    print_int(h %% 1000000007); }\n")
+    !(ctx.arrays);
+  List.iter
+    (fun (s, _) -> pf ctx "  print_int(%s %% 997);\n" s)
+    !(ctx.scalars);
+  List.iter
+    (fun (path, _) -> pf ctx "  print_int(%s %% 997);\n" path)
+    !(ctx.spaths);
+  pf ctx "  return 0;\n}\n";
+
+  let sites = List.rev !(ctx.arrays) in
+  let productions =
+    List.sort_uniq String.compare
+      (Hashtbl.fold (fun k () a -> k :: a) ctx.prods [])
+  in
+  let sources =
+    (match ext_unit with
+    | Some code -> [ Bench.src "ext" code ]
+    | None -> [])
+    @ [ Bench.src "main" (Buffer.contents ctx.buf) ]
+  in
+  { p_seed = seed; p_sources = sources; p_sites = sites; p_productions = productions }
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe mutants                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type access = Read | Write
+
+let access_name = function Read -> "read" | Write -> "write"
+
+(** One derived unsafe program: the original with a single known
+    out-of-bounds access appended at the end of [main].  The index is
+    past the Low-Fat size class of the site ([max 16 (round_up_pow2
+    (size+1))], the runtime's own geometry), so {e both} approaches must
+    report it — except SoftBound on a size-less extern declaration,
+    whose wide upper bound cannot see the overflow (§4.3): those mutants
+    carry the whitelist justification instead. *)
+type mutant = {
+  m_prog : prog;
+  m_site : site;
+  m_access : access;
+  m_index : int;
+  m_sources : Bench.source list;
+  m_sb_whitelist : string option;
+      (** [Some why]: SoftBound is excused from reporting, with the
+          written justification *)
+}
+
+let mutant_name (m : mutant) =
+  Printf.sprintf "seed%d/%s-%s[%d]-%s" m.m_prog.p_seed
+    (region_name m.m_site.si_region)
+    m.m_site.si_array m.m_index
+    (access_name m.m_access)
+
+(* first element index past the Low-Fat size class of the object *)
+let oob_index (s : site) =
+  let size = s.si_extent * elem_size s.si_elem in
+  let cls = max 16 (Mi_support.Util.round_up_pow2 (size + 1)) in
+  (cls / elem_size s.si_elem) + 1
+
+let main_suffix = "  return 0;\n}\n"
+
+(** Derive the [mseed]-th unsafe mutant of [prog].  Deterministic.  Most
+    mutants target precisely-bounded sites; with low probability a
+    size-less extern site is chosen instead to exercise the whitelist
+    path. *)
+let mutate (prog : prog) ~mseed : mutant =
+  let rng = Rng.create (((prog.p_seed * 8191) + mseed) * 2) in
+  let precise, wide =
+    List.partition (fun s -> not s.si_wide_sb) prog.p_sites
+  in
+  let site =
+    if wide <> [] && (precise = [] || Rng.int rng 8 = 0) then
+      List.nth wide (Rng.int rng (List.length wide))
+    else List.nth precise (Rng.int rng (List.length precise))
+  in
+  let access = if Rng.bool rng then Read else Write in
+  let index = oob_index site in
+  (* the access must stay observable: a read feeds [print_int] (a load
+     into dead [acc] would be DCE'd at O3 before the late instrumentation
+     point, deleting the check with it); a store has a side effect and
+     survives on its own *)
+  let stmt =
+    match access with
+    | Write -> Printf.sprintf "  %s[%d] = 1;\n" site.si_array index
+    | Read -> Printf.sprintf "  print_int(%s[%d]);\n" site.si_array index
+  in
+  let sources =
+    List.map
+      (fun (s : Bench.source) ->
+        if s.src_name <> "main" then s
+        else begin
+          match
+            String.length s.code >= String.length main_suffix
+            && String.sub s.code
+                 (String.length s.code - String.length main_suffix)
+                 (String.length main_suffix)
+               = main_suffix
+          with
+          | true ->
+              {
+                s with
+                code =
+                  String.sub s.code 0
+                    (String.length s.code - String.length main_suffix)
+                  ^ stmt ^ main_suffix;
+              }
+          | false -> invalid_arg "Gen.mutate: unexpected main-unit shape"
+        end)
+      prog.p_sources
+  in
+  {
+    m_prog = prog;
+    m_site = site;
+    m_access = access;
+    m_index = index;
+    m_sources = sources;
+    m_sb_whitelist =
+      (if site.si_wide_sb then
+         Some
+           (Printf.sprintf
+              "size-less extern declaration %s[]: SoftBound carries a wide \
+               upper bound (§4.3), so an overflow past the definition is \
+               not reportable by design"
+              site.si_array)
+       else None);
+  }

@@ -1,0 +1,265 @@
+(** The safety oracle: what must be true of a generated program.
+
+    For a {e safe} program ({!Gen.generate}), every setup in the
+    experiment matrix — optimization levels, both instrumentations,
+    every extension point, both VM dispatch modes — must produce output
+    byte-identical to the uninstrumented [-O0] reference, with no safety
+    report, no trap, and no fuel exhaustion.  Additionally the two
+    instrumentations must agree on the dynamic check count (the shared
+    target discovery places the same checks), and the VM's fused
+    fast-path must be observationally identical to generic dispatch
+    (same output, same cycles, same counters).
+
+    For an {e unsafe mutant} ({!Gen.mutate}), the oracle flips: both
+    SoftBound and Low-Fat must abort with a safety report — except
+    SoftBound on a mutant whose site only has wide bounds by design
+    (size-less extern declaration, §4.3), which is {e whitelisted} with
+    its written justification rather than counted as missed.
+
+    The functions here only build job lists and judge result lists; the
+    caller owns the {!Mi_bench_kit.Harness} session, so an entire
+    campaign can go through one {!Mi_bench_kit.Harness.run_jobs} matrix
+    and inherit its caching, sharding and [-j]-determinism. *)
+
+module Config = Mi_core.Config
+module Pipeline = Mi_passes.Pipeline
+module Harness = Mi_bench_kit.Harness
+module Bench = Mi_bench_kit.Bench
+
+(** One oracle violation.  [f_kind] is a closed vocabulary:
+    ["compile-error"], ["spurious-report"], ["trap"], ["fuel"],
+    ["exit-code"], ["output-divergence"], ["check-count-mismatch"],
+    ["dispatch-divergence"], ["ref-failed"], ["missed-violation"]. *)
+type finding = {
+  f_seed : int;
+  f_setup : string;  (** matrix tag, e.g. ["O3+sb@scalarlate"] *)
+  f_kind : string;
+  f_detail : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "seed %d [%s] %s: %s" f.f_seed f.f_setup f.f_kind f.f_detail
+
+(* ------------------------------------------------------------------ *)
+(* The matrix                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reference = { Harness.baseline with level = Pipeline.O0 }
+
+let sb = Harness.with_config Config.softbound Harness.baseline
+let lf = Harness.with_config Config.lowfat Harness.baseline
+
+(** The full safe-program matrix (reference excluded).  Tags are stable:
+    they appear in repro files and CI JSON. *)
+let variants : (string * Harness.setup) list =
+  [
+    ("O1", { Harness.baseline with level = Pipeline.O1 });
+    ("O3", Harness.baseline);
+    ("O1+sb", { sb with level = Pipeline.O1 });
+    ("O3+sb", sb);
+    ("O1+lf", { lf with level = Pipeline.O1 });
+    ("O3+lf", lf);
+    ("O3+sb+domopt", Harness.with_config (Config.optimized Config.softbound) Harness.baseline);
+    ("O3+lf@early", { lf with ep = Pipeline.ModuleOptimizerEarly });
+    ("O3+sb@scalarlate", { sb with ep = Pipeline.ScalarOptimizerLate });
+    ("O3+sb/generic", { sb with dispatch = Harness.Generic });
+    ("O3+lf/generic", { lf with dispatch = Harness.Generic });
+  ]
+
+let variant_setup tag =
+  if tag = "O0" then reference
+  else
+    match List.assoc_opt tag variants with
+    | Some s -> s
+    | None -> invalid_arg ("Oracle.variant_setup: unknown tag " ^ tag)
+
+(** Mutant matrix: the unsafe access must be reached, so only the
+    instrumented setups run (uninstrumented, an out-of-bounds write is
+    undefined — it may trap or silently corrupt). *)
+let mutant_variants : (string * Harness.setup) list =
+  [ ("O3+sb", sb); ("O3+lf", lf) ]
+
+(* ------------------------------------------------------------------ *)
+(* Jobs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_of_sources ~name sources =
+  Bench.mk ~suite:Bench.CPU2006 ~descr:"generated fuzz program" name sources
+
+let safe_bench (p : Gen.prog) =
+  bench_of_sources ~name:(Printf.sprintf "fuzz-%d" p.Gen.p_seed) p.Gen.p_sources
+
+let mutant_bench (m : Gen.mutant) =
+  bench_of_sources
+    ~name:(Printf.sprintf "fuzz-%d-mut" m.Gen.m_prog.Gen.p_seed)
+    m.Gen.m_sources
+
+(** Jobs for one safe program, reference first then {!variants} in
+    order.  Judge the result list with {!judge_safe}. *)
+let safe_jobs (p : Gen.prog) : (Harness.setup * Bench.t) list =
+  let b = safe_bench p in
+  (reference, b) :: List.map (fun (_, s) -> (s, b)) variants
+
+(** Jobs for one mutant, {!mutant_variants} in order; judge with
+    {!judge_mutant}. *)
+let mutant_jobs (m : Gen.mutant) : (Harness.setup * Bench.t) list =
+  let b = mutant_bench m in
+  List.map (fun (_, s) -> (s, b)) mutant_variants
+
+(* ------------------------------------------------------------------ *)
+(* Judging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_finding ~seed ~tag (r : Harness.run) =
+  match r.Harness.outcome with
+  | Mi_vm.Interp.Exited 0 -> None
+  | Mi_vm.Interp.Exited n ->
+      Some { f_seed = seed; f_setup = tag; f_kind = "exit-code";
+             f_detail = Printf.sprintf "exited with %d" n }
+  | Mi_vm.Interp.Safety_violation { checker; reason } ->
+      Some { f_seed = seed; f_setup = tag; f_kind = "spurious-report";
+             f_detail = Printf.sprintf "%s: %s" checker reason }
+  | Mi_vm.Interp.Trapped msg ->
+      Some { f_seed = seed; f_setup = tag; f_kind = "trap"; f_detail = msg }
+  | Mi_vm.Interp.Exhausted budget ->
+      Some { f_seed = seed; f_setup = tag; f_kind = "fuel";
+             f_detail = Printf.sprintf "budget %d exhausted" budget }
+
+(** Judge one safe program's results (aligned with {!safe_jobs}).
+    Returns all findings, [[]] iff the oracle holds. *)
+let judge_safe (p : Gen.prog)
+    (results : (Harness.run, Harness.error) result list) : finding list =
+  let seed = p.Gen.p_seed in
+  let tagged = List.combine ("O0" :: List.map fst variants) results in
+  let find tag = List.assoc tag tagged in
+  let findings = ref [] in
+  let note f = findings := f :: !findings in
+  (match find "O0" with
+  | Error e ->
+      note { f_seed = seed; f_setup = "O0"; f_kind = "ref-failed";
+             f_detail = e.Harness.reason }
+  | Ok ref_run -> (
+      match outcome_finding ~seed ~tag:"O0" ref_run with
+      | Some f -> note { f with f_kind = "ref-failed" }
+      | None ->
+          let ref_out = ref_run.Harness.output in
+          List.iter
+            (fun (tag, res) ->
+              if tag <> "O0" then
+                match res with
+                | Error e ->
+                    note { f_seed = seed; f_setup = tag;
+                           f_kind = "compile-error";
+                           f_detail = e.Harness.reason }
+                | Ok r -> (
+                    match outcome_finding ~seed ~tag r with
+                    | Some f -> note f
+                    | None ->
+                        if r.Harness.output <> ref_out then
+                          note
+                            { f_seed = seed; f_setup = tag;
+                              f_kind = "output-divergence";
+                              f_detail =
+                                Printf.sprintf "expected %S got %S" ref_out
+                                  r.Harness.output }))
+            tagged;
+          (* fairness: same dynamic check count under both approaches *)
+          (match (find "O3+sb", find "O3+lf") with
+          | Ok rsb, Ok rlf ->
+              let csb = Harness.counter rsb "sb.checks"
+              and clf = Harness.counter rlf "lf.checks" in
+              if csb <> clf then
+                note
+                  { f_seed = seed; f_setup = "O3+sb|O3+lf";
+                    f_kind = "check-count-mismatch";
+                    f_detail = Printf.sprintf "sb %d vs lf %d" csb clf }
+          | _ -> ());
+          (* fast-path contract: generic dispatch is observationally
+             identical — output, cycles, every runtime counter *)
+          List.iter
+            (fun tag ->
+              match (find tag, find (tag ^ "/generic")) with
+              | Ok fast, Ok gen ->
+                  if fast.Harness.output <> gen.Harness.output then
+                    note
+                      { f_seed = seed; f_setup = tag ^ "/generic";
+                        f_kind = "dispatch-divergence";
+                        f_detail = "output differs from fused dispatch" }
+                  else if fast.Harness.cycles <> gen.Harness.cycles then
+                    note
+                      { f_seed = seed; f_setup = tag ^ "/generic";
+                        f_kind = "dispatch-divergence";
+                        f_detail =
+                          Printf.sprintf "cycles %d (fused) vs %d (generic)"
+                            fast.Harness.cycles gen.Harness.cycles }
+                  else if
+                    Harness.counters_alist fast <> Harness.counters_alist gen
+                  then
+                    note
+                      { f_seed = seed; f_setup = tag ^ "/generic";
+                        f_kind = "dispatch-divergence";
+                        f_detail = "runtime counters differ" }
+              | _ -> ())
+            [ "O3+sb"; "O3+lf" ]));
+  List.rev !findings
+
+(** How one instrumentation judged one mutant. *)
+type detection =
+  | Killed  (** aborted with a safety report *)
+  | Whitelisted of string  (** excused, with the written justification *)
+  | Missed of string  (** ran to completion (or failed off-contract) *)
+
+let detection_to_string = function
+  | Killed -> "killed"
+  | Whitelisted why -> "whitelisted: " ^ why
+  | Missed detail -> "MISSED: " ^ detail
+
+type mutant_result = {
+  mr_name : string;
+  mr_seed : int;
+  mr_sb : detection;
+  mr_lf : detection;
+  mr_findings : finding list;  (** [[]] iff the flipped oracle holds *)
+}
+
+(** Judge one mutant's results (aligned with {!mutant_jobs}).  Low-Fat
+    must always report: the injected index lies past the site's size
+    class by construction.  SoftBound must report unless the mutant
+    carries a whitelist justification (wide bounds by design). *)
+let judge_mutant (m : Gen.mutant)
+    (results : (Harness.run, Harness.error) result list) : mutant_result =
+  let seed = m.Gen.m_prog.Gen.p_seed in
+  let name = Gen.mutant_name m in
+  let judge tag res ~whitelist =
+    match res with
+    | Error e -> Missed (Printf.sprintf "[%s] compile error: %s" tag e.Harness.reason)
+    | Ok r -> (
+        match r.Harness.outcome with
+        | Mi_vm.Interp.Safety_violation _ -> Killed
+        | Mi_vm.Interp.Exited _ -> (
+            match whitelist with
+            | Some why -> Whitelisted why
+            | None -> Missed (Printf.sprintf "[%s] ran to completion" tag))
+        | Mi_vm.Interp.Trapped msg ->
+            (* a VM trap is the uninstrumented failure mode: the check
+               did not fire first, so the instrumentation missed *)
+            Missed (Printf.sprintf "[%s] trapped instead of reporting: %s" tag msg)
+        | Mi_vm.Interp.Exhausted b ->
+            Missed (Printf.sprintf "[%s] fuel budget %d exhausted" tag b))
+  in
+  let rsb = List.nth results 0 and rlf = List.nth results 1 in
+  let dsb = judge "O3+sb" rsb ~whitelist:m.Gen.m_sb_whitelist in
+  let dlf = judge "O3+lf" rlf ~whitelist:None in
+  let findings =
+    List.filter_map
+      (fun (tag, d) ->
+        match d with
+        | Killed | Whitelisted _ -> None
+        | Missed detail ->
+            Some
+              { f_seed = seed; f_setup = tag; f_kind = "missed-violation";
+                f_detail = Printf.sprintf "%s: %s" name detail })
+      [ ("O3+sb", dsb); ("O3+lf", dlf) ]
+  in
+  { mr_name = name; mr_seed = seed; mr_sb = dsb; mr_lf = dlf;
+    mr_findings = findings }

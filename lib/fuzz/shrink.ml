@@ -1,0 +1,335 @@
+(** Structural shrinking: given a failing case and a predicate that
+    recognises the failure, greedily reduce the program while the
+    failure keeps reproducing.
+
+    The reducer works on the MiniC AST (parse → transform →
+    {!Cprint}), never on text, so every candidate is a syntactically
+    valid program; candidates that no longer compile are simply
+    rejected by the predicate.  One step removes a translation unit, a
+    top-level declaration, a statement (or flattens a compound
+    statement into its body), an array extent (halved), or an
+    expression (hoisting a subexpression or collapsing to a literal).
+
+    Every candidate is strictly smaller under a lexicographic measure
+    (AST nodes, summed array extents, identifier count), so the greedy
+    fixpoint terminates.  Candidate order is deterministic and the
+    predicate is assumed deterministic — the whole reduction is
+    reproducible from the failing input alone. *)
+
+open Mi_minic.Ast
+module Ctypes = Mi_minic.Ctypes
+module Bench = Mi_bench_kit.Bench
+
+(* ------------------------------------------------------------------ *)
+(* Size measure                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type measure = { nodes : int; extents : int; idents : int }
+
+let m_zero = { nodes = 0; extents = 0; idents = 0 }
+let m_add a b =
+  { nodes = a.nodes + b.nodes; extents = a.extents + b.extents;
+    idents = a.idents + b.idents }
+let m_sum l = List.fold_left m_add m_zero l
+let m_lt a b =
+  (a.nodes, a.extents, a.idents) < (b.nodes, b.extents, b.idents)
+
+let rec ty_measure = function
+  | Ctypes.Carr (t, d) ->
+      let m = ty_measure t in
+      { m with nodes = m.nodes + 1;
+        extents = (m.extents + match d with Some n -> n | None -> 0) }
+  | Ctypes.Cptr t ->
+      let m = ty_measure t in
+      { m with nodes = m.nodes + 1 }
+  | _ -> { m_zero with nodes = 1 }
+
+let expr_children (e : expr) : expr list =
+  match e.e with
+  | Eint _ | Efloat _ | Estr _ | Eident _ | Esizeof_ty _ -> []
+  | Ebin (_, a, b) | Eassign (a, b) | Eopassign (_, a, b) | Eindex (a, b) ->
+      [ a; b ]
+  | Eun (_, a)
+  | Eincdec (_, _, a)
+  | Emember (a, _)
+  | Earrow (a, _)
+  | Ederef a
+  | Eaddr a
+  | Ecast (_, a)
+  | Esizeof_e a ->
+      [ a ]
+  | Ecall (_, args) -> args
+  | Econd (a, b, c) -> [ a; b; c ]
+
+let expr_with_children (e : expr) (cs : expr list) : expr =
+  let k =
+    match (e.e, cs) with
+    | Ebin (op, _, _), [ a; b ] -> Ebin (op, a, b)
+    | Eassign _, [ a; b ] -> Eassign (a, b)
+    | Eopassign (op, _, _), [ a; b ] -> Eopassign (op, a, b)
+    | Eindex _, [ a; b ] -> Eindex (a, b)
+    | Eun (op, _), [ a ] -> Eun (op, a)
+    | Eincdec (w, d, _), [ a ] -> Eincdec (w, d, a)
+    | Emember (_, f), [ a ] -> Emember (a, f)
+    | Earrow (_, f), [ a ] -> Earrow (a, f)
+    | Ederef _, [ a ] -> Ederef a
+    | Eaddr _, [ a ] -> Eaddr a
+    | Ecast (t, _), [ a ] -> Ecast (t, a)
+    | Esizeof_e _, [ a ] -> Esizeof_e a
+    | Ecall (f, _), args -> Ecall (f, args)
+    | Econd _, [ a; b; c ] -> Econd (a, b, c)
+    | k, [] -> k
+    | _ -> invalid_arg "Shrink.expr_with_children: arity mismatch"
+  in
+  { e with e = k }
+
+let rec expr_measure (e : expr) : measure =
+  let m = m_sum (List.map expr_measure (expr_children e)) in
+  let idents = match e.e with Eident _ -> m.idents + 1 | _ -> m.idents in
+  let m = { m with nodes = m.nodes + 1; idents } in
+  match e.e with
+  | Ecast (t, _) -> m_add m (ty_measure t)
+  | Esizeof_ty t -> m_add m (ty_measure t)
+  | _ -> m
+
+let rec init_measure = function
+  | Iexpr e -> expr_measure e
+  | Ilist l ->
+      let m = m_sum (List.map init_measure l) in
+      { m with nodes = m.nodes + 1 }
+
+let rec stmt_measure (st : stmt) : measure =
+  let m =
+    match st.s with
+    | Sexpr e -> expr_measure e
+    | Sdecl (ty, _, init) ->
+        m_add (ty_measure ty)
+          (match init with None -> m_zero | Some i -> init_measure i)
+    | Sif (c, a, b) ->
+        m_add (expr_measure c) (m_sum (List.map stmt_measure (a @ b)))
+    | Swhile (c, b) | Sdo (b, c) ->
+        m_add (expr_measure c) (m_sum (List.map stmt_measure b))
+    | Sfor (i, c, s, b) ->
+        m_sum
+          ((match i with None -> m_zero | Some st -> stmt_measure st)
+          :: (match c with None -> m_zero | Some e -> expr_measure e)
+          :: (match s with None -> m_zero | Some e -> expr_measure e)
+          :: List.map stmt_measure b)
+    | Sreturn (Some e) -> expr_measure e
+    | Sreturn None | Sbreak | Scontinue -> m_zero
+    | Sblock b | Sseq b -> m_sum (List.map stmt_measure b)
+  in
+  { m with nodes = m.nodes + 1 }
+
+let decl_measure (d : decl) : measure =
+  let m =
+    match d with
+    | Dfunc f ->
+        m_sum
+          (ty_measure f.f_ret
+          :: List.map (fun p -> ty_measure p.p_ty) f.f_params
+          @ List.map stmt_measure f.f_body)
+    | Dproto (_, ret, ptys, _) -> m_sum (List.map ty_measure (ret :: ptys))
+    | Dglobal g ->
+        m_add (ty_measure g.g_ty)
+          (match g.g_init with None -> m_zero | Some i -> init_measure i)
+    | Dstruct (_, fields, _) ->
+        m_sum (List.map (fun (_, t) -> ty_measure t) fields)
+  in
+  { m with nodes = m.nodes + 1 }
+
+let program_measure (p : program) = m_sum (List.map decl_measure p)
+
+(* ------------------------------------------------------------------ *)
+(* One-step candidates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* replace the [i]-th element of [l] *)
+let replace_nth l i x = List.mapi (fun j y -> if i = j then x else y) l
+
+(* all lists obtained by dropping exactly one element *)
+let drop_one l = List.mapi (fun i _ -> List.filteri (fun j _ -> i <> j) l) l
+
+let rec ty_cands (ty : Ctypes.t) : Ctypes.t list =
+  match ty with
+  | Ctypes.Carr (t, Some n) when n > 1 ->
+      (Ctypes.Carr (t, Some (n / 2))
+      :: List.map (fun t' -> Ctypes.Carr (t', Some n)) (ty_cands t))
+  | Ctypes.Carr (t, d) ->
+      List.map (fun t' -> Ctypes.Carr (t', d)) (ty_cands t)
+  | Ctypes.Cptr t -> List.map (fun t' -> Ctypes.Cptr t') (ty_cands t)
+  | _ -> []
+
+let rec expr_cands (e : expr) : expr list =
+  let collapse =
+    match e.e with Eint _ -> [] | _ -> [ { e with e = Eint 0 } ]
+  in
+  let subs = expr_children e in
+  let inner =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           List.map
+             (fun c' -> expr_with_children e (replace_nth subs i c'))
+             (expr_cands c))
+         subs)
+  in
+  (* collapse first, hoisted subexpressions next, inner rewrites last:
+     biggest reductions get tried earliest *)
+  collapse @ subs @ inner
+
+let rec init_cands = function
+  | Iexpr e -> List.map (fun e' -> Iexpr e') (expr_cands e)
+  | Ilist l ->
+      List.map (fun l' -> Ilist l') (drop_one l)
+      @ List.concat
+          (List.mapi
+             (fun i it ->
+               List.map (fun it' -> Ilist (replace_nth l i it')) (init_cands it))
+             l)
+
+let opt_expr_cands = function
+  | None -> []
+  | Some e -> None :: List.map (fun e' -> Some e') (expr_cands e)
+
+let rec stmt_cands (st : stmt) : stmt list =
+  let k s = { st with s } in
+  match st.s with
+  | Sexpr e -> List.map (fun e' -> k (Sexpr e')) (expr_cands e)
+  | Sdecl (ty, n, init) ->
+      (match init with Some _ -> [ k (Sdecl (ty, n, None)) ] | None -> [])
+      @ List.map (fun ty' -> k (Sdecl (ty', n, init))) (ty_cands ty)
+      @ (match init with
+        | None -> []
+        | Some i -> List.map (fun i' -> k (Sdecl (ty, n, Some i'))) (init_cands i))
+  | Sif (c, a, b) ->
+      (if b <> [] then [ k (Sif (c, a, [])) ] else [])
+      @ List.map (fun c' -> k (Sif (c', a, b))) (expr_cands c)
+      @ List.map (fun a' -> k (Sif (c, a', b))) (stmts_cands a)
+      @ List.map (fun b' -> k (Sif (c, a, b'))) (stmts_cands b)
+  | Swhile (c, b) ->
+      List.map (fun c' -> k (Swhile (c', b))) (expr_cands c)
+      @ List.map (fun b' -> k (Swhile (c, b'))) (stmts_cands b)
+  | Sdo (b, c) ->
+      List.map (fun b' -> k (Sdo (b', c))) (stmts_cands b)
+      @ List.map (fun c' -> k (Sdo (b, c'))) (expr_cands c)
+  | Sfor (i, c, s, b) ->
+      (match i with
+      | Some { s = Sdecl _; _ } | None -> []
+      | Some _ -> [ k (Sfor (None, c, s, b)) ])
+      @ List.map (fun c' -> k (Sfor (i, c', s, b))) (opt_expr_cands c)
+      @ List.map (fun s' -> k (Sfor (i, c, s', b))) (opt_expr_cands s)
+      @ List.map (fun b' -> k (Sfor (i, c, s, b'))) (stmts_cands b)
+  | Sreturn (Some e) -> List.map (fun e' -> k (Sreturn (Some e'))) (expr_cands e)
+  | Sreturn None | Sbreak | Scontinue -> []
+  | Sblock b -> List.map (fun b' -> k (Sblock b')) (stmts_cands b)
+  | Sseq b -> List.map (fun b' -> k (Sseq b')) (stmts_cands b)
+
+(* all ways to reduce a statement list by one step: drop a statement,
+   flatten a compound into its body, or rewrite within one statement *)
+and stmts_cands (stmts : stmt list) : stmt list list =
+  match stmts with
+  | [] -> []
+  | st :: rest ->
+      [ rest ]
+      @ (match st.s with
+        | Sif (_, a, b) -> [ a @ b @ rest ]
+        | Swhile (_, b) -> [ b @ rest ]
+        | Sdo (b, _) -> [ b @ rest ]
+        | Sfor (i, _, _, b) ->
+            [ (match i with Some s -> s :: b | None -> b) @ rest ]
+        | Sblock b | Sseq b -> [ b @ rest ]
+        | _ -> [])
+      @ List.map (fun st' -> st' :: rest) (stmt_cands st)
+      @ List.map (fun rest' -> st :: rest') (stmts_cands rest)
+
+let decl_cands (d : decl) : decl list =
+  match d with
+  | Dfunc f ->
+      List.map (fun b -> Dfunc { f with f_body = b }) (stmts_cands f.f_body)
+  | Dproto _ -> []
+  | Dglobal g ->
+      (match g.g_init with
+      | Some _ -> [ Dglobal { g with g_init = None } ]
+      | None -> [])
+      @ List.map (fun t -> Dglobal { g with g_ty = t }) (ty_cands g.g_ty)
+      @ (match g.g_init with
+        | None -> []
+        | Some i ->
+            List.map (fun i' -> Dglobal { g with g_init = Some i' }) (init_cands i))
+  | Dstruct (n, fields, p) ->
+      (if List.length fields > 1 then
+         List.map (fun fs -> Dstruct (n, fs, p)) (drop_one fields)
+       else [])
+      @ List.concat
+          (List.mapi
+             (fun i (fn, ft) ->
+               List.map
+                 (fun t -> Dstruct (n, replace_nth fields i (fn, t), p))
+                 (ty_cands ft))
+             fields)
+
+let program_cands (p : program) : program list =
+  drop_one p
+  @ List.concat
+      (List.mapi
+         (fun i d -> List.map (fun d' -> replace_nth p i d') (decl_cands d))
+         p)
+
+(* ------------------------------------------------------------------ *)
+(* The reduction loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type unit_state = { us_src : Bench.source; us_prog : program }
+
+let state_measure st =
+  m_sum (List.map (fun u -> program_measure u.us_prog) st)
+
+let render (st : unit_state list) : Bench.source list =
+  List.map
+    (fun u -> { u.us_src with Bench.code = Cprint.program_to_string u.us_prog })
+    st
+
+let state_cands (st : unit_state list) : unit_state list list =
+  (* drop a whole translation unit first *)
+  (if List.length st > 1 then drop_one st else [])
+  @ List.concat
+      (List.mapi
+         (fun i u ->
+           List.map
+             (fun p -> replace_nth st i { u with us_prog = p })
+             (program_cands u.us_prog))
+         st)
+
+(** [minimize ~pred sources] greedily reduces [sources] while [pred]
+    keeps returning [true] (= the failure still reproduces; a candidate
+    that fails to compile must make [pred] return [false], not raise).
+    Deterministic for a deterministic predicate.  Returns the reduced
+    sources — or [sources] unchanged if they don't parse or the failure
+    doesn't survive the initial parse/print round-trip. *)
+let minimize ~(pred : Bench.source list -> bool)
+    (sources : Bench.source list) : Bench.source list =
+  let parsed =
+    try
+      Some
+        (List.map
+           (fun (s : Bench.source) ->
+             { us_src = s; us_prog = Mi_minic.Cparse.parse_program s.Bench.code })
+           sources)
+    with Mi_minic.Cparse.Parse_error _ | Mi_minic.Lexer.Lex_error _ -> None
+  in
+  match parsed with
+  | None -> sources
+  | Some st0 when not (pred (render st0)) -> sources
+  | Some st0 ->
+      let rec improve st =
+        let m = state_measure st in
+        let better c = m_lt (state_measure c) m && pred (render c) in
+        match List.find_opt better (state_cands st) with
+        | Some c -> improve c
+        | None -> st
+      in
+      render (improve st0)
+
+let line_count (s : string) =
+  List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s))

@@ -178,31 +178,38 @@ let inline_site (caller : Func.t) (callee : Func.t) ~(block : string)
   let cont =
     { Block.label = cont_label; phis = ret_phis; body = suffix; term = b.term }
   in
-  (* rename phi predecessors in original successors: block -> cont *)
+  (* rename phi predecessors in original successors: block -> cont (the
+     old terminator, and with it every outgoing edge, now lives in
+     [cont]).  The split block can be its own successor — a do-while
+     whose body branches back to itself — so [head] itself may need its
+     loop-header phis renamed too. *)
   let succ_labels = Instr.successors b.term in
+  let rename_phis (blk : Block.t) =
+    {
+      blk with
+      phis =
+        List.map
+          (fun (p : Instr.phi) ->
+            {
+              p with
+              incoming =
+                List.map
+                  (fun (l, v) ->
+                    if String.equal l block then (cont_label, v) else (l, v))
+                  p.incoming;
+            })
+          blk.phis;
+    }
+  in
   let blocks =
     List.concat_map
       (fun (blk : Block.t) ->
-        if String.equal blk.label block then (head :: copied) @ [ cont ]
-        else if List.mem blk.label succ_labels then
-          [
-            {
-              blk with
-              phis =
-                List.map
-                  (fun (p : Instr.phi) ->
-                    {
-                      p with
-                      incoming =
-                        List.map
-                          (fun (l, v) ->
-                            if String.equal l block then (cont_label, v)
-                            else (l, v))
-                          p.incoming;
-                    })
-                  blk.phis;
-            };
-          ]
+        if String.equal blk.label block then
+          let head =
+            if List.mem block succ_labels then rename_phis head else head
+          in
+          (head :: copied) @ [ cont ]
+        else if List.mem blk.label succ_labels then [ rename_phis blk ]
         else [ blk ])
       caller.blocks
   in

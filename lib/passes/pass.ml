@@ -20,14 +20,25 @@ let func_pass name (run_func : Func.t -> bool) : t =
           false (Irmod.defined_funcs m));
   }
 
-let run_one (p : t) (m : Irmod.t) : bool = p.run m
+(* [MI_PASS_DEBUG=1] prints each pass as it starts — the low-tech way to
+   find a looping or crashing pass when tracing never gets to flush *)
+let debug = try Sys.getenv "MI_PASS_DEBUG" = "1" with Not_found -> false
+
+let debug_announce (p : t) (m : Irmod.t) =
+  if debug then
+    Printf.eprintf "[pass] %s (%d instrs)\n%!" p.name (Irmod.instr_count m)
+
+let run_one (p : t) (m : Irmod.t) : bool =
+  debug_announce p m;
+  p.run m
 
 (* With a tracer, each pass runs under its own span carrying the
    instruction-count delta it caused. *)
 let traced_run tracer (p : t) (m : Irmod.t) : bool =
   match tracer with
-  | None -> p.run m
+  | None -> run_one p m
   | Some tr ->
+      debug_announce p m;
       let before = Irmod.instr_count m in
       Mi_obs.Trace.begin_span tr ~cat:"pass"
         ~args:[ ("instrs_before", Mi_obs.Trace.Aint before) ]

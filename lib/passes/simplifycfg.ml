@@ -93,31 +93,38 @@ let merge_blocks (f : Func.t) : bool =
             term = bblk.term;
           }
         in
-        (* successors of B now have A as predecessor *)
+        (* successors of B now have A as predecessor.  A itself can be
+           such a successor (B's terminator closes a loop back to A), so
+           the merged block's own phis may need their incoming edge
+           renamed too. *)
         let succ_labels = Instr.successors bblk.term in
+        let rename_phis (blk : Block.t) =
+          {
+            blk with
+            phis =
+              List.map
+                (fun (p : Instr.phi) ->
+                  {
+                    p with
+                    incoming =
+                      List.map
+                        (fun (l, v) ->
+                          if String.equal l lb then (a.label, v) else (l, v))
+                        p.incoming;
+                  })
+                blk.phis;
+          }
+        in
         f.blocks <-
           List.filter_map
             (fun (blk : Block.t) ->
-              if String.equal blk.label a.label then Some merged
+              if String.equal blk.label a.label then
+                Some
+                  (if List.mem a.label succ_labels then rename_phis merged
+                   else merged)
               else if String.equal blk.label lb then None
               else if List.mem blk.label succ_labels then
-                Some
-                  {
-                    blk with
-                    phis =
-                      List.map
-                        (fun (p : Instr.phi) ->
-                          {
-                            p with
-                            incoming =
-                              List.map
-                                (fun (l, v) ->
-                                  if String.equal l lb then (a.label, v)
-                                  else (l, v))
-                                p.incoming;
-                          })
-                        blk.phis;
-                  }
+                Some (rename_phis blk)
               else Some blk)
             f.blocks;
         Putils.substitute f subst;

@@ -173,7 +173,9 @@ let fuse (st : State.t) callee (xdst : (bool * int) option)
   let ints_only =
     Array.for_all (function XI _ | XR _ -> true | XF _ | XFR _ -> false) xargs
   in
-  if not ints_only then None
+  (* [State.fast_dispatch] off: force every runtime call through the
+     generic builtin path, so fast twins are differentially testable *)
+  if not (st.State.fast_dispatch && ints_only) then None
   else
     match State.find_fast_builtin st callee with
     | None -> None

@@ -73,6 +73,15 @@ and t = {
   mutable builtin_gen : int;
       (** bumped on every builtin (re)registration; interpreter
           call-site caches revalidate when it changes *)
+  mutable fast_dispatch : bool;
+      (** when [false], {!Mi_vm.Interp.load} never fuses intrinsic calls
+          into superinstructions: every runtime call dispatches through
+          the generic boxed builtin.  Fusion is a load-time decision, so
+          flip this {e before} loading an image.  The fast twins are
+          contractually observationally identical to their generic
+          builtins; this switch exists so that the contract is
+          differentially testable (the fuzzing oracle runs every program
+          both ways and demands byte-identical results). *)
   mutable malloc_hook : t -> int -> int;
   mutable free_hook : t -> int -> unit;
   mutable frame_enter_hook : t -> unit;
@@ -201,6 +210,7 @@ let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42)
       builtins = Hashtbl.create 64;
       fast_builtins = Hashtbl.create 16;
       builtin_gen = 0;
+      fast_dispatch = true;
       malloc_hook = (fun _ _ -> 0);
       free_hook = (fun _ _ -> ());
       frame_enter_hook = (fun _ -> ());

@@ -1,72 +1,222 @@
-(* Differential testing on generated programs: every randomly generated,
-   spatially-safe MiniC program must produce identical output
-   - at -O0, -O1 and -O3,
-   - instrumented with SoftBound and with Low-Fat Pointers (full mode),
-   - instrumented at every extension point,
-   and must never trigger a safety report. *)
+(* Differential testing on Mi_fuzz-generated programs: every seed's
+   spatially-safe program must run identically across the whole oracle
+   matrix (optimization levels x SoftBound/Low-Fat x extension points x
+   VM dispatch modes) with zero safety reports, and every derived unsafe
+   mutant must be reported by BOTH instrumentations (wide-bounds
+   whitelist aside).  The heavy lifting — matrix construction, output
+   comparison, check-count fairness, dispatch twinning — lives in
+   {!Mi_fuzz.Oracle}; this suite drives it over fixed seed blocks and
+   additionally pins each oracle property with a direct witness. *)
 
-module Config = Mi_core.Config
-module Pipeline = Mi_passes.Pipeline
 module Harness = Mi_bench_kit.Harness
-module Bench = Mi_bench_kit.Bench
+module Gen = Mi_fuzz.Gen
+module Oracle = Mi_fuzz.Oracle
+module Fuzz = Mi_fuzz.Fuzz
 
-let run_full setup src =
-  let r = Harness.run_sources setup [ Bench.src "gen" src ] in
-  match r.Harness.outcome with
-  | Mi_vm.Interp.Exited _ -> r
-  | Mi_vm.Interp.Trapped msg -> Alcotest.failf "trap: %s\n%s" msg src
+let outcome_str = function
+  | Mi_vm.Interp.Exited n -> Printf.sprintf "exited %d" n
   | Mi_vm.Interp.Safety_violation { checker; reason } ->
-      Alcotest.failf "spurious %s violation: %s\n%s" checker reason src
-  | Mi_vm.Interp.Exhausted budget ->
-      Alcotest.failf "fuel budget of %d exhausted\n%s" budget src
+      Printf.sprintf "%s violation: %s" checker reason
+  | Mi_vm.Interp.Trapped msg -> "trap: " ^ msg
+  | Mi_vm.Interp.Exhausted budget -> Printf.sprintf "fuel %d exhausted" budget
 
-let run_one setup src = (run_full setup src).Harness.output
+(* {1 Safe seeds: the full oracle matrix holds} *)
 
-let differential seed () =
-  let src = Mi_bench_kit.Progen.generate ~seed in
-  let reference =
-    run_one { Harness.baseline with level = Pipeline.O0 } src
+let test_safe_block () =
+  let r = Fuzz.run (Fuzz.campaign ~jobs:2 ~seeds:(201, 220) ()) in
+  Alcotest.(check int) "programs" 20 r.Fuzz.r_safe_total;
+  (match r.Fuzz.r_findings with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "oracle violation: %s (of %d)"
+        (Oracle.finding_to_string f)
+        (List.length r.Fuzz.r_findings));
+  Alcotest.(check bool) "campaign ok" true (Fuzz.ok r)
+
+(* {1 Unsafe mutants: the flipped oracle holds} *)
+
+let test_mutant_block () =
+  let r =
+    Fuzz.run (Fuzz.campaign ~jobs:2 ~seeds:(201, 220) ~mutants:(201, 212) ())
   in
-  let setups =
-    [
-      ("O1", { Harness.baseline with level = Pipeline.O1 });
-      ("O3", Harness.baseline);
-      ("O3+sb", Harness.with_config Config.softbound Harness.baseline);
-      ("O3+lf", Harness.with_config Config.lowfat Harness.baseline);
-      ( "O3+sb+domopt",
-        Harness.with_config (Config.optimized Config.softbound) Harness.baseline );
-      ( "O3+lf@early",
-        {
-          (Harness.with_config Config.lowfat Harness.baseline) with
-          ep = Pipeline.ModuleOptimizerEarly;
-        } );
-      ( "O3+sb@scalarlate",
-        {
-          (Harness.with_config Config.softbound Harness.baseline) with
-          ep = Pipeline.ScalarOptimizerLate;
-        } );
-    ]
-  in
+  let killed, _whitelisted, missed = Fuzz.count_mutants r.Fuzz.r_mutants in
+  Alcotest.(check int) "mutants" 12 (List.length r.Fuzz.r_mutants);
+  Alcotest.(check int) "missed detections" 0 missed;
+  Alcotest.(check bool) "some detections killed" true (killed > 0);
   List.iter
-    (fun (tag, setup) ->
-      let out = run_one setup src in
-      if out <> reference then
-        Alcotest.failf "seed %d: %s output diverges\nexpected %S\ngot %S\n%s"
-          seed tag reference out src)
-    setups;
-  (* framework fairness: the shared target discovery gives both
-     approaches the same dynamic check count on the same program *)
-  let sb = run_full (Harness.with_config Config.softbound Harness.baseline) src in
-  let lf = run_full (Harness.with_config Config.lowfat Harness.baseline) src in
-  let csb = Harness.counter sb "sb.checks" and clf = Harness.counter lf "lf.checks" in
-  if csb <> clf then
-    Alcotest.failf "seed %d: check placement differs (sb %d vs lf %d)\n%s"
-      seed csb clf src
+    (fun (mr : Oracle.mutant_result) ->
+      match mr.Oracle.mr_findings with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "mutant %s: %s" mr.Oracle.mr_name
+            (Oracle.finding_to_string f))
+    r.Fuzz.r_mutants
 
-let cases =
-  List.init 60 (fun k ->
-      let seed = 1000 + (k * 37) in
-      Alcotest.test_case (Printf.sprintf "seed %d" seed) `Slow
-        (differential seed))
+(* a precise-bounds mutant is reported by BOTH instrumentations, and the
+   safe original places the same dynamic check count under each (the
+   framework-fairness guarantee behind the flipped oracle) *)
+let test_mutant_both_checkers_report () =
+  let seed = 203 in
+  let prog = Gen.generate ~seed in
+  let sb = Oracle.variant_setup "O3+sb" in
+  let lf = Oracle.variant_setup "O3+lf" in
+  let rsb = Harness.run_sources sb prog.Gen.p_sources in
+  let rlf = Harness.run_sources lf prog.Gen.p_sources in
+  (match (rsb.Harness.outcome, rlf.Harness.outcome) with
+  | Mi_vm.Interp.Exited 0, Mi_vm.Interp.Exited 0 -> ()
+  | _ -> Alcotest.fail "safe program did not exit 0 under both checkers");
+  let csb = Harness.counter rsb "sb.checks"
+  and clf = Harness.counter rlf "lf.checks" in
+  Alcotest.(check bool) "checks placed" true (csb > 0);
+  Alcotest.(check int) "same dynamic check count" csb clf;
+  (* now one injected out-of-bounds access: both must report *)
+  let m = Gen.mutate prog ~mseed:seed in
+  if m.Gen.m_sb_whitelist <> None then
+    Alcotest.failf "seed %d unexpectedly drew a whitelisted extern site" seed;
+  let check tag setup =
+    match (Harness.run_sources setup m.Gen.m_sources).Harness.outcome with
+    | Mi_vm.Interp.Safety_violation _ -> ()
+    | o ->
+        Alcotest.failf "%s did not report %s: %s" tag (Gen.mutant_name m)
+          (outcome_str o)
+  in
+  check "softbound" sb;
+  check "lowfat" lf
 
-let () = Alcotest.run "differential" [ ("generated programs", cases) ]
+(* a size-less extern site overflows past the definition: Low-Fat still
+   reports (allocation-size classes), SoftBound is excused by its wide
+   upper bound — the documented §4.3 whitelist *)
+let test_whitelisted_extern_mutant () =
+  (* find a seed drawing a wide-site mutant *)
+  let found = ref None in
+  for mseed = 301 to 420 do
+    if !found = None then begin
+      let prog = Gen.generate ~seed:mseed in
+      let m = Gen.mutate prog ~mseed in
+      if m.Gen.m_sb_whitelist <> None then found := Some m
+    end
+  done;
+  match !found with
+  | None -> Alcotest.fail "no whitelisted mutant drawn in 120 seeds"
+  | Some m ->
+      let rsb =
+        Harness.run_sources (Oracle.variant_setup "O3+sb") m.Gen.m_sources
+      in
+      let rlf =
+        Harness.run_sources (Oracle.variant_setup "O3+lf") m.Gen.m_sources
+      in
+      (match rlf.Harness.outcome with
+      | Mi_vm.Interp.Safety_violation _ -> ()
+      | o ->
+          Alcotest.failf "lowfat must still report %s: %s"
+            (Gen.mutant_name m) (outcome_str o));
+      let mr = Oracle.judge_mutant m [ Ok rsb; Ok rlf ] in
+      (match mr.Oracle.mr_sb with
+      | Oracle.Whitelisted why ->
+          Alcotest.(check bool)
+            "justification is written out" true
+            (String.length why > 0)
+      | d ->
+          Alcotest.failf "softbound detection should be whitelisted, got %s"
+            (Oracle.detection_to_string d));
+      Alcotest.(check bool)
+        "flipped oracle holds" true
+        (mr.Oracle.mr_findings = [])
+
+(* {1 VM dispatch: fused fast paths are observationally generic} *)
+
+let test_dispatch_differential () =
+  let prog = Gen.generate ~seed:207 in
+  List.iter
+    (fun tag ->
+      let base = Oracle.variant_setup tag in
+      let fast = Harness.run_sources base prog.Gen.p_sources in
+      let gen =
+        Harness.run_sources
+          { base with Harness.dispatch = Harness.Generic }
+          prog.Gen.p_sources
+      in
+      Alcotest.(check string)
+        (tag ^ " output") fast.Harness.output gen.Harness.output;
+      Alcotest.(check int)
+        (tag ^ " cycles") fast.Harness.cycles gen.Harness.cycles;
+      Alcotest.(check (list (pair string int)))
+        (tag ^ " counters")
+        (Harness.counters_alist fast)
+        (Harness.counters_alist gen))
+    [ "O3+sb"; "O3+lf" ]
+
+(* {1 Optimizer regressions flushed out by fuzzing}
+
+   Two CFG-update bugs shared a shape: a transformation that splits or
+   merges blocks renamed phi predecessors in the successors of the
+   rewritten block, but missed the case where the rewritten block is its
+   own successor (a do-while body looping back to itself).  Inline left
+   the loop-header phis naming the pre-split backedge (fuzz seed 16,
+   caught by the IR verifier); simplifycfg's merge then recreated the
+   same stale-label shape and the miscompile surfaced as an infinite
+   loop at -O3 (fuzz seed 18).  Pinned here end-to-end via output
+   identity of the distilled program across levels; the IR-level twins
+   live in test_passes.ml. *)
+
+let test_inlined_call_in_do_while_loop () =
+  let src =
+    "long helper3(long x) {\n\
+    \  long acc = x % 100;\n\
+    \  acc += x;\n\
+    \  return acc;\n\
+     }\n\
+     int main(void) {\n\
+    \  long acc = 3;\n\
+    \  long i15 = 0;\n\
+    \  do {\n\
+    \    acc += helper3(acc);\n\
+    \    i15 = i15 + 1;\n\
+    \  } while (i15 < 3);\n\
+    \  print_int(acc);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let sources = [ Mi_bench_kit.Bench.src "m" src ] in
+  let ref_run = Harness.run_sources Oracle.reference sources in
+  Alcotest.(check bool)
+    "reference exits 0" true
+    (ref_run.Harness.outcome = Mi_vm.Interp.Exited 0);
+  List.iter
+    (fun tag ->
+      let r = Harness.run_sources (Oracle.variant_setup tag) sources in
+      (match r.Harness.outcome with
+      | Mi_vm.Interp.Exited 0 -> ()
+      | o -> Alcotest.failf "%s: %s" tag (outcome_str o));
+      Alcotest.(check string)
+        (tag ^ " output") ref_run.Harness.output r.Harness.output)
+    [ "O1"; "O3"; "O3+sb"; "O3+lf" ]
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "safe oracle",
+        [
+          Alcotest.test_case "seed block 201..220, full matrix" `Slow
+            test_safe_block;
+        ] );
+      ( "unsafe mutants",
+        [
+          Alcotest.test_case "seed block 201..220, mutants 201..212" `Slow
+            test_mutant_block;
+          Alcotest.test_case "both checkers report, equal check counts"
+            `Quick test_mutant_both_checkers_report;
+          Alcotest.test_case "size-less extern whitelist" `Slow
+            test_whitelisted_extern_mutant;
+        ] );
+      ( "vm dispatch",
+        [
+          Alcotest.test_case "fast vs generic twin runs" `Quick
+            test_dispatch_differential;
+        ] );
+      ( "fuzz-found regressions",
+        [
+          Alcotest.test_case "inline into do-while self-loop" `Quick
+            test_inlined_call_in_do_while_loop;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Shrinker tests: structural reduction under a failure predicate is
+   deterministic, respects the predicate at every step, and — driven by
+   the campaign engine with an injected [del-check] plan — turns a
+   seeded known failure into a bounded-size repro on disk. *)
+
+module Bench = Mi_bench_kit.Bench
+module Gen = Mi_fuzz.Gen
+module Shrink = Mi_fuzz.Shrink
+module Fuzz = Mi_fuzz.Fuzz
+module Fault = Mi_faultkit.Fault
+
+let code sources =
+  String.concat "\n" (List.map (fun (s : Bench.source) -> s.Bench.code) sources)
+
+(* {1 Unit: minimize against a syntactic predicate} *)
+
+let big_src =
+  "int g[10];\n\
+   long helper(long x) {\n\
+  \  long acc = x * 3;\n\
+  \  acc += 7;\n\
+  \  return acc;\n\
+   }\n\
+   int main(void) {\n\
+  \  long acc = 0;\n\
+  \  long a5[4];\n\
+  \  long i;\n\
+  \  for (i = 0; i < 4; i++) a5[i] = i * 2;\n\
+  \  acc += helper(a5[1]);\n\
+  \  g[3] = 9;\n\
+  \  a5[33] = 1;\n\
+  \  print_int(acc);\n\
+  \  return 0;\n\
+   }\n"
+
+let test_minimize_keeps_predicate () =
+  let pred srcs =
+    (* the defective access must survive every reduction step *)
+    let c = code srcs in
+    let needle = "a5[33]" in
+    let rec find i =
+      i + String.length needle <= String.length c
+      && (String.sub c i (String.length needle) = needle || find (i + 1))
+    in
+    find 0
+  in
+  let sources = [ Bench.src "main" big_src ] in
+  let min1 = Shrink.minimize ~pred sources in
+  Alcotest.(check bool) "predicate holds on result" true (pred min1);
+  let lines src =
+    List.fold_left
+      (fun acc (s : Bench.source) -> acc + Shrink.line_count s.Bench.code)
+      0 src
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank (%d -> %d lines)" (lines sources) (lines min1))
+    true
+    (lines min1 < lines sources);
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded repro (%d lines)" (lines min1))
+    true (lines min1 <= 10);
+  (* deterministic: a second run reduces to the same bytes *)
+  let min2 = Shrink.minimize ~pred sources in
+  Alcotest.(check string) "deterministic" (code min1) (code min2);
+  (* every emitted candidate parses: the result must round-trip *)
+  List.iter
+    (fun (s : Bench.source) ->
+      ignore (Mi_minic.Cparse.parse_program s.Bench.code))
+    min1
+
+let test_minimize_bails_when_predicate_fails () =
+  let sources = [ Bench.src "main" big_src ] in
+  let out = Shrink.minimize ~pred:(fun _ -> false) sources in
+  Alcotest.(check string) "returns input unchanged" (code sources) (code out)
+
+(* {1 End-to-end: del-check inject -> missed violation -> shrunk repro} *)
+
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let faults =
+  match Fault.parse "del-check" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let run_seeded_campaign dir =
+  rm_rf dir;
+  let r =
+    Fuzz.run
+      (Fuzz.campaign ~jobs:2 ~faults ~repro_dir:dir ~seeds:(7, 7)
+         ~mutants:(7, 7) ())
+  in
+  (* deleting every check makes both instrumentations miss the mutant *)
+  let _, _, missed = Fuzz.count_mutants r.Fuzz.r_mutants in
+  Alcotest.(check int) "both detections missed" 2 missed;
+  Alcotest.(check bool) "campaign not ok" false (Fuzz.ok r);
+  r
+
+let test_injected_failure_shrinks () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "mi-fuzz-shrink1" in
+  let r = run_seeded_campaign dir in
+  (match r.Fuzz.r_repros with
+  | [] -> Alcotest.fail "no repro emitted"
+  | repros ->
+      List.iter
+        (fun (rp : Fuzz.repro) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s shrunk" rp.Fuzz.rp_slug)
+            true rp.Fuzz.rp_shrunk;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bounded (%d lines)" rp.Fuzz.rp_slug
+               rp.Fuzz.rp_lines)
+            true
+            (rp.Fuzz.rp_lines <= 25);
+          let d = Filename.concat dir rp.Fuzz.rp_slug in
+          Alcotest.(check bool) "INFO.txt present" true
+            (Sys.file_exists (Filename.concat d "INFO.txt"));
+          Alcotest.(check bool) "main.c present" true
+            (Sys.file_exists (Filename.concat d "main.c")))
+        repros);
+  rm_rf dir
+
+let test_shrunk_repro_deterministic () =
+  let dir1 = Filename.concat (Filename.get_temp_dir_name ()) "mi-fuzz-shrink2" in
+  let dir2 = Filename.concat (Filename.get_temp_dir_name ()) "mi-fuzz-shrink3" in
+  let r1 = run_seeded_campaign dir1 in
+  let r2 = run_seeded_campaign dir2 in
+  let slugs r =
+    List.map (fun (rp : Fuzz.repro) -> rp.Fuzz.rp_slug) r.Fuzz.r_repros
+  in
+  Alcotest.(check (list string)) "same repro slugs" (slugs r1) (slugs r2);
+  List.iter
+    (fun slug ->
+      let a = read_file (Filename.concat (Filename.concat dir1 slug) "main.c") in
+      let b = read_file (Filename.concat (Filename.concat dir2 slug) "main.c") in
+      Alcotest.(check string) (slug ^ " minimized bytes") a b)
+    (slugs r1);
+  rm_rf dir1;
+  rm_rf dir2
+
+let () =
+  Alcotest.run "fuzz-shrink"
+    [
+      ( "minimize",
+        [
+          Alcotest.test_case "reduces while predicate holds" `Quick
+            test_minimize_keeps_predicate;
+          Alcotest.test_case "bails when predicate never holds" `Quick
+            test_minimize_bails_when_predicate_fails;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "del-check inject shrinks to bounded repro"
+            `Slow test_injected_failure_shrinks;
+          Alcotest.test_case "minimized repro deterministic" `Slow
+            test_shrunk_repro_deterministic;
+        ] );
+    ]

@@ -523,6 +523,93 @@ last:
     (List.length (Irmod.find_func_exn m "f").blocks)
 
 (* ------------------------------------------------------------------ *)
+(* Self-loop phi regressions (found by differential fuzzing)           *)
+(* ------------------------------------------------------------------ *)
+
+let no_verify_errors what m =
+  match Mi_mir.Verify.verify_module m with
+  | [] -> ()
+  | es ->
+      Alcotest.failf "%s: %s" what
+        (String.concat "; " (List.map Mi_mir.Verify.error_to_string es))
+
+(* fuzz seed 16: inlining a call inside a do-while body splits the block,
+   so the backedge into the loop-header phis now originates from the
+   continuation block — including when the header is the split block
+   itself (a self-loop).  The stale label corrupted the phi. *)
+let test_inline_into_self_loop_renames_phi () =
+  let m =
+    parse
+      {|
+module "t"
+func @inc(%x.0 : i64) -> i64 {
+entry:
+  %r.1 = add i64 %x.0, 1:i64
+  ret %r.1
+}
+func @f() -> i64 {
+entry:
+  br loop
+loop:
+  %i.2 = phi i64 [entry 0:i64] [loop %i.4]
+  %t.3 = call @inc(%i.2) : i64
+  %i.4 = add i64 %i.2, %t.3
+  %c.5 = icmp slt i64 %i.4, 10:i64
+  cbr %c.5, loop, exit
+exit:
+  ret %i.4
+}
+|}
+  in
+  ignore (P.Inline.run m);
+  no_verify_errors "after inline" m;
+  Mi_analysis.Domcheck.assert_valid m;
+  Alcotest.(check int) "call inlined" 0 (count_instrs m (has_call "inc"))
+
+(* fuzz seed 18: merging a straight-line chain back into a loop header
+   whose terminator closes the loop left the header's phis naming the
+   absorbed block; downstream passes then folded the exit edge away and
+   the function span into an infinite loop at -O3. *)
+let test_simplifycfg_merge_into_loop_header_renames_phi () =
+  let m =
+    parse
+      {|
+module "t"
+func @f() -> i64 {
+entry:
+  br loop
+loop:
+  %i.1 = phi i64 [entry 0:i64] [tail %i.2]
+  br tail
+tail:
+  %i.2 = add i64 %i.1, 1:i64
+  %c.3 = icmp slt i64 %i.2, 10:i64
+  cbr %c.3, loop, exit
+exit:
+  ret %i.2
+}
+|}
+  in
+  ignore (P.Simplifycfg.run_func (Irmod.find_func_exn m "f"));
+  no_verify_errors "after simplifycfg" m;
+  Mi_analysis.Domcheck.assert_valid m;
+  let f = Irmod.find_func_exn m "f" in
+  (* the chain merged: the loop is now a self-loop whose phis name the
+     merged block itself *)
+  Alcotest.(check int) "blocks after merge" 3 (List.length f.blocks);
+  let loop_blk =
+    List.find (fun (b : Block.t) -> b.Block.label = "loop") f.blocks
+  in
+  List.iter
+    (fun (p : Instr.phi) ->
+      List.iter
+        (fun (l, _) ->
+          if l <> "entry" && l <> "loop" then
+            Alcotest.failf "stale phi incoming label %s" l)
+        p.Instr.incoming)
+    loop_blk.Block.phis
+
+(* ------------------------------------------------------------------ *)
 (* Semantic preservation over the whole pipeline                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -705,6 +792,11 @@ let () =
           Alcotest.test_case "folds constant branch" `Quick
             test_simplifycfg_folds_constant_branch;
           Alcotest.test_case "merges chains" `Quick test_simplifycfg_merges_chain;
+          Alcotest.test_case "inline into self-loop renames phi (fuzz seed 16)"
+            `Quick test_inline_into_self_loop_renames_phi;
+          Alcotest.test_case
+            "merge into loop header renames phi (fuzz seed 18)" `Quick
+            test_simplifycfg_merge_into_loop_header_renames_phi;
         ] );
       ( "semantic-preservation",
         List.map
