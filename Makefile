@@ -1,4 +1,4 @@
-.PHONY: all build test fmt ci bench clean
+.PHONY: all build test fmt ci bench report clean
 
 all: build
 
@@ -18,6 +18,14 @@ ci:
 
 bench:
 	dune exec bench/main.exe
+
+# end-to-end observability demo: run one experiment with a persistent
+# profile (check-site hits + VM coverage), then render the offline
+# report — hottest checks, per-function coverage, never-executed sites
+report:
+	dune exec bin/experiments.exe -- --benchmark 470lbm \
+		--profile-out /tmp/mi-report-demo.json hotchecks
+	dune exec bin/mireport.exe -- report /tmp/mi-report-demo.json --top 10
 
 clean:
 	dune clean

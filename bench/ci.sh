@@ -30,8 +30,11 @@ chaos1=$(mktemp /tmp/mi-ci-chaos1-XXXXXX.txt)
 chaos2=$(mktemp /tmp/mi-ci-chaos2-XXXXXX.txt)
 fuzz1=$(mktemp /tmp/mi-ci-fuzz1-XXXXXX.json)
 fuzz2=$(mktemp /tmp/mi-ci-fuzz2-XXXXXX.json)
+prof1=$(mktemp /tmp/mi-ci-prof1-XXXXXX.json)
+prof2=$(mktemp /tmp/mi-ci-prof2-XXXXXX.json)
+flame=$(mktemp /tmp/mi-ci-flame-XXXXXX.txt)
 trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2" \
-     "$fuzz1" "$fuzz2"' EXIT
+     "$fuzz1" "$fuzz2" "$prof1" "$prof2" "$flame"' EXIT
 # the binary re-parses its own output before exiting, so a zero status
 # already certifies well-formed JSON; double-check with python3 if present
 dune exec bin/experiments.exe -- --benchmark 470lbm -j 1 --json "$out" \
@@ -134,5 +137,52 @@ dune exec bin/mifuzz.exe -- --seeds 1..500 --mutants 1..100 -j 1 \
     --out "$fuzz2" >/dev/null
 cmp "$fuzz1" "$fuzz2"
 echo "fuzz report byte-identical across -j"
+
+# the persistent-profile determinism gate: the same experiments with
+# coverage-carrying profile export at -j 4 and -j 1 must write
+# byte-identical profile files, and mi-report's diff mode must find no
+# regression between them (exit 0 — the CI-gating contract).  No shared
+# --cache-dir here: a profile also records compile-phase span counts and
+# static.* counters, so byte-identity is guaranteed for runs with equal
+# starting cache state (a warm cache legitimately compiles nothing).
+echo "== profile determinism (-j 4 vs -j 1) + mi-report diff =="
+dune exec bin/experiments.exe -- --benchmark 470lbm -j 4 \
+    --profile-out "$prof1" hotchecks >/dev/null
+dune exec bin/experiments.exe -- --benchmark 470lbm -j 1 \
+    --profile-out "$prof2" hotchecks >/dev/null
+cmp "$prof1" "$prof2"
+dune exec bin/mireport.exe -- diff "$prof1" "$prof2" >/dev/null
+echo "profiles byte-identical across -j, mi-report diff clean"
+dune exec bin/mireport.exe -- report "$prof1" --top 5 --flame "$flame" \
+    >/dev/null
+test -s "$flame"
+echo "mi-report report + flamegraph export OK"
+
+# the coverage-overhead gate: block/edge recording on the hot path must
+# keep at least min_ratio (BENCH_coverage.json) of the plain engine
+# throughput.  Best of three runs per mode: the workload is fixed, so
+# the fastest run is the least-noise estimate on a shared machine.
+echo "== coverage overhead gate (>= min_ratio of plain vm-steps) =="
+min_ratio=$(sed -n 's/.*"min_ratio": \([0-9.]*\).*/\1/p' BENCH_coverage.json)
+best_sps() {
+    best=0
+    for _ in 1 2 3; do
+        line=$(dune exec bench/main.exe -- "$1")
+        s=$(echo "$line" | sed -n 's/.*steps_per_sec=\([0-9]*\).*/\1/p')
+        [ "$s" -gt "$best" ] && best=$s
+    done
+    echo "$best"
+}
+plain_sps=$(best_sps --vm-steps)
+cov_sps=$(best_sps --vm-steps-cov)
+echo "plain: $plain_sps steps/sec, coverage: $cov_sps steps/sec" \
+     "(min ratio: $min_ratio)"
+awk -v cov="$cov_sps" -v plain="$plain_sps" -v r="$min_ratio" 'BEGIN {
+    if (plain + 0 <= 0 || cov + 0 < r * plain) {
+        printf "coverage overhead regression: %s < %s * %s\n", cov, r, plain
+        exit 1
+    }
+}'
+echo "coverage recording overhead within budget"
 
 echo "== ci OK =="

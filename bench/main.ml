@@ -197,9 +197,17 @@ let run_microbenchmarks () =
    deterministic — total steps per pass are a fixed number — which makes
    steps/sec a pure wall-clock measure of the execution engine.
    Machine-readable output: one "vm_steps: ..." line, parsed by
-   bench/ci.sh against the baseline recorded in BENCH_vm.json. *)
-let run_vm_steps () =
-  let h = Mi_bench_kit.Harness.create ~jobs:1 () in
+   bench/ci.sh against the baseline recorded in BENCH_vm.json.
+
+   [~coverage:true] runs the identical workload with a VM coverage
+   registry attached ("vm_steps_cov: ..."), so ci.sh can gate the
+   block/edge-recording overhead against BENCH_coverage.json. *)
+let run_vm_steps ?(coverage = false) () =
+  let h =
+    Mi_bench_kit.Harness.create ~jobs:1
+      ~obs:(Mi_obs.Obs.create ~coverage ())
+      ()
+  in
   let jobs =
     List.concat_map
       (fun b -> [ (E.sb_opt, b); (E.lf_opt, b) ])
@@ -226,9 +234,10 @@ let run_vm_steps () =
   let dt = Unix.gettimeofday () -. t0 in
   let total = reps * steps_per_pass in
   Printf.printf
-    "vm_steps: benches=%d steps_per_pass=%d reps=%d elapsed_s=%.3f \
+    "%s: benches=%d steps_per_pass=%d reps=%d elapsed_s=%.3f \
      steps_per_sec=%.0f\n\
      %!"
+    (if coverage then "vm_steps_cov" else "vm_steps")
     (List.length Mi_bench_kit.Suite.all)
     steps_per_pass reps dt
     (float_of_int total /. dt)
@@ -238,6 +247,7 @@ let () =
   let micro_only = List.mem "--micro-only" args in
   let reports_only = List.mem "--reports-only" args in
   if List.mem "--vm-steps" args then run_vm_steps ()
+  else if List.mem "--vm-steps-cov" args then run_vm_steps ~coverage:true ()
   else begin
     if not micro_only then regenerate_reports ();
     if not reports_only then run_microbenchmarks ()

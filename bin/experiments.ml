@@ -50,10 +50,12 @@ let write_csv dir name (report : E.report) =
     Printf.printf "(wrote %s)\n" path
   end
 
-(* write the collected reports as one JSON document, then re-parse it
-   with the strict parser: the output is guaranteed machine-readable or
-   the command fails *)
-let write_json path (reports : (string * E.report) list) =
+(* write the collected reports as one JSON document — with the session's
+   metrics snapshot alongside, so a single artifact captures results and
+   the observability that produced them — then re-parse it with the
+   strict parser: the output is guaranteed machine-readable or the
+   command fails *)
+let write_json path ~obs (reports : (string * E.report) list) =
   let doc =
     Json.Obj
       [
@@ -66,6 +68,7 @@ let write_json path (reports : (string * E.report) list) =
                      Json.Obj (("name", Json.Str name) :: fields)
                  | other -> other)
                reports) );
+        ("metrics", Mi_obs.Metrics.to_json obs.Mi_obs.Obs.metrics);
       ]
   in
   let s = Json.to_string doc in
@@ -128,8 +131,12 @@ let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
               None)
         names
     in
+    ignore
+      (Mi_obs_cli.load_profile_in ~app:"mi-experiments" ocli
+        : Mi_obs.Profile.t option);
     let h =
-      Harness.create ~jobs ?cache_dir ~faults:fcli.Mi_fault_cli.faults
+      Harness.create ~jobs ?cache_dir ~obs:(Mi_obs_cli.create_obs ocli)
+        ~faults:fcli.Mi_fault_cli.faults
         ?job_timeout:fcli.Mi_fault_cli.job_timeout
         ~retries:fcli.Mi_fault_cli.retries ()
     in
@@ -149,7 +156,8 @@ let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
       selected reports;
     Option.iter
       (fun path ->
-        write_json path (List.map2 (fun (n, _) (_, r) -> (n, r)) selected reports))
+        write_json path ~obs:(Harness.obs h)
+          (List.map2 (fun (n, _) (_, r) -> (n, r)) selected reports))
       json_path;
     if ocli.Mi_obs_cli.profile then begin
       let cs = Harness.cache_stats h in

@@ -44,7 +44,8 @@ let run_file ~ocli ~(fcli : Mi_fault_cli.t) file =
   (* one observability context across both approaches: counters are
      prefixed (sb./lf.) and sites carry their approach, so the registries
      compose; the trace then shows both compile+run pipelines *)
-  let obs = Mi_obs.Obs.create () in
+  let obs = Mi_obs_cli.create_obs ocli in
+  ignore (Mi_obs_cli.load_profile_in ~app:"memsafe" ocli : Mi_obs.Profile.t option);
   let bad = ref false in
   let exhausted = ref false in
   List.iter

@@ -73,7 +73,8 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
             Printf.eprintf "[mic] diagnose: %s\n" (Mi_core.Diagnose.to_string d))
           ds
   end;
-  let obs = Mi_obs.Obs.create () in
+  let obs = Mi_obs_cli.create_obs ocli in
+  ignore (Mi_obs_cli.load_profile_in ~app:"mic" ocli : Mi_obs.Profile.t option);
   let finish_obs () = Mi_obs_cli.finish ~app:"mic" ocli obs in
   let instrument =
     Option.map
@@ -95,7 +96,7 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
   if not no_run then begin
     let st =
       Mi_vm.State.create ~metrics:obs.Mi_obs.Obs.metrics
-        ~sites:obs.Mi_obs.Obs.sites ()
+        ~sites:obs.Mi_obs.Obs.sites ?coverage:obs.Mi_obs.Obs.coverage ()
     in
     Mi_vm.Builtins.install st;
     let alloc_global = ref None in

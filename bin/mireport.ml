@@ -1,0 +1,138 @@
+(** Offline reporting over persistent profiles.
+
+    {v
+    mireport report run.json                 # hot sites + coverage
+    mireport report run.json --top 10
+    mireport report run.json --flame out.folded   # flamegraph export
+    mireport diff old.json new.json          # CI regression gate
+    mireport diff old.json new.json --threshold 10
+    v}
+
+    [report] renders one profile: the top-N hottest check sites with
+    source attribution, the per-function block/edge coverage summary
+    (including never-executed check sites), and — with [--flame] — the
+    span counts as collapsed stacks ("path count" lines) ready for
+    [flamegraph.pl] or speedscope.
+
+    [diff] compares a current profile against a baseline and prints
+    every flagged regression: functions whose hit-block or hit-edge
+    coverage dropped by more than the threshold, and check sites whose
+    dynamic hit count grew by more than the threshold.  Exit status 0
+    when clean, 1 when regressions were flagged (the CI gate), 2 on
+    unreadable or invalid profiles. *)
+
+open Cmdliner
+module Profile = Mi_obs.Profile
+module Site = Mi_obs.Site
+
+let load_or_die path =
+  try Profile.load path
+  with Profile.Invalid_profile msg ->
+    Printf.eprintf "mireport: invalid profile %s: %s\n" path msg;
+    exit 2
+
+(* --- report -------------------------------------------------------- *)
+
+let write_flame path (p : Profile.t) =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "mireport: cannot write %s: %s\n" path msg;
+      exit 2
+  in
+  List.iter
+    (fun (stack, count) -> Printf.fprintf oc "%s %d\n" stack count)
+    p.Profile.pr_spans;
+  close_out oc;
+  Printf.printf "(wrote %s, %d stacks)\n" path (List.length p.Profile.pr_spans)
+
+let run_report file top flame =
+  let p = load_or_die file in
+  Printf.printf "== profile %s ==\n" file;
+  (match p.Profile.pr_sites with
+  | [] -> print_string "no check sites recorded (uninstrumented run?)\n"
+  | sites -> print_string (Site.render ~n:top sites));
+  print_newline ();
+  print_string (Profile.coverage_summary p);
+  Option.iter (fun path -> write_flame path p) flame;
+  0
+
+(* --- diff ---------------------------------------------------------- *)
+
+let run_diff baseline_file current_file threshold =
+  let baseline = load_or_die baseline_file in
+  let current = load_or_die current_file in
+  match Profile.diff ~threshold:(threshold /. 100.) ~baseline current with
+  | [] ->
+      Printf.printf "no regressions: %s vs %s (threshold %g%%)\n"
+        current_file baseline_file threshold;
+      0
+  | changes ->
+      Printf.printf "%d regression(s): %s vs %s (threshold %g%%)\n"
+        (List.length changes) current_file baseline_file threshold;
+      List.iter
+        (fun c -> Printf.printf "  %s\n" (Profile.change_to_string c))
+        changes;
+      1
+
+(* --- command line -------------------------------------------------- *)
+
+let profile_pos n docv =
+  Arg.(required & pos n (some file) None & info [] ~docv)
+
+let top_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "top" ] ~docv:"N"
+        ~doc:"number of hot check sites to print (default 20)")
+
+let flame_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame" ] ~docv:"FILE"
+        ~doc:
+          "write the span counts as collapsed stacks (one \"path count\" \
+           line each), the input format of flamegraph.pl and speedscope")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "threshold" ] ~docv:"PCT"
+        ~doc:
+          "regression threshold in percent (default 5): flag coverage \
+           drops and hit-count growth beyond this fraction of the \
+           baseline")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "render one profile: hot check sites, per-function coverage, \
+          never-executed sites, optional flamegraph export")
+    Term.(const run_report $ profile_pos 0 "PROFILE.json" $ top_arg $ flame_arg)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "flag regressions of NEW against OLD: coverage drops and \
+          hit-count growth over the threshold; exit 1 when any are found"
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"no regressions flagged"
+         :: Cmd.Exit.info 1 ~doc:"at least one regression was flagged"
+         :: Cmd.Exit.info 2 ~doc:"a profile file was unreadable or invalid"
+         :: Cmd.Exit.defaults))
+    Term.(
+      const run_diff $ profile_pos 0 "OLD.json" $ profile_pos 1 "NEW.json"
+      $ threshold_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "mireport"
+       ~doc:
+         "offline reports over persistent profiles written by \
+          --profile-out (mic, memsafe, mi-experiments)")
+    [ report_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval' cmd)

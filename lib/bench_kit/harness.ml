@@ -78,6 +78,9 @@ type run = {
   profile : Mi_obs.Site.snapshot list;
       (** per-check-site attribution ({!Mi_obs.Site}); empty when the
           setup is uninstrumented *)
+  coverage : Mi_obs.Coverage.snapshot list;
+      (** per-function block/edge coverage; empty unless the obs context
+          carries a coverage registry ([Obs.create ~coverage:true]) *)
 }
 
 (* counters are sorted by State.counters_alist; binary search replaces
@@ -145,7 +148,7 @@ let execute ?(faults = Fault.none) ?deadline ~obs (setup : setup)
   let tracer = obs.Obs.trace in
   let st =
     Mi_vm.State.create ~seed:setup.seed ~metrics:obs.Obs.metrics
-      ~sites:obs.Obs.sites ()
+      ~sites:obs.Obs.sites ?coverage:obs.Obs.coverage ()
   in
   (* must precede [Interp.load]: fusion is a load-time decision *)
   (match setup.dispatch with
@@ -217,6 +220,10 @@ let execute ?(faults = Fault.none) ?deadline ~obs (setup : setup)
     static_stats;
     program_instrs;
     profile = Mi_obs.Site.snapshot obs.Obs.sites;
+    coverage =
+      (match obs.Obs.coverage with
+      | None -> []
+      | Some c -> Mi_obs.Coverage.snapshot c);
   }
 
 (** Compile the translation units under [setup], link, execute.  Every
@@ -468,8 +475,9 @@ let run_cached ?deadline t ~obs (setup : setup) (b : Bench.t) : run =
     how many domains ran, or how the scheduler interleaved them. *)
 (* One attempt of one job, on a fresh obs context.  Injected job faults
    fire first: a crash raises before any work, a hang busy-waits (still
-   honouring the wall-clock deadline) and then runs the job normally. *)
-let attempt_job t ~job_desc (setup : setup) (b : Bench.t) : Obs.t * run =
+   honouring the wall-clock deadline) and then runs the job normally.
+   [wid] is the worker index, used only for trace thread labels. *)
+let attempt_job t ~job_desc ~wid (setup : setup) (b : Bench.t) : Obs.t * run =
   let deadline =
     Option.map (fun budget -> (Unix.gettimeofday () +. budget, budget))
       t.s_job_timeout
@@ -486,7 +494,9 @@ let attempt_job t ~job_desc (setup : setup) (b : Bench.t) : Obs.t * run =
         Domain.cpu_relax ()
       done
   | None -> ());
-  let obs = Obs.create () in
+  let obs = Obs.create ~coverage:(Option.is_some t.s_obs.Obs.coverage) () in
+  Mi_obs.Trace.set_thread obs.Obs.trace ~tid:(wid + 1)
+    ~name:(if wid = 0 then "main" else Printf.sprintf "worker-%d" wid);
   (obs, run_cached ?deadline t ~obs setup b)
 
 (* Classify an exception that escaped a job attempt.  Reasons must be
@@ -553,7 +563,7 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
   let obss : Obs.t option array = Array.make n None in
   let retried = Array.make n 0 in
   let next = Atomic.make 0 in
-  let worker () =
+  let worker wid =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -564,7 +574,7 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
            EVERYTHING, so no exception ever escapes the worker and the
            pool can neither orphan queued jobs nor hang Domain.join *)
         let rec attempt k =
-          match attempt_job t ~job_desc setup b with
+          match attempt_job t ~job_desc ~wid setup b with
           | obs, r ->
               obss.(i) <- Some obs;
               retried.(i) <- k;
@@ -587,12 +597,16 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
     loop ()
   in
   let workers = min t.s_jobs (max 1 n) in
-  if workers <= 1 then worker ()
+  if workers <= 1 then worker 0
   else begin
-    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    let domains =
+      List.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
     (* even if the main-thread worker raises (it cannot, see above, but
        defence in depth), every spawned domain is still joined *)
-    Fun.protect ~finally:(fun () -> List.iter Domain.join domains) worker
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join domains)
+      (fun () -> worker 0)
   end;
   (* fold per-job results into the session, strictly in job order *)
   Array.iteri

@@ -56,6 +56,12 @@ type run = {
   program_instrs : int;  (** static instruction count after everything *)
   profile : Mi_obs.Site.snapshot list;
       (** per-check-site attribution; empty when uninstrumented *)
+  coverage : Mi_obs.Coverage.snapshot list;
+      (** per-function block/edge coverage; empty unless the run's obs
+          context carries a coverage registry
+          ([Obs.create ~coverage:true]).  Recording is a pure side band:
+          cycles, steps and counters are identical with and without
+          it. *)
 }
 
 val counter : run -> string -> int

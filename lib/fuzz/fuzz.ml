@@ -62,6 +62,11 @@ type report = {
   r_findings : Oracle.finding list;  (** safe-seed oracle violations *)
   r_mutants : Oracle.mutant_result list;
   r_coverage : string list;  (** union of grammar productions exercised *)
+  r_vm_blocks : int * int;  (** corpus VM coverage: blocks (hit, total) *)
+  r_vm_edges : int * int;  (** corpus VM coverage: edges (hit, total) *)
+  r_boost : int list;
+      (** generator features boosted in the second wave because their
+          first-wave seeds discovered the most new coverage cells *)
   r_repros : repro list;
 }
 
@@ -241,37 +246,139 @@ let inject_arg faults =
   if Fault.is_none faults then ""
   else Printf.sprintf " --inject '%s'" (Fault.to_string faults)
 
+(* ------------------------------------------------------------------ *)
+(* Coverage feedback                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* stable textual key of a snapshot's function descriptor *)
+let geom_key (s : Mi_obs.Coverage.snapshot) =
+  s.Mi_obs.Coverage.cv_func ^ "/"
+  ^ String.concat "|"
+      (Array.to_list
+         (Array.map
+            (fun a ->
+              String.concat "," (List.map string_of_int (Array.to_list a)))
+            s.Mi_obs.Coverage.cv_succ))
+
+(* count the coverage cells (hit blocks + hit edges) of [snaps] not yet
+   in [seen], adding them — the "how much new ground did this seed
+   break" signal the scheduler feeds on *)
+let count_new_cells seen (snaps : Mi_obs.Coverage.snapshot list) =
+  let fresh = ref 0 in
+  List.iter
+    (fun (s : Mi_obs.Coverage.snapshot) ->
+      let g = geom_key s in
+      let tally tag hits =
+        Array.iteri
+          (fun i h ->
+            if h > 0 then begin
+              let key = Printf.sprintf "%s#%s%d" g tag i in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                incr fresh
+              end
+            end)
+          hits
+      in
+      tally "b" s.Mi_obs.Coverage.cv_block_hits;
+      tally "e" s.Mi_obs.Coverage.cv_edge_hits)
+    snaps;
+  !fresh
+
+(* features forced on in the second wave *)
+let n_boost = 3
+
 (** Run one campaign.  Deterministic for fixed campaign parameters:
-    results, report and repro contents are independent of [c_jobs]. *)
+    results, report and repro contents are independent of [c_jobs].
+
+    Safe seeds run in two waves.  The first half of the seed range runs
+    plain; each seed's uninstrumented [-O0] reference run reports the
+    VM blocks and edges it reached, and every seed is scored by how
+    many cells it was first to hit.  Those scores rank the generator's
+    features (a seed's score accrues to every feature it used), and the
+    second half of the range is generated with the top {!n_boost}
+    productive features forced on — coverage feedback closing the loop
+    from observed execution back into generation.  Boosting never
+    changes a seed's rng stream, only flag outcomes, so wave-2 programs
+    stay deterministic for (seed, boost). *)
 let run (c : campaign) : report =
   let h =
     Harness.create ~jobs:c.c_jobs
+      ~obs:(Mi_obs.Obs.create ~coverage:true ())
       ?faults:(if Fault.is_none c.c_faults then None else Some c.c_faults)
       ()
   in
-  let safe =
-    List.map (fun s -> Gen.generate ~seed:s) (seq c.c_seed_lo c.c_seed_hi)
+  let corpus = Mi_obs.Coverage.create () in
+  let seen = Hashtbl.create 1024 in
+  let scores = Array.make Gen.n_features 0 in
+  (* run one block of safe programs, judge them, and account the VM
+     coverage their reference runs discovered *)
+  let run_safe_wave progs =
+    let jobs = List.map Oracle.safe_jobs progs in
+    let results = Harness.run_jobs h (List.concat jobs) in
+    let rest = ref results in
+    let slice js =
+      let a, b = split_at (List.length js) !rest in
+      rest := b;
+      a
+    in
+    let findings =
+      List.concat
+        (List.map2
+           (fun (p : Gen.prog) js ->
+             let rs = slice js in
+             (* the reference run is the first job of the slice; its
+                coverage is dispatch- and instrumentation-independent *)
+             (match rs with
+             | Ok ref_run :: _ ->
+                 let snaps = ref_run.Harness.coverage in
+                 Mi_obs.Coverage.merge corpus
+                   (Mi_obs.Coverage.of_snapshots snaps);
+                 let fresh = count_new_cells seen snaps in
+                 List.iter
+                   (fun k -> scores.(k) <- scores.(k) + fresh)
+                   p.Gen.p_features
+             | _ -> ());
+             Oracle.judge_safe p rs)
+           progs jobs)
+    in
+    assert (!rest = []);
+    findings
   in
+  let all_seeds = seq c.c_seed_lo c.c_seed_hi in
+  let w1, w2 = split_at ((List.length all_seeds + 1) / 2) all_seeds in
+  let safe1 = List.map (fun s -> Gen.generate ~seed:s ()) w1 in
+  let findings1 = run_safe_wave safe1 in
+  let boost =
+    if w2 = [] then []
+    else begin
+      let ranked =
+        List.sort
+          (fun (ka, sa) (kb, sb) ->
+            if sb <> sa then compare sb sa else compare ka kb)
+          (Array.to_list (Array.mapi (fun k s -> (k, s)) scores))
+      in
+      let top, _ = split_at n_boost ranked in
+      List.sort compare
+        (List.filter_map (fun (k, s) -> if s > 0 then Some k else None) top)
+    end
+  in
+  let safe2 = List.map (fun s -> Gen.generate ~boost ~seed:s ()) w2 in
+  let findings2 = if safe2 = [] then [] else run_safe_wave safe2 in
+  let safe = safe1 @ safe2 in
+  let safe_findings = findings1 @ findings2 in
   let mutants =
     List.map
-      (fun s -> Gen.mutate (Gen.generate ~seed:s) ~mseed:0)
+      (fun s -> Gen.mutate (Gen.generate ~seed:s ()) ~mseed:0)
       (seq c.c_mutant_lo c.c_mutant_hi)
   in
-  let safe_jobs = List.map Oracle.safe_jobs safe in
   let mutant_jobs = List.map Oracle.mutant_jobs mutants in
-  let results =
-    Harness.run_jobs h (List.concat safe_jobs @ List.concat mutant_jobs)
-  in
-  (* hand each case its slice of the result list, in job order *)
-  let rest = ref results in
+  let mresults = Harness.run_jobs h (List.concat mutant_jobs) in
+  let rest = ref mresults in
   let slice jobs =
     let a, b = split_at (List.length jobs) !rest in
     rest := b;
     a
-  in
-  let safe_findings =
-    List.concat
-      (List.map2 (fun p jobs -> Oracle.judge_safe p (slice jobs)) safe safe_jobs)
   in
   let mutant_results =
     List.map2
@@ -279,6 +386,7 @@ let run (c : campaign) : report =
       mutants mutant_jobs
   in
   assert (!rest = []);
+  let vm = Mi_obs.Coverage.totals corpus in
   (* shrink and emit failing cases, capped, in deterministic order *)
   let repros =
     match c.c_repro_dir with
@@ -346,6 +454,9 @@ let run (c : campaign) : report =
     r_findings = safe_findings;
     r_mutants = mutant_results;
     r_coverage = coverage safe;
+    r_vm_blocks = (vm.Mi_obs.Coverage.tt_blocks_hit, vm.Mi_obs.Coverage.tt_blocks);
+    r_vm_edges = (vm.Mi_obs.Coverage.tt_edges_hit, vm.Mi_obs.Coverage.tt_edges);
+    r_boost = boost;
     r_repros = repros;
   }
 
@@ -372,8 +483,10 @@ let missed_total r =
 let ok r = r.r_findings = [] && missed_total r = 0
 
 (** Merge two reports from consecutive blocks (the [--minutes] soak
-    loop).  Seed ranges are unioned as an envelope. *)
+    loop).  Seed ranges are unioned as an envelope; VM coverage sums
+    block-wise (each block registered its functions independently). *)
 let merge a b =
+  let sum2 (h1, t1) (h2, t2) = (h1 + h2, t1 + t2) in
   {
     r_seed_lo = min a.r_seed_lo b.r_seed_lo;
     r_seed_hi = max a.r_seed_hi b.r_seed_hi;
@@ -384,6 +497,9 @@ let merge a b =
     r_findings = a.r_findings @ b.r_findings;
     r_mutants = a.r_mutants @ b.r_mutants;
     r_coverage = List.sort_uniq String.compare (a.r_coverage @ b.r_coverage);
+    r_vm_blocks = sum2 a.r_vm_blocks b.r_vm_blocks;
+    r_vm_edges = sum2 a.r_vm_edges b.r_vm_edges;
+    r_boost = List.sort_uniq compare (a.r_boost @ b.r_boost);
     r_repros = a.r_repros @ b.r_repros;
   }
 
@@ -414,6 +530,13 @@ let render (r : report) : string =
   Printf.bprintf b "grammar coverage: %d/%d productions\n"
     (List.length r.r_coverage)
     (List.length Gen.all_productions);
+  (let bh, bt = r.r_vm_blocks and eh, et = r.r_vm_edges in
+   Printf.bprintf b "VM coverage: %d/%d blocks, %d/%d edges%s\n" bh bt eh et
+     (match r.r_boost with
+     | [] -> ""
+     | ks ->
+         Printf.sprintf " (boosted features: %s)"
+           (String.concat "," (List.map string_of_int ks))));
   List.iter
     (fun (rp : repro) ->
       Printf.bprintf b "repro %s (%d lines%s): %s\n" rp.rp_slug rp.rp_lines
@@ -473,6 +596,15 @@ let report_to_json (r : report) : Json.t =
                    r.r_mutants) );
           ] );
       ("coverage", Json.List (List.map (fun p -> Json.Str p) r.r_coverage));
+      ( "vm_coverage",
+        Json.Obj
+          [
+            ("blocks_hit", Json.Int (fst r.r_vm_blocks));
+            ("blocks_total", Json.Int (snd r.r_vm_blocks));
+            ("edges_hit", Json.Int (fst r.r_vm_edges));
+            ("edges_total", Json.Int (snd r.r_vm_edges));
+            ("boost", Json.List (List.map (fun k -> Json.Int k) r.r_boost));
+          ] );
       ( "repros",
         Json.List
           (List.map
@@ -540,6 +672,8 @@ let register_experiment () =
                       ("missed", float_of_int missed);
                       ( "coverage",
                         float_of_int (List.length r.r_coverage) );
+                      ("vm_blocks", float_of_int (fst r.r_vm_blocks));
+                      ("vm_edges", float_of_int (fst r.r_vm_edges));
                     ];
                 };
               ];

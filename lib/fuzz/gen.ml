@@ -67,6 +67,10 @@ type prog = {
   p_sources : Bench.source list;
   p_sites : site list;
   p_productions : string list;  (** sorted, deduplicated *)
+  p_features : int list;
+      (** enabled feature indices ([0..n_features-1]), sorted — the
+          campaign driver scores these against the VM coverage each seed
+          discovers and boosts the winners ({!generate}'s [boost]) *)
 }
 
 (** The full production catalog.  The grammar-coverage test asserts that
@@ -395,11 +399,22 @@ let emit_init_loop ctx ~indent (s : site) =
    consecutive seeds hits every one *)
 let n_features = 10
 
-let feature ctx seed k p = seed mod n_features = k || Rng.float ctx.rng < p
+(* A boosted feature is forced on, but the random draw is still consumed
+   when the rotation alone would not decide, so the rng stream — and
+   with it everything generated after the flag — is identical with and
+   without the boost.  Boosting changes the flag, never the dice. *)
+let feature ctx ~boost seed k p =
+  if seed mod n_features = k then true
+  else
+    let hit = Rng.float ctx.rng < p in
+    hit || List.mem k boost
 
-(** Generate the program for [seed].  Deterministic: the same seed
-    always yields the same sources, sites and productions. *)
-let generate ~seed : prog =
+(** Generate the program for [seed].  Deterministic: the same seed and
+    [boost] always yield the same sources, sites and productions.
+    [boost] lists feature indices to force on — the campaign driver
+    passes the features whose seeds recently discovered new VM coverage
+    ({!prog.p_features} records what a seed ended up using). *)
+let generate ?(boost = []) ~seed () : prog =
   let ctx =
     {
       rng = Rng.create ((seed * 2) + 1);
@@ -415,7 +430,7 @@ let generate ~seed : prog =
       pfuncs = ref [];
     }
   in
-  let feat = feature ctx seed in
+  let feat = feature ctx ~boost seed in
   let use_ext = feat 0 0.5 in
   let use_struct = feat 1 0.6 in
   let use_nested = use_struct && feat 2 0.5 in
@@ -710,13 +725,29 @@ let generate ~seed : prog =
     List.sort_uniq String.compare
       (Hashtbl.fold (fun k () a -> k :: a) ctx.prods [])
   in
+  let features =
+    List.concat
+      (List.mapi
+         (fun k on -> if on then [ k ] else [])
+         [
+           use_ext; use_struct; use_nested; use_heap; use_intptr;
+           use_memcpy; use_memset; use_memmove; use_ptr_helper;
+           use_struct_cpy;
+         ])
+  in
   let sources =
     (match ext_unit with
     | Some code -> [ Bench.src "ext" code ]
     | None -> [])
     @ [ Bench.src "main" (Buffer.contents ctx.buf) ]
   in
-  { p_seed = seed; p_sources = sources; p_sites = sites; p_productions = productions }
+  {
+    p_seed = seed;
+    p_sources = sources;
+    p_sites = sites;
+    p_productions = productions;
+    p_features = features;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Unsafe mutants                                                      *)

@@ -49,12 +49,39 @@ let labeled name labels =
       in
       Printf.sprintf "%s{%s}" name (String.concat "," parts)
 
+(* One flat namespace, three kinds: registering the same name under two
+   different kinds would make [to_json] emit it twice with unrelated
+   meanings and would silently split what looks like one metric.  The
+   collision check runs only on first registration of a name, so the
+   hot-path increment stays a single hash lookup. *)
+let check_kind t name ~kind =
+  let clash other tbl = if Hashtbl.mem tbl name then Some other else None in
+  let taken =
+    match clash "counter" t.counters with
+    | Some _ as c when kind <> "counter" -> c
+    | _ -> (
+        match clash "gauge" t.gauges with
+        | Some _ as c when kind <> "gauge" -> c
+        | _ -> (
+            match clash "histogram" t.histograms with
+            | Some _ as c when kind <> "histogram" -> c
+            | _ -> None))
+  in
+  match taken with
+  | None -> ()
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered as a %s (wanted %s)"
+           name other kind)
+
 (* --- counters -------------------------------------------------------- *)
 
 let incr ?(by = 1) t name =
   match Hashtbl.find_opt t.counters name with
   | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters name (ref by)
+  | None ->
+      check_kind t name ~kind:"counter";
+      Hashtbl.add t.counters name (ref by)
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
@@ -70,7 +97,9 @@ let counters_alist t =
 let set_gauge t name v =
   match Hashtbl.find_opt t.gauges name with
   | Some r -> r := v
-  | None -> Hashtbl.add t.gauges name (ref v)
+  | None ->
+      check_kind t name ~kind:"gauge";
+      Hashtbl.add t.gauges name (ref v)
 
 let gauge t name =
   match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
@@ -91,6 +120,7 @@ let observe t name v =
     match Hashtbl.find_opt t.histograms name with
     | Some h -> h
     | None ->
+        check_kind t name ~kind:"histogram";
         let h =
           {
             h_count = 0;

@@ -12,6 +12,12 @@ val labeled : string -> (string * string) list -> string
 (** Canonical labeled-metric name: [name{k1="v1",k2="v2"}] with the
     label keys sorted. *)
 
+(** The namespace is flat across kinds: the first registration of a
+    name fixes whether it is a counter, a gauge or a histogram, and
+    registering it again under a different kind raises
+    [Invalid_argument] instead of silently keeping two unrelated
+    metrics under one name. *)
+
 (** {2 Counters} — monotonically increasing. *)
 
 val incr : ?by:int -> t -> string -> unit

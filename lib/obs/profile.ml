@@ -1,0 +1,334 @@
+(** Persistent profiles — see the interface for the format contract.
+    The serializer leans on {!Json.to_string}'s deterministic output;
+    the parser validates shape, version and internal consistency before
+    handing anything to a consumer. *)
+
+type t = {
+  pr_sites : Site.snapshot list;
+  pr_coverage : Coverage.snapshot list;
+  pr_counters : (string * int) list;
+  pr_gauges : (string * int) list;
+  pr_spans : (string * int) list;
+}
+
+let version = 1
+
+exception Invalid_profile of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_profile s)) fmt
+
+let of_obs (obs : Obs.t) =
+  {
+    pr_sites = Site.snapshot obs.Obs.sites;
+    pr_coverage =
+      (match obs.Obs.coverage with
+      | None -> []
+      | Some c -> Coverage.snapshot c);
+    pr_counters = Metrics.counters_alist obs.Obs.metrics;
+    pr_gauges = Metrics.gauges_alist obs.Obs.metrics;
+    pr_spans =
+      List.map (fun (path, n, _us) -> (path, n)) (Trace.collapsed obs.Obs.trace);
+  }
+
+(* --- serialization --------------------------------------------------- *)
+
+let alist_json l = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) l)
+
+let to_json p : Json.t =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("sites", Site.to_json p.pr_sites);
+      ("coverage", Json.List (List.map Coverage.snapshot_to_json p.pr_coverage));
+      ("counters", alist_json p.pr_counters);
+      ("gauges", alist_json p.pr_gauges);
+      ("spans", alist_json p.pr_spans);
+    ]
+
+let member k j =
+  match Json.member k j with Some v -> v | None -> fail "missing field %S" k
+
+let alist_of_json what = function
+  | Json.Obj kvs ->
+      List.map
+        (function
+          | k, Json.Int v -> (k, v)
+          | k, _ -> fail "%s: %S is not an integer" what k)
+        kvs
+  | _ -> fail "%s is not an object" what
+
+let site_of_json j =
+  let str k =
+    match member k j with
+    | Json.Str s -> s
+    | _ -> fail "site %S is not a string" k
+  in
+  let int k =
+    match member k j with
+    | Json.Int i when i >= 0 -> i
+    | _ -> fail "site %S is not a non-negative integer" k
+  in
+  {
+    Site.sn_id = int "id";
+    sn_func = str "func";
+    sn_construct = str "construct";
+    sn_approach = str "approach";
+    sn_hits = int "hits";
+    sn_wide = int "wide";
+    sn_cycles = int "cycles";
+  }
+
+let of_json j =
+  (match member "version" j with
+  | Json.Int v when v = version -> ()
+  | Json.Int v -> fail "unsupported profile version %d (expected %d)" v version
+  | _ -> fail "version is not an integer");
+  let list k =
+    match member k j with
+    | Json.List l -> l
+    | _ -> fail "%S is not an array" k
+  in
+  let pr_sites = List.map site_of_json (list "sites") in
+  let pr_coverage =
+    List.map
+      (fun sj ->
+        try Coverage.snapshot_of_json sj
+        with Invalid_argument m -> fail "%s" m)
+      (list "coverage")
+  in
+  List.iter
+    (fun (s : Site.snapshot) ->
+      if s.Site.sn_wide > s.Site.sn_hits then
+        fail "site %d (%s): wide hits %d exceed hits %d" s.Site.sn_id
+          s.Site.sn_func s.Site.sn_wide s.Site.sn_hits)
+    pr_sites;
+  {
+    pr_sites;
+    pr_coverage;
+    pr_counters = alist_of_json "counters" (member "counters" j);
+    pr_gauges = alist_of_json "gauges" (member "gauges" j);
+    pr_spans = alist_of_json "spans" (member "spans" j);
+  }
+
+let save p path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json p));
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error m -> fail "%s" m
+  in
+  match Json.of_string (String.trim contents) with
+  | j -> of_json j
+  | exception Json.Parse_error m -> fail "%s: %s" path m
+
+(* --- merge ----------------------------------------------------------- *)
+
+let merge_alist ~combine a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) a;
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some v0 -> Hashtbl.replace tbl k (combine v0 v)
+      | None -> Hashtbl.add tbl k v)
+    b;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge a b =
+  let cov =
+    let r = Coverage.of_snapshots a.pr_coverage in
+    Coverage.merge r (Coverage.of_snapshots b.pr_coverage);
+    Coverage.snapshot r
+  in
+  (* site snapshots merge by descriptor, cells add; keep first-seen
+     order of [a] then unmatched of [b], then normalize by (id, descr)
+     so the result is order-insensitive *)
+  let key (s : Site.snapshot) =
+    (s.Site.sn_id, s.Site.sn_func, s.Site.sn_construct, s.Site.sn_approach)
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace tbl (key s) s) a.pr_sites;
+  List.iter
+    (fun (s : Site.snapshot) ->
+      match Hashtbl.find_opt tbl (key s) with
+      | Some s0 ->
+          Hashtbl.replace tbl (key s)
+            {
+              s0 with
+              Site.sn_hits = s0.Site.sn_hits + s.Site.sn_hits;
+              sn_wide = s0.Site.sn_wide + s.Site.sn_wide;
+              sn_cycles = s0.Site.sn_cycles + s.Site.sn_cycles;
+            }
+      | None -> Hashtbl.add tbl (key s) s)
+    b.pr_sites;
+  let merged_sites =
+    Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+    |> List.sort (fun a b -> compare (key a) (key b))
+  in
+  {
+    pr_sites = merged_sites;
+    pr_coverage = cov;
+    pr_counters = merge_alist ~combine:( + ) a.pr_counters b.pr_counters;
+    pr_gauges = merge_alist ~combine:max a.pr_gauges b.pr_gauges;
+    pr_spans = merge_alist ~combine:( + ) a.pr_spans b.pr_spans;
+  }
+
+(* --- diff ------------------------------------------------------------ *)
+
+type change =
+  | Coverage_drop of {
+      cd_func : string;
+      cd_blocks : int * int;
+      cd_edges : int * int;
+    }
+  | Hits_increase of {
+      hi_func : string;
+      hi_construct : string;
+      hi_approach : string;
+      hi_old : int;
+      hi_new : int;
+    }
+
+let count_pos a = Array.fold_left (fun n x -> if x > 0 then n + 1 else n) 0 a
+
+let diff ~threshold ~baseline current =
+  let dropped old_v new_v =
+    old_v > 0 && float_of_int (old_v - new_v) > threshold *. float_of_int old_v
+  in
+  let grew old_v new_v =
+    float_of_int (new_v - old_v) > threshold *. float_of_int (max old_v 1)
+  in
+  let cov_key (c : Coverage.snapshot) = (c.Coverage.cv_func, c.Coverage.cv_succ) in
+  let cov_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun c -> Hashtbl.replace cov_tbl (cov_key c) c)
+    current.pr_coverage;
+  let cov_changes =
+    List.filter_map
+      (fun (b : Coverage.snapshot) ->
+        match Hashtbl.find_opt cov_tbl (cov_key b) with
+        | None ->
+            (* the whole function is gone from the run *)
+            let bh = count_pos b.Coverage.cv_block_hits
+            and eh = count_pos b.Coverage.cv_edge_hits in
+            if bh > 0 || eh > 0 then
+              Some
+                (Coverage_drop
+                   {
+                     cd_func = b.Coverage.cv_func;
+                     cd_blocks = (bh, 0);
+                     cd_edges = (eh, 0);
+                   })
+            else None
+        | Some c ->
+            let bh0 = count_pos b.Coverage.cv_block_hits
+            and bh1 = count_pos c.Coverage.cv_block_hits
+            and eh0 = count_pos b.Coverage.cv_edge_hits
+            and eh1 = count_pos c.Coverage.cv_edge_hits in
+            if dropped bh0 bh1 || dropped eh0 eh1 then
+              Some
+                (Coverage_drop
+                   {
+                     cd_func = b.Coverage.cv_func;
+                     cd_blocks = (bh0, bh1);
+                     cd_edges = (eh0, eh1);
+                   })
+            else None)
+      baseline.pr_coverage
+  in
+  let site_key (s : Site.snapshot) =
+    (s.Site.sn_func, s.Site.sn_construct, s.Site.sn_approach)
+  in
+  let sum_hits sites =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        let k = site_key s in
+        let v = try Hashtbl.find tbl k with Not_found -> 0 in
+        Hashtbl.replace tbl k (v + s.Site.sn_hits))
+      sites;
+    tbl
+  in
+  let old_hits = sum_hits baseline.pr_sites in
+  let new_hits = sum_hits current.pr_sites in
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) new_hits []
+    |> List.filter (fun k ->
+           let v0 = try Hashtbl.find old_hits k with Not_found -> 0 in
+           grew v0 (Hashtbl.find new_hits k))
+    |> List.sort compare
+  in
+  let hit_changes =
+    List.map
+      (fun ((f, c, a) as k) ->
+        Hits_increase
+          {
+            hi_func = f;
+            hi_construct = c;
+            hi_approach = a;
+            hi_old = (try Hashtbl.find old_hits k with Not_found -> 0);
+            hi_new = Hashtbl.find new_hits k;
+          })
+      keys
+  in
+  cov_changes @ hit_changes
+
+let change_to_string = function
+  | Coverage_drop c ->
+      let b0, b1 = c.cd_blocks and e0, e1 = c.cd_edges in
+      Printf.sprintf
+        "coverage drop in %s: blocks hit %d -> %d, edges hit %d -> %d"
+        c.cd_func b0 b1 e0 e1
+  | Hits_increase h ->
+      Printf.sprintf "check hits up at %s/%s (%s): %d -> %d" h.hi_func
+        h.hi_construct h.hi_approach h.hi_old h.hi_new
+
+(* --- reporting ------------------------------------------------------- *)
+
+let coverage_summary p =
+  let buf = Buffer.create 256 in
+  let tt = Coverage.totals_of p.pr_coverage in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "coverage: %d/%d functions, %d/%d blocks, %d/%d edges reached\n"
+       tt.Coverage.tt_functions_hit tt.Coverage.tt_functions
+       tt.Coverage.tt_blocks_hit tt.Coverage.tt_blocks
+       tt.Coverage.tt_edges_hit tt.Coverage.tt_edges);
+  if p.pr_coverage <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%7s %7s  %s\n" "blocks" "edges" "function");
+    List.iter
+      (fun (c : Coverage.snapshot) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%3d/%-3d %3d/%-3d  %s\n"
+             (count_pos c.Coverage.cv_block_hits)
+             (Array.length c.Coverage.cv_block_hits)
+             (count_pos c.Coverage.cv_edge_hits)
+             (Array.length c.Coverage.cv_edge_hits)
+             c.Coverage.cv_func))
+      p.pr_coverage
+  end;
+  let cold =
+    List.filter (fun (s : Site.snapshot) -> s.Site.sn_hits = 0) p.pr_sites
+  in
+  if cold <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "never-executed check sites (%d):\n" (List.length cold));
+    List.iter
+      (fun (s : Site.snapshot) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  site %d: %s / %s (%s)\n" s.Site.sn_id
+             s.Site.sn_func s.Site.sn_construct s.Site.sn_approach))
+      cold
+  end;
+  Buffer.contents buf

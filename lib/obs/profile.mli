@@ -1,0 +1,75 @@
+(** Persistent profiles: the on-disk artifact of an observed run.
+
+    A profile bundles the per-check-site counters, the VM coverage
+    maps, a metrics snapshot (counters + gauges) and the collapsed span
+    stacks of one {!Obs.t} context into a single versioned JSON file.
+    Everything stored is deterministic — byte-identical for identical
+    runs at any [-j] — which is what makes profiles diffable and CI
+    gateable.  (Span durations and other wall-clock data stay in the
+    Chrome trace export; a profile stores span {e counts}.)
+
+    This file format is the declared input contract for profile-guided
+    check elimination: a consumer reads site hit counts and coverage
+    maps from here, never from a live process.  Compatibility rule: the
+    [version] field bumps on any incompatible change and {!load}
+    rejects versions it does not know. *)
+
+type t = {
+  pr_sites : Site.snapshot list;
+  pr_coverage : Coverage.snapshot list;
+  pr_counters : (string * int) list;
+  pr_gauges : (string * int) list;
+  pr_spans : (string * int) list;  (** collapsed span stack -> count *)
+}
+
+val version : int
+(** Current file-format version (serialized in the [version] field). *)
+
+exception Invalid_profile of string
+(** Raised by {!of_json} / {!load} on an unreadable, malformed,
+    version-mismatched or internally inconsistent document. *)
+
+val of_obs : Obs.t -> t
+(** Snapshot a live observability context. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+
+val save : t -> string -> unit
+(** Write the profile as deterministic JSON (one trailing newline). *)
+
+val load : string -> t
+(** Read and validate a profile file; raises {!Invalid_profile}. *)
+
+val merge : t -> t -> t
+(** Pure offline merge, mirroring {!Obs.merge}: site cells and coverage
+    arrays add by descriptor, counters and span counts add, gauges take
+    the maximum.  Associative and commutative. *)
+
+(** One flagged regression between two profiles. *)
+type change =
+  | Coverage_drop of {
+      cd_func : string;
+      cd_blocks : int * int;  (** baseline blocks hit, current *)
+      cd_edges : int * int;  (** baseline edges hit, current *)
+    }
+  | Hits_increase of {
+      hi_func : string;
+      hi_construct : string;
+      hi_approach : string;
+      hi_old : int;
+      hi_new : int;
+    }
+
+val diff : threshold:float -> baseline:t -> t -> change list
+(** Regressions of [current] against [baseline]: functions (matched by
+    name + CFG geometry) whose hit-block or hit-edge count dropped by
+    more than [threshold * baseline], and check-site descriptors whose
+    dynamic hit count grew by more than [threshold * baseline].  Equal
+    profiles yield [[]]. *)
+
+val change_to_string : change -> string
+
+val coverage_summary : t -> string
+(** Per-function "blocks hit / edges hit" table plus never-executed
+    check sites, sorted and deterministic. *)

@@ -6,8 +6,17 @@
     are reported in microseconds; the arguments — not the timestamps —
     are the deterministic part of a trace.
 
+    Each tracer carries a thread id (default 1); the parallel harness
+    gives every worker tracer its own id and label via {!set_thread}, so
+    merged traces keep one row per worker.  Every completed event also
+    remembers the names of its enclosing open spans ([ev_stack]), which
+    is what {!collapsed} folds into flamegraph stacks — reconstructing
+    nesting from merged timestamps would be meaningless across worker
+    epochs.
+
     The resulting file loads in [chrome://tracing] / Perfetto: complete
-    events ([ph = "X"]) with [ts]/[dur] in microseconds. *)
+    events ([ph = "X"]) with [ts]/[dur] in microseconds, preceded by
+    [ph = "M"] [process_name]/[thread_name] metadata events. *)
 
 type arg = Aint of int | Astr of string | Aflt of float
 
@@ -17,6 +26,8 @@ type event = {
   ev_ts : float;  (** microseconds *)
   ev_dur : float;  (** microseconds *)
   ev_args : (string * arg) list;
+  ev_tid : int;
+  ev_stack : string list;  (** enclosing span names, outermost first *)
 }
 
 type open_span = {
@@ -30,15 +41,26 @@ type t = {
   mutable events : event list;  (** completed, most recent first *)
   mutable stack : open_span list;
   epoch : float;
+  mutable tid : int;
+  mutable threads : (int * string) list;  (** tid -> label *)
 }
+
+let process_name = "meminstrument"
 
 let now_us t = (Sys.time () -. t.epoch) *. 1e6
 
-let create () = { events = []; stack = []; epoch = Sys.time () }
+let create () =
+  { events = []; stack = []; epoch = Sys.time (); tid = 1; threads = [] }
+
+let set_thread t ~tid ~name =
+  t.tid <- tid;
+  t.threads <- (tid, name) :: List.remove_assoc tid t.threads
 
 let depth t = List.length t.stack
 
 let balanced t = t.stack = []
+
+let stack_names stack = List.rev_map (fun os -> os.os_name) stack
 
 let begin_span ?(cat = "phase") ?(args = []) t name =
   t.stack <-
@@ -65,6 +87,8 @@ let end_span ?(args = []) t name =
           ev_ts = ts;
           ev_dur = Float.max 0.0 (now_us t -. ts);
           ev_args = os.os_args @ args;
+          ev_tid = t.tid;
+          ev_stack = stack_names rest;
         }
         :: t.events
 
@@ -83,7 +107,15 @@ let with_span ?cat ?args t name f =
 let instant ?(cat = "mark") ?(args = []) t name =
   let ts = now_us t in
   t.events <-
-    { ev_name = name; ev_cat = cat; ev_ts = ts; ev_dur = 0.0; ev_args = args }
+    {
+      ev_name = name;
+      ev_cat = cat;
+      ev_ts = ts;
+      ev_dur = 0.0;
+      ev_args = args;
+      ev_tid = t.tid;
+      ev_stack = stack_names t.stack;
+    }
     :: t.events
 
 let event_count t = List.length t.events
@@ -92,10 +124,32 @@ let event_count t = List.length t.events
     [src] are not copied).  Timestamps keep their origin tracer's epoch;
     {!to_json} orders by timestamp, so merged traces remain loadable —
     the arguments, not the clock, are the deterministic part of a
-    trace. *)
+    trace.  Thread labels are unioned ([src] wins on a tid clash). *)
 let merge dst src =
   if dst == src then invalid_arg "Trace.merge: dst and src are the same";
-  dst.events <- src.events @ dst.events
+  dst.events <- src.events @ dst.events;
+  List.iter
+    (fun (tid, name) ->
+      dst.threads <- (tid, name) :: List.remove_assoc tid dst.threads)
+    (List.rev src.threads)
+
+(* --- flamegraph stacks ---------------------------------------------- *)
+
+(** Collapsed stacks over completed span events: one
+    [(stack, count, total_us)] entry per distinct [a;b;c] path, sorted
+    by path.  The counts are deterministic (span structure is); the
+    microsecond totals are informational only. *)
+let collapsed t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let path = String.concat ";" (e.ev_stack @ [ e.ev_name ]) in
+      match Hashtbl.find_opt tbl path with
+      | Some (n, us) -> Hashtbl.replace tbl path (n + 1, us +. e.ev_dur)
+      | None -> Hashtbl.add tbl path (1, e.ev_dur))
+    t.events;
+  Hashtbl.fold (fun path (n, us) acc -> (path, n, us) :: acc) tbl []
+  |> List.sort compare
 
 (* --- export --------------------------------------------------------- *)
 
@@ -113,20 +167,43 @@ let event_to_json (e : event) : Json.t =
       ("ts", Json.Float e.ev_ts);
       ("dur", Json.Float e.ev_dur);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int e.ev_tid);
       ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) e.ev_args));
     ]
 
-(** Chrome trace-event document: events in chronological (start) order.
-    Open spans are not exported — close them first. *)
+let metadata_json name ~tid args : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+(** Chrome trace-event document: [ph = "M"] naming metadata first
+    (process name, one thread label per known worker tid), then events
+    in chronological (start) order.  Open spans are not exported — close
+    them first. *)
 let to_json t : Json.t =
   let evs = List.rev t.events in
   let evs =
     List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) evs
   in
+  let threads =
+    let known = List.sort compare t.threads in
+    if List.mem_assoc 1 known then known else (1, "main") :: known
+  in
+  let meta =
+    metadata_json "process_name" ~tid:1 [ ("name", Json.Str process_name) ]
+    :: List.map
+         (fun (tid, name) ->
+           metadata_json "thread_name" ~tid [ ("name", Json.Str name) ])
+         threads
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_to_json evs));
+      ("traceEvents", Json.List (meta @ List.map event_to_json evs));
       ("displayTimeUnit", Json.Str "ms");
     ]
 

@@ -2,7 +2,8 @@
 
     Spans nest (benchmark > pipeline > pass) and carry key/value
     arguments such as per-pass instruction-count deltas.  [to_json]
-    produces a document loadable in [chrome://tracing] / Perfetto. *)
+    produces a document loadable in [chrome://tracing] / Perfetto,
+    including [ph = "M"] process/thread naming metadata. *)
 
 type arg = Aint of int | Astr of string | Aflt of float
 
@@ -12,11 +13,19 @@ type event = {
   ev_ts : float;  (** microseconds since tracer creation *)
   ev_dur : float;  (** microseconds *)
   ev_args : (string * arg) list;
+  ev_tid : int;  (** thread id of the recording tracer *)
+  ev_stack : string list;  (** enclosing span names, outermost first *)
 }
 
 type t
 
 val create : unit -> t
+
+val set_thread : t -> tid:int -> name:string -> unit
+(** Label this tracer's events with [tid] and record the
+    [thread_name] metadata mapping [tid] to [name].  The parallel
+    harness calls this per worker so merged traces keep one labeled row
+    per worker in [about:tracing]. *)
 
 val begin_span : ?cat:string -> ?args:(string * arg) list -> t -> string -> unit
 
@@ -41,7 +50,13 @@ val event_count : t -> int
 
 val merge : t -> t -> unit
 (** [merge dst src] appends the completed events of [src] (open spans
-    are not copied).  Raises when [dst == src]. *)
+    are not copied) and unions thread labels.  Raises when
+    [dst == src]. *)
+
+val collapsed : t -> (string * int * float) list
+(** Flamegraph-style collapsed stacks over completed spans: one
+    [("a;b;c", count, total_us)] per distinct nesting path, sorted by
+    path.  Counts are deterministic; the microsecond totals are not. *)
 
 val to_json : t -> Json.t
 val to_string : t -> string

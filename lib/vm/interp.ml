@@ -134,6 +134,12 @@ and xfunc = {
   n_fregs : int;
   param_slots : (bool * int) array;  (** (is_float, slot) per parameter *)
   ret_is_float : bool;
+  mutable xcov : Mi_obs.Coverage.fn option;
+      (** coverage counters for this function, filled by [load] when the
+          state carries a registry; [None] costs one option check per
+          executed block.  Recording is block/edge-granular and happens
+          before the block body runs, so it is identical under fast and
+          generic dispatch. *)
 }
 
 type image = {
@@ -159,6 +165,7 @@ let dummy_xfunc =
     n_fregs = 0;
     param_slots = [||];
     ret_is_float = false;
+    xcov = None;
   }
 
 (* Decide whether a call to [callee] can fuse into a superinstruction:
@@ -426,6 +433,7 @@ let precompile_func (st : State.t) ~xfuncs ~global_addr ~fn_addr (f : Func.t)
            f.params);
     ret_is_float =
       (match f.ret_ty with Some ty -> Ty.is_float ty | None -> false);
+    xcov = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -569,6 +577,28 @@ let load
         Hashtbl.find xfuncs f.fname
         := precompile_func st ~xfuncs ~global_addr ~fn_addr f)
     merged.funcs;
+  (* register coverage geometry when the state carries a registry: the
+     successor lists of the precompiled blocks are the stable block/edge
+     id space (a conditional branch with both arms on one target is a
+     single edge) *)
+  (match st.State.coverage with
+  | None -> ()
+  | Some cov ->
+      Hashtbl.iter
+        (fun _ r ->
+          let xf = !r in
+          let succ =
+            Array.map
+              (fun (b : xblock) ->
+                match b.xterm with
+                | XRet _ | XUnreachable -> [||]
+                | XBr t -> [| t |]
+                | XCbr (_, t1, t2) -> if t1 = t2 then [| t1 |] else [| t1; t2 |])
+              xf.xblocks
+          in
+          xf.xcov <-
+            Some (Mi_obs.Coverage.register_fn cov ~name:xf.xname ~succ))
+        xfuncs);
   { xfuncs; global_addr; fn_addr; merged }
 
 (** [(n_iregs, n_fregs)] of a loaded function — the register-bank sizes
@@ -669,10 +699,42 @@ let rec exec_frame (st : State.t) (xf : xfunc) (iregs : int array)
   (* temp buffers for parallel phi moves *)
   let tmp_i = Array.make 16 0 and tmp_f = Array.make 16 0.0 in
   let result = ref None in
+  (* coverage counter arrays, hoisted so the per-block recording below
+     is a handful of array operations with no call; block ids come from
+     the precompiled CFG the geometry was registered from, so unsafe
+     indexing is in-bounds by construction.  [cov_on] costs the same
+     single branch per block as the previous option match. *)
+  let cov_blocks, cov_succ, cov_ebase, cov_edges =
+    match xf.xcov with
+    | None -> ([||], [||], [||], [||])
+    | Some cov -> Mi_obs.Coverage.counters cov
+  in
+  let cov_on = Array.length cov_blocks > 0 in
   (try
      let cur = ref 0 and prev = ref (-1) and running = ref true in
      while !running do
        let b = xf.xblocks.(!cur) in
+       (* coverage side band: block entry + traversed edge.  Never
+          touches cycles/steps/counters, so enabling it cannot perturb
+          any differential oracle. *)
+       if cov_on then begin
+         let cu = !cur in
+         Array.unsafe_set cov_blocks cu (Array.unsafe_get cov_blocks cu + 1);
+         let p = !prev in
+         if p >= 0 then begin
+           let succ = Array.unsafe_get cov_succ p in
+           let base = Array.unsafe_get cov_ebase p in
+           let n = Array.length succ in
+           let rec edge k =
+             if k < n then
+               if Array.unsafe_get succ k = cu then
+                 Array.unsafe_set cov_edges (base + k)
+                   (Array.unsafe_get cov_edges (base + k) + 1)
+               else edge (k + 1)
+           in
+           edge 0
+         end
+       end;
        (* phi moves for the edge prev -> cur, parallel semantics *)
        if !prev >= 0 && Array.length b.xmoves > 0 then begin
          let mv = b.xmoves.(!prev) in

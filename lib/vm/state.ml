@@ -64,6 +64,15 @@ and t = {
   sites : Mi_obs.Site.t;
       (** check-site profile; shared with the instrumenter for per-site
           attribution, otherwise an empty registry that ignores hits *)
+  coverage : Mi_obs.Coverage.t option;
+      (** block/edge coverage registry.  [None] (the default) means the
+          interpreter records nothing and the hot path pays only a
+          per-block option check; [Some] makes {!Mi_vm.Interp.load}
+          register every function's CFG geometry and the frame loop
+          count block entries and edge traversals.  Recording is a pure
+          side band: it never touches cycles, steps or counters, so
+          coverage-on and coverage-off runs are observationally
+          identical everywhere else. *)
   rng : Mi_support.Rng.t;
   builtins : (string, t -> value array -> value option) Hashtbl.t;
   fast_builtins : (string, fast_fn) Hashtbl.t;
@@ -189,7 +198,7 @@ let std_free t addr =
   end
 
 let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42)
-    ?metrics ?sites () =
+    ?metrics ?sites ?coverage () =
   let metrics =
     match metrics with Some m -> m | None -> Mi_obs.Metrics.create ()
   in
@@ -206,6 +215,7 @@ let create ?(cost = Cost.default) ?(fuel = 2_000_000_000) ?(seed = 42)
       out = Buffer.create 256;
       metrics;
       sites;
+      coverage;
       rng = Mi_support.Rng.create seed;
       builtins = Hashtbl.create 64;
       fast_builtins = Hashtbl.create 16;

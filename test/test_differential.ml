@@ -33,6 +33,29 @@ let test_safe_block () =
         (List.length r.Fuzz.r_findings));
   Alcotest.(check bool) "campaign ok" true (Fuzz.ok r)
 
+(* {1 Coverage feedback: the scheduler's boost decision is pinned}
+
+   The second half of every campaign is generated with the top-scoring
+   features (by fresh VM blocks/edges) forced on.  The decision is a
+   pure function of the seed block, so two runs — and runs at different
+   [-j] — must agree, and the corpus coverage totals must be
+   non-trivial. *)
+
+let test_coverage_boost_deterministic () =
+  let r1 = Fuzz.run (Fuzz.campaign ~jobs:2 ~seeds:(201, 210) ()) in
+  let r2 = Fuzz.run (Fuzz.campaign ~jobs:1 ~seeds:(201, 210) ()) in
+  Alcotest.(check (list int)) "boost agrees across runs and -j" r1.Fuzz.r_boost
+    r2.Fuzz.r_boost;
+  Alcotest.(check bool) "a boost decision was made" true
+    (r1.Fuzz.r_boost <> []);
+  let bh, bt = r1.Fuzz.r_vm_blocks and eh, et = r1.Fuzz.r_vm_edges in
+  Alcotest.(check bool) "blocks executed" true (bh > 0 && bh <= bt);
+  Alcotest.(check bool) "edges executed" true (eh > 0 && eh <= et);
+  Alcotest.(check (pair int int))
+    "block coverage agrees" r1.Fuzz.r_vm_blocks r2.Fuzz.r_vm_blocks;
+  Alcotest.(check (pair int int))
+    "edge coverage agrees" r1.Fuzz.r_vm_edges r2.Fuzz.r_vm_edges
+
 (* {1 Unsafe mutants: the flipped oracle holds} *)
 
 let test_mutant_block () =
@@ -57,7 +80,7 @@ let test_mutant_block () =
    framework-fairness guarantee behind the flipped oracle) *)
 let test_mutant_both_checkers_report () =
   let seed = 203 in
-  let prog = Gen.generate ~seed in
+  let prog = Gen.generate ~seed () in
   let sb = Oracle.variant_setup "O3+sb" in
   let lf = Oracle.variant_setup "O3+lf" in
   let rsb = Harness.run_sources sb prog.Gen.p_sources in
@@ -91,7 +114,7 @@ let test_whitelisted_extern_mutant () =
   let found = ref None in
   for mseed = 301 to 420 do
     if !found = None then begin
-      let prog = Gen.generate ~seed:mseed in
+      let prog = Gen.generate ~seed:mseed () in
       let m = Gen.mutate prog ~mseed in
       if m.Gen.m_sb_whitelist <> None then found := Some m
     end
@@ -126,7 +149,7 @@ let test_whitelisted_extern_mutant () =
 (* {1 VM dispatch: fused fast paths are observationally generic} *)
 
 let test_dispatch_differential () =
-  let prog = Gen.generate ~seed:207 in
+  let prog = Gen.generate ~seed:207 () in
   List.iter
     (fun tag ->
       let base = Oracle.variant_setup tag in
@@ -199,6 +222,8 @@ let () =
         [
           Alcotest.test_case "seed block 201..220, full matrix" `Slow
             test_safe_block;
+          Alcotest.test_case "coverage boost deterministic across -j" `Slow
+            test_coverage_boost_deterministic;
         ] );
       ( "unsafe mutants",
         [

@@ -15,7 +15,7 @@ let test_grammar_coverage () =
   let hit = Hashtbl.create 64 in
   List.iter
     (fun seed ->
-      let p = Gen.generate ~seed in
+      let p = Gen.generate ~seed () in
       List.iter (fun t -> Hashtbl.replace hit t ()) p.Gen.p_productions)
     block;
   let missing =
@@ -32,7 +32,7 @@ let test_grammar_coverage () =
 let test_deterministic () =
   List.iter
     (fun seed ->
-      let a = Gen.generate ~seed and b = Gen.generate ~seed in
+      let a = Gen.generate ~seed () and b = Gen.generate ~seed () in
       Alcotest.(check int)
         "same unit count"
         (List.length a.Gen.p_sources)
@@ -52,7 +52,7 @@ let test_deterministic () =
 let test_all_units_lower () =
   List.iter
     (fun seed ->
-      let p = Gen.generate ~seed in
+      let p = Gen.generate ~seed () in
       List.iter
         (fun (s : Bench.source) ->
           match Mi_minic.Lower.compile ~name:s.Bench.src_name s.Bench.code with
@@ -62,12 +62,47 @@ let test_all_units_lower () =
         p.Gen.p_sources)
     block
 
+(* coverage-driven boosting: forcing a feature flips it on without
+   perturbing the rest of the draw (the rng consumes the same stream),
+   and an empty boost list is the identity.  Features 2 (nested) and 9
+   (struct copy) are gated on feature 1 (structs) and are skipped when
+   picking a candidate to force. *)
+let test_boost_forces_feature () =
+  let forced = ref 0 in
+  List.iter
+    (fun seed ->
+      let plain = Gen.generate ~seed () in
+      Alcotest.(check bool)
+        "empty boost is the identity" true
+        (Gen.generate ~boost:[] ~seed () = plain);
+      let candidate =
+        List.find_opt
+          (fun k -> k <> 2 && k <> 9 && not (List.mem k plain.Gen.p_features))
+          (List.init 10 Fun.id)
+      in
+      match candidate with
+      | None -> ()
+      | Some k ->
+          incr forced;
+          let boosted = Gen.generate ~boost:[ k ] ~seed () in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: boosted feature %d enabled" seed k)
+            true
+            (List.mem k boosted.Gen.p_features);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: boosted generate deterministic" seed)
+            true
+            (Gen.generate ~boost:[ k ] ~seed () = boosted))
+    block;
+  Alcotest.(check bool) "at least one seed had a forceable feature" true
+    (!forced > 0)
+
 (* the injected index lies past BOTH guarantees: the Low-Fat size class
    (allocation-size rounding) and SoftBound's exact object bounds *)
 let test_oob_index_geometry () =
   List.iter
     (fun seed ->
-      let p = Gen.generate ~seed in
+      let p = Gen.generate ~seed () in
       List.iter
         (fun (s : Gen.site) ->
           let esz = Gen.elem_size s.Gen.si_elem in
@@ -90,7 +125,7 @@ let test_oob_index_geometry () =
 let test_mutate_shape () =
   List.iter
     (fun seed ->
-      let p = Gen.generate ~seed in
+      let p = Gen.generate ~seed () in
       let m = Gen.mutate p ~mseed:seed in
       let m' = Gen.mutate p ~mseed:seed in
       Alcotest.(check string)
@@ -126,6 +161,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "every unit lowers (pins seed 16)" `Quick
             test_all_units_lower;
+          Alcotest.test_case "boost forces features deterministically" `Quick
+            test_boost_forces_feature;
         ] );
       ( "mutants",
         [

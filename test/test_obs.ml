@@ -125,6 +125,37 @@ let test_fault_counters_merge () =
   Alcotest.(check int) "merge with empty is identity" 5
     (Metrics.counter a "harness.job_failed")
 
+(* the first registration of a name fixes its kind; a second use under a
+   different kind is a programming error the registry rejects instead of
+   silently keeping two metrics under one name *)
+let test_metrics_kind_collision () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument
+       "Metrics: \"x\" is already registered as a counter (wanted gauge)")
+    (fun () -> Metrics.set_gauge m "x" 1);
+  Alcotest.check_raises "counter reused as histogram"
+    (Invalid_argument
+       "Metrics: \"x\" is already registered as a counter (wanted histogram)")
+    (fun () -> Metrics.observe m "x" 1);
+  Metrics.set_gauge m "g" 1;
+  Alcotest.check_raises "gauge reused as counter"
+    (Invalid_argument
+       "Metrics: \"g\" is already registered as a gauge (wanted counter)")
+    (fun () -> Metrics.incr m "g");
+  Metrics.observe m "h" 2;
+  Alcotest.check_raises "histogram reused as gauge"
+    (Invalid_argument
+       "Metrics: \"h\" is already registered as a histogram (wanted gauge)")
+    (fun () -> Metrics.set_gauge m "h" 3);
+  (* same-kind re-use stays legal and cheap *)
+  Metrics.incr m "x";
+  Metrics.set_gauge m "g" 9;
+  Metrics.observe m "h" 4;
+  Alcotest.(check int) "counter still counts" 2 (Metrics.counter m "x");
+  Alcotest.(check int) "gauge still sets" 9 (Metrics.gauge m "g")
+
 let test_labeled_canonical () =
   Alcotest.(check string)
     "label keys sorted" "c{a=\"1\",b=\"2\"}"
@@ -220,6 +251,129 @@ let test_site_top_ordering () =
     (contains rendered "main")
 
 (* ------------------------------------------------------------------ *)
+(* Coverage maps                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let diamond = [| [| 1; 2 |]; [| 3 |]; [| 3 |]; [||] |]
+
+let test_coverage_counting () =
+  let t = Coverage.create () in
+  let f = Coverage.register_fn t ~name:"f" ~succ:diamond in
+  Coverage.enter f 0;
+  Coverage.transition f ~src:0 ~dst:1;
+  Coverage.transition f ~src:1 ~dst:3;
+  Coverage.enter f 0;
+  Coverage.transition f ~src:0 ~dst:1;
+  Coverage.transition f ~src:1 ~dst:3;
+  match Coverage.snapshot t with
+  | [ s ] ->
+      Alcotest.(check string) "function name" "f" s.Coverage.cv_func;
+      Alcotest.(check bool) "block hits" true
+        (s.Coverage.cv_block_hits = [| 2; 2; 0; 2 |]);
+      (* flat edge layout: 0->1, 0->2, 1->3, 2->3 *)
+      Alcotest.(check bool) "edge hits" true
+        (s.Coverage.cv_edge_hits = [| 2; 0; 2; 0 |]);
+      let tt = Coverage.totals t in
+      Alcotest.(check int) "blocks total" 4 tt.Coverage.tt_blocks;
+      Alcotest.(check int) "blocks hit" 3 tt.Coverage.tt_blocks_hit;
+      Alcotest.(check int) "edges total" 4 tt.Coverage.tt_edges;
+      Alcotest.(check int) "edges hit" 2 tt.Coverage.tt_edges_hit;
+      Alcotest.(check int) "functions hit" 1 tt.Coverage.tt_functions_hit
+  | l -> Alcotest.failf "expected one function, got %d" (List.length l)
+
+(* re-registering the same (name, geometry) accumulates into the same
+   counters; a different geometry under the same name gets its own entry *)
+let test_coverage_keying () =
+  let t = Coverage.create () in
+  let f1 = Coverage.register_fn t ~name:"f" ~succ:diamond in
+  Coverage.enter f1 0;
+  let f2 = Coverage.register_fn t ~name:"f" ~succ:diamond in
+  Coverage.enter f2 0;
+  let g = Coverage.register_fn t ~name:"f" ~succ:[| [||] |] in
+  Coverage.enter g 0;
+  match Coverage.snapshot t with
+  | [ a; b ] ->
+      (* sorted by (name, geometry): the 1-block variant sorts first *)
+      Alcotest.(check bool) "small geometry" true (a.Coverage.cv_block_hits = [| 1 |]);
+      Alcotest.(check int) "accumulated entries" 2 b.Coverage.cv_block_hits.(0)
+  | l -> Alcotest.failf "expected two entries, got %d" (List.length l)
+
+(* an edge outside the registered geometry is ignored, never counted *)
+let test_coverage_unknown_edge () =
+  let t = Coverage.create () in
+  let f = Coverage.register_fn t ~name:"f" ~succ:diamond in
+  Coverage.enter f 0;
+  Coverage.transition f ~src:3 ~dst:0;
+  match Coverage.snapshot t with
+  | [ s ] ->
+      Alcotest.(check bool) "no edge recorded" true
+        (Array.for_all (fun h -> h = 0) s.Coverage.cv_edge_hits)
+  | _ -> Alcotest.fail "expected one function"
+
+(* snapshots survive the JSON round trip exactly *)
+let test_coverage_json_roundtrip () =
+  let t = Coverage.create () in
+  let f = Coverage.register_fn t ~name:"f" ~succ:diamond in
+  Coverage.enter f 0;
+  Coverage.transition f ~src:0 ~dst:2;
+  List.iter
+    (fun (s : Coverage.snapshot) ->
+      let s' = Coverage.snapshot_of_json (Coverage.snapshot_to_json s) in
+      Alcotest.(check bool) "snapshot round-trips" true (s = s'))
+    (Coverage.snapshot t)
+
+(* ------------------------------------------------------------------ *)
+(* Trace metadata (worker labeling in about:tracing)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_thread_metadata () =
+  let tr = Trace.create () in
+  Trace.with_span tr "on-main" (fun () -> ());
+  Trace.set_thread tr ~tid:2 ~name:"worker-1";
+  Trace.with_span tr "on-worker" (fun () -> ());
+  let doc = Json.of_string (Trace.to_string tr) in
+  let events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let field e k = Json.member k e in
+  let meta name =
+    List.filter
+      (fun e -> field e "ph" = Some (Json.Str "M")
+                && field e "name" = Some (Json.Str name))
+      events
+  in
+  Alcotest.(check int) "one process_name event" 1
+    (List.length (meta "process_name"));
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        match (field e "tid", Option.bind (field e "args") (Json.member "name")) with
+        | Some (Json.Int tid), Some (Json.Str n) -> Some (tid, n)
+        | _ -> None)
+      (meta "thread_name")
+  in
+  Alcotest.(check bool) "main thread labeled" true
+    (List.mem (1, "main") thread_names);
+  Alcotest.(check bool) "worker thread labeled" true
+    (List.mem (2, "worker-1") thread_names);
+  (* the X events carry the tid current at span end *)
+  let tid_of name =
+    List.find_map
+      (fun e ->
+        if field e "ph" = Some (Json.Str "X")
+           && field e "name" = Some (Json.Str name)
+        then field e "tid"
+        else None)
+      events
+  in
+  Alcotest.(check bool) "main span on tid 1" true
+    (tid_of "on-main" = Some (Json.Int 1));
+  Alcotest.(check bool) "worker span on tid 2" true
+    (tid_of "on-worker" = Some (Json.Int 2))
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -255,12 +409,16 @@ let () =
             test_with_span_exception_safe;
           Alcotest.test_case "trace JSON well-formed" `Quick
             test_trace_json_wellformed;
+          Alcotest.test_case "thread metadata events" `Quick
+            test_trace_thread_metadata;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "basics" `Quick test_metrics_basics;
           Alcotest.test_case "fault counters merge" `Quick
             test_fault_counters_merge;
+          Alcotest.test_case "kind collision rejected" `Quick
+            test_metrics_kind_collision;
           Alcotest.test_case "labeled canonical" `Quick test_labeled_canonical;
           Alcotest.test_case "deterministic serialization" `Quick
             test_metrics_deterministic;
@@ -275,6 +433,17 @@ let () =
             test_site_attribution_lowfat;
           Alcotest.test_case "top ordering + render" `Quick
             test_site_top_ordering;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "block/edge counting" `Quick
+            test_coverage_counting;
+          Alcotest.test_case "keyed by (name, geometry)" `Quick
+            test_coverage_keying;
+          Alcotest.test_case "unknown edge ignored" `Quick
+            test_coverage_unknown_edge;
+          Alcotest.test_case "snapshot JSON round-trip" `Quick
+            test_coverage_json_roundtrip;
         ] );
       ( "json",
         [

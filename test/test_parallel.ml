@@ -254,6 +254,118 @@ let test_merge_self_rejected () =
       Obs.merge o o)
 
 (* ------------------------------------------------------------------ *)
+(* 3b. Coverage.merge: associative, order-insensitive                  *)
+(* ------------------------------------------------------------------ *)
+
+module Coverage = Mi_obs.Coverage
+
+let cov_geom = [| [| 1; 2 |]; [| 2 |]; [||] |]
+
+(* a and b overlap (same function descriptor), c is disjoint *)
+let cov_a () =
+  let t = Coverage.create () in
+  let f = Coverage.register_fn t ~name:"f" ~succ:cov_geom in
+  Coverage.enter f 0;
+  Coverage.transition f ~src:0 ~dst:1;
+  Coverage.transition f ~src:1 ~dst:2;
+  t
+
+let cov_b () =
+  let t = Coverage.create () in
+  let f = Coverage.register_fn t ~name:"f" ~succ:cov_geom in
+  Coverage.enter f 0;
+  Coverage.transition f ~src:0 ~dst:2;
+  t
+
+let cov_c () =
+  let t = Coverage.create () in
+  let g = Coverage.register_fn t ~name:"g" ~succ:[| [||] |] in
+  Coverage.enter g 0;
+  t
+
+let cov_equal msg x y =
+  Alcotest.(check bool) msg true (Coverage.snapshot x = Coverage.snapshot y)
+
+let test_coverage_merge_associative () =
+  let l = cov_a () in
+  Coverage.merge l (cov_b ());
+  Coverage.merge l (cov_c ());
+  let bc = cov_b () in
+  Coverage.merge bc (cov_c ());
+  let r = cov_a () in
+  Coverage.merge r bc;
+  cov_equal "associativity" l r;
+  (* overlapping arrays added element-wise, disjoint function appended *)
+  let tt = Coverage.totals l in
+  Alcotest.(check int) "2 functions" 2 tt.Coverage.tt_functions;
+  match
+    List.find_opt (fun s -> s.Coverage.cv_func = "f") (Coverage.snapshot l)
+  with
+  | Some s ->
+      Alcotest.(check bool) "blocks added" true
+        (s.Coverage.cv_block_hits = [| 2; 1; 2 |]);
+      (* flat edges: 0->1, 0->2, 1->2 *)
+      Alcotest.(check bool) "edges added" true
+        (s.Coverage.cv_edge_hits = [| 1; 1; 1 |])
+  | None -> Alcotest.fail "function f lost in merge"
+
+let test_coverage_merge_order_insensitive () =
+  let ab = cov_a () in
+  Coverage.merge ab (cov_b ());
+  let ba = cov_b () in
+  Coverage.merge ba (cov_a ());
+  cov_equal "overlapping, both orders" ab ba;
+  let ac = cov_a () in
+  Coverage.merge ac (cov_c ());
+  let ca = cov_c () in
+  Coverage.merge ca (cov_a ());
+  cov_equal "disjoint, both orders" ac ca
+
+let test_coverage_merge_self_rejected () =
+  let t = cov_a () in
+  Alcotest.check_raises "merge t t"
+    (Invalid_argument "Coverage.merge: dst and src are the same") (fun () ->
+      Coverage.merge t t)
+
+(* coverage-carrying Obs contexts merge through Obs.merge too, including
+   promotion of a coverage-less destination *)
+let test_obs_merge_carries_coverage () =
+  let src = Obs.create ~coverage:true () in
+  (match src.Obs.coverage with
+  | Some cov ->
+      let f = Coverage.register_fn cov ~name:"f" ~succ:cov_geom in
+      Coverage.enter f 0
+  | None -> Alcotest.fail "coverage requested but absent");
+  let dst = Obs.create () in
+  Obs.merge dst src;
+  match dst.Obs.coverage with
+  | Some cov ->
+      Alcotest.(check int) "function arrived" 1
+        (Coverage.totals cov).Coverage.tt_functions
+  | None -> Alcotest.fail "merge dropped the coverage registry"
+
+(* ------------------------------------------------------------------ *)
+(* 3c. persistent profiles are -j invariant                            *)
+(* ------------------------------------------------------------------ *)
+
+let profile_at jobs =
+  let h = Harness.create ~jobs ~obs:(Obs.create ~coverage:true ()) () in
+  let (_ : (string * E.report) list) =
+    E.run_reports ~benchmarks:[ Lazy.force lbm ] h (experiments ())
+  in
+  Mi_obs.Json.to_string
+    (Mi_obs.Profile.to_json (Mi_obs.Profile.of_obs (Harness.obs h)))
+
+let test_profile_byte_identical () =
+  let p1 = profile_at 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "-j %d profile bytes" jobs)
+        p1 (profile_at jobs))
+    [ 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* 4. sorted-array counter lookup                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -298,6 +410,22 @@ let () =
             test_merge_order_insensitive;
           Alcotest.test_case "self-merge rejected" `Quick
             test_merge_self_rejected;
+        ] );
+      ( "coverage-merge",
+        [
+          Alcotest.test_case "associative" `Quick
+            test_coverage_merge_associative;
+          Alcotest.test_case "order-insensitive" `Quick
+            test_coverage_merge_order_insensitive;
+          Alcotest.test_case "self-merge rejected" `Quick
+            test_coverage_merge_self_rejected;
+          Alcotest.test_case "Obs.merge carries coverage" `Quick
+            test_obs_merge_carries_coverage;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "profile bytes identical at -j 1/4" `Slow
+            test_profile_byte_identical;
         ] );
       ( "counters",
         [ Alcotest.test_case "sorted-array lookup" `Quick test_counter_lookup ]
