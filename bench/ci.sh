@@ -46,7 +46,8 @@ doc = json.load(open(sys.argv[1]))
 reports = {r["name"]: r for r in doc["reports"]}
 assert "table2" in reports and "hotchecks" in reports, reports.keys()
 labels = [s["label"] for s in reports["table2"]["series"]]
-assert "sb_checks_wide" in labels and "lf_checks_wide" in labels, labels
+for want in ("sb_checks_wide", "lf_checks_wide", "tp_checks_wide"):
+    assert want in labels, (want, labels)
 print("json validated:", ", ".join(sorted(reports)))
 EOF
 fi
@@ -83,13 +84,17 @@ echo "$vm_line" | awk -v floor="$floor" '
 echo "engine throughput within budget"
 
 # the security-guarantee gate: a seeded sample of check-deletion mutants
-# (25 per approach) against the safety corpus.  Any mutant that is
-# neither killed nor carries a written wide-bounds justification makes
-# the experiment raise, so a zero exit plus "survivors: 0" in the
-# report certifies 100% mutation kill on the sample.
+# (25 per registered approach — spatial and temporal alike) against the
+# safety corpus.  Any mutant that is neither killed nor carries a
+# written wide-bounds justification makes the experiment raise, so a
+# zero exit plus "survivors: 0" in the report certifies 100% mutation
+# kill on the sample.  The temporal rows must actually be there and be
+# killed by temporal corpus kinds, not vacuously absent.
 echo "== mutation gate (check-deletion mutants vs the safety corpus) =="
 dune exec bin/experiments.exe -- mutation > "$mut_out"
 grep -q "survivors: 0" "$mut_out"
+grep -q "^temporal/" "$mut_out"
+grep -Eq "by (uaf_init|uaf_use|uaf_tail|double_free)" "$mut_out"
 echo "all sampled check-deletion mutants killed or whitelisted"
 
 # the fault-tolerance gate: inject a crash into every softbound+domopt
@@ -124,14 +129,35 @@ fi
 cmp "$chaos1" "$chaos2"
 echo "chaos output byte-identical across -j and cache corruption"
 
-# the differential-fuzzing gate: a fixed seed block (500 safe seeds,
-# 100 unsafe mutants).  A zero exit certifies zero oracle divergences
-# on the safe programs and every mutant detected (killed, or carrying
-# a written wide-bounds justification); the JSON report must come out
-# byte-identical at -j 4 and -j 1.
-echo "== fuzz gate (seeds 1..500, mutants 1..100) =="
+# the differential-fuzzing gate: a fixed seed block (500 safe seeds —
+# zero spurious reports from any of the three checkers — and 100
+# unsafe mutants, spatial on even mutant seeds, use-after-free /
+# double-free on odd ones).  A zero exit certifies zero oracle
+# divergences on the safe programs and every mutant detected by every
+# in-scope checker (killed, or carrying a written justification); the
+# JSON report must come out byte-identical at -j 4 and -j 1.
+echo "== fuzz gate (seeds 1..500, mutants 1..100, 3 checkers) =="
 dune exec bin/mifuzz.exe -- --seeds 1..500 --mutants 1..100 -j 4 \
     --out "$fuzz1" | tail -n 4
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$fuzz1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cases = doc["mutants"]["cases"]
+tags = ("O3+sb", "O3+lf", "O3+tp")
+assert cases, "no mutant cases in the fuzz report"
+for c in cases:
+    for t in tags:
+        assert t in c, (c["name"], t)
+        assert c[t] == "killed" or "whitelisted" in c[t], (c["name"], t, c[t])
+kinds = {c["name"].split("/")[1].split("-")[0] for c in cases}
+assert "uaf" in kinds and "dfree" in kinds, kinds       # temporal drawn
+assert kinds - {"uaf", "dfree"}, kinds                  # spatial drawn
+tp_kills = sum(1 for c in cases if c["O3+tp"] == "killed")
+print(f"fuzz json validated: {len(cases)} mutants ({sorted(kinds)}), "
+      f"{tp_kills} temporal kills")
+EOF
+fi
 echo "== fuzz determinism (-j 1 vs -j 4) =="
 dune exec bin/mifuzz.exe -- --seeds 1..500 --mutants 1..100 -j 1 \
     --out "$fuzz2" >/dev/null

@@ -96,10 +96,45 @@ let list_experiments () =
     (E.all ());
   0
 
-let run_experiments names benchmark_names csv_dir json_path jobs cache_dir
-    all list ocli fcli =
+let list_approaches () =
+  List.iter
+    (fun (c : Mi_core.Checker.t) ->
+      Printf.printf "%-12s %s%s\n" c.Mi_core.Checker.name
+        c.Mi_core.Checker.descr
+        (match c.Mi_core.Checker.aliases with
+        | [] -> ""
+        | al -> Printf.sprintf " (aliases: %s)" (String.concat ", " al)))
+    (Mi_core.Checker.all ());
+  0
+
+(* narrow the registry enumeration — and with it every registry-driven
+   experiment matrix — to the selected approaches; unknown names print
+   the registry and exit 2 (a lookup miss, not a parse error) *)
+let restrict_approaches = function
+  | [] -> ()
+  | names ->
+      Mi_core.Config.restrict_approaches
+        (List.map
+           (fun n ->
+             match Mi_core.Config.find_approach n with
+             | Some cfg -> cfg.Mi_core.Config.approach
+             | None ->
+                 Printf.eprintf
+                   "mi-experiments: unknown approach %s; registered \
+                    approaches:\n"
+                   n;
+                 List.iter
+                   (fun k -> Printf.eprintf "  %s\n" k)
+                   (Mi_core.Config.known_approaches ());
+                 exit 2)
+           names)
+
+let run_experiments names benchmark_names approach_names csv_dir json_path
+    jobs cache_dir all list list_approaches_flag ocli fcli =
   if list then list_experiments ()
+  else if list_approaches_flag then list_approaches ()
   else begin
+    restrict_approaches approach_names;
     let benchmarks =
       match benchmark_names with
       | [] -> None
@@ -187,6 +222,22 @@ let bench_arg =
     & info [ "benchmark"; "b" ] ~docv:"NAME"
         ~doc:"Restrict to the given benchmark(s).")
 
+let approach_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "approach" ] ~docv:"APPROACH"
+        ~doc:
+          "Restrict registry-driven experiment matrices to the given \
+           registered checker approach(es) (repeatable; default: all — \
+           see --list-approaches).")
+
+let list_approaches_arg =
+  Arg.(
+    value & flag
+    & info [ "list-approaches" ]
+        ~doc:"List the registered checker approaches and exit.")
+
 let csv_arg =
   Arg.(
     value
@@ -244,9 +295,9 @@ let cmd =
   Cmd.v
     (Cmd.info "mi-experiments" ~doc)
     Term.(
-      const run_experiments $ names_arg $ bench_arg $ csv_arg $ json_arg
-      $ jobs_arg $ cache_dir_arg $ all_arg $ list_arg $ Mi_obs_cli.term
-      $ Mi_fault_cli.term)
+      const run_experiments $ names_arg $ bench_arg $ approach_arg $ csv_arg
+      $ json_arg $ jobs_arg $ cache_dir_arg $ all_arg $ list_arg
+      $ list_approaches_arg $ Mi_obs_cli.term $ Mi_fault_cli.term)
 
 (* the fuzz experiment lives outside mi_bench_kit (the fuzz library
    depends on the bench kit, not vice versa) and registers here *)

@@ -1,19 +1,21 @@
-(** Run a MiniC program under both memory-safety instrumentations and
-    compare their verdicts — the "sanitize my program" workflow of the
-    paper's artifact.
+(** Run a MiniC program under every registered memory-safety checker
+    and compare their verdicts — the "sanitize my program" workflow of
+    the paper's artifact.
 
     {v
-    memsafe prog.c            # verdicts from both approaches
+    memsafe prog.c            # verdicts from every registered checker
+    memsafe --approach tp prog.c    # just the temporal checker
+    memsafe --list-approaches       # what is registered
     memsafe --cases           # replay the §4 usability case studies
     memsafe --profile prog.c  # per-check-site hit/cycle profile
     memsafe --trace t.json prog.c   # Chrome trace of compile+run
     memsafe --inject fuel=1000 prog.c    # fault-injected run
     v}
 
-    Exit status: 0 when the program runs to completion under both
-    approaches, 1 when either reports a safety violation or traps, 2 on
-    usage errors, 3 on resource exhaustion (fuel budget spent — e.g. an
-    infinite loop — or a [--job-timeout] exceeded) without any
+    Exit status: 0 when the program runs to completion under every
+    selected checker, 1 when any reports a safety violation or traps, 2
+    on usage errors, 3 on resource exhaustion (fuel budget spent —
+    e.g. an infinite loop — or a [--job-timeout] exceeded) without any
     violation. *)
 
 open Cmdliner
@@ -38,18 +40,48 @@ let verdict_string (r : Mi_bench_kit.Harness.run) =
       Printf.sprintf "RESOURCE EXHAUSTION: fuel budget of %d spent \
                       (infinite loop?)" budget
 
-let run_file ~ocli ~(fcli : Mi_fault_cli.t) file =
+let list_approaches () =
+  List.iter
+    (fun (c : Mi_core.Checker.t) ->
+      Printf.printf "%-12s %s%s\n" c.Mi_core.Checker.name
+        c.Mi_core.Checker.descr
+        (match c.Mi_core.Checker.aliases with
+        | [] -> ""
+        | al -> Printf.sprintf " (aliases: %s)" (String.concat ", " al)))
+    (Mi_core.Checker.all ())
+
+(* resolve the [--approach] selections against the registry; [] means
+   every registered approach.  Unknown names print the registry and
+   exit 2 — an unknown checker is a lookup miss, not a parse error. *)
+let resolve_approaches = function
+  | [] -> Config.known_approaches ()
+  | names ->
+      List.map
+        (fun n ->
+          match Config.find_approach n with
+          | Some cfg -> cfg.Config.approach
+          | None ->
+              Printf.eprintf
+                "memsafe: unknown approach %s; registered approaches:\n" n;
+              List.iter
+                (fun k -> Printf.eprintf "  %s\n" k)
+                (Config.known_approaches ());
+              exit 2)
+        names
+
+let run_file ~ocli ~(fcli : Mi_fault_cli.t) ~approaches file =
   let code = read_file file in
   let sources = [ Mi_bench_kit.Bench.src (Filename.basename file) code ] in
-  (* one observability context across both approaches: counters are
-     prefixed (sb./lf.) and sites carry their approach, so the registries
-     compose; the trace then shows both compile+run pipelines *)
+  (* one observability context across every approach: counters are
+     prefixed (sb./lf./tp.) and sites carry their approach, so the
+     registries compose; the trace then shows each compile+run pipeline *)
   let obs = Mi_obs_cli.create_obs ocli in
   ignore (Mi_obs_cli.load_profile_in ~app:"memsafe" ocli : Mi_obs.Profile.t option);
   let bad = ref false in
   let exhausted = ref false in
   List.iter
-    (fun (label, approach) ->
+    (fun approach ->
+      let label = Config.approach_name approach in
       let cfg = Config.of_approach approach in
       let setup =
         Mi_bench_kit.Harness.with_config cfg Mi_bench_kit.Harness.baseline
@@ -70,13 +102,13 @@ let run_file ~ocli ~(fcli : Mi_fault_cli.t) file =
       if r.output <> "" then
         Printf.printf "%-18s %s\n" "  program output:"
           (String.concat " | " (String.split_on_char '\n' (String.trim r.output))))
-    [ ("SoftBound", Config.Softbound); ("Low-Fat Pointers", Config.Lowfat) ];
-  (* sites carry their approach, so one merged profile covers both *)
+    approaches;
+  (* sites carry their approach, so one merged profile covers them all *)
   Mi_obs_cli.finish ~app:"memsafe" ocli obs;
   (* a violation outranks exhaustion: exit 3 only for clean-but-starved *)
   if !bad then 1 else if !exhausted then 3 else 0
 
-let run_cases () =
+let run_cases ~approaches =
   List.iter
     (fun (c : Usability.case) ->
       Printf.printf "--- %s (§%s) ---\n" c.case_name c.section;
@@ -89,28 +121,48 @@ let run_cases () =
             (Usability.verdict_to_string verdict)
             (Usability.verdict_to_string expected)
             (if verdict = expected then "" else "  <-- MISMATCH"))
-        [ Config.Softbound; Config.Lowfat ];
+        approaches;
       Printf.printf "  %s\n\n" c.explain)
     (Usability.all @ Mi_bench_kit.Excluded.all);
   0
 
-let main file cases ocli fcli =
-  if cases then run_cases ()
+let main file cases approach_names list_approaches_flag ocli fcli =
+  if list_approaches_flag then begin
+    list_approaches ();
+    0
+  end
   else
-    match file with
-    | Some f when Sys.file_exists f -> (
-        try run_file ~ocli ~fcli f
-        with Fault.Job_timeout budget ->
-          Printf.eprintf "memsafe: wall-clock budget exceeded (%gs)\n" budget;
-          3)
-    | Some f ->
-        Printf.eprintf "memsafe: no such file %s\n" f;
-        2
-    | None ->
-        prerr_endline "memsafe: expected FILE.c or --cases";
-        2
+    let approaches = resolve_approaches approach_names in
+    if cases then run_cases ~approaches
+    else
+      match file with
+      | Some f when Sys.file_exists f -> (
+          try run_file ~ocli ~fcli ~approaches f
+          with Fault.Job_timeout budget ->
+            Printf.eprintf "memsafe: wall-clock budget exceeded (%gs)\n" budget;
+            3)
+      | Some f ->
+          Printf.eprintf "memsafe: no such file %s\n" f;
+          2
+      | None ->
+          prerr_endline "memsafe: expected FILE.c or --cases";
+          2
 
 let file_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.c")
+
+let approach_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "approach" ] ~docv:"APPROACH"
+        ~doc:
+          "check under this registered approach only (repeatable; default: \
+           all registered approaches)")
+
+let list_approaches_arg =
+  Arg.(
+    value & flag
+    & info [ "list-approaches" ]
+        ~doc:"print the registered checker approaches and exit")
 
 let cases_arg =
   Arg.(
@@ -121,15 +173,17 @@ let cases_arg =
 let cmd =
   Cmd.v
     (Cmd.info "memsafe"
-       ~doc:"check a MiniC program with SoftBound and Low-Fat Pointers"
+       ~doc:"check a MiniC program with every registered memory-safety checker"
        ~exits:
-         (Cmd.Exit.info 0 ~doc:"ran to completion under both approaches"
+         (Cmd.Exit.info 0 ~doc:"ran to completion under every selected checker"
          :: Cmd.Exit.info 1 ~doc:"a safety violation or VM trap was reported"
          :: Cmd.Exit.info 3
               ~doc:
                 "resource exhaustion: the fuel budget was spent (infinite \
                  loop?) or the wall-clock budget ran out, with no violation"
          :: Cmd.Exit.defaults))
-    Term.(const main $ file_arg $ cases_arg $ Mi_obs_cli.term $ Mi_fault_cli.term)
+    Term.(
+      const main $ file_arg $ cases_arg $ approach_arg $ list_approaches_arg
+      $ Mi_obs_cli.term $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

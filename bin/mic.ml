@@ -30,8 +30,29 @@ let ep_of_string = function
   | "VectorizerStart" | "vectorizer-start" -> Some Pipeline.VectorizerStart
   | _ -> None
 
-let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
-    ocli (fcli : Mi_fault_cli.t) =
+let list_approaches () =
+  List.iter
+    (fun (c : Mi_core.Checker.t) ->
+      Printf.printf "%-12s %s%s\n" c.Mi_core.Checker.name
+        c.Mi_core.Checker.descr
+        (match c.Mi_core.Checker.aliases with
+        | [] -> ""
+        | al -> Printf.sprintf " (aliases: %s)" (String.concat ", " al)))
+    (Mi_core.Checker.all ())
+
+let run_mic file_opt level_s instrument_s ep_s emit_ir no_run i64_ptrs
+    diagnose list_approaches_flag ocli (fcli : Mi_fault_cli.t) =
+  if list_approaches_flag then begin
+    list_approaches ();
+    exit 0
+  end;
+  let file =
+    match file_opt with
+    | Some f -> f
+    | None ->
+        prerr_endline "mic: required argument FILE.c is missing";
+        exit 2
+  in
   let level =
     match level_of_string level_s with
     | Some l -> l
@@ -49,11 +70,17 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
   let config =
     match instrument_s with
     | "" -> None
-    | "softbound" | "sb" -> Some Config.softbound
-    | "lowfat" | "lf" -> Some Config.lowfat
-    | s ->
-        Printf.eprintf "bad instrumentation %s (softbound|lowfat)\n" s;
-        exit 2
+    | s -> (
+        (* any registered checker name or alias; unknown names list the
+           registry rather than failing as a parse error *)
+        match Config.find_approach s with
+        | Some cfg -> Some cfg
+        | None ->
+            Printf.eprintf "unknown approach %s; registered approaches:\n" s;
+            List.iter
+              (fun n -> Printf.eprintf "  %s\n" n)
+              (Config.known_approaches ());
+            exit 2)
   in
   let src = read_file file in
   let mode = { Mi_minic.Lower.ptr_mem_as_i64 = i64_ptrs } in
@@ -99,17 +126,12 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
         ~sites:obs.Mi_obs.Obs.sites ?coverage:obs.Mi_obs.Obs.coverage ()
     in
     Mi_vm.Builtins.install st;
-    let alloc_global = ref None in
-    (match config with
-    | Some cfg when cfg.approach = Config.Lowfat ->
-        let lf = Mi_lowfat.Lowfat_rt.install ~stack_protection:cfg.lf_stack st in
-        if cfg.lf_globals then
-          alloc_global :=
-            Some
-              (fun st ~name:_ ~size ~align ->
-                Some (Mi_lowfat.Lowfat_rt.alloc_global lf st ~size ~align))
-    | Some _ -> ignore (Mi_softbound.Softbound_rt.install st)
-    | None -> ());
+    let alloc_global =
+      match config with
+      | Some cfg ->
+          Mi_runtimes.Runtimes.install cfg ~modules:[ (m, true) ] st
+      | None -> None
+    in
     Mi_vm.Inject.install fcli.Mi_fault_cli.faults st;
     Option.iter
       (fun budget ->
@@ -117,7 +139,7 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
           ~deadline:(Unix.gettimeofday () +. budget)
           ~budget)
       fcli.Mi_fault_cli.job_timeout;
-    let img = Mi_vm.Interp.load ?alloc_global:!alloc_global st [ m ] in
+    let img = Mi_vm.Interp.load ?alloc_global st [ m ] in
     let res =
       try
         Mi_obs.Trace.with_span obs.Mi_obs.Obs.trace ~cat:"mic" "execute"
@@ -148,7 +170,9 @@ let run_mic file level_s instrument_s ep_s emit_ir no_run i64_ptrs diagnose
   0
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+  (* optional at the parser level so [--list-approaches] works alone;
+     run_mic enforces its presence for every other invocation *)
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c")
 
 let level_arg =
   Arg.(value & opt string "3" & info [ "O" ] ~docv:"LEVEL" ~doc:"0, 1, or 3")
@@ -156,8 +180,18 @@ let level_arg =
 let instr_arg =
   Arg.(
     value & opt string ""
-    & info [ "instrument"; "i" ] ~docv:"APPROACH"
-        ~doc:"softbound or lowfat")
+    & info
+        [ "instrument"; "i"; "approach" ]
+        ~docv:"APPROACH"
+        ~doc:
+          "any registered checker (see --list-approaches), e.g. softbound, \
+           lowfat, temporal")
+
+let list_approaches_arg =
+  Arg.(
+    value & flag
+    & info [ "list-approaches" ]
+        ~doc:"print the registered checker approaches and exit")
 
 let ep_arg =
   Arg.(
@@ -195,7 +229,7 @@ let cmd =
     (Cmd.info "mic" ~doc:"MiniC compiler with memory-safety instrumentation")
     Term.(
       const run_mic $ file_arg $ level_arg $ instr_arg $ ep_arg $ emit_arg
-      $ norun_arg $ i64_arg $ diagnose_arg $ Mi_obs_cli.term
-      $ Mi_fault_cli.term)
+      $ norun_arg $ i64_arg $ diagnose_arg $ list_approaches_arg
+      $ Mi_obs_cli.term $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -86,6 +86,6 @@ let () =
             Harness.with_config (Config.of_approach approach) Harness.baseline
           in
           Printf.printf "  %-10s %s\n" label (verdict setup src))
-        [ ("softbound", Config.Softbound); ("lowfat", Config.Lowfat) ];
+        (List.map (fun a -> (a, a)) (Config.known_approaches ()));
       print_newline ())
     bugs

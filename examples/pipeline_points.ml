@@ -44,7 +44,7 @@ let () =
   in
   let table =
     List.map
-      (fun ep -> (ep, cell Config.Softbound ep, cell Config.Lowfat ep))
+      (fun ep -> (ep, cell "softbound" ep, cell "lowfat" ep))
       Pipeline.all_extension_points
   in
   Printf.printf "%-22s %12s %12s   (geomean over %d benchmarks)\n"
@@ -58,12 +58,12 @@ let () =
      nothing to do with the tools *)
   let get approach ep =
     let _, sb, lf = List.find (fun (e, _, _) -> e = ep) table in
-    match approach with Config.Softbound -> sb | Config.Lowfat -> lf
+    match approach with "lowfat" -> lf | _ -> sb
   in
-  let sb_early = get Config.Softbound Pipeline.ModuleOptimizerEarly in
-  let sb_late = get Config.Softbound Pipeline.VectorizerStart in
-  let lf_early = get Config.Lowfat Pipeline.ModuleOptimizerEarly in
-  let lf_late = get Config.Lowfat Pipeline.VectorizerStart in
+  let sb_early = get "softbound" Pipeline.ModuleOptimizerEarly in
+  let sb_late = get "softbound" Pipeline.VectorizerStart in
+  let lf_early = get "lowfat" Pipeline.ModuleOptimizerEarly in
+  let lf_late = get "lowfat" Pipeline.VectorizerStart in
   Printf.printf
     "\nFair comparison (both at VectorizerStart): SoftBound %.2fx vs \
      Low-Fat %.2fx\n"

@@ -33,7 +33,7 @@ let () =
             (Config.approach_name approach)
             (U.verdict_to_string verdict)
             qualifier)
-        [ Config.Softbound; Config.Lowfat ];
+        (Config.known_approaches ());
       Printf.printf "  %s\n\n" c.explain)
     U.all;
   Printf.printf

@@ -40,6 +40,7 @@ int main(void) {
       ];
     expect_sb = Reports;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -76,6 +77,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true (* UB: the pointer itself is out of bounds *);
   }
 
@@ -109,6 +111,7 @@ int main(void) {
       ];
     expect_sb = Reports;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -145,6 +148,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -180,6 +184,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 

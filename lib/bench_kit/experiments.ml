@@ -18,15 +18,45 @@ module Pipeline = Mi_passes.Pipeline
 module Table = Mi_support.Table
 module Util = Mi_support.Util
 
-(* The paper's measured configurations (§5.2): both approaches with the
-   dominance optimization, inserted at VectorizerStart. *)
-let sb_opt = Harness.with_config (Config.optimized Config.softbound) Harness.baseline
-let lf_opt = Harness.with_config (Config.optimized Config.lowfat) Harness.baseline
+(* The measured configuration of a registered approach (§5.2): the
+   dominance optimization where the checker supports it (both paper
+   approaches, at VectorizerStart), the plain basis otherwise (the
+   temporal checker, where the elimination is unsound). *)
+let opt_setup (approach : Config.approach) =
+  let cfg = Config.of_approach approach in
+  let cfg =
+    if (Mi_core.Checker.find_exn approach).Mi_core.Checker.supports_dominance_opt
+    then Config.optimized cfg
+    else cfg
+  in
+  Harness.with_config cfg Harness.baseline
 
-(* the basis configurations of appendix A.6 (no check elimination) — the
+(* the basis configuration of appendix A.6 (no check elimination) — the
    §4.6 safety statistics are gathered with these *)
-let sb_full = Harness.with_config Config.softbound Harness.baseline
-let lf_full = Harness.with_config Config.lowfat Harness.baseline
+let full_setup (approach : Config.approach) =
+  Harness.with_config (Config.of_approach approach) Harness.baseline
+
+let sb_opt = opt_setup "softbound"
+let lf_opt = opt_setup "lowfat"
+let sb_full = full_setup "softbound"
+let lf_full = full_setup "lowfat"
+
+(* Counter namespace of each runtime ("sb.checks", "lf.checks_wide",
+   "tp.checks", ...).  Kept alongside the display name used in table
+   headers; both are pure renderings of the registry name. *)
+let counter_prefix (approach : Config.approach) =
+  match Config.approach_name approach with
+  | "softbound" -> "sb"
+  | "lowfat" -> "lf"
+  | "temporal" -> "tp"
+  | other -> invalid_arg ("Experiments: no counter prefix for " ^ other)
+
+let display_name (approach : Config.approach) =
+  match Config.approach_name approach with
+  | "softbound" -> "SoftBound"
+  | "lowfat" -> "Low-Fat"
+  | "temporal" -> "Temporal"
+  | other -> other
 
 let fmt_x f = Printf.sprintf "%.2fx" f
 let fmt_pct f = Printf.sprintf "%.2f" f
@@ -137,51 +167,61 @@ let run_reports ?(benchmarks = Suite.all) ?(keep_going = false)
 (* Figure 9: execution-time comparison                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* One column per registered checker, enumerated from the registry: a
+   fourth approach gets a Figure 9 column by registering, not by
+   editing this file. *)
 let fig9_jobs benchmarks =
+  let setups = List.map opt_setup (Config.known_approaches ()) in
   List.concat_map
-    (fun b -> [ (Harness.baseline, b); (sb_opt, b); (lf_opt, b) ])
+    (fun b -> (Harness.baseline, b) :: List.map (fun s -> (s, b)) setups)
     benchmarks
 
 let fig9_reduce lookup benchmarks : report =
   let run = strict lookup in
+  let approaches = Config.known_approaches () in
   let tbl =
     Table.create
-      ~aligns:[ Table.Left; Right; Right; Right ]
-      [ "Benchmark"; "SoftBound"; "Low-Fat"; "baseline cycles" ]
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) approaches @ [ Table.Right ])
+      (("Benchmark" :: List.map display_name approaches) @ [ "baseline cycles" ])
   in
-  let sbs = ref [] and lfs = ref [] in
-  let pts_sb = ref [] and pts_lf = ref [] in
+  let acc = List.map (fun a -> (a, ref [])) approaches in
+  let pts = List.map (fun a -> (a, ref [])) approaches in
   List.iter
     (fun (b : Bench.t) ->
       let base = run Harness.baseline b in
-      let sb = run sb_opt b in
-      let lf = run lf_opt b in
-      let osb = Harness.overhead ~baseline:base sb in
-      let olf = Harness.overhead ~baseline:base lf in
-      sbs := osb :: !sbs;
-      lfs := olf :: !lfs;
-      pts_sb := (b.name, osb) :: !pts_sb;
-      pts_lf := (b.name, olf) :: !pts_lf;
-      Table.add_row tbl
-        [ b.name; fmt_x osb; fmt_x olf; string_of_int base.cycles ])
+      let cells =
+        List.map
+          (fun a ->
+            let o = Harness.overhead ~baseline:base (run (opt_setup a) b) in
+            (List.assoc a acc) := o :: !(List.assoc a acc);
+            (List.assoc a pts) := (b.name, o) :: !(List.assoc a pts);
+            fmt_x o)
+          approaches
+      in
+      Table.add_row tbl ((b.name :: cells) @ [ string_of_int base.cycles ]))
     benchmarks;
-  let mean_sb = Util.geomean !sbs and mean_lf = Util.geomean !lfs in
-  Table.add_row tbl [ "geomean"; fmt_x mean_sb; fmt_x mean_lf; "" ];
   Table.add_row tbl
-    [
-      "geomean (paper)";
-      fmt_x Paper_data.fig9_mean_sb;
-      fmt_x Paper_data.fig9_mean_lf;
-      "";
-    ];
+    (("geomean"
+     :: List.map (fun a -> fmt_x (Util.geomean !(List.assoc a acc))) approaches)
+    @ [ "" ]);
+  Table.add_row tbl
+    (("geomean (paper)"
+     :: List.map
+          (fun a ->
+            match Config.approach_name a with
+            | "softbound" -> fmt_x Paper_data.fig9_mean_sb
+            | "lowfat" -> fmt_x Paper_data.fig9_mean_lf
+            | _ -> "-")
+          approaches)
+    @ [ "" ]);
   {
     title = "Figure 9: Execution Time Comparison (normalized to -O3)";
     text = Table.render tbl;
     series =
-      [
-        { label = "softbound"; points = List.rev !pts_sb };
-        { label = "lowfat"; points = List.rev !pts_lf };
-      ];
+      List.map
+        (fun a ->
+          { label = Config.approach_name a; points = List.rev !(List.assoc a pts) })
+        approaches;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -314,59 +354,66 @@ let fig13_title =
 (* ------------------------------------------------------------------ *)
 
 let wide_fraction (r : Harness.run) ~approach =
-  match (approach : Config.approach) with
-  | Config.Softbound ->
-      Util.percent (Harness.counter r "sb.checks_wide")
-        (Harness.counter r "sb.checks")
-  | Config.Lowfat ->
-      Util.percent (Harness.counter r "lf.checks_wide")
-        (Harness.counter r "lf.checks")
+  let p = counter_prefix approach in
+  Util.percent
+    (Harness.counter r (p ^ ".checks_wide"))
+    (Harness.counter r (p ^ ".checks"))
 
 let star fraction wide_count =
   if wide_count = 0 then Printf.sprintf "%s*" (fmt_pct fraction)
   else fmt_pct fraction
 
 let table2_jobs benchmarks =
-  List.concat_map (fun b -> [ (sb_full, b); (lf_full, b) ]) benchmarks
+  let setups = List.map full_setup (Config.known_approaches ()) in
+  List.concat_map (fun b -> List.map (fun s -> (s, b)) setups) benchmarks
+
+(* Paper reference cells exist only for the two paper approaches; every
+   other registered checker renders "-" in its (paper) column. *)
+let table2_paper_cell (b : Bench.t) approach =
+  let cell get get_star =
+    match List.assoc_opt b.Bench.name Paper_data.table2 with
+    | None -> "-"
+    | Some p -> (
+        match get p with
+        | None -> "n/a"
+        | Some v ->
+            if get_star p then Printf.sprintf "%.2f*" v
+            else Printf.sprintf "%.2f" v)
+  in
+  match Config.approach_name approach with
+  | "softbound" -> cell (fun p -> p.Paper_data.sb) (fun p -> p.Paper_data.sb_star)
+  | "lowfat" -> cell (fun p -> p.Paper_data.lf) (fun p -> p.Paper_data.lf_star)
+  | _ -> "-"
 
 let table2_reduce lookup benchmarks : report =
   let run = strict lookup in
+  let approaches = Config.known_approaches () in
+  let short a = String.uppercase_ascii (counter_prefix a) in
   let tbl =
     Table.create
-      ~aligns:[ Table.Left; Right; Right; Right; Right ]
-      [ "Benchmark"; "SB"; "SB (paper)"; "LF"; "LF (paper)" ]
+      ~aligns:
+        (Table.Left
+        :: List.concat_map (fun _ -> [ Table.Right; Table.Right ]) approaches)
+      ("Benchmark"
+      :: List.concat_map (fun a -> [ short a; short a ^ " (paper)" ]) approaches)
   in
-  let pts_sb = ref [] and pts_lf = ref [] in
+  let pts = List.map (fun a -> (a, ref [])) approaches in
   List.iter
     (fun (b : Bench.t) ->
-      let sb = run sb_full b in
-      let lf = run lf_full b in
-      let fsb = wide_fraction sb ~approach:Config.Softbound in
-      let flf = wide_fraction lf ~approach:Config.Lowfat in
-      pts_sb := (b.name, fsb) :: !pts_sb;
-      pts_lf := (b.name, flf) :: !pts_lf;
-      let paper =
-        List.assoc_opt b.name Paper_data.table2
-      in
-      let paper_cell get get_star =
-        match paper with
-        | None -> "-"
-        | Some p -> (
-            match get p with
-            | None -> "n/a"
-            | Some v ->
-                if get_star p then Printf.sprintf "%.2f*" v
-                else Printf.sprintf "%.2f" v)
+      let cells =
+        List.concat_map
+          (fun a ->
+            let r = run (full_setup a) b in
+            let f = wide_fraction r ~approach:a in
+            (List.assoc a pts) := (b.name, f) :: !(List.assoc a pts);
+            [
+              star f (Harness.counter r (counter_prefix a ^ ".checks_wide"));
+              table2_paper_cell b a;
+            ])
+          approaches
       in
       let name = if b.size_zero_arrays then b.name ^ " [sz0]" else b.name in
-      Table.add_row tbl
-        [
-          name;
-          star fsb (Harness.counter sb "sb.checks_wide");
-          paper_cell (fun p -> p.Paper_data.sb) (fun p -> p.Paper_data.sb_star);
-          star flf (Harness.counter lf "lf.checks_wide");
-          paper_cell (fun p -> p.Paper_data.lf) (fun p -> p.Paper_data.lf_star);
-        ])
+      Table.add_row tbl (name :: cells))
     benchmarks;
   (* raw wide-bounds counters ride along as extra series so machine
      consumers (--json) need not re-derive them from percentages *)
@@ -387,14 +434,21 @@ let table2_reduce lookup benchmarks : report =
        checks.";
     text = Table.render tbl;
     series =
-      [
-        { label = "sb_wide_pct"; points = List.rev !pts_sb };
-        { label = "lf_wide_pct"; points = List.rev !pts_lf };
-        raw "sb_checks_wide" "sb.checks_wide" sb_full;
-        raw "sb_checks" "sb.checks" sb_full;
-        raw "lf_checks_wide" "lf.checks_wide" lf_full;
-        raw "lf_checks" "lf.checks" lf_full;
-      ];
+      List.map
+        (fun a ->
+          {
+            label = counter_prefix a ^ "_wide_pct";
+            points = List.rev !(List.assoc a pts);
+          })
+        approaches
+      @ List.concat_map
+          (fun a ->
+            let p = counter_prefix a in
+            [
+              raw (p ^ "_checks_wide") (p ^ ".checks_wide") (full_setup a);
+              raw (p ^ "_checks") (p ^ ".checks") (full_setup a);
+            ])
+          approaches;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -540,7 +594,7 @@ let ablation_lf_reduce lookup benchmarks : report =
           (fun (label, cfg) ->
             let r = run (Harness.with_config cfg Harness.baseline) b in
             let ov = Harness.overhead ~baseline:base r in
-            let w = wide_fraction r ~approach:Config.Lowfat in
+            let w = wide_fraction r ~approach:"lowfat" in
             (List.assoc label pts) := (b.name, w) :: !(List.assoc label pts);
             [ fmt_x ov; fmt_pct w ])
           variants
@@ -617,24 +671,27 @@ let ablation_sz0_reduce (lookup : lookup) benchmarks : report =
 (* Where does the modeled check time actually go?  Reuses the optimized
    runs of Figure 9: every {!Harness.run} carries the per-site profile. *)
 let hotchecks_jobs benchmarks =
-  List.concat_map (fun b -> [ (sb_opt, b); (lf_opt, b) ]) benchmarks
+  let setups = List.map opt_setup (Config.known_approaches ()) in
+  List.concat_map (fun b -> List.map (fun s -> (s, b)) setups) benchmarks
 
 let hotchecks_reduce ?(n = 5) lookup benchmarks : report =
   let run = strict lookup in
+  let approaches = Config.known_approaches () in
   let buf = Buffer.create 1024 in
-  let pts_sb = ref [] and pts_lf = ref [] in
+  let pts = List.map (fun a -> (a, ref [])) approaches in
   List.iter
     (fun (b : Bench.t) ->
       List.iter
-        (fun (label, setup, pts) ->
-          let r = run setup b in
-          pts :=
+        (fun a ->
+          let r = run (opt_setup a) b in
+          (List.assoc a pts) :=
             (b.name, float_of_int (Mi_obs.Site.total_cycles r.Harness.profile))
-            :: !pts;
+            :: !(List.assoc a pts);
           Buffer.add_string buf
-            (Printf.sprintf "-- %s / %s --\n%s\n" b.name label
+            (Printf.sprintf "-- %s / %s --\n%s\n" b.name
+               (Config.approach_name a)
                (Mi_obs.Site.render ~n r.Harness.profile)))
-        [ ("softbound", sb_opt, pts_sb); ("lowfat", lf_opt, pts_lf) ])
+        approaches)
     benchmarks;
   {
     title =
@@ -644,10 +701,13 @@ let hotchecks_reduce ?(n = 5) lookup benchmarks : report =
         n;
     text = Buffer.contents buf;
     series =
-      [
-        { label = "sb_check_cycles"; points = List.rev !pts_sb };
-        { label = "lf_check_cycles"; points = List.rev !pts_lf };
-      ];
+      List.map
+        (fun a ->
+          {
+            label = counter_prefix a ^ "_check_cycles";
+            points = List.rev !(List.assoc a pts);
+          })
+        approaches;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -741,33 +801,33 @@ let () =
         name = "fig10";
         aliases = [ "f10" ];
         descr = "SoftBound optimized/unoptimized/metadata overhead";
-        jobs = fig_opt_variants_jobs ~approach:Config.Softbound;
+        jobs = fig_opt_variants_jobs ~approach:"softbound";
         reduce =
           fig_opt_variants_reduce ~title:fig10_title
-            ~approach:Config.Softbound;
+            ~approach:"softbound";
       };
       {
         name = "fig11";
         aliases = [ "f11" ];
         descr = "Low-Fat optimized/unoptimized/metadata overhead";
-        jobs = fig_opt_variants_jobs ~approach:Config.Lowfat;
+        jobs = fig_opt_variants_jobs ~approach:"lowfat";
         reduce =
-          fig_opt_variants_reduce ~title:fig11_title ~approach:Config.Lowfat;
+          fig_opt_variants_reduce ~title:fig11_title ~approach:"lowfat";
       };
       {
         name = "fig12";
         aliases = [ "f12" ];
         descr = "extension-point impact on SoftBound";
-        jobs = fig_eps_jobs ~approach:Config.Softbound;
+        jobs = fig_eps_jobs ~approach:"softbound";
         reduce =
-          fig_eps_reduce ~title:fig12_title ~approach:Config.Softbound;
+          fig_eps_reduce ~title:fig12_title ~approach:"softbound";
       };
       {
         name = "fig13";
         aliases = [ "f13" ];
         descr = "extension-point impact on Low-Fat";
-        jobs = fig_eps_jobs ~approach:Config.Lowfat;
-        reduce = fig_eps_reduce ~title:fig13_title ~approach:Config.Lowfat;
+        jobs = fig_eps_jobs ~approach:"lowfat";
+        reduce = fig_eps_reduce ~title:fig13_title ~approach:"lowfat";
       };
       {
         name = "table2";

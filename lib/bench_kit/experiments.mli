@@ -10,6 +10,18 @@ module Config = Mi_core.Config
 
 (** {1 Shared setups} *)
 
+val opt_setup : Config.approach -> Harness.setup
+(** The measured configuration of a registered approach: the dominance
+    optimization where the checker supports it (§5.2), the plain basis
+    otherwise. *)
+
+val full_setup : Config.approach -> Harness.setup
+(** The approach's basis configuration, without check elimination
+    (appendix A.6). *)
+
+val counter_prefix : Config.approach -> string
+(** The runtime-counter namespace of the approach ("sb", "lf", "tp"). *)
+
 val sb_opt : Harness.setup
 (** SoftBound with the dominance optimization (§5.2). *)
 

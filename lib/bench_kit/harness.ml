@@ -159,43 +159,14 @@ let execute ?(faults = Fault.none) ?deadline ~obs (setup : setup)
     (fun (at, budget) -> Mi_vm.Inject.arm_deadline st ~deadline:at ~budget)
     deadline;
   Mi_vm.Builtins.install st;
-  let alloc_global = ref None in
-  (match setup.config with
-  | Some cfg -> (
-      match cfg.approach with
-      | Config.Lowfat ->
-          let lf =
-            Mi_lowfat.Lowfat_rt.install ~stack_protection:cfg.lf_stack st
-          in
-          if cfg.lf_globals then begin
-            (* mirror only globals defined by instrumented units: library
-               globals stay in the unprotected segment (§4.3) *)
-            let mirrored = Hashtbl.create 32 in
-            List.iter
-              (fun ((m : Mi_mir.Irmod.t), instrumented) ->
-                if instrumented then
-                  List.iter
-                    (fun (g : Mi_mir.Irmod.global) ->
-                      if not g.gextern then
-                        Hashtbl.replace mirrored g.gname ())
-                    m.globals)
-              modules;
-            alloc_global :=
-              Some
-                (fun st ~name ~size ~align ->
-                  if Hashtbl.mem mirrored name then
-                    Some (Mi_lowfat.Lowfat_rt.alloc_global lf st ~size ~align)
-                  else None)
-          end
-      | Config.Softbound ->
-          ignore
-            (Mi_softbound.Softbound_rt.install
-               ~wrapper_checks:cfg.sb_wrapper_checks st))
-  | None -> ());
+  let alloc_global =
+    match setup.config with
+    | Some cfg -> Mi_runtimes.Runtimes.install cfg ~modules st
+    | None -> None
+  in
   let img =
     Mi_obs.Trace.with_span tracer ~cat:"harness" "load" (fun () ->
-        Mi_vm.Interp.load ?alloc_global:!alloc_global st
-          (List.map fst modules))
+        Mi_vm.Interp.load ?alloc_global st (List.map fst modules))
   in
   let program_instrs =
     Mi_mir.Irmod.instr_count (Mi_vm.Interp.merged_module img)
@@ -302,11 +273,6 @@ let expect_ok (b : Bench.t) (res : (run, error) result) : run =
   match Result.bind res (check_run b) with
   | Ok r -> r
   | Error e -> raise (Benchmark_failed (e.bench, e.reason))
-
-(** Like {!run_benchmark} but raises unless the program exits normally
-    and matches its expected output. *)
-let run_benchmark_exn (setup : setup) (b : Bench.t) : run =
-  expect_ok b (Ok (run_benchmark setup b))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions: obs + cache + worker pool                                 *)

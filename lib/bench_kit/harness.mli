@@ -207,10 +207,3 @@ val run_sources :
     {!Mi_faultkit.Fault.Job_timeout} when exceeded. *)
 
 val run_benchmark : ?obs:Mi_obs.Obs.t -> setup -> Bench.t -> run
-
-val run_benchmark_exn : setup -> Bench.t -> run
-[@@ocaml.deprecated
-  "use a session: Harness.expect_ok b (Harness.run t setup b)"]
-(** @deprecated Raises on any non-clean outcome.  Use a session's
-    result-returning {!run} (with {!expect_ok} where strictness is
-    wanted) instead. *)

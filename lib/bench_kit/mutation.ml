@@ -61,12 +61,25 @@ type campaign = {
    case stops after one mutant run: each of the three access-check
    ordinals in a corpus [main] (init store, body access, trailing print
    load) is the reporting site of one of the first three kinds. *)
-let kill_order =
+let spatial_kill_order =
   Safety_corpus.
     [
       Init_oob; Past_class; Tail_oob; Just_past; Underflow_one; Underflow_far;
       Cross_end_width; Last_elem; In_bounds;
     ]
+
+(* The temporal checker never reports a spatial overflow, so its
+   mutants are killed by the temporal kinds (one per access-check
+   ordinal, by construction of the corpus).  The spatial kinds stay in
+   its list as wide/unreached evidence for families without temporal
+   kinds (globals are untracked: every check is wide).  Spatial
+   checkers keep their original list — temporal kinds cannot flip
+   them. *)
+let kill_order_for approach (fam : Safety_corpus.family) =
+  if Config.approach_name approach = "temporal" then
+    Safety_corpus.temporal_kinds_for fam.Safety_corpus.fam_region
+    @ spatial_kill_order
+  else spatial_kill_order
 
 let run_case ?(faults = Fault.none) approach (fam : Safety_corpus.family) kind
     : Harness.run =
@@ -100,7 +113,8 @@ let ordinals approach (fam : Safety_corpus.family) : int =
       a + s.Mi_core.Instrument.total_checks_placed)
     0 r.Harness.static_stats
 
-(** All mutants of the full (approach x family x ordinal) space. *)
+(** All mutants of the full (approach x family x ordinal) space, over
+    every approach in the checker registry. *)
 let all_mutants () : mutant list =
   List.concat_map
     (fun mu_approach ->
@@ -110,7 +124,7 @@ let all_mutants () : mutant list =
             (ordinals mu_approach mu_family)
             (fun mu_ordinal -> { mu_approach; mu_family; mu_ordinal }))
         Safety_corpus.families)
-    [ Config.Softbound; Config.Lowfat ]
+    (Config.known_approaches ())
 
 (* Judge one mutant.  [baseline] memoizes unmutated runs per kind. *)
 let judge baseline (m : mutant) : status =
@@ -160,7 +174,7 @@ let judge baseline (m : mutant) : status =
           in
           try_kinds (ev :: wide_evidence) rest
   in
-  try_kinds [] kill_order
+  try_kinds [] (kill_order_for m.mu_approach m.mu_family)
 
 (** Run a campaign.  [sample_per_approach] bounds the mutants judged
     per approach (seeded Fisher-Yates sample over the full space, so
@@ -181,7 +195,7 @@ let run ?(seed = 0xC0FFEE) ?sample_per_approach () : campaign =
             in
             Mi_support.Rng.shuffle rng pool;
             Array.to_list (Array.sub pool 0 (min k (Array.length pool))))
-          [ Config.Softbound; Config.Lowfat ]
+          (Config.known_approaches ())
   in
   let baseline_tbl = Hashtbl.create 64 in
   let baseline key =

@@ -39,16 +39,37 @@ type kind =
   | Cross_end_width  (** 8-byte access straddling the exact bound *)
   | Init_oob  (** the init loop itself runs past the size class *)
   | Tail_oob  (** the trailing print reads past the size class *)
+  | Uaf_init  (** the init loop writes a dead object (others stay live) *)
+  | Uaf_use  (** the body access reads/writes a dead object *)
+  | Uaf_tail  (** the trailing print reads a dead object *)
+  | Double_free  (** the object is freed twice (heap only) *)
+  | Temporal_ok  (** free after the last use: must stay clean everywhere *)
 
 let regions = [ Heap; Stack; Global ]
 let elems = [ Char; Long ]
 let accesses = [ Read; Write ]
 
+(** The spatial kinds, valid for every family. *)
 let all_kinds =
   [
     In_bounds; Last_elem; Just_past; Past_class; Underflow_one; Underflow_far;
     Cross_end_width; Init_oob; Tail_oob;
   ]
+
+(** Temporal kinds valid for a family of the given region.  Heap
+    families free [malloc]ed objects; stack families materialize the
+    dead object as a {e dangling stack reference} (a helper returns a
+    pointer to its local array, dead once the frame exits).  Globals
+    have static storage duration — temporal safety is trivial, so no
+    temporal kinds exist for them. *)
+let temporal_kinds_for = function
+  | Heap -> [ Uaf_init; Uaf_use; Uaf_tail; Double_free; Temporal_ok ]
+  | Stack -> [ Uaf_init; Uaf_use; Uaf_tail ]
+  | Global -> []
+
+let is_temporal_kind = function
+  | Uaf_init | Uaf_use | Uaf_tail | Double_free | Temporal_ok -> true
+  | _ -> false
 
 let region_name = function Heap -> "heap" | Stack -> "stack" | Global -> "global"
 let elem_name = function Char -> "char" | Long -> "long"
@@ -64,6 +85,11 @@ let kind_name = function
   | Cross_end_width -> "cross_end_width"
   | Init_oob -> "init_oob"
   | Tail_oob -> "tail_oob"
+  | Uaf_init -> "uaf_init"
+  | Uaf_use -> "uaf_use"
+  | Uaf_tail -> "uaf_tail"
+  | Double_free -> "double_free"
+  | Temporal_ok -> "temporal_ok"
 
 (* array extents chosen so that "just past" lands in low-fat padding *)
 let n_elems = function Char -> 20 | Long -> 10
@@ -82,6 +108,8 @@ let index_of_kind elem = function
   | Underflow_far -> -50
   | Cross_end_width -> n_elems elem (* only used with the i64 overlay *)
   | Init_oob | Tail_oob -> 1 (* the body access stays in bounds *)
+  | Uaf_init | Uaf_use | Uaf_tail | Double_free | Temporal_ok ->
+      1 (* spatially in bounds: the violation, if any, is temporal *)
 
 (* geometry oracle mirroring the runtime *)
 let lf_detects elem kind =
@@ -101,9 +129,23 @@ let lf_detects elem kind =
       off < 0 || off + width > cls
 
 let sb_detects kind =
-  match kind with In_bounds | Last_elem -> false | _ -> true
+  if is_temporal_kind kind then false
+  else match kind with In_bounds | Last_elem -> false | _ -> true
 
-let program region elem access kind : string =
+(* the temporal oracle: lock-and-key reports every access to a dead
+   object and every double free; spatial overflows within a live
+   allocation carry a live key and pass *)
+let tp_detects kind = is_temporal_kind kind && kind <> Temporal_ok
+
+(** Whether a clean (non-reporting) run of this case may legitimately
+    end in a VM trap instead of a normal exit: the double-free program
+    run under an approach whose [free] forwards to the standard
+    allocator traps there ("free of non-allocated").  Callers that
+    demand [Exited] must excuse these. *)
+let may_trap approach kind =
+  kind = Double_free && Mi_core.Config.approach_name approach <> "temporal"
+
+let spatial_program region elem access kind : string =
   let n = n_elems elem in
   let ty = elem_name elem in
   let decl =
@@ -153,12 +195,99 @@ int main(void) {
 |}
     global_decl decl init_bound ty body tail_index
 
+(* Temporal corpus programs.  Like the spatial ones, every program
+   places exactly three access checks in [main] — the init-loop store,
+   the body access, the trailing print — and each Uaf_* kind makes
+   exactly one of them the unique reporting site (the accesses after the
+   kill touch only the dead object; the others touch a live one), so
+   deleting that check flips the verdict and the mutation engine can
+   kill every temporal mutant. *)
+
+let body_access ty access target idx =
+  match access with
+  | Read -> Printf.sprintf "  print_int(%s[%d]);" target idx
+  | Write -> Printf.sprintf "  %s[%d] = (%s)7;" target idx ty
+
+(* heap: the dead object is a freed malloc block *)
+let temporal_heap_program elem access kind : string =
+  let n = n_elems elem in
+  let ty = elem_name elem in
+  let alloc v = Printf.sprintf "  %s *%s = (%s *)malloc(%d * sizeof(%s));" ty v ty n ty in
+  match kind with
+  | Uaf_init ->
+      (* only the init loop touches the dead object *)
+      Printf.sprintf "int main(void) {\n%s\n%s\n  long i;\n  free(a);\n\
+        \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n%s\n  print_int(b[0]);\n\
+        \  return 0;\n}\n"
+        (alloc "a") (alloc "b") n ty (body_access ty access "b" 1)
+  | Uaf_use ->
+      (* only the body access touches the dead object *)
+      Printf.sprintf "int main(void) {\n%s\n%s\n  long i;\n\
+        \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n  free(a);\n%s\n\
+        \  print_int(b[0]);\n  return 0;\n}\n"
+        (alloc "a") (alloc "b") n ty (body_access ty access "a" 1)
+  | Uaf_tail ->
+      (* only the trailing print touches the dead object *)
+      Printf.sprintf "int main(void) {\n%s\n  long i;\n\
+        \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n%s\n  free(a);\n\
+        \  print_int(a[0]);\n  return 0;\n}\n"
+        (alloc "a") n ty (body_access ty access "a" 1)
+  | Double_free ->
+      Printf.sprintf "int main(void) {\n%s\n  long i;\n\
+        \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n%s\n  print_int(a[0]);\n\
+        \  free(a);\n  free(a);\n  return 0;\n}\n"
+        (alloc "a") n ty (body_access ty access "a" 1)
+  | Temporal_ok ->
+      Printf.sprintf "int main(void) {\n%s\n  long i;\n\
+        \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n%s\n  print_int(a[0]);\n\
+        \  free(a);\n  return 0;\n}\n"
+        (alloc "a") n ty (body_access ty access "a" 1)
+  | _ -> invalid_arg "not a temporal kind"
+
+(* stack: the dead object is a helper's local array, dead once the
+   helper's frame exits (a dangling stack reference) *)
+let temporal_stack_program elem access kind : string =
+  let n = n_elems elem in
+  let ty = elem_name elem in
+  let mk = Printf.sprintf "%s *mk(void) {\n  %s x[%d];\n  return x;\n}\n" ty ty n in
+  match kind with
+  | Uaf_init ->
+      (* the init loop writes through the dangling reference *)
+      mk
+      ^ Printf.sprintf "int main(void) {\n  %s b[%d];\n  %s *p;\n  long i;\n\
+          \  p = mk();\n  for (i = 0; i < %d; i++) p[i] = (%s)i;\n%s\n\
+          \  print_int(b[0]);\n  return 0;\n}\n"
+          ty n ty n ty (body_access ty access "b" 1)
+  | Uaf_use ->
+      mk
+      ^ Printf.sprintf "int main(void) {\n  %s a[%d];\n  %s *p;\n  long i;\n\
+          \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n  p = mk();\n%s\n\
+          \  print_int(a[0]);\n  return 0;\n}\n"
+          ty n ty n ty (body_access ty access "p" 1)
+  | Uaf_tail ->
+      mk
+      ^ Printf.sprintf "int main(void) {\n  %s a[%d];\n  %s *p;\n  long i;\n\
+          \  for (i = 0; i < %d; i++) a[i] = (%s)i;\n%s\n  p = mk();\n\
+          \  print_int(p[0]);\n  return 0;\n}\n"
+          ty n ty n ty (body_access ty access "a" 1)
+  | _ -> invalid_arg "temporal stack kind without a stack realization"
+
+let program region elem access kind : string =
+  if is_temporal_kind kind then
+    match region with
+    | Heap -> temporal_heap_program elem access kind
+    | Stack -> temporal_stack_program elem access kind
+    | Global -> invalid_arg "no temporal kinds for globals"
+  else spatial_program region elem access kind
+
 (** Expected verdict of the oracle: does [approach] report a violation
     for this case? *)
 let detects approach elem kind =
-  match approach with
-  | Config.Softbound -> sb_detects kind
-  | Config.Lowfat -> lf_detects elem kind
+  match Config.approach_name approach with
+  | "softbound" -> sb_detects kind
+  | "lowfat" -> (not (is_temporal_kind kind)) && lf_detects elem kind
+  | "temporal" -> tp_detects kind
+  | a -> invalid_arg (Printf.sprintf "no corpus oracle for approach %S" a)
 
 (** The setup every corpus case runs under: the approach's basis
     configuration at O1 (all checks kept). *)

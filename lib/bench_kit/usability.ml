@@ -19,6 +19,9 @@ type case = {
   sources : Bench.source list;
   expect_sb : verdict;
   expect_lf : verdict;
+  expect_tp : verdict;
+      (** the temporal checker: [Works] on every spatial pitfall (out of
+          its scope), [Reports] on the temporal ones *)
   is_actual_bug : bool;
       (** does the program really violate C (so a report is a true
           positive)? *)
@@ -63,6 +66,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = false;
   }
 
@@ -109,6 +113,7 @@ int main(void) {
     sources = [ swap_unit; main_unit ];
     expect_sb = Reports;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = false;
   }
 
@@ -151,6 +156,7 @@ int main(void) {
       ];
     expect_sb = Reports;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = false;
   }
 
@@ -192,6 +198,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true (* UB per C, but idiomatic code *);
   }
 
@@ -224,6 +231,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -254,6 +262,7 @@ int main(void) {
       ];
     expect_sb = Reports;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -281,6 +290,7 @@ int main(void) {
       ];
     expect_sb = Reports;
     expect_lf = Reports;
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -313,6 +323,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = false;
   }
 
@@ -351,6 +362,7 @@ int main(void) {
       ];
     expect_sb = Works (* false negative *);
     expect_lf = Works (* false negative *);
+    expect_tp = Works;
     is_actual_bug = true;
   }
 
@@ -385,6 +397,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = true (* per C, the padding bytes are unspecified *);
   }
 
@@ -429,6 +442,7 @@ int main(void) {
       ];
     expect_sb = Reports;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = false;
   }
 
@@ -462,6 +476,7 @@ int main(void) {
       ];
     expect_sb = Works (* undetected: temporal, not spatial *);
     expect_lf = Works;
+    expect_tp = Reports (* exactly the gap the temporal checker closes *);
     is_actual_bug = true;
   }
 
@@ -493,6 +508,7 @@ int main(void) {
       ];
     expect_sb = Works;
     expect_lf = Works;
+    expect_tp = Works;
     is_actual_bug = false;
   }
 
@@ -531,9 +547,12 @@ let run_case ?(level = Mi_passes.Pipeline.O3) (c : case)
   let r = Harness.run_sources setup c.sources in
   (verdict_of_outcome r.outcome, r)
 
-let expected (c : case) = function
-  | Config.Softbound -> c.expect_sb
-  | Config.Lowfat -> c.expect_lf
+let expected (c : case) approach =
+  match Config.approach_name approach with
+  | "softbound" -> c.expect_sb
+  | "lowfat" -> c.expect_lf
+  | "temporal" -> c.expect_tp
+  | a -> invalid_arg (Printf.sprintf "no usability expectation for %S" a)
 
 let verdict_to_string = function
   | Works -> "runs"

@@ -1,0 +1,104 @@
+(** The pluggable checker interface and its registry.
+
+    The generic instrumentation pass ([Mi_core.Instrument]) drives
+    target discovery and witness memoization; everything
+    approach-specific — witness shape and sources, invariant
+    maintenance, the spelling of a dereference check — lives behind a
+    {!t} resolved by name.  Checkers self-register at module
+    initialization (see [Mi_core.Schemes]); registering also registers
+    the checker's configuration basis in {!Mi_core.Config}. *)
+
+open Mi_mir
+
+type witness = Value.t array
+(** The SSA values carrying a pointer's metadata to its uses (§3.1):
+    [[|base; bound|]] for SoftBound, [[|base|]] for Low-Fat, [[|key|]]
+    for the temporal checker. *)
+
+(** Per-function instrumentation context handed to checker callbacks. *)
+type ctx = {
+  config : Config.t;
+  m : Irmod.t;
+  f : Func.t;
+  edit : Edit.t;
+  mutable witness_of : Value.t -> witness;
+      (** memoized witness lookup (tied by the instrumenter) *)
+  new_site : string -> Value.t;
+      (** register a site; returns the id constant for the check call *)
+  count_invariant : unit -> unit;
+  set_call_ret : Edit.anchor -> witness -> unit;
+  get_call_ret : Edit.anchor -> witness option;
+}
+
+type t = {
+  name : string;  (** registry name; equals [basis.approach] *)
+  aliases : string list;
+  descr : string;
+  basis : Config.t;
+  components : (string * string * Ty.t) array;
+      (** witness slots: (phi name, select name, slot type) *)
+  supports_dominance_opt : bool;
+      (** is dominance-based check elimination (§5.3) sound here?
+          [false] for the temporal checker: a [free] between two
+          accesses invalidates the dominated check's premise *)
+  wide : witness;  (** the "never reports" witness (weakened checks) *)
+  w_const : ctx -> Value.t -> witness;
+  w_global : ctx -> string -> witness;
+  w_param : ctx -> Value.var -> idx:int -> witness;
+  w_alloca : ctx -> Edit.anchor -> Value.var -> size:int -> witness;
+  w_load : ctx -> Edit.anchor -> Value.var -> addr:Value.t -> witness;
+  w_inttoptr : ctx -> Edit.anchor -> Value.var -> witness;
+  w_cast_other : ctx -> Value.var -> witness;
+  w_call :
+    ctx ->
+    Edit.anchor ->
+    Value.var ->
+    callee:string ->
+    args:Value.t list ->
+    witness option;
+  w_call_fallback : ctx -> Edit.anchor -> Value.var -> witness;
+  emit_ptr_store : ctx -> Itarget.ptr_store -> unit;
+  emit_call : ctx -> Itarget.call -> unit;
+  emit_ret : ctx -> Itarget.ptr_ret -> unit;
+  emit_escape : ctx -> Itarget.ptr_escape_cast -> unit;
+  emit_memop_invariant : ctx -> Itarget.memop -> unit;
+  check_op :
+    ptr:Value.t -> width:Value.t -> witness -> site:Value.t -> Instr.op;
+  prepare_func : Config.t -> Func.t -> unit;
+  module_ctor : Config.t -> Irmod.t -> Func.t option;
+}
+
+(** {1 Helpers shared by checker schemes} *)
+
+val wide_bound : int
+(** Upper bound of the addressable space (kept in sync with
+    [Mi_vm.Layout]; asserted equal by the verifier tests). *)
+
+val vi64 : int -> Value.t
+val vptr : int -> Value.t
+val call1 : string -> Value.t list -> Instr.op
+val anchor_str : Edit.anchor -> string
+val ptr_param_slot : Func.t -> int -> int option
+(** Shadow-stack slot of pointer parameter [idx]: 1 + its rank among
+    the pointer-typed parameters. *)
+
+val replace_allocas : string -> Func.t -> unit
+(** Replace every alloca with a call to [intrinsic (size)] — the
+    protected-stack pre-pass shared by Low-Fat and temporal. *)
+
+(** {1 Registry} *)
+
+val register : t -> unit
+(** Self-registration; also registers [basis] in [Config].  Raises
+    [Invalid_argument] on duplicates or a name/basis mismatch. *)
+
+val find : string -> t option
+(** Case-insensitive, alias-aware lookup. *)
+
+val find_exn : string -> t
+(** Like {!find} but raises [Invalid_argument] naming known checkers. *)
+
+val known_names : unit -> string list
+(** Registered checker names, in registration order. *)
+
+val all : unit -> t list

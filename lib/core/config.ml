@@ -4,9 +4,14 @@
     artifact appendix (A.6): the approach selection ([-mi-config]), the
     mode ([-mi-mode=geninvariants]), the dominance-based check elimination
     ([-mi-opt-dominance]), and the SoftBound policies for size-zero global
-    declarations and integer-to-pointer casts. *)
+    declarations and integer-to-pointer casts.
 
-type approach = Softbound | Lowfat
+    The approach is an open name resolved against a registry of
+    configuration bases: each checker scheme registers its basis (and
+    aliases) through {!register_basis} when it registers itself in
+    [Mi_core.Checker], so adding a checker never touches this module. *)
+
+type approach = string
 
 type mode =
   | Full  (** witnesses + invariants + dereference checks *)
@@ -32,12 +37,15 @@ type t = {
           runtime comparability (§5.1.2) *)
   lf_stack : bool;  (** Low-Fat stack-variable protection [12] *)
   lf_globals : bool;  (** Low-Fat global-variable protection [11] *)
+  tp_stack : bool;
+      (** temporal stack protection: key stack variables so dangling
+          references to dead frames are detected *)
 }
 
 (** The paper's SoftBound configuration basis (appendix A.6). *)
 let softbound =
   {
-    approach = Softbound;
+    approach = "softbound";
     mode = Full;
     opt_dominance = false;
     sb_size_zero_wide_upper = true;
@@ -45,12 +53,13 @@ let softbound =
     sb_wrapper_checks = false;
     lf_stack = false;
     lf_globals = false;
+    tp_stack = true;
   }
 
 (** The paper's Low-Fat Pointers configuration basis (appendix A.6). *)
 let lowfat =
   {
-    approach = Lowfat;
+    approach = "lowfat";
     mode = Full;
     opt_dominance = false;
     sb_size_zero_wide_upper = true;
@@ -58,9 +67,63 @@ let lowfat =
     sb_wrapper_checks = false;
     lf_stack = true;
     lf_globals = true;
+    tp_stack = true;
   }
 
-let of_approach = function Softbound -> softbound | Lowfat -> lowfat
+(** The temporal lock-and-key configuration basis (CETS-style). *)
+let temporal =
+  {
+    approach = "temporal";
+    mode = Full;
+    opt_dominance = false;
+    sb_size_zero_wide_upper = true;
+    sb_inttoptr_wide = true;
+    sb_wrapper_checks = false;
+    lf_stack = false;
+    lf_globals = false;
+    tp_stack = true;
+  }
+
+(* --- approach-basis registry ---------------------------------------- *)
+
+(* Populated by checker schemes at module-initialization time (see
+   [Mi_core.Checker.register] and [Mi_core.Schemes]); kept in
+   registration order so enumerations are deterministic. *)
+let bases : (string * (string list * t)) list ref = ref []
+
+let register_basis ?(aliases = []) (c : t) =
+  if List.mem_assoc c.approach !bases then
+    invalid_arg ("Config.register_basis: duplicate approach " ^ c.approach);
+  bases := !bases @ [ (c.approach, (aliases, c)) ]
+
+(* an optional caller-imposed filter on the enumeration (mi-experiments
+   [--approach]): lookups stay total — an experiment pinned to one
+   approach keeps working — only the default enumeration narrows *)
+let restriction : string list option ref = ref None
+
+let known_approaches () =
+  let all = List.map fst !bases in
+  match !restriction with
+  | None -> all
+  | Some keep -> List.filter (fun n -> List.mem n keep) all
+
+let find_approach name =
+  let n = String.lowercase_ascii name in
+  List.find_map
+    (fun (nm, (aliases, c)) ->
+      if nm = n || List.mem n aliases then Some c else None)
+    !bases
+
+let of_approach name =
+  match find_approach name with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown approach %S (known: %s)" name
+           (String.concat ", " (known_approaches ())))
+
+let restrict_approaches names =
+  restriction := Some (List.map (fun n -> (of_approach n).approach) names)
 
 (** The "optimized" configurations of Figures 9-11. *)
 let optimized c = { c with opt_dominance = true }
@@ -68,12 +131,12 @@ let optimized c = { c with opt_dominance = true }
 (** The "metadata" configurations of Figures 10/11. *)
 let metadata_only c = { c with mode = Geninvariants }
 
-let approach_name = function Softbound -> "softbound" | Lowfat -> "lowfat"
+let approach_name (a : approach) : string = a
 
 let to_string c =
   String.concat ""
     [
-      approach_name c.approach;
+      c.approach;
       (match c.mode with
       | Full -> ""
       | Geninvariants -> "+geninvariants"
@@ -82,9 +145,9 @@ let to_string c =
       (if c.sb_size_zero_wide_upper then "" else "+sz0null");
       (if c.sb_inttoptr_wide then "" else "+i2pnull");
       (if c.sb_wrapper_checks then "+wrapchecks" else "");
-      (match c.approach with
-      | Lowfat ->
-          (if c.lf_stack then "" else "+nostack")
-          ^ if c.lf_globals then "" else "+noglobals"
-      | Softbound -> "");
+      (if c.approach = "lowfat" then
+         (if c.lf_stack then "" else "+nostack")
+         ^ if c.lf_globals then "" else "+noglobals"
+       else "");
+      (if c.approach = "temporal" && not c.tp_stack then "+nostack" else "");
     ]

@@ -1,8 +1,14 @@
 (** Instrumentation configuration, mirroring the MemInstrument flags of
-    the paper's artifact appendix (A.6). *)
+    the paper's artifact appendix (A.6).
 
-(** The two approaches the paper compares. *)
-type approach = Softbound | Lowfat
+    Approaches are open names resolved against a registry of bases
+    populated by the checker schemes (see [Mi_core.Checker]); the two
+    paper approaches plus the temporal checker register "softbound",
+    "lowfat" and "temporal". *)
+
+type approach = string
+(** A registered checker name (e.g. ["softbound"], ["lowfat"],
+    ["temporal"]). *)
 
 type mode =
   | Full  (** witnesses + invariants + dereference checks *)
@@ -27,6 +33,7 @@ type t = {
           comparability (§5.1.2) *)
   lf_stack : bool;  (** Low-Fat stack-variable protection *)
   lf_globals : bool;  (** Low-Fat global-variable protection *)
+  tp_stack : bool;  (** temporal keying of stack variables *)
 }
 
 val softbound : t
@@ -35,7 +42,31 @@ val softbound : t
 val lowfat : t
 (** The paper's Low-Fat Pointers configuration basis. *)
 
-val of_approach : approach -> t
+val temporal : t
+(** The temporal lock-and-key configuration basis. *)
+
+val register_basis : ?aliases:string list -> t -> unit
+(** Register an approach's configuration basis under [t.approach].
+    Called by [Mi_core.Checker.register]; raises [Invalid_argument] on a
+    duplicate name. *)
+
+val known_approaches : unit -> string list
+(** Registered approach names, in registration order — narrowed by
+    {!restrict_approaches} when a restriction is in force. *)
+
+val restrict_approaches : string list -> unit
+(** Narrow {!known_approaches} to the given names (resolving aliases) —
+    the mechanism behind [mi-experiments --approach].  Lookups
+    ({!find_approach}/{!of_approach}) stay total, so components pinned
+    to a specific approach keep resolving.  Raises [Invalid_argument]
+    on an unregistered name. *)
+
+val find_approach : string -> t option
+(** Alias-aware, case-insensitive lookup of a registered basis. *)
+
+val of_approach : string -> t
+(** Like {!find_approach} but raises [Invalid_argument] naming the known
+    approaches when the name is not registered. *)
 
 val optimized : t -> t
 (** Enable the dominance-based check elimination (the "optimized"

@@ -3,36 +3,29 @@
     maintenance code for the configured approach.
 
     A {e witness} (§3.1) is the set of SSA values that carry a pointer's
-    bounds to its uses: a [(base, bound)] pair for SoftBound, the
-    allocation base pointer for Low-Fat Pointers.  Witnesses are computed
-    by memoized recursion over SSA definitions; phis and selects on
-    pointers get companion phis/selects on their witnesses, loads and call
-    results draw on the approach's invariant (trie / shadow stack /
-    recomputation from the pointer value).
+    metadata to its uses: a [(base, bound)] pair for SoftBound, the
+    allocation base pointer for Low-Fat Pointers, the allocation key for
+    the temporal checker.  Witnesses are computed by memoized recursion
+    over SSA definitions; phis and selects on pointers get companion
+    phis/selects on each witness component.  Which values make up a
+    witness, how each definition kind sources one, and how checks and
+    invariants are spelled is the {e checker}'s business: this pass is
+    approach-generic and dispatches through the [Mi_core.Checker]
+    registry entry named by [config.approach].
 
     Checks are emitted as calls to the intrinsics in [Mi_mir.Intrinsics]
     {e by name}, and those names are load-bearing beyond this pass: the
     VM's execution engine fuses call sites naming the hot check
-    intrinsics ([sb_check], [lf_check], trie and shadow-stack ops) into
-    superinstructions at precompile time, keyed on the exact intrinsic
-    name and arity. Renaming an intrinsic or changing its argument list
-    silently demotes every site to generic dispatch — still correct,
-    same modeled cycles, but the throughput gate in [bench/ci.sh] will
-    catch the slowdown. Keep [Intrinsics], the runtime registrations
-    (generic and fast twins), and the fusion table in
-    [Mi_vm.Interp] in sync. *)
+    intrinsics ([sb_check], [lf_check], [tp_check], trie and
+    shadow-stack ops) into superinstructions at precompile time, keyed
+    on the exact intrinsic name and arity. Renaming an intrinsic or
+    changing its argument list silently demotes every site to generic
+    dispatch — still correct, same modeled cycles, but the throughput
+    gate in [bench/ci.sh] will catch the slowdown. Keep [Intrinsics],
+    the runtime registrations (generic and fast twins), and the fusion
+    table in [Mi_vm.Interp] in sync. *)
 
 open Mi_mir
-module Layout_wide = struct
-  (* Keep in sync with Mi_vm.Layout; duplicated to avoid a core -> vm
-     dependency (the instrumentation is compiler-side, the VM is the
-     "hardware"). The verifier tests assert the values match. *)
-  let wide_bound = 0x7FFF_FFFF_FFFF
-end
-
-type witness =
-  | Wsb of Value.t * Value.t  (** base, bound *)
-  | Wlf of Value.t  (** base *)
 
 type func_stats = {
   fname : string;
@@ -59,46 +52,9 @@ type defsite =
   | Dinstr of Edit.anchor * Instr.t
   | Dphi of string * Instr.phi
 
-type fctx = {
-  config : Config.t;
-  m : Irmod.t;
-  f : Func.t;
-  edit : Edit.t;
-  defsites : defsite Value.VTbl.t;
-  memo : (string, witness) Hashtbl.t;
-  call_ret : (Edit.anchor, witness) Hashtbl.t;
-      (** witness of a call's pointer result, created by the protocol *)
-  sites : Mi_obs.Site.t;
-      (** check-site registry: every check placed gets a stable id *)
-  mutable invariants : int;
-  faults : Mi_faultkit.Fault.t;
-      (** fault plan; check mutations consult it per placed check *)
-  mutable check_ordinal : int;
-      (** next check's per-function ordinal, assigned in placement
-          order before the mutation decision so mutating one check
-          never renumbers the others *)
-  mutable mutated : int;
-}
-
-(* Register an instrumentation site for a check placed in this function;
-   the id rides along as the check call's last argument so the runtime
-   can attribute executions back to it. *)
-let new_site (ctx : fctx) construct =
-  let id =
-    Mi_obs.Site.register ctx.sites ~func:ctx.f.fname ~construct
-      ~approach:(Config.approach_name ctx.config.approach)
-  in
-  Value.Int (Ty.I64, id)
-
-let anchor_str (a : Edit.anchor) =
-  Printf.sprintf "%s:%d" a.Edit.ablock a.Edit.apos
-
 let value_key = Optimize.value_key
-
-let vi64 k = Value.Int (Ty.I64, k)
-let vptr k = Value.Int (Ty.Ptr, k)
-let wide_sb = Wsb (vptr 0, vptr Layout_wide.wide_bound)
-let null_sb = Wsb (vptr 0, vptr 0)
+let vi64 = Checker.vi64
+let anchor_str = Checker.anchor_str
 
 let build_defsites (f : Func.t) : defsite Value.VTbl.t =
   let t = Value.VTbl.create 64 in
@@ -120,587 +76,228 @@ let build_defsites (f : Func.t) : defsite Value.VTbl.t =
     f.blocks;
   t
 
-(* slot index of a pointer parameter on the shadow stack: 1 + its rank
-   among the pointer-typed parameters *)
-let ptr_param_slot (f : Func.t) idx =
-  let rank = ref 0 in
-  let result = ref None in
-  List.iteri
-    (fun i (p : Value.var) ->
-      if Ty.is_ptr p.vty then begin
-        incr rank;
-        if i = idx then result := Some !rank
-      end)
-    f.params;
-  !result
-
-let call1 name args = Instr.Call (name, args)
-
-(* ------------------------------------------------------------------ *)
-(* Witness computation                                                 *)
-(* ------------------------------------------------------------------ *)
-
-let rec witness_of (ctx : fctx) (v : Value.t) : witness =
-  let key = value_key v in
-  match Hashtbl.find_opt ctx.memo key with
-  | Some w -> w
-  | None ->
-      let w = compute_witness ctx v in
-      (* phis memoize themselves before recursing; replace is idempotent *)
-      Hashtbl.replace ctx.memo key w;
-      w
-
-and sb_witness_of ctx v =
-  match witness_of ctx v with
-  | Wsb (b, e) -> (b, e)
-  | Wlf _ -> invalid_arg "sb witness expected"
-
-and lf_witness_of ctx v =
-  match witness_of ctx v with
-  | Wlf b -> b
-  | Wsb _ -> invalid_arg "lf witness expected"
-
-and compute_witness ctx (v : Value.t) : witness =
-  let sb = ctx.config.approach = Config.Softbound in
-  match v with
-  | Value.Int (_, _) ->
-      (* constant addresses (null and friends): SoftBound uses null
-         bounds; Low-Fat recomputes — constants lie outside the low-fat
-         regions, so they get wide treatment at check time *)
-      if sb then null_sb else Wlf v
-  | Value.Fn _ -> if sb then null_sb else Wlf v
-  | Value.Flt _ -> invalid_arg "witness of float"
-  | Value.Glob g -> witness_of_global ctx g
-  | Value.Var x -> (
-      match Value.VTbl.find_opt ctx.defsites x with
-      | None ->
-          invalid_arg
-            (Printf.sprintf "witness: no defsite for %s in %s"
-               (Value.var_to_string x) ctx.f.fname)
-      | Some site -> witness_of_def ctx x site)
-
-and witness_of_global ctx g =
-  let sb = ctx.config.approach = Config.Softbound in
-  match Irmod.find_global ctx.m g with
-  | None ->
-      (* global from another module we cannot see; size unknown *)
-      if sb then
-        if ctx.config.sb_size_zero_wide_upper then
-          Wsb (Value.Glob g, vptr Layout_wide.wide_bound)
-        else null_sb
-      else Wlf (Value.Glob g)
-  | Some gl ->
-      if not sb then Wlf (Value.Glob g)
-      else if gl.gsize_known then
-        (* bound = @g + size, materialized once at function entry *)
-        let bound =
-          Edit.emit_entry ctx.edit ~name:"gbound" Ty.Ptr
-            (Instr.Gep (Value.Glob g, [ { stride = 1; idx = vi64 gl.gsize } ]))
-        in
-        Wsb (Value.Glob g, bound)
-      else if ctx.config.sb_size_zero_wide_upper then
-        (* §4.3: size-zero extern array declaration -> wide upper bound *)
-        Wsb (Value.Glob g, vptr Layout_wide.wide_bound)
-      else null_sb
-
-and witness_of_def ctx (x : Value.var) (site : defsite) : witness =
-  let sb = ctx.config.approach = Config.Softbound in
-  match site with
-  | Dparam idx ->
-      if sb then begin
-        match ptr_param_slot ctx.f idx with
-        | Some slot ->
-            (* rely on the invariant: caller pushed bounds on the shadow
-               stack (Table 1) *)
-            let b =
-              Edit.emit_entry ctx.edit ~name:"argb" Ty.Ptr
-                (call1 Intrinsics.ss_get_base [ vi64 slot ])
-            in
-            let e =
-              Edit.emit_entry ctx.edit ~name:"arge" Ty.Ptr
-                (call1 Intrinsics.ss_get_bound [ vi64 slot ])
-            in
-            Wsb (b, e)
-        | None -> invalid_arg "ptr param without slot"
-      end
-      else
-        (* rely on the invariant: incoming pointers are in bounds, so the
-           base can be recomputed from the value (§3.3) *)
-        let b =
-          Edit.emit_entry ctx.edit ~name:"argbase" Ty.Ptr
-            (call1 Intrinsics.lf_base [ Value.Var x ])
-        in
-        Wlf b
-  | Dphi (blk, p) ->
-      (* create witness phis first (cycles!), recurse, then patch *)
-      if sb then begin
-        let bvar = Edit.fresh ctx.edit ~name:"phib" Ty.Ptr in
-        let evar = Edit.fresh ctx.edit ~name:"phie" Ty.Ptr in
-        let w = Wsb (Var bvar, Var evar) in
-        Hashtbl.replace ctx.memo (value_key (Value.Var x)) w;
-        let parts =
-          List.map
-            (fun (lbl, v) ->
-              let b, e = sb_witness_of ctx v in
-              (lbl, b, e))
-            p.incoming
-        in
-        Edit.add_phi ctx.edit blk
-          {
-            Instr.pdst = bvar;
-            incoming = List.map (fun (l, b, _) -> (l, b)) parts;
-          };
-        Edit.add_phi ctx.edit blk
-          {
-            Instr.pdst = evar;
-            incoming = List.map (fun (l, _, e) -> (l, e)) parts;
-          };
-        w
-      end
-      else begin
-        let bvar = Edit.fresh ctx.edit ~name:"phibase" Ty.Ptr in
-        let w = Wlf (Var bvar) in
-        Hashtbl.replace ctx.memo (value_key (Value.Var x)) w;
-        let parts =
-          List.map (fun (lbl, v) -> (lbl, lf_witness_of ctx v)) p.incoming
-        in
-        Edit.add_phi ctx.edit blk { Instr.pdst = bvar; incoming = parts };
-        w
-      end
-  | Dinstr (anchor, i) -> (
-      match i.op with
-      | Instr.Gep (base, _) ->
-          (* pointer arithmetic inherits the source pointer's witness *)
-          witness_of ctx base
-      | Instr.Select (_, c, a, b) ->
-          if sb then begin
-            let ab, ae = sb_witness_of ctx a in
-            let bb, be = sb_witness_of ctx b in
-            let wb =
-              Edit.emit_after ctx.edit anchor ~name:"selb" Ty.Ptr
-                (Instr.Select (Ty.Ptr, c, ab, bb))
-            in
-            let we =
-              Edit.emit_after ctx.edit anchor ~name:"sele" Ty.Ptr
-                (Instr.Select (Ty.Ptr, c, ae, be))
-            in
-            Wsb (wb, we)
-          end
-          else begin
-            let ab = lf_witness_of ctx a in
-            let bb = lf_witness_of ctx b in
-            let wb =
-              Edit.emit_after ctx.edit anchor ~name:"selbase" Ty.Ptr
-                (Instr.Select (Ty.Ptr, c, ab, bb))
-            in
-            Wlf wb
-          end
-      | Instr.Alloca { size; _ } ->
-          if sb then
-            let bound =
-              Edit.emit_after ctx.edit anchor ~name:"abound" Ty.Ptr
-                (Instr.Gep (Value.Var x, [ { stride = 1; idx = vi64 size } ]))
-            in
-            Wsb (Value.Var x, bound)
-          else
-            (* reachable only with lf_stack protection off: conventional
-               stack addresses are outside the low-fat regions, so the
-               check treats them as wide (§4.6) *)
-            Wlf (Value.Var x)
-      | Instr.Load (ty, addr) ->
-          if not (Ty.is_ptr ty) then
-            invalid_arg "witness of non-pointer load";
-          if sb then begin
-            (* rely on the invariant: in-memory pointers have their bounds
-               in the trie, keyed by the pointer's location *)
-            let b =
-              Edit.emit_after ctx.edit anchor ~name:"ldb" Ty.Ptr
-                (call1 Intrinsics.sb_trie_load_base [ addr ])
-            in
-            let e =
-              Edit.emit_after ctx.edit anchor ~name:"lde" Ty.Ptr
-                (call1 Intrinsics.sb_trie_load_bound [ addr ])
-            in
-            Wsb (b, e)
-          end
-          else
-            (* rely on the invariant: loaded pointers are in bounds *)
-            let b =
-              Edit.emit_after ctx.edit anchor ~name:"ldbase" Ty.Ptr
-                (call1 Intrinsics.lf_base [ Value.Var x ])
-            in
-            Wlf b
-      | Instr.Cast (IntToPtr, _, _, _) ->
-          if sb then
-            (* §4.4: no metadata survives the round trip through an
-               integer; the policy decides between wide and null bounds *)
-            if ctx.config.sb_inttoptr_wide then wide_sb else null_sb
-          else
-            (* §4.4: Low-Fat assumes the integer still encodes an
-               in-bounds pointer and recomputes — unsound if it was
-               corrupted in the meantime *)
-            let b =
-              Edit.emit_after ctx.edit anchor ~name:"i2pbase" Ty.Ptr
-                (call1 Intrinsics.lf_base [ Value.Var x ])
-            in
-            Wlf b
-      | Instr.Cast (Bitcast, from_ty, src, to_ty)
-        when Ty.is_ptr from_ty && Ty.is_ptr to_ty ->
-          witness_of ctx src
-      | Instr.Cast (_, _, _, _) ->
-          if sb then null_sb else Wlf (Value.Var x)
-      | Instr.Call (callee, args) -> witness_of_call ctx x anchor callee args
-      | _ ->
-          invalid_arg
-            (Printf.sprintf "witness: unexpected def %s for %s"
-               (Printer.instr_to_string i) (Value.var_to_string x)))
-
-and witness_of_call ctx (x : Value.var) anchor callee args : witness =
-  let sb = ctx.config.approach = Config.Softbound in
-  match callee with
-  | "malloc" ->
-      if sb then
-        let bound =
-          Edit.emit_after ctx.edit anchor ~name:"mbound" Ty.Ptr
-            (Instr.Gep (Value.Var x, [ { stride = 1; idx = List.nth args 0 } ]))
-        in
-        Wsb (Value.Var x, bound)
-      else Wlf (Value.Var x)
-  | "calloc" ->
-      if sb then begin
-        let total =
-          Edit.emit_after ctx.edit anchor ~name:"csz" Ty.I64
-            (Instr.Bin (Mul, Ty.I64, List.nth args 0, List.nth args 1))
-        in
-        let bound =
-          Edit.emit_after ctx.edit anchor ~name:"cbound" Ty.Ptr
-            (Instr.Gep (Value.Var x, [ { stride = 1; idx = total } ]))
-        in
-        Wsb (Value.Var x, bound)
-      end
-      else Wlf (Value.Var x)
-  | name when name = Intrinsics.lf_alloca -> Wlf (Value.Var x)
-  | "realloc" when not sb -> Wlf (Value.Var x)
-  | _ -> (
-      (* general call: witness comes from the call protocol *)
-      match Hashtbl.find_opt ctx.call_ret anchor with
-      | Some w -> w
-      | None ->
-          if sb then begin
-            (* no protocol was set up (e.g. an unwrapped builtin that
-               returns a pointer): SoftBound reads the — possibly stale —
-               return slot of the shadow stack; exactly the §4.3 hazard *)
-            let b =
-              Edit.emit_after ctx.edit anchor ~name:"retb" Ty.Ptr
-                (call1 Intrinsics.ss_get_base [ vi64 0 ])
-            in
-            let e =
-              Edit.emit_after ctx.edit anchor ~name:"rete" Ty.Ptr
-                (call1 Intrinsics.ss_get_bound [ vi64 0 ])
-            in
-            let w = Wsb (b, e) in
-            Hashtbl.replace ctx.call_ret anchor w;
-            w
-          end
-          else begin
-            let b =
-              Edit.emit_after ctx.edit anchor ~name:"retbase" Ty.Ptr
-                (call1 Intrinsics.lf_base [ Value.Var x ])
-            in
-            let w = Wlf b in
-            Hashtbl.replace ctx.call_ret anchor w;
-            w
-          end)
-
-(* ------------------------------------------------------------------ *)
-(* Invariant maintenance (Table 1, rows "establish invariant")          *)
-(* ------------------------------------------------------------------ *)
-
-let emit_invariant_store ctx (s : Itarget.ptr_store) =
-  ctx.invariants <- ctx.invariants + 1;
-  match ctx.config.approach with
-  | Config.Softbound ->
-      let b, e = sb_witness_of ctx s.s_value in
-      Edit.insert_after ctx.edit s.s_anchor
-        (Instr.mk (call1 Intrinsics.sb_trie_store [ s.s_addr; b; e ]))
-  | Config.Lowfat ->
-      let b = lf_witness_of ctx s.s_value in
-      let site = new_site ctx ("ptr-store@" ^ anchor_str s.s_anchor) in
-      Edit.insert_before ctx.edit s.s_anchor
-        (Instr.mk (call1 Intrinsics.lf_invariant_check [ s.s_value; b; site ]))
-
-let emit_call_protocol ctx (c : Itarget.call) =
-  match ctx.config.approach with
-  | Config.Lowfat ->
-      (* establish the invariant: pointers passed to callees are in
-         bounds *)
-      List.iter
-        (fun (idx, v) ->
-          ctx.invariants <- ctx.invariants + 1;
-          let b = lf_witness_of ctx v in
-          let site =
-            new_site ctx
-              (Printf.sprintf "call-arg%d@%s" idx (anchor_str c.l_anchor))
-          in
-          Edit.insert_before ctx.edit c.l_anchor
-            (Instr.mk (call1 Intrinsics.lf_invariant_check [ v; b; site ])))
-        c.l_ptr_args
-  | Config.Softbound -> (
-      match c.l_kind with
-      | Itarget.Runtime_internal | Itarget.Known_alloc -> ()
-      | Itarget.Plain_builtin -> ()
-      | Itarget.Wrapped | Itarget.General ->
-          let needs = c.l_has_ptr_ret || c.l_ptr_args <> [] in
-          if needs then begin
-            ctx.invariants <- ctx.invariants + 1;
-            let nslots = List.length c.l_ptr_args in
-            Edit.insert_before ctx.edit c.l_anchor
-              (Instr.mk (call1 Intrinsics.ss_enter [ vi64 nslots ]));
-            List.iteri
-              (fun rank (_, v) ->
-                let b, e = sb_witness_of ctx v in
-                Edit.insert_before ctx.edit c.l_anchor
-                  (Instr.mk
-                     (call1 Intrinsics.ss_set_base [ vi64 (rank + 1); b ]));
-                Edit.insert_before ctx.edit c.l_anchor
-                  (Instr.mk
-                     (call1 Intrinsics.ss_set_bound [ vi64 (rank + 1); e ])))
-              c.l_ptr_args;
-            (if c.l_has_ptr_ret then
-               let b =
-                 Edit.emit_after ctx.edit c.l_anchor ~name:"retb" Ty.Ptr
-                   (call1 Intrinsics.ss_get_base [ vi64 0 ])
-               in
-               let e =
-                 Edit.emit_after ctx.edit c.l_anchor ~name:"rete" Ty.Ptr
-                   (call1 Intrinsics.ss_get_bound [ vi64 0 ])
-               in
-               Hashtbl.replace ctx.call_ret c.l_anchor (Wsb (b, e)));
-            Edit.insert_after ctx.edit c.l_anchor
-              (Instr.mk (call1 Intrinsics.ss_leave []));
-            (* wrapped libc functions are replaced by their metadata-
-               maintaining wrapper (Fig. 6) *)
-            if c.l_kind = Itarget.Wrapped then
-              Edit.set_replacement ctx.edit c.l_anchor
-                (Instr.mk ?dst:c.l_dst
-                   (Instr.Call (Intrinsics.sb_wrapper c.l_callee, c.l_args)))
-          end)
-
-let emit_ret_protocol ctx (r : Itarget.ptr_ret) =
-  ctx.invariants <- ctx.invariants + 1;
-  match ctx.config.approach with
-  | Config.Softbound ->
-      let b, e = sb_witness_of ctx r.r_value in
-      Edit.insert_at_end ctx.edit r.r_block
-        (Instr.mk (call1 Intrinsics.ss_set_base [ vi64 0; b ]));
-      Edit.insert_at_end ctx.edit r.r_block
-        (Instr.mk (call1 Intrinsics.ss_set_bound [ vi64 0; e ]))
-  | Config.Lowfat ->
-      let b = lf_witness_of ctx r.r_value in
-      let site = new_site ctx ("ret@" ^ r.r_block) in
-      Edit.insert_at_end ctx.edit r.r_block
-        (Instr.mk (call1 Intrinsics.lf_invariant_check [ r.r_value; b; site ]))
-
-let emit_escape_cast ctx (e : Itarget.ptr_escape_cast) =
-  match ctx.config.approach with
-  | Config.Softbound -> ()
-  | Config.Lowfat ->
-      (* §4.4: check at pointer-to-integer casts *)
-      ctx.invariants <- ctx.invariants + 1;
-      let b = lf_witness_of ctx e.e_ptr in
-      let site = new_site ctx ("ptrtoint@" ^ anchor_str e.e_anchor) in
-      Edit.insert_before ctx.edit e.e_anchor
-        (Instr.mk (call1 Intrinsics.lf_invariant_check [ e.e_ptr; b; site ]))
-
-let emit_memop ctx (mo : Itarget.memop) =
-  (match (ctx.config.approach, mo.m_kind) with
-  | Config.Softbound, `Memcpy ->
-      (* keep the trie in sync when memory is copied wholesale (the
-         copy_metadata part of the memcpy wrapper, Fig. 6) *)
-      ctx.invariants <- ctx.invariants + 1;
-      Edit.insert_after ctx.edit mo.m_anchor
-        (Instr.mk
-           (call1 Intrinsics.sb_meta_copy
-              [ mo.m_dst; Option.get mo.m_src; mo.m_len ]))
-  | _ -> ());
-  if ctx.config.sb_wrapper_checks && ctx.config.mode = Config.Full then begin
-    (* the wrapper-style checks disabled by default for comparability
-       (§5.1.2) *)
-    let check_one ptr =
-      let site = new_site ctx ("memop@" ^ anchor_str mo.m_anchor) in
-      match ctx.config.approach with
-      | Config.Softbound ->
-          let b, e = sb_witness_of ctx ptr in
-          Edit.insert_before ctx.edit mo.m_anchor
-            (Instr.mk (call1 Intrinsics.sb_check [ ptr; mo.m_len; b; e; site ]))
-      | Config.Lowfat ->
-          let b = lf_witness_of ctx ptr in
-          Edit.insert_before ctx.edit mo.m_anchor
-            (Instr.mk (call1 Intrinsics.lf_check [ ptr; mo.m_len; b; site ]))
-    in
-    check_one mo.m_dst;
-    Option.iter check_one mo.m_src
-  end
-
-(* Returns [true] when the check was actually emitted ([false]: deleted
-   by the fault plan).  A weakened check is emitted with a wide witness
-   (SoftBound: [0, wide_bound); Low-Fat: a non-low-fat base), so it
-   executes and counts but can never report. *)
-let emit_check ctx (c : Itarget.check) : bool =
-  let ordinal = ctx.check_ordinal in
-  ctx.check_ordinal <- ordinal + 1;
-  let mutation =
-    Mi_faultkit.Fault.check_mutation_for ctx.faults ~func:ctx.f.fname ~ordinal
-  in
-  match mutation with
-  | Some Mi_faultkit.Fault.Delete ->
-      ctx.mutated <- ctx.mutated + 1;
-      false
-  | (None | Some Mi_faultkit.Fault.Weaken) as mutation ->
-      let weakened = mutation <> None in
-      if weakened then ctx.mutated <- ctx.mutated + 1;
-      let site =
-        new_site ctx
-          (Printf.sprintf "%s@%s"
-             (match c.c_access with Itarget.Aload -> "load" | Astore -> "store")
-             (anchor_str c.c_anchor))
-      in
-      (match ctx.config.approach with
-      | Config.Softbound ->
-          let b, e =
-            if weakened then (vptr 0, vptr Layout_wide.wide_bound)
-            else sb_witness_of ctx c.c_ptr
-          in
-          Edit.insert_before ctx.edit c.c_anchor
-            (Instr.mk
-               (call1 Intrinsics.sb_check
-                  [ c.c_ptr; vi64 c.c_width; b; e; site ]))
-      | Config.Lowfat ->
-          let b = if weakened then vptr 0 else lf_witness_of ctx c.c_ptr in
-          Edit.insert_before ctx.edit c.c_anchor
-            (Instr.mk
-               (call1 Intrinsics.lf_check [ c.c_ptr; vi64 c.c_width; b; site ])));
-      true
-
 (* ------------------------------------------------------------------ *)
 (* Per-function driver                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Low-Fat stack protection [12]: mirror allocas into low-fat regions by
-   replacing them with calls to the mirrored stack allocator. *)
-let lf_replace_allocas (f : Func.t) : unit =
-  let edit = Edit.create f in
-  List.iter
-    (fun (b : Block.t) ->
-      List.iteri
-        (fun pos (i : Instr.t) ->
-          match i.op with
-          | Instr.Alloca { size; _ } ->
-              Edit.set_replacement edit
-                { Edit.ablock = b.Block.label; apos = pos }
-                { i with op = call1 Intrinsics.lf_alloca [ vi64 size ] }
-          | _ -> ())
-        b.body)
-    f.blocks;
-  Edit.apply edit
-
 let instrument_func ?(faults = Mi_faultkit.Fault.none) (config : Config.t)
     (sites : Mi_obs.Site.t) (m : Irmod.t) (f : Func.t) : func_stats =
-  if config.approach = Config.Lowfat && config.lf_stack then
-    lf_replace_allocas f;
+  let checker = Checker.find_exn config.approach in
+  checker.Checker.prepare_func config f;
   let targets = Itarget.discover m f in
-  let checks, opt_stats = Optimize.run config f targets.checks in
-  let ctx =
+  (* the dominance optimization is only applied where the checker's
+     semantics make it sound (temporal checks are not idempotent across
+     a free, so the checker can veto it) *)
+  let opt_config =
+    if checker.Checker.supports_dominance_opt then config
+    else { config with opt_dominance = false }
+  in
+  let checks, opt_stats = Optimize.run opt_config f targets.checks in
+  let edit = Edit.create f in
+  let defsites = build_defsites f in
+  let memo : (string, Checker.witness) Hashtbl.t = Hashtbl.create 64 in
+  let call_ret : (Edit.anchor, Checker.witness) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let invariants = ref 0 in
+  let check_ordinal = ref 0 in
+  let mutated = ref 0 in
+  (* Register an instrumentation site for a check placed in this
+     function; the id rides along as the check call's last argument so
+     the runtime can attribute executions back to it. *)
+  let new_site construct =
+    let id =
+      Mi_obs.Site.register sites ~func:f.fname ~construct
+        ~approach:(Config.approach_name config.approach)
+    in
+    Value.Int (Ty.I64, id)
+  in
+  let ctx : Checker.ctx =
     {
       config;
       m;
       f;
-      edit = Edit.create f;
-      defsites = build_defsites f;
-      memo = Hashtbl.create 64;
-      call_ret = Hashtbl.create 16;
-      sites;
-      invariants = 0;
-      faults;
-      check_ordinal = 0;
-      mutated = 0;
+      edit;
+      witness_of = (fun _ -> assert false);
+      new_site;
+      count_invariant = (fun () -> incr invariants);
+      set_call_ret = (fun a w -> Hashtbl.replace call_ret a w);
+      get_call_ret = (fun a -> Hashtbl.find_opt call_ret a);
     }
   in
+  (* --- witness computation (generic over the checker's components) --- *)
+  let rec witness_of (v : Value.t) : Checker.witness =
+    let key = value_key v in
+    match Hashtbl.find_opt memo key with
+    | Some w -> w
+    | None ->
+        let w = compute_witness v in
+        (* phis memoize themselves before recursing; replace is
+           idempotent *)
+        Hashtbl.replace memo key w;
+        w
+  and compute_witness (v : Value.t) : Checker.witness =
+    match v with
+    | Value.Int (_, _) | Value.Fn _ -> checker.Checker.w_const ctx v
+    | Value.Flt _ -> invalid_arg "witness of float"
+    | Value.Glob g -> checker.Checker.w_global ctx g
+    | Value.Var x -> (
+        match Value.VTbl.find_opt defsites x with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "witness: no defsite for %s in %s"
+                 (Value.var_to_string x) f.fname)
+        | Some site -> witness_of_def x site)
+  and witness_of_def (x : Value.var) (site : defsite) : Checker.witness =
+    match site with
+    | Dparam idx -> checker.Checker.w_param ctx x ~idx
+    | Dphi (blk, p) ->
+        (* create witness phis first (cycles!), recurse, then patch *)
+        let vars =
+          Array.map
+            (fun (pname, _, ty) -> Edit.fresh edit ~name:pname ty)
+            checker.Checker.components
+        in
+        let w = Array.map (fun v -> Value.Var v) vars in
+        Hashtbl.replace memo (value_key (Value.Var x)) w;
+        let parts =
+          List.map (fun (lbl, v) -> (lbl, witness_of v)) p.Instr.incoming
+        in
+        Array.iteri
+          (fun k var ->
+            Edit.add_phi edit blk
+              {
+                Instr.pdst = var;
+                incoming = List.map (fun (l, ws) -> (l, ws.(k))) parts;
+              })
+          vars;
+        w
+    | Dinstr (anchor, i) -> (
+        match i.op with
+        | Instr.Gep (base, _) ->
+            (* pointer arithmetic inherits the source pointer's witness *)
+            witness_of base
+        | Instr.Select (_, c, a, b) ->
+            let wa = witness_of a in
+            let wb = witness_of b in
+            Array.mapi
+              (fun k (_, sname, ty) ->
+                Edit.emit_after edit anchor ~name:sname ty
+                  (Instr.Select (ty, c, wa.(k), wb.(k))))
+              checker.Checker.components
+        | Instr.Alloca { size; _ } -> checker.Checker.w_alloca ctx anchor x ~size
+        | Instr.Load (ty, addr) ->
+            if not (Ty.is_ptr ty) then
+              invalid_arg "witness of non-pointer load";
+            checker.Checker.w_load ctx anchor x ~addr
+        | Instr.Cast (IntToPtr, _, _, _) -> checker.Checker.w_inttoptr ctx anchor x
+        | Instr.Cast (Bitcast, from_ty, src, to_ty)
+          when Ty.is_ptr from_ty && Ty.is_ptr to_ty ->
+            witness_of src
+        | Instr.Cast (_, _, _, _) -> checker.Checker.w_cast_other ctx x
+        | Instr.Call (callee, args) -> (
+            match checker.Checker.w_call ctx anchor x ~callee ~args with
+            | Some w -> w
+            | None -> (
+                (* general call: witness comes from the call protocol *)
+                match Hashtbl.find_opt call_ret anchor with
+                | Some w -> w
+                | None ->
+                    let w = checker.Checker.w_call_fallback ctx anchor x in
+                    Hashtbl.replace call_ret anchor w;
+                    w))
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "witness: unexpected def %s for %s"
+                 (Printer.instr_to_string i) (Value.var_to_string x)))
+  in
+  ctx.witness_of <- witness_of;
+  (* --- checks and memops (generic; the checker spells the call) ------ *)
+  let emit_memop (mo : Itarget.memop) =
+    checker.Checker.emit_memop_invariant ctx mo;
+    if config.sb_wrapper_checks && config.mode = Config.Full then begin
+      (* the wrapper-style checks disabled by default for comparability
+         (§5.1.2) *)
+      let check_one ptr =
+        let site = new_site ("memop@" ^ anchor_str mo.m_anchor) in
+        let w = witness_of ptr in
+        Edit.insert_before edit mo.m_anchor
+          (Instr.mk (checker.Checker.check_op ~ptr ~width:mo.m_len w ~site))
+      in
+      check_one mo.m_dst;
+      Option.iter check_one mo.m_src
+    end
+  in
+  (* Returns [true] when the check was actually emitted ([false]:
+     deleted by the fault plan).  A weakened check is emitted with the
+     checker's wide witness, so it executes and counts but can never
+     report. *)
+  let emit_check (c : Itarget.check) : bool =
+    let ordinal = !check_ordinal in
+    check_ordinal := ordinal + 1;
+    let mutation =
+      Mi_faultkit.Fault.check_mutation_for faults ~func:f.fname ~ordinal
+    in
+    match mutation with
+    | Some Mi_faultkit.Fault.Delete ->
+        incr mutated;
+        false
+    | (None | Some Mi_faultkit.Fault.Weaken) as mutation ->
+        let weakened = mutation <> None in
+        if weakened then incr mutated;
+        let site =
+          new_site
+            (Printf.sprintf "%s@%s"
+               (match c.c_access with
+               | Itarget.Aload -> "load"
+               | Astore -> "store")
+               (anchor_str c.c_anchor))
+        in
+        let w =
+          if weakened then checker.Checker.wide else witness_of c.c_ptr
+        in
+        Edit.insert_before edit c.c_anchor
+          (Instr.mk
+             (checker.Checker.check_op ~ptr:c.c_ptr ~width:(vi64 c.c_width) w
+                ~site));
+        true
+  in
   (* invariants first: the call protocol pre-creates return witnesses *)
-  List.iter (emit_call_protocol ctx) targets.calls;
-  List.iter (emit_invariant_store ctx) targets.ptr_stores;
-  List.iter (emit_ret_protocol ctx) targets.ptr_rets;
-  List.iter (emit_escape_cast ctx) targets.escape_casts;
-  List.iter (emit_memop ctx) targets.memops;
+  List.iter (checker.Checker.emit_call ctx) targets.calls;
+  List.iter
+    (fun (s : Itarget.ptr_store) ->
+      incr invariants;
+      checker.Checker.emit_ptr_store ctx s)
+    targets.ptr_stores;
+  List.iter
+    (fun (r : Itarget.ptr_ret) ->
+      incr invariants;
+      checker.Checker.emit_ret ctx r)
+    targets.ptr_rets;
+  List.iter (checker.Checker.emit_escape ctx) targets.escape_casts;
+  List.iter emit_memop targets.memops;
   let placed =
     match config.mode with
     | Config.Full ->
-        List.fold_left
-          (fun n c -> if emit_check ctx c then n + 1 else n)
-          0 checks
+        List.fold_left (fun n c -> if emit_check c then n + 1 else n) 0 checks
     | Config.Geninvariants | Config.Noop -> 0
   in
-  Edit.apply ctx.edit;
+  Edit.apply edit;
   {
     fname = f.fname;
     checks_found = opt_stats.Optimize.before;
     checks_placed = placed;
     checks_removed = Optimize.removed opt_stats;
-    invariants_placed = ctx.invariants;
-    checks_mutated = ctx.mutated;
+    invariants_placed = !invariants;
+    checks_mutated = !mutated;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Module-level driver                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* SoftBound constructor: register trie metadata for pointers appearing in
-   global initializers, so loads of those pointers find valid bounds. *)
-let sb_global_init (m : Irmod.t) : Func.t option =
-  let entries =
-    List.concat_map
-      (fun (g : Irmod.global) ->
-        if g.gextern then []
-        else
-          let _, acc =
-            List.fold_left
-              (fun (off, acc) (fld : Irmod.gfield) ->
-                match fld with
-                | Irmod.GPtr target -> (off + 8, (g.gname, off, target) :: acc)
-                | f -> (off + Irmod.field_size f, acc))
-              (0, []) g.gfields
-          in
-          List.rev acc)
-      m.globals
-  in
-  if entries = [] then None
-  else begin
-    let b = Builder.create ~name:"__mi_global_init" ~params:[] ~ret_ty:None in
-    Builder.start_block b "entry";
-    List.iter
-      (fun (holder, off, target) ->
-        let loc =
-          Builder.gep b (Value.Glob holder) [ { stride = 1; idx = vi64 off } ]
-        in
-        let size =
-          match Irmod.find_global m target with
-          | Some tg when tg.gsize_known -> Some tg.gsize
-          | _ -> None
-        in
-        let base = Value.Glob target in
-        let bound =
-          match size with
-          | Some s ->
-              Builder.gep b base [ { stride = 1; idx = vi64 s } ]
-          | None -> vptr Layout_wide.wide_bound
-        in
-        ignore
-          (Builder.call b ~ret:None Intrinsics.sb_trie_store
-             [ loc; base; bound ]))
-      entries;
-    Builder.ret b None;
-    Some (Builder.finish b)
-  end
+(* exposed for testing; SoftBound's module_ctor drives it *)
+let sb_global_init = Sb_scheme.global_init
 
 (** Instrument every defined function of [m] in place according to
     [config].  Returns static statistics (checks found/placed/eliminated
@@ -721,17 +318,15 @@ let run ?(obs : Mi_obs.Obs.t option) ?(faults = Mi_faultkit.Fault.none)
       match config.mode with
       | Config.Noop -> []
       | _ ->
+          let checker = Checker.find_exn config.approach in
           let stats =
             List.map
               (fun f -> instrument_func ~faults config sites m f)
               (Irmod.defined_funcs m)
           in
-          (match config.approach with
-          | Config.Softbound -> (
-              match sb_global_init m with
-              | Some f -> Irmod.add_func m f
-              | None -> ())
-          | Config.Lowfat -> ());
+          (match checker.Checker.module_ctor config m with
+          | Some f -> Irmod.add_func m f
+          | None -> ());
           stats
     in
     {

@@ -4,12 +4,6 @@
 
 open Mi_mir
 
-(** A pointer's witness: the SSA values that carry its bounds to its
-    uses (§3.1). *)
-type witness =
-  | Wsb of Value.t * Value.t  (** SoftBound: base and bound *)
-  | Wlf of Value.t  (** Low-Fat: the allocation base pointer *)
-
 type func_stats = {
   fname : string;
   checks_found : int;  (** check targets discovered *)

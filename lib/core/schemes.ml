@@ -1,0 +1,12 @@
+(** Canonical checker registration.
+
+    Registers the built-in checker schemes in a fixed order (SoftBound,
+    Low-Fat, temporal) at module-initialization time, so every binary
+    linking [mi_core] sees the same registry and the same deterministic
+    enumeration order.  The library is built with [-linkall] so this
+    module's initializer runs even though nothing references it. *)
+
+let () =
+  Sb_scheme.register ();
+  Lf_scheme.register ();
+  Tp_scheme.register ()

@@ -3,7 +3,7 @@
 
     One campaign runs a contiguous block of safe seeds (each through
     the full {!Oracle.variants} matrix) and a block of unsafe mutants
-    (each through both instrumentations), all as a single
+    (each through every registered checker), all as a single
     {!Mi_bench_kit.Harness.run_jobs} matrix — so the instrumentation
     cache, worker sharding and [-j]-independent determinism of the
     harness carry over to fuzzing wholesale.  The report (and its JSON
@@ -146,17 +146,18 @@ let safe_pred h (f : Oracle.finding) : Bench.source list -> bool =
 
 (* does [srcs] still exhibit the missed violation [f] of mutant [mr]?
    Two legs: the offender still runs to completion, and a witness still
-   proves the out-of-bounds access is live (the other instrumentation
-   reporting it, or — when the miss is caused by an injected fault
-   plan — a clean, fault-free run of the offender itself). *)
+   proves the injected hazard is live (another checker variant that
+   reported the original still reporting, or — when the miss is caused
+   by an injected fault plan — a clean, fault-free run of the offender
+   itself). *)
 let mutant_pred h ~faults (mr : Oracle.mutant_result)
     (f : Oracle.finding) : Bench.source list -> bool =
   let tag = f.Oracle.f_setup in
-  let other_tag = if tag = "O3+sb" then "O3+lf" else "O3+sb" in
-  let other_killed =
-    match (other_tag, mr.Oracle.mr_sb, mr.Oracle.mr_lf) with
-    | "O3+sb", sb, _ -> sb = Oracle.Killed
-    | _, _, lf -> lf = Oracle.Killed
+  let witnesses =
+    List.filter_map
+      (fun (t, d) ->
+        if t <> tag && d = Oracle.Killed then Some t else None)
+      mr.Oracle.mr_detections
   in
   fun srcs ->
     try
@@ -167,10 +168,13 @@ let mutant_pred h ~faults (mr : Oracle.mutant_result)
       in
       missed
       &&
-      if other_killed then
-        match outcome_of (run_one h (Oracle.variant_setup other_tag) srcs) with
-        | Some (Mi_vm.Interp.Safety_violation _) -> true
-        | _ -> false
+      if witnesses <> [] then
+        List.exists
+          (fun t ->
+            match outcome_of (run_one h (Oracle.variant_setup t) srcs) with
+            | Some (Mi_vm.Interp.Safety_violation _) -> true
+            | _ -> false)
+          witnesses
       else if not (Fault.is_none faults) then
         (* fault-free compile of the same setup must still report *)
         match
@@ -369,7 +373,15 @@ let run (c : campaign) : report =
   let safe_findings = findings1 @ findings2 in
   let mutants =
     List.map
-      (fun s -> Gen.mutate (Gen.generate ~seed:s ()) ~mseed:0)
+      (fun s ->
+        let p = Gen.generate ~seed:s () in
+        (* odd mutant seeds draw a temporal mutant when the program
+           freed something; everything else keeps the spatial probe *)
+        match
+          if s land 1 = 1 then Gen.mutate_temporal p ~mseed:s else None
+        with
+        | Some m -> m
+        | None -> Gen.mutate p ~mseed:0)
       (seq c.c_mutant_lo c.c_mutant_hi)
   in
   let mutant_jobs = List.map Oracle.mutant_jobs mutants in
@@ -466,14 +478,14 @@ let run (c : campaign) : report =
 
 let count_mutants (rs : Oracle.mutant_result list) =
   List.fold_left
-    (fun (k, w, m) (r : Oracle.mutant_result) ->
-      let one = function
-        | Oracle.Killed -> (1, 0, 0)
-        | Oracle.Whitelisted _ -> (0, 1, 0)
-        | Oracle.Missed _ -> (0, 0, 1)
-      in
-      let k1, w1, m1 = one r.Oracle.mr_sb and k2, w2, m2 = one r.Oracle.mr_lf in
-      (k + k1 + k2, w + w1 + w2, m + m1 + m2))
+    (fun acc (r : Oracle.mutant_result) ->
+      List.fold_left
+        (fun (k, w, m) (_, d) ->
+          match d with
+          | Oracle.Killed -> (k + 1, w, m)
+          | Oracle.Whitelisted _ -> (k, w + 1, m)
+          | Oracle.Missed _ -> (k, w, m + 1))
+        acc r.Oracle.mr_detections)
     (0, 0, 0) rs
 
 let missed_total r =
@@ -588,11 +600,10 @@ let report_to_json (r : report) : Json.t =
                 (List.map
                    (fun (m : Oracle.mutant_result) ->
                      Json.Obj
-                       [
-                         ("name", Json.Str m.Oracle.mr_name);
-                         ("sb", detection_json m.Oracle.mr_sb);
-                         ("lf", detection_json m.Oracle.mr_lf);
-                       ])
+                       (("name", Json.Str m.Oracle.mr_name)
+                       :: List.map
+                            (fun (tag, d) -> (tag, detection_json d))
+                            m.Oracle.mr_detections))
                    r.r_mutants) );
           ] );
       ("coverage", Json.List (List.map (fun p -> Json.Str p) r.r_coverage));

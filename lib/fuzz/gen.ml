@@ -66,6 +66,11 @@ type prog = {
   p_seed : int;
   p_sources : Bench.source list;
   p_sites : site list;
+  p_frees : site list;
+      (** heap sites the program frees in its epilogue — after every
+          digest print, so the safe program never touches a dead object.
+          Temporal mutants ({!mutate_temporal}) splice after these
+          frees; spatial mutants ({!mutate}) splice before them. *)
   p_productions : string list;  (** sorted, deduplicated *)
   p_features : int list;
       (** enabled feature indices ([0..n_features-1]), sorted — the
@@ -87,6 +92,7 @@ let all_productions =
     "global.array";
     "global.scalar";
     "heap.array";
+    "heap.free";
     "if";
     "incdec";
     "intrinsic.memcpy";
@@ -397,7 +403,7 @@ let emit_init_loop ctx ~indent (s : site) =
 
 (* number of rotating must-hit features; any block of >= this many
    consecutive seeds hits every one *)
-let n_features = 10
+let n_features = 11
 
 (* A boosted feature is forced on, but the random draw is still consumed
    when the rotation alone would not decide, so the rng stream — and
@@ -408,6 +414,13 @@ let feature ctx ~boost seed k p =
   else
     let hit = Rng.float ctx.rng < p in
     hit || List.mem k boost
+
+(* the two mutation splice points of every generated main unit: spatial
+   mutants land at the anchor comment — after the digest prints but
+   while every object is still live — and temporal mutants land after
+   the free epilogue, just before the closing return *)
+let spatial_anchor = "  /* mutation anchor: all objects live */\n"
+let main_suffix = "  return 0;\n}\n"
 
 (** Generate the program for [seed].  Deterministic: the same seed and
     [boost] always yield the same sources, sites and productions.
@@ -441,6 +454,10 @@ let generate ?(boost = []) ~seed () : prog =
   let use_memmove = feat 7 0.5 in
   let use_ptr_helper = feat 8 0.5 in
   let use_struct_cpy = use_struct && feat 9 0.5 in
+  let use_free = feat 10 0.5 in
+  (* a free needs a heap object to free: the free feature forces the
+     heap feature along (flag only — both dice were already thrown) *)
+  let use_heap = use_heap || use_free in
 
   (* --- sibling unit defining the size-less extern array (§4.3) ----- *)
   let ext_site, ext_unit =
@@ -718,7 +735,19 @@ let generate ?(boost = []) ~seed () : prog =
   List.iter
     (fun (path, _) -> pf ctx "  print_int(%s %% 997);\n" path)
     !(ctx.spaths);
-  pf ctx "  return 0;\n}\n";
+  pf ctx "%s" spatial_anchor;
+
+  (* free epilogue: heap objects die only after every digest print, so
+     the safe program never touches a dead object — the lock-and-key
+     checker must run it clean *)
+  let frees =
+    if use_free then
+      List.filter (fun s -> s.si_region = Heap) (List.rev !(ctx.arrays))
+    else []
+  in
+  if frees <> [] then prod ctx "heap.free";
+  List.iter (fun s -> pf ctx "  free(%s);\n" s.si_array) frees;
+  pf ctx "%s" main_suffix;
 
   let sites = List.rev !(ctx.arrays) in
   let productions =
@@ -732,7 +761,7 @@ let generate ?(boost = []) ~seed () : prog =
          [
            use_ext; use_struct; use_nested; use_heap; use_intptr;
            use_memcpy; use_memset; use_memmove; use_ptr_helper;
-           use_struct_cpy;
+           use_struct_cpy; use_free;
          ])
   in
   let sources =
@@ -745,6 +774,7 @@ let generate ?(boost = []) ~seed () : prog =
     p_seed = seed;
     p_sources = sources;
     p_sites = sites;
+    p_frees = frees;
     p_productions = productions;
     p_features = features;
   }
@@ -757,16 +787,32 @@ type access = Read | Write
 
 let access_name = function Read -> "read" | Write -> "write"
 
-(** One derived unsafe program: the original with a single known
-    out-of-bounds access appended at the end of [main].  The index is
-    past the Low-Fat size class of the site ([max 16 (round_up_pow2
-    (size+1))], the runtime's own geometry), so {e both} approaches must
-    report it — except SoftBound on a size-less extern declaration,
-    whose wide upper bound cannot see the overflow (§4.3): those mutants
-    carry the whitelist justification instead. *)
+(** The hazard class a mutant injects.  [Spatial] is an out-of-bounds
+    access to a live object (the spatial checkers' territory); [Uaf] and
+    [Double_free] touch a heap object {e after} the program's free
+    epilogue killed it (the temporal checker's territory).  The judge
+    ({!Oracle.judge_mutant}) holds each checker to its own class and
+    excuses the others with a written justification. *)
+type mutant_kind = Spatial | Uaf | Double_free
+
+let mutant_kind_name = function
+  | Spatial -> "oob"
+  | Uaf -> "uaf"
+  | Double_free -> "dfree"
+
+(** One derived unsafe program: the original with a single known-bad
+    statement spliced into [main].  Spatial mutants index past the
+    Low-Fat size class of the site ([max 16 (round_up_pow2 (size+1))],
+    the runtime's own geometry), so both spatial approaches must report
+    — except SoftBound on a size-less extern declaration, whose wide
+    upper bound cannot see the overflow (§4.3): those carry the
+    whitelist justification instead.  Temporal mutants access (or
+    re-free) a freed heap site in bounds, so only the lock-and-key
+    checker can report. *)
 type mutant = {
   m_prog : prog;
   m_site : site;
+  m_kind : mutant_kind;
   m_access : access;
   m_index : int;
   m_sources : Bench.source list;
@@ -776,10 +822,21 @@ type mutant = {
 }
 
 let mutant_name (m : mutant) =
-  Printf.sprintf "seed%d/%s-%s[%d]-%s" m.m_prog.p_seed
-    (region_name m.m_site.si_region)
-    m.m_site.si_array m.m_index
-    (access_name m.m_access)
+  match m.m_kind with
+  | Spatial ->
+      Printf.sprintf "seed%d/%s-%s[%d]-%s" m.m_prog.p_seed
+        (region_name m.m_site.si_region)
+        m.m_site.si_array m.m_index
+        (access_name m.m_access)
+  | Uaf ->
+      Printf.sprintf "seed%d/uaf-%s-%s[%d]-%s" m.m_prog.p_seed
+        (region_name m.m_site.si_region)
+        m.m_site.si_array m.m_index
+        (access_name m.m_access)
+  | Double_free ->
+      Printf.sprintf "seed%d/dfree-%s-%s" m.m_prog.p_seed
+        (region_name m.m_site.si_region)
+        m.m_site.si_array
 
 (* first element index past the Low-Fat size class of the object *)
 let oob_index (s : site) =
@@ -787,12 +844,39 @@ let oob_index (s : site) =
   let cls = max 16 (Mi_support.Util.round_up_pow2 (size + 1)) in
   (cls / elem_size s.si_elem) + 1
 
-let main_suffix = "  return 0;\n}\n"
+(* first occurrence of [sub] in [code] *)
+let find_sub code sub =
+  let n = String.length code and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub code i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
 
-(** Derive the [mseed]-th unsafe mutant of [prog].  Deterministic.  Most
-    mutants target precisely-bounded sites; with low probability a
-    size-less extern site is chosen instead to exercise the whitelist
-    path. *)
+(* splice [stmt] into the main unit, immediately before the first
+   occurrence of [anchor] *)
+let splice_main ~anchor stmt (sources : Bench.source list) =
+  List.map
+    (fun (s : Bench.source) ->
+      if s.src_name <> "main" then s
+      else
+        match find_sub s.code anchor with
+        | Some i ->
+            {
+              s with
+              code =
+                String.sub s.code 0 i ^ stmt
+                ^ String.sub s.code i (String.length s.code - i);
+            }
+        | None -> invalid_arg "Gen.splice_main: unexpected main-unit shape")
+    sources
+
+(** Derive the [mseed]-th spatial mutant of [prog]: one out-of-bounds
+    access to a live object, spliced at the {!spatial_anchor} (before
+    the free epilogue).  Deterministic.  Most mutants target
+    precisely-bounded sites; with low probability a size-less extern
+    site is chosen instead to exercise the whitelist path. *)
 let mutate (prog : prog) ~mseed : mutant =
   let rng = Rng.create (((prog.p_seed * 8191) + mseed) * 2) in
   let precise, wide =
@@ -814,36 +898,13 @@ let mutate (prog : prog) ~mseed : mutant =
     | Write -> Printf.sprintf "  %s[%d] = 1;\n" site.si_array index
     | Read -> Printf.sprintf "  print_int(%s[%d]);\n" site.si_array index
   in
-  let sources =
-    List.map
-      (fun (s : Bench.source) ->
-        if s.src_name <> "main" then s
-        else begin
-          match
-            String.length s.code >= String.length main_suffix
-            && String.sub s.code
-                 (String.length s.code - String.length main_suffix)
-                 (String.length main_suffix)
-               = main_suffix
-          with
-          | true ->
-              {
-                s with
-                code =
-                  String.sub s.code 0
-                    (String.length s.code - String.length main_suffix)
-                  ^ stmt ^ main_suffix;
-              }
-          | false -> invalid_arg "Gen.mutate: unexpected main-unit shape"
-        end)
-      prog.p_sources
-  in
   {
     m_prog = prog;
     m_site = site;
+    m_kind = Spatial;
     m_access = access;
     m_index = index;
-    m_sources = sources;
+    m_sources = splice_main ~anchor:spatial_anchor stmt prog.p_sources;
     m_sb_whitelist =
       (if site.si_wide_sb then
          Some
@@ -854,3 +915,36 @@ let mutate (prog : prog) ~mseed : mutant =
               site.si_array)
        else None);
   }
+
+(** Derive the [mseed]-th temporal mutant of [prog]: an in-bounds
+    access to — or a second [free] of — a heap object the free epilogue
+    already killed, spliced after the frees.  [None] when the program
+    freed nothing ({!prog.p_frees} empty); callers fall back to
+    {!mutate}.  Deterministic.  The spatial checkers' bounds metadata is
+    unaffected by [free], so only the lock-and-key checker can report
+    these. *)
+let mutate_temporal (prog : prog) ~mseed : mutant option =
+  match prog.p_frees with
+  | [] -> None
+  | frees ->
+      let rng = Rng.create (((prog.p_seed * 4099) + mseed) * 2) in
+      let site = List.nth frees (Rng.int rng (List.length frees)) in
+      let kind = if Rng.int rng 3 = 0 then Double_free else Uaf in
+      let access = if Rng.bool rng then Read else Write in
+      let stmt =
+        match kind with
+        | Double_free -> Printf.sprintf "  free(%s);\n" site.si_array
+        (* in bounds on purpose: the only thing wrong is the lifetime *)
+        | _ when access = Write -> Printf.sprintf "  %s[0] = 1;\n" site.si_array
+        | _ -> Printf.sprintf "  print_int(%s[0]);\n" site.si_array
+      in
+      Some
+        {
+          m_prog = prog;
+          m_site = site;
+          m_kind = kind;
+          m_access = access;
+          m_index = 0;
+          m_sources = splice_main ~anchor:main_suffix stmt prog.p_sources;
+          m_sb_whitelist = None;
+        }

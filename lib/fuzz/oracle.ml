@@ -1,20 +1,26 @@
 (** The safety oracle: what must be true of a generated program.
 
     For a {e safe} program ({!Gen.generate}), every setup in the
-    experiment matrix — optimization levels, both instrumentations,
-    every extension point, both VM dispatch modes — must produce output
-    byte-identical to the uninstrumented [-O0] reference, with no safety
-    report, no trap, and no fuel exhaustion.  Additionally the two
-    instrumentations must agree on the dynamic check count (the shared
-    target discovery places the same checks), and the VM's fused
-    fast-path must be observationally identical to generic dispatch
-    (same output, same cycles, same counters).
+    experiment matrix — optimization levels, all three registered
+    checkers, every extension point, both VM dispatch modes — must
+    produce output byte-identical to the uninstrumented [-O0]
+    reference, with no safety report, no trap, and no fuel exhaustion.
+    Additionally the instrumentations must agree on the dynamic check
+    count (the shared target discovery places the same checks), and the
+    VM's fused fast-path must be observationally identical to generic
+    dispatch (same output, same cycles, same counters).
 
-    For an {e unsafe mutant} ({!Gen.mutate}), the oracle flips: both
-    SoftBound and Low-Fat must abort with a safety report — except
-    SoftBound on a mutant whose site only has wide bounds by design
-    (size-less extern declaration, §4.3), which is {e whitelisted} with
-    its written justification rather than counted as missed.
+    For an {e unsafe mutant}, the oracle flips along the mutant's
+    hazard class ({!Gen.mutant_kind}): a spatial overflow
+    ({!Gen.mutate}) must be reported by both SoftBound and Low-Fat —
+    except SoftBound on a site with only wide bounds by design
+    (size-less extern declaration, §4.3) — while the temporal checker
+    is excused (lock-and-key tracks lifetimes, not bounds).  A
+    use-after-free or double free ({!Gen.mutate_temporal}) must be
+    reported by the temporal checker, while the spatial checkers are
+    excused (their bounds metadata is unaffected by [free]).  Every
+    excusal is {e whitelisted} with its written justification rather
+    than counted as missed.
 
     The functions here only build job lists and judge result lists; the
     caller owns the {!Mi_bench_kit.Harness} session, so an entire
@@ -48,6 +54,7 @@ let reference = { Harness.baseline with level = Pipeline.O0 }
 
 let sb = Harness.with_config Config.softbound Harness.baseline
 let lf = Harness.with_config Config.lowfat Harness.baseline
+let tp = Harness.with_config (Config.of_approach "temporal") Harness.baseline
 
 (** The full safe-program matrix (reference excluded).  Tags are stable:
     they appear in repro files and CI JSON. *)
@@ -59,11 +66,14 @@ let variants : (string * Harness.setup) list =
     ("O3+sb", sb);
     ("O1+lf", { lf with level = Pipeline.O1 });
     ("O3+lf", lf);
+    ("O1+tp", { tp with level = Pipeline.O1 });
+    ("O3+tp", tp);
     ("O3+sb+domopt", Harness.with_config (Config.optimized Config.softbound) Harness.baseline);
     ("O3+lf@early", { lf with ep = Pipeline.ModuleOptimizerEarly });
     ("O3+sb@scalarlate", { sb with ep = Pipeline.ScalarOptimizerLate });
     ("O3+sb/generic", { sb with dispatch = Harness.Generic });
     ("O3+lf/generic", { lf with dispatch = Harness.Generic });
+    ("O3+tp/generic", { tp with dispatch = Harness.Generic });
   ]
 
 let variant_setup tag =
@@ -77,7 +87,7 @@ let variant_setup tag =
     instrumented setups run (uninstrumented, an out-of-bounds write is
     undefined — it may trap or silently corrupt). *)
 let mutant_variants : (string * Harness.setup) list =
-  [ ("O3+sb", sb); ("O3+lf", lf) ]
+  [ ("O3+sb", sb); ("O3+lf", lf); ("O3+tp", tp) ]
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                                *)
@@ -163,16 +173,19 @@ let judge_safe (p : Gen.prog)
                                 Printf.sprintf "expected %S got %S" ref_out
                                   r.Harness.output }))
             tagged;
-          (* fairness: same dynamic check count under both approaches *)
-          (match (find "O3+sb", find "O3+lf") with
-          | Ok rsb, Ok rlf ->
+          (* fairness: the shared target discovery places the same
+             number of dynamic checks under every approach *)
+          (match (find "O3+sb", find "O3+lf", find "O3+tp") with
+          | Ok rsb, Ok rlf, Ok rtp ->
               let csb = Harness.counter rsb "sb.checks"
-              and clf = Harness.counter rlf "lf.checks" in
-              if csb <> clf then
+              and clf = Harness.counter rlf "lf.checks"
+              and ctp = Harness.counter rtp "tp.checks" in
+              if csb <> clf || clf <> ctp then
                 note
-                  { f_seed = seed; f_setup = "O3+sb|O3+lf";
+                  { f_seed = seed; f_setup = "O3+sb|O3+lf|O3+tp";
                     f_kind = "check-count-mismatch";
-                    f_detail = Printf.sprintf "sb %d vs lf %d" csb clf }
+                    f_detail =
+                      Printf.sprintf "sb %d vs lf %d vs tp %d" csb clf ctp }
           | _ -> ());
           (* fast-path contract: generic dispatch is observationally
              identical — output, cycles, every runtime counter *)
@@ -200,7 +213,7 @@ let judge_safe (p : Gen.prog)
                         f_kind = "dispatch-divergence";
                         f_detail = "runtime counters differ" }
               | _ -> ())
-            [ "O3+sb"; "O3+lf" ]));
+            [ "O3+sb"; "O3+lf"; "O3+tp" ]));
   List.rev !findings
 
 (** How one instrumentation judged one mutant. *)
@@ -217,39 +230,83 @@ let detection_to_string = function
 type mutant_result = {
   mr_name : string;
   mr_seed : int;
-  mr_sb : detection;
-  mr_lf : detection;
+  mr_detections : (string * detection) list;
+      (** per checker variant, in {!mutant_variants} order *)
   mr_findings : finding list;  (** [[]] iff the flipped oracle holds *)
 }
 
-(** Judge one mutant's results (aligned with {!mutant_jobs}).  Low-Fat
-    must always report: the injected index lies past the site's size
-    class by construction.  SoftBound must report unless the mutant
-    carries a whitelist justification (wide bounds by design). *)
+let mr_detection mr tag =
+  match List.assoc_opt tag mr.mr_detections with
+  | Some d -> d
+  | None -> invalid_arg ("Oracle.mr_detection: unknown tag " ^ tag)
+
+(* What the flipped oracle demands of one checker on one mutant.  An
+   [Excused_wide] checker is excused only from a clean exit (the §4.3
+   wide-bounds whitelist: the access itself is still well-defined); an
+   [Out_of_scope] checker is excused from a trap too, because the
+   uninstrumented failure mode of a hazard outside its class is its
+   documented blind spot, not a miss. *)
+type expectation =
+  | Must_report
+  | Excused_wide of string
+  | Out_of_scope of string
+
+let expectation (m : Gen.mutant) tag =
+  match m.Gen.m_kind with
+  | Gen.Spatial -> (
+      match (tag, m.Gen.m_sb_whitelist) with
+      | "O3+tp", _ ->
+          Out_of_scope
+            "spatial overflow: the lock-and-key checker tracks lifetimes, \
+             not bounds"
+      | "O3+sb", Some why -> Excused_wide why
+      | _ -> Must_report)
+  | Gen.Uaf ->
+      if tag = "O3+tp" then Must_report
+      else
+        Out_of_scope
+          "use after free: the spatial checkers' bounds metadata is \
+           unaffected by free"
+  | Gen.Double_free ->
+      if tag = "O3+tp" then Must_report
+      else
+        Out_of_scope
+          "double free: outside the spatial checkers' scope (the VM \
+           allocator's own bookkeeping traps instead)"
+
+(** Judge one mutant's results (aligned with {!mutant_jobs}): each
+    checker variant against its {!expectation} for the mutant's hazard
+    class. *)
 let judge_mutant (m : Gen.mutant)
     (results : (Harness.run, Harness.error) result list) : mutant_result =
   let seed = m.Gen.m_prog.Gen.p_seed in
   let name = Gen.mutant_name m in
-  let judge tag res ~whitelist =
+  let judge tag res =
     match res with
-    | Error e -> Missed (Printf.sprintf "[%s] compile error: %s" tag e.Harness.reason)
+    | Error e ->
+        Missed (Printf.sprintf "[%s] compile error: %s" tag e.Harness.reason)
     | Ok r -> (
-        match r.Harness.outcome with
-        | Mi_vm.Interp.Safety_violation _ -> Killed
-        | Mi_vm.Interp.Exited _ -> (
-            match whitelist with
-            | Some why -> Whitelisted why
-            | None -> Missed (Printf.sprintf "[%s] ran to completion" tag))
-        | Mi_vm.Interp.Trapped msg ->
+        match (r.Harness.outcome, expectation m tag) with
+        | Mi_vm.Interp.Safety_violation _, _ -> Killed
+        | Mi_vm.Interp.Exited _, (Excused_wide why | Out_of_scope why) ->
+            Whitelisted why
+        | Mi_vm.Interp.Exited _, Must_report ->
+            Missed (Printf.sprintf "[%s] ran to completion" tag)
+        | Mi_vm.Interp.Trapped msg, Out_of_scope why ->
+            Whitelisted (Printf.sprintf "%s (trapped: %s)" why msg)
+        | Mi_vm.Interp.Trapped msg, _ ->
             (* a VM trap is the uninstrumented failure mode: the check
                did not fire first, so the instrumentation missed *)
-            Missed (Printf.sprintf "[%s] trapped instead of reporting: %s" tag msg)
-        | Mi_vm.Interp.Exhausted b ->
+            Missed
+              (Printf.sprintf "[%s] trapped instead of reporting: %s" tag msg)
+        | Mi_vm.Interp.Exhausted b, _ ->
             Missed (Printf.sprintf "[%s] fuel budget %d exhausted" tag b))
   in
-  let rsb = List.nth results 0 and rlf = List.nth results 1 in
-  let dsb = judge "O3+sb" rsb ~whitelist:m.Gen.m_sb_whitelist in
-  let dlf = judge "O3+lf" rlf ~whitelist:None in
+  let detections =
+    List.map2
+      (fun (tag, _) res -> (tag, judge tag res))
+      mutant_variants results
+  in
   let findings =
     List.filter_map
       (fun (tag, d) ->
@@ -259,7 +316,7 @@ let judge_mutant (m : Gen.mutant)
             Some
               { f_seed = seed; f_setup = tag; f_kind = "missed-violation";
                 f_detail = Printf.sprintf "%s: %s" name detail })
-      [ ("O3+sb", dsb); ("O3+lf", dlf) ]
+      detections
   in
-  { mr_name = name; mr_seed = seed; mr_sb = dsb; mr_lf = dlf;
+  { mr_name = name; mr_seed = seed; mr_detections = detections;
     mr_findings = findings }

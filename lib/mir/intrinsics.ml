@@ -31,6 +31,25 @@ let lf_invariant_check = "__mi_lf_invariant_check" (* (ptr) escape check *)
 let lf_base = "__mi_lf_base" (* (ptr) -> ptr : recompute base *)
 let lf_alloca = "__mi_lf_alloca" (* (size) -> ptr : mirrored stack alloc *)
 
+(* Temporal lock-and-key (CETS-style): every allocation gets a fresh,
+   never-reused key; [free] kills the key; a dereference check tests the
+   key's liveness.  Key 0 means "untracked" (globals, integers cast to
+   pointers, uninstrumented callees) and always passes — the temporal
+   analog of wide bounds. *)
+let tp_check = "__mi_tp_check" (* (ptr, key) *)
+let tp_alloc_key = "__mi_tp_alloc_key" (* (base) -> key of live allocation *)
+let tp_trie_load = "__mi_tp_trie_load" (* (addr) -> key *)
+let tp_trie_store = "__mi_tp_trie_store" (* (addr, key) *)
+let tp_meta_copy = "__mi_tp_meta_copy" (* (dst, src, len) *)
+let tp_alloca = "__mi_tp_alloca" (* (size) -> ptr : keyed stack alloc *)
+
+(* temporal shadow stack (key per pointer argument / return; frames are
+   zero-initialized so uninstrumented callees yield key 0, not stale keys) *)
+let tp_ss_enter = "__mi_tp_ss_enter" (* (nslots) *)
+let tp_ss_leave = "__mi_tp_ss_leave" (* () *)
+let tp_ss_set = "__mi_tp_ss_set" (* (slot, key) *)
+let tp_ss_get = "__mi_tp_ss_get" (* (slot) -> key *)
+
 (* global-bounds helper: bounds of a global by address (for SoftBound
    globals whose size the module knows) *)
 let global_size = "__mi_global_size" (* (addr) -> i64 *)
@@ -66,19 +85,24 @@ type effect_class =
   | Allocating  (** returns fresh memory: [malloc] and friends *)
 
 let classify name : effect_class =
-  if name = sb_check || name = lf_check || name = lf_invariant_check then
-    May_abort
+  if
+    name = sb_check || name = lf_check || name = lf_invariant_check
+    || name = tp_check
+  then May_abort
   else if name = lf_base || name = global_size then Pure
   else if
     name = sb_trie_load_base || name = sb_trie_load_bound
     || name = ss_get_base || name = ss_get_bound
+    || name = tp_alloc_key || name = tp_trie_load || name = tp_ss_get
   then Read_meta
   else if
     name = sb_trie_store || name = sb_meta_copy || name = ss_enter
     || name = ss_leave || name = ss_set_base || name = ss_set_bound
+    || name = tp_trie_store || name = tp_meta_copy || name = tp_ss_enter
+    || name = tp_ss_leave || name = tp_ss_set
   then Effectful
   else if name = "malloc" || name = "calloc" || name = "realloc"
-          || name = lf_alloca
+          || name = lf_alloca || name = tp_alloca
   then Allocating
   else if name = "abort" || name = "exit" then May_abort
   else if

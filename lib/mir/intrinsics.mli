@@ -54,6 +54,41 @@ val lf_base : string
 (** [(size) -> ptr: mirrored stack allocation] *)
 val lf_alloca : string
 
+(** {1 Temporal lock-and-key runtime}
+
+    Every allocation gets a fresh, never-reused key; [free] kills the
+    key; checks test liveness.  Key [0] is "untracked" and always
+    passes (the temporal analog of wide bounds). *)
+
+(** [(ptr, key)] *)
+val tp_check : string
+
+(** [(base) -> key: key of the live allocation starting at [base]] *)
+val tp_alloc_key : string
+
+(** [(addr) -> key] *)
+val tp_trie_load : string
+
+(** [(addr, key)] *)
+val tp_trie_store : string
+
+(** [(dst, src, len)] *)
+val tp_meta_copy : string
+
+(** [(size) -> ptr: keyed stack allocation] *)
+val tp_alloca : string
+
+(** [(nslots)]; frames are zero-initialized (no stale keys) *)
+val tp_ss_enter : string
+
+val tp_ss_leave : string
+
+(** [(slot, key)] *)
+val tp_ss_set : string
+
+(** [(slot) -> key] *)
+val tp_ss_get : string
+
 val global_size : string
 
 (** {1 C library} *)

@@ -212,73 +212,80 @@ let install ?(wrapper_checks = false) (st : State.t) : t =
       ss_saved = [];
     }
   in
-  let reg = State.register_builtin st in
-  reg Intr.sb_check (fun st args ->
-      (* the optional 5th argument is the instrumentation site id *)
-      let site =
-        if Array.length args > 4 then State.as_int args.(4) else -1
-      in
-      check ~site st
-        (State.as_int args.(0))
-        (State.as_int args.(1))
-        ~base:(State.as_int args.(2))
-        ~bound:(State.as_int args.(3));
-      None);
-  reg Intr.sb_trie_store (fun _ args ->
-      trie_store t
-        (State.as_int args.(0))
-        ~base:(State.as_int args.(1))
-        ~bound:(State.as_int args.(2));
-      None);
-  reg Intr.sb_trie_load_base (fun _ args ->
-      Some (State.I (fst (trie_load t (State.as_int args.(0))))));
-  reg Intr.sb_trie_load_bound (fun _ args ->
-      Some (State.I (snd (trie_load t (State.as_int args.(0))))));
-  reg Intr.sb_meta_copy (fun _ args ->
-      meta_copy t
-        ~dst:(State.as_int args.(0))
-        ~src:(State.as_int args.(1))
-        (State.as_int args.(2));
-      None);
-  reg Intr.ss_enter (fun _ args ->
-      ss_enter t (State.as_int args.(0));
-      None);
-  reg Intr.ss_leave (fun _ _ ->
-      ss_leave t;
-      None);
-  reg Intr.ss_set_base (fun _ args ->
-      ss_set_base t (State.as_int args.(0)) (State.as_int args.(1));
-      None);
-  reg Intr.ss_set_bound (fun _ args ->
-      ss_set_bound t (State.as_int args.(0)) (State.as_int args.(1));
-      None);
-  reg Intr.ss_get_base (fun _ args ->
-      Some (State.I (ss_get_base t (State.as_int args.(0)))));
-  reg Intr.ss_get_bound (fun _ args ->
-      Some (State.I (ss_get_bound t (State.as_int args.(0)))));
+  (* Each entry pairs the generic boxed builtin with its typed fast twin
+     for the interpreter's fused superinstructions.  Both call the same
+     underlying function, so cycle charges, counters, site attribution
+     and aborts are identical — only the boxed calling convention
+     disappears.  [Runtime.register] handles the ordering contract
+     (generics first, then twins). *)
+  Runtime.register st
+    [
+      Runtime.entry Intr.sb_check
+        (fun st args ->
+          (* the optional 5th argument is the instrumentation site id *)
+          let site =
+            if Array.length args > 4 then State.as_int args.(4) else -1
+          in
+          check ~site st
+            (State.as_int args.(0))
+            (State.as_int args.(1))
+            ~base:(State.as_int args.(2))
+            ~bound:(State.as_int args.(3));
+          None)
+        ~fast:
+          (State.F5
+             (fun st ptr width base bound site ->
+               check ~site st ptr width ~base ~bound));
+      Runtime.entry Intr.sb_trie_store
+        (fun _ args ->
+          trie_store t
+            (State.as_int args.(0))
+            ~base:(State.as_int args.(1))
+            ~bound:(State.as_int args.(2));
+          None)
+        ~fast:(State.F3 (fun _ addr base bound -> trie_store t addr ~base ~bound));
+      Runtime.entry Intr.sb_trie_load_base
+        (fun _ args ->
+          Some (State.I (fst (trie_load t (State.as_int args.(0))))))
+        ~fast:(State.FR1 (fun _ addr -> fst (trie_load t addr)));
+      Runtime.entry Intr.sb_trie_load_bound
+        (fun _ args ->
+          Some (State.I (snd (trie_load t (State.as_int args.(0))))))
+        ~fast:(State.FR1 (fun _ addr -> snd (trie_load t addr)));
+      Runtime.entry Intr.sb_meta_copy
+        (fun _ args ->
+          meta_copy t
+            ~dst:(State.as_int args.(0))
+            ~src:(State.as_int args.(1))
+            (State.as_int args.(2));
+          None)
+        ~fast:(State.F3 (fun _ dst src len -> meta_copy t ~dst ~src len));
+      Runtime.entry Intr.ss_enter
+        (fun _ args ->
+          ss_enter t (State.as_int args.(0));
+          None)
+        ~fast:(State.F1 (fun _ n -> ss_enter t n));
+      Runtime.entry Intr.ss_leave
+        (fun _ _ ->
+          ss_leave t;
+          None)
+        ~fast:(State.F0 (fun _ -> ss_leave t));
+      Runtime.entry Intr.ss_set_base
+        (fun _ args ->
+          ss_set_base t (State.as_int args.(0)) (State.as_int args.(1));
+          None)
+        ~fast:(State.F2 (fun _ slot v -> ss_set_base t slot v));
+      Runtime.entry Intr.ss_set_bound
+        (fun _ args ->
+          ss_set_bound t (State.as_int args.(0)) (State.as_int args.(1));
+          None)
+        ~fast:(State.F2 (fun _ slot v -> ss_set_bound t slot v));
+      Runtime.entry Intr.ss_get_base
+        (fun _ args -> Some (State.I (ss_get_base t (State.as_int args.(0)))))
+        ~fast:(State.FR1 (fun _ slot -> ss_get_base t slot));
+      Runtime.entry Intr.ss_get_bound
+        (fun _ args -> Some (State.I (ss_get_bound t (State.as_int args.(0)))))
+        ~fast:(State.FR1 (fun _ slot -> ss_get_bound t slot));
+    ];
   install_wrappers ~wrapper_checks t;
-  (* Typed fast twins for the interpreter's fused superinstructions.
-     Registered after the generics (registering a generic drops any fast
-     twin of the same name).  Each twin calls the same underlying
-     function as its generic builtin, so cycle charges, counters, site
-     attribution and aborts are identical — only the boxed calling
-     convention disappears. *)
-  let fast = State.register_fast_builtin st in
-  fast Intr.sb_check
-    (State.F5
-       (fun st ptr width base bound site ->
-         check ~site st ptr width ~base ~bound));
-  fast Intr.sb_trie_store
-    (State.F3 (fun _ addr base bound -> trie_store t addr ~base ~bound));
-  fast Intr.sb_trie_load_base (State.FR1 (fun _ addr -> fst (trie_load t addr)));
-  fast Intr.sb_trie_load_bound
-    (State.FR1 (fun _ addr -> snd (trie_load t addr)));
-  fast Intr.sb_meta_copy
-    (State.F3 (fun _ dst src len -> meta_copy t ~dst ~src len));
-  fast Intr.ss_enter (State.F1 (fun _ n -> ss_enter t n));
-  fast Intr.ss_leave (State.F0 (fun _ -> ss_leave t));
-  fast Intr.ss_set_base (State.F2 (fun _ slot v -> ss_set_base t slot v));
-  fast Intr.ss_set_bound (State.F2 (fun _ slot v -> ss_set_bound t slot v));
-  fast Intr.ss_get_base (State.FR1 (fun _ slot -> ss_get_base t slot));
-  fast Intr.ss_get_bound (State.FR1 (fun _ slot -> ss_get_bound t slot));
   t

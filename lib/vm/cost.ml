@@ -31,6 +31,8 @@ type t = {
   ss_frame : int;  (** shadow-stack frame enter/leave *)
   alloc : int;  (** allocator call *)
   lf_alloc : int;  (** low-fat allocator: size-class push/pop *)
+  tp_check : int;  (** lock load via key + liveness compare (CETS Fig. 4) *)
+  tp_meta : int;  (** temporal key-table / key-trie access *)
 }
 
 let default =
@@ -56,6 +58,8 @@ let default =
     ss_frame = 4;
     alloc = 80;
     lf_alloc = 60;
+    tp_check = 8;
+    tp_meta = 12;
   }
 
 let memop_cost t len =

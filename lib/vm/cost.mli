@@ -31,6 +31,8 @@ type t = {
   ss_frame : int;
   alloc : int;
   lf_alloc : int;
+  tp_check : int;  (** lock load via key + liveness compare (CETS Fig. 4) *)
+  tp_meta : int;  (** temporal key-table / key-trie access *)
 }
 
 val default : t

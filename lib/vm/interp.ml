@@ -104,7 +104,7 @@ type xinstr =
   | XFast2 of fused  (** binary effectful intrinsic: ss_set_base/bound *)
   | XFast3 of fused
       (** ternary effectful intrinsic: trie_store, meta_copy,
-          lf_invariant_check *)
+          lf_invariant_check, tp_check *)
   | XFastR of fused
       (** unary int-returning intrinsic: trie loads, ss_get_*, lf_base,
           lf_alloca *)
@@ -207,6 +207,8 @@ let fuse (st : State.t) callee (xdst : (bool * int) option)
         | State.F4 _, None when callee = Intrinsics.lf_check ->
             Option.map (fun a -> XLfCheck (mk a)) (with_site 4)
         | State.F3 _, None when callee = Intrinsics.lf_invariant_check ->
+            Option.map (fun a -> XFast3 (mk a)) (with_site 3)
+        | State.F3 _, None when callee = Intrinsics.tp_check ->
             Option.map (fun a -> XFast3 (mk a)) (with_site 3)
         | State.F0 _, None when n = 0 -> Some (XFast0 (mk xargs))
         | State.F1 _, None when n = 1 -> Some (XFast1 (mk xargs))

@@ -1,0 +1,27 @@
+(** Unified builtin registration for checker runtimes.
+
+    Every checker runtime installs the same way: a list of named entry
+    points, each with a generic boxed implementation and (usually) a
+    typed fast twin for the interpreter's fused superinstructions.
+    [register] enforces the ordering contract of {!State}: all generic
+    builtins first (each registration drops any stale fast twin of the
+    same name and bumps [builtin_gen]), then the fast twins. *)
+
+type entry = {
+  e_name : string;
+  e_generic : State.t -> State.value array -> State.value option;
+  e_fast : State.fast_fn option;
+      (** [None] for entry points never named by fused call sites *)
+}
+
+(** Convenience constructor. *)
+let entry ?fast name generic = { e_name = name; e_generic = generic; e_fast = fast }
+
+let register (st : State.t) (entries : entry list) =
+  List.iter (fun e -> State.register_builtin st e.e_name e.e_generic) entries;
+  List.iter
+    (fun e ->
+      match e.e_fast with
+      | Some f -> State.register_fast_builtin st e.e_name f
+      | None -> ())
+    entries

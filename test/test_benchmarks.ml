@@ -66,8 +66,8 @@ let test_checks_executed (b : Bench.t) () =
    signature fractions; the clean ones must be (almost) fully checked. *)
 let wide_band (b : Bench.t) () =
   let _, sb, lf = get b in
-  let fsb = Experiments.wide_fraction sb ~approach:Config.Softbound in
-  let flf = Experiments.wide_fraction lf ~approach:Config.Lowfat in
+  let fsb = Experiments.wide_fraction sb ~approach:"softbound" in
+  let flf = Experiments.wide_fraction lf ~approach:"lowfat" in
   let in_band lo hi v = v >= lo && v <= hi in
   let check_band name lo hi v =
     if not (in_band lo hi v) then

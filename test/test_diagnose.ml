@@ -125,7 +125,7 @@ let excluded_tests =
           Alcotest.test_case
             (Printf.sprintf "%s / %s" c.case_name (Config.approach_name a))
             `Quick (excluded_case c a))
-        [ Config.Softbound; Config.Lowfat ])
+        (Config.known_approaches ()))
     Mi_bench_kit.Excluded.all
 
 let () =

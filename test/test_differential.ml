@@ -1,12 +1,13 @@
 (* Differential testing on Mi_fuzz-generated programs: every seed's
-   spatially-safe program must run identically across the whole oracle
-   matrix (optimization levels x SoftBound/Low-Fat x extension points x
-   VM dispatch modes) with zero safety reports, and every derived unsafe
-   mutant must be reported by BOTH instrumentations (wide-bounds
-   whitelist aside).  The heavy lifting — matrix construction, output
-   comparison, check-count fairness, dispatch twinning — lives in
-   {!Mi_fuzz.Oracle}; this suite drives it over fixed seed blocks and
-   additionally pins each oracle property with a direct witness. *)
+   safe program must run identically across the whole oracle matrix
+   (optimization levels x SoftBound/Low-Fat/Temporal x extension points
+   x VM dispatch modes) with zero safety reports, and every derived
+   unsafe mutant must be reported by the checkers whose hazard class it
+   belongs to (wide-bounds and out-of-scope whitelists aside).  The
+   heavy lifting — matrix construction, output comparison, check-count
+   fairness, dispatch twinning — lives in {!Mi_fuzz.Oracle}; this suite
+   drives it over fixed seed blocks and additionally pins each oracle
+   property with a direct witness. *)
 
 module Harness = Mi_bench_kit.Harness
 module Gen = Mi_fuzz.Gen
@@ -75,24 +76,30 @@ let test_mutant_block () =
             (Oracle.finding_to_string f))
     r.Fuzz.r_mutants
 
-(* a precise-bounds mutant is reported by BOTH instrumentations, and the
-   safe original places the same dynamic check count under each (the
-   framework-fairness guarantee behind the flipped oracle) *)
+(* a precise-bounds spatial mutant is reported by BOTH spatial
+   instrumentations, and the safe original places the same dynamic
+   check count under every checker (the framework-fairness guarantee
+   behind the flipped oracle) *)
 let test_mutant_both_checkers_report () =
   let seed = 203 in
   let prog = Gen.generate ~seed () in
   let sb = Oracle.variant_setup "O3+sb" in
   let lf = Oracle.variant_setup "O3+lf" in
+  let tp = Oracle.variant_setup "O3+tp" in
   let rsb = Harness.run_sources sb prog.Gen.p_sources in
   let rlf = Harness.run_sources lf prog.Gen.p_sources in
-  (match (rsb.Harness.outcome, rlf.Harness.outcome) with
-  | Mi_vm.Interp.Exited 0, Mi_vm.Interp.Exited 0 -> ()
-  | _ -> Alcotest.fail "safe program did not exit 0 under both checkers");
+  let rtp = Harness.run_sources tp prog.Gen.p_sources in
+  (match (rsb.Harness.outcome, rlf.Harness.outcome, rtp.Harness.outcome) with
+  | Mi_vm.Interp.Exited 0, Mi_vm.Interp.Exited 0, Mi_vm.Interp.Exited 0 -> ()
+  | _ -> Alcotest.fail "safe program did not exit 0 under every checker");
   let csb = Harness.counter rsb "sb.checks"
-  and clf = Harness.counter rlf "lf.checks" in
+  and clf = Harness.counter rlf "lf.checks"
+  and ctp = Harness.counter rtp "tp.checks" in
   Alcotest.(check bool) "checks placed" true (csb > 0);
-  Alcotest.(check int) "same dynamic check count" csb clf;
-  (* now one injected out-of-bounds access: both must report *)
+  Alcotest.(check int) "same dynamic check count (lf)" csb clf;
+  Alcotest.(check int) "same dynamic check count (tp)" csb ctp;
+  (* now one injected out-of-bounds access: both spatial checkers must
+     report; the temporal checker is excused (out of scope) *)
   let m = Gen.mutate prog ~mseed:seed in
   if m.Gen.m_sb_whitelist <> None then
     Alcotest.failf "seed %d unexpectedly drew a whitelisted extern site" seed;
@@ -104,7 +111,70 @@ let test_mutant_both_checkers_report () =
           (outcome_str o)
   in
   check "softbound" sb;
-  check "lowfat" lf
+  check "lowfat" lf;
+  let rsb' = Harness.run_sources sb m.Gen.m_sources in
+  let rlf' = Harness.run_sources lf m.Gen.m_sources in
+  let rtp' = Harness.run_sources tp m.Gen.m_sources in
+  let mr = Oracle.judge_mutant m [ Ok rsb'; Ok rlf'; Ok rtp' ] in
+  Alcotest.(check bool) "flipped oracle holds" true (mr.Oracle.mr_findings = []);
+  match Oracle.mr_detection mr "O3+tp" with
+  | Oracle.Killed | Oracle.Whitelisted _ -> ()
+  | d ->
+      Alcotest.failf "temporal checker off-contract on spatial mutant: %s"
+        (Oracle.detection_to_string d)
+
+(* temporal mutants — use-after-free and double free — are reported by
+   the lock-and-key checker and excused (not missed) under the spatial
+   checkers, whose bounds metadata free does not touch *)
+let test_temporal_mutants () =
+  let sb = Oracle.variant_setup "O3+sb" in
+  let lf = Oracle.variant_setup "O3+lf" in
+  let tp = Oracle.variant_setup "O3+tp" in
+  let seen_uaf = ref false and seen_dfree = ref false in
+  for seed = 201 to 240 do
+    if not (!seen_uaf && !seen_dfree) then
+      let p = Gen.generate ~seed () in
+      match Gen.mutate_temporal p ~mseed:seed with
+      | None ->
+          Alcotest.(check bool)
+            "mutate_temporal is None iff nothing was freed" true
+            (p.Gen.p_frees = [])
+      | Some m ->
+          let fresh =
+            match m.Gen.m_kind with
+            | Gen.Uaf when not !seen_uaf ->
+                seen_uaf := true;
+                true
+            | Gen.Double_free when not !seen_dfree ->
+                seen_dfree := true;
+                true
+            | _ -> false
+          in
+          if fresh then begin
+            let r s = Ok (Harness.run_sources s m.Gen.m_sources) in
+            let mr = Oracle.judge_mutant m [ r sb; r lf; r tp ] in
+            (match Oracle.mr_detection mr "O3+tp" with
+            | Oracle.Killed -> ()
+            | d ->
+                Alcotest.failf "temporal checker should kill %s, got %s"
+                  mr.Oracle.mr_name
+                  (Oracle.detection_to_string d));
+            List.iter
+              (fun tag ->
+                match Oracle.mr_detection mr tag with
+                | Oracle.Whitelisted _ -> ()
+                | d ->
+                    Alcotest.failf "%s should be excused on %s, got %s" tag
+                      mr.Oracle.mr_name
+                      (Oracle.detection_to_string d))
+              [ "O3+sb"; "O3+lf" ];
+            Alcotest.(check bool)
+              "flipped oracle holds" true
+              (mr.Oracle.mr_findings = [])
+          end
+  done;
+  Alcotest.(check bool) "drew a use-after-free mutant" true !seen_uaf;
+  Alcotest.(check bool) "drew a double-free mutant" true !seen_dfree
 
 (* a size-less extern site overflows past the definition: Low-Fat still
    reports (allocation-size classes), SoftBound is excused by its wide
@@ -128,13 +198,16 @@ let test_whitelisted_extern_mutant () =
       let rlf =
         Harness.run_sources (Oracle.variant_setup "O3+lf") m.Gen.m_sources
       in
+      let rtp =
+        Harness.run_sources (Oracle.variant_setup "O3+tp") m.Gen.m_sources
+      in
       (match rlf.Harness.outcome with
       | Mi_vm.Interp.Safety_violation _ -> ()
       | o ->
           Alcotest.failf "lowfat must still report %s: %s"
             (Gen.mutant_name m) (outcome_str o));
-      let mr = Oracle.judge_mutant m [ Ok rsb; Ok rlf ] in
-      (match mr.Oracle.mr_sb with
+      let mr = Oracle.judge_mutant m [ Ok rsb; Ok rlf; Ok rtp ] in
+      (match Oracle.mr_detection mr "O3+sb" with
       | Oracle.Whitelisted why ->
           Alcotest.(check bool)
             "justification is written out" true
@@ -167,7 +240,7 @@ let test_dispatch_differential () =
         (tag ^ " counters")
         (Harness.counters_alist fast)
         (Harness.counters_alist gen))
-    [ "O3+sb"; "O3+lf" ]
+    [ "O3+sb"; "O3+lf"; "O3+tp" ]
 
 (* {1 Optimizer regressions flushed out by fuzzing}
 
@@ -213,7 +286,7 @@ let test_inlined_call_in_do_while_loop () =
       | o -> Alcotest.failf "%s: %s" tag (outcome_str o));
       Alcotest.(check string)
         (tag ^ " output") ref_run.Harness.output r.Harness.output)
-    [ "O1"; "O3"; "O3+sb"; "O3+lf" ]
+    [ "O1"; "O3"; "O3+sb"; "O3+lf"; "O3+tp" ]
 
 let () =
   Alcotest.run "differential"
@@ -231,6 +304,8 @@ let () =
             test_mutant_block;
           Alcotest.test_case "both checkers report, equal check counts"
             `Quick test_mutant_both_checkers_report;
+          Alcotest.test_case "temporal mutants: tp kills, sb/lf excused"
+            `Slow test_temporal_mutants;
           Alcotest.test_case "size-less extern whitelist" `Slow
             test_whitelisted_extern_mutant;
         ] );

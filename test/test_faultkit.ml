@@ -81,9 +81,28 @@ let test_compile_sig () =
 (* {1 Check mutation (instrumenter injector)} *)
 
 (* stack/long/write/past_class: ordinal 1 of main is the reporting body
-   access under both approaches *)
+   access under both spatial approaches.  The temporal checker is blind
+   to spatial overflows, so it gets a lifetime hazard instead: a
+   use-after-free write whose reporting liveness check is ordinal 0 of
+   main. *)
 let violating_src =
   Corpus.program Corpus.Stack Corpus.Long Corpus.Write Corpus.Past_class
+
+let temporal_violating_src =
+  {|
+int main(void) {
+  long *a = (long *)malloc(8 * sizeof(long));
+  free(a);
+  a[0] = 7;
+  return 0;
+}
+|}
+
+(* the program a checker reports on, and the [main] check ordinal whose
+   mutation silences that report *)
+let violating_case approach =
+  if approach = "temporal" then (temporal_violating_src, 0)
+  else (violating_src, 1)
 
 let run_corpus ?faults approach src =
   let r =
@@ -99,7 +118,8 @@ let violated (r : Harness.run) =
 let test_del_check_flips () =
   List.iter
     (fun approach ->
-      let base = run_corpus approach violating_src in
+      let src, ordinal = violating_case approach in
+      let base = run_corpus approach src in
       Alcotest.(check bool) "baseline violates" true (violated base);
       let faults =
         {
@@ -108,20 +128,21 @@ let test_del_check_flips () =
             [
               {
                 Fault.cm_action = Fault.Delete;
-                cm_ordinal = 1;
+                cm_ordinal = ordinal;
                 cm_func = Some "main";
               };
             ];
         }
       in
-      let mutant = run_corpus ~faults approach violating_src in
+      let mutant = run_corpus ~faults approach src in
       Alcotest.(check bool) "deleted check cannot report" false
         (violated mutant))
-    [ Config.Softbound; Config.Lowfat ]
+    (Config.known_approaches ())
 
 let test_weaken_check_blinds () =
   List.iter
     (fun approach ->
+      let src, ordinal = violating_case approach in
       let faults =
         {
           Fault.none with
@@ -129,16 +150,16 @@ let test_weaken_check_blinds () =
             [
               {
                 Fault.cm_action = Fault.Weaken;
-                cm_ordinal = 1;
+                cm_ordinal = ordinal;
                 cm_func = Some "main";
               };
             ];
         }
       in
-      let mutant = run_corpus ~faults approach violating_src in
+      let mutant = run_corpus ~faults approach src in
       Alcotest.(check bool) "weakened check cannot report" false
         (violated mutant))
-    [ Config.Softbound; Config.Lowfat ]
+    (Config.known_approaches ())
 
 let test_unrelated_ordinal_untouched () =
   (* deleting a check in a function that does not exist changes nothing *)
@@ -151,7 +172,7 @@ let test_unrelated_ordinal_untouched () =
         ];
     }
   in
-  let r = run_corpus ~faults Config.Softbound violating_src in
+  let r = run_corpus ~faults "softbound" violating_src in
   Alcotest.(check bool) "still violates" true (violated r)
 
 (* {1 VM faults} *)
@@ -161,14 +182,14 @@ let benign_src =
 
 let test_fuel_cap () =
   let faults = { Fault.none with Fault.vm = [ Fault.Fuel_cap 3 ] } in
-  let r = run_corpus ~faults Config.Softbound benign_src in
+  let r = run_corpus ~faults "softbound" benign_src in
   match r.Harness.outcome with
   | Mi_vm.Interp.Exhausted 3 -> ()
   | _ -> Alcotest.fail "expected Exhausted 3"
 
 let test_trap_at () =
   let faults = { Fault.none with Fault.vm = [ Fault.Trap_at 2 ] } in
-  let r = run_corpus ~faults Config.Softbound benign_src in
+  let r = run_corpus ~faults "softbound" benign_src in
   match r.Harness.outcome with
   | Mi_vm.Interp.Trapped msg ->
       Alcotest.(check bool)
@@ -185,7 +206,7 @@ let test_wild_write_counted () =
       Fault.vm = [ Fault.Wild_write { at_step = 1; addr = 0; value = 0xFF } ];
     }
   in
-  let r = run_corpus ~faults Config.Softbound benign_src in
+  let r = run_corpus ~faults "softbound" benign_src in
   Alcotest.(check bool)
     "fault.injected counted" true
     (Harness.counter r "fault.injected" >= 1)
@@ -216,7 +237,7 @@ let run_chaos_session jobs =
   let h =
     Harness.create ~jobs ~faults:chaos_plan ~job_timeout:0.05 ~retries:1 ()
   in
-  let setup = Corpus.setup Config.Softbound in
+  let setup = Corpus.setup "softbound" in
   let results =
     Harness.run_jobs h [ (setup, good); (setup, crashy); (setup, hangy) ]
   in
@@ -281,7 +302,7 @@ let test_containment_and_determinism () =
 
 let test_no_faults_no_failures () =
   let h = Harness.create ~jobs:2 () in
-  let setup = Corpus.setup Config.Lowfat in
+  let setup = Corpus.setup "lowfat" in
   let results = Harness.run_jobs h [ (setup, good); (setup, hangy) ] in
   Alcotest.(check int) "all ok" 2
     (List.length (List.filter Result.is_ok results));

@@ -715,7 +715,7 @@ let run_at level instrument src =
   let st = Mi_vm.State.create () in
   Mi_vm.Builtins.install st;
   (match instrument with
-  | Some cfg when cfg.Mi_core.Config.approach = Mi_core.Config.Lowfat ->
+  | Some cfg when cfg.Mi_core.Config.approach = "lowfat" ->
       ignore (Mi_lowfat.Lowfat_rt.install st)
   | Some _ -> ignore (Mi_softbound.Softbound_rt.install st)
   | None -> ());

@@ -21,7 +21,7 @@ let suite level =
             (Printf.sprintf "%s / %s" c.case_name (Config.approach_name approach))
             `Quick
             (check_case level c approach))
-        [ Config.Softbound; Config.Lowfat ])
+        (Config.known_approaches ()))
     U.all
 
 (* a couple of extra facts the cases rely on *)
@@ -37,7 +37,7 @@ let test_swap_clean_output_matches () =
       let _, r = U.run_case U.swap_clean approach in
       Alcotest.(check string) "same output" base.Mi_bench_kit.Harness.output
         r.Mi_bench_kit.Harness.output)
-    [ Config.Softbound; Config.Lowfat ]
+    (Config.known_approaches ())
 
 let test_corrupted_inttoptr_with_null_bounds () =
   (* §4.4: with null (not wide) inttoptr bounds, SoftBound rejects every
