@@ -211,4 +211,46 @@ awk -v cov="$cov_sps" -v plain="$plain_sps" -v r="$min_ratio" 'BEGIN {
 }'
 echo "coverage recording overhead within budget"
 
+# the chaos-serve gate: the mi-serve daemon under injected worker
+# crashes and a hung request must answer all 200 driven fuzz jobs with
+# zero drops (accepted requests survive worker death via requeue +
+# supervisor restart) and byte-identical results to the batch harness;
+# a second daemon on the same cache directory with every entry
+# bit-flipped must quarantine, recompute and still answer identically.
+echo "== chaos-serve gate (200 jobs, crashes + hang + cache bitflip) =="
+serve=_build/default/bin/miserve.exe
+serve_sock=$(mktemp -u /tmp/mi-ci-serve-XXXXXX.sock)
+serve_cache=$(mktemp -d /tmp/mi-ci-serve-cache-XXXXXX)
+drive1=$(mktemp /tmp/mi-ci-drive1-XXXXXX.txt)
+drive2=$(mktemp /tmp/mi-ci-drive2-XXXXXX.txt)
+trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2" \
+     "$fuzz1" "$fuzz2" "$prof1" "$prof2" "$flame" \
+     "$serve_sock" "$serve_cache" "$drive1" "$drive2"' EXIT
+"$serve" --socket "$serve_sock" --workers 4 --queue 8 \
+    --cache-dir "$serve_cache" --job-timeout 30 \
+    --inject 'crash=fuzz-17,hang=fuzz-23:0.2' &
+serve_pid=$!
+"$serve" --socket "$serve_sock" --drive --seeds 1..50 -j 4 --burst 4 \
+    --tenants 2 --timeout-ms 30000 --shutdown > "$drive1"
+wait "$serve_pid"
+cat "$drive1"
+grep -q "drive: jobs=200 ok=200 failed=0 degraded=0 errors=0 dropped=0 \
+mismatches=0" "$drive1"
+grep -q "restarts=4" "$drive1"   # 4 crash-matched requests, each requeued
+echo "200/200 answered, zero drops, 4 supervisor restarts, byte-identical"
+
+# phase 2: same cache, every entry corrupted at startup
+"$serve" --socket "$serve_sock" --workers 4 --queue 8 \
+    --cache-dir "$serve_cache" --job-timeout 30 \
+    --inject 'corrupt-cache=bitflip' &
+serve_pid=$!
+"$serve" --socket "$serve_sock" --drive --seeds 1..10 -j 4 --burst 4 \
+    --tenants 2 --timeout-ms 30000 --shutdown > "$drive2"
+wait "$serve_pid"
+cat "$drive2"
+grep -q "drive: jobs=40 ok=40 failed=0 degraded=0 errors=0 dropped=0 \
+mismatches=0" "$drive2"
+grep -q "cache-corrupt=40" "$drive2"  # all 40 entries quarantined+recomputed
+echo "corrupted cache quarantined and recomputed, responses still identical"
+
 echo "== ci OK =="

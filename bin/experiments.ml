@@ -173,7 +173,8 @@ let run_experiments names benchmark_names approach_names csv_dir json_path
       Harness.create ~jobs ?cache_dir ~obs:(Mi_obs_cli.create_obs ocli)
         ~faults:fcli.Mi_fault_cli.faults
         ?job_timeout:fcli.Mi_fault_cli.job_timeout
-        ~retries:fcli.Mi_fault_cli.retries ()
+        ~retries:fcli.Mi_fault_cli.retries
+        ~retry_backoff_ms:fcli.Mi_fault_cli.retry_backoff_ms ()
     in
     let reports =
       try
@@ -302,4 +303,5 @@ let cmd =
 (* the fuzz experiment lives outside mi_bench_kit (the fuzz library
    depends on the bench kit, not vice versa) and registers here *)
 let () = Mi_fuzz.Fuzz.register_experiment ()
+let () = Mi_server.Serve_exp.register_experiment ()
 let () = exit (Cmd.eval' cmd)

@@ -136,7 +136,7 @@ let run_mic file_opt level_s instrument_s ep_s emit_ir no_run i64_ptrs
     Option.iter
       (fun budget ->
         Mi_vm.Inject.arm_deadline st
-          ~deadline:(Unix.gettimeofday () +. budget)
+          ~deadline:(Mi_support.Mclock.deadline budget)
           ~budget)
       fcli.Mi_fault_cli.job_timeout;
     let img = Mi_vm.Interp.load ?alloc_global st [ m ] in

@@ -120,13 +120,13 @@ let main (slo, shi) mutants jobs minutes out repro_dir max_shrinks faults =
   let deadline =
     match minutes with
     | None -> None
-    | Some m -> Some (Unix.gettimeofday () +. (m *. 60.))
+    | Some m -> Some (Mi_support.Mclock.deadline (m *. 60.))
   in
   let rec soak idx acc =
     let r = block idx in
     let acc = match acc with None -> r | Some a -> Fuzz.merge a r in
     match deadline with
-    | Some d when Unix.gettimeofday () < d -> soak (idx + 1) (Some acc)
+    | Some d when not (Mi_support.Mclock.expired d) -> soak (idx + 1) (Some acc)
     | _ -> acc
   in
   let report = soak 0 None in

@@ -206,7 +206,7 @@ let run_sources ?(obs = Obs.create ()) ?(faults = Fault.none) ?budget
     (setup : setup) (sources : Bench.source list) : run =
   let modules, stats = compile ~faults ~obs setup sources in
   let deadline =
-    Option.map (fun b -> (Unix.gettimeofday () +. b, b)) budget
+    Option.map (fun b -> (Mi_support.Mclock.deadline b, b)) budget
   in
   execute ~faults ?deadline ~obs setup modules ~static_stats:stats
 
@@ -296,8 +296,11 @@ type t = {
   s_cache : Icache.t;
   s_jobs : int;
   s_faults : Fault.t;
-  s_job_timeout : float option;
+  mutable s_job_timeout : float option;
+      (** mutable so a long-lived session (the server) can apply a
+          per-request deadline override; see {!set_job_timeout} *)
   s_retries : int;
+  s_backoff_cap_ms : int;  (** upper bound on one retry backoff sleep *)
   mutable s_failures : job_failure list;  (** newest first; see {!failures} *)
   mutable s_corrupt_seen : int;
       (** cache corruptions already folded into the session metrics *)
@@ -306,10 +309,15 @@ type t = {
 type cache_stats = Icache.stats = { hits : int; misses : int; corrupt : int }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let default_backoff_cap_ms = 250
 
-let create ?jobs ?cache_dir ?obs ?(faults = Fault.none) ?job_timeout
-    ?(retries = 0) () =
-  let cache = Icache.create ?dir:cache_dir () in
+let create ?jobs ?cache_dir ?cache ?obs ?(faults = Fault.none) ?job_timeout
+    ?(retries = 0) ?(retry_backoff_ms = default_backoff_cap_ms) () =
+  let cache =
+    match cache with
+    | Some c -> c  (* shared with other sessions; [cache_dir] ignored *)
+    | None -> Icache.create ?dir:cache_dir ()
+  in
   (* the fault plan corrupts persisted entries up front, so the first
      lookups of this session exercise the detection path *)
   (match faults.Fault.cache with
@@ -323,13 +331,28 @@ let create ?jobs ?cache_dir ?obs ?(faults = Fault.none) ?job_timeout
     s_faults = faults;
     s_job_timeout = job_timeout;
     s_retries = max 0 retries;
+    s_backoff_cap_ms = max 1 retry_backoff_ms;
     s_failures = [];
     s_corrupt_seen = 0;
   }
 
 let obs t = t.s_obs
 let jobs t = t.s_jobs
+let cache t = t.s_cache
 let cache_stats t = Icache.stats t.s_cache
+let set_job_timeout t timeout = t.s_job_timeout <- timeout
+
+(* The k-th (0-based) retry backoff in milliseconds: 10ms doubling,
+   clamped to the session cap so a deep retry budget cannot sleep
+   unboundedly (2^k grows past any useful delay within a dozen
+   retries).  Pure, so the session metric can account sleeps exactly
+   without measuring them. *)
+let backoff_ms t k = min t.s_backoff_cap_ms (10 * (1 lsl min k 20))
+
+(* total backoff consumed by a job that went through [retries] retries *)
+let backoff_total_ms t retries =
+  let rec go k acc = if k >= retries then acc else go (k + 1) (acc + backoff_ms t k) in
+  go 0 0
 
 let failures t = List.rev t.s_failures
 
@@ -445,17 +468,19 @@ let run_cached ?deadline t ~obs (setup : setup) (b : Bench.t) : run =
    [wid] is the worker index, used only for trace thread labels. *)
 let attempt_job t ~job_desc ~wid (setup : setup) (b : Bench.t) : Obs.t * run =
   let deadline =
-    Option.map (fun budget -> (Unix.gettimeofday () +. budget, budget))
+    Option.map
+      (fun budget -> (Mi_support.Mclock.deadline budget, budget))
       t.s_job_timeout
   in
   (match Fault.job_fault_for t.s_faults job_desc with
   | Some (Fault.Crash_job _) -> raise (Fault.Injected_crash job_desc)
   | Some (Fault.Hang_job (_, dur)) ->
-      let until = Unix.gettimeofday () +. dur in
-      while Unix.gettimeofday () < until do
+      let until = Mi_support.Mclock.deadline dur in
+      while not (Mi_support.Mclock.expired until) do
         (match deadline with
         | Some (at, budget) ->
-            if Unix.gettimeofday () > at then raise (Fault.Job_timeout budget)
+            if Mi_support.Mclock.expired at then
+              raise (Fault.Job_timeout budget)
         | None -> ());
         Domain.cpu_relax ()
       done
@@ -547,7 +572,10 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
               out.(i) <- Ok r
           | exception e ->
               if k < t.s_retries then begin
-                Unix.sleepf (0.01 *. Float.of_int (1 lsl k));
+                (* capped exponential backoff (see [backoff_ms]); the
+                   slept total is accounted in harness.backoff_ms when
+                   the job folds into the session *)
+                Unix.sleepf (Float.of_int (backoff_ms t k) /. 1000.);
                 attempt (k + 1)
               end
               else
@@ -578,16 +606,28 @@ let run_jobs t (jobs : (setup * Bench.t) list) :
   Array.iteri
     (fun i res ->
       (match obss.(i) with Some o -> Obs.merge t.s_obs o | None -> ());
+      (* backoff sleeps are accounted from the deterministic schedule,
+         not measured: the metric stays byte-identical across -j *)
+      let account_backoff retries =
+        if retries > 0 then
+          Mi_obs.Metrics.incr
+            ~by:(backoff_total_ms t retries)
+            t.s_obs.Obs.metrics "harness.backoff_ms"
+      in
       match res with
       | Ok _ ->
-          if retried.(i) > 0 then
+          if retried.(i) > 0 then begin
             Mi_obs.Metrics.incr ~by:retried.(i) t.s_obs.Obs.metrics
-              "harness.job_retried"
+              "harness.job_retried";
+            account_backoff retried.(i)
+          end
       | Error f ->
           Mi_obs.Metrics.incr t.s_obs.Obs.metrics "harness.job_failed";
-          if f.jf_retries > 0 then
+          if f.jf_retries > 0 then begin
             Mi_obs.Metrics.incr ~by:f.jf_retries t.s_obs.Obs.metrics
               "harness.job_retried";
+            account_backoff f.jf_retries
+          end;
           if f.jf_kind = Injected then
             Mi_obs.Metrics.incr ~by:(f.jf_retries + 1) t.s_obs.Obs.metrics
               "fault.injected";

@@ -123,33 +123,52 @@ val default_jobs : unit -> int
 val create :
   ?jobs:int ->
   ?cache_dir:string ->
+  ?cache:Icache.t ->
   ?obs:Mi_obs.Obs.t ->
   ?faults:Mi_faultkit.Fault.t ->
   ?job_timeout:float ->
   ?retries:int ->
+  ?retry_backoff_ms:int ->
   unit ->
   t
 (** [jobs] is the worker-pool size (default {!default_jobs}; clamped to
     at least 1).  [cache_dir] additionally persists the instrumentation
-    cache on disk, giving hits across processes.  [obs] is the session
-    context every run's private context is merged into (a fresh one by
-    default).
+    cache on disk, giving hits across processes.  [cache] makes the
+    session use an existing instrumentation cache instead of creating
+    its own — the sharing mechanism behind the server's per-tenant
+    sessions over one content-addressed cache ([cache_dir] is ignored
+    when given; the cache's own directory governs persistence).  [obs]
+    is the session context every run's private context is merged into
+    (a fresh one by default).
 
     [faults] is the fault plan every run of the session suffers: check
     mutations apply during instrumentation (and key the cache, so
     mutants never alias clean entries), VM faults install on every VM,
     job faults fire in {!run_jobs} workers, and a cache corruption is
     applied to the persisted cache right here, at session creation.
-    [job_timeout] is a per-job wall-clock budget in seconds, enforced
-    from the VM's poll hook; a job over budget fails with
-    {!failure_kind.Timeout}.  [retries] (default 0) re-attempts a
-    failed job with exponential backoff before recording a failure. *)
+    [job_timeout] is a per-job budget in seconds on the monotonic
+    timeline ({!Mi_support.Mclock}), enforced from the VM's poll hook;
+    a job over budget fails with {!failure_kind.Timeout}.  [retries]
+    (default 0) re-attempts a failed job with exponential backoff
+    before recording a failure; each backoff sleep doubles from 10ms
+    and is clamped to [retry_backoff_ms] (default 250), and the total
+    slept is accounted — from the deterministic schedule, not measured
+    — in the session's [harness.backoff_ms] counter. *)
 
 val obs : t -> Mi_obs.Obs.t
 (** The session context: metrics, check sites and trace events of every
     run so far, merged deterministically (in job order). *)
 
 val jobs : t -> int
+
+val cache : t -> Icache.t
+(** The session's instrumentation cache — pass it to another session's
+    [create ~cache] to share compiled modules across sessions. *)
+
+val set_job_timeout : t -> float option -> unit
+(** Replace the session's per-job budget.  Not synchronized: callers
+    that share a session across domains (the server's per-tenant
+    sessions) must serialize runs themselves. *)
 
 type cache_stats = Icache.stats = { hits : int; misses : int; corrupt : int }
 

@@ -7,6 +7,7 @@
       spec grammar in {!Mi_faultkit.Fault.parse});
     - [--job-timeout SECONDS] arms a per-job wall-clock budget;
     - [--retries N] re-attempts failed jobs with exponential backoff;
+    - [--retry-backoff-ms MS] caps one backoff sleep (default 250);
     - [--keep-going] degrades gracefully: failed jobs yield partial
       results plus a failure manifest instead of aborting.
 
@@ -19,11 +20,18 @@ type t = {
   faults : Fault.t;
   job_timeout : float option;
   retries : int;
+  retry_backoff_ms : int;
   keep_going : bool;
 }
 
 let quiet =
-  { faults = Fault.none; job_timeout = None; retries = 0; keep_going = false }
+  {
+    faults = Fault.none;
+    job_timeout = None;
+    retries = 0;
+    retry_backoff_ms = 250;
+    keep_going = false;
+  }
 
 let fault_conv : Fault.t Arg.conv =
   let parse s =
@@ -63,6 +71,15 @@ let retries_arg =
           "re-attempt a failed job up to N times with exponential \
            backoff before recording the failure (default 0)")
 
+let retry_backoff_ms_arg =
+  Arg.(
+    value & opt int 250
+    & info [ "retry-backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "cap one retry backoff sleep at MS milliseconds (default \
+           250); the backoff doubles from 10ms per retry and the \
+           slept total lands in the harness.backoff_ms metric")
+
 let keep_going_arg =
   Arg.(
     value & flag
@@ -72,8 +89,15 @@ let keep_going_arg =
            partial results, print the failure manifest, exit nonzero")
 
 let term : t Term.t =
-  let mk faults job_timeout retries keep_going =
-    { faults; job_timeout; retries = max 0 retries; keep_going }
+  let mk faults job_timeout retries retry_backoff_ms keep_going =
+    {
+      faults;
+      job_timeout;
+      retries = max 0 retries;
+      retry_backoff_ms = max 1 retry_backoff_ms;
+      keep_going;
+    }
   in
   Term.(
-    const mk $ inject_arg $ job_timeout_arg $ retries_arg $ keep_going_arg)
+    const mk $ inject_arg $ job_timeout_arg $ retries_arg
+    $ retry_backoff_ms_arg $ keep_going_arg)

@@ -1,0 +1,65 @@
+(** Monotonic-style time for deadline arithmetic.
+
+    Every timeout path (harness job budgets, VM deadline polling, the
+    server's per-request deadlines) used to compare raw
+    [Unix.gettimeofday] samples.  The wall clock is allowed to step —
+    NTP corrections, manual [date], VM suspend/resume — and a backward
+    step makes a deadline fire late while the comparison [now > at]
+    makes a forward step fire a spurious [Job_timeout] on a job that
+    consumed almost none of its budget.
+
+    The stdlib exposes no CLOCK_MONOTONIC, so this module provides the
+    strongest substitute expressible over [gettimeofday]: a process-wide
+    never-decreasing timeline.  [now] returns the wall clock clamped to
+    the maximum value any domain has observed, so a backward clock step
+    freezes the timeline until real time catches up instead of
+    rewinding it — deadline comparisons never see time run backwards,
+    and two samples [t1 <= t2] taken in program order always satisfy
+    [t2 -. t1 >= 0].  Forward steps remain visible (they are
+    indistinguishable from the process simply not being scheduled), so
+    budgets stay conservative: a deadline can fire early only by as
+    much as the clock actually jumped, never spuriously re-fire, and
+    never hang a bounded wait forever.
+
+    All functions are thread- and domain-safe (one CAS loop on a shared
+    cell) and allocation-free on the fast path. *)
+
+(* The maximum timestamp observed so far, as an int64 bit pattern —
+   [Atomic.t] of float would box on every store.  Non-negative floats
+   compare identically to their IEEE-754 bit patterns, and
+   [gettimeofday] is non-negative on any plausible host. *)
+let high_water = Atomic.make (Int64.bits_of_float 0.0)
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let bits = Int64.bits_of_float t in
+  let rec clamp () =
+    let seen = Atomic.get high_water in
+    if Int64.compare bits seen > 0 then
+      if Atomic.compare_and_set high_water seen bits then t else clamp ()
+    else Int64.float_of_bits seen
+  in
+  clamp ()
+
+(** [deadline budget] is the monotonic instant [budget] seconds from
+    now; test it with [expired]. *)
+let deadline budget = now () +. budget
+
+let expired at = now () > at
+
+(** Sleep for [s] seconds of monotonic time: [Unix.sleepf] restarted
+    until the clamped timeline has actually advanced by [s], so a
+    backward wall-clock step during the sleep cannot stretch it
+    unboundedly (the clamp freezes, the loop re-sleeps the remainder
+    measured against the frozen value and exits once real time catches
+    up). *)
+let sleep s =
+  let until = now () +. s in
+  let rec go () =
+    let remaining = until -. now () in
+    if remaining > 0.0 then begin
+      Unix.sleepf remaining;
+      go ()
+    end
+  in
+  if s > 0.0 then go ()

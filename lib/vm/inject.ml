@@ -42,14 +42,18 @@ let install_one st = function
 (** Install every VM fault of [plan] on [st]. *)
 let install plan st = List.iter (install_one st) plan.Fault.vm
 
-(** Arm a wall-clock deadline: once [Unix.gettimeofday () > deadline],
-    the next poll raises {!Fault.Job_timeout}[ budget].  The clock is
-    sampled every [interval] steps (default 4096) to keep the hot path
-    cheap.  The exception carries the budget, not the measured time, so
-    failure messages stay deterministic. *)
+(** Arm a deadline on the monotonic timeline: once
+    [Mi_support.Mclock.now () > deadline], the next poll raises
+    {!Fault.Job_timeout}[ budget].  [deadline] must come from
+    {!Mi_support.Mclock.deadline} — comparing against the raw wall
+    clock made a stepped clock fire spurious timeouts (forward jump) or
+    arbitrarily late ones (backward jump).  The clock is sampled every
+    [interval] steps (default 4096) to keep the hot path cheap.  The
+    exception carries the budget, not the measured time, so failure
+    messages stay deterministic. *)
 let arm_deadline ?(interval = 4096) st ~deadline ~budget =
   let hook (st : State.t) =
-    if Unix.gettimeofday () > deadline then raise (Fault.Job_timeout budget)
+    if Mi_support.Mclock.expired deadline then raise (Fault.Job_timeout budget)
     else begin
       let at = st.State.steps + interval in
       if at < st.State.next_poll_step then st.State.next_poll_step <- at

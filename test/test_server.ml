@@ -1,0 +1,292 @@
+(* mi-serve daemon: protocol round trips, batch-harness byte-identity,
+   bounded-queue backpressure, supervisor restarts after injected worker
+   crashes, per-tenant circuit breaking, and the clean-drain shutdown
+   invariant (accepted = answered). *)
+
+module Server = Mi_server.Server
+module Proto = Mi_server.Proto
+module Fault = Mi_faultkit.Fault
+module Harness = Mi_bench_kit.Harness
+module Bench = Mi_bench_kit.Bench
+module Corpus = Mi_bench_kit.Safety_corpus
+module Json = Mi_obs.Json
+module Mclock = Mi_support.Mclock
+
+let tiny_bench name value =
+  Bench.mk ~suite:Bench.CPU2000 ~descr:"server test program" name
+    [
+      Bench.src "m"
+        (Printf.sprintf
+           "int main(void) { long a[4]; a[1] = %d; print_int(a[1]); return \
+            0; }"
+           value);
+    ]
+
+let broken =
+  Bench.mk ~suite:Bench.CPU2000 ~descr:"does not compile" "broken"
+    [ Bench.src "m" "int main(void) { this is not minic }" ]
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mi-serve-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* boot an in-process server, hand the test a connected client, always
+   drain and join *)
+let with_server ?(configure = fun c -> c) f =
+  let socket = fresh_socket () in
+  let cfg = configure (Server.default_cfg ~socket) in
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  let rec connect attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < 100 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Mclock.sleep 0.05;
+        connect (attempt + 1)
+  in
+  let fd = connect 0 in
+  let result =
+    Fun.protect
+      (fun () -> f fd)
+      ~finally:(fun () ->
+        (try
+           Proto.write_frame fd
+             (Json.to_string
+                (Proto.request_to_json (Proto.Shutdown { id = 999_999 })));
+           (* drain until EOF so the server can flush and exit *)
+           while Proto.read_frame fd <> None do
+             ()
+           done
+         with Unix.Unix_error _ | Proto.Bad_frame _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+  in
+  let fin = Domain.join server in
+  (result, fin)
+
+let send fd req =
+  Proto.write_frame fd (Json.to_string (Proto.request_to_json req))
+
+let recv fd =
+  match Proto.read_frame fd with
+  | Some payload -> Proto.reply_of_string payload
+  | None -> Alcotest.fail "unexpected EOF from server"
+
+let run_req ~id ?(tenant = "t0") ?timeout_ms setup bench =
+  Proto.Run { id; tenant; setup; bench; timeout_ms }
+
+(* {1 Protocol basics} *)
+
+let test_ping_stats_error () =
+  let (), _fin =
+    with_server (fun fd ->
+        send fd (Proto.Ping { id = 1 });
+        (match recv fd with
+        | Proto.R_pong { id = 1 } -> ()
+        | _ -> Alcotest.fail "expected pong");
+        send fd (Proto.Stats { id = 2 });
+        (match recv fd with
+        | Proto.R_stats { id = 2; stats } -> (
+            match Json.member "queue_cap" stats with
+            | Some (Json.Int _) -> ()
+            | _ -> Alcotest.fail "stats lacks queue_cap")
+        | _ -> Alcotest.fail "expected stats");
+        (* a malformed request is answered, not dropped *)
+        Proto.write_frame fd "{\"op\":\"run\",\"id\":3}";
+        match recv fd with
+        | Proto.R_error { id = 3; _ } -> ()
+        | _ -> Alcotest.fail "expected error reply")
+  in
+  ()
+
+(* {1 Byte-identity with the batch harness} *)
+
+let test_run_matches_batch () =
+  let setup = Corpus.setup "softbound" in
+  let bench = tiny_bench "ident" 42 in
+  let server_json, fin =
+    with_server (fun fd ->
+        send fd (run_req ~id:1 setup bench);
+        match recv fd with
+        | Proto.R_ok { id = 1; result } -> Json.to_string result
+        | _ -> Alcotest.fail "expected ok")
+  in
+  let h = Harness.create ~jobs:1 () in
+  let batch =
+    match Harness.run h setup bench with
+    | Ok r -> Json.to_string (Proto.run_to_json r)
+    | Error e -> Alcotest.failf "batch run failed: %s" e.Harness.reason
+  in
+  Alcotest.(check string) "server result = batch result" batch server_json;
+  Alcotest.(check int) "one accepted" 1 fin.Server.f_accepted;
+  Alcotest.(check int) "one completed" 1 fin.Server.f_completed
+
+(* {1 Backpressure: bounded queue, typed overload, no drops} *)
+
+let test_overload_typed_and_recoverable () =
+  let setup = Corpus.setup "softbound" in
+  let benches = Array.init 6 (fun i -> tiny_bench "burst" (100 + i)) in
+  let configure c =
+    {
+      c with
+      Server.workers = 1;
+      queue_cap = 1;
+      faults =
+        (match Fault.parse "hang=burst:0.3" with
+        | Ok f -> f
+        | Error m -> invalid_arg m);
+    }
+  in
+  let (overloaded, answered), fin =
+    with_server ~configure (fun fd ->
+        (* burst everything at once: one in flight, one queued, the rest
+           must bounce with the typed overload reply *)
+        Array.iteri (fun i b -> send fd (run_req ~id:(i + 1) setup b)) benches;
+        let overloaded = ref 0 and answered = ref 0 in
+        while !answered < Array.length benches do
+          match recv fd with
+          | Proto.R_overloaded { id; queue; capacity } ->
+              incr overloaded;
+              Alcotest.(check int) "capacity echoed" 1 capacity;
+              Alcotest.(check bool) "queue at bound" true (queue >= 1);
+              Mclock.sleep 0.05;
+              send fd (run_req ~id setup benches.(id - 1))
+          | Proto.R_ok _ -> incr answered
+          | _ -> Alcotest.fail "unexpected reply under load"
+        done;
+        (!overloaded, !answered))
+  in
+  Alcotest.(check bool) "overload replies observed" true (overloaded > 0);
+  Alcotest.(check int) "every request eventually answered" 6 answered;
+  Alcotest.(check int) "accepted = completed" fin.Server.f_accepted
+    fin.Server.f_completed;
+  Alcotest.(check bool) "admission rejects counted" true
+    (fin.Server.f_rejected >= overloaded)
+
+(* {1 Supervisor: injected worker crash, restart, zero drops} *)
+
+let test_crash_restart_zero_drops () =
+  let setup = Corpus.setup "softbound" in
+  let victim = tiny_bench "victim" 5 in
+  let bystander = tiny_bench "bystander" 6 in
+  let configure c =
+    {
+      c with
+      Server.workers = 2;
+      faults =
+        (match Fault.parse "crash=victim" with
+        | Ok f -> f
+        | Error m -> invalid_arg m);
+    }
+  in
+  let replies, fin =
+    with_server ~configure (fun fd ->
+        send fd (run_req ~id:1 setup victim);
+        send fd (run_req ~id:2 setup bystander);
+        let got = Hashtbl.create 2 in
+        while Hashtbl.length got < 2 do
+          match recv fd with
+          | Proto.R_ok { id; result } ->
+              Hashtbl.replace got id (Json.to_string result)
+          | _ -> Alcotest.fail "expected ok replies despite the crash"
+        done;
+        got)
+  in
+  Alcotest.(check int) "both answered" 2 (Hashtbl.length replies);
+  Alcotest.(check int) "supervisor restarted the crashed worker" 1
+    fin.Server.f_restarts;
+  Alcotest.(check int) "zero dropped: accepted = completed" fin.Server.f_accepted
+    fin.Server.f_completed
+
+(* {1 Per-request deadlines} *)
+
+let test_request_deadline () =
+  let setup = Corpus.setup "softbound" in
+  let slow = tiny_bench "slowpoke" 1 in
+  let configure c =
+    {
+      c with
+      Server.faults =
+        (match Fault.parse "hang=slowpoke:30" with
+        | Ok f -> f
+        | Error m -> invalid_arg m);
+    }
+  in
+  let (), _fin =
+    with_server ~configure (fun fd ->
+        send fd (run_req ~id:1 ~timeout_ms:100 setup slow);
+        match recv fd with
+        | Proto.R_failed { id = 1; kind = "timeout"; _ } -> ()
+        | Proto.R_failed { kind; _ } ->
+            Alcotest.failf "expected timeout, got %s" kind
+        | _ -> Alcotest.fail "expected a failed reply")
+  in
+  ()
+
+(* {1 Circuit breaker: degraded per (tenant, approach), others serve} *)
+
+let test_breaker_degrades_per_tenant_approach () =
+  let sb = Corpus.setup "softbound" in
+  let lf = Corpus.setup "lowfat" in
+  let fine = tiny_bench "fine" 3 in
+  let configure c = { c with Server.trip = 2 } in
+  let (), fin =
+    with_server ~configure (fun fd ->
+        (* two consecutive compile failures trip softbound for t0 *)
+        send fd (run_req ~id:1 ~tenant:"t0" sb broken);
+        send fd (run_req ~id:2 ~tenant:"t0" sb broken);
+        (match (recv fd, recv fd) with
+        | Proto.R_failed _, Proto.R_failed _ -> ()
+        | _ -> Alcotest.fail "expected two failed replies");
+        send fd (run_req ~id:3 ~tenant:"t0" sb fine);
+        (match recv fd with
+        | Proto.R_degraded { id = 3; approach = "softbound"; _ } -> ()
+        | _ -> Alcotest.fail "expected softbound@t0 to be degraded");
+        (* the same tenant's other approach still serves *)
+        send fd (run_req ~id:4 ~tenant:"t0" lf fine);
+        (match recv fd with
+        | Proto.R_ok { id = 4; _ } -> ()
+        | _ -> Alcotest.fail "lowfat@t0 should still serve");
+        (* and another tenant's softbound is unaffected *)
+        send fd (run_req ~id:5 ~tenant:"t1" sb fine);
+        (* a success resets the breaker only per tenant *)
+        match recv fd with
+        | Proto.R_ok { id = 5; _ } -> ()
+        | _ -> Alcotest.fail "softbound@t1 should still serve")
+  in
+  Alcotest.(check int) "one degraded reply" 1 fin.Server.f_degraded;
+  Alcotest.(check int) "accounting: accepted = ok + failed + degraded"
+    fin.Server.f_accepted
+    (fin.Server.f_completed + fin.Server.f_failed + fin.Server.f_degraded)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [ Alcotest.test_case "ping, stats, error" `Quick test_ping_stats_error ] );
+      ( "identity",
+        [
+          Alcotest.test_case "server run = batch run" `Slow
+            test_run_matches_batch;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "typed overload, then served" `Slow
+            test_overload_typed_and_recoverable;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash, restart, zero drops" `Slow
+            test_crash_restart_zero_drops;
+          Alcotest.test_case "per-request deadline" `Slow test_request_deadline;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "circuit breaker per tenant+approach" `Slow
+            test_breaker_degrades_per_tenant_approach;
+        ] );
+    ]
