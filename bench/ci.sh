@@ -253,4 +253,70 @@ mismatches=0" "$drive2"
 grep -q "cache-corrupt=40" "$drive2"  # all 40 entries quarantined+recomputed
 echo "corrupted cache quarantined and recomputed, responses still identical"
 
+# the check-elimination gate, three halves.  (1) soundness: the
+# mutation-opt experiment replays every safety-corpus kind under the
+# all-passes-optimized configs demanding verdict equality with the
+# unoptimized basis, then runs the check-deletion mutation campaign
+# over the optimized configs — the experiment raises on any mismatch
+# or survivor, so a zero exit plus the grepped lines certifies that an
+# eliminated check is one no mutant needed.  (2) effectiveness: every
+# (benchmark x approach) row of the checkelim report must remove at
+# least floor_min_static_pct of its static checks, and the suite-mean
+# dynamic (profile-weighted) removal must stay above
+# floor_mean_dynamic_pct — both floors recorded in
+# BENCH_checkelim.json.  (3) determinism: the checkelim experiment
+# JSON at -j 4 must be byte-identical to -j 1 (fresh in-memory caches
+# on both sides, so cache counters agree).
+echo "== checkelim gate (mutants over optimized configs: survivors 0) =="
+elim_txt=$(mktemp /tmp/mi-ci-elim-XXXXXX.txt)
+elim1=$(mktemp /tmp/mi-ci-elim1-XXXXXX.json)
+elim2=$(mktemp /tmp/mi-ci-elim2-XXXXXX.json)
+elim_mut=$(mktemp /tmp/mi-ci-elimmut-XXXXXX.txt)
+trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2" \
+     "$fuzz1" "$fuzz2" "$prof1" "$prof2" "$flame" \
+     "$serve_sock" "$serve_cache" "$drive1" "$drive2" \
+     "$elim_txt" "$elim1" "$elim2" "$elim_mut"' EXIT
+dune exec bin/experiments.exe -- mutation-opt > "$elim_mut"
+grep -q "0 mismatches" "$elim_mut"
+# both campaigns must report zero survivors, and campaign 2 must actually
+# exercise the spatial checkers (non-vacuity: their probes keep checks
+# under dominance+hoist, so mutant rows for them must exist)
+[ "$(grep -c "survivors: 0" "$elim_mut")" -eq 2 ]
+! grep -q "survivors: [1-9]" "$elim_mut"
+grep -q "^softbound/" "$elim_mut"
+grep -q "^lowfat/" "$elim_mut"
+echo "corpus verdicts unchanged by elimination, all sampled mutants killed"
+
+echo "== checkelim gate (elimination floors from BENCH_checkelim.json) =="
+dune exec bin/experiments.exe -- -j 4 --json "$elim1" checkelim > "$elim_txt"
+floor_min=$(sed -n 's/.*"floor_min_static_pct": \([0-9.]*\).*/\1/p' \
+    BENCH_checkelim.json)
+floor_dyn=$(sed -n 's/.*"floor_mean_dynamic_pct": \([0-9.]*\).*/\1/p' \
+    BENCH_checkelim.json)
+awk -v fmin="$floor_min" -v fdyn="$floor_dyn" '
+    NF == 10 && $10 ~ /x$/ {
+        rows++; dyn += $7
+        if ($5 + 0 < fmin + 0) {
+            printf "static elimination floor broken: %s %s removes %s%% < %s%%\n", \
+                $1, $2, $5, fmin
+            bad = 1
+        }
+    }
+    END {
+        if (rows == 0) { print "no checkelim rows parsed"; exit 1 }
+        if (bad) exit 1
+        if (dyn / rows < fdyn + 0) {
+            printf "mean dynamic elimination %.2f%% below floor %s%%\n", \
+                dyn / rows, fdyn
+            exit 1
+        }
+        printf "%d rows: every static removal >= %s%%, mean dynamic %.2f%% >= %s%%\n", \
+            rows, fmin, dyn / rows, fdyn
+    }' "$elim_txt"
+
+echo "== checkelim determinism (-j 1 vs -j 4) =="
+dune exec bin/experiments.exe -- -j 1 --json "$elim2" checkelim >/dev/null
+cmp "$elim1" "$elim2"
+echo "checkelim JSON byte-identical across -j"
+
 echo "== ci OK =="

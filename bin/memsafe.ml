@@ -69,7 +69,7 @@ let resolve_approaches = function
               exit 2)
         names
 
-let run_file ~ocli ~(fcli : Mi_fault_cli.t) ~approaches file =
+let run_file ~ocli ~(fcli : Mi_fault_cli.t) ~approaches ~optimize file =
   let code = read_file file in
   let sources = [ Mi_bench_kit.Bench.src (Filename.basename file) code ] in
   (* one observability context across every approach: counters are
@@ -83,6 +83,9 @@ let run_file ~ocli ~(fcli : Mi_fault_cli.t) ~approaches file =
     (fun approach ->
       let label = Config.approach_name approach in
       let cfg = Config.of_approach approach in
+      (* the capability veto masks passes a checker declares unsound,
+         so requesting everything is safe for every approach *)
+      let cfg = if optimize then Config.optimized_full cfg else cfg in
       let setup =
         Mi_bench_kit.Harness.with_config cfg Mi_bench_kit.Harness.baseline
       in
@@ -126,7 +129,7 @@ let run_cases ~approaches =
     (Usability.all @ Mi_bench_kit.Excluded.all);
   0
 
-let main file cases approach_names list_approaches_flag ocli fcli =
+let main file cases approach_names optimize list_approaches_flag ocli fcli =
   if list_approaches_flag then begin
     list_approaches ();
     0
@@ -137,7 +140,7 @@ let main file cases approach_names list_approaches_flag ocli fcli =
     else
       match file with
       | Some f when Sys.file_exists f -> (
-          try run_file ~ocli ~fcli ~approaches f
+          try run_file ~ocli ~fcli ~approaches ~optimize f
           with Fault.Job_timeout budget ->
             Printf.eprintf "memsafe: wall-clock budget exceeded (%gs)\n" budget;
             3)
@@ -157,6 +160,15 @@ let approach_arg =
         ~doc:
           "check under this registered approach only (repeatable; default: \
            all registered approaches)")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize" ]
+        ~doc:
+          "run each checker with every check-elimination pass it supports \
+           (dominance, static in-bounds, loop-invariant hoisting); verdicts \
+           must match the unoptimized run")
 
 let list_approaches_arg =
   Arg.(
@@ -183,7 +195,7 @@ let cmd =
                  loop?) or the wall-clock budget ran out, with no violation"
          :: Cmd.Exit.defaults))
     Term.(
-      const main $ file_arg $ cases_arg $ approach_arg $ list_approaches_arg
-      $ Mi_obs_cli.term $ Mi_fault_cli.term)
+      const main $ file_arg $ cases_arg $ approach_arg $ optimize_arg
+      $ list_approaches_arg $ Mi_obs_cli.term $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

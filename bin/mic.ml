@@ -40,8 +40,30 @@ let list_approaches () =
         | al -> Printf.sprintf " (aliases: %s)" (String.concat ", " al)))
     (Mi_core.Checker.all ())
 
-let run_mic file_opt level_s instrument_s ep_s emit_ir no_run i64_ptrs
-    diagnose list_approaches_flag ocli (fcli : Mi_fault_cli.t) =
+(* --check-opt: comma-separated elimination passes layered onto the
+   instrumentation config.  The checker's capability flags still veto
+   passes it declares unsound (e.g. the temporal checker rejects all
+   three), so requesting "all" is always safe. *)
+let apply_check_opt spec (cfg : Config.t) : Config.t =
+  List.fold_left
+    (fun cfg pass ->
+      match pass with
+      | "" -> cfg
+      | "all" -> Config.optimized_full cfg
+      | "dominance" | "dom" -> { cfg with Config.opt_dominance = true }
+      | "hoist" -> { cfg with Config.opt_hoist = true }
+      | "static" -> { cfg with Config.opt_static = true }
+      | other ->
+          Printf.eprintf
+            "bad --check-opt pass %s (expected dominance, hoist, static, or \
+             all)\n"
+            other;
+          exit 2)
+    cfg
+    (List.map String.trim (String.split_on_char ',' spec))
+
+let run_mic file_opt level_s instrument_s check_opt_s ep_s emit_ir no_run
+    i64_ptrs diagnose list_approaches_flag ocli (fcli : Mi_fault_cli.t) =
   if list_approaches_flag then begin
     list_approaches ();
     exit 0
@@ -81,6 +103,14 @@ let run_mic file_opt level_s instrument_s ep_s emit_ir no_run i64_ptrs
               (fun n -> Printf.eprintf "  %s\n" n)
               (Config.known_approaches ());
             exit 2)
+  in
+  let config =
+    match (config, check_opt_s) with
+    | _, "" -> config
+    | Some cfg, spec -> Some (apply_check_opt spec cfg)
+    | None, _ ->
+        prerr_endline "mic: --check-opt requires --instrument";
+        exit 2
   in
   let src = read_file file in
   let mode = { Mi_minic.Lower.ptr_mem_as_i64 = i64_ptrs } in
@@ -187,6 +217,17 @@ let instr_arg =
           "any registered checker (see --list-approaches), e.g. softbound, \
            lowfat, temporal")
 
+let check_opt_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "check-opt" ] ~docv:"PASSES"
+        ~doc:
+          "comma-separated check-elimination passes: dominance (redundant \
+           checks dominated by a wider one), hoist (loop-invariant checks \
+           widened into the preheader), static (checks proven in-bounds by \
+           the constraint pass), or all; requires --instrument.  Passes the \
+           checker declares unsound for itself are silently skipped")
+
 let list_approaches_arg =
   Arg.(
     value & flag
@@ -228,8 +269,8 @@ let cmd =
   Cmd.v
     (Cmd.info "mic" ~doc:"MiniC compiler with memory-safety instrumentation")
     Term.(
-      const run_mic $ file_arg $ level_arg $ instr_arg $ ep_arg $ emit_arg
-      $ norun_arg $ i64_arg $ diagnose_arg $ list_approaches_arg
-      $ Mi_obs_cli.term $ Mi_fault_cli.term)
+      const run_mic $ file_arg $ level_arg $ instr_arg $ check_opt_arg
+      $ ep_arg $ emit_arg $ norun_arg $ i64_arg $ diagnose_arg
+      $ list_approaches_arg $ Mi_obs_cli.term $ Mi_fault_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -59,10 +59,12 @@ let run_report file top flame =
 
 (* --- diff ---------------------------------------------------------- *)
 
-let run_diff baseline_file current_file threshold =
+let run_diff baseline_file current_file threshold min_hits =
   let baseline = load_or_die baseline_file in
   let current = load_or_die current_file in
-  match Profile.diff ~threshold:(threshold /. 100.) ~baseline current with
+  match
+    Profile.diff ~min_hits ~threshold:(threshold /. 100.) ~baseline current
+  with
   | [] ->
       Printf.printf "no regressions: %s vs %s (threshold %g%%)\n"
         current_file baseline_file threshold;
@@ -104,6 +106,16 @@ let threshold_arg =
            drops and hit-count growth beyond this fraction of the \
            baseline")
 
+let min_hits_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "min-hits" ] ~docv:"N"
+        ~doc:
+          "absolute floor for hit-count growth (default 32): a site only \
+           flags when its hits grew by at least N on top of the relative \
+           threshold, so sites the baseline never executed don't flag on \
+           a handful of hits")
+
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
@@ -125,7 +137,7 @@ let diff_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run_diff $ profile_pos 0 "OLD.json" $ profile_pos 1 "NEW.json"
-      $ threshold_arg)
+      $ threshold_arg $ min_hits_arg)
 
 let cmd =
   Cmd.group

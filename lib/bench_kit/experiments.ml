@@ -41,6 +41,26 @@ let lf_opt = opt_setup "lowfat"
 let sb_full = full_setup "softbound"
 let lf_full = full_setup "lowfat"
 
+(* Every elimination pass the checker permits (dominance + static
+   in-bounds + loop-invariant hoisting); the instrumenter masks the
+   unsound ones per checker, so this is safe for any approach, but the
+   checkelim experiment only reports approaches where at least one pass
+   can fire. *)
+let checkopt_setup (approach : Config.approach) =
+  Harness.with_config
+    (Config.optimized_full (Config.of_approach approach))
+    Harness.baseline
+
+(* approaches with at least one elimination pass enabled *)
+let elim_capable () =
+  List.filter
+    (fun a ->
+      let c = Mi_core.Checker.find_exn a in
+      c.Mi_core.Checker.supports_dominance_opt
+      || c.Mi_core.Checker.supports_static_opt
+      || c.Mi_core.Checker.supports_hoist_opt)
+    (Config.known_approaches ())
+
 (* Counter namespace of each runtime ("sb.checks", "lf.checks_wide",
    "tp.checks", ...).  Kept alongside the display name used in table
    headers; both are pure renderings of the registry name. *)
@@ -475,9 +495,12 @@ let optstats_reduce lookup benchmarks : report =
           0 sb.static_stats
       in
       let removed =
+        (* the dominance pass's own counter: [total_checks_removed] is
+           the total over all three elimination passes and would
+           over-report this §5.3 series the moment another pass is on *)
         List.fold_left
           (fun a (s : Mi_core.Instrument.mod_stats) ->
-            a + s.total_checks_removed)
+            a + s.total_checks_removed_dominance)
           0 sb.static_stats
       in
       let pct = Util.percent removed found in
@@ -777,6 +800,258 @@ let mutation_reduce _lookup _benchmarks : report =
   }
 
 (* ------------------------------------------------------------------ *)
+(* checkelim: static + profile-guided check elimination                *)
+(* ------------------------------------------------------------------ *)
+
+(* Three runs per (benchmark x approach): the uninstrumented baseline,
+   the unoptimized basis, and the fully-optimized configuration.  The
+   static side comes from the instrumenter's per-pass counters; the
+   dynamic side joins the per-check-site profiles (hit counts and
+   modeled check cycles) of the unoptimized vs optimized runs — the
+   profile-guided report the elimination work is judged by. *)
+let checkelim_jobs benchmarks =
+  let approaches = elim_capable () in
+  List.concat_map
+    (fun b ->
+      (Harness.baseline, b)
+      :: List.concat_map
+           (fun a -> [ (full_setup a, b); (checkopt_setup a, b) ])
+           approaches)
+    benchmarks
+
+let checkelim_reduce lookup benchmarks : report =
+  let run = strict lookup in
+  let approaches = elim_capable () in
+  let tbl =
+    Table.create
+      ~aligns:
+        [
+          Table.Left; Left; Right; Right; Right; Right; Right; Right; Right;
+          Right;
+        ]
+      [
+        "Benchmark"; "Approach"; "checks found"; "removed (d/s/h)"; "static %";
+        "dyn checks"; "dyn removed %"; "cyc saved %"; "ov unopt"; "ov opt";
+      ]
+  in
+  let mk () = List.map (fun a -> (a, ref [])) approaches in
+  let static_pts = mk () in
+  let dyn_pts = mk () in
+  let cyc_pts = mk () in
+  let ov_unopt_pts = mk () in
+  let ov_opt_pts = mk () in
+  let push pts a name v = (List.assoc a pts) := (name, v) :: !(List.assoc a pts) in
+  List.iter
+    (fun (b : Bench.t) ->
+      let base = run Harness.baseline b in
+      List.iter
+        (fun a ->
+          let unopt = run (full_setup a) b in
+          let opt = run (checkopt_setup a) b in
+          let sum f =
+            List.fold_left
+              (fun acc (s : Mi_core.Instrument.mod_stats) -> acc + f s)
+              0 opt.Harness.static_stats
+          in
+          let found = sum (fun s -> s.total_checks_found) in
+          let rd = sum (fun s -> s.total_checks_removed_dominance) in
+          let rs = sum (fun s -> s.total_checks_removed_static) in
+          let rh = sum (fun s -> s.total_checks_removed_hoisted) in
+          let removed = rd + rs + rh in
+          let static_pct = Util.percent removed found in
+          let p = counter_prefix a in
+          let dyn_unopt = Harness.counter unopt (p ^ ".checks") in
+          let dyn_opt = Harness.counter opt (p ^ ".checks") in
+          let dyn_pct = Util.percent (dyn_unopt - dyn_opt) dyn_unopt in
+          let cyc_unopt = Mi_obs.Site.total_cycles unopt.Harness.profile in
+          let cyc_opt = Mi_obs.Site.total_cycles opt.Harness.profile in
+          let cyc_pct = Util.percent (cyc_unopt - cyc_opt) cyc_unopt in
+          let ov_unopt = Harness.overhead ~baseline:base unopt in
+          let ov_opt = Harness.overhead ~baseline:base opt in
+          push static_pts a b.name static_pct;
+          push dyn_pts a b.name dyn_pct;
+          push cyc_pts a b.name cyc_pct;
+          push ov_unopt_pts a b.name ov_unopt;
+          push ov_opt_pts a b.name ov_opt;
+          Table.add_row tbl
+            [
+              b.name;
+              display_name a;
+              string_of_int found;
+              Printf.sprintf "%d/%d/%d" rd rs rh;
+              fmt_pct static_pct;
+              Printf.sprintf "%d->%d" dyn_unopt dyn_opt;
+              fmt_pct dyn_pct;
+              fmt_pct cyc_pct;
+              fmt_x ov_unopt;
+              fmt_x ov_opt;
+            ])
+        approaches)
+    benchmarks;
+  let ser pts suffix =
+    List.map
+      (fun a ->
+        {
+          label = counter_prefix a ^ suffix;
+          points = List.rev !(List.assoc a pts);
+        })
+      approaches
+  in
+  {
+    title =
+      "Check elimination: dominance + static in-bounds + loop-invariant \
+       hoisting — static checks removed (d/s/h = per pass), dynamic \
+       (profile-weighted) checks removed, and modeled check-cycle \
+       savings vs the unoptimized basis";
+    text = Table.render tbl;
+    series =
+      ser static_pts "_static_removed_pct"
+      @ ser dyn_pts "_dynamic_removed_pct"
+      @ ser cyc_pts "_check_cycles_saved_pct"
+      @ ser ov_unopt_pts "_overhead_unopt_x"
+      @ ser ov_opt_pts "_overhead_opt_x";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* mutation-opt: soundness gate over the optimized configurations      *)
+(* ------------------------------------------------------------------ *)
+
+(* The corpus setup with every elimination pass requested (the checker
+   capability veto still masks the unsound ones), at the corpus's O1
+   level — mirrors {!Safety_corpus.setup}. *)
+let checkopt_corpus_setup (approach : Config.approach) : Harness.setup =
+  {
+    (Harness.with_config
+       (Config.optimized_full (Config.of_approach approach))
+       Harness.baseline)
+    with
+    level = Mi_passes.Pipeline.O1;
+  }
+
+(* Dominance + hoisting but no static prover: under the full config the
+   static pass deletes {e every} check of the in-bounds corpus probe for
+   the spatial checkers, leaving them no ordinals to mutate — vacuously
+   sound.  This setup keeps the checks (possibly as hoisted preheader
+   checks, which carry ordinals like any other), so the campaign
+   exercises check deletion under the optimizer for every approach. *)
+let hoistdom_corpus_setup (approach : Config.approach) : Harness.setup =
+  let cfg = Config.of_approach approach in
+  {
+    (Harness.with_config
+       { cfg with Config.opt_dominance = true; opt_hoist = true }
+       Harness.baseline)
+    with
+    level = Mi_passes.Pipeline.O1;
+  }
+
+(* Two soundness obligations, both fatal on failure: (1) elimination
+   must never flip a corpus case's violation verdict against the
+   unoptimized basis (a flipped Clean->Violation is a widening false
+   positive; Violation->Clean is a deleted load-bearing check); (2) the
+   check-deletion campaign re-run over the optimized configurations —
+   every check elimination {e keeps} must still be load-bearing, so a
+   survivor there is a guarantee hole in the optimized pipeline. *)
+let mutation_opt_reduce _lookup _benchmarks : report =
+  let mismatches = ref [] in
+  let cases = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (fam : Safety_corpus.family) ->
+          List.iter
+            (fun kind ->
+              incr cases;
+              let verdict setup_of =
+                Mutation.verdict_of_outcome
+                  (Mutation.run_case ~setup_of a fam kind).Harness.outcome
+              in
+              let plain = verdict Safety_corpus.setup in
+              let opt = verdict checkopt_corpus_setup in
+              if Mutation.is_violation plain <> Mutation.is_violation opt then
+                mismatches :=
+                  Printf.sprintf "%s/%s/%s"
+                    (Config.approach_name a)
+                    (Safety_corpus.family_name fam)
+                    (Safety_corpus.kind_name kind)
+                  :: !mismatches)
+            (Safety_corpus.all_kinds
+            @ Safety_corpus.temporal_kinds_for fam.Safety_corpus.fam_region))
+        Safety_corpus.families)
+    (elim_capable ());
+  if !mismatches <> [] then
+    raise
+      (Harness.Benchmark_failed
+         ( "mutation-opt",
+           Printf.sprintf
+             "check elimination changed the violation verdict of %d corpus \
+              case(s): %s"
+             (List.length !mismatches)
+             (String.concat ", " (List.rev !mismatches)) ));
+  (* campaign 1: full elimination.  The static prover deletes every
+     spatial check of the in-bounds probe, so only checkers that kept
+     checks (the temporal one, which vetoes the passes) contribute
+     mutants — the spatial half of the soundness story is the verdict
+     equivalence above plus campaign 2. *)
+  let campaign label setup_of =
+    let c = Mutation.run ~sample_per_approach:25 ~setup_of () in
+    if c.Mutation.survived > 0 then
+      raise
+        (Harness.Benchmark_failed
+           ( "mutation-opt",
+             Printf.sprintf
+               "%d of %d check-deletion mutants survived the safety corpus \
+                under the %s configurations"
+               c.Mutation.survived c.Mutation.total label ));
+    c
+  in
+  let c_full = campaign "fully-optimized" checkopt_corpus_setup in
+  (* campaign 2: dominance + hoisting only — every approach keeps its
+     checks (spatial ones possibly hoisted into the preheader), so
+     deleting any of them, hoisted included, must flip a corpus kind. *)
+  let c_hd = campaign "dominance+hoist" hoistdom_corpus_setup in
+  let mutant_series label (c : Mutation.campaign) =
+    {
+      label;
+      points =
+        [
+          ("total", float_of_int c.Mutation.total);
+          ("killed", float_of_int c.Mutation.killed);
+          ("whitelisted", float_of_int c.Mutation.whitelisted);
+          ("survived", float_of_int c.Mutation.survived);
+        ];
+    }
+  in
+  {
+    title =
+      "Mutation campaign over optimized configs: verdict equivalence + \
+       check-deletion mutants vs the safety corpus";
+    text =
+      Printf.sprintf
+        "verdict equivalence: %d corpus cases, optimized vs unoptimized, 0 \
+         mismatches\n\n\
+         campaign 1 — every elimination pass (spatial probes fully \
+         eliminated, so spatial pools are empty by construction):\n\
+         %s\n\
+         campaign 2 — dominance + hoisting (checks survive, hoisted ones \
+         included, and every deletion must be noticed):\n\
+         %s"
+        !cases (Mutation.render c_full) (Mutation.render c_hd);
+    series =
+      [
+        {
+          label = "equivalence";
+          points =
+            [
+              ("cases", float_of_int !cases);
+              ("mismatches", float_of_int (List.length !mismatches));
+            ];
+        };
+        mutant_series "mutants_full" c_full;
+        mutant_series "mutants_hoistdom" c_hd;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registrations                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -870,6 +1145,24 @@ let () =
         descr = "check-deletion mutation campaign vs the safety corpus";
         jobs = (fun _ -> []);
         reduce = mutation_reduce;
+      };
+      {
+        name = "checkelim";
+        aliases = [ "elim" ];
+        descr =
+          "static + profile-guided check elimination (dominance, static \
+           in-bounds, loop hoisting)";
+        jobs = checkelim_jobs;
+        reduce = checkelim_reduce;
+      };
+      {
+        name = "mutation-opt";
+        aliases = [ "mutants-opt" ];
+        descr =
+          "soundness gate: verdict equivalence + mutation campaign over \
+           optimized configs";
+        jobs = (fun _ -> []);
+        reduce = mutation_opt_reduce;
       };
     ]
 

@@ -19,6 +19,12 @@ val full_setup : Config.approach -> Harness.setup
 (** The approach's basis configuration, without check elimination
     (appendix A.6). *)
 
+val checkopt_setup : Config.approach -> Harness.setup
+(** Every elimination pass the checker permits: dominance + static
+    in-bounds + loop-invariant hoisting ({!Config.optimized_full}); the
+    instrumenter's capability veto masks the passes the checker declares
+    unsound. *)
+
 val counter_prefix : Config.approach -> string
 (** The runtime-counter namespace of the approach ("sb", "lf", "tp"). *)
 

@@ -81,15 +81,13 @@ let kill_order_for approach (fam : Safety_corpus.family) =
     @ spatial_kill_order
   else spatial_kill_order
 
-let run_case ?(faults = Fault.none) approach (fam : Safety_corpus.family) kind
-    : Harness.run =
+let run_case ?(faults = Fault.none) ?(setup_of = Safety_corpus.setup) approach
+    (fam : Safety_corpus.family) kind : Harness.run =
   let src =
     Safety_corpus.program fam.Safety_corpus.fam_region
       fam.Safety_corpus.fam_elem fam.Safety_corpus.fam_access kind
   in
-  Harness.run_sources ~faults
-    (Safety_corpus.setup approach)
-    [ Bench.src "t" src ]
+  Harness.run_sources ~faults (setup_of approach) [ Bench.src "t" src ]
 
 (* The site snapshot of the mutant ordinal's check: the n-th site of
    [main] whose construct is an access check, in id order — the same
@@ -106,8 +104,8 @@ let access_site ordinal (profile : Mi_obs.Site.snapshot list) =
     number of access checks the unmutated compile places.  Every corpus
     kind of a family compiles [main] with the same access structure, so
     any kind works as the probe. *)
-let ordinals approach (fam : Safety_corpus.family) : int =
-  let r = run_case approach fam Safety_corpus.In_bounds in
+let ordinals ?setup_of approach (fam : Safety_corpus.family) : int =
+  let r = run_case ?setup_of approach fam Safety_corpus.In_bounds in
   List.fold_left
     (fun a (s : Mi_core.Instrument.mod_stats) ->
       a + s.Mi_core.Instrument.total_checks_placed)
@@ -115,19 +113,19 @@ let ordinals approach (fam : Safety_corpus.family) : int =
 
 (** All mutants of the full (approach x family x ordinal) space, over
     every approach in the checker registry. *)
-let all_mutants () : mutant list =
+let all_mutants ?setup_of () : mutant list =
   List.concat_map
     (fun mu_approach ->
       List.concat_map
         (fun mu_family ->
           List.init
-            (ordinals mu_approach mu_family)
+            (ordinals ?setup_of mu_approach mu_family)
             (fun mu_ordinal -> { mu_approach; mu_family; mu_ordinal }))
         Safety_corpus.families)
     (Config.known_approaches ())
 
 (* Judge one mutant.  [baseline] memoizes unmutated runs per kind. *)
-let judge baseline (m : mutant) : status =
+let judge ?setup_of baseline (m : mutant) : status =
   let faults =
     {
       Fault.none with
@@ -163,7 +161,7 @@ let judge baseline (m : mutant) : status =
     | kind :: rest ->
         let base : Harness.run = baseline (m.mu_approach, m.mu_family, kind) in
         let base_v = verdict_of_outcome base.Harness.outcome in
-        let mut = run_case ~faults m.mu_approach m.mu_family kind in
+        let mut = run_case ~faults ?setup_of m.mu_approach m.mu_family kind in
         let mut_v = verdict_of_outcome mut.Harness.outcome in
         if is_violation base_v <> is_violation mut_v then Killed kind
         else
@@ -180,8 +178,8 @@ let judge baseline (m : mutant) : status =
     per approach (seeded Fisher-Yates sample over the full space, so
     the same [seed] always judges the same mutants); omit it to judge
     every mutant. *)
-let run ?(seed = 0xC0FFEE) ?sample_per_approach () : campaign =
-  let mutants = all_mutants () in
+let run ?(seed = 0xC0FFEE) ?sample_per_approach ?setup_of () : campaign =
+  let mutants = all_mutants ?setup_of () in
   let mutants =
     match sample_per_approach with
     | None -> mutants
@@ -203,12 +201,14 @@ let run ?(seed = 0xC0FFEE) ?sample_per_approach () : campaign =
     | Some r -> r
     | None ->
         let approach, fam, kind = key in
-        let r = run_case approach fam kind in
+        let r = run_case ?setup_of approach fam kind in
         Hashtbl.add baseline_tbl key r;
         r
   in
   let results =
-    List.map (fun m -> { mutant = m; status = judge baseline m }) mutants
+    List.map
+      (fun m -> { mutant = m; status = judge ?setup_of baseline m })
+      mutants
   in
   let count p = List.length (List.filter p results) in
   {

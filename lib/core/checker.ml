@@ -65,6 +65,16 @@ type t = {
           this checker.  False for the temporal checker: a dominating
           check only proves the key was live {e then}; a [free] between
           the two accesses invalidates the dominated check's premise. *)
+  supports_hoist_opt : bool;
+      (** whether loop-invariant check hoisting with range widening is
+          sound: the checker's abort-on-failure semantics must permit
+          aborting {e before} the loop for an access a later iteration
+          would make.  False for the temporal checker — liveness at the
+          preheader proves nothing about liveness at iteration [k]. *)
+  supports_static_opt : bool;
+      (** whether statically-proven-in-bounds checks may be deleted.
+          False for the temporal checker: in-bounds says nothing about
+          whether the allocation is still live at the access. *)
   wide : witness;
       (** the checker's "never reports" witness (wide bounds / key 0),
           used by weakened (fault-injected) checks *)

@@ -41,6 +41,12 @@ type t = {
       (** is dominance-based check elimination (§5.3) sound here?
           [false] for the temporal checker: a [free] between two
           accesses invalidates the dominated check's premise *)
+  supports_hoist_opt : bool;
+      (** is loop-invariant check hoisting (widened preheader check,
+          early abort) sound here?  [false] for the temporal checker *)
+  supports_static_opt : bool;
+      (** may statically-proven-in-bounds checks be deleted?  [false]
+          for the temporal checker (bounds say nothing about liveness) *)
   wide : witness;  (** the "never reports" witness (weakened checks) *)
   w_const : ctx -> Value.t -> witness;
   w_global : ctx -> string -> witness;

@@ -26,6 +26,12 @@ type t = {
   mode : mode;
   opt_dominance : bool;
       (** eliminate checks dominated by an equivalent check (§5.3) *)
+  opt_hoist : bool;
+      (** hoist loop checks to a widened preheader check (requires the
+          checker's abort-on-failure semantics to permit early abort) *)
+  opt_static : bool;
+      (** delete checks the constraint pass proves in-bounds statically
+          (CHOP-style value-range propagation) *)
   sb_size_zero_wide_upper : bool;
       (** [-mi-sb-size-zero-wide-upper]: extern globals declared without a
           size get a wide upper bound instead of null bounds (§4.3) *)
@@ -48,6 +54,8 @@ let softbound =
     approach = "softbound";
     mode = Full;
     opt_dominance = false;
+    opt_hoist = false;
+    opt_static = false;
     sb_size_zero_wide_upper = true;
     sb_inttoptr_wide = true;
     sb_wrapper_checks = false;
@@ -62,6 +70,8 @@ let lowfat =
     approach = "lowfat";
     mode = Full;
     opt_dominance = false;
+    opt_hoist = false;
+    opt_static = false;
     sb_size_zero_wide_upper = true;
     sb_inttoptr_wide = true;
     sb_wrapper_checks = false;
@@ -76,6 +86,8 @@ let temporal =
     approach = "temporal";
     mode = Full;
     opt_dominance = false;
+    opt_hoist = false;
+    opt_static = false;
     sb_size_zero_wide_upper = true;
     sb_inttoptr_wide = true;
     sb_wrapper_checks = false;
@@ -128,6 +140,14 @@ let restrict_approaches names =
 (** The "optimized" configurations of Figures 9-11. *)
 let optimized c = { c with opt_dominance = true }
 
+(** Every check-elimination pass on: dominance, loop-invariant hoisting
+    with range widening, and the static in-bounds constraint pass — the
+    configuration the [checkelim] experiment measures.  Each pass is
+    still subject to the checker's capability veto at instrumentation
+    time. *)
+let optimized_full c =
+  { c with opt_dominance = true; opt_hoist = true; opt_static = true }
+
 (** The "metadata" configurations of Figures 10/11. *)
 let metadata_only c = { c with mode = Geninvariants }
 
@@ -142,6 +162,8 @@ let to_string c =
       | Geninvariants -> "+geninvariants"
       | Noop -> "+noop");
       (if c.opt_dominance then "+domopt" else "");
+      (if c.opt_hoist then "+hoistopt" else "");
+      (if c.opt_static then "+staticopt" else "");
       (if c.sb_size_zero_wide_upper then "" else "+sz0null");
       (if c.sb_inttoptr_wide then "" else "+i2pnull");
       (if c.sb_wrapper_checks then "+wrapchecks" else "");

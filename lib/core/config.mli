@@ -22,6 +22,15 @@ type t = {
   mode : mode;
   opt_dominance : bool;
       (** dominance-based check elimination ([-mi-opt-dominance], §5.3) *)
+  opt_hoist : bool;
+      (** loop-invariant check hoisting with range widening: one widened
+          preheader check replaces the per-iteration checks of a counted
+          loop.  Sound only for checkers whose abort-on-failure
+          semantics permit early abort (capability-vetoed). *)
+  opt_static : bool;
+      (** CHOP-style static in-bounds elimination: value-range
+          propagation deletes checks provably inside their allocation
+          (capability-vetoed). *)
   sb_size_zero_wide_upper : bool;
       (** wide upper bounds for size-less extern arrays
           ([-mi-sb-size-zero-wide-upper], §4.3) *)
@@ -71,6 +80,11 @@ val of_approach : string -> t
 val optimized : t -> t
 (** Enable the dominance-based check elimination (the "optimized"
     configurations of Figures 9-11). *)
+
+val optimized_full : t -> t
+(** Enable every check-elimination pass (dominance + hoisting + static)
+    — the [checkelim] experiment's configuration.  Passes remain
+    subject to the checker's capability veto. *)
 
 val metadata_only : t -> t
 (** Switch to [Geninvariants] (the "metadata" configurations of

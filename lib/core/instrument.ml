@@ -31,7 +31,12 @@ type func_stats = {
   fname : string;
   checks_found : int;
   checks_placed : int;
-  checks_removed : int;
+  checks_removed : int;  (** total over the three elimination passes *)
+  checks_removed_dominance : int;
+  checks_removed_static : int;
+  checks_removed_hoisted : int;
+      (** in-loop checks a widened preheader check stands for *)
+  hoisted_checks_placed : int;  (** widened preheader checks emitted *)
   invariants_placed : int;
   checks_mutated : int;
       (** checks deleted or weakened by an injected fault plan *)
@@ -42,6 +47,10 @@ type mod_stats = {
   total_checks_found : int;
   total_checks_placed : int;
   total_checks_removed : int;
+  total_checks_removed_dominance : int;
+  total_checks_removed_static : int;
+  total_checks_removed_hoisted : int;
+  total_hoisted_checks_placed : int;
   total_invariants : int;
   total_checks_mutated : int;
 }
@@ -85,14 +94,22 @@ let instrument_func ?(faults = Mi_faultkit.Fault.none) (config : Config.t)
   let checker = Checker.find_exn config.approach in
   checker.Checker.prepare_func config f;
   let targets = Itarget.discover m f in
-  (* the dominance optimization is only applied where the checker's
+  (* each optimization pass is only applied where the checker's
      semantics make it sound (temporal checks are not idempotent across
-     a free, so the checker can veto it) *)
+     a free, proven-in-bounds says nothing about liveness, and key
+     liveness at a preheader says nothing about iteration k — so the
+     checker can veto each pass independently) *)
   let opt_config =
-    if checker.Checker.supports_dominance_opt then config
-    else { config with opt_dominance = false }
+    {
+      config with
+      opt_dominance =
+        config.opt_dominance && checker.Checker.supports_dominance_opt;
+      opt_hoist = config.opt_hoist && checker.Checker.supports_hoist_opt;
+      opt_static = config.opt_static && checker.Checker.supports_static_opt;
+    }
   in
-  let checks, opt_stats = Optimize.run opt_config f targets.checks in
+  let opt = Optimize.run opt_config m f targets.checks in
+  let opt_stats = opt.Optimize.stats in
   let edit = Edit.create f in
   let defsites = build_defsites f in
   let memo : (string, Checker.witness) Hashtbl.t = Hashtbl.create 64 in
@@ -262,6 +279,53 @@ let instrument_func ?(faults = Mi_faultkit.Fault.none) (config : Config.t)
                 ~site));
         true
   in
+  (* A widened preheader check stands for every iteration's access to a
+     loop-invariant base; it goes through the same ordinal/mutation/site
+     machinery as an in-place check (so mutation campaigns can delete or
+     weaken it), distinguished by the "hoist:" construct infix. *)
+  let emit_hoisted (h : Optimize.hoisted) : bool =
+    let ordinal = !check_ordinal in
+    check_ordinal := ordinal + 1;
+    let mutation =
+      Mi_faultkit.Fault.check_mutation_for faults ~func:f.fname ~ordinal
+    in
+    match mutation with
+    | Some Mi_faultkit.Fault.Delete ->
+        incr mutated;
+        false
+    | (None | Some Mi_faultkit.Fault.Weaken) as mutation ->
+        let weakened = mutation <> None in
+        if weakened then incr mutated;
+        let site =
+          new_site
+            (Printf.sprintf "%s@hoist:%s"
+               (match h.Optimize.h_access with
+               | Itarget.Aload -> "load"
+               | Astore -> "store")
+               (anchor_str h.Optimize.h_origin))
+        in
+        let w =
+          if weakened then checker.Checker.wide
+          else witness_of h.Optimize.h_base
+        in
+        let ptr =
+          if h.Optimize.h_min_off = 0 then h.Optimize.h_base
+          else
+            let dst = Edit.fresh edit ~name:"hoistp" Ty.Ptr in
+            Edit.insert_at_end edit h.Optimize.h_preheader
+              (Instr.mk ~dst
+                 (Instr.Gep
+                    ( h.Optimize.h_base,
+                      [ { Instr.stride = 1; idx = vi64 h.Optimize.h_min_off } ]
+                    )));
+            Value.Var dst
+        in
+        Edit.insert_at_end edit h.Optimize.h_preheader
+          (Instr.mk
+             (checker.Checker.check_op ~ptr ~width:(vi64 h.Optimize.h_span) w
+                ~site));
+        true
+  in
   (* invariants first: the call protocol pre-creates return witnesses *)
   List.iter (checker.Checker.emit_call ctx) targets.calls;
   List.iter
@@ -276,11 +340,21 @@ let instrument_func ?(faults = Mi_faultkit.Fault.none) (config : Config.t)
     targets.ptr_rets;
   List.iter (checker.Checker.emit_escape ctx) targets.escape_casts;
   List.iter emit_memop targets.memops;
-  let placed =
+  let placed, hoisted_placed =
     match config.mode with
     | Config.Full ->
-        List.fold_left (fun n c -> if emit_check c then n + 1 else n) 0 checks
-    | Config.Geninvariants | Config.Noop -> 0
+        let placed =
+          List.fold_left
+            (fun n c -> if emit_check c then n + 1 else n)
+            0 opt.Optimize.kept
+        in
+        let hoisted_placed =
+          List.fold_left
+            (fun n h -> if emit_hoisted h then n + 1 else n)
+            0 opt.Optimize.hoisted
+        in
+        (placed + hoisted_placed, hoisted_placed)
+    | Config.Geninvariants | Config.Noop -> (0, 0)
   in
   Edit.apply edit;
   {
@@ -288,6 +362,10 @@ let instrument_func ?(faults = Mi_faultkit.Fault.none) (config : Config.t)
     checks_found = opt_stats.Optimize.before;
     checks_placed = placed;
     checks_removed = Optimize.removed opt_stats;
+    checks_removed_dominance = opt_stats.Optimize.removed_dominance;
+    checks_removed_static = opt_stats.Optimize.removed_static;
+    checks_removed_hoisted = opt_stats.Optimize.removed_hoisted;
+    hoisted_checks_placed = hoisted_placed;
     invariants_placed = !invariants;
     checks_mutated = !mutated;
   }
@@ -337,6 +415,14 @@ let run ?(obs : Mi_obs.Obs.t option) ?(faults = Mi_faultkit.Fault.none)
         List.fold_left (fun a s -> a + s.checks_placed) 0 per_func;
       total_checks_removed =
         List.fold_left (fun a s -> a + s.checks_removed) 0 per_func;
+      total_checks_removed_dominance =
+        List.fold_left (fun a s -> a + s.checks_removed_dominance) 0 per_func;
+      total_checks_removed_static =
+        List.fold_left (fun a s -> a + s.checks_removed_static) 0 per_func;
+      total_checks_removed_hoisted =
+        List.fold_left (fun a s -> a + s.checks_removed_hoisted) 0 per_func;
+      total_hoisted_checks_placed =
+        List.fold_left (fun a s -> a + s.hoisted_checks_placed) 0 per_func;
       total_invariants =
         List.fold_left (fun a s -> a + s.invariants_placed) 0 per_func;
       total_checks_mutated =
@@ -366,8 +452,20 @@ let run ?(obs : Mi_obs.Obs.t option) ?(faults = Mi_faultkit.Fault.none)
         "static.checks_found";
       Mi_obs.Metrics.incr ~by:stats.total_checks_placed metrics
         "static.checks_placed";
-      Mi_obs.Metrics.incr ~by:stats.total_checks_removed metrics
+      Mi_obs.Metrics.incr ~by:stats.total_checks_removed_dominance metrics
         "static.checks_removed_dominance";
+      (* the static/hoist counters only exist when the passes are
+         enabled, keeping dominance-only metric snapshots (and their
+         goldens) unchanged *)
+      if config.opt_static then
+        Mi_obs.Metrics.incr ~by:stats.total_checks_removed_static metrics
+          "static.checks_removed_static";
+      if config.opt_hoist then begin
+        Mi_obs.Metrics.incr ~by:stats.total_checks_removed_hoisted metrics
+          "static.checks_removed_hoisted";
+        Mi_obs.Metrics.incr ~by:stats.total_hoisted_checks_placed metrics
+          "static.hoisted_checks_placed"
+      end;
       Mi_obs.Metrics.incr ~by:stats.total_invariants metrics
         "static.invariants_placed";
       (* a compile-phase quantity: keep it in the [static.] namespace so

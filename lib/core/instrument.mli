@@ -7,8 +7,15 @@ open Mi_mir
 type func_stats = {
   fname : string;
   checks_found : int;  (** check targets discovered *)
-  checks_placed : int;  (** after optimization and mode filtering *)
-  checks_removed : int;  (** eliminated by the dominance optimization *)
+  checks_placed : int;
+      (** after optimization and mode filtering; includes hoisted
+          preheader checks *)
+  checks_removed : int;  (** total over the three elimination passes *)
+  checks_removed_dominance : int;  (** eliminated by dominance (§5.3) *)
+  checks_removed_static : int;  (** proven in bounds and deleted *)
+  checks_removed_hoisted : int;
+      (** in-loop checks a widened preheader check stands for *)
+  hoisted_checks_placed : int;  (** widened preheader checks emitted *)
   invariants_placed : int;  (** invariant-maintenance sites *)
   checks_mutated : int;
       (** checks deleted or weakened by an injected fault plan *)
@@ -19,6 +26,10 @@ type mod_stats = {
   total_checks_found : int;
   total_checks_placed : int;
   total_checks_removed : int;
+  total_checks_removed_dominance : int;
+  total_checks_removed_static : int;
+  total_checks_removed_hoisted : int;
+  total_hoisted_checks_placed : int;
   total_invariants : int;
   total_checks_mutated : int;
 }

@@ -230,6 +230,8 @@ let checker : C.t =
     basis = Config.softbound;
     components = [| ("phib", "selb", Ty.Ptr); ("phie", "sele", Ty.Ptr) |];
     supports_dominance_opt = true;
+    supports_hoist_opt = true;
+    supports_static_opt = true;
     wide;
     w_const = (fun _ _ -> null_w);
     w_global;

@@ -125,6 +125,11 @@ let checker : C.t =
        masks opt_dominance, so "optimized" temporal configs are sound
        no-ops (see DESIGN.md). *)
     supports_dominance_opt = false;
+    (* hoisting is equally unsound (key liveness at the preheader says
+       nothing about iteration k), and a static in-bounds proof says
+       nothing about whether the object is still live at the access *)
+    supports_hoist_opt = false;
+    supports_static_opt = false;
     wide = untracked;
     w_const = (fun _ _ -> untracked);
     w_global = (fun _ _ -> untracked);

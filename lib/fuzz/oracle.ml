@@ -69,6 +69,8 @@ let variants : (string * Harness.setup) list =
     ("O1+tp", { tp with level = Pipeline.O1 });
     ("O3+tp", tp);
     ("O3+sb+domopt", Harness.with_config (Config.optimized Config.softbound) Harness.baseline);
+    ("O3+sb+checkopt", Harness.with_config (Config.optimized_full Config.softbound) Harness.baseline);
+    ("O3+lf+checkopt", Harness.with_config (Config.optimized_full Config.lowfat) Harness.baseline);
     ("O3+lf@early", { lf with ep = Pipeline.ModuleOptimizerEarly });
     ("O3+sb@scalarlate", { sb with ep = Pipeline.ScalarOptimizerLate });
     ("O3+sb/generic", { sb with dispatch = Harness.Generic });

@@ -201,12 +201,17 @@ type change =
 
 let count_pos a = Array.fold_left (fun n x -> if x > 0 then n + 1 else n) 0 a
 
-let diff ~threshold ~baseline current =
+let diff ?(min_hits = 32) ~threshold ~baseline current =
   let dropped old_v new_v =
     old_v > 0 && float_of_int (old_v - new_v) > threshold *. float_of_int old_v
   in
+  (* relative growth alone misfires on sites the baseline barely (or
+     never) saw: against the [max old_v 1] floor, a handful of hits on a
+     zero-baseline site already exceeds any sane relative threshold.
+     Require an absolute floor on the growth as well. *)
   let grew old_v new_v =
-    float_of_int (new_v - old_v) > threshold *. float_of_int (max old_v 1)
+    new_v - old_v >= min_hits
+    && float_of_int (new_v - old_v) > threshold *. float_of_int (max old_v 1)
   in
   let cov_key (c : Coverage.snapshot) = (c.Coverage.cv_func, c.Coverage.cv_succ) in
   let cov_tbl = Hashtbl.create 32 in

@@ -61,12 +61,14 @@ type change =
       hi_new : int;
     }
 
-val diff : threshold:float -> baseline:t -> t -> change list
+val diff : ?min_hits:int -> threshold:float -> baseline:t -> t -> change list
 (** Regressions of [current] against [baseline]: functions (matched by
     name + CFG geometry) whose hit-block or hit-edge count dropped by
     more than [threshold * baseline], and check-site descriptors whose
-    dynamic hit count grew by more than [threshold * baseline].  Equal
-    profiles yield [[]]. *)
+    dynamic hit count grew by more than [threshold * baseline] {e and}
+    by at least [min_hits] (default 32) hits in absolute terms — the
+    absolute floor keeps sites the baseline never (or barely) executed
+    from flagging on a handful of hits.  Equal profiles yield [[]]. *)
 
 val change_to_string : change -> string
 

@@ -145,21 +145,36 @@ let config_to_json (c : Config.t) =
     [
       ("approach", Json.Str c.Config.approach);
       ("domopt", Json.Bool c.Config.opt_dominance);
+      ("hoistopt", Json.Bool c.Config.opt_hoist);
+      ("staticopt", Json.Bool c.Config.opt_static);
       ("mode", Json.Str (mode_name c.Config.mode));
     ]
 
-(* The decoded config is the registered basis with the two knobs the
-   matrix varies (dominance optimization, mode) re-applied — exactly
-   how the experiment and oracle setups are built, so a round trip
-   reproduces them field for field. *)
+(* The decoded config is the registered basis with the knobs the matrix
+   varies (the elimination passes, mode) re-applied — exactly how the
+   experiment and oracle setups are built, so a round trip reproduces
+   them field for field.  The hoist/static fields are optional so
+   pre-checkelim clients keep working. *)
 let config_of_json j =
   let base =
     match Config.find_approach (as_str "approach" (field "approach" j)) with
     | Some c -> c
     | None -> fail "unknown approach"
   in
+  let opt_flag name =
+    match Json.member name j with
+    | Some v -> as_bool name v
+    | None -> false
+  in
   let base =
     if as_bool "domopt" (field "domopt" j) then Config.optimized base else base
+  in
+  let base =
+    {
+      base with
+      Config.opt_hoist = opt_flag "hoistopt";
+      opt_static = opt_flag "staticopt";
+    }
   in
   match as_str "mode" (field "mode" j) with
   | "full" -> base

@@ -156,6 +156,52 @@ let test_diff () =
   Alcotest.(check int) "within threshold: no changes" 0
     (List.length (Profile.diff ~threshold:0.05 ~baseline slightly))
 
+(* The absolute floor: a site the baseline never executed must not flag
+   after a handful of hits, even though any growth beats the relative
+   threshold against a zero (clamped-to-1) baseline. *)
+let test_diff_min_hits () =
+  let baseline =
+    profile ~sites:[ site ~hits:0 ~cycles:0 0 "load" ] ~coverage:[ cov "main" ] ()
+  in
+  let a_few =
+    profile
+      ~sites:[ site ~hits:20 ~cycles:40 0 "load" ]
+      ~coverage:[ cov "main" ] ()
+  in
+  Alcotest.(check int) "zero-baseline site under the floor: no flag" 0
+    (List.length (Profile.diff ~threshold:0.05 ~baseline a_few));
+  (* past the default floor of 32 it does flag *)
+  let many =
+    profile
+      ~sites:[ site ~hits:40 ~cycles:80 0 "load" ]
+      ~coverage:[ cov "main" ] ()
+  in
+  (match Profile.diff ~threshold:0.05 ~baseline many with
+  | [ Profile.Hits_increase { hi_old; hi_new; _ } ] ->
+      Alcotest.(check int) "old hits" 0 hi_old;
+      Alcotest.(check int) "new hits" 40 hi_new
+  | l -> Alcotest.failf "expected one Hits_increase, got %d" (List.length l));
+  (* the floor is tunable: lowering it re-flags the small growth *)
+  Alcotest.(check int) "explicit min_hits 10 flags the small growth" 1
+    (List.length (Profile.diff ~min_hits:10 ~threshold:0.05 ~baseline a_few));
+  (* a floor-sized delta on a hot baseline still needs the relative
+     threshold: 100 -> 135 is +35 hits but +35% > 5%, flags; with a
+     60% threshold it does not *)
+  let hot_base =
+    profile
+      ~sites:[ site ~hits:100 ~cycles:200 0 "load" ]
+      ~coverage:[ cov "main" ] ()
+  in
+  let hot_plus =
+    profile
+      ~sites:[ site ~hits:135 ~cycles:200 0 "load" ]
+      ~coverage:[ cov "main" ] ()
+  in
+  Alcotest.(check int) "relative threshold still applies" 1
+    (List.length (Profile.diff ~threshold:0.05 ~baseline:hot_base hot_plus));
+  Alcotest.(check int) "past floor but under relative threshold: no flag" 0
+    (List.length (Profile.diff ~threshold:0.6 ~baseline:hot_base hot_plus))
+
 let test_merge () =
   let a =
     profile
@@ -215,7 +261,11 @@ let () =
             test_validation;
         ] );
       ( "diff",
-        [ Alcotest.test_case "drops and increases flagged" `Quick test_diff ] );
+        [
+          Alcotest.test_case "drops and increases flagged" `Quick test_diff;
+          Alcotest.test_case "absolute min-hits floor" `Quick
+            test_diff_min_hits;
+        ] );
       ( "merge",
         [
           Alcotest.test_case "add/max semantics, assoc + commut" `Quick
