@@ -319,4 +319,114 @@ dune exec bin/experiments.exe -- -j 1 --json "$elim2" checkelim >/dev/null
 cmp "$elim1" "$elim2"
 echo "checkelim JSON byte-identical across -j"
 
+# the fuzz-soak gate: a 60-second coverage-guided evolutionary soak
+# over a fresh corpus (capped at 600 matrix executions so fast machines
+# terminate) must discover at least soak_cells_floor coverage cells
+# (BENCH_fuzz.json) with zero oracle findings and zero missed mutant
+# detections.  The exec sequence is deterministic: a slower machine
+# runs a prefix of the same sequence, so floor aside, a clean fast run
+# certifies every slower run.
+echo "== fuzz-soak gate (60s evolutionary soak, floors from BENCH_fuzz.json) =="
+soak_dir=$(mktemp -d /tmp/mi-ci-soak-XXXXXX)
+soak1=$(mktemp /tmp/mi-ci-soak1-XXXXXX.json)
+soak2=$(mktemp /tmp/mi-ci-soak2-XXXXXX.json)
+replay1=$(mktemp /tmp/mi-ci-replay1-XXXXXX.json)
+replay2=$(mktemp /tmp/mi-ci-replay2-XXXXXX.json)
+det_dir1=$(mktemp -d /tmp/mi-ci-soakdet1-XXXXXX)
+det_dir2=$(mktemp -d /tmp/mi-ci-soakdet2-XXXXXX)
+scaling=$(mktemp /tmp/mi-ci-scaling-XXXXXX.txt)
+trap 'rm -rf "$out" "$out_j2" "$cache" "$mut_out" "$chaos1" "$chaos2" \
+     "$fuzz1" "$fuzz2" "$prof1" "$prof2" "$flame" \
+     "$serve_sock" "$serve_cache" "$drive1" "$drive2" \
+     "$elim_txt" "$elim1" "$elim2" "$elim_mut" \
+     "$soak_dir" "$soak1" "$soak2" "$replay1" "$replay2" \
+     "$det_dir1" "$det_dir2" "$scaling"' EXIT
+soak_floor=$(sed -n 's/.*"soak_cells_floor": \([0-9]*\).*/\1/p' BENCH_fuzz.json)
+dune exec bin/mifuzz.exe -- --corpus "$soak_dir" --minutes 1 \
+    --max-execs 600 -j 4 --out "$soak1" | tail -n 3
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$soak1" "$soak_floor" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+floor = int(sys.argv[2])
+assert doc["findings"] == [], doc["findings"]
+assert doc["mutants"]["missed"] == 0, doc["mutants"]
+assert doc["mutants"]["total"] > 0, "soak ran no mutants"
+cells = doc["vm_coverage"]["cells"]
+assert cells >= floor, f"soak cells {cells} below floor {floor}"
+c = doc["corpus"]
+assert c["spliced"] > 0 and c["grown"] > 0, c
+print(f"soak validated: {cells} cells (floor {floor}), "
+      f"{c['entries']} entries ({c['spliced']} spliced, {c['grown']} grown), "
+      f"{c['rounds']} rounds, {c['execs']} execs")
+EOF
+else
+    grep -q '"findings":\[\]' "$soak1"
+fi
+echo "soak clean: floors met, zero findings, zero missed"
+
+# corpus-replay determinism: re-executing the soak's corpus must verify
+# every stored coverage fingerprint and produce byte-identical reports
+# at -j 1 and -j 4
+echo "== corpus replay determinism (-j 1 vs -j 4) =="
+dune exec bin/mifuzz.exe -- --corpus "$soak_dir" --replay -j 4 \
+    --out "$replay1" >/dev/null
+dune exec bin/mifuzz.exe -- --corpus "$soak_dir" --replay -j 1 \
+    --out "$replay2" >/dev/null
+cmp "$replay1" "$replay2"
+grep -q '"findings":\[\]' "$replay1"
+echo "replay verified every fingerprint, byte-identical across -j"
+
+# exec-budget soak determinism: a fixed 40-exec soak must produce
+# byte-identical reports AND byte-identical corpora at -j 1 and -j 4
+echo "== soak exec-budget determinism (-j 1 vs -j 4, corpora compared) =="
+dune exec bin/mifuzz.exe -- --corpus "$det_dir1" --max-execs 40 -j 4 \
+    --out "$soak1" >/dev/null
+dune exec bin/mifuzz.exe -- --corpus "$det_dir2" --max-execs 40 -j 1 \
+    --out "$soak2" >/dev/null
+cmp "$soak1" "$soak2"
+( cd "$det_dir1" && ls ) > "$scaling"
+( cd "$det_dir2" && ls ) | cmp "$scaling" -
+for f in "$det_dir1"/*.json; do
+    cmp "$f" "$det_dir2/$(basename "$f")"
+done
+echo "40-exec soak: report and every corpus file byte-identical across -j"
+
+# the fuzz-throughput gate: at the identical 40-exec budget the guided
+# mode must reach at least guided_cells_floor cells and strictly more
+# than blind enumeration (both counts deterministic, BENCH_fuzz.json)
+echo "== fuzz-scaling gate (guided > blind at equal exec budget) =="
+guided_floor=$(sed -n 's/.*"guided_cells_floor": \([0-9]*\).*/\1/p' \
+    BENCH_fuzz.json)
+dune exec bench/main.exe -- --fuzz-scaling > "$scaling"
+cat "$scaling"
+awk -v floor="$guided_floor" '
+    /^fuzz_scaling:/ {
+        rows++
+        for (i = 1; i <= NF; i++)
+            if (split($i, kv, "=") == 2) v[kv[1]] = kv[2]
+        if (v["guided_cells"] + 0 < floor + 0) {
+            printf "guided cells %s below floor %s\n", v["guided_cells"], floor
+            exit 1
+        }
+        if (v["guided_cells"] + 0 <= v["blind_cells"] + 0) {
+            printf "guided (%s) not above blind (%s) at j=%s\n", \
+                v["guided_cells"], v["blind_cells"], v["j"]
+            exit 1
+        }
+        if (v["findings"] + 0 != 0) {
+            printf "fuzz-scaling produced %s findings\n", v["findings"]
+            exit 1
+        }
+        if (rows > 1 && v["guided_cells"] != prev) {
+            printf "guided cells vary across -j: %s vs %s\n", \
+                v["guided_cells"], prev
+            exit 1
+        }
+        prev = v["guided_cells"]
+    }
+    END { if (rows != 4) { print "expected 4 fuzz_scaling rows"; exit 1 } }
+    ' "$scaling"
+echo "guided beats blind at every -j, floors met, counts -j-invariant"
+
 echo "== ci OK =="

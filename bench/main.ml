@@ -242,12 +242,69 @@ let run_vm_steps ?(coverage = false) () =
     steps_per_pass reps dt
     (float_of_int total /. dt)
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: fuzz throughput (the BENCH_fuzz.json gate)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaling study of the two fuzzing modes at an identical execution
+   budget: the coverage-guided evolutionary soak (fresh throwaway
+   corpus, exact [--max-execs] budget, no mutants) against blind seed
+   enumeration (the same number of programs, also mutant-free), each at
+   -j 1/2/4/8.  Both arms are deterministic for a fixed budget and
+   independent of the worker count, so the cell counts are exact
+   numbers ci.sh gates against BENCH_fuzz.json — only the elapsed
+   seconds vary with the machine.  One "fuzz_scaling: ..." line per
+   worker count. *)
+let fuzz_budget_execs = 40
+
+let run_fuzz_scaling () =
+  List.iter
+    (fun j ->
+      let dir =
+        let f = Filename.temp_file "mi-fuzz-scale" "" in
+        Sys.remove f;
+        Sys.mkdir f 0o755;
+        f
+      in
+      let t0 = Unix.gettimeofday () in
+      let g =
+        Mi_fuzz.Fuzz.soak_run
+          (Mi_fuzz.Fuzz.soak_config ~jobs:j ~max_execs:fuzz_budget_execs
+             ~mutants_per_round:0 ~corpus_dir:dir ())
+      in
+      let g_dt = Unix.gettimeofday () -. t0 in
+      let stats =
+        match g.Mi_fuzz.Fuzz.r_corpus with Some c -> c | None -> assert false
+      in
+      Mi_fuzz.Corpus.reset ~dir;
+      (try Sys.rmdir dir with _ -> ());
+      let t0 = Unix.gettimeofday () in
+      let b =
+        Mi_fuzz.Fuzz.run
+          (Mi_fuzz.Fuzz.campaign ~jobs:j ~seeds:(1, fuzz_budget_execs) ())
+      in
+      let b_dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "fuzz_scaling: j=%d execs=%d guided_cells=%d blind_cells=%d \
+         corpus_entries=%d rounds=%d findings=%d guided_s=%.3f blind_s=%.3f \
+         guided_cells_per_s=%.0f\n\
+         %!"
+        j stats.Mi_fuzz.Fuzz.cs_execs g.Mi_fuzz.Fuzz.r_cells
+        b.Mi_fuzz.Fuzz.r_cells stats.Mi_fuzz.Fuzz.cs_entries
+        stats.Mi_fuzz.Fuzz.cs_rounds
+        (List.length g.Mi_fuzz.Fuzz.r_findings
+        + List.length b.Mi_fuzz.Fuzz.r_findings)
+        g_dt b_dt
+        (float_of_int g.Mi_fuzz.Fuzz.r_cells /. g_dt))
+    [ 1; 2; 4; 8 ]
+
 let () =
   let args = Array.to_list Sys.argv in
   let micro_only = List.mem "--micro-only" args in
   let reports_only = List.mem "--reports-only" args in
   if List.mem "--vm-steps" args then run_vm_steps ()
   else if List.mem "--vm-steps-cov" args then run_vm_steps ~coverage:true ()
+  else if List.mem "--fuzz-scaling" args then run_fuzz_scaling ()
   else begin
     if not micro_only then regenerate_reports ();
     if not reports_only then run_microbenchmarks ()

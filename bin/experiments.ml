@@ -303,5 +303,6 @@ let cmd =
 (* the fuzz experiment lives outside mi_bench_kit (the fuzz library
    depends on the bench kit, not vice versa) and registers here *)
 let () = Mi_fuzz.Fuzz.register_experiment ()
+let () = Mi_fuzz.Fuzz.register_soak_experiment ()
 let () = Mi_server.Serve_exp.register_experiment ()
 let () = exit (Cmd.eval' cmd)

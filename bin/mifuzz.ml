@@ -5,6 +5,10 @@
     mifuzz --seeds 1..100 --minutes 10          # soak: keep going in blocks
     mifuzz --seeds 7..7 --repro-dir repros \
            --inject del-check                   # seeded failure + shrink
+    mifuzz --corpus corpus/ --minutes 10        # evolutionary soak (resumable)
+    mifuzz --corpus corpus/ --max-execs 200     # same, deterministic budget
+    mifuzz --corpus corpus/ --replay            # re-run + verify every entry
+    mifuzz --corpus corpus/ --replay --entry 1af0b2c9d3e4  # one entry
     v}
 
     Every safe seed runs the full oracle matrix (optimization levels ×
@@ -96,7 +100,48 @@ let max_shrinks_arg =
     & info [ "max-shrinks" ] ~docv:"N"
         ~doc:"Cap on shrunk repros emitted per campaign (default 5).")
 
-let main (slo, shi) mutants jobs minutes out repro_dir max_shrinks faults =
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Coverage-guided mode: evolve a persistent corpus under DIR \
+           (created if needed; resumes if it exists).  Combine with \
+           $(b,--minutes) or $(b,--max-execs) for a soak, or with \
+           $(b,--replay) to re-verify the stored entries.")
+
+let replay_arg =
+  Arg.(
+    value & flag
+    & info [ "replay" ]
+        ~doc:
+          "With $(b,--corpus): deterministically re-run every stored entry \
+           through the whole oracle matrix and verify its recorded coverage \
+           fingerprint.  The report is byte-identical for every $(b,-j).")
+
+let entry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "entry" ] ~docv:"ID"
+        ~doc:
+          "With $(b,--replay): restrict the replay to entries whose content \
+           id starts with ID (a prefix is enough).")
+
+let max_execs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-execs" ] ~docv:"N"
+        ~doc:
+          "Hard cap on programs run through the matrix (safe candidates + \
+           mutants).  A fixed budget makes soak results deterministic and \
+           independent of wall-clock speed; combine with $(b,--minutes) to \
+           stop at whichever limit is hit first.")
+
+let main (slo, shi) mutants jobs minutes out repro_dir max_shrinks corpus
+    replay entry max_execs faults =
   let width = shi - slo + 1 in
   let default_mutants lo =
     let n = width / 5 in
@@ -122,14 +167,38 @@ let main (slo, shi) mutants jobs minutes out repro_dir max_shrinks faults =
     | None -> None
     | Some m -> Some (Mi_support.Mclock.deadline (m *. 60.))
   in
-  let rec soak idx acc =
+  (* block-mode soak: keep fuzzing same-sized blocks while the Mclock
+     deadline has not expired and the exec budget is not exhausted *)
+  let rec soak idx execs acc =
     let r = block idx in
     let acc = match acc with None -> r | Some a -> Fuzz.merge a r in
-    match deadline with
-    | Some d when not (Mi_support.Mclock.expired d) -> soak (idx + 1) (Some acc)
-    | _ -> acc
+    let execs = execs + r.Fuzz.r_safe_total + List.length r.Fuzz.r_mutants in
+    let under_cap =
+      match max_execs with Some cap -> execs < cap | None -> true
+    in
+    let more =
+      under_cap
+      &&
+      match deadline with
+      | Some d -> not (Mi_support.Mclock.expired d)
+      | None -> max_execs <> None
+    in
+    if more then soak (idx + 1) execs (Some acc) else acc
   in
-  let report = soak 0 None in
+  let report =
+    match corpus with
+    | Some dir when replay -> Fuzz.replay ~jobs ~faults ?entry ~dir ()
+    | Some dir ->
+        Fuzz.soak_run
+          (Fuzz.soak_config ~jobs ~faults ?repro_dir ~max_shrinks ?minutes
+             ?max_execs ~seed_start:slo ~corpus_dir:dir ())
+    | None ->
+        if replay || entry <> None then begin
+          prerr_endline "mifuzz: --replay/--entry require --corpus DIR";
+          exit 2
+        end;
+        soak 0 0 None
+  in
   print_string (Fuzz.render report);
   (match out with
   | None -> ()
@@ -150,6 +219,7 @@ let cmd =
     (Cmd.info "mifuzz" ~doc)
     Term.(
       const main $ seeds_arg $ mutants_arg $ jobs_arg $ minutes_arg $ out_arg
-      $ repro_dir_arg $ max_shrinks_arg $ Mi_fault_cli.inject_arg)
+      $ repro_dir_arg $ max_shrinks_arg $ corpus_arg $ replay_arg $ entry_arg
+      $ max_execs_arg $ Mi_fault_cli.inject_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,6 +52,17 @@ type repro = {
   rp_shrunk : bool;  (** [false]: emitted unshrunk (predicate didn't hold) *)
 }
 
+(** Corpus bookkeeping of a coverage-guided campaign ({!soak_run} /
+    {!replay}); [None] on plain block campaigns. *)
+type corpus_stats = {
+  cs_entries : int;  (** corpus entries after the campaign *)
+  cs_seeded : int;  (** generator-fresh entries *)
+  cs_spliced : int;  (** splice offspring *)
+  cs_grown : int;  (** grow offspring *)
+  cs_rounds : int;  (** evolution rounds completed over the corpus *)
+  cs_execs : int;  (** programs run through the whole matrix, lifetime *)
+}
+
 type report = {
   r_seed_lo : int;
   r_seed_hi : int;
@@ -64,9 +75,13 @@ type report = {
   r_coverage : string list;  (** union of grammar productions exercised *)
   r_vm_blocks : int * int;  (** corpus VM coverage: blocks (hit, total) *)
   r_vm_edges : int * int;  (** corpus VM coverage: edges (hit, total) *)
+  r_cells : int;
+      (** distinct coverage cells ({!Mi_obs.Coverage.cell_keys})
+          discovered — the currency the guided mode is benchmarked in *)
   r_boost : int list;
       (** generator features boosted in the second wave because their
           first-wave seeds discovered the most new coverage cells *)
+  r_corpus : corpus_stats option;
   r_repros : repro list;
 }
 
@@ -254,43 +269,39 @@ let inject_arg faults =
 (* Coverage feedback                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* stable textual key of a snapshot's function descriptor *)
-let geom_key (s : Mi_obs.Coverage.snapshot) =
-  s.Mi_obs.Coverage.cv_func ^ "/"
-  ^ String.concat "|"
-      (Array.to_list
-         (Array.map
-            (fun a ->
-              String.concat "," (List.map string_of_int (Array.to_list a)))
-            s.Mi_obs.Coverage.cv_succ))
-
 (* count the coverage cells (hit blocks + hit edges) of [snaps] not yet
    in [seen], adding them — the "how much new ground did this seed
-   break" signal the scheduler feeds on *)
+   break" signal the scheduler feeds on.  Cell keys are the stable
+   {!Mi_obs.Coverage.cell_keys}, the same currency the corpus persists. *)
 let count_new_cells seen (snaps : Mi_obs.Coverage.snapshot list) =
   let fresh = ref 0 in
   List.iter
-    (fun (s : Mi_obs.Coverage.snapshot) ->
-      let g = geom_key s in
-      let tally tag hits =
-        Array.iteri
-          (fun i h ->
-            if h > 0 then begin
-              let key = Printf.sprintf "%s#%s%d" g tag i in
-              if not (Hashtbl.mem seen key) then begin
-                Hashtbl.replace seen key ();
-                incr fresh
-              end
-            end)
-          hits
-      in
-      tally "b" s.Mi_obs.Coverage.cv_block_hits;
-      tally "e" s.Mi_obs.Coverage.cv_edge_hits)
+    (fun s ->
+      List.iter
+        (fun key ->
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            incr fresh
+          end)
+        (Mi_obs.Coverage.cell_keys s))
     snaps;
   !fresh
 
 (* features forced on in the second wave *)
 let n_boost = 3
+
+(* rank features by accrued fresh-cell score and keep the productive
+   top {!n_boost} — shared by the two-wave campaign and the soak loop *)
+let boost_of_scores scores =
+  let ranked =
+    List.sort
+      (fun (ka, sa) (kb, sb) ->
+        if sb <> sa then compare sb sa else compare ka kb)
+      (Array.to_list (Array.mapi (fun k s -> (k, s)) scores))
+  in
+  let top, _ = split_at n_boost ranked in
+  List.sort compare
+    (List.filter_map (fun (k, s) -> if s > 0 then Some k else None) top)
 
 (** Run one campaign.  Deterministic for fixed campaign parameters:
     results, report and repro contents are independent of [c_jobs].
@@ -353,20 +364,7 @@ let run (c : campaign) : report =
   let w1, w2 = split_at ((List.length all_seeds + 1) / 2) all_seeds in
   let safe1 = List.map (fun s -> Gen.generate ~seed:s ()) w1 in
   let findings1 = run_safe_wave safe1 in
-  let boost =
-    if w2 = [] then []
-    else begin
-      let ranked =
-        List.sort
-          (fun (ka, sa) (kb, sb) ->
-            if sb <> sa then compare sb sa else compare ka kb)
-          (Array.to_list (Array.mapi (fun k s -> (k, s)) scores))
-      in
-      let top, _ = split_at n_boost ranked in
-      List.sort compare
-        (List.filter_map (fun (k, s) -> if s > 0 then Some k else None) top)
-    end
-  in
+  let boost = if w2 = [] then [] else boost_of_scores scores in
   let safe2 = List.map (fun s -> Gen.generate ~boost ~seed:s ()) w2 in
   let findings2 = if safe2 = [] then [] else run_safe_wave safe2 in
   let safe = safe1 @ safe2 in
@@ -468,8 +466,567 @@ let run (c : campaign) : report =
     r_coverage = coverage safe;
     r_vm_blocks = (vm.Mi_obs.Coverage.tt_blocks_hit, vm.Mi_obs.Coverage.tt_blocks);
     r_vm_edges = (vm.Mi_obs.Coverage.tt_edges_hit, vm.Mi_obs.Coverage.tt_edges);
+    r_cells = Hashtbl.length seen;
     r_boost = boost;
+    r_corpus = None;
     r_repros = repros;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Coverage-guided evolutionary soak                                   *)
+(* ------------------------------------------------------------------ *)
+
+type soak_config = {
+  sk_corpus_dir : string;
+  sk_jobs : int;
+  sk_minutes : float option;  (** soak deadline ({!Mi_support.Mclock}) *)
+  sk_max_execs : int option;  (** hard cap on lifetime matrix executions *)
+  sk_seed_start : int;  (** first base generator seed of a fresh corpus *)
+  sk_batch : int;  (** target programs (offspring + fresh) per round *)
+  sk_mutants_per_round : int;
+  sk_faults : Fault.t;
+  sk_repro_dir : string option;
+  sk_max_shrinks : int;
+}
+
+let soak_config ?(jobs = 1) ?(faults = Fault.none) ?repro_dir ?(max_shrinks = 5)
+    ?minutes ?max_execs ?(seed_start = 1) ?(batch = 8) ?(mutants_per_round = 2)
+    ~corpus_dir () =
+  {
+    sk_corpus_dir = corpus_dir;
+    sk_jobs = jobs;
+    sk_minutes = minutes;
+    sk_max_execs = max_execs;
+    sk_seed_start = seed_start;
+    sk_batch = batch;
+    sk_mutants_per_round = mutants_per_round;
+    sk_faults = faults;
+    sk_repro_dir = repro_dir;
+    sk_max_shrinks = max_shrinks;
+  }
+
+(* a candidate program headed for the whole safe matrix *)
+type cand = {
+  cd_id : string;  (** {!Corpus.id_of_sources} *)
+  cd_origin : Corpus.origin;
+  cd_seed : int;  (** root generator seed of the lineage *)
+  cd_features : int list;
+  cd_productions : string list;
+  cd_sources : Bench.source list;
+}
+
+let bench_name_of_id id = "ev-" ^ String.sub id 0 12
+let short_id id = String.sub id 0 12
+
+(* offspring larger than this (main-unit non-blank lines) are dropped
+   before execution — bounds compounding growth across generations *)
+let main_line_cap = 300
+
+let origin_counts (entries : Corpus.entry list) =
+  List.fold_left
+    (fun (s, sp, g) (e : Corpus.entry) ->
+      match e.Corpus.en_origin with
+      | Corpus.Seeded _ -> (s + 1, sp, g)
+      | Corpus.Spliced _ -> (s, sp + 1, g)
+      | Corpus.Grown _ -> (s, sp, g + 1))
+    (0, 0, 0) entries
+
+(** Run one coverage-guided soak over the persistent corpus at
+    [cfg.sk_corpus_dir], creating it if needed.
+
+    Each round: the {!Sched} scheduler picks the highest-energy corpus
+    entries as parents; every parent breeds one {!Gen.grow} offspring
+    and one {!Gen.splice} offspring (donor: the next-ranked parent,
+    wrapping — a lone entry splices with itself, which grafts a renamed
+    copy of its own helper); the batch is topped up with fresh
+    generator seeds boosted by the accrued per-feature scores.  Every
+    candidate runs through the whole safe oracle matrix; candidates
+    that are clean {e and} discover new coverage cells or grammar
+    productions are admitted to the corpus (one content-addressed file
+    each).  A few mutants derived from the round's fresh seed numbers
+    (generated boost-free, so a block-mode [mifuzz] command reproduces
+    them exactly) keep the detection oracle honest throughout the soak.
+
+    All in-memory state — seen cells, per-feature scores, scheduler
+    energies — is a pure function of the corpus entries in insertion
+    order, and a small [state.json] checkpoint persists the seed / op /
+    exec counters after every round, so a killed soak resumes where it
+    left off: at most one round re-executes, and re-bred entries dedupe
+    by content id.  Deadlines use {!Mi_support.Mclock} exclusively; a
+    fixed [max_execs] budget (no deadline) is fully deterministic and
+    independent of [sk_jobs]. *)
+let soak_run (cfg : soak_config) : report =
+  let dir = cfg.sk_corpus_dir in
+  let h =
+    Harness.create ~jobs:cfg.sk_jobs
+      ~obs:(Mi_obs.Obs.create ~coverage:true ())
+      ?faults:(if Fault.is_none cfg.sk_faults then None else Some cfg.sk_faults)
+      ()
+  in
+  (* --- resume: rebuild every bit of loop state from the corpus ------ *)
+  let entries = ref (Corpus.load ~dir) in
+  let sched = Sched.rebuild !entries in
+  let seen = Hashtbl.create 1024 in
+  let seen_prods = Hashtbl.create 64 in
+  let scores = Array.make Gen.n_features 0 in
+  let corpus_cov = Mi_obs.Coverage.create () in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      List.iter (fun c -> Hashtbl.replace seen c ()) e.Corpus.en_cells;
+      List.iter (fun p -> Hashtbl.replace seen_prods p ()) e.Corpus.en_productions;
+      match e.Corpus.en_origin with
+      | Corpus.Seeded _ ->
+          List.iter
+            (fun k -> scores.(k) <- scores.(k) + e.Corpus.en_fresh)
+            e.Corpus.en_features
+      | _ -> ())
+    !entries;
+  let st = Corpus.load_state ~dir in
+  let next_ord =
+    ref (List.fold_left (fun m (e : Corpus.entry) -> max m (e.Corpus.en_ord + 1))
+           0 !entries)
+  in
+  let next_seed = ref (max cfg.sk_seed_start st.Corpus.st_next_seed) in
+  let next_op = ref (max 1 st.Corpus.st_next_op) in
+  let round = ref st.Corpus.st_round in
+  let execs = ref st.Corpus.st_execs in
+  let tried = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Corpus.entry) -> Hashtbl.replace tried e.Corpus.en_id ())
+    !entries;
+  let seed_lo = ref max_int and seed_hi = ref min_int in
+  let mut_lo = ref max_int and mut_hi = ref min_int in
+  let safe_total = ref 0 in
+  let findings = ref [] (* reversed *) in
+  let mutant_results = ref [] (* reversed *) in
+  let repro_q = ref [] (* (slug, cmd, finding, pred, sources), reversed *) in
+  let deadline =
+    Option.map (fun m -> Mi_support.Mclock.deadline (m *. 60.)) cfg.sk_minutes
+  in
+  let stop () =
+    (match cfg.sk_max_execs with Some cap -> !execs >= cap | None -> false)
+    || match deadline with Some d -> Mi_support.Mclock.expired d | None -> false
+  in
+  let fresh_op () =
+    let k = !next_op in
+    incr next_op;
+    k
+  in
+  (* run candidates through the whole safe matrix; judge; admit the
+     clean ones that broke new ground *)
+  let run_candidates (cands : cand list) =
+    let jobs =
+      List.map
+        (fun cd ->
+          Oracle.safe_jobs_of
+            (Oracle.bench_of_sources ~name:(bench_name_of_id cd.cd_id)
+               cd.cd_sources))
+        cands
+    in
+    let results = Harness.run_jobs h (List.concat jobs) in
+    let rest = ref results in
+    let slice js =
+      let a, b = split_at (List.length js) !rest in
+      rest := b;
+      a
+    in
+    List.iter2
+      (fun cd js ->
+        let rs = slice js in
+        let fs = Oracle.judge_safe_results ~seed:cd.cd_seed rs in
+        findings := List.rev_append fs !findings;
+        (match fs with
+        | f :: _ ->
+            repro_q :=
+              ( Printf.sprintf "soak-%s-%s" (short_id cd.cd_id) f.Oracle.f_kind,
+                Printf.sprintf "feed the .c files to mic (soak candidate %s%s)"
+                  (short_id cd.cd_id)
+                  (inject_arg cfg.sk_faults),
+                f,
+                safe_pred h f,
+                cd.cd_sources )
+              :: !repro_q
+        | [] -> ());
+        if fs = [] then
+          match rs with
+          | Ok ref_run :: _ ->
+              let snaps = ref_run.Harness.coverage in
+              let cells = Mi_obs.Coverage.cells_of snaps in
+              let fresh =
+                List.fold_left
+                  (fun n c ->
+                    if Hashtbl.mem seen c then n
+                    else begin
+                      Hashtbl.replace seen c ();
+                      n + 1
+                    end)
+                  0 cells
+              in
+              let new_prods =
+                List.filter
+                  (fun p -> not (Hashtbl.mem seen_prods p))
+                  cd.cd_productions
+              in
+              List.iter (fun p -> Hashtbl.replace seen_prods p ()) new_prods;
+              if fresh > 0 || new_prods <> [] then begin
+                let e =
+                  {
+                    Corpus.en_id = cd.cd_id;
+                    en_ord = !next_ord;
+                    en_round = !round;
+                    en_origin = cd.cd_origin;
+                    en_seed = cd.cd_seed;
+                    en_features = cd.cd_features;
+                    en_productions = cd.cd_productions;
+                    en_cells = cells;
+                    en_fresh = fresh;
+                    en_fingerprint = Mi_obs.Coverage.fingerprint snaps;
+                    en_sources = cd.cd_sources;
+                  }
+                in
+                incr next_ord;
+                Corpus.save ~dir e;
+                ignore (Sched.admit sched e);
+                entries := !entries @ [ e ];
+                Mi_obs.Coverage.merge corpus_cov
+                  (Mi_obs.Coverage.of_snapshots snaps);
+                match cd.cd_origin with
+                | Corpus.Seeded _ ->
+                    List.iter
+                      (fun k -> scores.(k) <- scores.(k) + fresh)
+                      cd.cd_features
+                | _ -> ()
+              end
+          | _ -> ())
+      cands jobs;
+    assert (!rest = [])
+  in
+  (* assemble one round's candidate batch: offspring of the scheduled
+     parents first, then fresh boosted seeds *)
+  let round_candidates () =
+    let cands = ref [] in
+    let push c = cands := c :: !cands in
+    let parents = if !entries = [] then [] else Sched.pick sched !entries ~n:4 in
+    let np = List.length parents in
+    List.iteri
+      (fun i (p : Corpus.entry) ->
+        let op = fresh_op () in
+        (match Gen.grow ~sources:p.Corpus.en_sources ~mseed:op with
+        | Some srcs ->
+            push
+              {
+                cd_id = Corpus.id_of_sources srcs;
+                cd_origin = Corpus.Grown { gr_parent = p.Corpus.en_id; gr_op = op };
+                cd_seed = p.Corpus.en_seed;
+                cd_features = p.Corpus.en_features;
+                cd_productions = p.Corpus.en_productions;
+                cd_sources = srcs;
+              }
+        | None -> ());
+        let donor = List.nth parents ((i + 1) mod np) in
+        let op = fresh_op () in
+        match
+          Gen.splice ~acceptor:p.Corpus.en_sources ~donor:donor.Corpus.en_sources
+            ~mseed:op
+        with
+        | Some srcs ->
+            (* perturb the spliced offspring's control-flow geometry too:
+               re-splicing one parent always inserts the same driver-loop
+               shape, so without a grow pass the second splice of a
+               lineage re-counts the first one's main cells *)
+            let srcs =
+              match Gen.grow ~sources:srcs ~mseed:op with
+              | Some g -> g
+              | None -> srcs
+            in
+            push
+              {
+                cd_id = Corpus.id_of_sources srcs;
+                cd_origin =
+                  Corpus.Spliced
+                    {
+                      sp_parent = p.Corpus.en_id;
+                      sp_donor = donor.Corpus.en_id;
+                      sp_op = op;
+                    };
+                cd_seed = p.Corpus.en_seed;
+                cd_features = p.Corpus.en_features;
+                cd_productions =
+                  List.sort_uniq String.compare
+                    (p.Corpus.en_productions @ donor.Corpus.en_productions);
+                cd_sources = srcs;
+              }
+        | None -> ())
+      parents;
+    let n_fresh = max 1 (cfg.sk_batch - List.length !cands) in
+    let boost = boost_of_scores scores in
+    let fresh_seeds = seq !next_seed (!next_seed + n_fresh - 1) in
+    next_seed := !next_seed + n_fresh;
+    List.iter
+      (fun s ->
+        seed_lo := min !seed_lo s;
+        seed_hi := max !seed_hi s;
+        let p = Gen.generate ~boost ~seed:s () in
+        push
+          {
+            cd_id = Corpus.id_of_sources p.Gen.p_sources;
+            cd_origin = Corpus.Seeded s;
+            cd_seed = s;
+            cd_features = p.Gen.p_features;
+            cd_productions = p.Gen.p_productions;
+            cd_sources = p.Gen.p_sources;
+          })
+      fresh_seeds;
+    (List.rev !cands, fresh_seeds)
+  in
+  (* trim a round's work list to the remaining exec budget, so a fixed
+     [max_execs] is an exact execution count, not a round-granular one *)
+  let within_budget already l =
+    match cfg.sk_max_execs with
+    | Some cap -> fst (split_at (max 0 (cap - !execs - already)) l)
+    | None -> l
+  in
+  let do_round () =
+    let raw_cands, fresh_seeds = round_candidates () in
+    let cands =
+      List.filter
+        (fun cd ->
+          main_lines cd.cd_sources <= main_line_cap
+          && (not (Hashtbl.mem tried cd.cd_id))
+          &&
+          (Hashtbl.replace tried cd.cd_id ();
+           true))
+        raw_cands
+    in
+    let cands = within_budget 0 cands in
+    run_candidates cands;
+    safe_total := !safe_total + List.length cands;
+    (* mutants from the round's fresh seed numbers, generated boost-free
+       so `mifuzz --seeds s..s --mutants s..s` reproduces them *)
+    let mut_seeds =
+      within_budget (List.length cands)
+        (fst (split_at cfg.sk_mutants_per_round fresh_seeds))
+    in
+    let mutants =
+      List.map
+        (fun s ->
+          mut_lo := min !mut_lo s;
+          mut_hi := max !mut_hi s;
+          let p = Gen.generate ~seed:s () in
+          match
+            if s land 1 = 1 then Gen.mutate_temporal p ~mseed:s else None
+          with
+          | Some m -> m
+          | None -> Gen.mutate p ~mseed:0)
+        mut_seeds
+    in
+    let mutant_jobs = List.map Oracle.mutant_jobs mutants in
+    let mresults = Harness.run_jobs h (List.concat mutant_jobs) in
+    let rest = ref mresults in
+    let slice js =
+      let a, b = split_at (List.length js) !rest in
+      rest := b;
+      a
+    in
+    List.iter2
+      (fun (m : Gen.mutant) js ->
+        let mr = Oracle.judge_mutant m (slice js) in
+        mutant_results := mr :: !mutant_results;
+        match mr.Oracle.mr_findings with
+        | f :: _ ->
+            repro_q :=
+              ( Printf.sprintf "soak-seed%d-mut-%s" mr.Oracle.mr_seed
+                  f.Oracle.f_setup,
+                Printf.sprintf "mifuzz --seeds %d..%d --mutants %d..%d%s"
+                  mr.Oracle.mr_seed mr.Oracle.mr_seed mr.Oracle.mr_seed
+                  mr.Oracle.mr_seed
+                  (inject_arg cfg.sk_faults),
+                f,
+                mutant_pred h ~faults:cfg.sk_faults mr f,
+                m.Gen.m_sources )
+              :: !repro_q
+        | [] -> ())
+      mutants mutant_jobs;
+    assert (!rest = []);
+    execs := !execs + List.length cands + List.length mutants;
+    Corpus.save_state ~dir
+      {
+        Corpus.st_next_seed = !next_seed;
+        st_round = !round + 1;
+        st_execs = !execs;
+        st_next_op = !next_op;
+      };
+    Sched.decay sched;
+    incr round
+  in
+  let one_shot = cfg.sk_minutes = None && cfg.sk_max_execs = None in
+  let rec loop () =
+    if not (stop ()) then begin
+      do_round ();
+      if not one_shot then loop ()
+    end
+  in
+  loop ();
+  let repros =
+    match cfg.sk_repro_dir with
+    | None -> []
+    | Some rdir ->
+        let budget = ref cfg.sk_max_shrinks in
+        List.filter_map
+          (fun (slug, repro_cmd, f, pred, sources) ->
+            if !budget > 0 then begin
+              decr budget;
+              Some (shrink_and_emit ~dir:rdir ~slug ~repro_cmd f ~pred sources)
+            end
+            else None)
+          (List.rev !repro_q)
+  in
+  let vm = Mi_obs.Coverage.totals corpus_cov in
+  let seeded, spliced, grown = origin_counts !entries in
+  {
+    r_seed_lo = (if !seed_lo = max_int then cfg.sk_seed_start else !seed_lo);
+    r_seed_hi = (if !seed_hi = min_int then cfg.sk_seed_start - 1 else !seed_hi);
+    r_mutant_lo = (if !mut_lo = max_int then 0 else !mut_lo);
+    r_mutant_hi = (if !mut_hi = min_int then -1 else !mut_hi);
+    r_inject = Fault.to_string cfg.sk_faults;
+    r_safe_total = !safe_total;
+    r_findings = List.rev !findings;
+    r_mutants = List.rev !mutant_results;
+    r_coverage =
+      List.sort_uniq String.compare
+        (Hashtbl.fold (fun p () acc -> p :: acc) seen_prods []);
+    r_vm_blocks = (vm.Mi_obs.Coverage.tt_blocks_hit, vm.Mi_obs.Coverage.tt_blocks);
+    r_vm_edges = (vm.Mi_obs.Coverage.tt_edges_hit, vm.Mi_obs.Coverage.tt_edges);
+    r_cells = Hashtbl.length seen;
+    r_boost = boost_of_scores scores;
+    r_corpus =
+      Some
+        {
+          cs_entries = List.length !entries;
+          cs_seeded = seeded;
+          cs_spliced = spliced;
+          cs_grown = grown;
+          cs_rounds = !round;
+          cs_execs = !execs;
+        };
+    r_repros = repros;
+  }
+
+(** Deterministically re-execute the persisted corpus: every entry (or
+    just those whose content id starts with [entry]) runs through the
+    whole safe matrix again, is re-judged, and its recomputed reference
+    coverage fingerprint is compared against the one recorded at
+    admission — a mismatch is reported as a ["fingerprint-mismatch"]
+    finding.  The report is byte-identical for every [jobs] setting. *)
+let replay ?(jobs = 1) ?(faults = Fault.none) ?entry ~dir () : report =
+  let all = Corpus.load ~dir in
+  let entries =
+    match entry with
+    | None -> all
+    | Some prefix ->
+        let n = String.length prefix in
+        List.filter
+          (fun (e : Corpus.entry) ->
+            String.length e.Corpus.en_id >= n
+            && String.sub e.Corpus.en_id 0 n = prefix)
+          all
+  in
+  let h =
+    Harness.create ~jobs
+      ~obs:(Mi_obs.Obs.create ~coverage:true ())
+      ?faults:(if Fault.is_none faults then None else Some faults)
+      ()
+  in
+  let jobs_per_entry =
+    List.map
+      (fun (e : Corpus.entry) ->
+        Oracle.safe_jobs_of
+          (Oracle.bench_of_sources
+             ~name:(bench_name_of_id e.Corpus.en_id)
+             e.Corpus.en_sources))
+      entries
+  in
+  let results = Harness.run_jobs h (List.concat jobs_per_entry) in
+  let rest = ref results in
+  let slice js =
+    let a, b = split_at (List.length js) !rest in
+    rest := b;
+    a
+  in
+  let seen = Hashtbl.create 1024 in
+  let corpus_cov = Mi_obs.Coverage.create () in
+  let findings =
+    List.concat
+      (List.map2
+         (fun (e : Corpus.entry) js ->
+           let rs = slice js in
+           let fs = Oracle.judge_safe_results ~seed:e.Corpus.en_seed rs in
+           let fp_fs =
+             match rs with
+             | Ok ref_run :: _ ->
+                 let snaps = ref_run.Harness.coverage in
+                 ignore (count_new_cells seen snaps);
+                 Mi_obs.Coverage.merge corpus_cov
+                   (Mi_obs.Coverage.of_snapshots snaps);
+                 let fp = Mi_obs.Coverage.fingerprint snaps in
+                 if fp = e.Corpus.en_fingerprint then []
+                 else
+                   [
+                     {
+                       Oracle.f_seed = e.Corpus.en_seed;
+                       f_setup = "O0";
+                       f_kind = "fingerprint-mismatch";
+                       f_detail =
+                         Printf.sprintf
+                           "entry %s: recorded fingerprint %s, replayed %s"
+                           (short_id e.Corpus.en_id)
+                           e.Corpus.en_fingerprint fp;
+                     };
+                   ]
+             | _ -> []
+           in
+           fs @ fp_fs)
+         entries jobs_per_entry)
+  in
+  assert (!rest = []);
+  let st = Corpus.load_state ~dir in
+  let vm = Mi_obs.Coverage.totals corpus_cov in
+  let seeded, spliced, grown = origin_counts entries in
+  let seeds =
+    List.filter_map
+      (fun (e : Corpus.entry) ->
+        match e.Corpus.en_origin with Corpus.Seeded s -> Some s | _ -> None)
+      entries
+  in
+  {
+    r_seed_lo = (match seeds with [] -> 0 | s :: r -> List.fold_left min s r);
+    r_seed_hi = (match seeds with [] -> -1 | s :: r -> List.fold_left max s r);
+    r_mutant_lo = 0;
+    r_mutant_hi = -1;
+    r_inject = Fault.to_string faults;
+    r_safe_total = List.length entries;
+    r_findings = findings;
+    r_mutants = [];
+    r_coverage =
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun (e : Corpus.entry) -> e.Corpus.en_productions)
+           entries);
+    r_vm_blocks = (vm.Mi_obs.Coverage.tt_blocks_hit, vm.Mi_obs.Coverage.tt_blocks);
+    r_vm_edges = (vm.Mi_obs.Coverage.tt_edges_hit, vm.Mi_obs.Coverage.tt_edges);
+    r_cells = Hashtbl.length seen;
+    r_boost = [];
+    r_corpus =
+      Some
+        {
+          cs_entries = List.length entries;
+          cs_seeded = seeded;
+          cs_spliced = spliced;
+          cs_grown = grown;
+          cs_rounds = st.Corpus.st_round;
+          cs_execs = st.Corpus.st_execs;
+        };
+    r_repros = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -511,7 +1068,11 @@ let merge a b =
     r_coverage = List.sort_uniq String.compare (a.r_coverage @ b.r_coverage);
     r_vm_blocks = sum2 a.r_vm_blocks b.r_vm_blocks;
     r_vm_edges = sum2 a.r_vm_edges b.r_vm_edges;
+    (* each block counted its cells against a fresh seen-set, so the sum
+       is an upper envelope, same as the block-wise VM totals *)
+    r_cells = a.r_cells + b.r_cells;
     r_boost = List.sort_uniq compare (a.r_boost @ b.r_boost);
+    r_corpus = (match b.r_corpus with Some _ -> b.r_corpus | None -> a.r_corpus);
     r_repros = a.r_repros @ b.r_repros;
   }
 
@@ -549,6 +1110,14 @@ let render (r : report) : string =
      | ks ->
          Printf.sprintf " (boosted features: %s)"
            (String.concat "," (List.map string_of_int ks))));
+  Printf.bprintf b "coverage cells: %d\n" r.r_cells;
+  (match r.r_corpus with
+  | None -> ()
+  | Some c ->
+      Printf.bprintf b
+        "corpus: %d entries (%d seeded, %d spliced, %d grown), %d rounds, %d \
+         execs\n"
+        c.cs_entries c.cs_seeded c.cs_spliced c.cs_grown c.cs_rounds c.cs_execs);
   List.iter
     (fun (rp : repro) ->
       Printf.bprintf b "repro %s (%d lines%s): %s\n" rp.rp_slug rp.rp_lines
@@ -614,8 +1183,22 @@ let report_to_json (r : report) : Json.t =
             ("blocks_total", Json.Int (snd r.r_vm_blocks));
             ("edges_hit", Json.Int (fst r.r_vm_edges));
             ("edges_total", Json.Int (snd r.r_vm_edges));
+            ("cells", Json.Int r.r_cells);
             ("boost", Json.List (List.map (fun k -> Json.Int k) r.r_boost));
           ] );
+      ( "corpus",
+        match r.r_corpus with
+        | None -> Json.Null
+        | Some c ->
+            Json.Obj
+              [
+                ("entries", Json.Int c.cs_entries);
+                ("seeded", Json.Int c.cs_seeded);
+                ("spliced", Json.Int c.cs_spliced);
+                ("grown", Json.Int c.cs_grown);
+                ("rounds", Json.Int c.cs_rounds);
+                ("execs", Json.Int c.cs_execs);
+              ] );
       ( "repros",
         Json.List
           (List.map
@@ -685,6 +1268,78 @@ let register_experiment () =
                         float_of_int (List.length r.r_coverage) );
                       ("vm_blocks", float_of_int (fst r.r_vm_blocks));
                       ("vm_edges", float_of_int (fst r.r_vm_edges));
+                    ];
+                };
+              ];
+          });
+    }
+
+(** Register the [fuzz-soak] experiment: a compact coverage-guided
+    evolutionary soak over a throwaway corpus (fixed exec budget, so the
+    result is deterministic; the CI soak gate runs the wall-clock
+    variant through [mifuzz --minutes]).  The corpus directory is
+    deleted afterwards — persistence is exercised by the corpus tests
+    and the CI gates, not by the always-on experiment. *)
+let register_soak_experiment () =
+  Experiments.register
+    {
+      Experiments.name = "fuzz-soak";
+      aliases = [ "soak" ];
+      descr = "coverage-guided evolutionary fuzzing over a persistent corpus";
+      jobs = (fun _ -> []);
+      reduce =
+        (fun _lookup _benchmarks ->
+          let dir =
+            let f = Filename.temp_file "mi-fuzz-soak" "" in
+            Sys.remove f;
+            Sys.mkdir f 0o755;
+            f
+          in
+          let cfg =
+            soak_config ~jobs:(Harness.default_jobs ()) ~max_execs:24
+              ~corpus_dir:dir ()
+          in
+          let r = soak_run cfg in
+          let stats =
+            match r.r_corpus with
+            | Some c -> c
+            | None -> assert false
+          in
+          Corpus.reset ~dir;
+          (try Sys.rmdir dir with _ -> ());
+          let _, _, missed = count_mutants r.r_mutants in
+          if not (ok r) then
+            raise
+              (Harness.Benchmark_failed
+                 ( "fuzz-soak",
+                   Printf.sprintf
+                     "%d oracle findings, %d missed mutant detections\n%s"
+                     (List.length r.r_findings) missed (render r) ));
+          if stats.cs_spliced + stats.cs_grown = 0 then
+            raise
+              (Harness.Benchmark_failed
+                 ( "fuzz-soak",
+                   "evolution stalled: no spliced or grown offspring was \
+                    admitted\n" ^ render r ));
+          {
+            Experiments.title =
+              "Coverage-guided soak: evolutionary corpus vs the oracle matrix";
+            text = render r;
+            series =
+              [
+                {
+                  Experiments.label = "fuzz-soak";
+                  points =
+                    [
+                      ("entries", float_of_int stats.cs_entries);
+                      ("seeded", float_of_int stats.cs_seeded);
+                      ("spliced", float_of_int stats.cs_spliced);
+                      ("grown", float_of_int stats.cs_grown);
+                      ("rounds", float_of_int stats.cs_rounds);
+                      ("execs", float_of_int stats.cs_execs);
+                      ("cells", float_of_int r.r_cells);
+                      ("findings", float_of_int (List.length r.r_findings));
+                      ("missed", float_of_int missed);
                     ];
                 };
               ];

@@ -408,12 +408,29 @@ let n_features = 11
 (* A boosted feature is forced on, but the random draw is still consumed
    when the rotation alone would not decide, so the rng stream — and
    with it everything generated after the flag — is identical with and
-   without the boost.  Boosting changes the flag, never the dice. *)
-let feature ctx ~boost seed k p =
-  if seed mod n_features = k then true
-  else
+   without the boost.  Boosting changes the flag, never the dice.
+
+   Every enablement source records the feature index independently
+   (rotation, random draw, boost, and derived rebindings like
+   free→heap), so a boosted feature whose draw also hit — or a feature
+   both drawn and forced by a rebinding — is recorded more than once;
+   {!generate} deduplicates the vector before publishing it as
+   [p_features], keeping the campaign's feature scoring one-vote-per-
+   feature-per-seed. *)
+let feature ctx ~record ~boost seed k p =
+  if seed mod n_features = k then begin
+    record k;
+    true
+  end
+  else begin
     let hit = Rng.float ctx.rng < p in
-    hit || List.mem k boost
+    if hit then record k;
+    if List.mem k boost then begin
+      record k;
+      true
+    end
+    else hit
+  end
 
 (* the two mutation splice points of every generated main unit: spatial
    mutants land at the anchor comment — after the digest prints but
@@ -443,7 +460,9 @@ let generate ?(boost = []) ~seed () : prog =
       pfuncs = ref [];
     }
   in
-  let feat = feature ctx ~boost seed in
+  let feats = ref [] in
+  let record k = feats := k :: !feats in
+  let feat = feature ctx ~record ~boost seed in
   let use_ext = feat 0 0.5 in
   let use_struct = feat 1 0.6 in
   let use_nested = use_struct && feat 2 0.5 in
@@ -457,6 +476,7 @@ let generate ?(boost = []) ~seed () : prog =
   let use_free = feat 10 0.5 in
   (* a free needs a heap object to free: the free feature forces the
      heap feature along (flag only — both dice were already thrown) *)
+  if use_free then record 3;
   let use_heap = use_heap || use_free in
 
   (* --- sibling unit defining the size-less extern array (§4.3) ----- *)
@@ -754,16 +774,9 @@ let generate ?(boost = []) ~seed () : prog =
     List.sort_uniq String.compare
       (Hashtbl.fold (fun k () a -> k :: a) ctx.prods [])
   in
-  let features =
-    List.concat
-      (List.mapi
-         (fun k on -> if on then [ k ] else [])
-         [
-           use_ext; use_struct; use_nested; use_heap; use_intptr;
-           use_memcpy; use_memset; use_memmove; use_ptr_helper;
-           use_struct_cpy; use_free;
-         ])
-  in
+  (* every enablement source recorded independently above; the published
+     vector is the deduplicated, sorted set *)
+  let features = List.sort_uniq compare !feats in
   let sources =
     (match ext_unit with
     | Some code -> [ Bench.src "ext" code ]
@@ -948,3 +961,423 @@ let mutate_temporal (prog : prog) ~mseed : mutant option =
           m_sources = splice_main ~anchor:main_suffix stmt prog.p_sources;
           m_sb_whitelist = None;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Structural evolution: splice and grow                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The coverage-guided loop breeds offspring from corpus entries by
+   operating on the generator's AST (parse → transform → re-print), so
+   every offspring is well-typed MiniC by construction and the safe
+   oracle keeps applying:
+
+   - {!splice} grafts a helper function (with its transitive closure of
+     callee helpers and referenced globals, all α-renamed) from a donor
+     program into an acceptor and calls it from [main];
+   - {!grow} inserts fresh control flow — a bounded counting loop
+     around an existing statement, or a bounded arithmetic-iteration
+     epilogue — into [main].
+
+   Both operations change the control-flow geometry of the offspring's
+   functions, so its {!Mi_obs.Coverage} cells are disjoint from the
+   parent's (the cell key hashes the full successor geometry): novelty
+   is structural, never a re-count of old ground.  Soundness argument
+   (DESIGN.md "Fuzzing"): generator helper bodies only reference their
+   parameters, locals, earlier helpers and global arrays/scalars — all
+   copied and renamed along — and VM globals are zero-initialized, so a
+   grafted helper computes deterministically in the acceptor; grown
+   loops are bounded by construction and duplicate only statements
+   without declarations or frees. *)
+
+module Ast = Mi_minic.Ast
+module Ctypes = Mi_minic.Ctypes
+module Cparse = Mi_minic.Cparse
+
+let pos0 = { Ast.line = 0; Ast.col = 0 }
+let e_ k = { Ast.e = k; Ast.epos = pos0 }
+let s_ k = { Ast.s = k; Ast.spos = pos0 }
+let eint n = e_ (Ast.Eint n)
+let eid n = e_ (Ast.Eident n)
+let ebin op a b = e_ (Ast.Ebin (op, a, b))
+
+(* normalized non-negative modulus, mirroring the generator's
+   always-in-bounds index idiom *)
+let emodn e n = ebin Ast.Bmod (ebin Ast.Badd (ebin Ast.Bmod e (eint n)) (eint n)) (eint n)
+
+let rec map_idents_e f (e : Ast.expr) : Ast.expr =
+  let m = map_idents_e f in
+  let k =
+    match e.Ast.e with
+    | Ast.Eident id -> Ast.Eident (f id)
+    | Ast.Ecall (g, args) -> Ast.Ecall (f g, List.map m args)
+    | Ast.Ebin (op, a, b) -> Ast.Ebin (op, m a, m b)
+    | Ast.Eun (op, a) -> Ast.Eun (op, m a)
+    | Ast.Eassign (a, b) -> Ast.Eassign (m a, m b)
+    | Ast.Eopassign (op, a, b) -> Ast.Eopassign (op, m a, m b)
+    | Ast.Eincdec (w, d, a) -> Ast.Eincdec (w, d, m a)
+    | Ast.Eindex (a, i) -> Ast.Eindex (m a, m i)
+    | Ast.Emember (a, fl) -> Ast.Emember (m a, fl)
+    | Ast.Earrow (a, fl) -> Ast.Earrow (m a, fl)
+    | Ast.Ederef a -> Ast.Ederef (m a)
+    | Ast.Eaddr a -> Ast.Eaddr (m a)
+    | Ast.Ecast (t, a) -> Ast.Ecast (t, m a)
+    | Ast.Esizeof_e a -> Ast.Esizeof_e (m a)
+    | Ast.Econd (c, a, b) -> Ast.Econd (m c, m a, m b)
+    | (Ast.Eint _ | Ast.Efloat _ | Ast.Estr _ | Ast.Esizeof_ty _) as k -> k
+  in
+  { e with Ast.e = k }
+
+let rec map_idents_init f = function
+  | Ast.Iexpr e -> Ast.Iexpr (map_idents_e f e)
+  | Ast.Ilist l -> Ast.Ilist (List.map (map_idents_init f) l)
+
+let rec map_idents_s f (s : Ast.stmt) : Ast.stmt =
+  let ms = List.map (map_idents_s f) in
+  let me = map_idents_e f in
+  let k =
+    match s.Ast.s with
+    | Ast.Sexpr e -> Ast.Sexpr (me e)
+    | Ast.Sdecl (t, n, i) -> Ast.Sdecl (t, n, Option.map (map_idents_init f) i)
+    | Ast.Sif (c, a, b) -> Ast.Sif (me c, ms a, ms b)
+    | Ast.Swhile (c, b) -> Ast.Swhile (me c, ms b)
+    | Ast.Sdo (b, c) -> Ast.Sdo (ms b, me c)
+    | Ast.Sfor (i, c, st, b) ->
+        Ast.Sfor
+          (Option.map (map_idents_s f) i, Option.map me c, Option.map me st, ms b)
+    | Ast.Sreturn e -> Ast.Sreturn (Option.map me e)
+    | (Ast.Sbreak | Ast.Scontinue) as k -> k
+    | Ast.Sblock b -> Ast.Sblock (ms b)
+    | Ast.Sseq b -> Ast.Sseq (ms b)
+  in
+  { s with Ast.s = k }
+
+(* all identifiers (variables and callees) a subtree references *)
+let rec idents_e acc (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Eident id -> id :: acc
+  | Ast.Ecall (g, args) -> List.fold_left idents_e (g :: acc) args
+  | Ast.Ebin (_, a, b) | Ast.Eassign (a, b) | Ast.Eopassign (_, a, b)
+  | Ast.Eindex (a, b) ->
+      idents_e (idents_e acc a) b
+  | Ast.Eun (_, a) | Ast.Eincdec (_, _, a) | Ast.Emember (a, _)
+  | Ast.Earrow (a, _) | Ast.Ederef a | Ast.Eaddr a | Ast.Ecast (_, a)
+  | Ast.Esizeof_e a ->
+      idents_e acc a
+  | Ast.Econd (c, a, b) -> idents_e (idents_e (idents_e acc c) a) b
+  | Ast.Eint _ | Ast.Efloat _ | Ast.Estr _ | Ast.Esizeof_ty _ -> acc
+
+let rec idents_init acc = function
+  | Ast.Iexpr e -> idents_e acc e
+  | Ast.Ilist l -> List.fold_left idents_init acc l
+
+let rec idents_s acc (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Sexpr e -> idents_e acc e
+  | Ast.Sdecl (_, _, i) -> (
+      match i with Some i -> idents_init acc i | None -> acc)
+  | Ast.Sif (c, a, b) ->
+      List.fold_left idents_s (List.fold_left idents_s (idents_e acc c) a) b
+  | Ast.Swhile (c, b) -> List.fold_left idents_s (idents_e acc c) b
+  | Ast.Sdo (b, c) -> idents_e (List.fold_left idents_s acc b) c
+  | Ast.Sfor (i, c, st, b) ->
+      let acc = match i with Some i -> idents_s acc i | None -> acc in
+      let acc = match c with Some c -> idents_e acc c | None -> acc in
+      let acc = match st with Some st -> idents_e acc st | None -> acc in
+      List.fold_left idents_s acc b
+  | Ast.Sreturn (Some e) -> idents_e acc e
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue -> acc
+  | Ast.Sblock b | Ast.Sseq b -> List.fold_left idents_s acc b
+
+let func_idents (fn : Ast.func) = List.fold_left idents_s [] fn.Ast.f_body
+
+let find_main_src (sources : Bench.source list) =
+  List.find_opt (fun (s : Bench.source) -> s.Bench.src_name = "main") sources
+
+let with_main_code (sources : Bench.source list) code =
+  List.map
+    (fun (s : Bench.source) ->
+      if s.Bench.src_name = "main" then { s with Bench.code } else s)
+    sources
+
+(* integer-typed (non-pointer, non-array) parameters only: such a
+   helper can be called from any context with a constant argument *)
+let graftable (fn : Ast.func) =
+  fn.Ast.f_name <> "main"
+  && fn.Ast.f_params <> []
+  && List.for_all
+       (fun (p : Ast.param) ->
+         match p.Ast.p_ty with
+         | Ctypes.Cptr _ | Ctypes.Carr _ -> false
+         | _ -> true)
+       fn.Ast.f_params
+
+(* wrap a copy of [stmt] in a bounded counting loop with a fresh
+   counter; inserted right after the original, so every name the copy
+   references is still in scope *)
+let wrap_in_loop ~ctr ~n stmt =
+  s_
+    (Ast.Sblock
+       [
+         s_ (Ast.Sdecl (Ctypes.Clong, ctr, Some (Ast.Iexpr (eint 0))));
+         s_
+           (Ast.Swhile
+              ( ebin Ast.Blt (eid ctr) (eint n),
+                [
+                  stmt;
+                  s_
+                    (Ast.Sexpr
+                       (e_
+                          (Ast.Eassign
+                             (eid ctr, ebin Ast.Badd (eid ctr) (eint 1)))));
+                ] ));
+       ])
+
+(* insert [stmts] immediately before the trailing return of a body *)
+let insert_before_return stmts body =
+  let rec go = function
+    | [ ({ Ast.s = Ast.Sreturn _; _ } as r) ] -> stmts @ [ r ]
+    | [ last ] -> last :: stmts
+    | s :: rest -> s :: go rest
+    | [] -> stmts
+  in
+  go body
+
+(** Splice: graft one graftable helper of [donor] — with the transitive
+    closure of the donor helpers it calls and the donor globals it
+    references, all α-renamed with an ["_x<mseed>"] suffix — into
+    [acceptor], and print its value from [main].  Returns [None] when
+    either program has no parseable main unit or the donor has no
+    graftable helper.  Deterministic in [(acceptor, donor, mseed)];
+    campaign drivers keep [mseed] globally unique so repeated splices
+    into one lineage never collide (generator names contain no ['_']
+    except [ext_fill], which is never grafted). *)
+let splice ~(acceptor : Bench.source list) ~(donor : Bench.source list)
+    ~mseed : Bench.source list option =
+  match (find_main_src acceptor, find_main_src donor) with
+  | Some amain, Some dmain -> (
+      try
+        let aprog = Cparse.parse_program amain.Bench.code in
+        let dprog = Cparse.parse_program dmain.Bench.code in
+        let rng = Rng.create ((mseed * 2) + 1) in
+        let dfuncs =
+          List.filter_map
+            (function
+              | Ast.Dfunc f when f.Ast.f_name <> "main" -> Some f | _ -> None)
+            dprog
+        in
+        let dglobals =
+          List.filter_map
+            (function
+              | Ast.Dglobal g when not g.Ast.g_extern -> Some g | _ -> None)
+            dprog
+        in
+        let candidates = List.filter graftable dfuncs in
+        if candidates = [] then None
+        else begin
+          let root = List.nth candidates (Rng.int rng (List.length candidates)) in
+          (* transitive closure of donor helpers/globals [root] needs *)
+          let fnames = List.map (fun f -> f.Ast.f_name) dfuncs in
+          let gnames = List.map (fun g -> g.Ast.g_name) dglobals in
+          let needed = Hashtbl.create 16 in
+          let rec need fn =
+            if not (Hashtbl.mem needed fn.Ast.f_name) then begin
+              Hashtbl.replace needed fn.Ast.f_name ();
+              List.iter
+                (fun id ->
+                  if List.mem id gnames then Hashtbl.replace needed id ()
+                  else if List.mem id fnames then
+                    match
+                      List.find_opt (fun f -> f.Ast.f_name = id) dfuncs
+                    with
+                    | Some callee -> need callee
+                    | None -> ())
+                (func_idents fn)
+            end
+          in
+          need root;
+          let suffix = Printf.sprintf "_x%d" mseed in
+          let rn id = if Hashtbl.mem needed id then id ^ suffix else id in
+          let grafted =
+            List.filter_map
+              (function
+                | Ast.Dglobal g when Hashtbl.mem needed g.Ast.g_name ->
+                    Some
+                      (Ast.Dglobal
+                         {
+                           g with
+                           Ast.g_name = rn g.Ast.g_name;
+                           Ast.g_init = Option.map (map_idents_init rn) g.Ast.g_init;
+                         })
+                | Ast.Dfunc f when Hashtbl.mem needed f.Ast.f_name ->
+                    Some
+                      (Ast.Dfunc
+                         {
+                           f with
+                           Ast.f_name = rn f.Ast.f_name;
+                           Ast.f_body = List.map (map_idents_s rn) f.Ast.f_body;
+                         })
+                | _ -> None)
+              dprog
+          in
+          let arg = Rng.int_range rng 1 9 in
+          (* drive the graft from a small counting loop with a varying
+             argument: the loop both exercises the helper on several
+             inputs and changes main's control-flow geometry, so the
+             offspring's main cells are fresh, not a re-count *)
+          let ctr = "spc" ^ suffix in
+          let call =
+            s_
+              (Ast.Sexpr
+                 (e_
+                    (Ast.Ecall
+                       ( "print_int",
+                         [
+                           emodn
+                             (e_
+                                (Ast.Ecall
+                                   ( rn root.Ast.f_name,
+                                     [ ebin Ast.Badd (eint arg) (eid ctr) ] )))
+                             997;
+                         ] ))))
+          in
+          let call = wrap_in_loop ~ctr ~n:3 call in
+          let out = ref [] and placed = ref false in
+          List.iter
+            (fun d ->
+              match d with
+              | Ast.Dfunc f when f.Ast.f_name = "main" && not !placed ->
+                  placed := true;
+                  out :=
+                    Ast.Dfunc
+                      { f with Ast.f_body = insert_before_return [ call ] f.Ast.f_body }
+                    :: List.rev_append grafted !out
+              | d -> out := d :: !out)
+            aprog;
+          if not !placed then None
+          else
+            Some
+              (with_main_code acceptor
+                 (Cprint.program_to_string (List.rev !out)))
+        end
+      with _ -> None)
+  | _ -> None
+
+(* a statement is duplication-safe when re-executing a copy of it right
+   after the original preserves safety and termination: no declarations
+   (redefinition), no [free]/[malloc] (lifetime), no return/break/
+   continue at its own level (control escape) *)
+let rec dup_safe (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Sdecl _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue -> false
+  | Ast.Sexpr e -> expr_dup_safe e
+  | Ast.Sif (c, a, b) ->
+      expr_dup_safe c && List.for_all dup_safe a && List.for_all dup_safe b
+  | Ast.Swhile (c, b) -> expr_dup_safe c && List.for_all dup_safe b
+  | Ast.Sdo (b, c) -> expr_dup_safe c && List.for_all dup_safe b
+  | Ast.Sfor (i, c, st, b) ->
+      (match i with Some i -> dup_safe i | None -> true)
+      && (match c with Some c -> expr_dup_safe c | None -> true)
+      && (match st with Some st -> expr_dup_safe st | None -> true)
+      && List.for_all dup_safe b
+  | Ast.Sblock b | Ast.Sseq b -> List.for_all dup_safe b
+
+and expr_dup_safe (e : Ast.expr) =
+  List.for_all (fun id -> id <> "free" && id <> "malloc") (idents_e [] e)
+
+(* a bounded arithmetic-iteration epilogue over [acc] (always in scope
+   in generated mains): fresh if/while geometry plus an observing
+   [print_int], step-capped so fuel use stays bounded *)
+let iteration_epilogue ~stem =
+  let v = stem ^ "v" and st = stem ^ "s" in
+  [
+    s_ (Ast.Sdecl (Ctypes.Clong, v, Some (Ast.Iexpr (ebin Ast.Badd (emodn (eid "acc") 23) (eint 5)))));
+    s_ (Ast.Sdecl (Ctypes.Clong, st, Some (Ast.Iexpr (eint 0))));
+    s_
+      (Ast.Swhile
+         ( ebin Ast.Bland
+             (ebin Ast.Bgt (eid v) (eint 1))
+             (ebin Ast.Blt (eid st) (eint 40)),
+           [
+             s_
+               (Ast.Sif
+                  ( ebin Ast.Beq (ebin Ast.Bmod (eid v) (eint 2)) (eint 0),
+                    [ s_ (Ast.Sexpr (e_ (Ast.Eassign (eid v, ebin Ast.Bdiv (eid v) (eint 2))))) ],
+                    [
+                      s_
+                        (Ast.Sexpr
+                           (e_
+                              (Ast.Eassign
+                                 ( eid v,
+                                   ebin Ast.Badd
+                                     (ebin Ast.Bmul (eid v) (eint 3))
+                                     (eint 1) ))));
+                    ] ));
+             s_ (Ast.Sexpr (e_ (Ast.Eassign (eid st, ebin Ast.Badd (eid st) (eint 1)))));
+           ] ));
+    s_
+      (Ast.Sexpr
+         (e_
+            (Ast.Ecall
+               ("print_int", [ emodn (ebin Ast.Badd (eid v) (eid st)) 997 ]))));
+  ]
+
+(** Grow: insert fresh control flow into [main] — either a bounded
+    counting loop wrapping a copy of an existing duplication-safe
+    statement, or a bounded arithmetic-iteration epilogue before the
+    trailing return (always the fallback when nothing is wrappable).
+    Optionally also duplicates one safe statement in place.  The new
+    loop/branch changes [main]'s control-flow geometry, so the
+    offspring's coverage cells are guaranteed disjoint from the
+    parent's — a straight-line insertion would count nothing new.
+    Returns [None] when the sources have no parseable main unit.
+    Deterministic in [(sources, mseed)]; fresh names are prefixed
+    ["gw<mseed>"], so campaign-unique [mseed]s never collide. *)
+let grow ~(sources : Bench.source list) ~mseed : Bench.source list option =
+  match find_main_src sources with
+  | None -> None
+  | Some main -> (
+      try
+        let prog = Cparse.parse_program main.Bench.code in
+        let rng = Rng.create ((mseed * 4) + 3) in
+        let stem = Printf.sprintf "gw%d" mseed in
+        let grow_body body =
+          let wrappable =
+            List.concat
+              (List.mapi (fun i s -> if dup_safe s then [ (i, s) ] else []) body)
+          in
+          let body =
+            if wrappable <> [] && Rng.int rng 3 > 0 then begin
+              let i, s0 =
+                List.nth wrappable (Rng.int rng (List.length wrappable))
+              in
+              let n = Rng.int_range rng 2 4 in
+              let wrapped = wrap_in_loop ~ctr:(stem ^ "c") ~n s0 in
+              List.concat (List.mapi (fun j s -> if j = i then [ s; wrapped ] else [ s ]) body)
+            end
+            else insert_before_return (iteration_epilogue ~stem) body
+          in
+          (* occasionally also duplicate one safe statement in place *)
+          if Rng.int rng 2 = 0 then
+            let dups =
+              List.concat
+                (List.mapi (fun i s -> if dup_safe s then [ (i, s) ] else []) body)
+            in
+            if dups = [] then body
+            else
+              let i, s0 = List.nth dups (Rng.int rng (List.length dups)) in
+              List.concat
+                (List.mapi (fun j s -> if j = i then [ s; s0 ] else [ s ]) body)
+          else body
+        in
+        let out = ref [] and placed = ref false in
+        List.iter
+          (fun d ->
+            match d with
+            | Ast.Dfunc f when f.Ast.f_name = "main" && not !placed ->
+                placed := true;
+                out := Ast.Dfunc { f with Ast.f_body = grow_body f.Ast.f_body } :: !out
+            | d -> out := d :: !out)
+          prog;
+        if not !placed then None
+        else Some (with_main_code sources (Cprint.program_to_string (List.rev !out)))
+      with _ -> None)

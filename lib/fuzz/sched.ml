@@ -1,0 +1,104 @@
+(** Deterministic corpus scheduler: which entries breed next.
+
+    Every corpus entry carries an integer {e energy} — a
+    recency-decayed novelty score.  An entry is admitted with energy
+    proportional to what it just discovered (fresh coverage cells,
+    plus a bonus per grammar production nobody had exercised); when an
+    offspring is admitted, its parent is credited with the offspring's
+    fresh cells, so lineages whose mutations keep paying are favored;
+    and every round halves all energies, so a vein that stops yielding
+    is abandoned in a few rounds rather than mined forever.
+
+    Everything is integer arithmetic over corpus entries in insertion
+    order, so the scheduler rebuilds bit-identically from a loaded
+    corpus ({!rebuild}) after a crash or across [-j] settings — no
+    hidden wall-clock or hash-order dependence.  {!pick} breaks energy
+    ties toward the most recently admitted entry ([en_ord]
+    descending), keeping exploration moving. *)
+
+type t = {
+  energy : (string, int) Hashtbl.t;  (** entry id -> current energy *)
+  prods : (string, unit) Hashtbl.t;  (** productions seen at admission *)
+}
+
+let create () = { energy = Hashtbl.create 64; prods = Hashtbl.create 64 }
+
+(* a production nobody exercised before is worth this many cells *)
+let prod_bonus = 16
+
+let energy t id = match Hashtbl.find_opt t.energy id with Some e -> e | None -> 0
+
+let credit t id n =
+  if Hashtbl.mem t.energy id then Hashtbl.replace t.energy id (energy t id + n)
+
+let parent_of (e : Corpus.entry) =
+  match e.Corpus.en_origin with
+  | Corpus.Seeded _ -> None
+  | Corpus.Spliced { sp_parent; _ } -> Some sp_parent
+  | Corpus.Grown { gr_parent; _ } -> Some gr_parent
+
+(** Account a just-admitted entry: count its productions that are new
+    to the scheduler, set its energy, credit its parent with the fresh
+    cells the offspring found. *)
+let admit t (e : Corpus.entry) =
+  let new_prods =
+    List.fold_left
+      (fun n p ->
+        if Hashtbl.mem t.prods p then n
+        else begin
+          Hashtbl.replace t.prods p ();
+          n + 1
+        end)
+      0 e.Corpus.en_productions
+  in
+  Hashtbl.replace t.energy e.Corpus.en_id
+    (e.Corpus.en_fresh + (prod_bonus * new_prods) + 1);
+  (match parent_of e with
+  | Some p -> credit t p e.Corpus.en_fresh
+  | None -> ());
+  new_prods
+
+(** Halve every energy — the per-round recency decay.  Energies floor
+    at 1, so an old entry stays pickable when nothing else has energy
+    (a cold corpus still breeds). *)
+let decay t =
+  Hashtbl.iter
+    (fun id e -> Hashtbl.replace t.energy id (max 1 (e / 2)))
+    (Hashtbl.copy t.energy)
+
+(** The [n] highest-energy entries of [entries], deterministic: energy
+    descending, then admission order descending (recent first), then
+    id. *)
+let pick t (entries : Corpus.entry list) ~n =
+  let ranked =
+    List.sort
+      (fun (a : Corpus.entry) (b : Corpus.entry) ->
+        let ea = energy t a.Corpus.en_id and eb = energy t b.Corpus.en_id in
+        if ea <> eb then compare eb ea
+        else if a.Corpus.en_ord <> b.Corpus.en_ord then
+          compare b.Corpus.en_ord a.Corpus.en_ord
+        else String.compare a.Corpus.en_id b.Corpus.en_id)
+      entries
+  in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  take n ranked
+
+(** Reconstruct the scheduler from a loaded corpus: replay entries in
+    insertion order, applying the decay at every round boundary — the
+    same arithmetic the live loop performed, so a resumed soak picks
+    exactly the parents an uninterrupted one would have. *)
+let rebuild (entries : Corpus.entry list) : t =
+  let t = create () in
+  let round = ref 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      while !round < e.Corpus.en_round do
+        decay t;
+        incr round
+      done;
+      ignore (admit t e))
+    entries;
+  t

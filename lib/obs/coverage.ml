@@ -137,6 +137,34 @@ let totals_of snaps =
 
 let totals t = totals_of (snapshot t)
 
+(* --- cell keys ------------------------------------------------------ *)
+
+let geometry_key s =
+  s.cv_func ^ "/"
+  ^ String.concat "|"
+      (Array.to_list
+         (Array.map
+            (fun a ->
+              String.concat "," (List.map string_of_int (Array.to_list a)))
+            s.cv_succ))
+
+let cell_keys s =
+  let g = Digest.to_hex (Digest.string (geometry_key s)) in
+  let out = ref [] in
+  Array.iteri
+    (fun i h -> if h > 0 then out := Printf.sprintf "%s:e%d" g i :: !out)
+    s.cv_edge_hits;
+  Array.iteri
+    (fun i h -> if h > 0 then out := Printf.sprintf "%s:b%d" g i :: !out)
+    s.cv_block_hits;
+  List.sort String.compare !out
+
+let cells_of snaps =
+  List.sort_uniq String.compare (List.concat_map cell_keys snaps)
+
+let fingerprint snaps =
+  Digest.to_hex (Digest.string (String.concat "\n" (cells_of snaps)))
+
 let of_snapshots snaps =
   let t = create () in
   List.iter

@@ -76,6 +76,28 @@ type totals = {
 val totals_of : snapshot list -> totals
 val totals : t -> totals
 
+val geometry_key : snapshot -> string
+(** The stable textual descriptor a snapshot is keyed by: function name
+    plus the full successor geometry.  Two snapshots compare equal under
+    {!merge}'s keying iff their geometry keys are equal. *)
+
+val cell_keys : snapshot -> string list
+(** Compact, stable keys — ["<geometry-digest>:bN"] / [":eN"] — of the
+    snapshot's {e hit} blocks and edges, sorted.  The digest is over
+    {!geometry_key}, so any CFG change (another seed, another
+    optimization level, a structural mutation) yields disjoint cells
+    while re-running the identical program yields the identical set.
+    These are the novelty currency of the coverage-guided fuzzer: a
+    corpus entry stores the cells its reference run hit, and a candidate
+    is admitted when it hits a cell no entry hit before. *)
+
+val cells_of : snapshot list -> string list
+(** Sorted, deduplicated union of {!cell_keys} over all snapshots. *)
+
+val fingerprint : snapshot list -> string
+(** Digest of {!cells_of} — a one-line coverage identity for corpus
+    entry metadata and byte-identical replay checks. *)
+
 val of_snapshots : snapshot list -> t
 (** Rebuild a registry from snapshots (accumulating duplicates) — the
     load half of the persistent-profile round trip. *)

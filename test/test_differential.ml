@@ -115,8 +115,30 @@ let test_mutant_both_checkers_report () =
   let rsb' = Harness.run_sources sb m.Gen.m_sources in
   let rlf' = Harness.run_sources lf m.Gen.m_sources in
   let rtp' = Harness.run_sources tp m.Gen.m_sources in
-  let mr = Oracle.judge_mutant m [ Ok rsb'; Ok rlf'; Ok rtp' ] in
+  let run_variant tag =
+    Ok (Harness.run_sources (Oracle.variant_setup tag) m.Gen.m_sources)
+  in
+  let mr =
+    Oracle.judge_mutant m
+      [
+        Ok rsb';
+        Ok rlf';
+        Ok rtp';
+        run_variant "O3+sb+checkopt";
+        run_variant "O3+lf+checkopt";
+      ]
+  in
   Alcotest.(check bool) "flipped oracle holds" true (mr.Oracle.mr_findings = []);
+  (* the check-eliminated builds must keep the residual check that guards
+     the injected access — precise elimination may not erase detections *)
+  List.iter
+    (fun tag ->
+      match Oracle.mr_detection mr tag with
+      | Oracle.Killed -> ()
+      | d ->
+          Alcotest.failf "%s must still report after check elimination: %s" tag
+            (Oracle.detection_to_string d))
+    [ "O3+sb+checkopt"; "O3+lf+checkopt" ];
   match Oracle.mr_detection mr "O3+tp" with
   | Oracle.Killed | Oracle.Whitelisted _ -> ()
   | d ->
@@ -130,6 +152,8 @@ let test_temporal_mutants () =
   let sb = Oracle.variant_setup "O3+sb" in
   let lf = Oracle.variant_setup "O3+lf" in
   let tp = Oracle.variant_setup "O3+tp" in
+  let sbc = Oracle.variant_setup "O3+sb+checkopt" in
+  let lfc = Oracle.variant_setup "O3+lf+checkopt" in
   let seen_uaf = ref false and seen_dfree = ref false in
   for seed = 201 to 240 do
     if not (!seen_uaf && !seen_dfree) then
@@ -152,7 +176,9 @@ let test_temporal_mutants () =
           in
           if fresh then begin
             let r s = Ok (Harness.run_sources s m.Gen.m_sources) in
-            let mr = Oracle.judge_mutant m [ r sb; r lf; r tp ] in
+            let mr =
+              Oracle.judge_mutant m [ r sb; r lf; r tp; r sbc; r lfc ]
+            in
             (match Oracle.mr_detection mr "O3+tp" with
             | Oracle.Killed -> ()
             | d ->
@@ -167,7 +193,7 @@ let test_temporal_mutants () =
                     Alcotest.failf "%s should be excused on %s, got %s" tag
                       mr.Oracle.mr_name
                       (Oracle.detection_to_string d))
-              [ "O3+sb"; "O3+lf" ];
+              [ "O3+sb"; "O3+lf"; "O3+sb+checkopt"; "O3+lf+checkopt" ];
             Alcotest.(check bool)
               "flipped oracle holds" true
               (mr.Oracle.mr_findings = [])
@@ -201,12 +227,24 @@ let test_whitelisted_extern_mutant () =
       let rtp =
         Harness.run_sources (Oracle.variant_setup "O3+tp") m.Gen.m_sources
       in
+      let rsbc =
+        Harness.run_sources
+          (Oracle.variant_setup "O3+sb+checkopt")
+          m.Gen.m_sources
+      in
+      let rlfc =
+        Harness.run_sources
+          (Oracle.variant_setup "O3+lf+checkopt")
+          m.Gen.m_sources
+      in
       (match rlf.Harness.outcome with
       | Mi_vm.Interp.Safety_violation _ -> ()
       | o ->
           Alcotest.failf "lowfat must still report %s: %s"
             (Gen.mutant_name m) (outcome_str o));
-      let mr = Oracle.judge_mutant m [ Ok rsb; Ok rlf; Ok rtp ] in
+      let mr =
+        Oracle.judge_mutant m [ Ok rsb; Ok rlf; Ok rtp; Ok rsbc; Ok rlfc ]
+      in
       (match Oracle.mr_detection mr "O3+sb" with
       | Oracle.Whitelisted why ->
           Alcotest.(check bool)

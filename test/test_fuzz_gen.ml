@@ -4,7 +4,9 @@
    and the out-of-bounds geometry of derived mutants. *)
 
 module Gen = Mi_fuzz.Gen
+module Oracle = Mi_fuzz.Oracle
 module Bench = Mi_bench_kit.Bench
+module Harness = Mi_bench_kit.Harness
 
 (* the fixed CI/test seed block: feature rotation guarantees coverage
    over any block of at least [n_features] consecutive seeds; 1..20
@@ -97,6 +99,170 @@ let test_boost_forces_feature () =
   Alcotest.(check bool) "at least one seed had a forceable feature" true
     (!forced > 0)
 
+(* regression: every enablement source (rotation, random draw, boost,
+   derived rebinding) records the feature index independently, so a
+   feature that is both drawn and boosted used to appear twice in
+   [p_features] — double-counting its vote in the campaign's feature
+   scoring.  [generate] now deduplicates the published vector. *)
+let test_features_deduped () =
+  let no_dups l =
+    let sorted = List.sort compare l in
+    let rec chk = function
+      | a :: (b :: _ as t) -> a <> b && chk t
+      | _ -> true
+    in
+    chk sorted
+  in
+  List.iter
+    (fun seed ->
+      let p = Gen.generate ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: plain vector dup-free" seed)
+        true
+        (no_dups p.Gen.p_features);
+      (* boosting a feature the draw already enabled must not re-add it *)
+      List.iter
+        (fun k ->
+          let b = Gen.generate ~boost:[ k ] ~seed () in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: boost of drawn feature %d dup-free" seed
+               k)
+            true
+            (no_dups b.Gen.p_features);
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: feature %d recorded once" seed k)
+            1
+            (List.length (List.filter (( = ) k) b.Gen.p_features)))
+        p.Gen.p_features)
+    block
+
+(* {1 Structural evolution: splice and grow}
+
+   Spliced and grown offspring must stay well-typed MiniC — they parse,
+   lower cleanly, and are a pure function of (parents, mseed). *)
+
+let lowers_cleanly ctx (sources : Bench.source list) =
+  List.iter
+    (fun (s : Bench.source) ->
+      match Mi_minic.Lower.compile ~name:s.Bench.src_name s.Bench.code with
+      | (_ : Mi_mir.Irmod.t) -> ()
+      | exception Mi_minic.Lower.Compile_error msg ->
+          Alcotest.failf "%s: unit %s does not lower: %s" ctx
+            s.Bench.src_name msg)
+    sources
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec find i =
+    i + nl <= hl && (String.sub hay i nl = needle || find (i + 1))
+  in
+  find 0
+
+let main_code (sources : Bench.source list) =
+  match
+    List.find_opt (fun (s : Bench.source) -> s.Bench.src_name = "main") sources
+  with
+  | Some s -> s.Bench.code
+  | None -> Alcotest.fail "offspring lost its main unit"
+
+let test_splice_well_typed () =
+  let spliced = ref 0 in
+  List.iter
+    (fun seed ->
+      let acceptor = (Gen.generate ~seed ()).Gen.p_sources in
+      let donor = (Gen.generate ~seed:(seed + 1) ()).Gen.p_sources in
+      let mseed = (seed * 100) + 1 in
+      match Gen.splice ~acceptor ~donor ~mseed with
+      | None -> ()
+      | Some offspring ->
+          incr spliced;
+          let ctx = Printf.sprintf "splice seed %d" seed in
+          lowers_cleanly ctx offspring;
+          (* grafted donor material is renamed with the [_x<mseed>]
+             suffix so it cannot collide with acceptor names (fresh
+             generator names never contain an underscore) *)
+          let suffix = Printf.sprintf "_x%d" mseed in
+          let m = main_code offspring in
+          Alcotest.(check bool)
+            (ctx ^ ": renamed graft present") true (contains m suffix);
+          (* the driver call is wrapped in a counting loop so the splice
+             perturbs main's block geometry, not just its straight-line
+             length *)
+          Alcotest.(check bool)
+            (ctx ^ ": driver loop counter present") true
+            (contains m ("spc" ^ suffix));
+          (* deterministic: same parents + mseed, same bytes *)
+          let again =
+            match Gen.splice ~acceptor ~donor ~mseed with
+            | Some o -> o
+            | None -> Alcotest.fail (ctx ^ ": second splice returned None")
+          in
+          List.iter2
+            (fun (a : Bench.source) (b : Bench.source) ->
+              Alcotest.(check string) (ctx ^ " deterministic") a.Bench.code
+                b.Bench.code)
+            offspring again)
+    block;
+  Alcotest.(check bool) "at least half the block spliced" true
+    (!spliced >= List.length block / 2)
+
+let test_grow_well_typed () =
+  let grown = ref 0 in
+  List.iter
+    (fun seed ->
+      let sources = (Gen.generate ~seed ()).Gen.p_sources in
+      let mseed = (seed * 100) + 7 in
+      match Gen.grow ~sources ~mseed with
+      | None -> ()
+      | Some offspring ->
+          incr grown;
+          let ctx = Printf.sprintf "grow seed %d" seed in
+          lowers_cleanly ctx offspring;
+          let before = main_code sources and after = main_code offspring in
+          Alcotest.(check bool)
+            (ctx ^ ": main grew") true
+            (String.length after > String.length before);
+          let again =
+            match Gen.grow ~sources ~mseed with
+            | Some o -> o
+            | None -> Alcotest.fail (ctx ^ ": second grow returned None")
+          in
+          Alcotest.(check string) (ctx ^ " deterministic") after
+            (main_code again))
+    block;
+  Alcotest.(check bool) "every block seed grew" true
+    (!grown = List.length block)
+
+(* an evolved offspring — splice composed with grow, exactly the soak
+   driver's breeding step — still satisfies the whole safe oracle
+   matrix: reference + all 16 variants (including both checkopt
+   configs) agree and report nothing *)
+let test_offspring_full_matrix () =
+  let acceptor = (Gen.generate ~seed:11 ()).Gen.p_sources in
+  let donor = (Gen.generate ~seed:12 ()).Gen.p_sources in
+  let spliced =
+    match Gen.splice ~acceptor ~donor ~mseed:1101 with
+    | Some s -> s
+    | None -> Alcotest.fail "seed pair 11/12 did not splice"
+  in
+  let offspring =
+    match Gen.grow ~sources:spliced ~mseed:1101 with
+    | Some g -> g
+    | None -> spliced
+  in
+  let jobs =
+    Oracle.safe_jobs_of (Oracle.bench_of_sources ~name:"offspring" offspring)
+  in
+  Alcotest.(check int)
+    "offspring faces the whole matrix"
+    (1 + List.length Oracle.variants)
+    (List.length jobs);
+  let h = Harness.create ~jobs:2 () in
+  let results = Harness.run_jobs h jobs in
+  match Oracle.judge_safe_results ~seed:1101 results with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "offspring finding: %s" (Oracle.finding_to_string f)
+
 (* the injected index lies past BOTH guarantees: the Low-Fat size class
    (allocation-size rounding) and SoftBound's exact object bounds *)
 let test_oob_index_geometry () =
@@ -163,6 +329,17 @@ let () =
             test_all_units_lower;
           Alcotest.test_case "boost forces features deterministically" `Quick
             test_boost_forces_feature;
+          Alcotest.test_case "published feature vector is deduplicated" `Quick
+            test_features_deduped;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "spliced offspring are well-typed MiniC" `Quick
+            test_splice_well_typed;
+          Alcotest.test_case "grown offspring are well-typed MiniC" `Quick
+            test_grow_well_typed;
+          Alcotest.test_case "offspring satisfy the full safe matrix" `Slow
+            test_offspring_full_matrix;
         ] );
       ( "mutants",
         [

@@ -92,9 +92,11 @@ let run_seeded_campaign dir =
       (Fuzz.campaign ~jobs:2 ~faults ~repro_dir:dir ~seeds:(7, 7)
          ~mutants:(7, 7) ())
   in
-  (* deleting every check makes both instrumentations miss the mutant *)
+  (* deleting every check makes every spatial build — plain and
+     check-eliminated — miss the mutant; the temporal checker stays
+     whitelisted as out of scope *)
   let _, _, missed = Fuzz.count_mutants r.Fuzz.r_mutants in
-  Alcotest.(check int) "both detections missed" 2 missed;
+  Alcotest.(check int) "all spatial detections missed" 4 missed;
   Alcotest.(check bool) "campaign not ok" false (Fuzz.ok r);
   r
 
@@ -121,6 +123,78 @@ let test_injected_failure_shrinks () =
             (Sys.file_exists (Filename.concat d "main.c")))
         repros);
   rm_rf dir
+
+(* {1 Property: minimize preserves the oracle verdict on evolved
+   offspring}
+
+   The soak driver breeds spliced/grown offspring and shrinks whatever
+   fails; the shrinker must preserve the oracle's verdict through the
+   extra structural noise.  Build the witness the same way the soak
+   does: mutate the parent first (while the text anchor is intact),
+   then splice a donor in and grow the result — the injected
+   out-of-bounds access rides along.  Under [del-check] every spatial
+   build misses it; {!Fuzz.mutant_pred} is exactly that verdict, and
+   minimization must keep it while landing a bounded repro. *)
+let test_offspring_minimize_preserves_verdict () =
+  let module Gen = Mi_fuzz.Gen in
+  let module Oracle = Mi_fuzz.Oracle in
+  let module Harness = Mi_bench_kit.Harness in
+  let p = Gen.generate ~seed:7 () in
+  let m = Gen.mutate p ~mseed:7 in
+  Alcotest.(check bool) "seed 7 draws a precise-bounds mutant" true
+    (m.Gen.m_sb_whitelist = None);
+  let spliced =
+    match
+      Gen.splice ~acceptor:m.Gen.m_sources
+        ~donor:(Gen.generate ~seed:8 ()).Gen.p_sources ~mseed:707
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "mutant did not accept a donor splice"
+  in
+  let offspring =
+    match Gen.grow ~sources:spliced ~mseed:707 with
+    | Some g -> g
+    | None -> spliced
+  in
+  let h = Harness.create ~jobs:1 ~faults () in
+  let bench = Oracle.bench_of_sources ~name:"offspring-m" offspring in
+  let results =
+    Harness.run_jobs h
+      (List.map (fun (_, s) -> (s, bench)) Oracle.mutant_variants)
+  in
+  let mr = Oracle.judge_mutant m results in
+  let f =
+    match mr.Oracle.mr_findings with
+    | f :: _ -> f
+    | [] -> Alcotest.fail "del-check did not produce a missed detection"
+  in
+  let pred = Fuzz.mutant_pred h ~faults mr f in
+  Alcotest.(check bool) "verdict holds on the unshrunk offspring" true
+    (pred offspring);
+  let min1 = Shrink.minimize ~pred offspring in
+  Alcotest.(check bool) "verdict preserved by minimization" true (pred min1);
+  let main_lines srcs =
+    match
+      List.find_opt (fun (s : Bench.source) -> s.Bench.src_name = "main") srcs
+    with
+    | Some s -> Shrink.line_count s.Bench.code
+    | None -> 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded repro (%d lines)" (main_lines min1))
+    true
+    (main_lines min1 <= 25);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank (%d -> %d lines)" (main_lines offspring)
+       (main_lines min1))
+    true
+    (main_lines min1 < main_lines offspring);
+  let min2 = Shrink.minimize ~pred offspring in
+  Alcotest.(check string) "deterministic" (code min1) (code min2);
+  List.iter
+    (fun (s : Bench.source) ->
+      ignore (Mi_minic.Cparse.parse_program s.Bench.code))
+    min1
 
 let test_shrunk_repro_deterministic () =
   let dir1 = Filename.concat (Filename.get_temp_dir_name ()) "mi-fuzz-shrink2" in
@@ -154,6 +228,8 @@ let () =
         [
           Alcotest.test_case "del-check inject shrinks to bounded repro"
             `Slow test_injected_failure_shrinks;
+          Alcotest.test_case "minimize preserves verdict on evolved offspring"
+            `Slow test_offspring_minimize_preserves_verdict;
           Alcotest.test_case "minimized repro deterministic" `Slow
             test_shrunk_repro_deterministic;
         ] );
